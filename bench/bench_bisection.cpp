@@ -1,0 +1,174 @@
+// THM-4.7 / COR-4.8–4.11: bisection bandwidth under the unit chip capacity
+// model. Reproduces the paper's worked examples (12-cube vs HSN(3,Q4) at
+// 256 chips, off-chip link widths), validates the closed forms against
+// measured cluster-respecting bisections, compares all topology families,
+// and sweeps the ">= 33% advantage" claim.
+#include <cmath>
+#include <iostream>
+
+#include "mcmp/capacity.hpp"
+
+#include "topology/super_ipg.hpp"
+#include "util/bits.hpp"
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ipg;
+  using namespace ipg::topology;
+  using namespace ipg::mcmp;
+
+  std::cout << "=== §4.2 worked example: 256 chips of 16 nodes, w = 1 ===\n\n";
+  util::Table t;
+  t.header({"network", "off-chip links/chip", "link bandwidth", "paper link bw",
+            "bisection bandwidth", "paper B_B"});
+  {
+    const Graph q12 = hypercube_graph(12);
+    const auto q12c = hypercube_subcube_clustering(12, 16);
+    const auto qs = chip_link_stats(q12, q12c, 1.0);
+    t.add("Q12", qs.offchip_links_per_chip, qs.offchip_link_bandwidth, "w/8",
+          hypercube_bisection_bandwidth(1.0, 4096, 16), "256w");
+
+    const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(4));
+    const auto hs = chip_link_stats(hsn.to_graph(), hsn.nucleus_clustering(), 1.0);
+    t.add("HSN(3,Q4)", hs.offchip_links_per_chip, hs.offchip_link_bandwidth,
+          "8w/15", hsn_bisection_bandwidth(1.0, 4096, 16, 3),
+          "8192w/15 = 546.1w");
+  }
+  t.print(std::cout);
+  std::cout << "paper: \"slightly more than double that of a hypercube\" — "
+               "ratio "
+            << util::format_ratio(hsn_bisection_bandwidth(1.0, 4096, 16, 3) /
+                                  hypercube_bisection_bandwidth(1.0, 4096, 16))
+            << "; off-chip links ~4x wider ("
+            << util::format_ratio((16.0 / 30.0) / (1.0 / 8.0)) << ").\n";
+
+  std::cout << "\n=== COR-4.8/4.9/4.10: formulas vs measured bisections "
+               "(small instances, heuristic = upper bound) ===\n\n";
+  util::Table t2;
+  t2.header({"network", "N", "chips", "formula B_B", "measured B_B",
+             "Thm 4.7 lower bound"});
+  auto measured_row = [&t2](const std::string& name, const Graph& g,
+                            const Clustering& c, double formula) {
+    const double measured = measured_bisection_bandwidth(g, c, 1.0, 16);
+    const auto stats = metrics::intercluster_stats(g, c);
+    t2.add(name, g.num_nodes(), c.num_clusters(), formula, measured,
+           bb_lower_bound(1.0, g.num_nodes(), stats.average));
+  };
+  {
+    const auto q2 = std::make_shared<HypercubeNucleus>(2);
+    const auto q3 = std::make_shared<HypercubeNucleus>(3);
+    const SuperIpg h22 = make_hsn(2, q2);
+    measured_row(h22.name(), h22.to_graph(), h22.nucleus_clustering(),
+                 hsn_bisection_bandwidth(1.0, 16, 4, 2));
+    const SuperIpg h23 = make_hsn(2, q3);
+    measured_row(h23.name(), h23.to_graph(), h23.nucleus_clustering(),
+                 hsn_bisection_bandwidth(1.0, 64, 8, 2));
+    const SuperIpg h32 = make_hsn(3, q2);
+    measured_row(h32.name(), h32.to_graph(), h32.nucleus_clustering(),
+                 hsn_bisection_bandwidth(1.0, 64, 4, 3));
+    const SuperIpg sfn = make_sfn(3, q2);
+    measured_row(sfn.name(), sfn.to_graph(), sfn.nucleus_clustering(),
+                 hsn_bisection_bandwidth(1.0, 64, 4, 3));
+    measured_row("Q6 (8/chip)", hypercube_graph(6),
+                 hypercube_subcube_clustering(6, 8),
+                 hypercube_bisection_bandwidth(1.0, 64, 8));
+    measured_row("8-ary 2-cube (2x2/chip)", kary_ncube_graph(8, 2),
+                 kary2_block_clustering(8, 2),
+                 kary2_bisection_bandwidth(1.0, 64, 4));
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n=== COR-4.9: CCC and butterfly (order-of-magnitude rows) ===\n\n";
+  util::Table t25;
+  t25.header({"network", "N", "M/chip", "IC degree/node", "formula B_B shape"});
+  {
+    const Graph ccc = ccc_graph(5);
+    const auto cccc = ccc_cycle_clustering(5);
+    const auto census = census_links(ccc, cccc);
+    t25.add("CCC(5)", ccc.num_nodes(), 5, census.avg_offchip_per_node,
+            "Theta(wN/log N)");
+    const Graph bf = butterfly_graph(5);
+    const auto bfc = butterfly_clustering(5, 3);
+    const auto census2 = census_links(bf, bfc);
+    t25.add("BF(5)", bf.num_nodes(), 5 * 8, census2.avg_offchip_per_node,
+            "Theta(wN/log_M N)");
+  }
+  t25.print(std::cout);
+  std::cout << "(CCC: constant off-chip links/node -> B_B comparable to a "
+               "hypercube; butterfly: sublinear IC degree -> higher.)\n";
+
+  std::cout << "\n=== §4.2: the four capacity models on one instance "
+               "(HSN(2,Q3) vs Q6, 8 nodes/chip) ===\n";
+  std::cout << "paper: the hypercube's raw bisection width is larger (unit "
+               "link); unit bisection equalizes everyone by construction; "
+               "under unit node the super-IPG's links are Theta(sqrt(log N)) "
+               "wider, closing most of the gap; under unit chip — the MCMP "
+               "reality — the super-IPG wins outright.\n\n";
+  {
+    const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+    const Graph hg = hsn.to_graph();
+    const auto hc = hsn.nucleus_clustering();
+    const Graph qg = hypercube_graph(6);
+    const auto qc = hypercube_subcube_clustering(6, 8);
+
+    auto bb_with = [](const Graph& g, const Clustering& c,
+                      const std::vector<double>& w) {
+      return metrics::cluster_bisection_heuristic(g, c, w, 16).cut;
+    };
+    util::Table t4;
+    t4.header({"model", "HSN(2,Q3) B_B", "Q6 B_B", "HSN/Q"});
+    {
+      const double h = bb_with(hg, hc, metrics::unit_link_arc_weights(hg));
+      const double q = bb_with(qg, qc, metrics::unit_link_arc_weights(qg));
+      t4.add("unit link", h, q, util::format_ratio(h / q));
+    }
+    {
+      // Unit bisection: both networks normalized to budget 32.
+      const double h = bb_with(
+          hg, hc, metrics::unit_bisection_arc_weights(
+                      hg, bb_with(hg, hc, metrics::unit_link_arc_weights(hg)), 32.0));
+      const double q = bb_with(
+          qg, qc, metrics::unit_bisection_arc_weights(
+                      qg, bb_with(qg, qc, metrics::unit_link_arc_weights(qg)), 32.0));
+      t4.add("unit bisection", h, q, util::format_ratio(h / q));
+    }
+    {
+      const double h = bb_with(hg, hc, metrics::unit_node_arc_weights(hg, 1.0));
+      const double q = bb_with(qg, qc, metrics::unit_node_arc_weights(qg, 1.0));
+      t4.add("unit node", h, q, util::format_ratio(h / q));
+    }
+    {
+      const double h = bb_with(hg, hc, metrics::unit_chip_arc_weights(hg, hc, 1.0));
+      const double q = bb_with(qg, qc, metrics::unit_chip_arc_weights(qg, qc, 1.0));
+      t4.add("unit chip", h, q, util::format_ratio(h / q));
+    }
+    t4.print(std::cout);
+  }
+
+  std::cout << "\n=== COR-4.11 / §4.2: the >= 33% small-scale advantage ===\n";
+  std::cout << "paper: \"as long as a chip has at least 4 nodes and there "
+               "are 4, 16, 64, or more chips, the bisection bandwidths of "
+               "these super-IPGs will be higher than a hypercube's by at "
+               "least 33%.\"\n\n";
+  util::Table t3;
+  t3.header({"chip M", "chips", "N", "HSN B_B", "Q B_B", "advantage"});
+  for (unsigned k = 2; k <= 8; k += 2) {            // chip = 2^k nodes
+    for (std::size_t l = 2; l <= 3; ++l) {          // chips = M^(l-1)
+      const std::size_t m = std::size_t{1} << k;
+      const std::size_t n_nodes = util::ipow(m, static_cast<unsigned>(l));
+      if (n_nodes > (std::size_t{1} << 24)) continue;
+      const double hsn = hsn_bisection_bandwidth(1.0, n_nodes, m, l);
+      const double cube = hypercube_bisection_bandwidth(1.0, n_nodes, m);
+      t3.add(m, n_nodes / m, n_nodes, hsn, cube,
+             util::format_ratio(hsn / cube));
+    }
+  }
+  t3.print(std::cout);
+  std::cout << "(Every ratio is >= 1.33x; it grows with nodes-per-chip — the "
+               "paper's \"4 times higher with 256 nodes per chip\" appears "
+               "in the M=256 rows.)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// HIER: §4's closing extension — three packaging levels (chip, board,
+// cabinet). 4096 nodes as 256 chips x 16 nodes on 16 boards x 16 chips;
+// every design gets identical chip pin budgets and identical board
+// connector budgets. Reports per-level traffic (how many chip/board
+// boundaries a random route crosses) and simulated permutation routing.
+#include <iostream>
+#include <memory>
+
+#include "mcmp/hierarchy.hpp"
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::topology;
+using namespace ipg::mcmp;
+
+struct Design {
+  std::string name;
+  Graph graph;
+  sim::Router router;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== HIER: three-level packaging (paper §4: 'easily extended "
+               "to ... more than two levels') ===\n";
+  std::cout << "4096 nodes = 16 boards x 16 chips x 16 nodes; chip budget "
+               "16w, board budget 64w, on-chip links non-bottleneck.\n\n";
+
+  const PackagingHierarchy h(4096, {16, 256});
+  const std::vector<double> budgets{16.0, 64.0};
+
+  std::vector<Design> designs;
+  auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(3, std::make_shared<HypercubeNucleus>(4)));
+  designs.push_back({hsn->name(), hsn->to_graph(),
+                     [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }});
+  designs.push_back({"Q12", hypercube_graph(12), sim::hypercube_router(12)});
+  designs.push_back({"64-ary 2-cube", kary_ncube_graph(64, 2),
+                     sim::kary_router(64, 2)});
+
+  // The torus packages naturally as nested squares, not id blocks.
+  const PackagingHierarchy torus_h(
+      std::vector<Clustering>{kary2_block_clustering(64, 4),
+                              kary2_block_clustering(64, 16)});
+
+  util::Table t;
+  t.header({"design", "avg chip crossings", "avg board crossings",
+            "chip diam", "board diam", "makespan (cycles)",
+            "throughput (flits/node/cyc)"});
+  for (auto& d : designs) {
+    const PackagingHierarchy& dh =
+        d.name == "64-ary 2-cube" ? torus_h : h;
+    const auto traffic = level_traffic(d.graph, dh, 8);
+    auto net = make_hierarchical_network(Graph(d.graph), dh, budgets, 1024.0);
+    double makespan = 0, throughput = 0;
+    const int reps = 4;
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Xoshiro256 rng(400 + static_cast<std::uint64_t>(rep));
+      const auto perm = sim::random_permutation(net.num_nodes(), rng);
+      sim::SimConfig cfg;
+      cfg.packet_length_flits = 16;
+      const auto r = sim::run_batch(net, d.router, perm, cfg);
+      makespan += r.makespan_cycles;
+      throughput += r.throughput_flits_per_node_cycle;
+    }
+    t.add(d.name, traffic.avg_crossings[0], traffic.avg_crossings[1],
+          traffic.diameter[0], traffic.diameter[1], makespan / reps,
+          throughput / reps);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nNote how the super-IPG's hierarchy lines up with the "
+               "packaging: a route crosses at most l-1 = 2 chip boundaries "
+               "and at most 1 board boundary, while the hypercube pays "
+               "log-many at both levels — the §4 argument survives the "
+               "extra level intact.\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// MICRO: google-benchmark microbenchmarks for the core primitives —
+// permutation application, generic IPG closure, tuple-coded generator
+// application, BFS metrics, routing, and the simulator event loop.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/ascend_descend.hpp"
+#include "algorithms/fft.hpp"
+#include "emulation/allport.hpp"
+#include "metrics/layout.hpp"
+#include "metrics/supergen_words.hpp"
+#include "sim/mnb.hpp"
+#include "sim/wormhole.hpp"
+#include "core/ipg.hpp"
+#include "core/super_generators.hpp"
+#include "metrics/distances.hpp"
+#include "mcmp/capacity.hpp"
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace {
+
+using namespace ipg;
+
+void BM_PermutationApply(benchmark::State& state) {
+  const auto p = core::Permutation::rotation(32, 7);
+  core::Label label = core::Label::repeated(core::Label::from_string("0123"), 8);
+  for (auto _ : state) {
+    label = label.apply(p);
+    benchmark::DoNotOptimize(label);
+  }
+}
+BENCHMARK(BM_PermutationApply);
+
+void BM_GenericIpgClosure(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto ipg = core::build_generic_super_ipg(
+        core::hypercube_seed(2), core::hypercube_generators(2), 3,
+        core::SuperGenKind::kTranspositions);
+    benchmark::DoNotOptimize(ipg.num_nodes());
+  }
+}
+BENCHMARK(BM_GenericIpgClosure);
+
+void BM_TupleApply(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(3, std::make_shared<topology::HypercubeNucleus>(4));
+  topology::NodeId v = 1;
+  std::size_t g = 0;
+  for (auto _ : state) {
+    v = hsn.apply(v, g);
+    g = (g + 1) % hsn.num_generators();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TupleApply);
+
+void BM_SuperIpgRoute(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(3, std::make_shared<topology::HypercubeNucleus>(4));
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const auto src = static_cast<topology::NodeId>(rng.below(hsn.num_nodes()));
+    const auto dst = static_cast<topology::NodeId>(rng.below(hsn.num_nodes()));
+    benchmark::DoNotOptimize(hsn.route(src, dst));
+  }
+}
+BENCHMARK(BM_SuperIpgRoute);
+
+void BM_BfsSweepQ10(benchmark::State& state) {
+  const auto g = topology::hypercube_graph(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::distance_stats(g, 8));
+  }
+}
+BENCHMARK(BM_BfsSweepQ10);
+
+void BM_InterclusterBfs(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(3, std::make_shared<topology::HypercubeNucleus>(4));
+  const auto g = hsn.to_graph();
+  const auto c = hsn.nucleus_clustering();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::intercluster_distances(g, c, 0));
+  }
+}
+BENCHMARK(BM_InterclusterBfs);
+
+void BM_SimulatorBatch(benchmark::State& state) {
+  const auto hsn = std::make_shared<topology::SuperIpg>(
+      topology::make_hsn(2, std::make_shared<topology::HypercubeNucleus>(4)));
+  auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                          hsn->nucleus_clustering(), 1.0);
+  const sim::Router router = [hsn](topology::NodeId s, topology::NodeId d) {
+    return hsn->route(s, d);
+  };
+  util::Xoshiro256 rng(11);
+  const auto perm = sim::random_permutation(net.num_nodes(), rng);
+  sim::SimConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_batch(net, router, perm, cfg));
+  }
+}
+BENCHMARK(BM_SimulatorBatch);
+
+void BM_AllPortScheduleSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ipg::emulation::build_allport_schedule(5, 3));
+  }
+}
+BENCHMARK(BM_AllPortScheduleSearch);
+
+void BM_AscendPlanBuild(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(3, std::make_shared<topology::HypercubeNucleus>(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::build_ascend_plan(hsn));
+  }
+}
+BENCHMARK(BM_AscendPlanBuild);
+
+void BM_Fft4096OnHsn(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(3, std::make_shared<topology::HypercubeNucleus>(4));
+  std::vector<algorithms::Complex> x(hsn.num_nodes(), {1.0, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::fft_on_super_ipg(hsn, x));
+  }
+}
+BENCHMARK(BM_Fft4096OnHsn);
+
+void BM_WormholeBatch(benchmark::State& state) {
+  const auto hsn = std::make_shared<topology::SuperIpg>(
+      topology::make_hsn(2, std::make_shared<topology::HypercubeNucleus>(4)));
+  auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                          hsn->nucleus_clustering(), 1.0);
+  util::Xoshiro256 rng(11);
+  const auto perm = sim::random_permutation(net.num_nodes(), rng);
+  sim::WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  const auto classes =
+      sim::super_ipg_vc_classes(hsn->num_nucleus_generators());
+  const sim::Router router = [hsn](topology::NodeId s, topology::NodeId d) {
+    return hsn->route(s, d);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_wormhole_batch(net, router, perm, cfg, classes));
+  }
+}
+BENCHMARK(BM_WormholeBatch);
+
+void BM_MnbExecution(benchmark::State& state) {
+  const auto hsn =
+      topology::make_hsn(2, std::make_shared<topology::HypercubeNucleus>(3));
+  auto net = sim::SimNetwork::with_uniform_bandwidth(
+      hsn.to_graph(), hsn.nucleus_clustering(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_mnb(net));
+  }
+}
+BENCHMARK(BM_MnbExecution);
+
+void BM_LayoutRecursiveBisection(benchmark::State& state) {
+  const auto g = topology::hypercube_graph(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::recursive_bisection_layout(g, 2, 3));
+  }
+}
+BENCHMARK(BM_LayoutRecursiveBisection);
+
+void BM_SupergenWordAnalysis(benchmark::State& state) {
+  const auto sfn =
+      topology::make_sfn(6, std::make_shared<topology::HypercubeNucleus>(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::analyze_supergen_words(sfn));
+  }
+}
+BENCHMARK(BM_SupergenWordAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Scenario: a signal-processing pipeline (filter in the frequency domain)
+// on an MCMP built from 16-node chips — the communication-intensive
+// workload class the paper's introduction motivates.
+//
+// The pipeline computes y = IFFT(H . FFT(x)) across all nodes of a
+// complete-CN(3,Q4) and compares the communication bill with a
+// 12-dimensional hypercube of the same size built from the same chips.
+#include <cmath>
+#include <iostream>
+
+#include "algorithms/fft.hpp"
+#include "topology/hpn.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ipg::algorithms::Complex;
+
+// Conjugate trick: IFFT(x) = conj(FFT(conj(x))) / N.
+std::vector<Complex> conj_scale(const std::vector<Complex>& v, double scale) {
+  std::vector<Complex> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::conj(v[i]) * scale;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ipg;
+  using namespace ipg::topology;
+  using namespace ipg::algorithms;
+
+  const auto q4 = std::make_shared<HypercubeNucleus>(4);
+  const SuperIpg cn = make_complete_cn(3, q4);  // 4096 nodes
+  const std::size_t n = cn.num_nodes();
+
+  // A noisy two-tone signal; the "filter" keeps the 64 lowest frequencies.
+  std::vector<Complex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = {std::sin(2 * std::numbers::pi * 3 * t / static_cast<double>(n)) +
+                0.5 * std::sin(2 * std::numbers::pi * 40 * t / static_cast<double>(n)) +
+                0.1 * std::cos(7.7 * t),
+            0.0};
+  }
+
+  // Forward transform on the CN.
+  const auto fwd = fft_on_super_ipg(cn, x);
+  // Apply the low-pass mask locally (no communication).
+  std::vector<Complex> spectrum = fwd.output;
+  for (std::size_t k = 64; k + 64 < n; ++k) spectrum[k] = 0;
+  // Inverse transform via the conjugate trick: one more ascend pass.
+  const auto inv = fft_on_super_ipg(cn, conj_scale(spectrum, 1.0));
+  const auto y = conj_scale(inv.output, 1.0 / static_cast<double>(n));
+
+  double residual_hf = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual_hf += std::abs(y[i] - x[i]);
+  }
+  std::cout << "Low-pass filtered " << n << " samples; mean |y - x| = "
+            << residual_hf / static_cast<double>(n)
+            << " (the removed high-frequency content).\n\n";
+
+  // Communication bill vs a 12-cube made of the same chips.
+  const Hpn q12(q4, 3);
+  const auto baseline =
+      fft_on_hpn(q12, Clustering::blocks(q12.num_nodes(), 16), x);
+
+  util::Table t("Per-FFT communication (4096 points, 16-node chips)");
+  t.header({"network", "comm steps", "off-chip steps",
+            "off-chip transmissions/node"});
+  auto row = [&t, n](const std::string& name, const emulation::StepCounts& c) {
+    t.add(name, c.comm_steps, c.offchip_steps,
+          static_cast<double>(c.offchip_transmissions) / static_cast<double>(n));
+  };
+  row(cn.name(), fwd.counts);
+  row("Q12 (HPN(3,Q4))", baseline.counts);
+  t.print(std::cout);
+  std::cout << "\nThe CN pays " << fwd.counts.offchip_steps
+            << " off-chip steps per transform vs " << baseline.counts.offchip_steps
+            << " for the hypercube — the Theta(sqrt(log N)) advantage of "
+               "§4.1, and why the paper targets MCMPs.\n";
+  return 0;
+}

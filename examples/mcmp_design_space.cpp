@@ -1,0 +1,103 @@
+// Scenario: a network architect explores the MCMP design space — given a
+// chip that can hold M nodes, which interconnect should tie the chips
+// together? Sweeps families and chip sizes, reporting the §4 decision
+// metrics (pins, off-chip link width, intercluster distance, bisection
+// bandwidth) plus simulated random-routing throughput.
+#include <iostream>
+#include <memory>
+
+#include "mcmp/capacity.hpp"
+#include "metrics/distances.hpp"
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::topology;
+
+double simulate_throughput(const Graph& g, const Clustering& chips,
+                           const sim::Router& router) {
+  auto net = mcmp::make_unit_chip_network(Graph(g), Clustering(chips), 1.0);
+  double total = 0;
+  const int reps = 4;
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 16;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::Xoshiro256 rng(501 + static_cast<std::uint64_t>(rep));
+    const auto perm = sim::random_permutation(net.num_nodes(), rng);
+    total += sim::run_batch(net, router, perm, cfg).throughput_flits_per_node_cycle;
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MCMP design-space sweep: 256 nodes from 16-node chips, "
+               "per-node off-chip budget w = 1.\n\n";
+
+  util::Table t;
+  t.header({"design", "off-chip links/node", "link width", "avg IC distance",
+            "bisection BW", "sim throughput"});
+
+  const auto q4 = std::make_shared<HypercubeNucleus>(4);
+
+  // Candidate 1: HSN(2, Q4).
+  {
+    auto s = std::make_shared<SuperIpg>(make_hsn(2, q4));
+    const Graph g = s->to_graph();
+    const auto chips = s->nucleus_clustering();
+    const auto census = census_links(g, chips);
+    const auto stats = metrics::intercluster_stats(g, chips);
+    const auto link = mcmp::chip_link_stats(g, chips, 1.0);
+    t.add(s->name(), census.avg_offchip_per_node, link.offchip_link_bandwidth,
+          stats.average, mcmp::hsn_bisection_bandwidth(1.0, 256, 16, 2),
+          simulate_throughput(g, chips, sim::super_ipg_router(*s)));
+  }
+  // Candidate 2: SFN(2, Q4) (same two-level shape, flip links).
+  {
+    auto s = std::make_shared<SuperIpg>(make_sfn(2, q4));
+    const Graph g = s->to_graph();
+    const auto chips = s->nucleus_clustering();
+    const auto census = census_links(g, chips);
+    const auto stats = metrics::intercluster_stats(g, chips);
+    const auto link = mcmp::chip_link_stats(g, chips, 1.0);
+    t.add(s->name(), census.avg_offchip_per_node, link.offchip_link_bandwidth,
+          stats.average, mcmp::hsn_bisection_bandwidth(1.0, 256, 16, 2),
+          simulate_throughput(g, chips, sim::super_ipg_router(*s)));
+  }
+  // Candidate 3: 8-dimensional hypercube.
+  {
+    const Graph g = hypercube_graph(8);
+    const auto chips = hypercube_subcube_clustering(8, 16);
+    const auto census = census_links(g, chips);
+    const auto stats = metrics::intercluster_stats(g, chips);
+    const auto link = mcmp::chip_link_stats(g, chips, 1.0);
+    t.add("Q8", census.avg_offchip_per_node, link.offchip_link_bandwidth,
+          stats.average, mcmp::hypercube_bisection_bandwidth(1.0, 256, 16),
+          simulate_throughput(g, chips, sim::hypercube_router(8)));
+  }
+  // Candidate 4: 16-ary 2-cube.
+  {
+    const Graph g = kary_ncube_graph(16, 2);
+    const auto chips = kary2_block_clustering(16, 4);
+    const auto census = census_links(g, chips);
+    const auto stats = metrics::intercluster_stats(g, chips);
+    const auto link = mcmp::chip_link_stats(g, chips, 1.0);
+    t.add("16-ary 2-cube", census.avg_offchip_per_node,
+          link.offchip_link_bandwidth, stats.average,
+          mcmp::kary2_bisection_bandwidth(1.0, 256, 16),
+          simulate_throughput(g, chips, sim::kary_router(16, 2)));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table the paper's way (§4.2): fewer off-chip "
+               "links per node -> wider links and fewer pins; lower average "
+               "intercluster distance -> fewer off-chip transmissions; both "
+               "drive the throughput column. The two-level super-IPGs "
+               "dominate every column.\n";
+  return 0;
+}

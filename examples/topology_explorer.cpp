@@ -1,0 +1,112 @@
+// Command-line topology explorer: build any of the paper's families and
+// print its structural and MCMP metrics.
+//
+//   topology_explorer <family> <levels> <nucleus> [--dot]
+//     family:  hsn | ring-cn | complete-cn | sfn | rcc | hcn
+//     nucleus: q<k> (hypercube) | fq<k> (folded) | k<m> (complete) |
+//              c<m> (ring) | s<n> (star)
+//     --dot:   also print a Graphviz rendering with chip clusters
+//   e.g.  topology_explorer hsn 3 q4
+//         topology_explorer complete-cn 4 k5
+//         topology_explorer rcc 2 q3
+//         topology_explorer hsn 2 s4 --dot | dot -Tsvg > net.svg
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "metrics/distances.hpp"
+#include "metrics/supergen_words.hpp"
+#include "topology/dot.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg::topology;
+
+std::shared_ptr<const Nucleus> parse_nucleus(const std::string& spec) {
+  if (spec.size() < 2) throw std::invalid_argument("bad nucleus spec: " + spec);
+  if (spec.rfind("fq", 0) == 0) {
+    return std::make_shared<FoldedHypercubeNucleus>(
+        static_cast<unsigned>(std::stoul(spec.substr(2))));
+  }
+  const auto arg = std::stoul(spec.substr(1));
+  switch (spec[0]) {
+    case 'q': return std::make_shared<HypercubeNucleus>(static_cast<unsigned>(arg));
+    case 'k': return std::make_shared<CompleteNucleus>(arg);
+    case 'c': return std::make_shared<RingNucleus>(arg);
+    case 's': return std::make_shared<StarNucleus>(static_cast<unsigned>(arg));
+    default: throw std::invalid_argument("bad nucleus spec: " + spec);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string family = "hsn", nucleus_spec = "q3";
+  std::size_t levels = 3;
+  if (argc >= 4) {
+    family = argv[1];
+    levels = std::stoul(argv[2]);
+    nucleus_spec = argv[3];
+  } else {
+    std::cout << "usage: " << (argc ? argv[0] : "topology_explorer")
+              << " <hsn|ring-cn|complete-cn|sfn|rcc|hcn> <levels> "
+                 "<q4|fq3|k5|c6>\n(showing the default hsn 3 q3)\n\n";
+  }
+
+  std::shared_ptr<const Nucleus> nucleus = parse_nucleus(nucleus_spec);
+  std::unique_ptr<SuperIpg> net;
+  if (family == "hsn") {
+    net = std::make_unique<SuperIpg>(make_hsn(levels, nucleus));
+  } else if (family == "ring-cn") {
+    net = std::make_unique<SuperIpg>(make_ring_cn(levels, nucleus));
+  } else if (family == "complete-cn") {
+    net = std::make_unique<SuperIpg>(make_complete_cn(levels, nucleus));
+  } else if (family == "sfn") {
+    net = std::make_unique<SuperIpg>(make_sfn(levels, nucleus));
+  } else if (family == "rcc") {
+    net = std::make_unique<SuperIpg>(make_rcc(levels, nucleus));
+  } else if (family == "hcn") {
+    net = std::make_unique<SuperIpg>(make_hsn(2, nucleus));
+  } else {
+    std::cerr << "unknown family: " << family << '\n';
+    return 1;
+  }
+
+  const Graph g = net->to_graph();
+  const Clustering chips = base_nucleus_clustering(*net);
+  const auto census = census_links(g, chips);
+  const bool small = g.num_nodes() <= 100'000;
+  const auto stats = ipg::metrics::distance_stats(g, small ? 0 : 32);
+  const auto ic = ipg::metrics::intercluster_stats(g, chips, small ? 0 : 32);
+
+  ipg::util::Table t(net->name());
+  t.header({"metric", "value"});
+  t.add("nodes", net->num_nodes());
+  t.add("generators / node", net->num_generators());
+  t.add("max degree", g.max_degree());
+  t.add("edges", g.num_edges());
+  t.add("chips (base nuclei)", chips.num_clusters());
+  t.add("off-chip links per node", census.avg_offchip_per_node);
+  t.add("diameter", stats.diameter);
+  t.add("average distance", stats.average);
+  t.add("intercluster diameter", ic.diameter);
+  t.add("average intercluster distance", ic.average);
+  if (net->levels() <= 7 && !net->nucleus().as_super_ipg()) {
+    const auto words = ipg::metrics::analyze_supergen_words(*net);
+    t.add("t (Thm 4.1)", words.t_visit_all);
+    t.add("t_S (Thm 4.3, symmetric)", words.t_symmetric);
+  }
+  t.print(std::cout);
+
+  if (argc >= 5 && std::string(argv[4]) == "--dot") {
+    if (g.num_nodes() <= 2000) {
+      std::cout << '\n' << to_dot(g, &chips);
+    } else {
+      std::cerr << "(graph too large for DOT output)\n";
+    }
+  }
+  return 0;
+}

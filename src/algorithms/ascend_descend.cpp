@@ -1,0 +1,142 @@
+#include "algorithms/ascend_descend.hpp"
+
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ipg::algorithms {
+
+using topology::Arrangement;
+using topology::Nucleus;
+
+std::size_t AscendPlan::super_steps() const noexcept {
+  std::size_t c = 0;
+  for (const auto& i : items) c += i.kind == PlanItem::Kind::kSuper ? 1 : 0;
+  return c;
+}
+
+std::size_t AscendPlan::base_dim_steps() const noexcept {
+  return items.size() - super_steps();
+}
+
+namespace {
+
+/// Bits spanned by one vertex of @p nuc (log2 of its node count).
+std::size_t nucleus_bits(const Nucleus& nuc) {
+  IPG_CHECK(util::is_pow2(nuc.num_nodes()),
+            "ascend/descend requires power-of-two nucleus sizes (paper's assumption)");
+  return util::exact_log2(nuc.num_nodes());
+}
+
+/// Emits the nucleus-internal pass covering original bits
+/// [bit_base, bit_base + bits(nuc)), clipped to [bit_lo, bit_hi).
+/// Recursive families emit their own super steps (which are nucleus
+/// generators — hence on-chip or mid-level — of the outer graph).
+void emit_nucleus_pass(const Nucleus& nuc, bool descend, std::size_t bit_base,
+                       std::size_t bit_lo, std::size_t bit_hi,
+                       std::vector<PlanItem>& items);
+
+/// Emits the full Theorem 3.5 pass for @p ipg, whose addresses start at
+/// original bit @p bit_base.
+void emit_super_ipg_pass(const SuperIpg& ipg, bool descend, std::size_t bit_base,
+                         std::size_t bit_lo, std::size_t bit_hi,
+                         std::vector<PlanItem>& items,
+                         bool restore_order = true) {
+  const std::size_t l = ipg.levels();
+  const std::size_t level_bits = nucleus_bits(ipg.nucleus());
+
+  Arrangement arr(l);
+  std::iota(arr.begin(), arr.end(), std::uint8_t{0});
+  const Arrangement identity = arr;
+
+  IPG_CHECK(!descend, "descend plans are built by reversing the ascend plan");
+  bool touched = false;
+  for (std::size_t level = 0; level < l; ++level) {
+    const std::size_t lo = bit_base + level * level_bits;
+    const std::size_t hi = lo + level_bits;
+    if (hi <= bit_lo || lo >= bit_hi) continue;  // level fully outside range
+    // A level whose nucleus pass is empty (all its dimensions clipped)
+    // needs no super steps either.
+    std::vector<PlanItem> nucleus_items;
+    emit_nucleus_pass(ipg.nucleus(), descend, lo, bit_lo, bit_hi, nucleus_items);
+    if (nucleus_items.empty()) continue;
+    touched = true;
+    if (arr[0] != level) {
+      for (const std::size_t s :
+           ipg.word_to_front(arr, static_cast<std::uint8_t>(level))) {
+        items.push_back({PlanItem::Kind::kSuper, ipg.num_nucleus_generators() + s});
+        arr = ipg.apply_to_arrangement(arr, s);
+      }
+    }
+    items.insert(items.end(), nucleus_items.begin(), nucleus_items.end());
+  }
+  if (restore_order && touched && arr != identity) {
+    for (const std::size_t s : ipg.word_to_arrangement(arr, identity)) {
+      items.push_back({PlanItem::Kind::kSuper, ipg.num_nucleus_generators() + s});
+      arr = ipg.apply_to_arrangement(arr, s);
+    }
+  }
+}
+
+void emit_nucleus_pass(const Nucleus& nuc, bool descend, std::size_t bit_base,
+                       std::size_t bit_lo, std::size_t bit_hi,
+                       std::vector<PlanItem>& items) {
+  if (const SuperIpg* inner = nuc.as_super_ipg()) {
+    emit_super_ipg_pass(*inner, descend, bit_base, bit_lo, bit_hi, items);
+    return;
+  }
+  IPG_CHECK(nuc.num_dimensions() > 0,
+            "base nucleus must be dimensionizable for ascend/descend");
+  struct Dim {
+    std::size_t d, lo, hi;
+  };
+  std::vector<Dim> dims;
+  std::size_t bit = bit_base;
+  for (std::size_t d = 0; d < nuc.num_dimensions(); ++d) {
+    const std::size_t radix = nuc.radix(d);
+    IPG_CHECK(util::is_pow2(radix), "ascend/descend requires power-of-two radices");
+    const std::size_t width = util::exact_log2(radix);
+    dims.push_back({d, bit, bit + width});
+    bit += width;
+  }
+  if (descend) std::reverse(dims.begin(), dims.end());
+  for (const Dim& dim : dims) {
+    if (dim.hi <= bit_lo || dim.lo >= bit_hi) continue;
+    items.push_back({PlanItem::Kind::kBaseDim, dim.d});
+  }
+}
+
+}  // namespace
+
+AscendPlan build_ascend_plan(const SuperIpg& ipg, bool descend,
+                             std::size_t bit_lo, std::size_t bit_hi,
+                             bool restore_order) {
+  // Dropping the restore word only composes with ascend order: a descend
+  // plan is the reversal of a *closed* (identity-to-identity) ascend walk.
+  IPG_CHECK(restore_order || !descend,
+            "restore_order=false requires an ascend plan");
+  AscendPlan plan;
+  emit_super_ipg_pass(ipg, /*descend=*/false, 0, bit_lo, bit_hi, plan.items,
+                      restore_order);
+  if (descend) {
+    // A descend pass is the exact reverse of the ascend pass: reversing the
+    // item order visits bits high-to-low, and inverting each super step
+    // walks the arrangement trajectory backwards (identity to identity), so
+    // counts match the ascend plan step for step.
+    std::reverse(plan.items.begin(), plan.items.end());
+    for (PlanItem& item : plan.items) {
+      if (item.kind == PlanItem::Kind::kSuper) {
+        item.index = ipg.inverse_generator(item.index);
+      }
+    }
+  }
+  return plan;
+}
+
+std::size_t address_bits(const SuperIpg& ipg) {
+  IPG_CHECK(util::is_pow2(ipg.num_nodes()), "node count must be a power of two");
+  return util::exact_log2(ipg.num_nodes());
+}
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,103 @@
+#pragma once
+// Ascend/descend algorithm plans for super-IPGs (Theorem 3.5, Corollaries
+// 3.6/3.7).
+//
+// An ascend algorithm operates on N = 2^D data items, visiting address
+// bits 0..D-1 in order (descend: D-1..0); the operation at bit b combines
+// the items whose addresses differ in bit b. On a super-IPG the plan of
+// Theorem 3.5 performs, per super-symbol level, a nucleus-internal ascend
+// (one communication step per nucleus dimension) bracketed by
+// super-generator steps that bring the level's super-symbol to the
+// leftmost position, and ends by restoring the super-symbol order.
+//
+// Plans are sequences of machine steps; executing a plan with a group
+// operation on a SuperIpgMachine both computes the algorithm *and* yields
+// the paper's communication-step counts:
+//   CN(l, Q_k):           l(k+1)              (Cor 3.6)
+//   HSN/SFN/RCC(l, Q_k):  l(k+2) - 2          (Cor 3.6)
+//   CN(l, GHC):           l(n+1) comm, l*sum(m_i - 1) compute (Cor 3.7)
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "emulation/machine.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::algorithms {
+
+using emulation::HpnMachine;
+using emulation::StepCounts;
+using emulation::SuperIpgMachine;
+using topology::SuperIpg;
+
+struct PlanItem {
+  enum class Kind : std::uint8_t { kSuper, kBaseDim };
+  Kind kind;
+  std::size_t index;  ///< generator index (kSuper) or base dimension (kBaseDim)
+};
+
+struct AscendPlan {
+  std::vector<PlanItem> items;
+
+  std::size_t comm_steps() const noexcept { return items.size(); }
+  std::size_t super_steps() const noexcept;     ///< off-chip generator steps
+  std::size_t base_dim_steps() const noexcept;  ///< on-chip dimension steps
+};
+
+/// Builds the Theorem 3.5 plan. @p bit_lo / @p bit_hi restrict the pass to
+/// original-address bits in [bit_lo, bit_hi) — levels and base dimensions
+/// entirely outside the range are skipped (used by bitonic phases and DNS
+/// matrix multiplication). Requires every base radix to be a power of two.
+///
+/// @p restore_order: when false, the final super-generator word that puts
+/// the super-symbols back in seed order is dropped — §3.2's "if reordering
+/// of the results is not required, the number of communication steps can
+/// be further reduced". Results are then addressed by origin (the machine
+/// tracks where every item went), but items are not at their home nodes.
+AscendPlan build_ascend_plan(
+    const SuperIpg& ipg, bool descend = false, std::size_t bit_lo = 0,
+    std::size_t bit_hi = std::numeric_limits<std::size_t>::max(),
+    bool restore_order = true);
+
+/// Number of address bits an item of this super-IPG carries (log2 N).
+std::size_t address_bits(const SuperIpg& ipg);
+
+/// Runs @p plan on @p machine, applying @p op at every base-dimension step.
+template <typename T, typename Op>
+void run_plan(SuperIpgMachine<T>& machine, const AscendPlan& plan, Op&& op) {
+  for (const PlanItem& item : plan.items) {
+    if (item.kind == PlanItem::Kind::kSuper) {
+      machine.step_generator(item.index);
+    } else {
+      machine.step_base_dimension(item.index, op);
+    }
+  }
+}
+
+/// Baseline: the same pass on an HPN machine (e.g. a hypercube), visiting
+/// (level, dim) pairs in ascending or descending bit order within
+/// [bit_lo, bit_hi).
+template <typename T, typename Op>
+void run_hpn_pass(HpnMachine<T>& machine, const topology::Hpn& hpn,
+                  bool descend, Op&& op, std::size_t bit_lo = 0,
+                  std::size_t bit_hi = std::numeric_limits<std::size_t>::max()) {
+  struct Step {
+    std::size_t level, dim, bit;
+  };
+  std::vector<Step> steps;
+  std::size_t bit = 0;
+  for (std::size_t level = 0; level < hpn.power(); ++level) {
+    for (std::size_t d = 0; d < hpn.factor().num_dimensions(); ++d) {
+      const std::size_t radix = hpn.factor().radix(d);
+      std::size_t width = 0;
+      while ((std::size_t{1} << width) < radix) ++width;
+      if (bit < bit_hi && bit + width > bit_lo) steps.push_back({level, d, bit});
+      bit += width;
+    }
+  }
+  if (descend) std::reverse(steps.begin(), steps.end());
+  for (const Step& s : steps) machine.step_dimension(s.level, s.dim, op);
+}
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,62 @@
+#include "algorithms/bitonic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ipg::algorithms {
+
+void bitonic_group_op(std::size_t phase_bit, std::span<const std::size_t> origs,
+                      std::span<double> values) {
+  IPG_DCHECK(origs.size() == 2, "bitonic sort needs radix-2 dimensions");
+  // Ascending iff bit `phase_bit` of the lower address is 0. phase_bit ==
+  // SIZE_MAX marks the final phase (always ascending).
+  const bool ascending =
+      phase_bit == static_cast<std::size_t>(-1) || ((origs[0] >> phase_bit) & 1u) == 0;
+  const bool swap = ascending ? values[0] > values[1] : values[0] < values[1];
+  if (swap) std::swap(values[0], values[1]);
+}
+
+SortRun bitonic_sort_on_super_ipg(const topology::SuperIpg& ipg,
+                                  const std::vector<double>& input) {
+  IPG_CHECK(input.size() == ipg.num_nodes(), "one key per node");
+  SuperIpgMachine<double> machine(ipg, input);
+  const std::size_t bits = address_bits(ipg);
+  for (std::size_t k = 1; k <= bits; ++k) {
+    const std::size_t phase_bit = k == bits ? static_cast<std::size_t>(-1) : k;
+    const AscendPlan plan = build_ascend_plan(ipg, /*descend=*/true, 0, k);
+    run_plan(machine, plan,
+             [phase_bit](std::span<const std::size_t> origs,
+                         std::span<double> values) {
+               bitonic_group_op(phase_bit, origs, values);
+             });
+  }
+  SortRun run;
+  run.output = machine.values_by_origin();
+  run.counts = machine.counts();
+  return run;
+}
+
+SortRun bitonic_sort_on_hpn(const topology::Hpn& hpn,
+                            const topology::Clustering& chips,
+                            const std::vector<double>& input) {
+  IPG_CHECK(input.size() == hpn.num_nodes(), "one key per node");
+  HpnMachine<double> machine(hpn, chips, input);
+  std::size_t bits = 0;
+  for (std::size_t n = 1; n < hpn.num_nodes(); n <<= 1) ++bits;
+  for (std::size_t k = 1; k <= bits; ++k) {
+    const std::size_t phase_bit = k == bits ? static_cast<std::size_t>(-1) : k;
+    run_hpn_pass(machine, hpn, /*descend=*/true,
+                 [phase_bit](std::span<const std::size_t> origs,
+                             std::span<double> values) {
+                   bitonic_group_op(phase_bit, origs, values);
+                 },
+                 0, k);
+  }
+  SortRun run;
+  run.output = machine.values_by_origin();
+  run.counts = machine.counts();
+  return run;
+}
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,37 @@
+#pragma once
+// Bitonic sort as a sequence of descend passes (§3.2).
+//
+// Batcher's bitonic sort runs log2 N merge phases; phase p (block size
+// 2^p) is a descend pass over bits p-1..0 where the compare-exchange
+// direction of a pair is given by bit p of the lower address. Each phase
+// maps onto a bit-restricted Theorem 3.5 descend plan, so the whole sort
+// runs on a super-IPG with the machine counting every communication step.
+
+#include <vector>
+
+#include "algorithms/ascend_descend.hpp"
+
+namespace ipg::algorithms {
+
+struct SortRun {
+  std::vector<double> output;
+  StepCounts counts;
+};
+
+/// Sorts |ipg| values ascending on the super-IPG. Requires radix-2 base
+/// dimensions (hypercube-family nuclei).
+SortRun bitonic_sort_on_super_ipg(const topology::SuperIpg& ipg,
+                                  const std::vector<double>& input);
+
+/// Baseline on a hypercube HPN.
+SortRun bitonic_sort_on_hpn(const topology::Hpn& hpn,
+                            const topology::Clustering& chips,
+                            const std::vector<double>& input);
+
+/// The compare-exchange group operation for merge phase @p phase_bit
+/// (block size 2^(phase_bit+1) ... i.e. direction from that bit), exposed
+/// for tests.
+void bitonic_group_op(std::size_t phase_bit, std::span<const std::size_t> origs,
+                      std::span<double> values);
+
+}  // namespace ipg::algorithms

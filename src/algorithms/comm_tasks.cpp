@@ -1,0 +1,74 @@
+#include "algorithms/comm_tasks.hpp"
+
+#include <cmath>
+
+#include "emulation/allport.hpp"
+#include "metrics/distances.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ipg::algorithms {
+
+double mnb_steps_hypercube(unsigned n) {
+  const double num_nodes = std::pow(2.0, n);
+  return std::ceil((num_nodes - 1) / n);
+}
+
+double te_steps_hypercube(unsigned n) {
+  // Johnsson & Ho: all-port total exchange on Q_n finishes in N/2 steps.
+  return std::pow(2.0, n) / 2.0;
+}
+
+namespace {
+
+/// Super-IPG over Q_k with l levels emulates the (l*k)-cube; its own node
+/// count is 2^(l*k), and the emulation slowdown is max(2k, l+1).
+std::pair<unsigned, std::size_t> emulated_cube(const topology::SuperIpg& ipg) {
+  IPG_CHECK(util::is_pow2(ipg.nucleus_size()),
+            "emulated-cube analysis needs a power-of-two nucleus");
+  const auto k = static_cast<unsigned>(util::exact_log2(ipg.nucleus_size()));
+  // The hypercube emulation uses k dimensions per level even if the
+  // nucleus has extra generators (e.g. folded hypercubes).
+  const std::size_t slowdown =
+      emulation::allport_bound(ipg.levels(), ipg.num_nucleus_generators());
+  return {static_cast<unsigned>(k * ipg.levels()), slowdown};
+}
+
+}  // namespace
+
+double mnb_steps_super_ipg(const topology::SuperIpg& ipg) {
+  const auto [dims, slowdown] = emulated_cube(ipg);
+  return mnb_steps_hypercube(dims) * static_cast<double>(slowdown);
+}
+
+double te_steps_super_ipg(const topology::SuperIpg& ipg) {
+  const auto [dims, slowdown] = emulated_cube(ipg);
+  return te_steps_hypercube(dims) * static_cast<double>(slowdown);
+}
+
+double pattern_offchip_hops(
+    const topology::Graph& g, const topology::Clustering& chips,
+    const std::function<topology::NodeId(topology::NodeId)>& pattern) {
+  double total = 0;
+  for (topology::NodeId src = 0; src < g.num_nodes(); ++src) {
+    const topology::NodeId dst = pattern(src);
+    if (dst == src) continue;
+    const auto dist = metrics::intercluster_distances(g, chips, src);
+    total += dist[dst];
+  }
+  return total / static_cast<double>(g.num_nodes());
+}
+
+OffchipCounts offchip_counts(const topology::Graph& g,
+                             const topology::Clustering& chips,
+                             std::size_t sample_sources) {
+  const auto stats = metrics::intercluster_stats(g, chips, sample_sources);
+  OffchipCounts out;
+  out.avg_intercluster_distance = stats.average;
+  out.te_offchip_transmissions = stats.average *
+                                 static_cast<double>(g.num_nodes()) *
+                                 static_cast<double>(g.num_nodes());
+  return out;
+}
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,55 @@
+#pragma once
+// Communication-intensive task analyses: multinode broadcast (MNB), total
+// exchange (TE), and random routing (§3.3, Corollaries 3.10/3.11; §4.1).
+//
+// MNB/TE completion times follow the paper's derivation: the optimal
+// hypercube algorithms take Theta(N/log N) and Theta(N) steps under
+// all-port communication; a super-IPG emulates them with slowdown
+// max(2n, l+1) (Theorem 3.8). Off-chip transmission counts come from exact
+// average intercluster distances: a task that routes every (ordered) pair
+// once — TE — makes N^2 * avg_intercluster_distance off-chip transmissions,
+// which is Theta(N^2) on super-IPGs with l = O(1) against
+// Theta(N^2 log N) on hypercubes (§3.3 end).
+
+#include <cstddef>
+#include <functional>
+
+#include "topology/graph.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::algorithms {
+
+/// Completion time (communication steps, all-port) of the optimal
+/// multinode broadcast on an n-cube: ceil((N-1)/n).
+double mnb_steps_hypercube(unsigned n);
+
+/// Completion time of the optimal total exchange on an n-cube:
+/// N/2 transmission steps per dimension pair ~ Theta(N) = N * n / (2n)
+/// ... the standard bound: TE takes N/2 steps on an n-cube (all-port).
+double te_steps_hypercube(unsigned n);
+
+/// Emulated completion times on a super-IPG over an n-dimensional
+/// hypercube nucleus: hypercube time x max(2n, l+1) (Theorem 3.8 applied
+/// to the (l*n)-cube the super-IPG emulates).
+double mnb_steps_super_ipg(const topology::SuperIpg& ipg);
+double te_steps_super_ipg(const topology::SuperIpg& ipg);
+
+struct OffchipCounts {
+  double avg_intercluster_distance = 0;  ///< expected off-chip hops per packet
+  double te_offchip_transmissions = 0;   ///< N^2 * avg
+};
+
+/// Exact off-chip accounting for uniformly-random routing / TE on any
+/// clustered graph (0-1 BFS; sampled sources for vertex-transitive graphs).
+OffchipCounts offchip_counts(const topology::Graph& g,
+                             const topology::Clustering& chips,
+                             std::size_t sample_sources = 0);
+
+/// Off-chip hops for a fixed permutation pattern (e.g. matrix
+/// transposition, §1's task list): the average over sources of the minimum
+/// intercluster distance to pattern(src). Exact (one 0-1 BFS per source).
+double pattern_offchip_hops(const topology::Graph& g,
+                            const topology::Clustering& chips,
+                            const std::function<topology::NodeId(topology::NodeId)>& pattern);
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,88 @@
+#include "algorithms/fft.hpp"
+
+#include <numbers>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ipg::algorithms {
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      acc += x[j] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void fft_group_op(std::span<const std::size_t> origs, std::span<Complex> values) {
+  const std::size_t m = origs.size();
+  IPG_DCHECK(util::is_pow2(m) && m >= 2, "butterfly group must be a power of two");
+  // Base bit of the digit this group spans: adjacent origins differ by 2^B.
+  const auto base_bit = util::exact_log2(origs[1] - origs[0]);
+  std::size_t width = util::exact_log2(m);
+  for (std::size_t bb = 0; bb < width; ++bb) {
+    const std::size_t stride = std::size_t{1} << bb;
+    const std::size_t span = stride << 1;
+    const std::size_t global_bit = base_bit + bb;
+    for (std::size_t blk = 0; blk < m; blk += span) {
+      for (std::size_t s = blk; s < blk + stride; ++s) {
+        const std::size_t k = origs[s] & ((std::size_t{1} << global_bit) - 1);
+        const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                             static_cast<double>(std::size_t{1} << (global_bit + 1));
+        const Complex w{std::cos(angle), std::sin(angle)};
+        const Complex t = w * values[s + stride];
+        const Complex u = values[s];
+        values[s] = u + t;
+        values[s + stride] = u - t;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<Complex> bit_reversed(const std::vector<Complex>& input) {
+  const std::size_t n = input.size();
+  IPG_CHECK(util::is_pow2(n), "FFT length must be a power of two");
+  const unsigned bits = util::exact_log2(n);
+  std::vector<Complex> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = input[util::bit_reverse(i, bits)];
+  }
+  return out;
+}
+
+}  // namespace
+
+FftRun fft_on_super_ipg(const topology::SuperIpg& ipg,
+                        const std::vector<Complex>& input) {
+  IPG_CHECK(input.size() == ipg.num_nodes(), "one input point per node");
+  SuperIpgMachine<Complex> machine(ipg, bit_reversed(input));
+  const AscendPlan plan = build_ascend_plan(ipg);
+  run_plan(machine, plan, fft_group_op);
+  FftRun run;
+  run.output = machine.values_by_origin();
+  run.counts = machine.counts();
+  return run;
+}
+
+FftRun fft_on_hpn(const topology::Hpn& hpn, const topology::Clustering& chips,
+                  const std::vector<Complex>& input) {
+  IPG_CHECK(input.size() == hpn.num_nodes(), "one input point per node");
+  HpnMachine<Complex> machine(hpn, chips, bit_reversed(input));
+  run_hpn_pass(machine, hpn, /*descend=*/false, fft_group_op);
+  FftRun run;
+  run.output = machine.values_by_origin();
+  run.counts = machine.counts();
+  return run;
+}
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,41 @@
+#pragma once
+// Fast Fourier transform as an ascend algorithm (§3.2).
+//
+// The decimation-in-time FFT loads the input in bit-reversed order and
+// performs one butterfly stage per address bit, ascending — exactly the
+// ascend pattern of Theorem 3.5. Running it through a SuperIpgMachine
+// yields both the transform and the paper's communication-step counts;
+// running it on an HpnMachine over a hypercube gives the baseline.
+
+#include <complex>
+#include <vector>
+
+#include "algorithms/ascend_descend.hpp"
+#include "topology/hpn.hpp"
+
+namespace ipg::algorithms {
+
+using Complex = std::complex<double>;
+
+/// O(N^2) reference DFT (forward, no normalization) for verification.
+std::vector<Complex> dft_reference(const std::vector<Complex>& x);
+
+/// The butterfly group operation: works for any power-of-two group size by
+/// applying the binary sub-stages in ascending bit order; twiddles are
+/// derived from the items' original addresses alone.
+void fft_group_op(std::span<const std::size_t> origs, std::span<Complex> values);
+
+struct FftRun {
+  std::vector<Complex> output;  ///< X[k], indexed by k
+  StepCounts counts;
+};
+
+/// FFT of |ipg| points executed on the super-IPG via the Theorem 3.5 plan.
+FftRun fft_on_super_ipg(const topology::SuperIpg& ipg,
+                        const std::vector<Complex>& input);
+
+/// Baseline FFT on the hypercube HPN(p, Q_k) with the given chip partition.
+FftRun fft_on_hpn(const topology::Hpn& hpn, const topology::Clustering& chips,
+                  const std::vector<Complex>& input);
+
+}  // namespace ipg::algorithms

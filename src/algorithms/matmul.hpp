@@ -1,0 +1,35 @@
+#pragma once
+// Dekel–Nassimi–Sahni matrix multiplication on N = n^3 nodes (§3.2 lists
+// matrix multiplication among the ascend/descend applications).
+//
+// Node address bits split into three q-bit axes (n = 2^q): k (low), j
+// (middle), i (high). A(i,j) starts at node (i,j,0) and B(j,k) at node
+// (0,j,k); the algorithm broadcasts A along the k axis and B along the i
+// axis (ascend passes with a copy operation), multiplies locally, and
+// all-reduces along the j axis (ascend with addition). Each pass is a
+// bit-range-restricted Theorem 3.5 plan, so the whole computation runs on
+// a super-IPG with full communication-step accounting.
+
+#include <vector>
+
+#include "algorithms/ascend_descend.hpp"
+
+namespace ipg::algorithms {
+
+struct MatmulRun {
+  /// C = A * B, row-major n x n.
+  std::vector<double> c;
+  StepCounts counts;
+};
+
+/// Multiplies two n x n matrices (row-major) on the super-IPG; requires
+/// |ipg| = n^3 with n a power of two and radix-2 base dimensions.
+MatmulRun dns_matmul_on_super_ipg(const topology::SuperIpg& ipg,
+                                  const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Reference O(n^3) multiply for verification.
+std::vector<double> matmul_reference(std::size_t n, const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace ipg::algorithms

@@ -1,0 +1,55 @@
+#pragma once
+// Parallel prefix (scan) as an ascend algorithm — another member of the
+// ascend/descend class of §3.2, included to exercise non-FFT operations.
+//
+// Each item carries (block_sum, prefix). At the stage for a digit, items
+// are ordered by original address; each item adds the block sums of all
+// lower items in the group to its prefix, and every item's block sum
+// becomes the group total. After the full ascend, prefix is the inclusive
+// prefix sum.
+
+#include <vector>
+
+#include "algorithms/ascend_descend.hpp"
+
+namespace ipg::algorithms {
+
+struct ScanCell {
+  double sum = 0;
+  double prefix = 0;
+};
+
+inline void scan_group_op(std::span<const std::size_t> /*origs*/,
+                          std::span<ScanCell> values) {
+  double below = 0, total = 0;
+  for (const ScanCell& c : values) total += c.sum;
+  for (ScanCell& c : values) {
+    c.prefix += below;
+    below += c.sum;
+    c.sum = total;
+  }
+}
+
+struct ScanRun {
+  std::vector<double> prefix;  ///< inclusive prefix sums by original index
+  StepCounts counts;
+};
+
+inline ScanRun prefix_sum_on_super_ipg(const topology::SuperIpg& ipg,
+                                       const std::vector<double>& input) {
+  IPG_CHECK(input.size() == ipg.num_nodes(), "one value per node");
+  std::vector<ScanCell> init(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) init[i] = {input[i], input[i]};
+  SuperIpgMachine<ScanCell> machine(ipg, std::move(init));
+  run_plan(machine, build_ascend_plan(ipg), scan_group_op);
+  ScanRun run;
+  const auto by_origin = machine.values_by_origin();
+  run.prefix.resize(by_origin.size());
+  for (std::size_t i = 0; i < by_origin.size(); ++i) {
+    run.prefix[i] = by_origin[i].prefix;
+  }
+  run.counts = machine.counts();
+  return run;
+}
+
+}  // namespace ipg::algorithms

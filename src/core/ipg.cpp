@@ -1,0 +1,75 @@
+#include "core/ipg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace ipg::core {
+
+bool Ipg::is_undirected() const {
+  for (const auto& g : generators) {
+    const Permutation inv = g.inverse();
+    if (std::find(generators.begin(), generators.end(), inv) == generators.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Ipg::num_edges() const {
+  std::size_t directed = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const NodeId u : neighbor[v]) {
+      if (u != v) ++directed;  // skip generator self-loops
+    }
+  }
+  // Every undirected edge is counted once per direction. A generator pair
+  // (g, g^-1) produces both directions; an involution produces both too.
+  return directed / 2;
+}
+
+Ipg build_ipg(const Label& seed, std::vector<Permutation> generators,
+              std::size_t max_nodes) {
+  IPG_CHECK(!generators.empty(), "an IPG needs at least one generator");
+  for (const auto& g : generators) {
+    IPG_CHECK(g.size() == seed.size(),
+              "generator size must equal seed label length");
+  }
+
+  Ipg ipg;
+  ipg.generators = std::move(generators);
+  ipg.labels.push_back(seed);
+  ipg.index.emplace(seed, NodeId{0});
+
+  std::deque<NodeId> frontier{0};
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    if (ipg.neighbor.size() <= v) ipg.neighbor.resize(v + 1);
+    ipg.neighbor[v].resize(ipg.num_generators());
+    const Label here = ipg.labels[v];  // copy: labels vector may reallocate
+    for (std::size_t g = 0; g < ipg.num_generators(); ++g) {
+      const Label next = here.apply(ipg.generators[g]);
+      auto [it, inserted] = ipg.index.try_emplace(next, static_cast<NodeId>(ipg.labels.size()));
+      if (inserted) {
+        IPG_CHECK(ipg.labels.size() < max_nodes,
+                  "IPG closure exceeded max_nodes — orbit larger than expected");
+        ipg.labels.push_back(next);
+        frontier.push_back(it->second);
+      }
+      ipg.neighbor[v][g] = it->second;
+    }
+  }
+  ipg.neighbor.resize(ipg.num_nodes());
+  return ipg;
+}
+
+Ipg section2_example() {
+  return build_ipg(Label::from_string("123321"),
+                   {Permutation::from_digits("213456"),
+                    Permutation::from_digits("321456"),
+                    Permutation::from_digits("456123")});
+}
+
+}  // namespace ipg::core

@@ -1,0 +1,113 @@
+#pragma once
+// Node labels for the generic IPG engine.
+//
+// An IPG vertex *is* its label: a fixed-length string of symbols in which
+// repeats are allowed (this is the extension over Cayley graphs, §2). The
+// generic engine only needs labels for moderate sizes — the paper's largest
+// verbatim example uses 32 symbols — so Label uses inline storage with no
+// heap allocation, making BFS closure and hashing fast.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/permutation.hpp"
+#include "util/check.hpp"
+
+namespace ipg::core {
+
+class Label {
+ public:
+  using Symbol = std::uint8_t;
+  static constexpr std::size_t kMaxSymbols = 48;
+
+  Label() = default;
+
+  explicit Label(std::span<const Symbol> symbols) : size_(symbols.size()) {
+    IPG_CHECK(symbols.size() <= kMaxSymbols, "label too long for inline storage");
+    std::copy(symbols.begin(), symbols.end(), data_.begin());
+  }
+
+  /// Parses "123321" (digits become symbol values 1..9) or any string whose
+  /// characters are used as raw symbol values if non-digit. Spaces are
+  /// skipped so paper notation like "01 01 01" round-trips.
+  static Label from_string(std::string_view text) {
+    std::array<Symbol, kMaxSymbols> buf{};
+    std::size_t n = 0;
+    for (const char c : text) {
+      if (c == ' ') continue;
+      IPG_CHECK(n < kMaxSymbols, "label too long for inline storage");
+      buf[n++] = (c >= '0' && c <= '9') ? static_cast<Symbol>(c - '0')
+                                        : static_cast<Symbol>(c);
+    }
+    return Label(std::span<const Symbol>(buf.data(), n));
+  }
+
+  /// Concatenates @p copies copies of @p group — the super-IPG seed shape.
+  static Label repeated(const Label& group, std::size_t copies) {
+    IPG_CHECK(group.size() * copies <= kMaxSymbols, "label too long for inline storage");
+    Label out;
+    out.size_ = group.size() * copies;
+    for (std::size_t c = 0; c < copies; ++c) {
+      std::copy(group.begin(), group.end(),
+                out.data_.begin() + static_cast<std::ptrdiff_t>(c * group.size()));
+    }
+    return out;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  Symbol operator[](std::size_t i) const noexcept { return data_[i]; }
+  const Symbol* begin() const noexcept { return data_.data(); }
+  const Symbol* end() const noexcept { return data_.data() + size_; }
+  std::span<const Symbol> symbols() const noexcept { return {data_.data(), size_}; }
+
+  /// Applies a permutation generator: result[i] = (*this)[perm[i]].
+  Label apply(const Permutation& perm) const {
+    IPG_DCHECK(perm.size() == size_, "permutation size must match label size");
+    Label out;
+    out.size_ = size_;
+    for (std::size_t i = 0; i < size_; ++i) out.data_[i] = data_[perm[i]];
+    return out;
+  }
+
+  /// Digits-and-spaces rendering grouped every @p group symbols (0 = none).
+  std::string to_string(std::size_t group = 0) const {
+    std::string s;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (group != 0 && i != 0 && i % group == 0) s += ' ';
+      s += static_cast<char>('0' + data_[i]);
+    }
+    return s;
+  }
+
+  friend bool operator==(const Label& a, const Label& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    return std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  /// FNV-1a over the symbol bytes; labels are short, so this is fast and
+  /// collision behaviour is irrelevant at these sizes.
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size_; ++i) {
+      h = (h ^ data_[i]) * 0x100000001b3ull;
+    }
+    h ^= size_;
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::array<Symbol, kMaxSymbols> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipg::core
+
+template <>
+struct std::hash<ipg::core::Label> {
+  std::size_t operator()(const ipg::core::Label& l) const noexcept { return l.hash(); }
+};

@@ -1,0 +1,114 @@
+#include "core/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ipg::core {
+
+Permutation::Permutation(std::vector<Pos> one_line) : map_(std::move(one_line)) {
+  std::vector<bool> seen(map_.size(), false);
+  for (const Pos p : map_) {
+    IPG_CHECK(p < map_.size(), "position out of range in one-line notation");
+    IPG_CHECK(!seen[p], "duplicate position in one-line notation");
+    seen[p] = true;
+  }
+}
+
+Permutation Permutation::identity(std::size_t n) {
+  std::vector<Pos> m(n);
+  std::iota(m.begin(), m.end(), Pos{0});
+  return Permutation(std::move(m));
+}
+
+Permutation Permutation::transposition(std::size_t n, std::size_t i, std::size_t j) {
+  IPG_CHECK(i < n && j < n && i != j, "transposition positions must be distinct and < n");
+  std::vector<Pos> m(n);
+  std::iota(m.begin(), m.end(), Pos{0});
+  std::swap(m[i], m[j]);
+  return Permutation(std::move(m));
+}
+
+Permutation Permutation::rotation(std::size_t n, std::size_t shift) {
+  IPG_CHECK(n > 0, "rotation on empty domain");
+  std::vector<Pos> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = static_cast<Pos>((i + shift) % n);
+  }
+  return Permutation(std::move(m));
+}
+
+Permutation Permutation::prefix_reversal(std::size_t n, std::size_t k) {
+  IPG_CHECK(k <= n, "prefix reversal length exceeds domain");
+  std::vector<Pos> m(n);
+  std::iota(m.begin(), m.end(), Pos{0});
+  std::reverse(m.begin(), m.begin() + static_cast<std::ptrdiff_t>(k));
+  return Permutation(std::move(m));
+}
+
+Permutation Permutation::from_digits(std::string_view digits) {
+  std::vector<Pos> m;
+  m.reserve(digits.size());
+  for (const char c : digits) {
+    IPG_CHECK(c >= '1' && c <= '9', "digit notation supports symbols 1..9");
+    m.push_back(static_cast<Pos>(c - '1'));
+  }
+  return Permutation(std::move(m));
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    if (map_[i] != i) return false;
+  }
+  return true;
+}
+
+bool Permutation::is_involution() const noexcept {
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    if (map_[map_[i]] != i) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::then(const Permutation& other) const {
+  IPG_CHECK(size() == other.size(), "composing permutations of different sizes");
+  // y = P(x): y[i] = x[p[i]];  z = Q(y): z[i] = y[q[i]] = x[p[q[i]]].
+  std::vector<Pos> m(size());
+  for (std::size_t i = 0; i < size(); ++i) m[i] = map_[other.map_[i]];
+  return Permutation(std::move(m));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Pos> m(size());
+  for (std::size_t i = 0; i < size(); ++i) m[map_[i]] = static_cast<Pos>(i);
+  return Permutation(std::move(m));
+}
+
+unsigned Permutation::order() const {
+  // lcm of cycle lengths.
+  std::vector<bool> seen(size(), false);
+  unsigned result = 1;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (seen[i]) continue;
+    unsigned len = 0;
+    for (std::size_t j = i; !seen[j]; j = map_[j]) {
+      seen[j] = true;
+      ++len;
+    }
+    result = std::lcm(result, len);
+  }
+  return result;
+}
+
+std::string Permutation::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) s += ' ';
+    s += std::to_string(map_[i]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace ipg::core

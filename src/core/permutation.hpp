@@ -1,0 +1,83 @@
+#pragma once
+// Permutations on symbol positions — the generators of the IPG model.
+//
+// A permutation is stored in one-line notation over 0-based positions:
+// applying P to a label X yields Y with Y[i] = X[P[i]]. This matches the
+// paper's convention, where the generator written 456123 maps
+// y1 y2 y3 y4 y5 y6 to y4 y5 y6 y1 y2 y3 (§2).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg::core {
+
+class Permutation {
+ public:
+  using Pos = std::uint16_t;
+
+  /// Constructs from a 0-based one-line map; throws std::invalid_argument
+  /// if @p one_line is not a permutation of {0, ..., n-1}.
+  explicit Permutation(std::vector<Pos> one_line);
+
+  /// Identity on n positions.
+  static Permutation identity(std::size_t n);
+
+  /// Transposition of positions i and j (0-based) on n positions.
+  static Permutation transposition(std::size_t n, std::size_t i, std::size_t j);
+
+  /// Left cyclic rotation by @p shift: result Y has Y[i] = X[(i+shift) mod n].
+  static Permutation rotation(std::size_t n, std::size_t shift);
+
+  /// Reversal of the first @p k positions (positions k..n-1 fixed).
+  static Permutation prefix_reversal(std::size_t n, std::size_t k);
+
+  /// Parses the paper's 1-based digit notation, e.g. "456123". Each
+  /// character must be a digit 1..9 (so n <= 9); used by tests and examples
+  /// that mirror the paper verbatim.
+  static Permutation from_digits(std::string_view digits);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  Pos operator[](std::size_t i) const noexcept { return map_[i]; }
+  std::span<const Pos> map() const noexcept { return map_; }
+
+  bool is_identity() const noexcept;
+
+  /// True iff P∘P = identity (self-inverse generators give undirected edges).
+  bool is_involution() const noexcept;
+
+  /// Composition "this then other": (a.then(b)).apply(x) == b.apply(a.apply(x)).
+  Permutation then(const Permutation& other) const;
+
+  Permutation inverse() const;
+
+  /// Multiplicative order: smallest k >= 1 with P^k = identity.
+  unsigned order() const;
+
+  /// Applies to an arbitrary symbol sequence: out[i] = in[map_[i]].
+  /// in and out must have size() elements and must not alias.
+  template <typename T>
+  void apply(std::span<const T> in, std::span<T> out) const {
+    for (std::size_t i = 0; i < map_.size(); ++i) out[i] = in[map_[i]];
+  }
+
+  /// Convenience that copies through a temporary.
+  template <typename T>
+  std::vector<T> apply_copy(const std::vector<T>& in) const {
+    std::vector<T> out(in.size());
+    apply(std::span<const T>(in), std::span<T>(out));
+    return out;
+  }
+
+  /// One-line rendering ("[3 4 5 0 1 2]") for diagnostics.
+  std::string to_string() const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+ private:
+  std::vector<Pos> map_;
+};
+
+}  // namespace ipg::core

@@ -1,0 +1,136 @@
+#include "core/super_generators.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ipg::core {
+
+namespace {
+
+/// Builds the permutation of l*m positions induced by a permutation of the
+/// l groups: group g of the result holds input group group_map[g].
+Permutation from_group_map(std::size_t m, const std::vector<std::size_t>& group_map) {
+  std::vector<Permutation::Pos> map(group_map.size() * m);
+  for (std::size_t g = 0; g < group_map.size(); ++g) {
+    for (std::size_t s = 0; s < m; ++s) {
+      map[g * m + s] = static_cast<Permutation::Pos>(group_map[g] * m + s);
+    }
+  }
+  return Permutation(std::move(map));
+}
+
+}  // namespace
+
+Permutation super_transposition(std::size_t l, std::size_t m, std::size_t i) {
+  IPG_CHECK(i >= 1 && i < l, "super-transposition index out of range");
+  std::vector<std::size_t> gm(l);
+  std::iota(gm.begin(), gm.end(), std::size_t{0});
+  std::swap(gm[0], gm[i]);
+  return from_group_map(m, gm);
+}
+
+Permutation super_cyclic_left(std::size_t l, std::size_t m, std::size_t i) {
+  IPG_CHECK(i >= 1 && i < l, "cyclic shift amount out of range");
+  std::vector<std::size_t> gm(l);
+  for (std::size_t g = 0; g < l; ++g) gm[g] = (g + i) % l;
+  return from_group_map(m, gm);
+}
+
+Permutation super_cyclic_right(std::size_t l, std::size_t m, std::size_t i) {
+  IPG_CHECK(i >= 1 && i < l, "cyclic shift amount out of range");
+  return super_cyclic_left(l, m, l - i);
+}
+
+Permutation super_flip(std::size_t l, std::size_t m, std::size_t i) {
+  IPG_CHECK(i >= 2 && i <= l, "flip prefix length out of range");
+  std::vector<std::size_t> gm(l);
+  std::iota(gm.begin(), gm.end(), std::size_t{0});
+  std::reverse(gm.begin(), gm.begin() + static_cast<std::ptrdiff_t>(i));
+  return from_group_map(m, gm);
+}
+
+Permutation lift_nucleus_generator(const Permutation& nucleus_gen, std::size_t l) {
+  const std::size_t m = nucleus_gen.size();
+  std::vector<Permutation::Pos> map(l * m);
+  for (std::size_t s = 0; s < m; ++s) map[s] = nucleus_gen[s];
+  for (std::size_t p = m; p < l * m; ++p) map[p] = static_cast<Permutation::Pos>(p);
+  return Permutation(std::move(map));
+}
+
+std::vector<Permutation> make_super_generators(SuperGenKind kind, std::size_t l,
+                                               std::size_t m) {
+  IPG_CHECK(l >= 2, "a super-IPG needs at least two super-symbols");
+  std::vector<Permutation> gens;
+  switch (kind) {
+    case SuperGenKind::kTranspositions:
+      for (std::size_t i = 1; i < l; ++i) gens.push_back(super_transposition(l, m, i));
+      break;
+    case SuperGenKind::kRingShifts:
+      gens.push_back(super_cyclic_left(l, m, 1));
+      if (l > 2) gens.push_back(super_cyclic_right(l, m, 1));
+      break;
+    case SuperGenKind::kCompleteShifts:
+      for (std::size_t i = 1; i < l; ++i) gens.push_back(super_cyclic_left(l, m, i));
+      break;
+    case SuperGenKind::kFlips:
+      for (std::size_t i = 2; i <= l; ++i) gens.push_back(super_flip(l, m, i));
+      break;
+  }
+  return gens;
+}
+
+Ipg build_generic_super_ipg(const Label& nucleus_seed,
+                            const std::vector<Permutation>& nucleus_generators,
+                            std::size_t levels, SuperGenKind kind,
+                            std::size_t max_nodes) {
+  const std::size_t m = nucleus_seed.size();
+  std::vector<Permutation> gens;
+  gens.reserve(nucleus_generators.size() + levels);
+  for (const auto& g : nucleus_generators) {
+    IPG_CHECK(g.size() == m, "nucleus generator size must match nucleus seed");
+    gens.push_back(lift_nucleus_generator(g, levels));
+  }
+  for (auto& g : make_super_generators(kind, levels, m)) gens.push_back(std::move(g));
+  return build_ipg(Label::repeated(nucleus_seed, levels), std::move(gens), max_nodes);
+}
+
+Label hypercube_seed(unsigned n) {
+  IPG_CHECK(n >= 1, "hypercube dimension must be positive");
+  return Label::repeated(Label::from_string("01"), n);
+}
+
+std::vector<Permutation> hypercube_generators(unsigned n) {
+  std::vector<Permutation> gens;
+  gens.reserve(n);
+  for (unsigned b = 0; b < n; ++b) {
+    gens.push_back(Permutation::transposition(2 * n, 2 * b, 2 * b + 1));
+  }
+  return gens;
+}
+
+Label complete_graph_seed(std::size_t m_nodes) {
+  IPG_CHECK(m_nodes >= 2 && m_nodes <= Label::kMaxSymbols,
+            "complete graph size out of encodable range");
+  std::vector<Label::Symbol> syms(m_nodes);
+  std::iota(syms.begin(), syms.end(), Label::Symbol{1});
+  return Label(std::span<const Label::Symbol>(syms));
+}
+
+std::vector<Permutation> complete_graph_generators(std::size_t m_nodes) {
+  std::vector<Permutation> gens;
+  gens.reserve(m_nodes - 1);
+  for (std::size_t i = 1; i < m_nodes; ++i) {
+    gens.push_back(Permutation::rotation(m_nodes, i));
+  }
+  return gens;
+}
+
+Label ring_seed(std::size_t m_nodes) { return complete_graph_seed(m_nodes); }
+
+std::vector<Permutation> ring_generators(std::size_t m_nodes) {
+  IPG_CHECK(m_nodes >= 3, "a ring needs at least three nodes");
+  return {Permutation::rotation(m_nodes, 1), Permutation::rotation(m_nodes, m_nodes - 1)};
+}
+
+}  // namespace ipg::core

@@ -1,0 +1,84 @@
+#pragma once
+// Builders for super-generators and generic super-IPG assembly (§2).
+//
+// A super-IPG's node label consists of l groups ("super-symbols") of m
+// symbols each. Its generators are
+//   - nucleus generators: arbitrary permutations of the leftmost group,
+//   - super-generators: permutations of whole groups that do not reorder
+//     symbols inside any group.
+// This header builds the three super-generator shapes used by the paper's
+// families (transpositions T_{i,m}, cyclic shifts L_{i,m}/R_{i,m}, flips
+// F_{i,m}) as position permutations on l*m symbols, lifts nucleus
+// generators to the full label length, and assembles complete generic
+// super-IPGs from a nucleus given in IPG form.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ipg.hpp"
+#include "core/label.hpp"
+#include "core/permutation.hpp"
+
+namespace ipg::core {
+
+/// T_{i+1,m} in the paper's 1-based notation: interchanges group 0 and
+/// group @p i (0-based here, so valid i is 1 .. l-1).
+Permutation super_transposition(std::size_t l, std::size_t m, std::size_t i);
+
+/// L_{i,m}: left cyclic shift of the l groups by @p i (result group g holds
+/// input group (g+i) mod l). Valid i is 1 .. l-1.
+Permutation super_cyclic_left(std::size_t l, std::size_t m, std::size_t i);
+
+/// R_{i,m} = L_{l-i,m}: right cyclic shift of the groups by @p i.
+Permutation super_cyclic_right(std::size_t l, std::size_t m, std::size_t i);
+
+/// F_{i,m}: reverses the order of the first @p i groups (i in 2 .. l).
+Permutation super_flip(std::size_t l, std::size_t m, std::size_t i);
+
+/// Extends a nucleus generator (acting on one m-symbol group) to act on the
+/// leftmost group of an l-group label, fixing all other positions.
+Permutation lift_nucleus_generator(const Permutation& nucleus_gen, std::size_t l);
+
+/// The kinds of super-generator sets used by the paper's families.
+enum class SuperGenKind {
+  kTranspositions,  ///< T_{2,m} .. T_{l,m}            -> HSN(l,G)
+  kRingShifts,      ///< L_{1,m} and R_{1,m}           -> ring-CN(l,G)
+  kCompleteShifts,  ///< L_{1,m} .. L_{l-1,m}          -> complete-CN(l,G)
+  kFlips,           ///< F_{2,m} .. F_{l,m}            -> SFN(l,G)
+};
+
+/// Builds the full super-generator set of the given kind for l groups of m
+/// symbols. Order matters: super-generator s (0-based) is the paper's
+/// index-(s+2) generator for transpositions/flips, and L_{s+1} for shifts.
+std::vector<Permutation> make_super_generators(SuperGenKind kind, std::size_t l,
+                                               std::size_t m);
+
+/// A nucleus in IPG form plus super-generator kind fully determines a
+/// generic super-IPG; this materializes it with build_ipg(). Generator
+/// order in the result: nucleus generators first (lifted), then
+/// super-generators in make_super_generators() order.
+Ipg build_generic_super_ipg(const Label& nucleus_seed,
+                            const std::vector<Permutation>& nucleus_generators,
+                            std::size_t levels, SuperGenKind kind,
+                            std::size_t max_nodes = 2'000'000);
+
+/// Hypercube Q_n in IPG form: bit b of a node is encoded by the symbol pair
+/// at positions (2b, 2b+1) being 01 (bit=0) or 10 (bit=1); the dimension-b
+/// generator transposes that pair. This is exactly the encoding behind the
+/// paper's "32-symbol seed 01 01 01 ... 01" for a 16-cube (§3.1).
+Label hypercube_seed(unsigned n);
+std::vector<Permutation> hypercube_generators(unsigned n);
+
+/// Complete graph K_M in IPG form: seed = 1 2 ... M (distinct symbols),
+/// generators = rotations by 1 .. M-1 — the Cayley graph of Z_M with every
+/// non-identity element as a generator, i.e. K_M. The M reachable labels
+/// are the M rotations of the seed and every pair is one rotation apart.
+Label complete_graph_seed(std::size_t m_nodes);
+std::vector<Permutation> complete_graph_generators(std::size_t m_nodes);
+
+/// Ring (cycle) C_M in IPG form: seed = 1 2 3 ... M (M distinct symbols),
+/// generators rotate left/right by one. The M rotations form C_M.
+Label ring_seed(std::size_t m_nodes);
+std::vector<Permutation> ring_generators(std::size_t m_nodes);
+
+}  // namespace ipg::core

@@ -1,0 +1,197 @@
+#include "emulation/allport.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::emulation {
+
+namespace {
+
+// Resource ids: 0..n-1 = N_k; n + (i-1) = S_i (levels i = 1..l-1);
+// when inverses are separate, n + (l-1) + (i-1) = S_i^{-1}.
+struct ResourceModel {
+  std::size_t l, n;
+  bool shared;
+  std::size_t count() const { return n + (shared ? 1 : 2) * (l - 1); }
+  std::size_t nucleus(std::size_t k) const { return k; }
+  std::size_t bring(std::size_t level) const { return n + (level - 1); }
+  std::size_t restore(std::size_t level) const {
+    return shared ? n + (level - 1) : n + (l - 1) + (level - 1);
+  }
+};
+
+/// One randomized greedy pass; returns true on success and fills `dims`.
+bool greedy_attempt(const ResourceModel& rm, std::size_t target,
+                    util::Xoshiro256& rng,
+                    std::vector<AllPortSchedule::DimSchedule>& dims) {
+  const std::size_t l = rm.l, n = rm.n;
+  const std::size_t num_dims = l * n;
+  dims.assign(num_dims, {});
+
+  // stage[j]: 0 = needs bring, 1 = needs nucleus, 2 = needs restore, 3 done.
+  std::vector<int> stage(num_dims);
+  for (std::size_t j = 0; j < num_dims; ++j) stage[j] = j < n ? 1 : 0;
+  // Row at which the previous stage of dim j completed (0 = ready now).
+  std::vector<std::size_t> prev_row(num_dims, 0);
+  // Remaining load per resource.
+  std::vector<std::size_t> load(rm.count(), 0);
+  for (std::size_t j = 0; j < num_dims; ++j) {
+    const std::size_t level = j / n;
+    ++load[rm.nucleus(j % n)];
+    if (level > 0) {
+      ++load[rm.bring(level)];
+      ++load[rm.restore(level)];
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (const auto x : load) remaining += x;
+
+  for (std::size_t row = 1; row <= target && remaining > 0; ++row) {
+    // Candidate tasks per resource for this row.
+    std::vector<std::vector<std::size_t>> cand(rm.count());
+    for (std::size_t j = 0; j < num_dims; ++j) {
+      if (stage[j] == 3 || prev_row[j] >= row) continue;
+      const std::size_t level = j / n;
+      const std::size_t res = stage[j] == 0   ? rm.bring(level)
+                              : stage[j] == 1 ? rm.nucleus(j % n)
+                                              : rm.restore(level);
+      cand[res].push_back(j);
+    }
+    std::vector<std::uint8_t> used(rm.count(), 0);
+    // Work-conserving: every resource with a candidate runs one. Priority:
+    // earlier pipeline stage first (fill the pipe), random tiebreak.
+    for (std::size_t res = 0; res < rm.count(); ++res) {
+      if (cand[res].empty()) continue;
+      auto& c = cand[res];
+      // Shuffle, then stable-sort by stage so ties are random.
+      for (std::size_t i = c.size(); i > 1; --i) {
+        std::swap(c[i - 1], c[rng.below(i)]);
+      }
+      std::stable_sort(c.begin(), c.end(), [&](std::size_t a, std::size_t b) {
+        return stage[a] < stage[b];
+      });
+      // For a shared S resource a restore competes with brings; keep the
+      // chosen one only if the other kind still has slack afterwards.
+      const std::size_t j = c.front();
+      used[res] = 1;
+      switch (stage[j]) {
+        case 0: dims[j].bring = row; break;
+        case 1: dims[j].nucleus = row; break;
+        default: dims[j].restore = row; break;
+      }
+      // Level-0 dimensions are complete after their single nucleus step.
+      stage[j] = (j / n == 0) ? 3 : stage[j] + 1;
+      prev_row[j] = row;
+      --load[res];
+      --remaining;
+    }
+    // Slack pruning: every resource must still fit its remaining load.
+    for (std::size_t res = 0; res < rm.count(); ++res) {
+      if (load[res] > target - row) return false;
+    }
+    // Chain pruning: an unfinished dim needs one row per remaining stage.
+    for (std::size_t j = 0; j < num_dims; ++j) {
+      if (stage[j] == 3) continue;
+      const auto needed =
+          j / n == 0 ? std::size_t{1} : static_cast<std::size_t>(3 - stage[j]);
+      const std::size_t start = std::max(prev_row[j] + 1, row + 1);
+      if (start + needed - 1 > target) return false;
+    }
+  }
+  return remaining == 0;
+}
+
+}  // namespace
+
+AllPortSchedule build_allport_schedule(std::size_t l, std::size_t n,
+                                       bool shared_inverse) {
+  IPG_CHECK(l >= 2 && n >= 1, "need l >= 2 levels and n >= 1 nucleus generators");
+  const ResourceModel rm{l, n, shared_inverse};
+  const std::size_t target = allport_bound(l, n);
+
+  AllPortSchedule sched;
+  sched.levels = l;
+  sched.nucleus_gens = n;
+  sched.shared_inverse = shared_inverse;
+  sched.makespan = target;
+
+  for (std::uint64_t seed = 1; seed <= 4000; ++seed) {
+    util::Xoshiro256 rng(seed * 0x9e3779b9ull);
+    if (greedy_attempt(rm, target, rng, sched.dims)) {
+      verify_allport_schedule(sched);
+      return sched;
+    }
+  }
+  IPG_CHECK(false, "all-port schedule search failed to meet the Theorem 3.8 bound");
+  return sched;
+}
+
+void verify_allport_schedule(const AllPortSchedule& s) {
+  const std::size_t l = s.levels, n = s.nucleus_gens;
+  const ResourceModel rm{l, n, s.shared_inverse};
+  IPG_CHECK(s.dims.size() == l * n, "schedule has wrong dimension count");
+  std::vector<std::vector<std::uint8_t>> busy(s.makespan + 1,
+                                              std::vector<std::uint8_t>(rm.count(), 0));
+  auto occupy = [&](std::size_t row, std::size_t res) {
+    IPG_CHECK(row >= 1 && row <= s.makespan, "schedule row out of range");
+    IPG_CHECK(!busy[row][res], "generator used twice in one row");
+    busy[row][res] = 1;
+  };
+  for (std::size_t j = 0; j < s.dims.size(); ++j) {
+    const auto& d = s.dims[j];
+    const std::size_t level = j / n;
+    IPG_CHECK(d.nucleus >= 1, "dimension missing its nucleus step");
+    occupy(d.nucleus, rm.nucleus(j % n));
+    if (level == 0) {
+      IPG_CHECK(d.bring == 0 && d.restore == 0,
+                "level-0 dimensions need no super-generator steps");
+    } else {
+      IPG_CHECK(d.bring >= 1 && d.restore >= 1, "dimension missing super steps");
+      IPG_CHECK(d.bring < d.nucleus && d.nucleus < d.restore,
+                "chain S -> N -> S^{-1} out of order");
+      occupy(d.bring, rm.bring(level));
+      occupy(d.restore, rm.restore(level));
+    }
+  }
+}
+
+double AllPortSchedule::utilization() const {
+  const ResourceModel rm{levels, nucleus_gens, shared_inverse};
+  std::size_t tasks = nucleus_gens;                          // level 0
+  tasks += 3 * (levels - 1) * nucleus_gens;                  // chains
+  return static_cast<double>(tasks) /
+         (static_cast<double>(rm.count()) * static_cast<double>(makespan));
+}
+
+std::string AllPortSchedule::to_figure() const {
+  const std::size_t n = nucleus_gens;
+  std::ostringstream os;
+  auto cell = [&](std::size_t row, std::size_t j) -> std::string {
+    const auto& d = dims[j];
+    if (d.nucleus == row) return "N" + std::to_string(j % n + 1);
+    if (d.bring == row) return "S" + std::to_string(j / n + 1);
+    if (d.restore == row) return "S" + std::to_string(j / n + 1) + "'";
+    return "-";
+  };
+  os << "step |";
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    os << " d" << j + 1 << (j + 1 < 10 ? " " : "");
+  }
+  os << '\n';
+  for (std::size_t row = 1; row <= makespan; ++row) {
+    os << "  " << row << "  |";
+    for (std::size_t j = 0; j < dims.size(); ++j) {
+      std::string c = cell(row, j);
+      c.resize(4, ' ');
+      os << ' ' << c.substr(0, 3);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ipg::emulation

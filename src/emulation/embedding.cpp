@@ -1,0 +1,63 @@
+#include "emulation/embedding.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ipg::emulation {
+
+using topology::NodeId;
+
+EmbeddingMetrics measure_embedding(const SdcEmulation& emu) {
+  const auto& s = emu.ipg();
+  const std::size_t num_channels = s.num_nodes() * s.num_generators();
+  std::vector<std::uint32_t> total(num_channels, 0);
+  std::vector<std::uint32_t> per_dim(num_channels, 0);
+  std::vector<std::uint32_t> per_dim_link(num_channels, 0);
+
+  // Canonical undirected key for channel (v, g): the directed channel of
+  // the lower-numbered endpoint.
+  auto link_key = [&s](NodeId v, std::size_t g, NodeId u) {
+    if (v <= u) return static_cast<std::size_t>(v) * s.num_generators() + g;
+    return static_cast<std::size_t>(u) * s.num_generators() + s.inverse_generator(g);
+  };
+
+  EmbeddingMetrics out;
+  const std::size_t n = s.num_nucleus_generators();
+  for (std::size_t j = 0; j < emu.num_dims(); ++j) {
+    const auto& word = emu.word_for_dim(j);
+    out.dilation = std::max(out.dilation, word.size());
+    std::fill(per_dim.begin(), per_dim.end(), 0u);
+    std::fill(per_dim_link.begin(), per_dim_link.end(), 0u);
+    // An involution dimension's HPN edge {v, v'} is embedded once (the
+    // reverse arc is the same edge); non-involution dimensions' arcs each
+    // get their own path (the reverse arc belongs to the inverse dim).
+    const bool involution = s.inverse_generator(j % n) == j % n;
+    for (NodeId v = 0; v < s.num_nodes(); ++v) {
+      if (involution) {
+        NodeId end = v;
+        for (const std::size_t g : word) end = s.apply(end, g);
+        if (end < v) continue;  // counted from the other endpoint
+      }
+      NodeId cur = v;
+      for (const std::size_t g : word) {
+        const NodeId nxt = s.apply(cur, g);
+        const std::size_t channel = cur * s.num_generators() + g;
+        ++per_dim[channel];
+        ++total[channel];
+        ++per_dim_link[link_key(cur, g, nxt)];
+        cur = nxt;
+      }
+    }
+    const auto it = std::max_element(per_dim.begin(), per_dim.end());
+    out.per_dim_congestion =
+        std::max(out.per_dim_congestion, static_cast<std::size_t>(*it));
+    const auto itl = std::max_element(per_dim_link.begin(), per_dim_link.end());
+    out.per_dim_link_congestion =
+        std::max(out.per_dim_link_congestion, static_cast<std::size_t>(*itl));
+  }
+  const auto it = std::max_element(total.begin(), total.end());
+  out.total_congestion = static_cast<std::size_t>(*it);
+  return out;
+}
+
+}  // namespace ipg::emulation

@@ -1,0 +1,32 @@
+#pragma once
+// Embedding metrics for the HPN -> super-IPG embedding induced by SDC
+// emulation words (Corollary 3.3 and the congestion remarks of §3.1/§4.1).
+//
+// Each HPN edge (v, v') of dimension j maps to the path obtained by
+// following word_for_dim(j) from v. Dilation is the longest path; the
+// congestion of a directed channel (node, generator) is the number of
+// embedded paths crossing it — measured per dimension (the quantity the
+// paper bounds by 2) and in total over all dimensions.
+
+#include <cstddef>
+
+#include "emulation/sdc.hpp"
+
+namespace ipg::emulation {
+
+struct EmbeddingMetrics {
+  std::size_t dilation = 0;
+  /// max over dimensions of max *directed-channel* congestion: 2 for
+  /// involution super-generators (HSN/SFN reuse the same channel for bring
+  /// and restore), 1 for complete-CN (L_i out, L_{l-i} back).
+  std::size_t per_dim_congestion = 0;
+  /// max over dimensions of max *undirected-link* congestion — the paper's
+  /// "congestion is only 2" quantity; 2 for all three families.
+  std::size_t per_dim_link_congestion = 0;
+  /// max directed-channel congestion with all l*n dimensions at once.
+  std::size_t total_congestion = 0;
+};
+
+EmbeddingMetrics measure_embedding(const SdcEmulation& emu);
+
+}  // namespace ipg::emulation

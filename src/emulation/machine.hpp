@@ -1,0 +1,246 @@
+#pragma once
+// Lock-step data machines: execute generator-level data movements on a
+// super-IPG or an HPN while counting communication steps, split into
+// on-chip and off-chip (one chip per base nucleus, §4).
+//
+// The machines move *data items* among nodes. Each node holds one item;
+// a generator step is a synchronous permutation routing step (every node
+// forwards its item along the same generator link), and a dimension step
+// is an all-port gather among the nodes of one base-nucleus dimension
+// followed by a local combine. The machine tracks, for every node, the
+// *original index* of the item it currently holds, so combine callbacks can
+// compute twiddles / compare directions / prefix offsets from global
+// addresses alone — and so tests can verify data ends up where Theorem 3.5
+// says it must.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "topology/hpn.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::emulation {
+
+using topology::NodeId;
+
+/// Communication/computation accounting shared by both machines.
+struct StepCounts {
+  std::size_t comm_steps = 0;          ///< lock-step communication phases
+  std::size_t offchip_steps = 0;       ///< phases using off-chip links
+  std::size_t onchip_steps = 0;        ///< phases confined to chips
+  std::size_t offchip_transmissions = 0;  ///< item moves crossing chips
+  std::size_t onchip_transmissions = 0;   ///< item moves within a chip
+  std::size_t compute_steps = 0;       ///< per-node combine operations
+};
+
+/// Group-combine callback: values[j] is the item of original index
+/// origs[j]; origs are sorted ascending and differ in exactly one
+/// radix-|origs| digit. The callback overwrites values in place.
+template <typename T>
+using GroupOp = void (*)(std::span<const std::size_t> origs, std::span<T> values,
+                         void* ctx);
+
+template <typename T>
+class SuperIpgMachine {
+ public:
+  SuperIpgMachine(const topology::SuperIpg& ipg, std::vector<T> initial)
+      : ipg_(ipg),
+        base_(&topology::base_nucleus(ipg)),
+        n_base_gens_(topology::num_base_nucleus_generators(ipg)),
+        data_(std::move(initial)),
+        orig_(ipg.num_nodes()),
+        scratch_data_(ipg.num_nodes()),
+        scratch_orig_(ipg.num_nodes()) {
+    IPG_CHECK(data_.size() == ipg_.num_nodes(), "one item per node required");
+    for (NodeId v = 0; v < orig_.size(); ++v) orig_[v] = v;
+  }
+
+  /// Synchronous permutation step along generator @p gen. The generator is
+  /// a bijection, so every destination slot is written exactly once — the
+  /// move parallelizes over nodes with no contention.
+  void step_generator(std::size_t gen) {
+    const bool offchip = gen >= n_base_gens_;
+    std::atomic<std::size_t> moved{0};
+    util::parallel_for_chunked(
+        0, ipg_.num_nodes(), [&](std::size_t lo, std::size_t hi) {
+          std::size_t local_moved = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const NodeId u = ipg_.apply(static_cast<NodeId>(v), gen);
+            scratch_data_[u] = std::move(data_[v]);
+            scratch_orig_[u] = orig_[v];
+            if (u != v) ++local_moved;
+          }
+          moved.fetch_add(local_moved, std::memory_order_relaxed);
+        });
+    data_.swap(scratch_data_);
+    orig_.swap(scratch_orig_);
+    ++counts_.comm_steps;
+    if (offchip) {
+      counts_.offchip_transmissions += moved.load();
+      ++counts_.offchip_steps;
+    } else {
+      counts_.onchip_transmissions += moved.load();
+      ++counts_.onchip_steps;
+    }
+  }
+
+  /// All-port gather + combine within base-nucleus dimension @p dim: every
+  /// group of radix(dim) nodes that agree everywhere except that digit
+  /// exchanges items (one on-chip comm step) and applies @p op. Groups are
+  /// disjoint, so they run in parallel; @p op must therefore be
+  /// re-entrant (all the library's ops are pure functions of their group).
+  template <typename Op>
+  void step_base_dimension(std::size_t dim, Op&& op) {
+    const std::size_t radix = base_->radix(dim);
+    IPG_CHECK(radix >= 2, "base nucleus is not dimensionizable");
+    const std::size_t mb = base_->num_nodes();
+    std::atomic<std::size_t> groups{0};
+    util::parallel_for_chunked(
+        0, ipg_.num_nodes(), [&](std::size_t lo, std::size_t hi) {
+          std::vector<std::size_t> origs(radix);
+          std::vector<T> values(radix);
+          std::vector<NodeId> members(radix);
+          std::vector<std::size_t> order(radix);
+          std::size_t local_groups = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const auto b = static_cast<NodeId>(v % mb);
+            if (base_->digit(b, dim) != 0) continue;
+            for (std::size_t val = 0; val < radix; ++val) {
+              members[val] =
+                  static_cast<NodeId>(v) - b + base_->with_digit(b, dim, val);
+            }
+            // Present items in ascending original-index order.
+            for (std::size_t j = 0; j < radix; ++j) order[j] = j;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t c) {
+                        return orig_[members[a]] < orig_[members[c]];
+                      });
+            for (std::size_t j = 0; j < radix; ++j) {
+              origs[j] = orig_[members[order[j]]];
+              values[j] = data_[members[order[j]]];
+            }
+            op(std::span<const std::size_t>(origs), std::span<T>(values));
+            for (std::size_t j = 0; j < radix; ++j) {
+              data_[members[order[j]]] = values[j];
+            }
+            ++local_groups;
+          }
+          groups.fetch_add(local_groups, std::memory_order_relaxed);
+        });
+    counts_.onchip_transmissions += groups.load() * radix * (radix - 1);
+    ++counts_.comm_steps;
+    ++counts_.onchip_steps;
+    counts_.compute_steps += radix - 1;
+  }
+
+  const T& value_at_node(NodeId v) const { return data_[v]; }
+  NodeId origin_at_node(NodeId v) const { return orig_[v]; }
+
+  /// Items indexed by their original position (wherever they now live).
+  std::vector<T> values_by_origin() const {
+    std::vector<T> out(data_.size());
+    for (NodeId v = 0; v < data_.size(); ++v) out[orig_[v]] = data_[v];
+    return out;
+  }
+
+  /// True iff every item is back at its original node.
+  bool is_home() const {
+    for (NodeId v = 0; v < orig_.size(); ++v) {
+      if (orig_[v] != v) return false;
+    }
+    return true;
+  }
+
+  const StepCounts& counts() const noexcept { return counts_; }
+
+ private:
+  const topology::SuperIpg& ipg_;
+  const topology::Nucleus* base_;
+  std::size_t n_base_gens_;
+  std::vector<T> data_;
+  std::vector<NodeId> orig_;
+  std::vector<T> scratch_data_;
+  std::vector<NodeId> scratch_orig_;
+  StepCounts counts_;
+};
+
+/// Baseline machine on an HPN (hypercube, generalized hypercube, torus):
+/// items never migrate — dimension exchanges happen in place. A clustering
+/// decides which dimension steps are off-chip.
+template <typename T>
+class HpnMachine {
+ public:
+  HpnMachine(const topology::Hpn& hpn, topology::Clustering clustering,
+             std::vector<T> initial)
+      : hpn_(hpn), clustering_(std::move(clustering)), data_(std::move(initial)) {
+    IPG_CHECK(data_.size() == hpn_.num_nodes(), "one item per node required");
+    IPG_CHECK(clustering_.num_nodes() == hpn_.num_nodes(),
+              "clustering does not match HPN");
+  }
+
+  /// All-port gather + combine within dimension group (@p level, @p dim)
+  /// of the factor graph.
+  template <typename Op>
+  void step_dimension(std::size_t level, std::size_t dim, Op&& op) {
+    const auto& factor = hpn_.factor();
+    const std::size_t radix = factor.radix(dim);
+    IPG_CHECK(radix >= 2, "factor graph is not dimensionizable");
+    std::vector<std::size_t> origs(radix);
+    std::vector<T> values(radix);
+    std::vector<NodeId> members(radix);
+    bool phase_offchip = false;
+    for (NodeId v = 0; v < hpn_.num_nodes(); ++v) {
+      const auto coord = static_cast<NodeId>(hpn_.coordinate(v, level));
+      if (factor.digit(coord, dim) != 0) continue;
+      bool group_offchip = false;
+      for (std::size_t val = 0; val < radix; ++val) {
+        const NodeId moved = factor.with_digit(coord, dim, val);
+        members[val] =
+            static_cast<NodeId>(v + (static_cast<std::uint64_t>(moved) - coord) *
+                                        scale(level));
+        origs[val] = members[val];
+        values[val] = data_[members[val]];
+        if (clustering_.is_intercluster(v, members[val])) group_offchip = true;
+      }
+      op(std::span<const std::size_t>(origs), std::span<T>(values));
+      for (std::size_t val = 0; val < radix; ++val) {
+        data_[members[val]] = values[val];
+      }
+      const std::size_t moves = radix * (radix - 1);
+      if (group_offchip) {
+        phase_offchip = true;
+        counts_.offchip_transmissions += moves;
+      } else {
+        counts_.onchip_transmissions += moves;
+      }
+    }
+    ++counts_.comm_steps;
+    if (phase_offchip) {
+      ++counts_.offchip_steps;
+    } else {
+      ++counts_.onchip_steps;
+    }
+    counts_.compute_steps += radix - 1;
+  }
+
+  const T& value_at_node(NodeId v) const { return data_[v]; }
+  std::vector<T> values_by_origin() const { return data_; }
+  const StepCounts& counts() const noexcept { return counts_; }
+
+ private:
+  std::size_t scale(std::size_t level) const {
+    std::size_t s = 1;
+    for (std::size_t i = 0; i < level; ++i) s *= hpn_.factor().num_nodes();
+    return s;
+  }
+
+  const topology::Hpn& hpn_;
+  topology::Clustering clustering_;
+  std::vector<T> data_;
+  StepCounts counts_;
+};
+
+}  // namespace ipg::emulation

@@ -1,0 +1,68 @@
+#include "emulation/sdc.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ipg::emulation {
+
+using topology::Arrangement;
+using topology::NodeId;
+using topology::SuperIpg;
+
+SdcEmulation::SdcEmulation(const SuperIpg& ipg) : ipg_(&ipg) {
+  const std::size_t l = ipg.levels();
+  const std::size_t n = ipg.num_nucleus_generators();
+  Arrangement id(l);
+  std::iota(id.begin(), id.end(), std::uint8_t{0});
+
+  words_.reserve(l * n);
+  for (std::size_t j = 0; j < l * n; ++j) {
+    const std::size_t j1 = j / n;  // super-symbol (level)
+    const std::size_t j0 = j % n;  // nucleus generator
+    std::vector<std::size_t> word;
+    if (j1 == 0) {
+      word.push_back(j0);
+    } else {
+      const auto bring = ipg.word_to_front(id, static_cast<std::uint8_t>(j1));
+      Arrangement mid = id;
+      for (const std::size_t s : bring) mid = ipg.apply_to_arrangement(mid, s);
+      const auto restore = ipg.word_to_arrangement(mid, id);
+      for (const std::size_t s : bring) {
+        word.push_back(ipg.num_nucleus_generators() + s);
+      }
+      word.push_back(j0);
+      for (const std::size_t s : restore) {
+        word.push_back(ipg.num_nucleus_generators() + s);
+      }
+    }
+    slowdown_ = std::max(slowdown_, word.size());
+    words_.push_back(std::move(word));
+  }
+}
+
+void SdcEmulation::verify() const {
+  const SuperIpg& s = *ipg_;
+  const std::size_t n = s.num_nucleus_generators();
+  for (std::size_t j = 0; j < num_dims(); ++j) {
+    const std::size_t j1 = j / n;
+    const std::size_t j0 = j % n;
+    for (NodeId v = 0; v < s.num_nodes(); ++v) {
+      NodeId u = v;
+      for (const std::size_t g : words_[j]) u = s.apply(u, g);
+      // Expected: only level j1's group moves, by nucleus generator j0.
+      NodeId expected = v;
+      const auto coord = static_cast<NodeId>(s.group(v, j1));
+      const NodeId moved = s.nucleus().apply(coord, j0);
+      std::vector<NodeId> groups(s.levels());
+      for (std::size_t i = 0; i < s.levels(); ++i) {
+        groups[i] = static_cast<NodeId>(s.group(v, i));
+      }
+      groups[j1] = moved;
+      expected = s.make_node(groups);
+      IPG_CHECK(u == expected, "SDC emulation word does not realize its HPN dimension");
+    }
+  }
+}
+
+}  // namespace ipg::emulation

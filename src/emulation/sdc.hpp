@@ -1,0 +1,47 @@
+#pragma once
+// Single-dimension-communication emulation of HPN(l,G) on a super-IPG
+// (Theorem 3.1, Corollaries 3.2–3.4).
+//
+// Each HPN dimension j decomposes as (level j1, factor generator j0); the
+// emulating word brings super-symbol j1 to the leftmost position, applies
+// nucleus generator j0, and restores the arrangement. The slowdown is the
+// longest word, t+1; the embedding of HPN(l,G) obtained by reading each
+// word as a path has dilation t+1 and per-dimension congestion 2 for
+// HSN / complete-CN / SFN.
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/super_ipg.hpp"
+
+namespace ipg::emulation {
+
+class SdcEmulation {
+ public:
+  /// Builds emulation words for every dimension of HPN(l, nucleus(ipg)).
+  explicit SdcEmulation(const topology::SuperIpg& ipg);
+
+  const topology::SuperIpg& ipg() const noexcept { return *ipg_; }
+
+  std::size_t num_dims() const noexcept { return words_.size(); }
+
+  /// The generator word (global generator indices) emulating dimension j.
+  const std::vector<std::size_t>& word_for_dim(std::size_t j) const {
+    return words_[j];
+  }
+
+  /// Measured slowdown: the longest emulation word (= t + 1, Thm 3.1).
+  std::size_t slowdown() const noexcept { return slowdown_; }
+
+  /// Verifies that following word_for_dim(j) from every node lands exactly
+  /// where HPN dimension j would move it; throws on violation. (Called by
+  /// tests; cheap enough to run on every construction in debug builds.)
+  void verify() const;
+
+ private:
+  const topology::SuperIpg* ipg_;
+  std::vector<std::vector<std::size_t>> words_;
+  std::size_t slowdown_ = 0;
+};
+
+}  // namespace ipg::emulation

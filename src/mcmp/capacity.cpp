@@ -1,0 +1,82 @@
+#include "mcmp/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ipg::mcmp {
+
+double bb_lower_bound(double w_node, std::size_t num_nodes,
+                      double avg_intercluster_distance) {
+  IPG_CHECK(avg_intercluster_distance > 0, "average intercluster distance must be positive");
+  return w_node * static_cast<double>(num_nodes) / (4.0 * avg_intercluster_distance);
+}
+
+double hsn_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                               std::size_t nucleus_size, std::size_t levels) {
+  IPG_CHECK(levels >= 2 && nucleus_size >= 2, "need l >= 2 and M >= 2");
+  return w_node * static_cast<double>(num_nodes) * static_cast<double>(nucleus_size) /
+         (4.0 * static_cast<double>(levels - 1) * static_cast<double>(nucleus_size - 1));
+}
+
+double hypercube_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                                     std::size_t chip_size) {
+  const double dims = std::log2(static_cast<double>(num_nodes));
+  const double chip_dims = std::log2(static_cast<double>(chip_size));
+  IPG_CHECK(dims > chip_dims, "chip must be smaller than the cube");
+  return w_node * static_cast<double>(num_nodes) / (2.0 * (dims - chip_dims));
+}
+
+double kary2_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                                 std::size_t chip_size) {
+  return w_node *
+         std::sqrt(static_cast<double>(num_nodes) * static_cast<double>(chip_size)) /
+         2.0;
+}
+
+double measured_bisection_bandwidth(const Graph& g, const Clustering& chips,
+                                    double w_node, unsigned restarts,
+                                    std::uint64_t seed) {
+  const auto weights = metrics::unit_chip_arc_weights(g, chips, w_node);
+  const auto result =
+      metrics::cluster_bisection_heuristic(g, chips, weights, restarts, seed);
+  return result.cut;
+}
+
+ChipLinkStats chip_link_stats(const Graph& g, const Clustering& chips,
+                              double w_node) {
+  std::vector<std::size_t> offchip_links(chips.num_clusters(), 0);
+  for (topology::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (chips.is_intercluster(v, arc.to)) ++offchip_links[chips.cluster_of(v)];
+    }
+  }
+  ChipLinkStats out;
+  out.offchip_links_per_chip =
+      *std::max_element(offchip_links.begin(), offchip_links.end());
+  const auto weights = metrics::unit_chip_arc_weights(g, chips, w_node);
+  double min_bw = 0;
+  bool any = false;
+  for (const double w : weights) {
+    if (w <= 0) continue;
+    min_bw = any ? std::min(min_bw, w) : w;
+    any = true;
+  }
+  out.offchip_link_bandwidth = min_bw;
+  return out;
+}
+
+sim::SimNetwork make_unit_chip_network(Graph g, Clustering chips, double w_node,
+                                       double onchip_multiple) {
+  const auto sizes = chips.cluster_sizes();
+  IPG_CHECK(!sizes.empty(), "network needs at least one chip");
+  const double chip_budget = static_cast<double>(sizes[0]) * w_node;
+  // Fastest possible off-chip link <= chip_budget; provision on-chip links
+  // well above it.
+  const double onchip_bw = chip_budget * onchip_multiple;
+  return sim::SimNetwork(std::move(g), std::move(chips), chip_budget, onchip_bw);
+}
+
+}  // namespace ipg::mcmp

@@ -1,0 +1,62 @@
+#pragma once
+// The unit chip capacity model and the §4.2 bisection-bandwidth formulas.
+//
+// Under unit chip capacity every chip has the same aggregate off-chip
+// bandwidth M*w (M nodes/chip, w per node), spread uniformly over the
+// chip's off-chip links. The paper's closed forms:
+//   Thm 4.7   B_B >= w N / (4 a)            (a = avg intercluster distance)
+//   Cor 4.8   HSN/SFN: B_B = w N M / (4 (l-1) (M-1))
+//   Cor 4.9   hypercube: B_B = w N / (2 (log2 N - log2 M))
+//   Cor 4.10  sqrt(N)-ary 2-cube: B_B = w sqrt(N M) / 2
+// measured_bisection_bandwidth() checks them against cluster-respecting
+// weighted bisections of the actual graphs.
+
+#include <cstddef>
+
+#include "metrics/bisection.hpp"
+#include "sim/network.hpp"
+#include "topology/graph.hpp"
+
+namespace ipg::mcmp {
+
+using topology::Clustering;
+using topology::Graph;
+
+/// Theorem 4.7's lower bound on bisection bandwidth.
+double bb_lower_bound(double w_node, std::size_t num_nodes,
+                      double avg_intercluster_distance);
+
+/// Corollary 4.8 (HSN / SFN with M-node nucleus chips, l levels).
+double hsn_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                               std::size_t nucleus_size, std::size_t levels);
+
+/// Corollary 4.9 (hypercube with M-node subcube chips).
+double hypercube_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                                     std::size_t chip_size);
+
+/// Corollary 4.10 (sqrt(N)-ary 2-cube with M-node square chips).
+double kary2_bisection_bandwidth(double w_node, std::size_t num_nodes,
+                                 std::size_t chip_size);
+
+/// Measured bisection bandwidth: cluster-respecting heuristic bisection of
+/// the graph with unit-chip-capacity link weights.
+double measured_bisection_bandwidth(const Graph& g, const Clustering& chips,
+                                    double w_node, unsigned restarts = 12,
+                                    std::uint64_t seed = 0x5eed);
+
+/// Per-chip link statistics (the paper's "an off-chip link of HSN(3,Q4)
+/// has bandwidth ~4x higher than one of the 12-cube" comparison).
+struct ChipLinkStats {
+  std::size_t offchip_links_per_chip = 0;  ///< max over chips
+  double offchip_link_bandwidth = 0;       ///< min over off-chip links
+};
+ChipLinkStats chip_link_stats(const Graph& g, const Clustering& chips,
+                              double w_node);
+
+/// Builds a simulator network under unit chip capacity: off-chip budget
+/// M*w per chip; on-chip links get @p onchip_multiple times the fastest
+/// off-chip link so they are never the bottleneck (§4 assumption).
+sim::SimNetwork make_unit_chip_network(Graph g, Clustering chips, double w_node,
+                                       double onchip_multiple = 64.0);
+
+}  // namespace ipg::mcmp

@@ -1,0 +1,115 @@
+#include "mcmp/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "metrics/distances.hpp"
+#include "util/check.hpp"
+
+namespace ipg::mcmp {
+
+PackagingHierarchy::PackagingHierarchy(std::size_t num_nodes,
+                                       std::vector<std::size_t> module_sizes) {
+  IPG_CHECK(!module_sizes.empty(), "hierarchy needs at least one level");
+  std::size_t prev = 1;
+  for (const std::size_t m : module_sizes) {
+    IPG_CHECK(m > prev, "module sizes must be strictly increasing");
+    IPG_CHECK(m % prev == 0, "each module size must be a multiple of the previous");
+    IPG_CHECK(num_nodes % m == 0, "module size must divide the node count");
+    levels_.push_back(Clustering::blocks(num_nodes, m));
+    prev = m;
+  }
+}
+
+PackagingHierarchy::PackagingHierarchy(std::vector<Clustering> levels)
+    : levels_(std::move(levels)) {
+  IPG_CHECK(!levels_.empty(), "hierarchy needs at least one level");
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    IPG_CHECK(levels_[l].num_nodes() == levels_[0].num_nodes(),
+              "all levels must cover the same nodes");
+    IPG_CHECK(levels_[l].num_clusters() < levels_[l - 1].num_clusters(),
+              "levels must get strictly coarser");
+    // Consistent coarsening: the finer module determines the coarser one.
+    constexpr auto kUnset = static_cast<std::uint32_t>(-1);
+    std::vector<std::uint32_t> parent(levels_[l - 1].num_clusters(), kUnset);
+    for (NodeId v = 0; v < levels_[l].num_nodes(); ++v) {
+      const auto fine = levels_[l - 1].cluster_of(v);
+      const auto coarse = levels_[l].cluster_of(v);
+      IPG_CHECK(parent[fine] == kUnset || parent[fine] == coarse,
+                "level does not nest: a module straddles two parents");
+      parent[fine] = coarse;
+    }
+  }
+}
+
+std::size_t PackagingHierarchy::link_level(NodeId a, NodeId b) const {
+  std::size_t level = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].is_intercluster(a, b)) level = l + 1;
+  }
+  return level;
+}
+
+std::vector<double> hierarchical_arc_bandwidths(
+    const Graph& g, const PackagingHierarchy& h,
+    const std::vector<double>& level_budgets, double onchip_bandwidth) {
+  IPG_CHECK(level_budgets.size() == h.num_levels(),
+            "need one budget per hierarchy level");
+  IPG_CHECK(onchip_bandwidth > 0, "on-chip bandwidth must be positive");
+
+  // Arcs crossing each module's boundary, per level.
+  std::vector<std::vector<std::size_t>> crossing(h.num_levels());
+  for (std::size_t l = 0; l < h.num_levels(); ++l) {
+    crossing[l].assign(h.level(l).num_clusters(), 0);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      for (std::size_t l = 0; l < h.num_levels(); ++l) {
+        if (h.level(l).is_intercluster(v, arc.to)) {
+          ++crossing[l][h.level(l).cluster_of(v)];
+        }
+      }
+    }
+  }
+
+  std::vector<double> bw;
+  bw.reserve(g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      double b = onchip_bandwidth;
+      for (std::size_t l = 0; l < h.num_levels(); ++l) {
+        if (!h.level(l).is_intercluster(v, arc.to)) continue;
+        const auto ca = h.level(l).cluster_of(v);
+        const auto cb = h.level(l).cluster_of(arc.to);
+        const double share_a =
+            level_budgets[l] / static_cast<double>(crossing[l][ca]);
+        const double share_b =
+            level_budgets[l] / static_cast<double>(crossing[l][cb]);
+        b = std::min({b, share_a, share_b});
+      }
+      bw.push_back(b);
+    }
+  }
+  return bw;
+}
+
+sim::SimNetwork make_hierarchical_network(Graph g, const PackagingHierarchy& h,
+                                          const std::vector<double>& level_budgets,
+                                          double onchip_bandwidth) {
+  auto bw = hierarchical_arc_bandwidths(g, h, level_budgets, onchip_bandwidth);
+  Clustering chips = h.chips();
+  return sim::SimNetwork::with_bandwidths(std::move(g), std::move(chips),
+                                          std::move(bw));
+}
+
+LevelTraffic level_traffic(const Graph& g, const PackagingHierarchy& h,
+                           std::size_t sample_sources) {
+  LevelTraffic out;
+  for (std::size_t l = 0; l < h.num_levels(); ++l) {
+    const auto stats = metrics::intercluster_stats(g, h.level(l), sample_sources);
+    out.avg_crossings.push_back(stats.average);
+    out.diameter.push_back(stats.diameter);
+  }
+  return out;
+}
+
+}  // namespace ipg::mcmp

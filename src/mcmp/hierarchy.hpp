@@ -1,0 +1,78 @@
+#pragma once
+// Multi-level packaging hierarchies — §4's closing remark: "even though we
+// assumed only two levels of hierarchy ... our results and methodology can
+// be easily extended to hierarchical parallel architectures involving more
+// than two levels." This module is that extension: chips on boards on
+// cabinets, each level with its own external-bandwidth budget (pins,
+// connectors, cables — the packaging constraints of [5]).
+//
+// A link's *packaging level* is the coarsest module boundary it crosses
+// (0 = inside a chip, 1 = chip-to-chip on one board, 2 = board-to-board,
+// ...). Every module at level ℓ spreads its budget over the links crossing
+// its own boundary; a link crossing several boundaries is constrained by
+// every level it crosses and gets the minimum share — the natural
+// generalization of the unit chip capacity model.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topology/graph.hpp"
+
+namespace ipg::mcmp {
+
+using topology::Clustering;
+using topology::Graph;
+using topology::NodeId;
+
+class PackagingHierarchy {
+ public:
+  /// @p module_sizes: nodes per module at each level, strictly increasing
+  /// and each dividing the next (e.g. {16, 256} = 16-node chips, 16-chip
+  /// boards). Modules are contiguous id blocks, matching the library's
+  /// node numberings (nucleus digits, subcubes, torus blocks).
+  PackagingHierarchy(std::size_t num_nodes, std::vector<std::size_t> module_sizes);
+
+  /// Arbitrary nested clusterings (finest first). Every coarser level must
+  /// refine consistently: a node's level-ℓ module must be a function of
+  /// its level-(ℓ-1) module (e.g. square torus chips inside square boards).
+  explicit PackagingHierarchy(std::vector<Clustering> levels);
+
+  std::size_t num_levels() const noexcept { return levels_.size(); }
+  const Clustering& level(std::size_t l) const { return levels_[l]; }
+
+  /// Packaging level of a link: 0 if within a chip, else the highest
+  /// 1-based level whose module boundary it crosses.
+  std::size_t link_level(NodeId a, NodeId b) const;
+
+  /// The chip-level clustering (level 1 boundary).
+  const Clustering& chips() const { return levels_[0]; }
+
+ private:
+  std::vector<Clustering> levels_;  ///< [0] = chips, [1] = boards, ...
+};
+
+/// Per-arc bandwidths: level-ℓ modules (ℓ = 1..L) have external budget
+/// @p level_budgets[ℓ-1] each, spread uniformly over the arcs crossing
+/// their boundary; an arc takes the minimum share over all levels it
+/// crosses. Arcs inside a chip get @p onchip_bandwidth.
+std::vector<double> hierarchical_arc_bandwidths(
+    const Graph& g, const PackagingHierarchy& h,
+    const std::vector<double>& level_budgets, double onchip_bandwidth);
+
+/// Builds a simulator network under the hierarchical capacity model.
+sim::SimNetwork make_hierarchical_network(Graph g, const PackagingHierarchy& h,
+                                          const std::vector<double>& level_budgets,
+                                          double onchip_bandwidth);
+
+/// Per-level traffic census: how many hops of a uniformly random route
+/// cross each packaging level (computed exactly by 0-1 BFS per level).
+struct LevelTraffic {
+  std::vector<double> avg_crossings;  ///< [ℓ-1] = mean level-ℓ boundary hops
+  std::vector<std::size_t> diameter;  ///< [ℓ-1] = max level-ℓ boundary hops
+};
+LevelTraffic level_traffic(const Graph& g, const PackagingHierarchy& h,
+                           std::size_t sample_sources = 0);
+
+}  // namespace ipg::mcmp

@@ -1,0 +1,68 @@
+#pragma once
+// Bisection width and bisection bandwidth (§4.2).
+//
+// Exact bisection is NP-hard; the paper relies on closed forms per family.
+// We provide (a) a randomized Kernighan–Lin-style heuristic that yields an
+// upper bound on the bisection width — used to validate closed forms on
+// small instances — and (b) weighted cluster-respecting bisections for the
+// MCMP setting where on-chip links are never cut and each off-chip link
+// carries a bandwidth from the chip capacity model.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::metrics {
+
+using topology::Clustering;
+using topology::Graph;
+using topology::NodeId;
+
+struct BisectionResult {
+  /// Total weight of cut links (= link count when weights are 1).
+  double cut = 0;
+  /// side[v] in {0,1}; sides differ in size by at most one node.
+  std::vector<std::uint8_t> side;
+};
+
+/// Heuristic upper bound on the bisection width: random balanced starts +
+/// greedy balanced pair-swap refinement, best of @p restarts.
+BisectionResult bisection_width_heuristic(const Graph& g, unsigned restarts = 8,
+                                          std::uint64_t seed = 0x5eed);
+
+/// Cluster-respecting weighted bisection: whole clusters are assigned to
+/// sides (the paper never cuts on-chip links, §4.2), and each cut off-chip
+/// link contributes its weight. @p offchip_weight[e-index] must follow arc
+/// order; use uniform_offchip_weights() for the unit-chip-capacity model.
+/// Requires an even number of equal-size clusters.
+BisectionResult cluster_bisection_heuristic(const Graph& g, const Clustering& c,
+                                            const std::vector<double>& arc_weight,
+                                            unsigned restarts = 8,
+                                            std::uint64_t seed = 0x5eed);
+
+/// Per-arc weights under the unit chip capacity model: every chip has total
+/// off-chip bandwidth cluster_size * w_node, spread uniformly over the
+/// off-chip links touching it; a link's bandwidth is the minimum of its two
+/// endpoints' allocations. On-chip arcs get weight 0 (never cut) —
+/// equivalently "infinitely wide", per the paper's assumption.
+std::vector<double> unit_chip_arc_weights(const Graph& g, const Clustering& c,
+                                          double w_node);
+
+/// Per-arc weights of 1 for every arc (unit link capacity model).
+std::vector<double> unit_link_arc_weights(const Graph& g);
+
+/// Unit node capacity model (§4.2): every node has total bandwidth w_node
+/// split uniformly over its incident links; a link gets the min of its two
+/// endpoints' per-link shares. All links count (on-chip ones too).
+std::vector<double> unit_node_arc_weights(const Graph& g, double w_node);
+
+/// Unit bisection capacity model (Dally, §4.2): the whole network has a
+/// fixed bisection budget; every network's bisection bandwidth is the same
+/// by construction. Returns per-arc weights scaled so the given bisection
+/// width yields exactly @p budget.
+std::vector<double> unit_bisection_arc_weights(const Graph& g,
+                                               double bisection_width,
+                                               double budget);
+
+}  // namespace ipg::metrics

@@ -1,0 +1,27 @@
+#include "metrics/costs.hpp"
+
+#include "metrics/distances.hpp"
+
+namespace ipg::metrics {
+
+NetworkCosts compute_costs(const topology::Graph& g,
+                           const topology::Clustering& chips,
+                           std::size_t sample_sources) {
+  NetworkCosts out;
+  const auto census = topology::census_links(g, chips);
+  out.intercluster_degree = census.avg_offchip_per_node;
+  const auto d = distance_stats(g, sample_sources);
+  out.diameter = d.diameter;
+  out.avg_distance = d.average;
+  const auto ic = intercluster_stats(g, chips, sample_sources);
+  out.intercluster_diameter = ic.diameter;
+  out.avg_intercluster_distance = ic.average;
+  out.id_cost = out.intercluster_degree * static_cast<double>(out.diameter);
+  out.ii_cost =
+      out.intercluster_degree * static_cast<double>(out.intercluster_diameter);
+  out.ia_cost = out.intercluster_degree * out.avg_distance;
+  out.iia_cost = out.intercluster_degree * out.avg_intercluster_distance;
+  return out;
+}
+
+}  // namespace ipg::metrics

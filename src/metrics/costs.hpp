@@ -1,0 +1,31 @@
+#pragma once
+// Composite cost metrics (§4.2 end): the paper proposes the product of
+// intercluster degree and diameter (ID-cost), of intercluster degree and
+// intercluster diameter (II-cost), and the analogous products with average
+// distances, as single-number topology comparisons for MCMPs.
+
+#include <cstddef>
+
+#include "topology/graph.hpp"
+
+namespace ipg::metrics {
+
+struct NetworkCosts {
+  double intercluster_degree = 0;       ///< avg off-chip links per node
+  std::size_t diameter = 0;
+  double avg_distance = 0;
+  std::size_t intercluster_diameter = 0;
+  double avg_intercluster_distance = 0;
+  double id_cost = 0;   ///< intercluster degree x diameter
+  double ii_cost = 0;   ///< intercluster degree x intercluster diameter
+  double ia_cost = 0;   ///< intercluster degree x average distance
+  double iia_cost = 0;  ///< intercluster degree x average intercluster distance
+};
+
+/// Computes all §4.2 cost metrics for a clustered network. Sampled sources
+/// (exact on vertex-transitive graphs) keep large instances cheap.
+NetworkCosts compute_costs(const topology::Graph& g,
+                           const topology::Clustering& chips,
+                           std::size_t sample_sources = 0);
+
+}  // namespace ipg::metrics

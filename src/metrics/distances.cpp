@@ -1,0 +1,151 @@
+#include "metrics/distances.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace ipg::metrics {
+
+namespace {
+constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  IPG_CHECK(src < g.num_nodes(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
+  std::vector<NodeId> frontier{src}, next;
+  dist[src] = 0;
+  std::uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const auto& arc : g.arcs_of(v)) {
+        if (dist[arc.to] == kUnreached) {
+          dist[arc.to] = d;
+          next.push_back(arc.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> intercluster_distances(const Graph& g,
+                                                  const Clustering& c,
+                                                  NodeId src) {
+  IPG_CHECK(src < g.num_nodes(), "BFS source out of range");
+  IPG_CHECK(c.num_nodes() == g.num_nodes(), "clustering does not match graph");
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
+  std::deque<NodeId> dq{src};
+  dist[src] = 0;
+  while (!dq.empty()) {
+    const NodeId v = dq.front();
+    dq.pop_front();
+    for (const auto& arc : g.arcs_of(v)) {
+      const std::uint32_t w = c.is_intercluster(v, arc.to) ? 1u : 0u;
+      const std::uint32_t nd = dist[v] + w;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        if (w == 0) {
+          dq.push_front(arc.to);
+        } else {
+          dq.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+template <typename DistFn>
+DistanceStats sweep(const Graph& g, std::size_t sample_sources, DistFn per_source) {
+  const std::size_t n = g.num_nodes();
+  IPG_CHECK(n > 0, "empty graph");
+  std::size_t sources = (sample_sources == 0 || sample_sources >= n) ? n : sample_sources;
+  const std::size_t stride = n / sources;
+
+  std::atomic<std::size_t> max_d{0};
+  std::atomic<std::uint64_t> total{0};
+  util::parallel_for_chunked(0, sources, [&](std::size_t lo, std::size_t hi) {
+    std::size_t local_max = 0;
+    std::uint64_t local_total = 0;
+    for (std::size_t s = lo; s < hi; ++s) {
+      const auto src = static_cast<NodeId>(s * stride);
+      const auto dist = per_source(src);
+      for (const std::uint32_t d : dist) {
+        IPG_CHECK(d != kUnreached, "graph is disconnected");
+        local_max = std::max<std::size_t>(local_max, d);
+        local_total += d;
+      }
+    }
+    std::size_t prev = max_d.load(std::memory_order_relaxed);
+    while (local_max > prev &&
+           !max_d.compare_exchange_weak(prev, local_max, std::memory_order_relaxed)) {
+    }
+    total.fetch_add(local_total, std::memory_order_relaxed);
+  });
+
+  DistanceStats out;
+  out.diameter = max_d.load();
+  out.average = static_cast<double>(total.load()) /
+                (static_cast<double>(sources) * static_cast<double>(n));
+  out.sources_used = sources;
+  return out;
+}
+
+}  // namespace
+
+DistanceStats distance_stats(const Graph& g, std::size_t sample_sources) {
+  return sweep(g, sample_sources,
+               [&g](NodeId src) { return bfs_distances(g, src); });
+}
+
+DistanceStats intercluster_stats(const Graph& g, const Clustering& c,
+                                 std::size_t sample_sources) {
+  return sweep(g, sample_sources, [&g, &c](NodeId src) {
+    return intercluster_distances(g, c, src);
+  });
+}
+
+double intercluster_diameter_lower_bound(std::size_t num_nodes,
+                                         std::size_t cluster_size,
+                                         double intercluster_degree) {
+  IPG_CHECK(cluster_size >= 1 && num_nodes >= cluster_size, "bad cluster size");
+  const double clusters = static_cast<double>(num_nodes) /
+                          static_cast<double>(cluster_size);
+  const double fanout = static_cast<double>(cluster_size) * intercluster_degree;
+  if (fanout <= 1.0) return clusters - 1.0;
+  return std::log(clusters) / std::log(fanout);
+}
+
+double avg_intercluster_distance_lower_bound(std::size_t num_nodes,
+                                             std::size_t cluster_size,
+                                             double intercluster_degree) {
+  const double clusters = static_cast<double>(num_nodes) /
+                          static_cast<double>(cluster_size);
+  const double fanout = static_cast<double>(cluster_size) * intercluster_degree;
+  if (fanout <= 1.0) return (clusters - 1.0) / 2.0;
+  // Fill shells greedily: f^k new clusters at distance k.
+  double remaining = clusters - 1.0;
+  double shell = fanout;
+  double k = 1.0;
+  double weighted = 0.0;
+  while (remaining > 0) {
+    const double take = std::min(shell, remaining);
+    weighted += k * take;
+    remaining -= take;
+    shell *= fanout;
+    k += 1.0;
+  }
+  return weighted / clusters;  // averaged over all pairs incl. self cluster
+}
+
+}  // namespace ipg::metrics

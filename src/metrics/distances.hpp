@@ -1,0 +1,62 @@
+#pragma once
+// Distance metrics: diameter, average distance, and their intercluster
+// counterparts (§4.2).
+//
+// The intercluster distance between two nodes is the minimum number of
+// *off-chip* link traversals on any path between them; it is computed with
+// 0-1 BFS (on-chip edges weigh 0, off-chip edges weigh 1). Averages follow
+// the paper's convention of including the node-to-itself pair (§4.2 note
+// after Theorem 4.7). All-pairs sweeps are parallelized over sources and
+// can be sampled for very large graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::metrics {
+
+using topology::Clustering;
+using topology::Graph;
+using topology::NodeId;
+
+/// Unit-weight BFS distances from @p src.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// 0-1 BFS: number of intercluster hops needed to reach each node.
+std::vector<std::uint32_t> intercluster_distances(const Graph& g,
+                                                  const Clustering& c,
+                                                  NodeId src);
+
+struct DistanceStats {
+  std::size_t diameter = 0;
+  double average = 0;  ///< over ordered pairs, self pairs included
+  std::size_t sources_used = 0;
+};
+
+/// Diameter and average distance. If @p sample_sources is nonzero and less
+/// than the node count, that many evenly spaced sources are used (exact for
+/// vertex-transitive graphs, an estimate otherwise).
+DistanceStats distance_stats(const Graph& g, std::size_t sample_sources = 0);
+
+/// Intercluster diameter and average intercluster distance.
+DistanceStats intercluster_stats(const Graph& g, const Clustering& c,
+                                 std::size_t sample_sources = 0);
+
+/// Degree-based lower bound on the intercluster diameter of any network
+/// with N/M clusters and intercluster degree d: a cluster can reach at most
+/// (Md)^k clusters in k intercluster hops, so k >= log_{Md'}(N/M) with
+/// d' = per-cluster fanout Md. (Used by the Theorem 4.5/4.6 bench to show
+/// super-IPGs are within a small constant of optimal.)
+double intercluster_diameter_lower_bound(std::size_t num_nodes,
+                                         std::size_t cluster_size,
+                                         double intercluster_degree);
+
+/// Matching lower bound on the *average* intercluster distance: with
+/// per-cluster fanout f = M * d, at most f^k clusters lie within k hops, so
+/// the average over all clusters is at least sum_k k * (min(f^k, rest)).
+double avg_intercluster_distance_lower_bound(std::size_t num_nodes,
+                                             std::size_t cluster_size,
+                                             double intercluster_degree);
+
+}  // namespace ipg::metrics

@@ -1,0 +1,166 @@
+#include "metrics/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::metrics {
+
+using topology::Graph;
+using topology::NodeId;
+
+namespace {
+
+/// Balanced min-cut split of @p nodes (graph node ids) into equal halves:
+/// random balanced start + greedy pair-swap refinement, best of @p restarts.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> split_once(
+    const Graph& g, const std::vector<NodeId>& nodes, unsigned restarts,
+    util::Xoshiro256& rng) {
+  const std::size_t n = nodes.size();
+  std::vector<std::int32_t> index_of(g.num_nodes(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    index_of[nodes[i]] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& arc : g.arcs_of(nodes[i])) {
+      const auto j = index_of[arc.to];
+      if (j >= 0) adj[i].push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  std::vector<std::uint8_t> best_side(n, 0);
+  long best_cut = -1;
+  std::vector<std::uint32_t> order(n);
+  std::vector<std::uint8_t> side(n);
+  std::vector<long> gain(n);
+  for (unsigned r = 0; r < restarts; ++r) {
+    std::iota(order.begin(), order.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+    for (std::size_t i = 0; i < n; ++i) side[order[i]] = i < n / 2 ? 0 : 1;
+
+    auto compute_gain = [&](std::uint32_t v) {
+      long d = 0;
+      for (const auto u : adj[v]) d += side[u] != side[v] ? 1 : -1;
+      gain[v] = d;
+    };
+    for (std::uint32_t v = 0; v < n; ++v) compute_gain(v);
+    for (int pass = 0; pass < 48; ++pass) {
+      long best_gain = 0;
+      std::uint32_t bu = 0, bv = 0;
+      bool found = false;
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (side[u] != 0) continue;
+        for (std::uint32_t v = 0; v < n; ++v) {
+          if (side[v] != 1) continue;
+          long w_uv = 0;
+          for (const auto t : adj[u]) {
+            if (t == v) ++w_uv;
+          }
+          const long gg = gain[u] + gain[v] - 2 * w_uv;
+          if (gg > best_gain) {
+            best_gain = gg;
+            bu = u;
+            bv = v;
+            found = true;
+          }
+        }
+      }
+      if (!found) break;
+      side[bu] = 1;
+      side[bv] = 0;
+      compute_gain(bu);
+      compute_gain(bv);
+      for (const auto t : adj[bu]) compute_gain(t);
+      for (const auto t : adj[bv]) compute_gain(t);
+    }
+    long cut = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (const auto u : adj[v]) {
+        if (side[u] != side[v]) ++cut;
+      }
+    }
+    cut /= 2;
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      best_side = side;
+    }
+  }
+
+  std::pair<std::vector<NodeId>, std::vector<NodeId>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    (best_side[i] == 0 ? out.first : out.second).push_back(nodes[i]);
+  }
+  return out;
+}
+
+/// Places @p nodes (|nodes| a power of two) in the half-open rectangle,
+/// splitting the longer side exactly in half at every level.
+void place(const Graph& g, const std::vector<NodeId>& nodes, std::uint32_t x0,
+           std::uint32_t y0, std::uint32_t x1, std::uint32_t y1,
+           unsigned restarts, util::Xoshiro256& rng, GridLayout& layout) {
+  IPG_DCHECK(nodes.size() == static_cast<std::size_t>(x1 - x0) * (y1 - y0),
+             "region size must equal node count");
+  if (nodes.size() == 1) {
+    layout.position[nodes[0]] = {x0, y0};
+    return;
+  }
+  auto [left, right] = split_once(g, nodes, restarts, rng);
+  if (x1 - x0 >= y1 - y0) {
+    const std::uint32_t mid = x0 + (x1 - x0) / 2;
+    place(g, left, x0, y0, mid, y1, restarts, rng, layout);
+    place(g, right, mid, y0, x1, y1, restarts, rng, layout);
+  } else {
+    const std::uint32_t mid = y0 + (y1 - y0) / 2;
+    place(g, left, x0, y0, x1, mid, restarts, rng, layout);
+    place(g, right, x0, mid, x1, y1, restarts, rng, layout);
+  }
+}
+
+}  // namespace
+
+GridLayout recursive_bisection_layout(const Graph& g, unsigned restarts,
+                                      std::uint64_t seed) {
+  IPG_CHECK(g.num_nodes() >= 1 && g.num_nodes() <= 4096,
+            "layout estimator supports 1..4096 nodes");
+  IPG_CHECK(util::is_pow2(g.num_nodes()),
+            "layout estimator requires a power-of-two node count");
+  const auto bits = util::exact_log2(g.num_nodes());
+  GridLayout layout;
+  layout.width = std::uint32_t{1} << ((bits + 1) / 2);
+  layout.height = std::uint32_t{1} << (bits / 2);
+  layout.position.resize(g.num_nodes());
+
+  std::vector<NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  util::Xoshiro256 rng(seed);
+  place(g, all, 0, 0, layout.width, layout.height, restarts, rng, layout);
+
+  double total = 0, max_len = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (arc.to <= v) continue;  // count undirected wires once
+      const auto [ax, ay] = layout.position[v];
+      const auto [bx, by] = layout.position[arc.to];
+      const double len = std::abs(static_cast<double>(ax) - bx) +
+                         std::abs(static_cast<double>(ay) - by);
+      total += len;
+      max_len = std::max(max_len, len);
+    }
+  }
+  layout.total_wire_length = total;
+  layout.max_wire_length = max_len;
+  layout.avg_wire_length =
+      g.num_edges() == 0 ? 0 : total / static_cast<double>(g.num_edges());
+  return layout;
+}
+
+double thompson_area_lower_bound(double bisection_width) {
+  return bisection_width * bisection_width / 4.0;
+}
+
+}  // namespace ipg::metrics

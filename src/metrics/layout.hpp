@@ -1,0 +1,37 @@
+#pragma once
+// VLSI layout estimation by recursive bisection — the "recursive grid
+// layout scheme" the authors use in [29]/[33] to show that super-IPGs lay
+// out in smaller area than similar-size hypercubes (§5).
+//
+// Nodes are placed on a sqrt(N) x sqrt(N) grid by recursively bisecting
+// the node set (minimizing cut links) and splitting the placement region
+// along its longer side. Reported figures: total and maximum Manhattan
+// wire length, the wire-area estimate sum(wire lengths), and Thompson's
+// classic lower bound area >= (bisection width)^2 / 4 for comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::metrics {
+
+struct GridLayout {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> position;  ///< per node
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  double total_wire_length = 0;  ///< sum of Manhattan lengths over edges
+  double max_wire_length = 0;
+  double avg_wire_length = 0;
+};
+
+/// Places @p g by recursive min-cut bisection. Deterministic for a seed.
+/// Intended for graphs up to a few thousand nodes.
+GridLayout recursive_bisection_layout(const topology::Graph& g,
+                                      unsigned restarts = 4,
+                                      std::uint64_t seed = 0x1a9);
+
+/// Thompson's grid-area lower bound: area >= W_B^2 / 4.
+double thompson_area_lower_bound(double bisection_width);
+
+}  // namespace ipg::metrics

@@ -1,0 +1,83 @@
+#include "metrics/supergen_words.hpp"
+
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ipg::metrics {
+
+namespace {
+
+std::uint64_t pack(const topology::Arrangement& a, std::uint32_t mask) {
+  std::uint64_t k = mask;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    k |= static_cast<std::uint64_t>(a[i]) << (16 + 4 * i);
+  }
+  return k;
+}
+
+}  // namespace
+
+SuperGenWordStats analyze_supergen_words(const topology::SuperIpg& ipg) {
+  const std::size_t l = ipg.levels();
+  IPG_CHECK(l <= 8, "word analysis limited to levels <= 8 (state-space size)");
+  const std::uint32_t full_mask = (1u << l) - 1u;
+
+  topology::Arrangement id(l);
+  std::iota(id.begin(), id.end(), std::uint8_t{0});
+
+  struct State {
+    topology::Arrangement arr;
+    std::uint32_t mask;
+    std::size_t dist;
+  };
+  std::unordered_map<std::uint64_t, std::size_t> dist;  // key -> distance
+  std::deque<State> q;
+  const std::uint32_t start_mask = 1u;  // group 0 starts at the front
+  q.push_back({id, start_mask, 0});
+  dist.emplace(pack(id, start_mask), 0);
+
+  SuperGenWordStats stats;
+  bool found_visit_all = false;
+  // t_S needs, for every arrangement sigma, the shortest word reaching
+  // (sigma, full mask); collect those as BFS completes.
+  std::unordered_map<std::uint64_t, std::size_t> full_by_arr;  // packed arr -> dist
+
+  while (!q.empty()) {
+    const State cur = std::move(q.front());
+    q.pop_front();
+    if (cur.mask == full_mask) {
+      if (!found_visit_all) {
+        stats.t_visit_all = cur.dist;
+        found_visit_all = true;
+      }
+      const std::uint64_t akey = pack(cur.arr, 0);
+      full_by_arr.try_emplace(akey, cur.dist);  // BFS order => first is min
+    }
+    for (std::size_t s = 0; s < ipg.num_super_generators(); ++s) {
+      topology::Arrangement nxt = ipg.apply_to_arrangement(cur.arr, s);
+      const std::uint32_t nmask = cur.mask | (1u << nxt[0]);
+      const std::uint64_t key = pack(nxt, nmask);
+      if (dist.contains(key)) continue;
+      dist.emplace(key, cur.dist + 1);
+      q.push_back({std::move(nxt), nmask, cur.dist + 1});
+    }
+  }
+
+  stats.states = dist.size();
+  IPG_CHECK(found_visit_all, "super-generators cannot bring every group to the front");
+
+  // The reachable arrangements form a group; every reachable arrangement
+  // must be reachable with a full mask (keep walking), so take the max.
+  std::size_t t_s = 0;
+  for (const auto& [arr_key, d] : full_by_arr) {
+    (void)arr_key;
+    t_s = std::max(t_s, d);
+  }
+  stats.t_symmetric = t_s;
+  return stats;
+}
+
+}  // namespace ipg::metrics

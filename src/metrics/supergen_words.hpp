@@ -1,0 +1,31 @@
+#pragma once
+// Super-generator word analysis (Theorems 4.1 and 4.3).
+//
+// The intercluster diameter of a super-IPG whose clusters are single nuclei
+// equals t, the minimum number of super-generator applications after which
+// every super-symbol has appeared at the leftmost position at least once
+// (Theorem 4.1). For the symmetric variants the word must additionally be
+// able to end at *any* prescribed arrangement of the super-symbols, giving
+// t_S (Theorem 4.3). Both are computed exactly by BFS over
+// (arrangement, visited-groups) states.
+
+#include <cstddef>
+
+#include "topology/super_ipg.hpp"
+
+namespace ipg::metrics {
+
+struct SuperGenWordStats {
+  /// Theorem 4.1's t — intercluster diameter of the plain super-IPG.
+  std::size_t t_visit_all = 0;
+  /// Theorem 4.3's t_S — intercluster diameter of the symmetric variant.
+  std::size_t t_symmetric = 0;
+  /// Number of (arrangement, mask) states explored, for diagnostics.
+  std::size_t states = 0;
+};
+
+/// Exact t and t_S for the super-generator set of @p ipg. Feasible for
+/// levels <= 8 (state space l! * 2^l). Throws for larger instances.
+SuperGenWordStats analyze_supergen_words(const topology::SuperIpg& ipg);
+
+}  // namespace ipg::metrics

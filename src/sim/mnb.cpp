@@ -1,0 +1,109 @@
+#include "sim/mnb.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+namespace {
+
+/// BFS broadcast tree from @p root: children[v] = ports to forward on.
+/// Deterministic (ports scanned in order).
+std::vector<std::vector<std::uint16_t>> bfs_tree(const SimNetwork& net,
+                                                 NodeId root) {
+  const auto& g = net.graph();
+  std::vector<std::vector<std::uint16_t>> children(g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::deque<NodeId> q{root};
+  seen[root] = true;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop_front();
+    const auto arcs = g.arcs_of(v);
+    for (std::uint16_t p = 0; p < arcs.size(); ++p) {
+      const NodeId u = arcs[p].to;
+      if (seen[u]) continue;
+      seen[u] = true;
+      children[v].push_back(p);
+      q.push_back(u);
+    }
+  }
+  return children;
+}
+
+struct Send {
+  NodeId from;
+  std::uint16_t port;
+  NodeId message;  ///< message id = its source node
+};
+
+struct Completion {
+  double time;
+  std::size_t index;  ///< into in-flight sends
+  bool operator>(const Completion& o) const noexcept { return time > o.time; }
+};
+
+}  // namespace
+
+MnbResult run_mnb(const SimNetwork& net, double message_length_flits) {
+  const std::size_t n = net.num_nodes();
+  IPG_CHECK(n >= 2 && n <= 1024, "MNB execution supports 2..1024 nodes");
+
+  // Trees for every source.
+  std::vector<std::vector<std::vector<std::uint16_t>>> tree(n);
+  for (NodeId src = 0; src < n; ++src) tree[src] = bfs_tree(net, src);
+
+  // Per-link FIFO queue of pending sends and busy-until time.
+  std::vector<std::deque<Send>> queue(net.num_links());
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<std::size_t> peak_queue(net.num_links(), 0);
+
+  std::vector<Send> in_flight;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> events;
+
+  MnbResult res;
+
+  auto start_if_idle = [&](LinkId link, double now) {
+    if (busy_until[link] > now || queue[link].empty()) return;
+    const Send s = queue[link].front();
+    queue[link].pop_front();
+    const double done = now + message_length_flits / net.bandwidth(link);
+    busy_until[link] = done;
+    in_flight.push_back(s);
+    events.push({done, in_flight.size() - 1});
+  };
+
+  auto enqueue_children = [&](NodeId at, NodeId message, double now) {
+    for (const std::uint16_t port : tree[message][at]) {
+      const LinkId link = net.link_of(at, port);
+      queue[link].push_back({at, port, message});
+      peak_queue[link] = std::max(peak_queue[link], queue[link].size());
+      start_if_idle(link, now);
+    }
+  };
+
+  for (NodeId src = 0; src < n; ++src) enqueue_children(src, src, 0.0);
+
+  while (!events.empty()) {
+    const Completion ev = events.top();
+    events.pop();
+    const Send s = in_flight[ev.index];
+    const LinkId link = net.link_of(s.from, s.port);
+    const NodeId to = net.arc(s.from, s.port).to;
+    ++res.deliveries;
+    res.makespan_cycles = std::max(res.makespan_cycles, ev.time);
+    enqueue_children(to, s.message, ev.time);
+    start_if_idle(link, ev.time);  // next queued message on this link
+  }
+
+  IPG_CHECK(res.deliveries == n * (n - 1), "MNB did not reach every node");
+  double sum = 0;
+  for (const auto p : peak_queue) sum += static_cast<double>(p);
+  res.avg_link_queue_max = sum / static_cast<double>(net.num_links());
+  return res;
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,90 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace ipg::sim {
+
+SimNetwork::SimNetwork(Graph graph, Clustering chips,
+                       double offchip_budget_per_chip, double onchip_bandwidth)
+    : graph_(std::move(graph)), chips_(std::move(chips)) {
+  IPG_CHECK(chips_.num_nodes() == graph_.num_nodes(),
+            "clustering does not match graph");
+  IPG_CHECK(offchip_budget_per_chip > 0 && onchip_bandwidth > 0,
+            "bandwidths must be positive");
+
+  first_link_.resize(graph_.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    first_link_[v + 1] = first_link_[v] + graph_.degree(v);
+  }
+
+  // Off-chip links touching each chip (counted as outgoing arcs).
+  std::vector<std::size_t> offchip_links(chips_.num_clusters(), 0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const Arc& a : graph_.arcs_of(v)) {
+      if (chips_.is_intercluster(v, a.to)) ++offchip_links[chips_.cluster_of(v)];
+    }
+  }
+
+  bandwidth_.reserve(graph_.num_arcs());
+  offchip_.reserve(graph_.num_arcs());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const Arc& a : graph_.arcs_of(v)) {
+      if (!chips_.is_intercluster(v, a.to)) {
+        bandwidth_.push_back(onchip_bandwidth);
+        offchip_.push_back(false);
+        continue;
+      }
+      const auto ca = chips_.cluster_of(v);
+      const auto cb = chips_.cluster_of(a.to);
+      const double ba = offchip_budget_per_chip / static_cast<double>(offchip_links[ca]);
+      const double bb = offchip_budget_per_chip / static_cast<double>(offchip_links[cb]);
+      bandwidth_.push_back(std::min(ba, bb));
+      offchip_.push_back(true);
+    }
+  }
+}
+
+SimNetwork SimNetwork::with_uniform_bandwidth(Graph graph, Clustering chips,
+                                              double link_bandwidth) {
+  IPG_CHECK(link_bandwidth > 0, "bandwidth must be positive");
+  // Build through the chip constructor, then flatten all bandwidths.
+  SimNetwork net(std::move(graph), std::move(chips), 1.0, 1.0);
+  std::fill(net.bandwidth_.begin(), net.bandwidth_.end(), link_bandwidth);
+  return net;
+}
+
+SimNetwork SimNetwork::with_bandwidths(Graph graph, Clustering chips,
+                                       std::vector<double> per_arc_bandwidth) {
+  IPG_CHECK(per_arc_bandwidth.size() == graph.num_arcs(),
+            "need one bandwidth per arc");
+  for (const double b : per_arc_bandwidth) {
+    IPG_CHECK(b > 0, "bandwidths must be positive");
+  }
+  SimNetwork net(std::move(graph), std::move(chips), 1.0, 1.0);
+  net.bandwidth_ = std::move(per_arc_bandwidth);
+  return net;
+}
+
+std::size_t SimNetwork::port_for_dim(NodeId v, std::size_t dim) const {
+  const auto arcs = graph_.arcs_of(v);
+  for (std::size_t p = 0; p < arcs.size(); ++p) {
+    if (arcs[p].dim == dim) return p;
+  }
+  IPG_CHECK(false, "node has no link with the requested dimension label");
+  return 0;
+}
+
+std::vector<std::uint16_t> SimNetwork::ports_from_dims(
+    NodeId src, const std::vector<std::size_t>& dims) const {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(dims.size());
+  NodeId cur = src;
+  for (const std::size_t d : dims) {
+    const std::size_t p = port_for_dim(cur, d);
+    ports.push_back(static_cast<std::uint16_t>(p));
+    cur = arc(cur, p).to;
+  }
+  return ports;
+}
+
+}  // namespace ipg::sim

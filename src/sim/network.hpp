@@ -1,0 +1,76 @@
+#pragma once
+// The simulated network: a dimension-labelled graph plus a chip partition
+// and per-directed-link bandwidths (§4's MCMP hardware model).
+//
+// Bandwidth is in flits/cycle and may be fractional — the unit chip
+// capacity model gives every chip the same aggregate off-chip bandwidth,
+// spread over however many off-chip links the topology puts on the chip,
+// so per-link bandwidths like 8/15 flits/cycle arise naturally (the
+// HSN(3,Q4) example of §4). On-chip links are provisioned fast enough not
+// to be the bottleneck, per the paper's assumption.
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::sim {
+
+using topology::Arc;
+using topology::Clustering;
+using topology::Graph;
+using topology::NodeId;
+
+/// Index of a directed link: position in the graph's global arc array.
+using LinkId = std::size_t;
+
+class SimNetwork {
+ public:
+  /// @p offchip_budget_per_chip: total off-chip bandwidth of one chip
+  /// (flits/cycle), split uniformly over its off-chip links (a link gets
+  /// the min of its two endpoints' allocations). @p onchip_bandwidth:
+  /// bandwidth of every on-chip link.
+  SimNetwork(Graph graph, Clustering chips, double offchip_budget_per_chip,
+             double onchip_bandwidth);
+
+  /// Unit link capacity model (§3): every link, on- or off-chip, has the
+  /// same bandwidth.
+  static SimNetwork with_uniform_bandwidth(Graph graph, Clustering chips,
+                                           double link_bandwidth);
+
+  /// Explicit per-arc bandwidths (arc order = the graph's global arc
+  /// order). @p chips still classifies links as on-/off-chip for stats.
+  static SimNetwork with_bandwidths(Graph graph, Clustering chips,
+                                    std::vector<double> per_arc_bandwidth);
+
+  const Graph& graph() const noexcept { return graph_; }
+  const Clustering& chips() const noexcept { return chips_; }
+  std::size_t num_nodes() const noexcept { return graph_.num_nodes(); }
+  std::size_t num_links() const noexcept { return graph_.num_arcs(); }
+
+  /// Global link id of node @p v's @p port-th outgoing arc.
+  LinkId link_of(NodeId v, std::size_t port) const noexcept {
+    return first_link_[v] + port;
+  }
+  const Arc& arc(NodeId v, std::size_t port) const noexcept {
+    return graph_.arcs_of(v)[port];
+  }
+
+  double bandwidth(LinkId link) const noexcept { return bandwidth_[link]; }
+  bool is_offchip(LinkId link) const noexcept { return offchip_[link]; }
+
+  /// Port of @p v whose arc has dimension label @p dim; throws if absent.
+  std::size_t port_for_dim(NodeId v, std::size_t dim) const;
+
+  /// Converts a dimension word (generator indices) into a port route.
+  std::vector<std::uint16_t> ports_from_dims(NodeId src,
+                                             const std::vector<std::size_t>& dims) const;
+
+ private:
+  Graph graph_;
+  Clustering chips_;
+  std::vector<std::size_t> first_link_;  ///< per node, offset into arc array
+  std::vector<double> bandwidth_;        ///< per directed link
+  std::vector<bool> offchip_;
+};
+
+}  // namespace ipg::sim

@@ -1,0 +1,106 @@
+#include "sim/routers.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+using topology::Graph;
+using topology::NodeId;
+using topology::SuperIpg;
+
+Router hypercube_router(unsigned n) {
+  return [n](NodeId src, NodeId dst) {
+    std::vector<std::size_t> dims;
+    for (unsigned d = 0; d < n; ++d) {
+      if (((src ^ dst) >> d) & 1u) dims.push_back(d);
+    }
+    return dims;
+  };
+}
+
+Router kary_router(std::size_t k, std::size_t n) {
+  return [k, n](NodeId src, NodeId dst) {
+    std::vector<std::size_t> dims;
+    std::size_t s = src, t = dst;
+    for (std::size_t d = 0; d < n; ++d) {
+      const std::size_t a = s % k, b = t % k;
+      s /= k;
+      t /= k;
+      if (a == b) continue;
+      const std::size_t up = (b + k - a) % k;    // hops in +1 direction
+      const std::size_t down = k - up;           // hops in -1 direction
+      if (k == 2) {
+        dims.push_back(2 * d);
+      } else if (up <= down) {
+        dims.insert(dims.end(), up, 2 * d);
+      } else {
+        dims.insert(dims.end(), down, 2 * d + 1);
+      }
+    }
+    return dims;
+  };
+}
+
+Router super_ipg_router(const SuperIpg& ipg) {
+  return [&ipg](NodeId src, NodeId dst) { return ipg.route(src, dst); };
+}
+
+Router table_router(std::shared_ptr<const Graph> graph) {
+  IPG_CHECK(graph != nullptr, "table router needs a graph");
+  // Per-destination predecessor-port tables, built on first use.
+  struct Cache {
+    std::mutex mutex;
+    std::unordered_map<NodeId, std::vector<std::uint16_t>> toward;  // dst -> per-node out-dim
+  };
+  auto cache = std::make_shared<Cache>();
+  return [graph, cache](NodeId src, NodeId dst) {
+    constexpr std::uint16_t kNone = 0xffff;
+    std::vector<std::uint16_t>* table = nullptr;
+    {
+      std::lock_guard lock(cache->mutex);
+      auto it = cache->toward.find(dst);
+      if (it == cache->toward.end()) {
+        // Reverse BFS from dst: toward[v] = dimension of v's first hop on a
+        // shortest path to dst. Requires an undirected graph (all ours are).
+        std::vector<std::uint16_t> t(graph->num_nodes(), kNone);
+        std::deque<NodeId> q{dst};
+        std::vector<bool> seen(graph->num_nodes(), false);
+        seen[dst] = true;
+        while (!q.empty()) {
+          const NodeId v = q.front();
+          q.pop_front();
+          for (const auto& arc : graph->arcs_of(v)) {
+            if (seen[arc.to]) continue;
+            seen[arc.to] = true;
+            // arc.to's hop toward dst goes back over this link: find the
+            // reverse arc's dimension at arc.to.
+            for (const auto& back : graph->arcs_of(arc.to)) {
+              if (back.to == v) {
+                t[arc.to] = back.dim;
+                break;
+              }
+            }
+            q.push_back(arc.to);
+          }
+        }
+        it = cache->toward.emplace(dst, std::move(t)).first;
+      }
+      table = &it->second;
+    }
+    std::vector<std::size_t> dims;
+    NodeId cur = src;
+    while (cur != dst) {
+      const std::uint16_t d = (*table)[cur];
+      IPG_CHECK(d != kNone, "graph is disconnected — no route to destination");
+      dims.push_back(d);
+      cur = graph->neighbor(cur, d);
+    }
+    return dims;
+  };
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Route providers for the simulator: each returns the dimension word a
+// packet follows from src to dst. Minimal/canonical routes per topology:
+// e-cube (dimension order) for hypercubes and k-ary n-cubes, the §4.2
+// last-visit-rewrite route for super-IPGs, and a BFS-table fallback for
+// arbitrary graphs.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::sim {
+
+/// A router maps (src, dst) to the dimension labels of the hops.
+using Router =
+    std::function<std::vector<std::size_t>(topology::NodeId, topology::NodeId)>;
+
+/// Dimension-order (e-cube) routing on Q_n; deadlock-free.
+Router hypercube_router(unsigned n);
+
+/// Dimension-order routing on the k-ary n-cube, taking the shorter wrap
+/// direction per dimension (labels 2d / 2d+1 as in kary_ncube_graph).
+Router kary_router(std::size_t k, std::size_t n);
+
+/// The super-IPG family router (SuperIpg::route). The SuperIpg must
+/// outlive the returned router.
+Router super_ipg_router(const topology::SuperIpg& ipg);
+
+/// Shortest-path routing via per-destination BFS tables, built lazily and
+/// cached; intended for small graphs (memory O(N) per distinct dst).
+Router table_router(std::shared_ptr<const topology::Graph> graph);
+
+}  // namespace ipg::sim

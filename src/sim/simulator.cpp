@@ -1,0 +1,245 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+namespace {
+
+struct Packet {
+  NodeId src, dst;
+  double inject_time;
+  std::vector<std::uint16_t> ports;  ///< source route
+  std::size_t next_hop = 0;
+  NodeId at;  ///< current node
+};
+
+struct Event {
+  enum class Kind : std::uint8_t { kReady, kFreeBuffer };
+  double time;
+  std::uint32_t id;  ///< packet (kReady) or node (kFreeBuffer)
+  Kind kind;
+  bool operator>(const Event& o) const noexcept { return time > o.time; }
+};
+
+struct EngineStats {
+  double last_delivery = 0;
+  double latency_sum = 0;
+  double latency_max = 0;
+  std::vector<double> latencies;
+  std::size_t delivered = 0;
+  std::size_t hops = 0;
+  std::size_t offchip_hops = 0;
+};
+
+/// Core event loop: packets are "ready at node" events; serving a hop
+/// reserves the link FIFO (busy-until time) in global time order.
+EngineStats run_engine(const SimNetwork& net, std::vector<Packet>& packets,
+                       const SimConfig& cfg, std::vector<double>& link_busy_until,
+                       std::vector<double>& link_busy_time) {
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    events.push({packets[i].inject_time, i, Event::Kind::kReady});
+  }
+
+  // Bounded-buffer backpressure state (cfg.node_buffer_packets > 0).
+  const std::size_t cap = cfg.node_buffer_packets;
+  std::vector<std::size_t> occupancy;
+  std::vector<std::deque<std::uint32_t>> waiting;
+  if (cap > 0) {
+    occupancy.assign(net.num_nodes(), 0);
+    waiting.assign(net.num_nodes(), {});
+  }
+
+  EngineStats stats;
+  const double len = cfg.packet_length_flits;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    if (ev.kind == Event::Kind::kFreeBuffer) {
+      const NodeId node = ev.id;
+      --occupancy[node];
+      if (!waiting[node].empty()) {
+        const std::uint32_t pid = waiting[node].front();
+        waiting[node].pop_front();
+        events.push({ev.time, pid, Event::Kind::kReady});
+      }
+      continue;
+    }
+    Packet& p = packets[ev.id];
+    if (p.next_hop == p.ports.size()) {
+      // Delivered. For cut-through the tail may still be in flight; the
+      // ready event time already accounts for the last link's tail arrival
+      // (see below: delivery events are pushed at tail time).
+      const double latency = ev.time - p.inject_time;
+      stats.latency_sum += latency;
+      stats.latency_max = std::max(stats.latency_max, latency);
+      stats.latencies.push_back(latency);
+      stats.last_delivery = std::max(stats.last_delivery, ev.time);
+      ++stats.delivered;
+      continue;
+    }
+    const std::uint16_t port = p.ports[p.next_hop];
+    const LinkId link = net.link_of(p.at, port);
+    const NodeId to = net.arc(p.at, port).to;
+    const bool last_hop = p.next_hop + 1 == p.ports.size();
+
+    if (cap > 0 && !last_hop) {
+      // Intermediate node: need buffer space downstream (ejection at the
+      // destination is always possible).
+      if (occupancy[to] >= cap) {
+        waiting[to].push_back(ev.id);
+        continue;
+      }
+      ++occupancy[to];
+    }
+
+    const double start = std::max(ev.time, link_busy_until[link]);
+    const double transfer = len / net.bandwidth(link);
+    const double tail_arrival = start + transfer + cfg.link_latency_cycles;
+    link_busy_until[link] = start + transfer;
+    link_busy_time[link] += transfer;
+
+    // The packet's tail leaves the upstream node at start + transfer,
+    // freeing the buffer slot it held there (if it was an intermediate).
+    if (cap > 0 && p.next_hop > 0) {
+      events.push({start + transfer, p.at, Event::Kind::kFreeBuffer});
+    }
+
+    ++stats.hops;
+    if (net.is_offchip(link)) ++stats.offchip_hops;
+
+    p.at = to;
+    ++p.next_hop;
+    double ready_next;
+    if (cfg.switching == Switching::kStoreAndForward) {
+      ready_next = tail_arrival;
+    } else {
+      // Cut-through: the head is available after one flit time + latency;
+      // final delivery still waits for the tail.
+      const double head_arrival =
+          start + 1.0 / net.bandwidth(link) + cfg.link_latency_cycles;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    events.push({ready_next, ev.id, Event::Kind::kReady});
+  }
+  std::size_t expected = packets.size();
+  IPG_CHECK(stats.delivered == expected,
+            "simulation ended with undelivered packets — routing deadlock "
+            "under bounded buffers");
+  return stats;
+}
+
+SimResult summarize(const SimNetwork& net, const EngineStats& stats,
+                    const SimConfig& cfg, const std::vector<double>& link_busy_time) {
+  SimResult r;
+  r.packets_delivered = stats.delivered;
+  r.makespan_cycles = stats.last_delivery;
+  if (stats.delivered > 0) {
+    r.avg_latency_cycles = stats.latency_sum / static_cast<double>(stats.delivered);
+    r.max_latency_cycles = stats.latency_max;
+    std::vector<double> sorted = stats.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    r.p50_latency_cycles = sorted[sorted.size() / 2];
+    r.p99_latency_cycles = sorted[(sorted.size() * 99) / 100];
+    r.avg_hops = static_cast<double>(stats.hops) / static_cast<double>(stats.delivered);
+    r.avg_offchip_hops =
+        static_cast<double>(stats.offchip_hops) / static_cast<double>(stats.delivered);
+  }
+  if (stats.last_delivery > 0) {
+    r.throughput_flits_per_node_cycle =
+        static_cast<double>(stats.delivered) * cfg.packet_length_flits /
+        (static_cast<double>(net.num_nodes()) * stats.last_delivery);
+    double max_util = 0, sum_util = 0;
+    std::size_t offchip_count = 0;
+    for (LinkId l = 0; l < net.num_links(); ++l) {
+      if (!net.is_offchip(l)) continue;
+      const double util = link_busy_time[l] / stats.last_delivery;
+      max_util = std::max(max_util, util);
+      sum_util += util;
+      ++offchip_count;
+    }
+    r.max_offchip_utilization = max_util;
+    r.avg_offchip_utilization =
+        offchip_count == 0 ? 0 : sum_util / static_cast<double>(offchip_count);
+  }
+  return r;
+}
+
+}  // namespace
+
+SimResult run_batch(const SimNetwork& net, const Router& route,
+                    const std::vector<NodeId>& dst, const SimConfig& cfg) {
+  IPG_CHECK(dst.size() == net.num_nodes(), "one destination per node");
+  std::vector<Packet> packets;
+  packets.reserve(dst.size());
+  for (NodeId v = 0; v < dst.size(); ++v) {
+    if (dst[v] == v) continue;
+    Packet p;
+    p.src = v;
+    p.dst = dst[v];
+    p.at = v;
+    p.inject_time = 0;
+    p.ports = net.ports_from_dims(v, route(v, dst[v]));
+    packets.push_back(std::move(p));
+  }
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
+  return summarize(net, stats, cfg, busy_time);
+}
+
+SimResult run_total_exchange(const SimNetwork& net, const Router& route,
+                             const SimConfig& cfg) {
+  const std::size_t n = net.num_nodes();
+  IPG_CHECK(n <= 1024, "total exchange is quadratic; keep N <= 1024");
+  std::vector<Packet> packets;
+  packets.reserve(n * (n - 1));
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      Packet p;
+      p.src = src;
+      p.dst = dst;
+      p.at = src;
+      p.inject_time = 0;
+      p.ports = net.ports_from_dims(src, route(src, dst));
+      packets.push_back(std::move(p));
+    }
+  }
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
+  return summarize(net, stats, cfg, busy_time);
+}
+
+SimResult run_open(const SimNetwork& net, const Router& route,
+                   const TrafficPattern& pattern, double rate,
+                   std::size_t inject_cycles, const SimConfig& cfg) {
+  IPG_CHECK(rate > 0 && rate <= 1.0, "injection rate must be in (0, 1]");
+  util::Xoshiro256 rng(cfg.seed);
+  std::vector<Packet> packets;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
+      if (!rng.bernoulli(rate)) continue;
+      const NodeId d = pattern(v, rng);
+      if (d == v) continue;
+      Packet p;
+      p.src = v;
+      p.dst = d;
+      p.at = v;
+      p.inject_time = static_cast<double>(cycle);
+      p.ports = net.ports_from_dims(v, route(v, d));
+      packets.push_back(std::move(p));
+    }
+  }
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
+  return summarize(net, stats, cfg, busy_time);
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,82 @@
+#pragma once
+// Event-driven network simulator for MCMP experiments (§4).
+//
+// Packets follow source routes (one hop per dimension word entry). Every
+// directed link is a FIFO server with its own bandwidth (flits/cycle) and
+// latency; a packet's transfer over a link takes length/bandwidth cycles.
+// Switching modes differ in when the packet becomes available at the next
+// node:
+//   store-and-forward:   after the whole packet arrived (Thm 3.1 setting);
+//   virtual cut-through / wormhole: after the head flit arrived — the link
+//     stays busy until the tail passes. At this flow level VCT and
+//     wormhole coincide (the paper's bandwidth arguments are
+//     switching-independent, which the benches verify empirically).
+//
+// Two experiment shapes:
+//   run_batch:  one packet per node from a permutation/pattern snapshot;
+//     reports makespan, so saturation throughput = N * length / makespan.
+//   run_open:   Bernoulli injection at a given rate over a window; reports
+//     delivered throughput and average latency (latency-vs-load curves).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/routers.hpp"
+#include "sim/traffic.hpp"
+
+namespace ipg::sim {
+
+enum class Switching : std::uint8_t {
+  kStoreAndForward,
+  kVirtualCutThrough,
+  kWormhole,
+};
+
+struct SimConfig {
+  Switching switching = Switching::kStoreAndForward;
+  double packet_length_flits = 16;
+  double link_latency_cycles = 1;
+  /// Per-node buffer for in-transit packets; 0 = unbounded. With bounded
+  /// buffers a packet may not start crossing a link until the downstream
+  /// node has space (backpressure); ejection at the destination is always
+  /// possible. Routes must be deadlock-free (dimension order and the
+  /// hierarchical super-IPG routes are); a cyclic wait raises an error.
+  std::size_t node_buffer_packets = 0;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  std::size_t packets_delivered = 0;
+  double makespan_cycles = 0;       ///< time until the last delivery
+  double avg_latency_cycles = 0;    ///< injection -> full delivery
+  double p50_latency_cycles = 0;
+  double p99_latency_cycles = 0;
+  double max_latency_cycles = 0;
+  double avg_hops = 0;
+  double avg_offchip_hops = 0;
+  /// Delivered flits per node per cycle over the makespan.
+  double throughput_flits_per_node_cycle = 0;
+  double max_offchip_utilization = 0;  ///< busiest off-chip link
+  double avg_offchip_utilization = 0;
+};
+
+/// One packet per source with the given destinations (dst[v] == v means no
+/// packet); all injected at t = 0. Reports makespan-based throughput.
+SimResult run_batch(const SimNetwork& net, const Router& route,
+                    const std::vector<NodeId>& dst, const SimConfig& cfg);
+
+/// Open-loop run: each node injects packets with probability @p rate per
+/// cycle during @p inject_cycles, destinations drawn from @p pattern; the
+/// simulation then drains. Latency statistics cover all packets.
+SimResult run_open(const SimNetwork& net, const Router& route,
+                   const TrafficPattern& pattern, double rate,
+                   std::size_t inject_cycles, const SimConfig& cfg);
+
+/// Total exchange, executed (§3.3): every node sends one personalized
+/// packet to every other node — N(N-1) packets, all injected at t = 0.
+/// Keep N modest (packet count is quadratic).
+SimResult run_total_exchange(const SimNetwork& net, const Router& route,
+                             const SimConfig& cfg);
+
+}  // namespace ipg::sim

@@ -1,0 +1,88 @@
+#include "sim/static_analysis.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+
+LoadAnalysis analyze_uniform_load(const SimNetwork& net, const Router& route,
+                                  std::size_t exact_limit, std::size_t samples,
+                                  std::uint64_t seed) {
+  const std::size_t n = net.num_nodes();
+  IPG_CHECK(n >= 2, "need at least two nodes");
+  std::vector<double> uses(net.num_links(), 0.0);
+  double total_pairs = 0;
+
+  auto account = [&](NodeId src, NodeId dst) {
+    NodeId at = src;
+    for (const auto dim : route(src, dst)) {
+      const std::size_t port = net.port_for_dim(at, dim);
+      uses[net.link_of(at, port)] += 1.0;
+      at = net.arc(at, port).to;
+    }
+    total_pairs += 1.0;
+  };
+
+  if (n <= exact_limit) {
+    // Exact all-pairs enumeration, parallel over sources with per-chunk
+    // accumulators merged under a lock.
+    std::mutex merge_mutex;
+    util::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> local_uses(net.num_links(), 0.0);
+      double local_pairs = 0;
+      for (std::size_t s = lo; s < hi; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+          if (d == static_cast<NodeId>(s)) continue;
+          NodeId at = static_cast<NodeId>(s);
+          for (const auto dim : route(static_cast<NodeId>(s), d)) {
+            const std::size_t port = net.port_for_dim(at, dim);
+            local_uses[net.link_of(at, port)] += 1.0;
+            at = net.arc(at, port).to;
+          }
+          local_pairs += 1.0;
+        }
+      }
+      std::lock_guard lock(merge_mutex);
+      for (LinkId l = 0; l < net.num_links(); ++l) uses[l] += local_uses[l];
+      total_pairs += local_pairs;
+    });
+  } else {
+    util::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const auto s = static_cast<NodeId>(rng.below(n));
+      auto d = static_cast<NodeId>(rng.below(n - 1));
+      if (d >= s) ++d;
+      account(s, d);
+    }
+  }
+
+  LoadAnalysis out;
+  double best = 0;
+  double offchip_sum = 0;
+  std::size_t offchip_count = 0;
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    const double p = uses[l] / total_pairs;
+    if (net.is_offchip(l)) {
+      offchip_sum += p;
+      ++offchip_count;
+    }
+    if (p <= 0) continue;
+    const double saturation = net.bandwidth(l) / (static_cast<double>(n) * p);
+    if (out.bottleneck_probability == 0 || saturation < best) {
+      best = saturation;
+      out.bottleneck = l;
+      out.bottleneck_probability = p;
+      out.bottleneck_offchip = net.is_offchip(l);
+    }
+  }
+  out.predicted_saturation_throughput = best;
+  out.avg_offchip_probability =
+      offchip_count == 0 ? 0 : offchip_sum / static_cast<double>(offchip_count);
+  return out;
+}
+
+}  // namespace ipg::sim

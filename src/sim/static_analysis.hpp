@@ -1,0 +1,33 @@
+#pragma once
+// Static (route-level) load analysis — the paper's bandwidth arguments in
+// executable form. For uniform random traffic the expected flit rate into
+// a link is lambda * N * p_L * len, where p_L is the probability a random
+// packet's route crosses the link; saturation is reached when the most
+// loaded link hits its bandwidth. This predicts the simulator's saturation
+// throughput without running it, and the benches/tests cross-check the two.
+
+#include <cstddef>
+
+#include "sim/network.hpp"
+#include "sim/routers.hpp"
+
+namespace ipg::sim {
+
+struct LoadAnalysis {
+  LinkId bottleneck = 0;
+  double bottleneck_probability = 0;  ///< p_L of the most loaded link
+  bool bottleneck_offchip = false;
+  /// Saturation throughput in flits per node per cycle:
+  /// min over links of bandwidth_L / (N * p_L).
+  double predicted_saturation_throughput = 0;
+  double avg_offchip_probability = 0;  ///< mean p_L over off-chip links
+};
+
+/// Enumerates all ordered pairs when N <= @p exact_limit, otherwise samples
+/// @p samples random pairs. Deterministic for a seed.
+LoadAnalysis analyze_uniform_load(const SimNetwork& net, const Router& route,
+                                  std::size_t exact_limit = 512,
+                                  std::size_t samples = 200'000,
+                                  std::uint64_t seed = 0x10ad);
+
+}  // namespace ipg::sim

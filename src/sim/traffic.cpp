@@ -1,0 +1,62 @@
+#include "sim/traffic.hpp"
+
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+TrafficPattern uniform_traffic(std::size_t num_nodes) {
+  return [num_nodes](NodeId src, util::Xoshiro256& rng) {
+    const auto d = static_cast<NodeId>(rng.below(num_nodes - 1));
+    return d >= src ? d + 1 : d;  // skip self
+  };
+}
+
+TrafficPattern bit_complement_traffic(std::size_t num_nodes) {
+  IPG_CHECK(util::is_pow2(num_nodes), "bit-complement needs a power-of-two size");
+  const auto mask = static_cast<NodeId>(num_nodes - 1);
+  return [mask](NodeId src, util::Xoshiro256&) { return src ^ mask; };
+}
+
+TrafficPattern transpose_traffic(std::size_t num_nodes) {
+  IPG_CHECK(util::is_pow2(num_nodes), "transpose needs a power-of-two size");
+  const unsigned bits = util::exact_log2(num_nodes);
+  IPG_CHECK(bits % 2 == 0, "transpose needs an even number of address bits");
+  const unsigned half = bits / 2;
+  const auto lo_mask = (NodeId{1} << half) - 1;
+  return [half, lo_mask](NodeId src, util::Xoshiro256&) {
+    return static_cast<NodeId>(((src & lo_mask) << half) | (src >> half));
+  };
+}
+
+TrafficPattern bit_reversal_traffic(std::size_t num_nodes) {
+  IPG_CHECK(util::is_pow2(num_nodes), "bit-reversal needs a power-of-two size");
+  const unsigned bits = util::exact_log2(num_nodes);
+  return [bits](NodeId src, util::Xoshiro256&) {
+    return static_cast<NodeId>(util::bit_reverse(src, bits));
+  };
+}
+
+TrafficPattern hotspot_traffic(std::size_t num_nodes, NodeId hot,
+                               double hot_fraction) {
+  IPG_CHECK(hot < num_nodes, "hot spot out of range");
+  auto uniform = uniform_traffic(num_nodes);
+  return [uniform, hot, hot_fraction](NodeId src, util::Xoshiro256& rng) {
+    if (src != hot && rng.bernoulli(hot_fraction)) return hot;
+    return uniform(src, rng);
+  };
+}
+
+std::vector<NodeId> random_permutation(std::size_t num_nodes,
+                                       util::Xoshiro256& rng) {
+  std::vector<NodeId> perm(num_nodes);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::size_t i = num_nodes; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  return perm;
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,42 @@
+#pragma once
+// Traffic patterns for the MCMP experiments (§1/§4: random routing, matrix
+// transposition, and friends).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::sim {
+
+using topology::NodeId;
+
+/// Maps a source node to a destination; stateful patterns carry their RNG.
+using TrafficPattern = std::function<NodeId(NodeId, util::Xoshiro256&)>;
+
+/// Uniformly random destination (excluding self).
+TrafficPattern uniform_traffic(std::size_t num_nodes);
+
+/// Bit-complement: dst = ~src over log2(N) bits.
+TrafficPattern bit_complement_traffic(std::size_t num_nodes);
+
+/// Matrix transposition: dst swaps the high and low halves of the address
+/// bits (requires an even number of address bits).
+TrafficPattern transpose_traffic(std::size_t num_nodes);
+
+/// Bit-reversal permutation traffic.
+TrafficPattern bit_reversal_traffic(std::size_t num_nodes);
+
+/// Hot-spot: with probability @p hot_fraction the destination is @p hot,
+/// otherwise uniform.
+TrafficPattern hotspot_traffic(std::size_t num_nodes, NodeId hot,
+                               double hot_fraction);
+
+/// One packet per node with destinations forming a random permutation
+/// (used by the batch/makespan experiments).
+std::vector<NodeId> random_permutation(std::size_t num_nodes,
+                                       util::Xoshiro256& rng);
+
+}  // namespace ipg::sim

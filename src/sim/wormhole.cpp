@@ -1,0 +1,265 @@
+#include "sim/wormhole.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::sim {
+
+namespace {
+
+struct Worm {
+  std::vector<std::uint16_t> ports;   ///< per-hop output port
+  std::vector<LinkId> links;          ///< per-hop link id
+  std::vector<std::uint8_t> vc;       ///< per-hop VC class
+  std::size_t len = 0;                ///< flits
+  /// sent[h]: flits that have crossed link h. Derived quantities:
+  ///   avail(h) = (h ? sent[h-1] : len) - sent[h]   (flits ready to cross h)
+  ///   occ(h)   = sent[h] - sent[h+1]               (flits buffered after h)
+  std::vector<std::size_t> sent;
+  std::size_t next_alloc = 0;  ///< first hop without a VC allocation
+  bool delivered = false;
+  double inject = 0;  ///< cycle at which the worm enters its source queue
+};
+
+}  // namespace
+
+VcClassifier single_vc_class() {
+  return [](NodeId, const std::vector<std::size_t>& dims) {
+    return std::vector<std::uint8_t>(dims.size(), 0);
+  };
+}
+
+VcClassifier super_ipg_vc_classes(std::size_t num_nucleus_generators) {
+  return [num_nucleus_generators](NodeId, const std::vector<std::size_t>& dims) {
+    std::vector<std::uint8_t> cls(dims.size());
+    std::uint8_t c = 0;
+    for (std::size_t h = 0; h < dims.size(); ++h) {
+      cls[h] = c;
+      if (dims[h] >= num_nucleus_generators) ++c;  // super hop: next class
+    }
+    return cls;
+  };
+}
+
+VcClassifier torus_dateline_vc_classes(std::size_t k, std::size_t n) {
+  return [k, n](NodeId src, const std::vector<std::size_t>& dims) {
+    // Track the coordinate per dimension; crossing the wraparound edge in
+    // either direction switches that dimension's remaining hops to class 1.
+    std::vector<std::size_t> coord(n);
+    std::size_t rest = src;
+    for (std::size_t d = 0; d < n; ++d) {
+      coord[d] = rest % k;
+      rest /= k;
+    }
+    std::vector<std::uint8_t> wrapped(n, 0);
+    std::vector<std::uint8_t> cls(dims.size());
+    for (std::size_t h = 0; h < dims.size(); ++h) {
+      const std::size_t d = dims[h] / 2;
+      const bool up = dims[h] % 2 == 0;
+      if (up && coord[d] == k - 1) wrapped[d] = 1;
+      if (!up && coord[d] == 0) wrapped[d] = 1;
+      cls[h] = wrapped[d];
+      coord[d] = up ? (coord[d] + 1) % k : (coord[d] + k - 1) % k;
+    }
+    return cls;
+  };
+}
+
+namespace {
+
+/// Builds one worm; returns an empty optional-like worm (no ports) when
+/// src == dst.
+Worm build_worm(const SimNetwork& net, const Router& route,
+                const VcClassifier& classes, const WormholeConfig& cfg,
+                NodeId src, NodeId dst, double inject) {
+  Worm w;
+  const auto dims = route(src, dst);
+  w.ports = net.ports_from_dims(src, dims);
+  w.len = cfg.packet_length_flits;
+  w.inject = inject;
+  w.links.reserve(w.ports.size());
+  std::vector<std::uint8_t> cls =
+      classes ? classes(src, dims) : std::vector<std::uint8_t>(dims.size(), 0);
+  IPG_CHECK(cls.size() == dims.size(), "classifier must cover every hop");
+  NodeId at = src;
+  for (std::size_t h = 0; h < w.ports.size(); ++h) {
+    w.links.push_back(net.link_of(at, w.ports[h]));
+    IPG_CHECK(cls[h] < cfg.num_vcs,
+              "VC class exceeds num_vcs — raise num_vcs to keep the "
+              "channel dependency graph acyclic");
+    at = net.arc(at, w.ports[h]).to;
+  }
+  w.vc = std::move(cls);
+  w.sent.assign(w.ports.size(), 0);
+  return w;
+}
+
+WormholeResult run_worms(const SimNetwork& net, std::vector<Worm> worms,
+                         const WormholeConfig& cfg) {
+  IPG_CHECK(cfg.num_vcs >= 1 && cfg.vc_buffer_flits >= 1,
+            "need at least one VC and one buffer slot");
+  // --- per-(link, vc) ownership, per-link credits ---------------------------
+  constexpr std::uint32_t kFree = static_cast<std::uint32_t>(-1);
+  const std::size_t vc_slots = net.num_links() * cfg.num_vcs;
+  std::vector<std::uint32_t> owner(vc_slots, kFree);
+  std::vector<double> credit(net.num_links(), 0.0);
+  std::vector<std::uint8_t> rr(net.num_links(), 0);  ///< round-robin pointer
+
+  auto slot = [&](LinkId link, std::uint8_t vc) {
+    return link * cfg.num_vcs + vc;
+  };
+
+  WormholeResult res;
+  std::size_t remaining = worms.size();
+  std::size_t stall = 0;
+  double latency_sum = 0;
+  std::size_t hop_sum = 0;
+
+  // Snapshot of `sent` at cycle start, per worm — a flit that crosses link
+  // h-1 this cycle may not also cross link h (one link per flit per cycle).
+  std::vector<std::vector<std::size_t>> sent0(worms.size());
+
+  std::size_t cycle = 0;
+  for (; cycle < cfg.max_cycles && remaining > 0; ++cycle) {
+    // Phase 1: VC allocation — heads request the next link in order.
+    for (std::uint32_t wi = 0; wi < worms.size(); ++wi) {
+      Worm& w = worms[wi];
+      if (w.delivered || w.inject > static_cast<double>(cycle) ||
+          w.next_alloc >= w.ports.size()) {
+        continue;
+      }
+      const std::size_t h = w.next_alloc;
+      // Head must have crossed the previous link already (or be at src).
+      if (h > 0 && w.sent[h - 1] == 0) continue;
+      auto& own = owner[slot(w.links[h], w.vc[h])];
+      if (own != kFree) continue;  // VC busy: head-of-line wait
+      own = wi;
+      ++w.next_alloc;
+    }
+
+    // Phase 2: flit movement against the start-of-cycle snapshot.
+    for (std::uint32_t wi = 0; wi < worms.size(); ++wi) sent0[wi] = worms[wi].sent;
+
+    bool any_movement = false;
+    for (LinkId link = 0; link < net.num_links(); ++link) {
+      double c = std::min(credit[link] + net.bandwidth(link),
+                          std::max(1.0, net.bandwidth(link)));
+      bool progress = true;
+      while (c >= 1.0 && progress) {
+        progress = false;
+        for (std::size_t probe = 0; probe < cfg.num_vcs && c >= 1.0; ++probe) {
+          const auto vc =
+              static_cast<std::uint8_t>((rr[link] + probe) % cfg.num_vcs);
+          const std::uint32_t wi = owner[slot(link, vc)];
+          if (wi == kFree) continue;
+          Worm& w = worms[wi];
+          // First unfinished hop of this worm over (link, vc). Routes never
+          // reuse a link, so the match is unique.
+          std::size_t h = w.ports.size();
+          for (std::size_t k = 0; k < w.next_alloc; ++k) {
+            if (w.links[k] == link && w.vc[k] == vc && w.sent[k] < w.len) {
+              h = k;
+              break;
+            }
+          }
+          if (h == w.ports.size()) continue;
+          // No-teleport rule: availability from the snapshot.
+          const std::size_t upstream = h == 0 ? w.len : sent0[wi][h - 1];
+          if (upstream <= w.sent[h]) continue;
+          const bool last_hop = h + 1 == w.ports.size();
+          if (!last_hop && w.sent[h] - w.sent[h + 1] >= cfg.vc_buffer_flits) {
+            continue;  // downstream buffer full
+          }
+          // Move one flit across `link`.
+          c -= 1.0;
+          progress = true;
+          any_movement = true;
+          rr[link] = static_cast<std::uint8_t>((vc + 1) % cfg.num_vcs);
+          ++w.sent[h];
+          if (w.sent[h] == w.len) {
+            // The tail crossing link h empties the buffer of link h-1, so
+            // that VC can be recycled; the VC of link h itself stays held
+            // until the tail drains further (or is ejected on the last hop).
+            if (h >= 1) owner[slot(w.links[h - 1], w.vc[h - 1])] = kFree;
+            if (last_hop) {
+              owner[slot(link, vc)] = kFree;
+              w.delivered = true;
+              --remaining;
+              ++res.packets_delivered;
+              latency_sum += static_cast<double>(cycle + 1) - w.inject;
+              hop_sum += w.ports.size();
+              res.makespan_cycles = static_cast<double>(cycle + 1);
+            }
+          }
+        }
+      }
+      credit[link] = std::min(c, std::max(1.0, net.bandwidth(link)));
+    }
+    bool any_active = false;
+    for (const Worm& w : worms) {
+      if (!w.delivered && w.inject <= static_cast<double>(cycle)) {
+        any_active = true;
+        break;
+      }
+    }
+    stall = (any_movement || !any_active) ? 0 : stall + 1;
+    IPG_CHECK(stall <= cfg.stall_limit,
+              "wormhole simulation stalled — routing deadlock or starvation");
+  }
+  IPG_CHECK(remaining == 0, "wormhole simulation exceeded max_cycles");
+
+  if (res.packets_delivered > 0) {
+    res.avg_latency_cycles = latency_sum / static_cast<double>(res.packets_delivered);
+    res.avg_hops = static_cast<double>(hop_sum) /
+                   static_cast<double>(res.packets_delivered);
+  }
+  if (res.makespan_cycles > 0) {
+    res.throughput_flits_per_node_cycle =
+        static_cast<double>(res.packets_delivered) *
+        static_cast<double>(cfg.packet_length_flits) /
+        (static_cast<double>(net.num_nodes()) * res.makespan_cycles);
+  }
+  return res;
+}
+
+}  // namespace
+
+WormholeResult run_wormhole_batch(const SimNetwork& net, const Router& route,
+                                  const std::vector<NodeId>& dst,
+                                  const WormholeConfig& cfg,
+                                  const VcClassifier& classes) {
+  IPG_CHECK(dst.size() == net.num_nodes(), "one destination per node");
+  std::vector<Worm> worms;
+  for (NodeId v = 0; v < dst.size(); ++v) {
+    if (dst[v] == v) continue;
+    Worm w = build_worm(net, route, classes, cfg, v, dst[v], 0.0);
+    if (!w.ports.empty()) worms.push_back(std::move(w));
+  }
+  return run_worms(net, std::move(worms), cfg);
+}
+
+WormholeResult run_wormhole_open(const SimNetwork& net, const Router& route,
+                                 const TrafficPattern& pattern, double rate,
+                                 std::size_t inject_cycles,
+                                 const WormholeConfig& cfg,
+                                 const VcClassifier& classes,
+                                 std::uint64_t seed) {
+  IPG_CHECK(rate > 0 && rate <= 1.0, "injection rate must be in (0, 1]");
+  util::Xoshiro256 rng(seed);
+  std::vector<Worm> worms;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
+      if (!rng.bernoulli(rate)) continue;
+      const NodeId d = pattern(v, rng);
+      if (d == v) continue;
+      Worm w = build_worm(net, route, classes, cfg, v, d,
+                          static_cast<double>(cycle));
+      if (!w.ports.empty()) worms.push_back(std::move(w));
+    }
+  }
+  return run_worms(net, std::move(worms), cfg);
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,82 @@
+#pragma once
+// Cycle-accurate flit-level wormhole simulator.
+//
+// The flow-level engine in simulator.hpp treats wormhole as cut-through;
+// this engine models it properly: packets are worms of `length` flits,
+// input buffers hold a few flits per virtual channel, a blocked worm stalls
+// in place across multiple routers, and flits advance at most one link per
+// cycle (fractional link bandwidths are honoured with credit accumulators,
+// so the unit-chip-capacity model's 8/15-flit/cycle links work unchanged).
+//
+// Deadlock freedom: each hop carries a VC class = number of *super*
+// (off-chip) hops completed so far. Within a class, nucleus-internal routes
+// are dimension-ordered (acyclic channel dependencies); crossing a super
+// link strictly increases the class, so the full channel dependency graph
+// is acyclic whenever num_vcs exceeds the maximum off-chip hop count of a
+// route (l-1 for the super-IPG routers, 0 for e-cube). A configurable
+// stall detector turns an unexpected deadlock into an error instead of a
+// hang.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+
+namespace ipg::sim {
+
+struct WormholeConfig {
+  std::size_t packet_length_flits = 16;
+  unsigned num_vcs = 4;             ///< must exceed max off-chip hops per route
+  std::size_t vc_buffer_flits = 8;  ///< per (link, vc) input buffer
+  std::size_t max_cycles = 10'000'000;
+  std::size_t stall_limit = 100'000;  ///< cycles without progress => deadlock
+};
+
+/// Assigns a VC class to every hop of a route; the engine uses the class
+/// as the VC index. Deadlock freedom requires classes that make the
+/// channel dependency graph acyclic (see the helpers below).
+using VcClassifier = std::function<std::vector<std::uint8_t>(
+    topology::NodeId src, const std::vector<std::size_t>& dims)>;
+
+/// All hops class 0 — correct for inherently acyclic routes (e-cube on a
+/// hypercube, meshes without wraparound).
+VcClassifier single_vc_class();
+
+/// Super-IPG routes: class = number of super (off-chip) hops completed;
+/// nucleus-internal segments are dimension-ordered, so ranks increase
+/// monotonically along every route. Needs num_vcs >= l.
+VcClassifier super_ipg_vc_classes(std::size_t num_nucleus_generators);
+
+/// k-ary n-cube dateline scheme: within each dimension's run, class 0
+/// until the hop that crosses the wraparound, class 1 after. Needs
+/// num_vcs >= 2.
+VcClassifier torus_dateline_vc_classes(std::size_t k, std::size_t n);
+
+struct WormholeResult {
+  std::size_t packets_delivered = 0;
+  double makespan_cycles = 0;
+  double avg_latency_cycles = 0;
+  double avg_hops = 0;
+  double throughput_flits_per_node_cycle = 0;
+};
+
+/// One packet per source (dst[v] == v means none), all injected at cycle 0.
+/// @p classes assigns VC classes per hop; pass {} for single-class routing.
+WormholeResult run_wormhole_batch(const SimNetwork& net, const Router& route,
+                                  const std::vector<NodeId>& dst,
+                                  const WormholeConfig& cfg,
+                                  const VcClassifier& classes = {});
+
+/// Open-loop wormhole: each node injects with probability @p rate per
+/// cycle for @p inject_cycles cycles, destinations from @p pattern; the
+/// network then drains. Latencies are measured from injection.
+WormholeResult run_wormhole_open(const SimNetwork& net, const Router& route,
+                                 const TrafficPattern& pattern, double rate,
+                                 std::size_t inject_cycles,
+                                 const WormholeConfig& cfg,
+                                 const VcClassifier& classes = {},
+                                 std::uint64_t seed = 1);
+
+}  // namespace ipg::sim

@@ -1,0 +1,45 @@
+#include "topology/dot.hpp"
+
+#include <sstream>
+
+namespace ipg::topology {
+
+std::string to_dot(const Graph& g, const Clustering* chips) {
+  IPG_CHECK(chips == nullptr || chips->num_nodes() == g.num_nodes(),
+            "clustering does not match graph");
+  std::ostringstream os;
+  os << "graph \"" << g.name() << "\" {\n  node [shape=circle];\n";
+  if (chips != nullptr) {
+    for (std::uint32_t c = 0; c < chips->num_clusters(); ++c) {
+      os << "  subgraph cluster_" << c << " {\n    label=\"chip " << c
+         << "\";\n   ";
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (chips->cluster_of(v) == c) os << ' ' << v << ';';
+      }
+      os << "\n  }\n";
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      // Emit each undirected pair once; a lone directed arc gets an arrow.
+      bool has_reverse = false;
+      for (const auto& back : g.arcs_of(arc.to)) {
+        if (back.to == v) {
+          has_reverse = true;
+          break;
+        }
+      }
+      if (has_reverse && arc.to < v) continue;
+      os << "  " << v << " -- " << arc.to << " [label=\"d" << arc.dim << '"';
+      if (!has_reverse) os << ", dir=forward";
+      if (chips != nullptr && chips->is_intercluster(v, arc.to)) {
+        os << ", style=bold, color=red";
+      }
+      os << "];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,17 @@
+#pragma once
+// Graphviz (DOT) export for visual inspection of the families and their
+// chip partitions: chips become clusters, off-chip links are highlighted.
+
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace ipg::topology {
+
+/// Renders @p g as an undirected DOT graph (directed arcs without a
+/// reverse become directed edges). With a clustering, nodes are grouped
+/// into `subgraph cluster_i` blocks and off-chip edges drawn bold. Keep
+/// the graph small (<= ~2000 nodes) — DOT is for inspection, not storage.
+std::string to_dot(const Graph& g, const Clustering* chips = nullptr);
+
+}  // namespace ipg::topology

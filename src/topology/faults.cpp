@@ -1,0 +1,152 @@
+#include "topology/faults.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ipg::topology {
+
+namespace {
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+Graph remove_links(const Graph& g,
+                   const std::vector<std::pair<NodeId, NodeId>>& dead) {
+  std::unordered_set<std::uint64_t> dead_set;
+  for (const auto& [a, b] : dead) dead_set.insert(pair_key(a, b));
+  GraphBuilder b(g.name() + " (degraded)", g.num_nodes(), g.num_dims());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (!dead_set.contains(pair_key(v, arc.to))) b.add_arc(v, arc.to, arc.dim);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& dead) {
+  std::vector<bool> is_dead(g.num_nodes(), false);
+  for (const NodeId v : dead) is_dead[v] = true;
+  GraphBuilder b(g.name() + " (degraded)", g.num_nodes(), g.num_dims());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (is_dead[v]) continue;
+    for (const auto& arc : g.arcs_of(v)) {
+      if (!is_dead[arc.to]) b.add_arc(v, arc.to, arc.dim);
+    }
+  }
+  return std::move(b).build();
+}
+
+bool is_connected_ignoring_isolated(const Graph& g) {
+  NodeId start = kInvalidNode;
+  std::size_t live = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      if (start == kInvalidNode) start = v;
+      ++live;
+    }
+  }
+  if (start == kInvalidNode) return false;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::deque<NodeId> q{start};
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop_front();
+    for (const auto& arc : g.arcs_of(v)) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = true;
+        ++reached;
+        q.push_back(arc.to);
+      }
+    }
+  }
+  return reached == live;
+}
+
+namespace {
+
+/// Unit-capacity BFS augmentation over an adjacency-list flow network.
+/// Nodes are indices; arcs come in (to, reverse-index) pairs.
+struct FlowNet {
+  struct FArc {
+    std::uint32_t to;
+    std::uint32_t rev;
+    std::int8_t cap;
+  };
+  std::vector<std::vector<FArc>> adj;
+
+  void add(std::uint32_t a, std::uint32_t b, std::int8_t cap) {
+    adj[a].push_back({b, static_cast<std::uint32_t>(adj[b].size()), cap});
+    adj[b].push_back({a, static_cast<std::uint32_t>(adj[a].size() - 1), 0});
+  }
+
+  bool augment(std::uint32_t s, std::uint32_t t) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pred(
+        adj.size(), {UINT32_MAX, UINT32_MAX});
+    std::deque<std::uint32_t> q{s};
+    pred[s] = {s, UINT32_MAX};
+    while (!q.empty() && pred[t].first == UINT32_MAX) {
+      const auto v = q.front();
+      q.pop_front();
+      for (std::uint32_t i = 0; i < adj[v].size(); ++i) {
+        const auto& a = adj[v][i];
+        if (a.cap <= 0 || pred[a.to].first != UINT32_MAX) continue;
+        pred[a.to] = {v, i};
+        q.push_back(a.to);
+      }
+    }
+    if (pred[t].first == UINT32_MAX) return false;
+    for (std::uint32_t v = t; v != s;) {
+      const auto [pv, pi] = pred[v];
+      auto& a = adj[pv][pi];
+      --a.cap;
+      ++adj[v][a.rev].cap;
+      v = pv;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::size_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                std::size_t max_k) {
+  IPG_CHECK(s < g.num_nodes() && t < g.num_nodes() && s != t,
+            "need two distinct nodes");
+  FlowNet net;
+  net.adj.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) net.add(v, arc.to, 1);
+  }
+  std::size_t flow = 0;
+  while (flow < max_k && net.augment(s, t)) ++flow;
+  return flow;
+}
+
+std::size_t node_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                std::size_t max_k) {
+  IPG_CHECK(s < g.num_nodes() && t < g.num_nodes() && s != t,
+            "need two distinct nodes");
+  // Split every node v into v_in (v) and v_out (v + N) with capacity 1,
+  // except s and t which get large capacity.
+  const std::uint32_t n = static_cast<std::uint32_t>(g.num_nodes());
+  FlowNet net;
+  net.adj.resize(2 * n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::int8_t cap = (v == s || v == t) ? std::int8_t{127} : std::int8_t{1};
+    net.add(v, v + n, cap);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) net.add(v + n, arc.to, 1);
+  }
+  std::size_t flow = 0;
+  while (flow < max_k && net.augment(s, t + n)) ++flow;
+  return flow;
+}
+
+}  // namespace ipg::topology

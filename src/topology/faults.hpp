@@ -1,0 +1,40 @@
+#pragma once
+// Fault modelling and connectivity analysis (§5 lists reliability among
+// the success factors of a topology; super-IPGs inherit the connectivity
+// of their nucleus plus the super-generator links).
+//
+// Provides fault injection (dead links / dead nodes) producing degraded
+// graphs, connectivity checks, and exact edge-/node-disjoint path counts
+// via BFS augmentation (unit-capacity max-flow) — the classic measure of
+// how many faults a route can survive.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::topology {
+
+/// Removes every arc between the given unordered node pairs.
+Graph remove_links(const Graph& g,
+                   const std::vector<std::pair<NodeId, NodeId>>& dead);
+
+/// Removes every arc touching the given nodes (the nodes keep their ids
+/// but become isolated).
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& dead);
+
+/// True iff all non-isolated nodes are mutually reachable and at least one
+/// node has a link.
+bool is_connected_ignoring_isolated(const Graph& g);
+
+/// Maximum number of pairwise edge-disjoint s-t paths (capped at @p max_k
+/// augmentations). Treats each undirected link as capacity 1 per direction.
+std::size_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                std::size_t max_k = 64);
+
+/// Maximum number of internally node-disjoint s-t paths (node splitting).
+std::size_t node_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                std::size_t max_k = 64);
+
+}  // namespace ipg::topology

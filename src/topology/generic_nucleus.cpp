@@ -1,0 +1,31 @@
+#include "topology/generic_nucleus.hpp"
+
+#include "util/check.hpp"
+
+namespace ipg::topology {
+
+GenericIpgNucleus::GenericIpgNucleus(core::Ipg ipg, std::string name)
+    : ipg_(std::move(ipg)), name_(std::move(name)) {
+  IPG_CHECK(ipg_.num_nodes() > 0, "empty IPG cannot be a nucleus");
+  inverse_.resize(ipg_.num_generators());
+  for (std::size_t g = 0; g < ipg_.num_generators(); ++g) {
+    const auto inv = ipg_.generators[g].inverse();
+    std::size_t found = ipg_.num_generators();
+    for (std::size_t h = 0; h < ipg_.num_generators(); ++h) {
+      if (ipg_.generators[h] == inv) {
+        found = h;
+        break;
+      }
+    }
+    IPG_CHECK(found < ipg_.num_generators(),
+              "nucleus generator set must be closed under inversion");
+    inverse_[g] = found;
+  }
+}
+
+std::shared_ptr<const Nucleus> section2_example_nucleus() {
+  return std::make_shared<GenericIpgNucleus>(core::section2_example(),
+                                             "S2example");
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,45 @@
+#pragma once
+// Adapter: any materialized generic IPG (core::Ipg) can serve as the
+// nucleus of a super-IPG — the full generality of §2, where the nucleus is
+// "a smaller IPG". This closes the loop between the two representations:
+// e.g. the 36-node worked example of §2 can be the basic module of an
+// HSN(l, example).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ipg.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::topology {
+
+class GenericIpgNucleus final : public Nucleus {
+ public:
+  /// Takes ownership of a materialized IPG. Throws unless the generator
+  /// set is closed under inversion (needed for undirected super-IPGs and
+  /// descend plans).
+  explicit GenericIpgNucleus(core::Ipg ipg, std::string name);
+
+  std::string name() const override { return name_; }
+  std::size_t num_nodes() const override { return ipg_.num_nodes(); }
+  std::size_t num_generators() const override { return ipg_.num_generators(); }
+  NodeId apply(NodeId v, std::size_t gen) const override {
+    return ipg_.neighbor[v][gen];
+  }
+  std::size_t inverse_generator(std::size_t gen) const override {
+    return inverse_[gen];
+  }
+
+  const core::Ipg& ipg() const noexcept { return ipg_; }
+
+ private:
+  core::Ipg ipg_;
+  std::string name_;
+  std::vector<std::size_t> inverse_;
+};
+
+/// Convenience: the §2 worked example wrapped as a nucleus.
+std::shared_ptr<const Nucleus> section2_example_nucleus();
+
+}  // namespace ipg::topology

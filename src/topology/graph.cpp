@@ -1,0 +1,143 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ipg::topology {
+
+Graph::Graph(std::string name, std::size_t num_nodes, std::size_t num_dims,
+             std::vector<std::uint64_t> row, std::vector<Arc> arcs)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      num_dims_(num_dims),
+      row_(std::move(row)),
+      arcs_(std::move(arcs)) {
+  IPG_CHECK(row_.size() == num_nodes_ + 1, "CSR row array has wrong size");
+  IPG_CHECK(row_.back() == arcs_.size(), "CSR row array inconsistent with arcs");
+}
+
+NodeId Graph::neighbor(NodeId v, std::uint16_t dim) const noexcept {
+  for (const Arc& a : arcs_of(v)) {
+    if (a.dim == dim) return a.to;
+  }
+  return kInvalidNode;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+double Graph::average_degree() const noexcept {
+  if (num_nodes_ == 0) return 0;
+  return static_cast<double>(num_arcs()) / static_cast<double>(num_nodes_);
+}
+
+bool Graph::is_undirected() const {
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (const Arc& a : arcs_of(v)) {
+      const auto back = arcs_of(a.to);
+      const bool has_reverse = std::any_of(back.begin(), back.end(),
+                                           [v](const Arc& b) { return b.to == v; });
+      if (!has_reverse) return false;
+    }
+  }
+  return true;
+}
+
+GraphBuilder::GraphBuilder(std::string name, std::size_t num_nodes,
+                           std::size_t num_dims)
+    : name_(std::move(name)), num_nodes_(num_nodes), num_dims_(num_dims) {}
+
+void GraphBuilder::add_arc(NodeId from, NodeId to, std::uint16_t dim) {
+  IPG_DCHECK(from < num_nodes_ && to < num_nodes_, "arc endpoint out of range");
+  IPG_DCHECK(dim < num_dims_, "dimension label out of range");
+  pending_.emplace_back(from, Arc{to, dim});
+}
+
+Graph GraphBuilder::build() && {
+  std::vector<std::uint64_t> row(num_nodes_ + 1, 0);
+  for (const auto& [from, arc] : pending_) row[from + 1]++;
+  std::partial_sum(row.begin(), row.end(), row.begin());
+  std::vector<Arc> arcs(pending_.size());
+  std::vector<std::uint64_t> cursor(row.begin(), row.end() - 1);
+  for (const auto& [from, arc] : pending_) arcs[cursor[from]++] = arc;
+  // Sort each adjacency list by dimension for deterministic iteration.
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    std::sort(arcs.begin() + static_cast<std::ptrdiff_t>(row[v]),
+              arcs.begin() + static_cast<std::ptrdiff_t>(row[v + 1]),
+              [](const Arc& a, const Arc& b) {
+                return a.dim != b.dim ? a.dim < b.dim : a.to < b.to;
+              });
+  }
+  return Graph(std::move(name_), num_nodes_, num_dims_, std::move(row), std::move(arcs));
+}
+
+Clustering::Clustering(std::vector<std::uint32_t> cluster_of, std::size_t num_clusters)
+    : cluster_of_(std::move(cluster_of)), num_clusters_(num_clusters) {
+  for (const auto c : cluster_of_) {
+    IPG_CHECK(c < num_clusters_, "cluster id out of range");
+  }
+}
+
+Clustering Clustering::single(std::size_t num_nodes) {
+  return Clustering(std::vector<std::uint32_t>(num_nodes, 0), 1);
+}
+
+Clustering Clustering::blocks(std::size_t num_nodes, std::size_t block) {
+  IPG_CHECK(block > 0 && num_nodes % block == 0,
+            "block clustering requires block | num_nodes");
+  std::vector<std::uint32_t> c(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    c[v] = static_cast<std::uint32_t>(v / block);
+  }
+  return Clustering(std::move(c), num_nodes / block);
+}
+
+std::vector<std::size_t> Clustering::cluster_sizes() const {
+  std::vector<std::size_t> sizes(num_clusters_, 0);
+  for (const auto c : cluster_of_) sizes[c]++;
+  return sizes;
+}
+
+LinkCensus census_links(const Graph& g, const Clustering& c) {
+  IPG_CHECK(c.num_nodes() == g.num_nodes(), "clustering does not match graph");
+  LinkCensus out;
+  std::vector<std::size_t> offchip_per_cluster(c.num_clusters(), 0);
+  std::size_t onchip_arcs = 0, offchip_arcs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.arcs_of(v)) {
+      if (c.is_intercluster(v, a.to)) {
+        ++offchip_arcs;
+        ++offchip_per_cluster[c.cluster_of(v)];
+      } else {
+        ++onchip_arcs;
+      }
+    }
+  }
+  out.onchip_edges = onchip_arcs / 2;
+  out.offchip_edges = offchip_arcs / 2;
+  // offchip_per_cluster counted arcs leaving the cluster = links touching it.
+  const auto it = std::max_element(offchip_per_cluster.begin(), offchip_per_cluster.end());
+  out.max_offchip_per_cluster =
+      it == offchip_per_cluster.end() ? 0.0 : static_cast<double>(*it);
+  out.avg_offchip_per_node =
+      g.num_nodes() == 0 ? 0.0
+                         : static_cast<double>(offchip_arcs) /
+                               static_cast<double>(g.num_nodes());
+  return out;
+}
+
+Graph from_ipg(const core::Ipg& ipg, std::string name) {
+  GraphBuilder b(std::move(name), ipg.num_nodes(), ipg.num_generators());
+  for (NodeId v = 0; v < ipg.num_nodes(); ++v) {
+    for (std::size_t g = 0; g < ipg.num_generators(); ++g) {
+      const NodeId u = ipg.neighbor[v][g];
+      if (u != v) b.add_arc(v, u, static_cast<std::uint16_t>(g));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,131 @@
+#pragma once
+// Dimension-labelled interconnection-network graphs in CSR form.
+//
+// Every edge carries the dimension (generator index) that produced it; the
+// emulation, algorithm, and simulator layers all key off those labels, just
+// as the paper's algorithms are phrased in terms of generator actions. A
+// Clustering assigns each node to a chip/cluster for the MCMP analyses of
+// §4; edges are then on-chip or off-chip depending on their endpoints.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ipg.hpp"  // NodeId
+#include "util/check.hpp"
+
+namespace ipg::topology {
+
+using core::NodeId;
+using core::kInvalidNode;
+
+/// One directed CSR arc. Undirected networks store both directions.
+struct Arc {
+  NodeId to;
+  std::uint16_t dim;  ///< dimension / generator label of this link
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::string name, std::size_t num_nodes, std::size_t num_dims,
+        std::vector<std::uint64_t> row, std::vector<Arc> arcs);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  /// Number of distinct dimension labels (not the per-node degree).
+  std::size_t num_dims() const noexcept { return num_dims_; }
+  /// Directed arc count; for undirected graphs this is twice the edge count.
+  std::size_t num_arcs() const noexcept { return arcs_.size(); }
+  std::size_t num_edges() const noexcept { return arcs_.size() / 2; }
+
+  std::span<const Arc> arcs_of(NodeId v) const noexcept {
+    return {arcs_.data() + row_[v], arcs_.data() + row_[v + 1]};
+  }
+  std::size_t degree(NodeId v) const noexcept { return row_[v + 1] - row_[v]; }
+
+  /// Neighbor along a dimension, or kInvalidNode if v has no such link.
+  NodeId neighbor(NodeId v, std::uint16_t dim) const noexcept;
+
+  std::size_t max_degree() const noexcept;
+  double average_degree() const noexcept;
+
+  /// Checks that every arc has a reverse arc (any dimension label).
+  bool is_undirected() const;
+
+ private:
+  std::string name_;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_dims_ = 0;
+  std::vector<std::uint64_t> row_;  ///< size num_nodes_+1
+  std::vector<Arc> arcs_;
+};
+
+/// Incremental builder; tolerates arbitrary insertion order and duplicate
+/// suppression is the caller's job (families never produce duplicates).
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string name, std::size_t num_nodes, std::size_t num_dims);
+
+  /// Adds a directed arc.
+  void add_arc(NodeId from, NodeId to, std::uint16_t dim);
+
+  /// Adds both directions with the same dimension label.
+  void add_edge(NodeId a, NodeId b, std::uint16_t dim) {
+    add_arc(a, b, dim);
+    add_arc(b, a, dim);
+  }
+
+  Graph build() &&;
+
+ private:
+  std::string name_;
+  std::size_t num_nodes_;
+  std::size_t num_dims_;
+  std::vector<std::pair<NodeId, Arc>> pending_;
+};
+
+/// Assignment of nodes to clusters (chips). Cluster ids are dense.
+class Clustering {
+ public:
+  Clustering() = default;
+  Clustering(std::vector<std::uint32_t> cluster_of, std::size_t num_clusters);
+
+  /// All nodes in one cluster (one chip holding everything).
+  static Clustering single(std::size_t num_nodes);
+
+  /// cluster(v) = v / block (consecutive id blocks of equal size).
+  static Clustering blocks(std::size_t num_nodes, std::size_t block);
+
+  std::uint32_t cluster_of(NodeId v) const noexcept { return cluster_of_[v]; }
+  std::size_t num_clusters() const noexcept { return num_clusters_; }
+  std::size_t num_nodes() const noexcept { return cluster_of_.size(); }
+
+  bool is_intercluster(NodeId a, NodeId b) const noexcept {
+    return cluster_of_[a] != cluster_of_[b];
+  }
+
+  /// Nodes per cluster (validated equal-sized in most factories).
+  std::vector<std::size_t> cluster_sizes() const;
+
+ private:
+  std::vector<std::uint32_t> cluster_of_;
+  std::size_t num_clusters_ = 0;
+};
+
+/// Counts of on-/off-chip links for a clustered graph (per §4 cost model).
+struct LinkCensus {
+  std::size_t onchip_edges = 0;
+  std::size_t offchip_edges = 0;
+  double max_offchip_per_cluster = 0;   ///< max over clusters of off-chip links touching it
+  double avg_offchip_per_node = 0;      ///< intercluster degree (paper §4.1)
+};
+
+LinkCensus census_links(const Graph& g, const Clustering& c);
+
+/// Converts a materialized generic IPG (core::Ipg) into a Graph, preserving
+/// generator labels as dimensions and dropping generator self-loops.
+Graph from_ipg(const core::Ipg& ipg, std::string name);
+
+}  // namespace ipg::topology

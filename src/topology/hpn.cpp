@@ -1,0 +1,47 @@
+#include "topology/hpn.hpp"
+
+namespace ipg::topology {
+
+Hpn::Hpn(std::shared_ptr<const Nucleus> factor, std::size_t power)
+    : factor_(std::move(factor)), p_(power) {
+  IPG_CHECK(factor_ != nullptr, "HPN needs a factor graph");
+  IPG_CHECK(p_ >= 1, "HPN power must be >= 1");
+  m_ = factor_->num_nodes();
+  n_g_ = factor_->num_generators();
+  std::uint64_t n = 1;
+  scale_.reserve(p_);
+  for (std::size_t i = 0; i < p_; ++i) {
+    scale_.push_back(static_cast<std::size_t>(n));
+    n *= m_;
+    IPG_CHECK(n <= (std::uint64_t{1} << 31), "HPN too large for NodeId");
+  }
+  num_nodes_ = static_cast<std::size_t>(n);
+  name_ = "HPN(" + std::to_string(p_) + "," + factor_->name() + ")";
+}
+
+NodeId Hpn::apply(NodeId v, std::size_t j) const {
+  IPG_DCHECK(j < num_dims(), "HPN dimension out of range");
+  const std::size_t level = j / n_g_;
+  const std::size_t gen = j % n_g_;
+  const auto coord = static_cast<NodeId>(coordinate(v, level));
+  const NodeId moved = factor_->apply(coord, gen);
+  return static_cast<NodeId>(v + (static_cast<std::uint64_t>(moved) - coord) * scale_[level]);
+}
+
+std::size_t Hpn::inverse_dim(std::size_t j) const {
+  const std::size_t level = j / n_g_;
+  return level * n_g_ + factor_->inverse_generator(j % n_g_);
+}
+
+Graph Hpn::to_graph() const {
+  GraphBuilder b(name_, num_nodes_, num_dims());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (std::size_t j = 0; j < num_dims(); ++j) {
+      const NodeId u = apply(v, j);
+      if (u != v) b.add_arc(v, u, static_cast<std::uint16_t>(j));
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,57 @@
+#pragma once
+// Homogeneous product networks HPN(p,G) (§3.1).
+//
+// HPN(p,G) is the p-th Cartesian power of a dimensionizable graph G. A node
+// is a p-tuple of G-vertices (same mixed-radix integer coding as SuperIpg,
+// so the natural super-IPG <-> HPN node correspondence is the identity).
+// Dimension j (0-based, j < p * n_G) acts on coordinate j / n_G with
+// nucleus generator j % n_G — the paper's dimension grouping.
+//
+// The pk-dimensional hypercube is HPN(p, Q_k); the p-dimensional
+// generalized hypercube of radix M is HPN(p, K_M); the M-ary p-cube is
+// HPN(p, C_M).
+
+#include <memory>
+#include <string>
+
+#include "topology/graph.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::topology {
+
+class Hpn {
+ public:
+  Hpn(std::shared_ptr<const Nucleus> factor, std::size_t power);
+
+  const std::string& name() const noexcept { return name_; }
+  const Nucleus& factor() const noexcept { return *factor_; }
+  std::size_t power() const noexcept { return p_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Total dimension-generator count: p * n_G.
+  std::size_t num_dims() const noexcept { return p_ * n_g_; }
+  std::size_t factor_generators() const noexcept { return n_g_; }
+
+  std::size_t coordinate(NodeId v, std::size_t level) const noexcept {
+    return (v / scale_[level]) % m_;
+  }
+
+  /// Moves along dimension @p j: applies factor generator j%n_G to
+  /// coordinate j/n_G.
+  NodeId apply(NodeId v, std::size_t j) const;
+
+  std::size_t inverse_dim(std::size_t j) const;
+
+  Graph to_graph() const;
+
+ private:
+  std::shared_ptr<const Nucleus> factor_;
+  std::size_t p_;
+  std::size_t m_;    ///< factor size
+  std::size_t n_g_;  ///< factor generator count
+  std::size_t num_nodes_;
+  std::vector<std::size_t> scale_;
+  std::string name_;
+};
+
+}  // namespace ipg::topology

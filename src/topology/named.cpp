@@ -1,0 +1,239 @@
+#include "topology/named.hpp"
+
+#include <string>
+
+#include "util/bits.hpp"
+
+namespace ipg::topology {
+
+namespace {
+using util::ipow;
+}
+
+Graph hypercube_graph(unsigned n) {
+  IPG_CHECK(n >= 1 && n <= 26, "hypercube dimension out of supported range");
+  const std::size_t num = std::size_t{1} << n;
+  GraphBuilder b("Q" + std::to_string(n), num, n);
+  for (NodeId v = 0; v < num; ++v) {
+    for (unsigned d = 0; d < n; ++d) {
+      const NodeId u = v ^ (NodeId{1} << d);
+      if (v < u) b.add_edge(v, u, static_cast<std::uint16_t>(d));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph folded_hypercube_graph(unsigned n) {
+  IPG_CHECK(n >= 1 && n <= 26, "folded hypercube dimension out of supported range");
+  const std::size_t num = std::size_t{1} << n;
+  GraphBuilder b("FQ" + std::to_string(n), num, n + 1u);
+  const NodeId mask = static_cast<NodeId>(num - 1);
+  for (NodeId v = 0; v < num; ++v) {
+    for (unsigned d = 0; d < n; ++d) {
+      const NodeId u = v ^ (NodeId{1} << d);
+      if (v < u) b.add_edge(v, u, static_cast<std::uint16_t>(d));
+    }
+    const NodeId c = v ^ mask;
+    if (v < c) b.add_edge(v, c, static_cast<std::uint16_t>(n));
+  }
+  return std::move(b).build();
+}
+
+Graph complete_graph(std::size_t m) {
+  IPG_CHECK(m >= 2, "complete graph needs at least two nodes");
+  GraphBuilder b("K" + std::to_string(m), m, m - 1);
+  for (NodeId v = 0; v < m; ++v) {
+    for (std::size_t o = 1; o < m; ++o) {
+      const auto u = static_cast<NodeId>((v + o) % m);
+      b.add_arc(v, u, static_cast<std::uint16_t>(o - 1));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph ring_graph(std::size_t m) {
+  IPG_CHECK(m >= 3, "ring needs at least three nodes");
+  GraphBuilder b("C" + std::to_string(m), m, 2);
+  for (NodeId v = 0; v < m; ++v) {
+    b.add_arc(v, static_cast<NodeId>((v + 1) % m), 0);
+    b.add_arc(v, static_cast<NodeId>((v + m - 1) % m), 1);
+  }
+  return std::move(b).build();
+}
+
+Graph kary_ncube_graph(std::size_t k, std::size_t n) {
+  IPG_CHECK(k >= 2 && n >= 1, "k-ary n-cube needs k >= 2, n >= 1");
+  const std::size_t num = ipow(k, static_cast<unsigned>(n));
+  IPG_CHECK(num <= (std::size_t{1} << 31), "k-ary n-cube too large");
+  GraphBuilder b(std::to_string(k) + "-ary " + std::to_string(n) + "-cube", num,
+                 2 * n);
+  std::size_t scale = 1;
+  for (std::size_t d = 0; d < n; ++d) {
+    for (NodeId v = 0; v < num; ++v) {
+      const std::size_t digit = (v / scale) % k;
+      const auto up =
+          static_cast<NodeId>(v + ((digit + 1) % k - digit) * scale);
+      if (k == 2) {
+        if (v < up) b.add_edge(v, up, static_cast<std::uint16_t>(2 * d));
+      } else {
+        b.add_arc(v, up, static_cast<std::uint16_t>(2 * d));
+        const auto down =
+            static_cast<NodeId>(v + ((digit + k - 1) % k - digit) * scale);
+        b.add_arc(v, down, static_cast<std::uint16_t>(2 * d + 1));
+      }
+    }
+    scale *= k;
+  }
+  return std::move(b).build();
+}
+
+Graph mesh_graph(std::size_t k, std::size_t n) {
+  IPG_CHECK(k >= 2 && n >= 1, "mesh needs k >= 2, n >= 1");
+  const std::size_t num = ipow(k, static_cast<unsigned>(n));
+  IPG_CHECK(num <= (std::size_t{1} << 31), "mesh too large");
+  GraphBuilder b(std::to_string(k) + "^" + std::to_string(n) + " mesh", num, n);
+  std::size_t scale = 1;
+  for (std::size_t d = 0; d < n; ++d) {
+    for (NodeId v = 0; v < num; ++v) {
+      const std::size_t digit = (v / scale) % k;
+      if (digit + 1 < k) {
+        b.add_edge(v, static_cast<NodeId>(v + scale), static_cast<std::uint16_t>(d));
+      }
+    }
+    scale *= k;
+  }
+  return std::move(b).build();
+}
+
+Graph ccc_graph(unsigned n) {
+  IPG_CHECK(n >= 3 && n <= 24, "CCC dimension out of supported range");
+  const std::size_t words = std::size_t{1} << n;
+  const std::size_t num = words * n;
+  GraphBuilder b("CCC(" + std::to_string(n) + ")", num, 3);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (unsigned i = 0; i < n; ++i) {
+      const auto v = static_cast<NodeId>(w * n + i);
+      const auto next = static_cast<NodeId>(w * n + (i + 1) % n);
+      b.add_arc(v, next, 0);
+      b.add_arc(next, v, 1);
+      const std::size_t w2 = w ^ (std::size_t{1} << i);
+      if (w < w2) {
+        b.add_edge(v, static_cast<NodeId>(w2 * n + i), 2);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph butterfly_graph(unsigned n) {
+  IPG_CHECK(n >= 2 && n <= 24, "butterfly dimension out of supported range");
+  const std::size_t rows = std::size_t{1} << n;
+  const std::size_t num = rows * n;
+  GraphBuilder b("BF(" + std::to_string(n) + ")", num, 2);
+  for (std::size_t w = 0; w < rows; ++w) {
+    for (unsigned i = 0; i < n; ++i) {
+      const auto v = static_cast<NodeId>(w * n + i);
+      const unsigned next_level = (i + 1) % n;
+      const std::size_t w_cross = w ^ (std::size_t{1} << next_level);
+      b.add_edge(v, static_cast<NodeId>(w * n + next_level), 0);
+      b.add_edge(v, static_cast<NodeId>(w_cross * n + next_level), 1);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph shuffle_exchange_graph(unsigned n) {
+  IPG_CHECK(n >= 2 && n <= 26, "shuffle-exchange dimension out of supported range");
+  const std::size_t num = std::size_t{1} << n;
+  const NodeId mask = static_cast<NodeId>(num - 1);
+  GraphBuilder b("SE(" + std::to_string(n) + ")", num, 3);
+  for (NodeId v = 0; v < num; ++v) {
+    const NodeId shuffled = static_cast<NodeId>(((v << 1) | (v >> (n - 1))) & mask);
+    const NodeId unshuffled =
+        static_cast<NodeId>((v >> 1) | ((v & 1u) << (n - 1)));
+    if (shuffled != v) b.add_arc(v, shuffled, 0);
+    if (unshuffled != v) b.add_arc(v, unshuffled, 1);
+    b.add_arc(v, v ^ 1u, 2);
+  }
+  return std::move(b).build();
+}
+
+Graph de_bruijn_graph(unsigned n) {
+  IPG_CHECK(n >= 2 && n <= 26, "de Bruijn dimension out of supported range");
+  const std::size_t num = std::size_t{1} << n;
+  const NodeId mask = static_cast<NodeId>(num - 1);
+  GraphBuilder b("DB(" + std::to_string(n) + ")", num, 4);
+  for (NodeId v = 0; v < num; ++v) {
+    for (NodeId bit = 0; bit <= 1; ++bit) {
+      const NodeId to = static_cast<NodeId>(((v << 1) | bit) & mask);
+      if (to != v) {
+        b.add_arc(v, to, static_cast<std::uint16_t>(bit));
+        b.add_arc(to, v, static_cast<std::uint16_t>(2 + bit));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph petersen_graph() {
+  // Outer 5-cycle 0..4, inner pentagram 5..9 (i adjacent to i +/- 2 mod 5),
+  // spokes i <-> i+5.
+  GraphBuilder b("Petersen", 10, 3);
+  for (NodeId i = 0; i < 5; ++i) {
+    b.add_arc(i, (i + 1) % 5, 0);
+    b.add_arc((i + 1) % 5, i, 1);
+    const NodeId inner_a = 5 + i;
+    const NodeId inner_b = 5 + (i + 2) % 5;
+    b.add_arc(inner_a, inner_b, 0);
+    b.add_arc(inner_b, inner_a, 1);
+    b.add_edge(i, i + 5, 2);
+  }
+  return std::move(b).build();
+}
+
+Clustering hypercube_subcube_clustering(unsigned n, std::size_t m_per_chip) {
+  IPG_CHECK(util::is_pow2(m_per_chip), "subcube size must be a power of two");
+  IPG_CHECK(m_per_chip <= (std::size_t{1} << n), "subcube larger than cube");
+  return Clustering::blocks(std::size_t{1} << n, m_per_chip);
+}
+
+Clustering kary2_block_clustering(std::size_t k, std::size_t side) {
+  return kary_block_clustering(k, 2, side);
+}
+
+Clustering kary_block_clustering(std::size_t k, std::size_t n, std::size_t side) {
+  IPG_CHECK(side >= 1 && k % side == 0, "block side must divide k");
+  const std::size_t num = ipow(k, static_cast<unsigned>(n));
+  const std::size_t chips_per_dim = k / side;
+  std::vector<std::uint32_t> cluster(num);
+  for (std::size_t v = 0; v < num; ++v) {
+    std::size_t chip = 0, rest = v, chip_scale = 1;
+    for (std::size_t d = 0; d < n; ++d) {
+      const std::size_t digit = rest % k;
+      rest /= k;
+      chip += (digit / side) * chip_scale;
+      chip_scale *= chips_per_dim;
+    }
+    cluster[v] = static_cast<std::uint32_t>(chip);
+  }
+  return Clustering(std::move(cluster), ipow(chips_per_dim, static_cast<unsigned>(n)));
+}
+
+Clustering ccc_cycle_clustering(unsigned n) {
+  const std::size_t words = std::size_t{1} << n;
+  return Clustering::blocks(words * n, n);
+}
+
+Clustering butterfly_clustering(unsigned n, unsigned r) {
+  IPG_CHECK(r <= n, "butterfly cluster exponent exceeds dimension");
+  const std::size_t rows = std::size_t{1} << n;
+  std::vector<std::uint32_t> cluster(rows * n);
+  for (std::size_t w = 0; w < rows; ++w) {
+    for (unsigned i = 0; i < n; ++i) {
+      cluster[w * n + i] = static_cast<std::uint32_t>(w >> r);
+    }
+  }
+  return Clustering(std::move(cluster), rows >> r);
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,79 @@
+#pragma once
+// Comparison topologies used by the paper's evaluation (§4), as
+// dimension-labelled graphs, plus their natural MCMP chip partitions.
+//
+// These are the networks super-IPGs are measured against: hypercube,
+// k-ary n-cube (torus), mesh, cube-connected cycles, (wrapped) butterfly,
+// shuffle-exchange, folded hypercube, and the small building blocks.
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::topology {
+
+/// Binary hypercube Q_n. Dimension labels 0..n-1.
+Graph hypercube_graph(unsigned n);
+
+/// Folded hypercube FQ_n (Q_n + complement links, label n).
+Graph folded_hypercube_graph(unsigned n);
+
+/// Complete graph K_m. Dimension label of edge (u,v) is the additive offset
+/// (v-u mod m) - 1, matching CompleteNucleus generator numbering.
+Graph complete_graph(std::size_t m);
+
+/// Ring C_m with labels 0 (+1) and 1 (-1).
+Graph ring_graph(std::size_t m);
+
+/// k-ary n-cube (torus): n dimensions, k nodes per dimension, wraparound.
+/// Dimension labels: 2d for +1 in dimension d, 2d+1 for -1 (collapsed to a
+/// single undirected edge pair when k == 2).
+Graph kary_ncube_graph(std::size_t k, std::size_t n);
+
+/// n-dimensional mesh with side k (no wraparound).
+Graph mesh_graph(std::size_t k, std::size_t n);
+
+/// Cube-connected cycles CCC(n): 2^n cycles of length n. Node id =
+/// cube_word * n + position. Labels: 0 cycle+1, 1 cycle-1, 2 cube link.
+Graph ccc_graph(unsigned n);
+
+/// Wrapped butterfly BF(n): n levels x 2^n rows; node id = row * n + level.
+/// Labels: 0 straight (level+1, same row), 1 cross (level+1, row with bit
+/// `level+1 mod n` flipped); both directions are stored.
+Graph butterfly_graph(unsigned n);
+
+/// Shuffle-exchange SE(n) on 2^n nodes. Labels: 0 shuffle (rotate-left),
+/// 1 unshuffle, 2 exchange (flip bit 0).
+Graph shuffle_exchange_graph(unsigned n);
+
+/// Binary de Bruijn graph DB(n) on 2^n nodes (the HSE/SE relatives of
+/// [10]). Labels: 0/1 shuffle-with-new-bit, 2/3 their reverses.
+Graph de_bruijn_graph(unsigned n);
+
+/// The Petersen graph (10 nodes, 3-regular, diameter 2) — the basic module
+/// of the cyclic Petersen networks of [31]. Label 0: outer cycle +,
+/// 1: outer cycle -, 2: spoke; inner star edges reuse labels 0/1.
+Graph petersen_graph();
+
+// --- natural chip partitions (one cluster per chip) -------------------------
+
+/// Hypercube: chips are subcubes over the low log2(m) dimensions.
+Clustering hypercube_subcube_clustering(unsigned n, std::size_t m_per_chip);
+
+/// k-ary 2-cube: chips are side x side square blocks of the torus.
+Clustering kary2_block_clustering(std::size_t k, std::size_t side);
+
+/// k-ary n-cube: chips are hyper-blocks of side `side` in every dimension.
+Clustering kary_block_clustering(std::size_t k, std::size_t n, std::size_t side);
+
+/// CCC: one chip per cycle (m = n nodes per chip) — gives the constant
+/// off-chip degree of Corollary 4.9.
+Clustering ccc_cycle_clustering(unsigned n);
+
+/// Butterfly: a chip holds all n levels of the 2^r rows sharing the high
+/// n-r row bits (m = n * 2^r nodes per chip) — the partition of [32] that
+/// makes the intercluster degree sublinear in the node degree.
+Clustering butterfly_clustering(unsigned n, unsigned r);
+
+}  // namespace ipg::topology

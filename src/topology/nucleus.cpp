@@ -1,0 +1,245 @@
+#include "topology/nucleus.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace ipg::topology {
+
+Graph Nucleus::to_graph() const {
+  GraphBuilder b(name(), num_nodes(), num_generators());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (std::size_t g = 0; g < num_generators(); ++g) {
+      const NodeId u = apply(v, g);
+      if (u != v) b.add_arc(v, u, static_cast<std::uint16_t>(g));
+    }
+  }
+  return std::move(b).build();
+}
+
+std::size_t Nucleus::distance(NodeId from, NodeId to) const {
+  return route(from, to).size();
+}
+
+std::vector<std::size_t> Nucleus::route(NodeId from, NodeId to) const {
+  IPG_CHECK(from < num_nodes() && to < num_nodes(), "route endpoint out of range");
+  if (from == to) return {};
+  // BFS from `from`, remembering the generator taken into each vertex.
+  constexpr auto kUnseen = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> pred_gen(num_nodes(), kUnseen);
+  std::vector<NodeId> pred(num_nodes(), kInvalidNode);
+  std::deque<NodeId> q{from};
+  pred_gen[from] = 0;
+  pred[from] = from;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop_front();
+    for (std::size_t g = 0; g < num_generators(); ++g) {
+      const NodeId u = apply(v, g);
+      if (pred_gen[u] != kUnseen) continue;
+      pred_gen[u] = static_cast<std::uint32_t>(g);
+      pred[u] = v;
+      if (u == to) {
+        std::vector<std::size_t> word;
+        for (NodeId w = to; w != from; w = pred[w]) word.push_back(pred_gen[w]);
+        std::reverse(word.begin(), word.end());
+        return word;
+      }
+      q.push_back(u);
+    }
+  }
+  IPG_CHECK(false, "nucleus is disconnected — route has no solution");
+  return {};
+}
+
+// --------------------------------------------------------------------------
+HypercubeNucleus::HypercubeNucleus(unsigned n) : n_(n) {
+  IPG_CHECK(n >= 1 && n <= 30, "hypercube dimension out of supported range");
+}
+
+std::string HypercubeNucleus::name() const { return "Q" + std::to_string(n_); }
+
+NodeId HypercubeNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen < n_, "hypercube generator out of range");
+  return v ^ (NodeId{1} << gen);
+}
+
+NodeId HypercubeNucleus::with_digit(NodeId v, std::size_t dim, std::size_t val) const {
+  IPG_DCHECK(val < 2, "hypercube digit must be a bit");
+  return (v & ~(NodeId{1} << dim)) | (static_cast<NodeId>(val) << dim);
+}
+
+std::size_t HypercubeNucleus::dim_generator(std::size_t dim, std::size_t offset) const {
+  IPG_DCHECK(offset == 1, "hypercube offsets are 1 only");
+  (void)offset;
+  return dim;
+}
+
+// --------------------------------------------------------------------------
+FoldedHypercubeNucleus::FoldedHypercubeNucleus(unsigned n) : n_(n) {
+  IPG_CHECK(n >= 1 && n <= 30, "folded hypercube dimension out of supported range");
+}
+
+std::string FoldedHypercubeNucleus::name() const { return "FQ" + std::to_string(n_); }
+
+NodeId FoldedHypercubeNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen <= n_, "folded hypercube generator out of range");
+  if (gen == n_) return v ^ ((NodeId{1} << n_) - 1u);  // complement link
+  return v ^ (NodeId{1} << gen);
+}
+
+// --------------------------------------------------------------------------
+CompleteNucleus::CompleteNucleus(std::size_t m) : m_(m) {
+  IPG_CHECK(m >= 2, "complete graph needs at least two nodes");
+}
+
+std::string CompleteNucleus::name() const { return "K" + std::to_string(m_); }
+
+NodeId CompleteNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen + 1 < m_ + 1, "complete graph generator out of range");
+  return static_cast<NodeId>((v + gen + 1) % m_);
+}
+
+std::size_t CompleteNucleus::dim_generator(std::size_t dim, std::size_t offset) const {
+  IPG_DCHECK(dim == 0 && offset >= 1 && offset < m_, "K_M generator request invalid");
+  (void)dim;
+  return offset - 1;
+}
+
+// --------------------------------------------------------------------------
+RingNucleus::RingNucleus(std::size_t m) : m_(m) {
+  IPG_CHECK(m >= 2, "ring needs at least two nodes");
+}
+
+std::string RingNucleus::name() const { return "C" + std::to_string(m_); }
+
+NodeId RingNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen < num_generators(), "ring generator out of range");
+  if (gen == 0) return static_cast<NodeId>((v + 1) % m_);
+  return static_cast<NodeId>((v + m_ - 1) % m_);
+}
+
+// --------------------------------------------------------------------------
+NodeId PetersenNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen < 3, "Petersen generator out of range");
+  const bool outer = v < 5;
+  const NodeId i = outer ? v : v - 5;
+  switch (gen) {
+    case 0:  // rotate: outer +1, inner +2 (a pentagram step is an edge)
+      return outer ? (i + 1) % 5 : 5 + (i + 2) % 5;
+    case 1:  // inverse rotation
+      return outer ? (i + 4) % 5 : 5 + (i + 3) % 5;
+    default:  // spokes (perfect matching, involution)
+      return outer ? v + 5 : v - 5;
+  }
+}
+
+// --------------------------------------------------------------------------
+StarNucleus::StarNucleus(unsigned n) : n_(n) {
+  IPG_CHECK(n >= 2 && n <= 10, "star graph dimension out of supported range");
+  factorial_ = 1;
+  for (unsigned i = 2; i <= n; ++i) factorial_ *= i;
+}
+
+std::string StarNucleus::name() const { return "S" + std::to_string(n_); }
+
+std::vector<std::uint8_t> StarNucleus::decode(NodeId v) const {
+  // Lehmer code: digit i (radix n-i) selects among the remaining symbols.
+  std::vector<std::uint8_t> avail(n_);
+  for (unsigned i = 0; i < n_; ++i) avail[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> perm(n_);
+  std::size_t rest = v;
+  std::size_t radix = factorial_;
+  for (unsigned i = 0; i < n_; ++i) {
+    radix /= (n_ - i);
+    const std::size_t digit = rest / radix;
+    rest %= radix;
+    perm[i] = avail[digit];
+    avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(digit));
+  }
+  return perm;
+}
+
+NodeId StarNucleus::encode(const std::vector<std::uint8_t>& perm) const {
+  IPG_DCHECK(perm.size() == n_, "permutation arity mismatch");
+  std::vector<std::uint8_t> avail(n_);
+  for (unsigned i = 0; i < n_; ++i) avail[i] = static_cast<std::uint8_t>(i);
+  std::size_t v = 0;
+  std::size_t radix = factorial_;
+  for (unsigned i = 0; i < n_; ++i) {
+    radix /= (n_ - i);
+    const auto it = std::find(avail.begin(), avail.end(), perm[i]);
+    v += static_cast<std::size_t>(it - avail.begin()) * radix;
+    avail.erase(it);
+  }
+  return static_cast<NodeId>(v);
+}
+
+NodeId StarNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen + 1 < n_, "star generator out of range");
+  auto perm = decode(v);
+  std::swap(perm[0], perm[gen + 1]);
+  return encode(perm);
+}
+
+// --------------------------------------------------------------------------
+GeneralizedHypercubeNucleus::GeneralizedHypercubeNucleus(std::vector<std::size_t> radices)
+    : radices_(std::move(radices)) {
+  IPG_CHECK(!radices_.empty(), "generalized hypercube needs at least one dimension");
+  scale_.reserve(radices_.size());
+  gen_base_.reserve(radices_.size());
+  for (const std::size_t m : radices_) {
+    IPG_CHECK(m >= 2, "generalized hypercube radix must be >= 2");
+    scale_.push_back(num_nodes_);
+    gen_base_.push_back(num_generators_);
+    num_nodes_ *= m;
+    num_generators_ += m - 1;
+  }
+}
+
+std::string GeneralizedHypercubeNucleus::name() const {
+  std::string s = "GHC(";
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(radices_[i]);
+  }
+  return s + ")";
+}
+
+NodeId GeneralizedHypercubeNucleus::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen < num_generators_, "GHC generator out of range");
+  std::size_t dim = radices_.size() - 1;
+  while (gen_base_[dim] > gen) --dim;
+  const std::size_t offset = gen - gen_base_[dim] + 1;
+  const std::size_t d = digit(v, dim);
+  return with_digit(v, dim, (d + offset) % radices_[dim]);
+}
+
+std::size_t GeneralizedHypercubeNucleus::inverse_generator(std::size_t gen) const {
+  std::size_t dim = radices_.size() - 1;
+  while (gen_base_[dim] > gen) --dim;
+  const std::size_t offset = gen - gen_base_[dim] + 1;
+  return gen_base_[dim] + (radices_[dim] - offset) - 1;
+}
+
+std::size_t GeneralizedHypercubeNucleus::digit(NodeId v, std::size_t dim) const {
+  return (v / scale_[dim]) % radices_[dim];
+}
+
+NodeId GeneralizedHypercubeNucleus::with_digit(NodeId v, std::size_t dim,
+                                               std::size_t val) const {
+  IPG_DCHECK(val < radices_[dim], "GHC digit out of range");
+  const std::size_t old = digit(v, dim);
+  return static_cast<NodeId>(v + (val - old) * scale_[dim]);
+}
+
+std::size_t GeneralizedHypercubeNucleus::dim_generator(std::size_t dim,
+                                                       std::size_t offset) const {
+  IPG_DCHECK(dim < radices_.size() && offset >= 1 && offset < radices_[dim],
+             "GHC generator request invalid");
+  return gen_base_[dim] + offset - 1;
+}
+
+}  // namespace ipg::topology

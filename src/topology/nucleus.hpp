@@ -1,0 +1,227 @@
+#pragma once
+// Nucleus graphs — the basic modules of super-IPGs (§2).
+//
+// In the tuple-coded representation a super-IPG node is an l-tuple of
+// nucleus vertex ids, so all a nucleus must provide is (a) its vertex
+// count, (b) a generator action on vertices (each nucleus generator of the
+// underlying IPG is a permutation of nucleus labels, i.e. of vertices), and
+// (c) optionally a *dimensional* structure (the paper's "dimensionizable
+// graph" of §3.1) used by HPN products, ascend/descend algorithms, and HPN
+// emulation. All concrete nuclei here are vertex-transitive, matching the
+// paper's setting.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/check.hpp"
+
+namespace ipg::topology {
+
+class SuperIpg;  // forward; SuperIpgNucleus allows recursive families
+
+class Nucleus {
+ public:
+  virtual ~Nucleus() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_nodes() const = 0;
+  virtual std::size_t num_generators() const = 0;
+
+  /// Moves vertex @p v along generator @p gen (0-based).
+  virtual NodeId apply(NodeId v, std::size_t gen) const = 0;
+
+  /// Index of the generator inverting @p gen (gen itself for involutions).
+  /// Every family here has a generator set closed under inversion, which is
+  /// what makes the graphs undirected.
+  virtual std::size_t inverse_generator(std::size_t gen) const = 0;
+
+  // --- Dimensional structure (0 dimensions = not dimensionizable) -------
+  // A dimensionizable nucleus is a product-like graph: a vertex has one
+  // digit per dimension, digits in dimension d range over [0, radix(d)),
+  // and all vertices agreeing on every other digit form a complete graph
+  // K_radix(d) in dimension d (radix 2 gives hypercube dimensions).
+
+  virtual std::size_t num_dimensions() const { return 0; }
+  virtual std::size_t radix(std::size_t /*dim*/) const { return 0; }
+  virtual std::size_t digit(NodeId /*v*/, std::size_t /*dim*/) const { return 0; }
+  virtual NodeId with_digit(NodeId /*v*/, std::size_t /*dim*/,
+                            std::size_t /*val*/) const {
+    return kInvalidNode;
+  }
+
+  /// Generator that adds @p offset (mod radix) to the digit of dimension
+  /// @p dim, or SIZE_MAX if the nucleus is not dimensionizable.
+  virtual std::size_t dim_generator(std::size_t /*dim*/, std::size_t /*offset*/) const {
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// Non-null iff this nucleus is itself a super-IPG (recursive families
+  /// RCC / RHSN); algorithms recurse through it.
+  virtual const SuperIpg* as_super_ipg() const { return nullptr; }
+
+  /// Materializes the nucleus as a dimension-labelled graph (dims =
+  /// generator indices; inverse-pair generators share the arcs they induce).
+  Graph to_graph() const;
+
+  /// BFS distance between two vertices (used for routing cost accounting).
+  std::size_t distance(NodeId from, NodeId to) const;
+
+  /// Shortest generator word from @p from to @p to (BFS; deterministic).
+  std::vector<std::size_t> route(NodeId from, NodeId to) const;
+};
+
+/// Hypercube Q_n: vertices are n-bit ids, generator b flips bit b.
+class HypercubeNucleus final : public Nucleus {
+ public:
+  explicit HypercubeNucleus(unsigned n);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return std::size_t{1} << n_; }
+  std::size_t num_generators() const override { return n_; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override { return gen; }
+  std::size_t num_dimensions() const override { return n_; }
+  std::size_t radix(std::size_t) const override { return 2; }
+  std::size_t digit(NodeId v, std::size_t dim) const override { return (v >> dim) & 1u; }
+  NodeId with_digit(NodeId v, std::size_t dim, std::size_t val) const override;
+  std::size_t dim_generator(std::size_t dim, std::size_t offset) const override;
+  unsigned dimension_count() const noexcept { return n_; }
+
+ private:
+  unsigned n_;
+};
+
+/// Folded hypercube FQ_n: Q_n plus a complement link (generator n). The
+/// dimensional structure is the underlying Q_n's — ascend/descend and HPN
+/// emulation use the cube dimensions; the complement link is extra
+/// connectivity (it halves the diameter, per Duh et al.'s HFN).
+class FoldedHypercubeNucleus final : public Nucleus {
+ public:
+  explicit FoldedHypercubeNucleus(unsigned n);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return std::size_t{1} << n_; }
+  std::size_t num_generators() const override { return n_ + 1u; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override { return gen; }
+  std::size_t num_dimensions() const override { return n_; }
+  std::size_t radix(std::size_t) const override { return 2; }
+  std::size_t digit(NodeId v, std::size_t dim) const override {
+    return (v >> dim) & 1u;
+  }
+  NodeId with_digit(NodeId v, std::size_t dim, std::size_t val) const override {
+    return (v & ~(NodeId{1} << dim)) | (static_cast<NodeId>(val) << dim);
+  }
+  std::size_t dim_generator(std::size_t dim, std::size_t) const override {
+    return dim;
+  }
+
+ private:
+  unsigned n_;
+};
+
+/// Complete graph K_M: generator i (0-based, i < M-1) adds i+1 mod M.
+class CompleteNucleus final : public Nucleus {
+ public:
+  explicit CompleteNucleus(std::size_t m);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return m_; }
+  std::size_t num_generators() const override { return m_ - 1; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override { return m_ - 2 - gen; }
+  std::size_t num_dimensions() const override { return 1; }
+  std::size_t radix(std::size_t) const override { return m_; }
+  std::size_t digit(NodeId v, std::size_t) const override { return v; }
+  NodeId with_digit(NodeId, std::size_t, std::size_t val) const override {
+    return static_cast<NodeId>(val);
+  }
+  std::size_t dim_generator(std::size_t dim, std::size_t offset) const override;
+
+ private:
+  std::size_t m_;
+};
+
+/// Ring C_M: generators +1 and -1 (mod M).
+class RingNucleus final : public Nucleus {
+ public:
+  explicit RingNucleus(std::size_t m);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return m_; }
+  std::size_t num_generators() const override { return m_ == 2 ? 1u : 2u; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override {
+    return m_ == 2 ? 0 : 1 - gen;
+  }
+
+ private:
+  std::size_t m_;
+};
+
+/// The Petersen graph as a nucleus — the basic module of the cyclic
+/// Petersen networks of [31], which the paper lists among the CN-family
+/// super-IPGs. Petersen is not itself a Cayley graph, but its edge set
+/// decomposes into three vertex permutations (rotate the outer cycle and
+/// the inner pentagram together, its inverse, and the spoke matching), and
+/// that is all the tuple-coded super-IPG construction needs. Vertices:
+/// 0..4 outer cycle, 5..9 inner pentagram (i adjacent to i+/-2 mod 5).
+class PetersenNucleus final : public Nucleus {
+ public:
+  std::string name() const override { return "Petersen"; }
+  std::size_t num_nodes() const override { return 10; }
+  std::size_t num_generators() const override { return 3; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override {
+    return gen == 2 ? 2 : 1 - gen;
+  }
+};
+
+/// Star graph S_n (Akers & Krishnamurthy) — the flagship Cayley graph the
+/// IPG model generalizes, and the nucleus of macro-star-style super-IPGs.
+/// Vertices are the n! permutations of n symbols (Lehmer-coded ids);
+/// generator i (0-based, i < n-1) transposes symbol positions 0 and i+1.
+class StarNucleus final : public Nucleus {
+ public:
+  explicit StarNucleus(unsigned n);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return factorial_; }
+  std::size_t num_generators() const override { return n_ - 1u; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override { return gen; }
+
+  /// Lehmer decode/encode, exposed for tests.
+  std::vector<std::uint8_t> decode(NodeId v) const;
+  NodeId encode(const std::vector<std::uint8_t>& perm) const;
+
+ private:
+  unsigned n_;
+  std::size_t factorial_;
+};
+
+/// Generalized hypercube (Bhuyan & Agrawal) with mixed radices
+/// (m_1, ..., m_n): one digit per dimension; every pair of vertices
+/// differing in exactly one digit is adjacent. Generators: for each
+/// dimension d and offset o in 1..m_d-1, add o to digit d (mod m_d).
+class GeneralizedHypercubeNucleus final : public Nucleus {
+ public:
+  explicit GeneralizedHypercubeNucleus(std::vector<std::size_t> radices);
+  std::string name() const override;
+  std::size_t num_nodes() const override { return num_nodes_; }
+  std::size_t num_generators() const override { return num_generators_; }
+  NodeId apply(NodeId v, std::size_t gen) const override;
+  std::size_t inverse_generator(std::size_t gen) const override;
+  std::size_t num_dimensions() const override { return radices_.size(); }
+  std::size_t radix(std::size_t dim) const override { return radices_[dim]; }
+  std::size_t digit(NodeId v, std::size_t dim) const override;
+  NodeId with_digit(NodeId v, std::size_t dim, std::size_t val) const override;
+  std::size_t dim_generator(std::size_t dim, std::size_t offset) const override;
+
+ private:
+  std::vector<std::size_t> radices_;
+  std::vector<std::size_t> scale_;      ///< mixed-radix place values
+  std::vector<std::size_t> gen_base_;   ///< first generator index per dimension
+  std::size_t num_nodes_ = 1;
+  std::size_t num_generators_ = 0;
+};
+
+}  // namespace ipg::topology

@@ -1,0 +1,408 @@
+#include "topology/super_ipg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/thread_pool.hpp"
+
+namespace ipg::topology {
+
+namespace {
+
+/// Packs an arrangement (l <= 16 entries, each < 16) into a hashable key.
+std::uint64_t pack(const Arrangement& a) {
+  std::uint64_t k = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    k |= static_cast<std::uint64_t>(a[i]) << (4 * i);
+  }
+  return k;
+}
+
+}  // namespace
+
+std::string family_name(SuperFamily f) {
+  switch (f) {
+    case SuperFamily::kHSN: return "HSN";
+    case SuperFamily::kRingCN: return "ring-CN";
+    case SuperFamily::kCompleteCN: return "complete-CN";
+    case SuperFamily::kSFN: return "SFN";
+    case SuperFamily::kDirectedRingCN: return "directed-CN";
+  }
+  return "?";
+}
+
+SuperIpg::SuperIpg(std::shared_ptr<const Nucleus> nucleus, std::size_t levels,
+                   SuperFamily family)
+    : nucleus_(std::move(nucleus)), levels_(levels), family_(family) {
+  IPG_CHECK(nucleus_ != nullptr, "super-IPG needs a nucleus");
+  IPG_CHECK(levels_ >= 2 && levels_ <= 16, "levels must be in [2,16]");
+  m_ = nucleus_->num_nodes();
+  n_nucleus_ = nucleus_->num_generators();
+
+  // Node count M^l must fit NodeId.
+  std::uint64_t n = 1;
+  scale_.reserve(levels_);
+  for (std::size_t i = 0; i < levels_; ++i) {
+    scale_.push_back(static_cast<std::size_t>(n));
+    n *= m_;
+    IPG_CHECK(n <= (std::uint64_t{1} << 31), "super-IPG too large for NodeId");
+  }
+  num_nodes_ = static_cast<std::size_t>(n);
+
+  const auto l = levels_;
+  auto identity = [l] {
+    Arrangement a(l);
+    std::iota(a.begin(), a.end(), std::uint8_t{0});
+    return a;
+  };
+  switch (family_) {
+    case SuperFamily::kHSN:
+      for (std::size_t i = 1; i < l; ++i) {
+        Arrangement a = identity();
+        std::swap(a[0], a[i]);
+        group_maps_.push_back(std::move(a));
+      }
+      break;
+    case SuperFamily::kRingCN:
+    case SuperFamily::kDirectedRingCN: {
+      Arrangement left(l), right(l);
+      for (std::size_t g = 0; g < l; ++g) {
+        left[g] = static_cast<std::uint8_t>((g + 1) % l);
+        right[g] = static_cast<std::uint8_t>((g + l - 1) % l);
+      }
+      group_maps_.push_back(std::move(left));
+      if (family_ == SuperFamily::kRingCN && l > 2) {
+        group_maps_.push_back(std::move(right));
+      }
+      break;
+    }
+    case SuperFamily::kCompleteCN:
+      for (std::size_t i = 1; i < l; ++i) {
+        Arrangement a(l);
+        for (std::size_t g = 0; g < l; ++g) {
+          a[g] = static_cast<std::uint8_t>((g + i) % l);
+        }
+        group_maps_.push_back(std::move(a));
+      }
+      break;
+    case SuperFamily::kSFN:
+      for (std::size_t i = 2; i <= l; ++i) {
+        Arrangement a = identity();
+        std::reverse(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(i));
+        group_maps_.push_back(std::move(a));
+      }
+      break;
+  }
+
+  name_ = family_name(family_) + "(" + std::to_string(l) + "," +
+          nucleus_->name() + ")";
+}
+
+NodeId SuperIpg::apply(NodeId v, std::size_t gen) const {
+  IPG_DCHECK(gen < num_generators(), "generator index out of range");
+  if (gen < n_nucleus_) {
+    const auto g0 = static_cast<NodeId>(v % m_);
+    const NodeId g0p = nucleus_->apply(g0, gen);
+    return v - g0 + g0p;
+  }
+  const Arrangement& map = group_maps_[gen - n_nucleus_];
+  std::uint64_t out = 0;
+  for (std::size_t g = 0; g < levels_; ++g) {
+    out += static_cast<std::uint64_t>(group(v, map[g])) * scale_[g];
+  }
+  return static_cast<NodeId>(out);
+}
+
+std::size_t SuperIpg::inverse_generator(std::size_t gen) const {
+  if (gen < n_nucleus_) return nucleus_->inverse_generator(gen);
+  const Arrangement& map = group_maps_[gen - n_nucleus_];
+  Arrangement inv(levels_);
+  for (std::size_t g = 0; g < levels_; ++g) inv[map[g]] = static_cast<std::uint8_t>(g);
+  for (std::size_t s = 0; s < group_maps_.size(); ++s) {
+    if (group_maps_[s] == inv) return n_nucleus_ + s;
+  }
+  IPG_CHECK(false, "super-generator set not closed under inversion");
+  return 0;
+}
+
+NodeId SuperIpg::make_node(std::span<const NodeId> groups) const {
+  IPG_CHECK(groups.size() == levels_, "group tuple has wrong arity");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < levels_; ++i) {
+    IPG_CHECK(groups[i] < m_, "group value out of nucleus range");
+    v += static_cast<std::uint64_t>(groups[i]) * scale_[i];
+  }
+  return static_cast<NodeId>(v);
+}
+
+Clustering SuperIpg::nucleus_clustering() const {
+  return Clustering::blocks(num_nodes_, m_);
+}
+
+Arrangement SuperIpg::identity_arrangement() const {
+  Arrangement a(levels_);
+  std::iota(a.begin(), a.end(), std::uint8_t{0});
+  return a;
+}
+
+Arrangement SuperIpg::apply_to_arrangement(const Arrangement& arr,
+                                           std::size_t s) const {
+  const Arrangement& map = group_maps_[s];
+  Arrangement out(levels_);
+  for (std::size_t g = 0; g < levels_; ++g) out[g] = arr[map[g]];
+  return out;
+}
+
+namespace {
+
+/// BFS over arrangements from @p start until @p accept holds; returns the
+/// word of super-generator (local) indices. Deterministic: generators are
+/// tried in index order.
+std::vector<std::size_t> arrangement_bfs(
+    const SuperIpg& ipg, const Arrangement& start,
+    const std::function<bool(const Arrangement&)>& accept) {
+  if (accept(start)) return {};
+  struct Entry {
+    std::uint64_t pred_key;
+    std::size_t gen;
+  };
+  std::unordered_map<std::uint64_t, Entry> seen;
+  std::unordered_map<std::uint64_t, Arrangement> arrs;
+  const std::uint64_t start_key = pack(start);
+  seen.emplace(start_key, Entry{start_key, 0});
+  arrs.emplace(start_key, start);
+  std::deque<std::uint64_t> q{start_key};
+  while (!q.empty()) {
+    const std::uint64_t key = q.front();
+    q.pop_front();
+    const Arrangement cur = arrs.at(key);
+    for (std::size_t s = 0; s < ipg.num_super_generators(); ++s) {
+      Arrangement nxt = ipg.apply_to_arrangement(cur, s);
+      const std::uint64_t nkey = pack(nxt);
+      if (seen.contains(nkey)) continue;
+      seen.emplace(nkey, Entry{key, s});
+      if (accept(nxt)) {
+        std::vector<std::size_t> word;
+        for (std::uint64_t k = nkey; k != start_key; k = seen.at(k).pred_key) {
+          word.push_back(seen.at(k).gen);
+        }
+        std::reverse(word.begin(), word.end());
+        return word;
+      }
+      arrs.emplace(nkey, std::move(nxt));
+      q.push_back(nkey);
+    }
+  }
+  IPG_CHECK(false, "arrangement BFS found no accepting state");
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::size_t> SuperIpg::word_to_front(const Arrangement& from,
+                                                 std::uint8_t grp) const {
+  return arrangement_bfs(*this, from,
+                         [grp](const Arrangement& a) { return a[0] == grp; });
+}
+
+std::vector<std::size_t> SuperIpg::word_to_arrangement(const Arrangement& from,
+                                                       const Arrangement& to) const {
+  return arrangement_bfs(*this, from,
+                         [&to](const Arrangement& a) { return a == to; });
+}
+
+std::size_t SuperIpg::t_single_dimension() const {
+  const Arrangement id = identity_arrangement();
+  std::size_t t = 0;
+  for (std::size_t i = 1; i < levels_; ++i) {
+    auto bring = word_to_front(id, static_cast<std::uint8_t>(i));
+    Arrangement cur = id;
+    for (const std::size_t s : bring) cur = apply_to_arrangement(cur, s);
+    auto restore = word_to_arrangement(cur, id);
+    t = std::max(t, bring.size() + restore.size());
+  }
+  return t;
+}
+
+std::vector<std::size_t> SuperIpg::route(NodeId from, NodeId to) const {
+  IPG_CHECK(from < num_nodes_ && to < num_nodes_, "route endpoint out of range");
+  const std::size_t l = levels_;
+
+  std::vector<bool> differs(l, false);
+  bool any_super_diff = false;
+  for (std::size_t i = 0; i < l; ++i) {
+    differs[i] = group(from, i) != group(to, i);
+    if (i > 0 && differs[i]) any_super_diff = true;
+  }
+
+  // Family-specific visiting word over *local* super-generator indices.
+  std::vector<std::size_t> visit;
+  if (any_super_diff) {
+    switch (family_) {
+      case SuperFamily::kHSN:
+        for (std::size_t i = 1; i < l; ++i) {
+          if (differs[i]) visit.push_back(i - 1);  // T_{i+1} (paper 1-based)
+        }
+        break;
+      case SuperFamily::kCompleteCN: {
+        std::size_t pos = 0;  // current total rotation
+        for (std::size_t i = 1; i < l; ++i) {
+          if (differs[i]) {
+            visit.push_back(i - pos - 1);  // L_{i-pos}
+            pos = i;
+          }
+        }
+        const bool all_visited =
+            std::all_of(differs.begin(), differs.end(), [](bool d) { return d; });
+        if (!all_visited && pos != 0) visit.push_back(l - pos - 1);  // close cycle
+        break;
+      }
+      case SuperFamily::kRingCN:
+      case SuperFamily::kDirectedRingCN:
+        // l-1 unit shifts bring every group to the front exactly once, so
+        // any destination is writable without a closing rotation.
+        for (std::size_t k = 0; k + 1 < l; ++k) visit.push_back(0);  // L_1
+        break;
+      case SuperFamily::kSFN:
+        // Flips displace every prefix group, so visit all groups; rewrites
+        // below only happen where content actually mismatches.
+        for (std::size_t i = 0; i + 1 < l; ++i) visit.push_back(i);  // F_2..F_l
+        break;
+    }
+  }
+
+  // Arrangement states A_0 .. A_k and the last front phase of each group.
+  std::vector<Arrangement> states{identity_arrangement()};
+  for (const std::size_t s : visit) {
+    states.push_back(apply_to_arrangement(states.back(), s));
+  }
+  const Arrangement& final_arr = states.back();
+  std::vector<std::size_t> final_pos(l);
+  for (std::size_t p = 0; p < l; ++p) final_pos[final_arr[p]] = p;
+  std::vector<std::size_t> last_front(l, static_cast<std::size_t>(-1));
+  for (std::size_t j = 0; j < states.size(); ++j) last_front[states[j][0]] = j;
+
+  // Emit: at each phase, if the front group is at its last visit and its
+  // content does not match the destination's requirement at the group's
+  // final position, walk the nucleus to fix it; then take the super link.
+  std::vector<std::size_t> out;
+  std::vector<NodeId> content(l);
+  for (std::size_t g = 0; g < l; ++g) content[g] = static_cast<NodeId>(group(from, g));
+
+  for (std::size_t j = 0; j < states.size(); ++j) {
+    const std::uint8_t g = states[j][0];
+    if (last_front[g] == j) {
+      const auto target = static_cast<NodeId>(group(to, final_pos[g]));
+      if (content[g] != target) {
+        for (const std::size_t ng : nucleus_->route(content[g], target)) {
+          out.push_back(ng);
+        }
+        content[g] = target;
+      }
+    }
+    if (j + 1 < states.size()) out.push_back(n_nucleus_ + visit[j]);
+  }
+
+  // Any group that never reaches the front must already match.
+  for (std::size_t g = 0; g < l; ++g) {
+    IPG_CHECK(last_front[g] != static_cast<std::size_t>(-1) ||
+                  content[g] == static_cast<NodeId>(group(to, final_pos[g])),
+              "routing invariant violated: unvisited group content mismatch");
+  }
+  return out;
+}
+
+Graph SuperIpg::to_graph() const {
+  // Materialization is embarrassingly parallel per node: a counting pass
+  // sizes the CSR rows, a second pass fills them (arcs per node come out
+  // in ascending generator order — already sorted by dimension).
+  const std::size_t gens = num_generators();
+  std::vector<std::uint64_t> row(num_nodes_ + 1, 0);
+  util::parallel_for_chunked(0, num_nodes_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      std::uint64_t cnt = 0;
+      for (std::size_t g = 0; g < gens; ++g) {
+        if (apply(static_cast<NodeId>(v), g) != v) ++cnt;
+      }
+      row[v + 1] = cnt;
+    }
+  });
+  std::partial_sum(row.begin(), row.end(), row.begin());
+  std::vector<Arc> arcs(row.back());
+  util::parallel_for_chunked(0, num_nodes_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      std::uint64_t at = row[v];
+      for (std::size_t g = 0; g < gens; ++g) {
+        const NodeId u = apply(static_cast<NodeId>(v), g);
+        if (u != v) arcs[at++] = Arc{u, static_cast<std::uint16_t>(g)};
+      }
+    }
+  });
+  return Graph(name_, num_nodes_, gens, std::move(row), std::move(arcs));
+}
+
+const Nucleus& base_nucleus(const SuperIpg& s) {
+  const Nucleus* nuc = &s.nucleus();
+  while (const SuperIpg* inner = nuc->as_super_ipg()) nuc = &inner->nucleus();
+  return *nuc;
+}
+
+std::size_t num_base_nucleus_generators(const SuperIpg& s) {
+  const SuperIpg* cur = &s;
+  while (const SuperIpg* inner = cur->nucleus().as_super_ipg()) cur = inner;
+  return cur->num_nucleus_generators();
+}
+
+Clustering base_nucleus_clustering(const SuperIpg& s) {
+  return Clustering::blocks(s.num_nodes(), base_nucleus(s).num_nodes());
+}
+
+// --- factories --------------------------------------------------------------
+
+SuperIpg make_hsn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus) {
+  return SuperIpg(std::move(nucleus), levels, SuperFamily::kHSN);
+}
+SuperIpg make_ring_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus) {
+  return SuperIpg(std::move(nucleus), levels, SuperFamily::kRingCN);
+}
+SuperIpg make_directed_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus) {
+  return SuperIpg(std::move(nucleus), levels, SuperFamily::kDirectedRingCN);
+}
+SuperIpg make_complete_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus) {
+  return SuperIpg(std::move(nucleus), levels, SuperFamily::kCompleteCN);
+}
+SuperIpg make_sfn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus) {
+  return SuperIpg(std::move(nucleus), levels, SuperFamily::kSFN);
+}
+
+SuperIpg make_rcc(std::size_t r, std::shared_ptr<const Nucleus> nucleus) {
+  IPG_CHECK(r >= 1, "RCC depth must be >= 1");
+  SuperIpg cur = make_hsn(2, std::move(nucleus));
+  for (std::size_t i = 2; i <= r; ++i) {
+    cur = make_hsn(2, std::make_shared<SuperIpgNucleus>(std::move(cur)));
+  }
+  return cur;
+}
+
+SuperIpg make_rhsn(std::size_t depth, std::size_t levels,
+                   std::shared_ptr<const Nucleus> nucleus) {
+  IPG_CHECK(depth >= 1, "RHSN depth must be >= 1");
+  SuperIpg cur = make_hsn(levels, std::move(nucleus));
+  for (std::size_t i = 2; i <= depth; ++i) {
+    cur = make_hsn(levels, std::make_shared<SuperIpgNucleus>(std::move(cur)));
+  }
+  return cur;
+}
+
+SuperIpg make_hcn(unsigned n) {
+  return make_hsn(2, std::make_shared<HypercubeNucleus>(n));
+}
+
+SuperIpg make_hfn(unsigned n) {
+  return make_hsn(2, std::make_shared<FoldedHypercubeNucleus>(n));
+}
+
+}  // namespace ipg::topology

@@ -1,0 +1,187 @@
+#pragma once
+// Tuple-coded super-IPGs — the paper's main object (§2).
+//
+// A node of a super-IPG with l levels over an M-node nucleus is an l-tuple
+// of nucleus vertices, encoded as a radix-M integer whose digit 0 is the
+// *leftmost* super-symbol. Nucleus generators act on digit 0; each
+// super-generator permutes the digits by a fixed group map. This is
+// isomorphic to the generic symbol-label IPG of src/core (proved by test
+// on small instances) and scales to millions of nodes.
+//
+// Families (all with nucleus G and l levels):
+//   HSN(l,G)          transposition super-generators T_2..T_l
+//   ring-CN(l,G)      cyclic shifts L_1 and R_1
+//   complete-CN(l,G)  cyclic shifts L_1..L_{l-1}
+//   SFN(l,G)          flips F_2..F_l
+// plus the recursive families RCC(r,G) = HSN(2, RCC(r-1,G)) and
+// RHSN(d,l,G) = HSN(l, RHSN(d-1,l,G)), and the two-level classics
+// HCN(n,n) = HSN(2,Q_n) and HFN = HSN(2,FQ_n) built through them.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::topology {
+
+enum class SuperFamily : std::uint8_t {
+  kHSN,
+  kRingCN,
+  kCompleteCN,
+  kSFN,
+  kDirectedRingCN,  ///< L_1 only (the paper's "directed CN", Cor 4.2)
+};
+
+std::string family_name(SuperFamily f);
+
+/// An arrangement of the l super-symbol slots: arr[p] = original group now
+/// at position p. Used by routing and the ascend/descend planner.
+using Arrangement = std::vector<std::uint8_t>;
+
+class SuperIpg {
+ public:
+  SuperIpg(std::shared_ptr<const Nucleus> nucleus, std::size_t levels,
+           SuperFamily family);
+
+  const std::string& name() const noexcept { return name_; }
+  SuperFamily family() const noexcept { return family_; }
+  const Nucleus& nucleus() const noexcept { return *nucleus_; }
+  std::shared_ptr<const Nucleus> nucleus_ptr() const noexcept { return nucleus_; }
+
+  std::size_t levels() const noexcept { return levels_; }
+  std::size_t nucleus_size() const noexcept { return m_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  std::size_t num_nucleus_generators() const noexcept { return n_nucleus_; }
+  std::size_t num_super_generators() const noexcept { return group_maps_.size(); }
+  std::size_t num_generators() const noexcept {
+    return n_nucleus_ + group_maps_.size();
+  }
+
+  /// Moves node @p v along generator @p gen. Generators 0..n_nucleus-1 are
+  /// the (lifted) nucleus generators; the rest are super-generators.
+  NodeId apply(NodeId v, std::size_t gen) const;
+
+  std::size_t inverse_generator(std::size_t gen) const;
+
+  bool is_super_generator(std::size_t gen) const noexcept { return gen >= n_nucleus_; }
+
+  /// Group map of super-generator @p s (0-based among super-generators):
+  /// applying it puts old group map[g] at position g.
+  std::span<const std::uint8_t> group_map(std::size_t s) const {
+    return group_maps_[s];
+  }
+
+  // --- tuple access -------------------------------------------------------
+  std::size_t group(NodeId v, std::size_t i) const noexcept {
+    return (v / scale_[i]) % m_;
+  }
+  NodeId make_node(std::span<const NodeId> groups) const;
+
+  /// Chip/cluster of a node: the nucleus copy it belongs to (all nodes
+  /// sharing digits 1..l-1). One cluster per chip, as in §4.
+  std::uint32_t cluster_of(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(v / m_);
+  }
+  Clustering nucleus_clustering() const;
+
+  // --- super-generator word machinery --------------------------------------
+  /// Applies super-generator @p s (local index) to an arrangement.
+  Arrangement apply_to_arrangement(const Arrangement& arr, std::size_t s) const;
+
+  /// Shortest word of (local) super-generator indices transforming @p from
+  /// into any arrangement with arr[0] == group, via BFS over arrangements.
+  std::vector<std::size_t> word_to_front(const Arrangement& from,
+                                         std::uint8_t group) const;
+
+  /// Shortest word transforming @p from into exactly @p to.
+  std::vector<std::size_t> word_to_arrangement(const Arrangement& from,
+                                               const Arrangement& to) const;
+
+  /// Theorem 3.1's t: max over super-symbols of (shortest bring-to-front
+  /// word + shortest restore word). SDC emulation slowdown is t+1.
+  std::size_t t_single_dimension() const;
+
+  // --- routing --------------------------------------------------------------
+  /// Full generator word (global indices) routing @p from to @p to, using
+  /// the family's canonical visiting order: each differing super-symbol is
+  /// corrected during its last visit to the leftmost position (§4.2).
+  std::vector<std::size_t> route(NodeId from, NodeId to) const;
+
+  /// Materializes the CSR graph; dimension label = generator index.
+  Graph to_graph() const;
+
+ private:
+  Arrangement identity_arrangement() const;
+
+  std::shared_ptr<const Nucleus> nucleus_;
+  std::size_t levels_;
+  SuperFamily family_;
+  std::size_t m_;          ///< nucleus size M
+  std::size_t n_nucleus_;  ///< nucleus generator count
+  std::size_t num_nodes_;  ///< M^l
+  std::vector<std::size_t> scale_;  ///< M^i place values
+  std::vector<Arrangement> group_maps_;
+  std::string name_;
+};
+
+// --- factories --------------------------------------------------------------
+
+SuperIpg make_hsn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus);
+SuperIpg make_ring_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus);
+SuperIpg make_directed_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus);
+SuperIpg make_complete_cn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus);
+SuperIpg make_sfn(std::size_t levels, std::shared_ptr<const Nucleus> nucleus);
+
+/// Wraps a SuperIpg as a Nucleus so families can be built recursively.
+class SuperIpgNucleus final : public Nucleus {
+ public:
+  explicit SuperIpgNucleus(SuperIpg inner)
+      : inner_(std::make_shared<SuperIpg>(std::move(inner))) {}
+  std::string name() const override { return inner_->name(); }
+  std::size_t num_nodes() const override { return inner_->num_nodes(); }
+  std::size_t num_generators() const override { return inner_->num_generators(); }
+  NodeId apply(NodeId v, std::size_t gen) const override {
+    return inner_->apply(v, gen);
+  }
+  std::size_t inverse_generator(std::size_t gen) const override {
+    return inner_->inverse_generator(gen);
+  }
+  const SuperIpg* as_super_ipg() const override { return inner_.get(); }
+
+ private:
+  std::shared_ptr<const SuperIpg> inner_;
+};
+
+/// Innermost (non-super-IPG) nucleus of a possibly-recursive family: for
+/// RCC/RHSN this walks through the SuperIpgNucleus wrappers; for plain
+/// families it is just the nucleus. The paper's clusters/chips are always
+/// copies of this base nucleus.
+const Nucleus& base_nucleus(const SuperIpg& s);
+
+/// Number of generators of @p s that act inside the base nucleus. Because
+/// nucleus generators always come first (recursively), these are exactly
+/// the generator indices < the returned count; every other generator
+/// crosses chips.
+std::size_t num_base_nucleus_generators(const SuperIpg& s);
+
+/// One cluster per base-nucleus copy (one chip per nucleus, §4).
+Clustering base_nucleus_clustering(const SuperIpg& s);
+
+/// RCC(r,G): r = 0 gives G itself (invalid here — needs r >= 1);
+/// RCC(r,G) = HSN(2, RCC(r-1,G)). N = M^(2^r).
+SuperIpg make_rcc(std::size_t r, std::shared_ptr<const Nucleus> nucleus);
+
+/// RHSN(depth, l, G) = HSN(l, RHSN(depth-1, l, G)); depth 1 = HSN(l,G).
+SuperIpg make_rhsn(std::size_t depth, std::size_t levels,
+                   std::shared_ptr<const Nucleus> nucleus);
+
+/// HCN(n,n) = HSN(2, Q_n); HFN(n) = HSN(2, FQ_n).
+SuperIpg make_hcn(unsigned n);
+SuperIpg make_hfn(unsigned n);
+
+}  // namespace ipg::topology

@@ -1,0 +1,75 @@
+#pragma once
+// Small bit-manipulation helpers used throughout the library.
+//
+// All functions are constexpr and noexcept; they wrap <bit> where possible
+// and add the handful of operations (mixed-radix digits, bit reversal) that
+// the topology and algorithm layers need.
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace ipg::util {
+
+/// True iff @p x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); precondition x > 0.
+constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); precondition x > 0.
+constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u : floor_log2(x - 1) + 1u;
+}
+
+/// Exact log2 of a power of two.
+constexpr unsigned exact_log2(std::uint64_t x) noexcept {
+  return floor_log2(x);
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// Reverse the low @p bits bits of @p x (bit 0 <-> bit bits-1).
+constexpr std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+/// Integer power base^exp (no overflow checking; callers validate sizes).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp != 0) {
+    if (exp & 1u) r *= base;
+    base *= base;
+    exp >>= 1u;
+  }
+  return r;
+}
+
+/// Extract digit @p i of @p x in radix @p m (digit 0 is least significant).
+constexpr std::uint64_t radix_digit(std::uint64_t x, std::uint64_t m,
+                                    unsigned i) noexcept {
+  for (unsigned k = 0; k < i; ++k) x /= m;
+  return x % m;
+}
+
+/// Replace digit @p i of @p x in radix @p m with @p d.
+constexpr std::uint64_t with_radix_digit(std::uint64_t x, std::uint64_t m,
+                                         unsigned i, std::uint64_t d) noexcept {
+  std::uint64_t scale = 1;
+  for (unsigned k = 0; k < i; ++k) scale *= m;
+  const std::uint64_t old = (x / scale) % m;
+  return x + (d - old) * scale;  // unsigned wrap-around is well-defined
+}
+
+}  // namespace ipg::util

@@ -1,0 +1,38 @@
+#pragma once
+// Precondition checking.
+//
+// IPG_CHECK is always on (cheap, used for constructor/argument validation
+// and invariants whose failure means a logic error in the caller);
+// IPG_DCHECK compiles away in release builds and guards hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ipg::util {
+
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace ipg::util
+
+#define IPG_CHECK(expr, msg)                                            \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ipg::util::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define IPG_DCHECK(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define IPG_DCHECK(expr, msg) IPG_CHECK(expr, msg)
+#endif

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ipg::util {
+
+void Table::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void Table::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::to_cell(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << "| ";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size(), ' ')
+         << (c + 1 == cols ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 4;  // "| " + " |"
+  for (std::size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 == cols ? 0 : 3);
+
+  if (!title_.empty()) os << title_ << '\n';
+  os << std::string(total, '-') << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os << std::string(total, '-') << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_ratio(double ratio) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace ipg::util

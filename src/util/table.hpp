@@ -1,0 +1,58 @@
+#pragma once
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every experiment binary prints paper-style rows ("paper says X, we
+// measured Y"); this keeps the formatting in one place and emits aligned
+// ASCII plus optional CSV.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipg::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with to_cell().
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    row({to_cell(vals)...});
+  }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders comma-separated values (header first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "2.50x" style ratio formatting used in comparison tables.
+std::string format_ratio(double ratio);
+
+}  // namespace ipg::util

@@ -1,0 +1,67 @@
+#pragma once
+// Work-stealing-free, blocking-queue thread pool plus a parallel_for helper.
+//
+// Metric computations (all-pairs BFS over tens of thousands of sources) and
+// Monte-Carlo experiments are embarrassingly parallel across sources; this
+// pool keeps them simple. Exceptions thrown by tasks are captured and
+// rethrown on wait() so callers never lose failures.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipg::util {
+
+class ThreadPool {
+ public:
+  /// Creates @p num_threads workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; runs on some worker thread.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed. Rethrows the first
+  /// exception raised by any task (others are discarded).
+  void wait();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide pool, sized to the machine. Lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+/// Work is split into contiguous chunks, ~4 per worker, to amortize
+/// scheduling while keeping load balance for skewed iterations.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool& pool = ThreadPool::global());
+
+/// Chunked variant: fn(chunk_begin, chunk_end) — lets callers keep
+/// per-thread scratch buffers alive across a whole chunk.
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& fn,
+                          ThreadPool& pool = ThreadPool::global());
+
+}  // namespace ipg::util

@@ -1,0 +1,199 @@
+// End-to-end algorithm tests: FFT, bitonic sort, prefix scan, and DNS
+// matrix multiplication executed through the Theorem 3.5 machinery on
+// several super-IPG families, verified against references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "algorithms/bitonic.hpp"
+#include "algorithms/comm_tasks.hpp"
+#include "algorithms/fft.hpp"
+#include "algorithms/matmul.hpp"
+#include "algorithms/scan.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::algorithms {
+namespace {
+
+using namespace topology;
+
+std::shared_ptr<const Nucleus> q(unsigned n) {
+  return std::make_shared<HypercubeNucleus>(n);
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  return x;
+}
+
+void expect_close(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-9) << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-9) << i;
+  }
+}
+
+class FftFamilies : public ::testing::TestWithParam<SuperFamily> {};
+
+TEST_P(FftFamilies, MatchesReferenceDft) {
+  const SuperIpg s(q(2), 3, GetParam());  // 64 points
+  const auto x = random_signal(s.num_nodes(), 17);
+  const auto run = fft_on_super_ipg(s, x);
+  expect_close(run.output, dft_reference(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FftFamilies,
+                         ::testing::Values(SuperFamily::kHSN,
+                                           SuperFamily::kRingCN,
+                                           SuperFamily::kCompleteCN,
+                                           SuperFamily::kSFN));
+
+TEST(Fft, WorksOnGhcNucleus) {
+  // Radix-4 digits exercise the multi-stage group butterfly.
+  const auto ghc = std::make_shared<GeneralizedHypercubeNucleus>(
+      std::vector<std::size_t>{4, 2});
+  const SuperIpg s = make_complete_cn(2, ghc);  // 64 points
+  const auto x = random_signal(s.num_nodes(), 23);
+  expect_close(fft_on_super_ipg(s, x).output, dft_reference(x));
+}
+
+TEST(Fft, WorksOnRecursiveRcc) {
+  const SuperIpg s = make_rcc(2, q(2));  // 256 points
+  const auto x = random_signal(s.num_nodes(), 29);
+  expect_close(fft_on_super_ipg(s, x).output, dft_reference(x));
+}
+
+TEST(Fft, HpnBaselineMatchesAndCountsOffchip) {
+  const Hpn h(q(2), 3);  // Q_6, 64 points
+  const auto x = random_signal(h.num_nodes(), 31);
+  // Chips = 16-node subcubes: 2 of 6 dimensions off-chip.
+  const auto run = fft_on_hpn(h, Clustering::blocks(h.num_nodes(), 16), x);
+  expect_close(run.output, dft_reference(x));
+  EXPECT_EQ(run.counts.comm_steps, 6u);
+  EXPECT_EQ(run.counts.offchip_steps, 2u);
+}
+
+TEST(Fft, SuperIpgOffchipStepsAreSuperSteps) {
+  // §4.1: FFT needs only the super-generator steps off-chip — l(k+2)-2
+  // total steps but just 2l-2 off-chip, vs log2 N - log2 M on a hypercube.
+  const SuperIpg s = make_hsn(3, q(2));
+  const auto run = fft_on_super_ipg(s, random_signal(s.num_nodes(), 37));
+  EXPECT_EQ(run.counts.comm_steps, 3u * 4u - 2u);
+  EXPECT_EQ(run.counts.offchip_steps, 2u * 3u - 2u);
+  EXPECT_EQ(run.counts.onchip_steps, 6u);
+}
+
+class SortFamilies : public ::testing::TestWithParam<SuperFamily> {};
+
+TEST_P(SortFamilies, SortsRandomKeys) {
+  const SuperIpg s(q(2), 3, GetParam());
+  util::Xoshiro256 rng(41);
+  std::vector<double> keys(s.num_nodes());
+  for (auto& k : keys) k = rng.uniform();
+  const auto run = bitonic_sort_on_super_ipg(s, keys);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(run.output.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(run.output[i], expected[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SortFamilies,
+                         ::testing::Values(SuperFamily::kHSN,
+                                           SuperFamily::kCompleteCN,
+                                           SuperFamily::kSFN));
+
+TEST(Sort, SortsOnHpnBaseline) {
+  const Hpn h(q(3), 2);  // Q_6
+  util::Xoshiro256 rng(43);
+  std::vector<double> keys(h.num_nodes());
+  for (auto& k : keys) k = rng.uniform();
+  const auto run =
+      bitonic_sort_on_hpn(h, Clustering::blocks(h.num_nodes(), 8), keys);
+  EXPECT_TRUE(std::is_sorted(run.output.begin(), run.output.end()));
+}
+
+TEST(Sort, AlreadySortedStaysSorted) {
+  const SuperIpg s = make_hsn(2, q(2));
+  std::vector<double> keys(s.num_nodes());
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<double>(i);
+  const auto run = bitonic_sort_on_super_ipg(s, keys);
+  EXPECT_EQ(run.output, keys);
+}
+
+TEST(Sort, HandlesDuplicateKeys) {
+  const SuperIpg s = make_sfn(2, q(2));
+  std::vector<double> keys(s.num_nodes(), 1.0);
+  keys[3] = 0.0;
+  keys[7] = 2.0;
+  const auto run = bitonic_sort_on_super_ipg(s, keys);
+  EXPECT_TRUE(std::is_sorted(run.output.begin(), run.output.end()));
+}
+
+TEST(Scan, InclusivePrefixSums) {
+  const SuperIpg s = make_complete_cn(3, q(2));
+  std::vector<double> x(s.num_nodes());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 7) + 1;
+  const auto run = prefix_sum_on_super_ipg(s, x);
+  double acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    EXPECT_DOUBLE_EQ(run.prefix[i], acc) << i;
+  }
+}
+
+TEST(Matmul, DnsMatchesReference) {
+  const SuperIpg s = make_hsn(3, q(2));  // 64 = 4^3 nodes
+  const std::size_t n = 4;
+  util::Xoshiro256 rng(47);
+  std::vector<double> a(n * n), b(n * n);
+  for (auto& v : a) v = rng.uniform();
+  for (auto& v : b) v = rng.uniform();
+  const auto run = dns_matmul_on_super_ipg(s, a, b);
+  const auto ref = matmul_reference(n, a, b);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(run.c[i], ref[i], 1e-9) << i;
+  }
+  EXPECT_GT(run.counts.comm_steps, 0u);
+}
+
+TEST(Matmul, RejectsNonCubeNodeCounts) {
+  const SuperIpg s = make_hsn(2, q(2));  // 16 nodes, not a cube
+  EXPECT_THROW(
+      dns_matmul_on_super_ipg(s, std::vector<double>(4), std::vector<double>(4)),
+      std::invalid_argument);
+}
+
+TEST(CommTasks, Corollary310_311_EmulatedTimes) {
+  // HSN(l, Q_n) with l = n: MNB ~ N/sqrt(log N) * const, TE ~ N sqrt(log N).
+  const auto hsn = make_hsn(3, q(3));  // 512 nodes, emulates Q_9
+  const double mnb_cube = mnb_steps_hypercube(9);
+  const double te_cube = te_steps_hypercube(9);
+  EXPECT_DOUBLE_EQ(mnb_steps_super_ipg(hsn), mnb_cube * 6);  // max(6, 4) = 6
+  EXPECT_DOUBLE_EQ(te_steps_super_ipg(hsn), te_cube * 6);
+}
+
+TEST(CommTasks, TeOffchipThetaN2OnSuperIpgVsN2LogNOnHypercube) {
+  // §3.3: TE needs Theta(N^2) intercluster transmissions on super-IPGs
+  // (l = O(1)) vs Theta(N^2 log N) on hypercubes.
+  const auto hsn = make_hsn(2, q(4));  // 256 nodes, M = 16
+  const auto ipg_counts = offchip_counts(hsn.to_graph(), hsn.nucleus_clustering());
+  const Graph cube = hypercube_graph(8);
+  const auto cube_counts =
+      offchip_counts(cube, hypercube_subcube_clustering(8, 16));
+  // Per-packet off-chip hops: < 1 for the HSN, = 2 for the hypercube.
+  EXPECT_LT(ipg_counts.avg_intercluster_distance, 1.0);
+  EXPECT_DOUBLE_EQ(cube_counts.avg_intercluster_distance, 2.0);
+  EXPECT_LT(ipg_counts.te_offchip_transmissions,
+            cube_counts.te_offchip_transmissions / 2);
+}
+
+}  // namespace
+}  // namespace ipg::algorithms

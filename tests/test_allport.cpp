@@ -1,0 +1,87 @@
+// Tests for the all-port emulation scheduler (Theorem 3.8, Figure 1):
+// the bound max(2n, l+1) is met across a parameter sweep, schedules
+// verify, and the Figure 1b utilization figure (~93%) is reproduced.
+#include "emulation/allport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipg::emulation {
+namespace {
+
+struct LN {
+  std::size_t l, n;
+};
+
+class AllPortSweep : public ::testing::TestWithParam<LN> {};
+
+TEST_P(AllPortSweep, MeetsTheorem38Bound) {
+  const auto [l, n] = GetParam();
+  const AllPortSchedule s = build_allport_schedule(l, n);
+  EXPECT_EQ(s.makespan, allport_bound(l, n));
+  EXPECT_NO_THROW(verify_allport_schedule(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPortSweep,
+    ::testing::Values(LN{2, 2}, LN{3, 2}, LN{4, 2}, LN{5, 2}, LN{7, 2},
+                      LN{9, 2}, LN{2, 3}, LN{3, 3}, LN{4, 3}, LN{5, 3},
+                      LN{6, 3}, LN{7, 3}, LN{10, 3}, LN{3, 4}, LN{4, 4},
+                      LN{5, 4}, LN{8, 4}, LN{9, 4}, LN{2, 5}, LN{6, 5},
+                      LN{11, 5}, LN{12, 6}),
+    [](const ::testing::TestParamInfo<LN>& p) {
+      return "l" + std::to_string(p.param.l) + "n" + std::to_string(p.param.n);
+    });
+
+TEST(AllPort, Figure1a_TwelveDimHpnOn4x3) {
+  // Figure 1a: 12-dimensional HPN on a super-IPG with l=4, n=3: 6 steps.
+  const AllPortSchedule s = build_allport_schedule(4, 3);
+  EXPECT_EQ(s.makespan, 6u);
+  EXPECT_EQ(s.num_dims(), 12u);
+}
+
+TEST(AllPort, Figure1b_FifteenDimHpnOn5x3_Utilization93Percent) {
+  // Figure 1b: 15-dimensional HPN on l=5, n=3: 6 steps; links are "93%
+  // used on the average": 39 tasks / (7 link-resources * 6 steps).
+  const AllPortSchedule s = build_allport_schedule(5, 3);
+  EXPECT_EQ(s.makespan, 6u);
+  EXPECT_EQ(s.num_dims(), 15u);
+  EXPECT_NEAR(s.utilization(), 39.0 / 42.0, 1e-12);
+  EXPECT_NEAR(s.utilization(), 0.93, 0.01);
+}
+
+TEST(AllPort, SeparateInversesAlsoMeetBound) {
+  // complete-CN style: L_i and L_{l-i} are distinct links.
+  const AllPortSchedule s = build_allport_schedule(5, 3, /*shared_inverse=*/false);
+  EXPECT_EQ(s.makespan, 6u);
+  EXPECT_NO_THROW(verify_allport_schedule(s));
+}
+
+TEST(AllPort, VerifierCatchesResourceConflicts) {
+  AllPortSchedule s = build_allport_schedule(3, 2);
+  // Force two nucleus steps of the same generator into one row.
+  s.dims[0].nucleus = s.dims[2].nucleus;
+  EXPECT_THROW(verify_allport_schedule(s), std::invalid_argument);
+}
+
+TEST(AllPort, VerifierCatchesChainViolations) {
+  AllPortSchedule s = build_allport_schedule(3, 2);
+  auto& d = s.dims[3];  // a level-1 dimension
+  std::swap(d.bring, d.restore);
+  EXPECT_THROW(verify_allport_schedule(s), std::invalid_argument);
+}
+
+TEST(AllPort, FigureRenderingContainsAllSteps) {
+  const AllPortSchedule s = build_allport_schedule(4, 3);
+  const std::string fig = s.to_figure();
+  EXPECT_NE(fig.find("N1"), std::string::npos);
+  EXPECT_NE(fig.find("S2"), std::string::npos);
+  EXPECT_NE(fig.find("S2'"), std::string::npos);
+}
+
+TEST(AllPort, RejectsDegenerateParameters) {
+  EXPECT_THROW(build_allport_schedule(1, 3), std::invalid_argument);
+  EXPECT_THROW(build_allport_schedule(3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::emulation

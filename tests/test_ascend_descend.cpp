@@ -1,0 +1,146 @@
+// Tests for the Theorem 3.5 ascend/descend plans — in particular the
+// communication-step counts of Corollaries 3.6 and 3.7.
+#include "algorithms/ascend_descend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/nucleus.hpp"
+
+namespace ipg::algorithms {
+namespace {
+
+using namespace topology;
+
+std::shared_ptr<const Nucleus> q(unsigned n) {
+  return std::make_shared<HypercubeNucleus>(n);
+}
+
+TEST(AscendPlan, Corollary36_CnTakesLTimesKPlus1) {
+  // CN based on a k-cube: l(k+1) = (1 + 1/k) log2 N communication steps.
+  for (std::size_t l = 2; l <= 4; ++l) {
+    for (unsigned k = 2; k <= 3; ++k) {
+      const auto cn = make_complete_cn(l, q(k));
+      const auto plan = build_ascend_plan(cn);
+      EXPECT_EQ(plan.comm_steps(), l * (k + 1)) << cn.name();
+      EXPECT_EQ(plan.base_dim_steps(), l * k);
+      EXPECT_EQ(plan.super_steps(), l);
+      // ring-CN achieves the same counts (§3.2: "any CN").
+      const auto ring = make_ring_cn(l, q(k));
+      EXPECT_EQ(build_ascend_plan(ring).comm_steps(), l * (k + 1)) << ring.name();
+    }
+  }
+}
+
+TEST(AscendPlan, Corollary36_HsnSfnTakeLTimesKPlus2Minus2) {
+  // HSN/SFN based on a k-cube: l(k+2) - 2 communication steps.
+  for (std::size_t l = 2; l <= 4; ++l) {
+    for (unsigned k = 2; k <= 3; ++k) {
+      const auto hsn = make_hsn(l, q(k));
+      EXPECT_EQ(build_ascend_plan(hsn).comm_steps(), l * (k + 2) - 2) << hsn.name();
+      const auto sfn = make_sfn(l, q(k));
+      EXPECT_EQ(build_ascend_plan(sfn).comm_steps(), l * (k + 2) - 2) << sfn.name();
+    }
+  }
+}
+
+TEST(AscendPlan, Corollary36_RecursiveRcc) {
+  // RCC(r, Q_k) has L = 2^r leaf levels; the recursion T(r) = 2 T(r-1) + 2
+  // gives L(k+2) - 2 total steps, matching the corollary with l = L.
+  const auto rcc = make_rcc(2, q(2));
+  const std::size_t leaves = 4;  // 2^2
+  EXPECT_EQ(build_ascend_plan(rcc).comm_steps(), leaves * (2 + 2) - 2);
+}
+
+TEST(AscendPlan, Corollary37_GeneralizedHypercubeNucleus) {
+  // The paper's example: m_i = 4, n = 3 dims -> CN does (2/3) log2 N comm
+  // steps, HSN (5/6) log2 N - 2; log2 N = 6l bits for GHC(4,4,4).
+  const auto ghc = std::make_shared<GeneralizedHypercubeNucleus>(
+      std::vector<std::size_t>{4, 4, 4});
+  for (std::size_t l = 2; l <= 3; ++l) {
+    const auto cn = make_complete_cn(l, ghc);
+    const auto plan = build_ascend_plan(cn);
+    EXPECT_EQ(plan.comm_steps(), l * (3 + 1)) << cn.name();  // l(n+1)
+    const double log2n = static_cast<double>(6 * l);
+    EXPECT_DOUBLE_EQ(static_cast<double>(plan.comm_steps()), (2.0 / 3.0) * log2n);
+    const auto hsn = make_hsn(l, ghc);
+    EXPECT_EQ(build_ascend_plan(hsn).comm_steps(), l * (3 + 2) - 2);  // l(n+2)-2
+  }
+}
+
+TEST(AscendPlan, DescendMatchesAscendCost) {
+  for (const auto family : {SuperFamily::kHSN, SuperFamily::kCompleteCN,
+                            SuperFamily::kSFN, SuperFamily::kRingCN}) {
+    const SuperIpg s(q(2), 3, family);
+    EXPECT_EQ(build_ascend_plan(s, false).comm_steps(),
+              build_ascend_plan(s, true).comm_steps())
+        << family_name(family);
+  }
+}
+
+TEST(AscendPlan, PlanReturnsDataHome) {
+  // Executing a full plan must leave every item at its original node
+  // (the final rearrangement of Theorem 3.5).
+  const auto hsn = make_hsn(3, q(2));
+  SuperIpgMachine<int> m(hsn, std::vector<int>(hsn.num_nodes(), 0));
+  run_plan(m, build_ascend_plan(hsn),
+           [](std::span<const std::size_t>, std::span<int>) {});
+  EXPECT_TRUE(m.is_home());
+}
+
+TEST(AscendPlan, BitRestrictionSkipsWholeLevels) {
+  // Bits [0, k) only touch level 0: no super steps at all.
+  const auto hsn = make_hsn(3, q(2));
+  const auto plan = build_ascend_plan(hsn, false, 0, 2);
+  EXPECT_EQ(plan.super_steps(), 0u);
+  EXPECT_EQ(plan.base_dim_steps(), 2u);
+  // Bits [2, 4) live in level 1: bring + restore + 2 dims.
+  const auto plan2 = build_ascend_plan(hsn, false, 2, 4);
+  EXPECT_EQ(plan2.base_dim_steps(), 2u);
+  EXPECT_EQ(plan2.super_steps(), 2u);
+}
+
+TEST(AscendPlan, EmptyRangeYieldsEmptyPlan) {
+  const auto hsn = make_hsn(2, q(2));
+  EXPECT_EQ(build_ascend_plan(hsn, false, 3, 3).comm_steps(), 0u);
+}
+
+TEST(AscendPlan, ReorderFreeDropsTheRestoreWord) {
+  // §3.2: "if reordering of the results is not required, then the number
+  // of communication steps can be further reduced." HSN saves l-1 steps
+  // (the restore), CN saves 1.
+  const auto hsn = make_hsn(3, q(2));
+  const auto full = build_ascend_plan(hsn);
+  const auto loose = build_ascend_plan(hsn, false, 0,
+                                       std::numeric_limits<std::size_t>::max(),
+                                       /*restore_order=*/false);
+  EXPECT_EQ(full.comm_steps() - loose.comm_steps(), hsn.levels() - 1);
+  const auto cn = make_complete_cn(3, q(2));
+  const auto cn_full = build_ascend_plan(cn);
+  const auto cn_loose = build_ascend_plan(cn, false, 0,
+                                          std::numeric_limits<std::size_t>::max(),
+                                          false);
+  EXPECT_EQ(cn_full.comm_steps() - cn_loose.comm_steps(), 1u);
+  // Results stay correct when read by origin (the machine tracks homes).
+  SuperIpgMachine<int> m(hsn, [] {
+    std::vector<int> v(64);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+    return v;
+  }());
+  run_plan(m, loose, [](std::span<const std::size_t>, std::span<int>) {});
+  EXPECT_FALSE(m.is_home());
+  const auto by_origin = m.values_by_origin();
+  for (std::size_t i = 0; i < by_origin.size(); ++i) {
+    EXPECT_EQ(by_origin[i], static_cast<int>(i));
+  }
+  EXPECT_THROW(build_ascend_plan(hsn, true, 0,
+                                 std::numeric_limits<std::size_t>::max(), false),
+               std::invalid_argument);
+}
+
+TEST(AscendPlan, AddressBits) {
+  EXPECT_EQ(address_bits(make_hsn(3, q(2))), 6u);
+  EXPECT_EQ(address_bits(make_complete_cn(2, q(4))), 8u);
+}
+
+}  // namespace
+}  // namespace ipg::algorithms

@@ -1,0 +1,120 @@
+// Tests for bisection heuristics and the capacity-model link weights that
+// feed the §4.2 bisection-bandwidth comparisons.
+#include "metrics/bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::metrics {
+namespace {
+
+using namespace topology;
+
+std::size_t side_count(const std::vector<std::uint8_t>& side, std::uint8_t s) {
+  return static_cast<std::size_t>(std::count(side.begin(), side.end(), s));
+}
+
+TEST(Bisection, HeuristicFindsHypercubeWidth) {
+  // Bisection width of Q_n is 2^(n-1); the heuristic is an upper bound and
+  // reliably reaches the optimum on small cubes.
+  for (unsigned n : {3u, 4u, 5u}) {
+    const Graph g = hypercube_graph(n);
+    const auto r = bisection_width_heuristic(g, 12);
+    EXPECT_EQ(side_count(r.side, 0), g.num_nodes() / 2);
+    EXPECT_DOUBLE_EQ(r.cut, static_cast<double>(1u << (n - 1))) << n;
+  }
+}
+
+TEST(Bisection, HeuristicFindsRingWidth) {
+  const auto r = bisection_width_heuristic(ring_graph(12), 12);
+  EXPECT_DOUBLE_EQ(r.cut, 2.0);
+}
+
+TEST(Bisection, HeuristicOnTorusMatchesFormula) {
+  // k-ary 2-cube bisection width = 2k (k even).
+  const auto r = bisection_width_heuristic(kary_ncube_graph(4, 2), 16);
+  EXPECT_DOUBLE_EQ(r.cut, 8.0);
+}
+
+TEST(Bisection, BalancedSidesAlways) {
+  const Graph g = hypercube_graph(5);
+  const auto r = bisection_width_heuristic(g, 2);
+  EXPECT_EQ(side_count(r.side, 0), 16u);
+  EXPECT_EQ(side_count(r.side, 1), 16u);
+}
+
+TEST(UnitChipWeights, UniformPerChipBudget) {
+  // Q_4 with 4-node chips: each node has 2 off-chip links, each chip has
+  // 8 off-chip link-endpoints; per-link bandwidth = 4*w / 8 = w/2.
+  const Graph g = hypercube_graph(4);
+  const auto c = hypercube_subcube_clustering(4, 4);
+  const auto w = unit_chip_arc_weights(g, c, 1.0);
+  ASSERT_EQ(w.size(), g.num_arcs());
+  std::size_t arc_index = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (c.is_intercluster(v, arc.to)) {
+        EXPECT_DOUBLE_EQ(w[arc_index], 0.5);
+      } else {
+        EXPECT_DOUBLE_EQ(w[arc_index], 0.0);
+      }
+      ++arc_index;
+    }
+  }
+}
+
+TEST(UnitChipWeights, HsnOffChipLinksAreWiderThanHypercubes) {
+  // §4: a 16-node cluster of HSN(3,Q4) has 30 intercluster links vs 128
+  // for a 12-cube cluster, so HSN off-chip links are ~4x wider.
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(4));
+  const Graph hg = hsn.to_graph();
+  const auto hc = hsn.nucleus_clustering();
+  const auto hw = unit_chip_arc_weights(hg, hc, 1.0);
+  const double hsn_link = *std::max_element(hw.begin(), hw.end());
+
+  const Graph qg = hypercube_graph(12);
+  const auto qc = hypercube_subcube_clustering(12, 16);
+  const auto qw = unit_chip_arc_weights(qg, qc, 1.0);
+  const double q_link = *std::max_element(qw.begin(), qw.end());
+
+  EXPECT_DOUBLE_EQ(hsn_link, 16.0 / 30.0);  // 8w/15 in the paper
+  EXPECT_DOUBLE_EQ(q_link, 16.0 / 128.0);   // w/8 in the paper
+  EXPECT_NEAR(hsn_link / q_link, 4.27, 0.01);
+}
+
+TEST(ClusterBisection, HsnQ2MatchesClosedForm) {
+  // HSN(2,Q2): N=16, M=4, l=2. Corollary 4.8: B_B = wNM/(4(l-1)(M-1)) =
+  // 16*4/(4*1*3) = 16/3 with w = 1.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(2));
+  const Graph g = hsn.to_graph();
+  const auto c = hsn.nucleus_clustering();
+  const auto w = unit_chip_arc_weights(g, c, 1.0);
+  const auto r = cluster_bisection_heuristic(g, c, w, 16);
+  EXPECT_NEAR(r.cut, 16.0 / 3.0, 1e-9);
+}
+
+TEST(ClusterBisection, RequiresEqualSizeClusters) {
+  GraphBuilder b("bad", 3, 1);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  const Graph g = std::move(b).build();
+  Clustering c({0, 0, 1}, 2);
+  EXPECT_THROW(
+      cluster_bisection_heuristic(g, c, unit_link_arc_weights(g)),
+      std::invalid_argument);
+}
+
+TEST(UnitLinkWeights, AllOnes) {
+  const Graph g = ring_graph(5);
+  const auto w = unit_link_arc_weights(g);
+  EXPECT_EQ(w.size(), g.num_arcs());
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+}  // namespace
+}  // namespace ipg::metrics

@@ -1,0 +1,163 @@
+// Edge-case coverage pass: Label limits and rendering, GraphBuilder and
+// Clustering validation, machine counter consistency, pattern off-chip
+// accounting, and large-instance structural checks.
+#include <gtest/gtest.h>
+
+#include "algorithms/comm_tasks.hpp"
+#include "core/label.hpp"
+#include "emulation/machine.hpp"
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+// --- Label ---------------------------------------------------------------
+
+TEST(LabelEdges, MaxLengthEnforced) {
+  std::vector<core::Label::Symbol> syms(core::Label::kMaxSymbols, 1);
+  EXPECT_NO_THROW(core::Label(std::span<const core::Label::Symbol>(syms)));
+  syms.push_back(1);
+  EXPECT_THROW(core::Label(std::span<const core::Label::Symbol>(syms)),
+               std::invalid_argument);
+  EXPECT_THROW(core::Label::repeated(core::Label::from_string("0123456789"), 5),
+               std::invalid_argument);
+}
+
+TEST(LabelEdges, FromStringSkipsSpaces) {
+  const auto l = core::Label::from_string("01 01 01");
+  EXPECT_EQ(l.size(), 6u);
+  EXPECT_EQ(l.to_string(2), "01 01 01");
+  EXPECT_EQ(l.to_string(), "010101");
+}
+
+TEST(LabelEdges, HashDistinguishesLengthAndContent) {
+  const auto a = core::Label::from_string("11");
+  const auto b = core::Label::from_string("111");
+  const auto c = core::Label::from_string("12");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == core::Label::from_string("11"));
+}
+
+TEST(LabelEdges, EmptyLabelIsValid) {
+  const core::Label l;
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_EQ(l.to_string(), "");
+}
+
+// --- Graph / Clustering ----------------------------------------------------
+
+TEST(GraphEdges, ClusteringRejectsOutOfRangeIds) {
+  EXPECT_THROW(Clustering({0, 2}, 2), std::invalid_argument);
+  EXPECT_NO_THROW(Clustering({0, 1}, 2));
+}
+
+TEST(GraphEdges, EmptyGraphBasics) {
+  GraphBuilder b("empty", 3, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(GraphEdges, CensusOnSingleCluster) {
+  const Graph g = ring_graph(4);
+  const auto census = census_links(g, Clustering::single(4));
+  EXPECT_EQ(census.offchip_edges, 0u);
+  EXPECT_EQ(census.onchip_edges, 4u);
+  EXPECT_DOUBLE_EQ(census.avg_offchip_per_node, 0.0);
+}
+
+// --- machine counters --------------------------------------------------------
+
+TEST(MachineCounters, StepsPartitionIntoOnAndOffChip) {
+  const SuperIpg s = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  emulation::SuperIpgMachine<int> m(s, std::vector<int>(s.num_nodes(), 0));
+  m.step_generator(0);                          // nucleus: on-chip
+  m.step_generator(s.num_nucleus_generators()); // super: off-chip
+  m.step_base_dimension(1, [](std::span<const std::size_t>, std::span<int>) {});
+  const auto& c = m.counts();
+  EXPECT_EQ(c.comm_steps, 3u);
+  EXPECT_EQ(c.onchip_steps + c.offchip_steps, c.comm_steps);
+  EXPECT_EQ(c.onchip_steps, 2u);
+  EXPECT_EQ(c.offchip_steps, 1u);
+  EXPECT_GT(c.onchip_transmissions, 0u);
+  EXPECT_GT(c.offchip_transmissions, 0u);
+  EXPECT_EQ(c.compute_steps, 1u);
+}
+
+TEST(MachineCounters, SelfLoopGeneratorMovesNothingButCountsStep) {
+  // On HSN(2,G), nodes (x,x) are fixed by the swap; the wave still counts
+  // as one step, but those nodes transmit nothing.
+  const SuperIpg s = make_hsn(2, std::make_shared<HypercubeNucleus>(2));
+  emulation::SuperIpgMachine<int> m(s, std::vector<int>(s.num_nodes(), 0));
+  m.step_generator(s.num_nucleus_generators());
+  // 16 nodes, 4 fixed points -> 12 items moved.
+  EXPECT_EQ(m.counts().offchip_transmissions, 12u);
+}
+
+// --- pattern off-chip accounting ---------------------------------------------
+
+TEST(PatternOffchip, TransposeOnHsn2IsOneSwapHop) {
+  // On HSN(2,Q4) the transpose partner of (a,b) is (b,a): exactly the swap
+  // link — one off-chip hop for every node off the diagonal.
+  const SuperIpg s = make_hsn(2, std::make_shared<HypercubeNucleus>(4));
+  const Graph g = s.to_graph();
+  const auto chips = s.nucleus_clustering();
+  const double hops = algorithms::pattern_offchip_hops(
+      g, chips, [&s](NodeId v) {
+        return s.make_node(std::vector<NodeId>{
+            static_cast<NodeId>(s.group(v, 1)), static_cast<NodeId>(s.group(v, 0))});
+      });
+  // 16 diagonal nodes of 256 stay put: average = 240/256.
+  EXPECT_DOUBLE_EQ(hops, 240.0 / 256.0);
+}
+
+TEST(PatternOffchip, TransposeOnHypercubeCrossesHalfTheOffchipDims) {
+  // Q8, 16-node chips (low 4 dims on-chip): transpose swaps the two bytes'
+  // halves; expected off-chip hops = expected differing high bits = 2.
+  const Graph g = hypercube_graph(8);
+  const auto chips = hypercube_subcube_clustering(8, 16);
+  const double hops = algorithms::pattern_offchip_hops(
+      g, chips, [](NodeId v) {
+        return static_cast<NodeId>(((v & 0x0f) << 4) | (v >> 4));
+      });
+  EXPECT_DOUBLE_EQ(hops, 2.0);
+}
+
+// --- scale ---------------------------------------------------------------------
+
+TEST(Scale, HSN2Q7With16kNodes) {
+  const SuperIpg s = make_hsn(2, std::make_shared<HypercubeNucleus>(7));
+  EXPECT_EQ(s.num_nodes(), 16384u);
+  const Graph g = s.to_graph();
+  const auto stats =
+      metrics::intercluster_stats(g, s.nucleus_clustering(), 8);
+  EXPECT_EQ(stats.diameter, 1u);
+  // Route across the whole machine still lands.
+  NodeId v = 5;
+  const auto to = static_cast<NodeId>(s.num_nodes() - 3);
+  for (const auto gen : s.route(5, to)) v = s.apply(v, gen);
+  EXPECT_EQ(v, to);
+}
+
+TEST(Scale, RhsnThreeDeepStructure) {
+  // RHSN(3, 2, Q2): ((4^2)^2)^2 = 65536 nodes, three recursion levels.
+  const SuperIpg r = make_rhsn(3, 2, std::make_shared<HypercubeNucleus>(2));
+  EXPECT_EQ(r.num_nodes(), 65536u);
+  EXPECT_EQ(base_nucleus(r).num_nodes(), 4u);
+  EXPECT_EQ(num_base_nucleus_generators(r), 2u);
+  NodeId v = 11;
+  for (const auto gen : r.route(11, 54321)) v = r.apply(v, gen);
+  EXPECT_EQ(v, 54321u);
+}
+
+}  // namespace
+}  // namespace ipg

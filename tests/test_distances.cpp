@@ -1,0 +1,105 @@
+// Tests for the distance engine — including the paper's intercluster
+// distance checks: Corollary 4.2 (intercluster diameter l-1) and the §4.2
+// remark that a 12-cube with 16-node chips has average intercluster
+// distance exactly 4 (self pairs included).
+#include "metrics/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::metrics {
+namespace {
+
+using namespace topology;
+
+TEST(Distances, BfsOnRing) {
+  const Graph g = ring_graph(8);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[7], 1u);
+}
+
+TEST(Distances, HypercubeAverageIncludesSelf) {
+  // Average distance of Q_n over ordered pairs incl. self = n/2.
+  for (unsigned n : {3u, 5u, 7u}) {
+    const auto stats = distance_stats(hypercube_graph(n));
+    EXPECT_DOUBLE_EQ(stats.average, n / 2.0) << n;
+    EXPECT_EQ(stats.diameter, n);
+  }
+}
+
+TEST(Distances, SampledSweepMatchesExactOnVertexTransitiveGraph) {
+  const Graph g = hypercube_graph(7);
+  const auto exact = distance_stats(g);
+  const auto sampled = distance_stats(g, 8);
+  EXPECT_EQ(sampled.sources_used, 8u);
+  EXPECT_EQ(sampled.diameter, exact.diameter);
+  EXPECT_DOUBLE_EQ(sampled.average, exact.average);
+}
+
+TEST(Distances, DisconnectedGraphThrows) {
+  GraphBuilder b("two islands", 4, 1);
+  b.add_edge(0, 1, 0);
+  b.add_edge(2, 3, 0);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW(distance_stats(g), std::invalid_argument);
+}
+
+TEST(Intercluster, PaperExample_12CubeWith16NodeChips) {
+  // §4.2: "the average intercluster distance of a 12-cube is exactly 4
+  // when a cluster has 16 nodes" (self pairs included).
+  const Graph g = hypercube_graph(12);
+  const auto c = hypercube_subcube_clustering(12, 16);
+  const auto stats = intercluster_stats(g, c, 4);  // vertex-transitive
+  EXPECT_DOUBLE_EQ(stats.average, 4.0);
+  EXPECT_EQ(stats.diameter, 8u);  // 12 - log2(16) off-chip dimensions
+}
+
+TEST(Intercluster, Corollary42_InterclusterDiameterIsLMinus1) {
+  // HSN, CN (ring and complete), SFN: intercluster diameter l-1.
+  const auto nuc = std::make_shared<HypercubeNucleus>(2);
+  for (const auto family : {SuperFamily::kHSN, SuperFamily::kRingCN,
+                            SuperFamily::kCompleteCN, SuperFamily::kSFN}) {
+    for (std::size_t l = 2; l <= 4; ++l) {
+      const SuperIpg s(nuc, l, family);
+      const auto stats =
+          intercluster_stats(s.to_graph(), s.nucleus_clustering());
+      EXPECT_EQ(stats.diameter, l - 1)
+          << family_name(family) << " l=" << l;
+    }
+  }
+}
+
+TEST(Intercluster, Corollary42_RecursiveFamilies) {
+  // RCC(2,Q2): N = 256, base nucleus M = 4, l_flat = log_M N = 4 -> 3.
+  const SuperIpg rcc = make_rcc(2, std::make_shared<HypercubeNucleus>(2));
+  const auto stats = intercluster_stats(rcc.to_graph(),
+                                        Clustering::blocks(rcc.num_nodes(), 4));
+  EXPECT_EQ(stats.diameter, 3u);
+}
+
+TEST(Intercluster, ZeroInsideCluster) {
+  const SuperIpg s = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const Graph g = s.to_graph();
+  const auto c = s.nucleus_clustering();
+  const auto d = intercluster_distances(g, c, 0);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(d[v], 0u);  // same chip
+}
+
+TEST(Intercluster, LowerBoundsAreSane) {
+  // HSN(3,Q4): N=4096, M=16, intercluster degree l-1=2 (times (M-1)/M).
+  const double lb =
+      intercluster_diameter_lower_bound(4096, 16, 2.0 * 15 / 16);
+  EXPECT_GT(lb, 0.5);
+  EXPECT_LE(lb, 2.0);  // actual intercluster diameter of HSN(3,Q4) is 2
+  const double alb =
+      avg_intercluster_distance_lower_bound(4096, 16, 2.0 * 15 / 16);
+  EXPECT_GT(alb, 0.5);
+  EXPECT_LE(alb, 2.0);
+}
+
+}  // namespace
+}  // namespace ipg::metrics

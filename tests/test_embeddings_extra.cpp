@@ -1,0 +1,130 @@
+// Corollary 3.4 in action: constant-dilation hypercube embeddings compose
+// with the dilation-3 HPN -> super-IPG embedding. Plus two demonstrations
+// of the IPG model's expressive power from §1/§2: the shuffle-exchange
+// network and the star graph as index-permutation graphs.
+#include <gtest/gtest.h>
+
+#include "algorithms/fft.hpp"
+#include "core/super_generators.hpp"
+#include "emulation/sdc.hpp"
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+// Gray code: consecutive ring nodes differ in one hypercube bit.
+NodeId gray(std::size_t i) { return static_cast<NodeId>(i ^ (i >> 1)); }
+
+TEST(Corollary34, RingEmbedsInHsnWithDilationThree) {
+  // Ring C_64 -> Q6 via Gray code (dilation 1), Q6 = HPN(3, Q2) ->
+  // HSN(3, Q2) via the SDC words (dilation 3): composite dilation <= 3.
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const emulation::SdcEmulation emu(hsn);
+  const Graph g = hsn.to_graph();
+
+  std::size_t max_dilation = 0;
+  const std::size_t n = hsn.num_nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a = gray(i);
+    const NodeId b = gray((i + 1) % n);
+    // The ring edge maps to the HPN dimension where a and b differ...
+    const auto diff = static_cast<NodeId>(a ^ b);
+    ASSERT_TRUE(util::is_pow2(diff));
+    const auto dim = util::exact_log2(diff);
+    // ...whose embedded path is the SDC word from a.
+    max_dilation = std::max(max_dilation, emu.word_for_dim(dim).size());
+    // The path is a real path in the HSN graph ending at b's image.
+    NodeId v = a;
+    for (const auto gen : emu.word_for_dim(dim)) {
+      const NodeId u = hsn.apply(v, gen);
+      if (u != v) {  // generator fixing the node = zero-length hop
+        ASSERT_NE(g.neighbor(v, static_cast<std::uint16_t>(gen)), kInvalidNode);
+      }
+      v = u;
+    }
+    ASSERT_EQ(v, b);
+  }
+  EXPECT_EQ(max_dilation, 3u);
+}
+
+TEST(Corollary34, MeshEmbedsInCompleteCnWithDilationThree) {
+  // An 8x8 mesh embeds in Q6 with dilation 1 (row-Gray x column-Gray),
+  // hence in complete-CN(3,Q2) with dilation 3.
+  const SuperIpg cn = make_complete_cn(3, std::make_shared<HypercubeNucleus>(2));
+  const emulation::SdcEmulation emu(cn);
+  auto node_of = [](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>((gray(r) << 3) | gray(c));
+  };
+  std::size_t max_dilation = 0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c + 1 < 8; ++c) {
+      const auto diff = static_cast<NodeId>(node_of(r, c) ^ node_of(r, c + 1));
+      ASSERT_TRUE(util::is_pow2(diff));
+      max_dilation = std::max(
+          max_dilation, emu.word_for_dim(util::exact_log2(diff)).size());
+    }
+  }
+  EXPECT_EQ(max_dilation, 3u);
+}
+
+TEST(IpgExpressiveness, ShuffleExchangeIsAnIpg) {
+  // SE(n) as an IPG with the paired-bit encoding: seed (01)^n, generators
+  // rotate-by-2 (shuffle), rotate-by-(2n-2) (unshuffle), swap of pair 0
+  // (exchange). Node count 2^n, degree <= 3.
+  const unsigned n = 4;
+  const auto ipg = core::build_ipg(
+      core::hypercube_seed(n),
+      {core::Permutation::rotation(2 * n, 2),
+       core::Permutation::rotation(2 * n, 2 * n - 2),
+       core::Permutation::transposition(2 * n, 0, 1)});
+  EXPECT_EQ(ipg.num_nodes(), 16u);
+  const Graph g = from_ipg(ipg, "SE4-as-IPG");
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_LE(g.max_degree(), 3u);
+  // Same diameter as the directly-constructed shuffle-exchange graph.
+  EXPECT_EQ(metrics::distance_stats(g).diameter,
+            metrics::distance_stats(shuffle_exchange_graph(n)).diameter);
+}
+
+TEST(IpgExpressiveness, StarGraphIsACayleyIpg) {
+  // S_4 via distinct symbols (the Cayley special case) matches StarNucleus.
+  std::vector<core::Permutation> gens;
+  for (std::size_t i = 1; i < 4; ++i) {
+    gens.push_back(core::Permutation::transposition(4, 0, i));
+  }
+  const auto ipg = core::build_ipg(core::Label::from_string("1234"), gens);
+  const Graph g = from_ipg(ipg, "S4-as-IPG");
+  const Graph s = StarNucleus(4).to_graph();
+  EXPECT_EQ(g.num_nodes(), s.num_nodes());
+  EXPECT_EQ(g.num_edges(), s.num_edges());
+  EXPECT_EQ(metrics::distance_stats(g).diameter,
+            metrics::distance_stats(s).diameter);
+  const auto ga = metrics::distance_stats(g);
+  const auto sa = metrics::distance_stats(s);
+  EXPECT_DOUBLE_EQ(ga.average, sa.average);
+}
+
+TEST(IpgExpressiveness, RhsnNestedTwiceStillComputesFft) {
+  // RHSN(2, 2, Q2): HSN(2, HSN(2, Q2)) nested again — 2 levels of
+  // recursion through SuperIpgNucleus; the Theorem 3.5 plan still runs.
+  const SuperIpg rhsn = make_rhsn(2, 2, std::make_shared<HypercubeNucleus>(2));
+  EXPECT_EQ(rhsn.num_nodes(), 256u);
+  util::Xoshiro256 rng(3);
+  std::vector<algorithms::Complex> x(rhsn.num_nodes());
+  for (auto& v : x) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto run = algorithms::fft_on_super_ipg(rhsn, x);
+  const auto ref = algorithms::dft_reference(x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(std::abs(run.output[i] - ref[i]), 0.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace ipg

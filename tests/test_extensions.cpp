@@ -1,0 +1,263 @@
+// Tests for the extension layer: star nuclei, the directed CN family,
+// capacity-model weight variants, ID/II-cost metrics, circular convolution,
+// executed total exchange, and bounded-buffer backpressure.
+#include <gtest/gtest.h>
+
+#include "algorithms/convolution.hpp"
+#include "metrics/costs.hpp"
+#include "metrics/distances.hpp"
+#include "mcmp/capacity.hpp"
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+// --- StarNucleus -----------------------------------------------------------
+
+TEST(StarNucleus, BasicStructure) {
+  const StarNucleus s4(4);
+  EXPECT_EQ(s4.num_nodes(), 24u);
+  EXPECT_EQ(s4.num_generators(), 3u);
+  // All generators are involutions (transpositions with position 0).
+  for (std::size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(s4.inverse_generator(g), g);
+    for (NodeId v = 0; v < 24; ++v) {
+      EXPECT_EQ(s4.apply(s4.apply(v, g), g), v);
+      EXPECT_NE(s4.apply(v, g), v);
+    }
+  }
+}
+
+TEST(StarNucleus, LehmerRoundTrip) {
+  const StarNucleus s5(5);
+  for (NodeId v = 0; v < s5.num_nodes(); v += 7) {
+    EXPECT_EQ(s5.encode(s5.decode(v)), v);
+  }
+  // Identity permutation is node 0.
+  EXPECT_EQ(s5.decode(0), (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StarNucleus, StarGraphDiameter) {
+  // Diameter of S_n is floor(3(n-1)/2): S_4 -> 4, S_5 -> 6.
+  EXPECT_EQ(metrics::distance_stats(StarNucleus(4).to_graph()).diameter, 4u);
+  EXPECT_EQ(metrics::distance_stats(StarNucleus(5).to_graph()).diameter, 6u);
+}
+
+TEST(StarNucleus, MacroStarStyleSuperIpg) {
+  // HSN(2, S_4): 576 nodes, a macro-star-flavoured super-IPG.
+  const SuperIpg ms = make_hsn(2, std::make_shared<StarNucleus>(4));
+  EXPECT_EQ(ms.num_nodes(), 576u);
+  const auto stats =
+      metrics::intercluster_stats(ms.to_graph(), ms.nucleus_clustering());
+  EXPECT_EQ(stats.diameter, 1u);  // l - 1
+  // Routing works across the star nucleus.
+  for (NodeId from = 0; from < ms.num_nodes(); from += 101) {
+    for (NodeId to = 0; to < ms.num_nodes(); to += 97) {
+      NodeId v = from;
+      for (const auto g : ms.route(from, to)) v = ms.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+// --- Directed CN -----------------------------------------------------------
+
+TEST(DirectedCn, HasOnlyForwardShift) {
+  const SuperIpg dcn = make_directed_cn(4, std::make_shared<HypercubeNucleus>(2));
+  EXPECT_EQ(dcn.num_super_generators(), 1u);
+  EXPECT_EQ(dcn.name(), "directed-CN(4,Q2)");
+  EXPECT_FALSE(dcn.to_graph().is_undirected());
+}
+
+TEST(DirectedCn, Corollary42_InterclusterDiameterLMinus1) {
+  for (std::size_t l = 2; l <= 5; ++l) {
+    const SuperIpg dcn =
+        make_directed_cn(l, std::make_shared<HypercubeNucleus>(2));
+    const auto stats =
+        metrics::intercluster_stats(dcn.to_graph(), dcn.nucleus_clustering());
+    EXPECT_EQ(stats.diameter, l - 1) << l;
+  }
+}
+
+TEST(DirectedCn, RoutesReachDestinations) {
+  const SuperIpg dcn = make_directed_cn(3, std::make_shared<HypercubeNucleus>(2));
+  for (NodeId from = 0; from < dcn.num_nodes(); from += 3) {
+    for (NodeId to = 0; to < dcn.num_nodes(); to += 5) {
+      NodeId v = from;
+      for (const auto g : dcn.route(from, to)) v = dcn.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+// --- capacity-model weights --------------------------------------------------
+
+TEST(CapacityModels, UnitNodeWeightsSplitDegree) {
+  const Graph g = hypercube_graph(3);  // regular degree 3
+  const auto w = metrics::unit_node_arc_weights(g, 1.0);
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0 / 3.0);
+}
+
+TEST(CapacityModels, UnitNodeWeightsTakeMinAcrossEndpoints) {
+  GraphBuilder b("path", 3, 1);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);  // node 1 has degree 2, ends degree 1
+  const Graph g = std::move(b).build();
+  const auto w = metrics::unit_node_arc_weights(g, 1.0);
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 0.5);
+}
+
+TEST(CapacityModels, UnitBisectionEqualizesNetworks) {
+  // Under unit bisection capacity every network has the same bisection
+  // bandwidth by construction (§4.2 / Dally).
+  const Graph q = hypercube_graph(4);
+  const auto wq = metrics::unit_bisection_arc_weights(q, 8.0, 64.0);
+  EXPECT_DOUBLE_EQ(wq[0] * 8.0, 64.0);
+  const Graph torus = kary_ncube_graph(4, 2);
+  const auto wt = metrics::unit_bisection_arc_weights(torus, 8.0, 64.0);
+  EXPECT_DOUBLE_EQ(wt[0] * 8.0, 64.0);
+}
+
+// --- ID / II costs ------------------------------------------------------------
+
+TEST(Costs, ComputesPaperProducts) {
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const auto c = metrics::compute_costs(hsn.to_graph(), hsn.nucleus_clustering());
+  EXPECT_DOUBLE_EQ(c.ii_cost,
+                   c.intercluster_degree * static_cast<double>(c.intercluster_diameter));
+  EXPECT_DOUBLE_EQ(c.id_cost,
+                   c.intercluster_degree * static_cast<double>(c.diameter));
+  EXPECT_EQ(c.intercluster_diameter, 2u);
+  EXPECT_GT(c.diameter, c.intercluster_diameter);
+}
+
+TEST(Costs, SuperIpgBeatsHypercubeOnIICost) {
+  // The §4.2 comparison metric: HSN's II-cost is far below the hypercube's.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(4));
+  const auto hc = metrics::compute_costs(hsn.to_graph(), hsn.nucleus_clustering());
+  const Graph q8 = hypercube_graph(8);
+  const auto qc = metrics::compute_costs(q8, hypercube_subcube_clustering(8, 16));
+  EXPECT_LT(hc.ii_cost, qc.ii_cost / 4);
+}
+
+// --- convolution ---------------------------------------------------------------
+
+TEST(Convolution, MatchesReference) {
+  const SuperIpg cn = make_complete_cn(3, std::make_shared<HypercubeNucleus>(2));
+  util::Xoshiro256 rng(91);
+  std::vector<algorithms::Complex> a(cn.num_nodes()), b(cn.num_nodes());
+  for (auto& v : a) v = {rng.uniform() - 0.5, 0.0};
+  for (auto& v : b) v = {rng.uniform() - 0.5, 0.0};
+  const auto run = algorithms::circular_convolution_on_super_ipg(cn, a, b);
+  const auto ref = algorithms::convolution_reference(a, b);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(std::abs(run.output[i] - ref[i]), 0.0, 1e-8) << i;
+  }
+  // Three ascend passes: 3 * l(k+1).
+  EXPECT_EQ(run.counts.comm_steps, 3u * 9u);
+}
+
+// --- executed total exchange -----------------------------------------------------
+
+TEST(TotalExchange, DeliversAllPairsAndBeatsHypercube) {
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  auto hnet = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                           hsn->nucleus_clustering(), 1.0);
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  const auto hres = sim::run_total_exchange(
+      hnet, [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }, cfg);
+  EXPECT_EQ(hres.packets_delivered, 64u * 63u);
+
+  auto qnet = mcmp::make_unit_chip_network(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  const auto qres = sim::run_total_exchange(qnet, sim::hypercube_router(6), cfg);
+  EXPECT_EQ(qres.packets_delivered, 64u * 63u);
+  // §3.3/§4: the super-IPG finishes the TE faster under unit chip capacity.
+  EXPECT_LT(hres.makespan_cycles, qres.makespan_cycles);
+}
+
+// --- bounded buffers -----------------------------------------------------------
+
+TEST(BoundedBuffers, BackpressureSerializesThroughTightBuffers) {
+  // 0 -> 1 -> 2 -> 3 chain with node buffers of one packet: two packets
+  // from 0 and the makespan must exceed the unbuffered case's.
+  GraphBuilder b("line", 4, 2);
+  for (NodeId v = 0; v < 3; ++v) {
+    b.add_arc(v, v + 1, 0);
+    b.add_arc(v + 1, v, 1);
+  }
+  Graph g = std::move(b).build();
+  sim::SimNetwork net = sim::SimNetwork::with_uniform_bandwidth(
+      std::move(g), Clustering::blocks(4, 1), 1.0);
+  const sim::Router router = [](NodeId s, NodeId d) {
+    return std::vector<std::size_t>(static_cast<std::size_t>(d - s), 0);
+  };
+  // Two packets 0->3 and 1->3 share the tail of the path.
+  std::vector<NodeId> dst{3, 3, 2, 3};
+  sim::SimConfig unbounded;
+  unbounded.packet_length_flits = 8;
+  const auto a = sim::run_batch(net, router, dst, unbounded);
+  sim::SimConfig bounded = unbounded;
+  bounded.node_buffer_packets = 1;
+  const auto c = sim::run_batch(net, router, dst, bounded);
+  EXPECT_EQ(c.packets_delivered, 2u);
+  EXPECT_GE(c.makespan_cycles, a.makespan_cycles);
+}
+
+TEST(BoundedBuffers, UnboundedMatchesDefault) {
+  Graph g = hypercube_graph(4);
+  sim::SimNetwork net = sim::SimNetwork::with_uniform_bandwidth(
+      std::move(g), Clustering::blocks(16, 4), 1.0);
+  util::Xoshiro256 rng(17);
+  const auto perm = sim::random_permutation(16, rng);
+  sim::SimConfig a, c;
+  c.node_buffer_packets = 1000;  // effectively unbounded
+  const auto ra = sim::run_batch(net, sim::hypercube_router(4), perm, a);
+  const auto rc = sim::run_batch(net, sim::hypercube_router(4), perm, c);
+  EXPECT_DOUBLE_EQ(ra.makespan_cycles, rc.makespan_cycles);
+}
+
+TEST(BoundedBuffers, DimensionOrderWithBuffersDeliversEverything) {
+  Graph g = hypercube_graph(6);
+  sim::SimNetwork net = sim::SimNetwork::with_uniform_bandwidth(
+      std::move(g), Clustering::blocks(64, 8), 1.0);
+  util::Xoshiro256 rng(19);
+  const auto perm = sim::random_permutation(64, rng);
+  sim::SimConfig cfg;
+  cfg.node_buffer_packets = 2;
+  const auto r = sim::run_batch(net, sim::hypercube_router(6), perm, cfg);
+  EXPECT_GE(r.packets_delivered, 60u);
+}
+
+// --- uniform bandwidth (unit link) ----------------------------------------------
+
+TEST(UnitLink, HypercubeCompetitiveUnderUnitLinkCapacity) {
+  // §4: under *unit link* capacity the hypercube and super-IPGs are
+  // comparable — the hypercube should not lose badly (its thin-link
+  // penalty disappears).
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  auto hnet = sim::SimNetwork::with_uniform_bandwidth(
+      hsn->to_graph(), hsn->nucleus_clustering(), 1.0);
+  auto qnet = sim::SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  util::Xoshiro256 rng(23);
+  const auto perm = sim::random_permutation(64, rng);
+  const auto hres = sim::run_batch(
+      hnet, [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }, perm, cfg);
+  const auto qres = sim::run_batch(qnet, sim::hypercube_router(6), perm, cfg);
+  EXPECT_LT(qres.makespan_cycles, hres.makespan_cycles * 2.0);
+}
+
+}  // namespace
+}  // namespace ipg

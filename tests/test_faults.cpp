@@ -1,0 +1,120 @@
+// Tests for fault injection and connectivity analysis (§5's reliability
+// virtue): known connectivities of the classic graphs, super-IPG
+// survivability under link kills, and disjoint-path counts.
+#include "topology/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+#include "sim/routers.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::topology {
+namespace {
+
+TEST(Faults, RemoveLinksDropsBothDirections) {
+  const Graph g = ring_graph(6);
+  const Graph d = remove_links(g, {{0, 1}});
+  EXPECT_EQ(d.num_edges(), 5u);
+  EXPECT_EQ(d.neighbor(0, 0), kInvalidNode);  // +1 arc gone
+  EXPECT_TRUE(is_connected_ignoring_isolated(d));  // still a path
+}
+
+TEST(Faults, RemoveNodesIsolates) {
+  const Graph g = hypercube_graph(3);
+  const Graph d = remove_nodes(g, {0});
+  EXPECT_EQ(d.degree(0), 0u);
+  EXPECT_TRUE(is_connected_ignoring_isolated(d));  // Q3 minus a vertex
+}
+
+TEST(Faults, DisconnectionDetected) {
+  const Graph g = ring_graph(6);
+  const Graph d = remove_links(g, {{0, 1}, {3, 4}});
+  EXPECT_FALSE(is_connected_ignoring_isolated(d));
+}
+
+TEST(Faults, HypercubeConnectivityIsN) {
+  // Q_n is n-connected: n edge- and node-disjoint paths between any pair.
+  for (unsigned n : {3u, 4u}) {
+    const Graph g = hypercube_graph(n);
+    EXPECT_EQ(edge_disjoint_paths(g, 0, (1u << n) - 1), n) << n;
+    EXPECT_EQ(node_disjoint_paths(g, 0, (1u << n) - 1), n) << n;
+    EXPECT_EQ(node_disjoint_paths(g, 0, 1), n) << n;  // adjacent pair too
+  }
+}
+
+TEST(Faults, StarGraphConnectivity) {
+  // S_n is (n-1)-connected.
+  const Graph g = StarNucleus(4).to_graph();
+  EXPECT_EQ(node_disjoint_paths(g, 0, 7), 3u);
+}
+
+TEST(Faults, PetersenIsThreeConnected) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(node_disjoint_paths(g, 0, 7), 3u);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 7), 3u);
+}
+
+TEST(Faults, HsnConnectivityMatchesDegreeBetweenRemoteNodes) {
+  // HSN(2,Q3): nodes with distinct super-symbols have degree 4 (nucleus 3
+  // + swap) and remote pairs of them enjoy 4 disjoint paths. Nodes with
+  // equal super-symbols (x,x) lose the swap link to a self-loop, so pairs
+  // involving them cap at 3 — the IPG analogue of corner nodes.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const Graph g = hsn.to_graph();
+  const NodeId a = hsn.make_node(std::vector<NodeId>{1, 2});
+  const NodeId b = hsn.make_node(std::vector<NodeId>{5, 6});
+  EXPECT_EQ(node_disjoint_paths(g, a, b), 4u);
+  EXPECT_EQ(node_disjoint_paths(g, 0, static_cast<NodeId>(g.num_nodes() - 1)),
+            3u);  // (0,0) and (7,7) both have the self-loop swap
+}
+
+TEST(Faults, HsnSurvivesDegreeMinusOneLinkKills) {
+  // Kill 3 of node 0's 4 links: the network must stay connected and the
+  // table router must still reach every destination from node 0.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const Graph g = hsn.to_graph();
+  std::vector<std::pair<NodeId, NodeId>> dead;
+  const auto arcs = g.arcs_of(0);
+  for (std::size_t i = 0; i + 1 < arcs.size(); ++i) dead.push_back({0, arcs[i].to});
+  auto degraded = std::make_shared<Graph>(remove_links(g, dead));
+  EXPECT_TRUE(is_connected_ignoring_isolated(*degraded));
+  const auto router = sim::table_router(degraded);
+  for (NodeId to = 1; to < degraded->num_nodes(); to += 7) {
+    NodeId v = 0;
+    for (const auto d : router(0, to)) {
+      v = degraded->neighbor(v, static_cast<std::uint16_t>(d));
+    }
+    ASSERT_EQ(v, to);
+  }
+}
+
+TEST(Faults, RandomLinkFailuresRarelyDisconnect) {
+  // Property sweep: kill 5 random links of HSN(3,Q2) (240 links) 20 times;
+  // the graph stays connected every time (connectivity 4 >> 1 fault).
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const Graph g = hsn.to_graph();
+  util::Xoshiro256 rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<NodeId, NodeId>> dead;
+    for (int k = 0; k < 5; ++k) {
+      const auto v = static_cast<NodeId>(rng.below(g.num_nodes()));
+      if (g.degree(v) == 0) continue;
+      const auto& arc = g.arcs_of(v)[rng.below(g.degree(v))];
+      dead.push_back({v, arc.to});
+    }
+    EXPECT_TRUE(is_connected_ignoring_isolated(remove_links(g, dead)))
+        << "trial " << trial;
+  }
+}
+
+TEST(Faults, MaxKCapsTheSearch) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 15, 2), 2u);
+}
+
+}  // namespace
+}  // namespace ipg::topology

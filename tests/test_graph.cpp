@@ -1,0 +1,93 @@
+// Tests for the CSR Graph, GraphBuilder, Clustering, and link census.
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ipg.hpp"
+
+namespace ipg::topology {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b("triangle", 3, 1);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  b.add_edge(2, 0, 0);
+  return std::move(b).build();
+}
+
+TEST(Graph, BuilderProducesSortedCsr) {
+  GraphBuilder b("g", 3, 2);
+  b.add_arc(0, 2, 1);
+  b.add_arc(0, 1, 0);
+  b.add_arc(2, 0, 1);
+  const Graph g = std::move(b).build();
+  ASSERT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.arcs_of(0)[0].dim, 0);
+  EXPECT_EQ(g.arcs_of(0)[1].dim, 1);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+  EXPECT_EQ(g.neighbor(1, 0), kInvalidNode);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, DirectedDetection) {
+  GraphBuilder b("d", 2, 1);
+  b.add_arc(0, 1, 0);
+  EXPECT_FALSE(std::move(b).build().is_undirected());
+}
+
+TEST(Clustering, BlocksPartitionEvenly) {
+  const auto c = Clustering::blocks(12, 4);
+  EXPECT_EQ(c.num_clusters(), 3u);
+  EXPECT_EQ(c.cluster_of(0), 0u);
+  EXPECT_EQ(c.cluster_of(11), 2u);
+  for (const auto s : c.cluster_sizes()) EXPECT_EQ(s, 4u);
+  EXPECT_THROW(Clustering::blocks(10, 4), std::invalid_argument);
+}
+
+TEST(Clustering, SinglePutsEverythingTogether) {
+  const auto c = Clustering::single(5);
+  EXPECT_EQ(c.num_clusters(), 1u);
+  EXPECT_FALSE(c.is_intercluster(0, 4));
+}
+
+TEST(LinkCensus, CountsOnAndOffChipLinks) {
+  // Path 0-1-2-3 clustered as {0,1} {2,3}: one off-chip link (1-2).
+  GraphBuilder b("path", 4, 1);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  b.add_edge(2, 3, 0);
+  const Graph g = std::move(b).build();
+  const auto census = census_links(g, Clustering::blocks(4, 2));
+  EXPECT_EQ(census.onchip_edges, 2u);
+  EXPECT_EQ(census.offchip_edges, 1u);
+  EXPECT_DOUBLE_EQ(census.max_offchip_per_cluster, 1.0);
+  EXPECT_DOUBLE_EQ(census.avg_offchip_per_node, 0.5);
+}
+
+TEST(FromIpg, ConvertsSection2Example) {
+  const auto ipg = core::section2_example();
+  const Graph g = from_ipg(ipg, "section2");
+  EXPECT_EQ(g.num_nodes(), 36u);
+  EXPECT_EQ(g.num_dims(), 3u);
+  EXPECT_TRUE(g.is_undirected());
+  // pi_3 fixes the six labels whose halves are equal (self-loops dropped),
+  // so degrees are 2 or 3.
+  EXPECT_EQ(g.max_degree(), 3u);
+  std::size_t degree2 = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 2) ++degree2;
+  }
+  EXPECT_EQ(degree2, 6u);
+}
+
+}  // namespace
+}  // namespace ipg::topology

@@ -1,0 +1,71 @@
+// Tests for hierarchical folded-hypercube networks (HFN, one of the §1
+// subclass list): structure, SDC emulation (including the complement
+// generators), the FFT through the folded nucleus, and the diameter
+// benefit of the complement links.
+#include <gtest/gtest.h>
+
+#include "algorithms/fft.hpp"
+#include "emulation/sdc.hpp"
+#include "metrics/distances.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+TEST(Hfn, StructureAndDiameter) {
+  const SuperIpg hfn = make_hfn(3);
+  EXPECT_EQ(hfn.name(), "HSN(2,FQ3)");
+  EXPECT_EQ(hfn.num_nodes(), 64u);
+  // The folded nucleus has diameter 2 instead of 3; the two-level network
+  // is strictly smaller in diameter than the plain HCN(3,3).
+  const auto hfn_stats = metrics::distance_stats(hfn.to_graph());
+  const auto hcn_stats = metrics::distance_stats(make_hcn(3).to_graph());
+  EXPECT_LT(hfn_stats.diameter, hcn_stats.diameter);
+  EXPECT_LT(hfn_stats.average, hcn_stats.average);
+}
+
+TEST(Hfn, SdcEmulationCoversComplementDimensions) {
+  // HFN emulates HPN(2, FQ3): 2 * 4 = 8 dimensions (3 cube + 1 complement
+  // per level), slowdown 3, all words verified.
+  const SuperIpg hfn = make_hfn(3);
+  const emulation::SdcEmulation emu(hfn);
+  EXPECT_EQ(emu.num_dims(), 8u);
+  EXPECT_EQ(emu.slowdown(), 3u);
+  EXPECT_NO_THROW(emu.verify());
+}
+
+TEST(Hfn, FftRunsOnTheFoldedNucleus) {
+  const SuperIpg hfn = make_hfn(3);
+  util::Xoshiro256 rng(9);
+  std::vector<algorithms::Complex> x(hfn.num_nodes());
+  for (auto& v : x) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto run = algorithms::fft_on_super_ipg(hfn, x);
+  const auto ref = algorithms::dft_reference(x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(std::abs(run.output[i] - ref[i]), 0.0, 1e-8);
+  }
+  // Ascend uses the 3 cube dimensions per level: l(k+2)-2 = 2*5-2 = 8.
+  EXPECT_EQ(run.counts.comm_steps, 8u);
+}
+
+TEST(Hfn, RoutingUsesComplementShortcuts) {
+  const SuperIpg hfn = make_hfn(4);
+  // Nucleus route 0 -> 15 (all bits differ): one complement hop.
+  EXPECT_EQ(hfn.nucleus().route(0, 15).size(), 1u);
+  EXPECT_EQ(hfn.nucleus().route(0, 7).size(), 2u);  // complement + one flip
+  // End-to-end routes still land.
+  for (NodeId from = 0; from < hfn.num_nodes(); from += 13) {
+    for (NodeId to = 0; to < hfn.num_nodes(); to += 11) {
+      NodeId v = from;
+      for (const auto g : hfn.route(from, to)) v = hfn.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg

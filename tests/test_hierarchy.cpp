@@ -1,0 +1,102 @@
+// Tests for the multi-level packaging hierarchy (§4's "more than two
+// levels" extension): link-level classification, budget-constrained
+// bandwidths, per-level traffic, and the three-level simulation.
+#include "mcmp/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::mcmp {
+namespace {
+
+using namespace topology;
+
+TEST(Hierarchy, ValidatesModuleSizes) {
+  EXPECT_NO_THROW(PackagingHierarchy(256, {16, 64}));
+  EXPECT_THROW(PackagingHierarchy(256, {16, 24}), std::invalid_argument);
+  EXPECT_THROW(PackagingHierarchy(256, {16, 8}), std::invalid_argument);
+  EXPECT_THROW(PackagingHierarchy(100, {16}), std::invalid_argument);
+}
+
+TEST(Hierarchy, LinkLevelIsCoarsestBoundaryCrossed) {
+  const PackagingHierarchy h(64, {4, 16});
+  EXPECT_EQ(h.link_level(0, 1), 0u);    // same chip
+  EXPECT_EQ(h.link_level(0, 5), 1u);    // chip boundary, same board
+  EXPECT_EQ(h.link_level(0, 17), 2u);   // board boundary
+  EXPECT_EQ(h.link_level(15, 16), 2u);
+}
+
+TEST(Hierarchy, BandwidthsRespectEveryLevelBudget) {
+  // HSN(3,Q2): 64 nodes; chips = 4 (nucleus), boards = 16 (two digits).
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const Graph g = hsn.to_graph();
+  const PackagingHierarchy h(64, {4, 16});
+  const double chip_budget = 4.0, board_budget = 8.0;
+  const auto bw = hierarchical_arc_bandwidths(g, h, {chip_budget, board_budget},
+                                              64.0);
+  // Sum of bandwidths of arcs leaving any board must be <= its budget.
+  std::vector<double> board_out(h.level(1).num_clusters(), 0.0);
+  std::vector<double> chip_out(h.level(0).num_clusters(), 0.0);
+  std::size_t arc_index = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (h.level(1).is_intercluster(v, arc.to)) {
+        board_out[h.level(1).cluster_of(v)] += bw[arc_index];
+      }
+      if (h.level(0).is_intercluster(v, arc.to)) {
+        chip_out[h.level(0).cluster_of(v)] += bw[arc_index];
+      }
+      ++arc_index;
+    }
+  }
+  for (const double x : board_out) EXPECT_LE(x, board_budget + 1e-9);
+  for (const double x : chip_out) EXPECT_LE(x, chip_budget + 1e-9);
+}
+
+TEST(Hierarchy, LevelTrafficMatchesSuperIpgStructure) {
+  // HSN(3,Q2) with chips = digit 0 and boards = digits 0..1: the board
+  // boundary is crossed only by super-generators touching digit 2; the
+  // inter-board diameter is 1 (bring digit 2's symbol to the front once).
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const PackagingHierarchy h(64, {4, 16});
+  const auto t = level_traffic(hsn.to_graph(), h);
+  EXPECT_EQ(t.diameter[0], 2u);  // l - 1 chip crossings
+  EXPECT_EQ(t.diameter[1], 1u);  // one board crossing suffices
+  EXPECT_LT(t.avg_crossings[1], t.avg_crossings[0]);
+}
+
+TEST(Hierarchy, ThreeLevelSimulationRuns) {
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const PackagingHierarchy h(64, {4, 16});
+  auto net = make_hierarchical_network(hsn.to_graph(), h, {4.0, 8.0}, 64.0);
+  auto router = [&hsn](NodeId s, NodeId d) { return hsn.route(s, d); };
+  util::Xoshiro256 rng(5);
+  const auto perm = sim::random_permutation(net.num_nodes(), rng);
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  const auto r = sim::run_batch(net, router, perm, cfg);
+  EXPECT_GE(r.packets_delivered, 60u);
+  EXPECT_GT(r.throughput_flits_per_node_cycle, 0.0);
+}
+
+TEST(Hierarchy, TighterBoardBudgetSlowsTheNetwork) {
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(2));
+  const PackagingHierarchy h(64, {4, 16});
+  auto roomy = make_hierarchical_network(hsn.to_graph(), h, {4.0, 16.0}, 64.0);
+  auto tight = make_hierarchical_network(hsn.to_graph(), h, {4.0, 1.0}, 64.0);
+  auto router = [&hsn](NodeId s, NodeId d) { return hsn.route(s, d); };
+  util::Xoshiro256 rng(7);
+  const auto perm = sim::random_permutation(64, rng);
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  const auto a = sim::run_batch(roomy, router, perm, cfg);
+  const auto b = sim::run_batch(tight, router, perm, cfg);
+  EXPECT_GT(b.makespan_cycles, a.makespan_cycles);
+}
+
+}  // namespace
+}  // namespace ipg::mcmp

@@ -1,0 +1,74 @@
+// Tests for homogeneous product networks HPN(p,G) (§3.1): the hypercube,
+// generalized hypercube, and k-ary n-cube arise as powers of small factors.
+#include "topology/hpn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::topology {
+namespace {
+
+TEST(Hpn, PowerOfQ2IsHypercube) {
+  // HPN(3, Q_2) = Q_6 (the pk-dimensional hypercube as p-th power of Q_k).
+  const Hpn h(std::make_shared<HypercubeNucleus>(2), 3);
+  EXPECT_EQ(h.num_nodes(), 64u);
+  EXPECT_EQ(h.num_dims(), 6u);
+  const Graph g = h.to_graph();
+  const Graph q6 = hypercube_graph(6);
+  ASSERT_EQ(g.num_nodes(), q6.num_nodes());
+  ASSERT_EQ(g.num_edges(), q6.num_edges());
+  // Same neighbour sets node-by-node (coordinates coincide bitwise).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::size_t d = 0; d < 6; ++d) {
+      EXPECT_EQ(h.apply(v, d), v ^ (NodeId{1} << d));
+    }
+  }
+}
+
+TEST(Hpn, PowerOfCompleteGraphIsGeneralizedHypercube) {
+  // HPN(2, K_4) = 2-dimensional generalized hypercube of radix 4.
+  const Hpn h(std::make_shared<CompleteNucleus>(4), 2);
+  const GeneralizedHypercubeNucleus ghc({4, 4});
+  ASSERT_EQ(h.num_nodes(), ghc.num_nodes());
+  const auto hs = metrics::distance_stats(h.to_graph());
+  const auto gs = metrics::distance_stats(ghc.to_graph());
+  EXPECT_EQ(hs.diameter, gs.diameter);
+  EXPECT_DOUBLE_EQ(hs.average, gs.average);
+}
+
+TEST(Hpn, PowerOfRingIsKaryNCube) {
+  // HPN(2, C_5) = 5-ary 2-cube.
+  const Hpn h(std::make_shared<RingNucleus>(5), 2);
+  const Graph g = h.to_graph();
+  const Graph torus = kary_ncube_graph(5, 2);
+  ASSERT_EQ(g.num_nodes(), torus.num_nodes());
+  EXPECT_EQ(g.num_edges(), torus.num_edges());
+  const auto hs = metrics::distance_stats(g);
+  const auto ts = metrics::distance_stats(torus);
+  EXPECT_EQ(hs.diameter, ts.diameter);
+  EXPECT_DOUBLE_EQ(hs.average, ts.average);
+}
+
+TEST(Hpn, DimensionGroupingMatchesPaper) {
+  // Dimension j acts on coordinate j / n_G with factor generator j % n_G.
+  const Hpn h(std::make_shared<HypercubeNucleus>(3), 2);
+  const NodeId v = 0;
+  EXPECT_EQ(h.apply(v, 0), 1u);        // level 0, bit 0
+  EXPECT_EQ(h.apply(v, 2), 4u);        // level 0, bit 2
+  EXPECT_EQ(h.apply(v, 3), 8u);        // level 1, bit 0
+  EXPECT_EQ(h.coordinate(h.apply(v, 5), 1), 4u);
+}
+
+TEST(Hpn, InverseDimUndoesApply) {
+  const Hpn h(std::make_shared<CompleteNucleus>(5), 3);
+  for (std::size_t j = 0; j < h.num_dims(); ++j) {
+    const NodeId v = 77;
+    EXPECT_EQ(h.apply(h.apply(v, j), h.inverse_dim(j)), v);
+  }
+}
+
+}  // namespace
+}  // namespace ipg::topology

@@ -1,0 +1,158 @@
+// Capstone integration test: the paper's full §4 comparison executed on
+// one pair of machines built from identical chips — HSN(2,Q4) vs Q8 with
+// 16-node chips — asserting every axis the paper claims, end to end:
+// fewer off-chip links per node, wider links, shorter intercluster
+// distances, higher bisection bandwidth, fewer off-chip FFT steps, higher
+// simulated throughput (all three switching models), faster executed MNB
+// and TE. Plus small coverage gaps: FFT on the directed CN and the
+// GHC-factor HPN baseline machine.
+#include <gtest/gtest.h>
+
+#include "algorithms/fft.hpp"
+#include "mcmp/capacity.hpp"
+#include "metrics/costs.hpp"
+#include "metrics/distances.hpp"
+#include "sim/mnb.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wormhole.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+class Paper44Story : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hsn = std::make_shared<SuperIpg>(
+        make_hsn(2, std::make_shared<HypercubeNucleus>(4)));
+    hsn_graph = std::make_shared<Graph>(hsn->to_graph());
+    hsn_chips = hsn->nucleus_clustering();
+    q_graph = std::make_shared<Graph>(hypercube_graph(8));
+    q_chips = hypercube_subcube_clustering(8, 16);
+  }
+
+  std::shared_ptr<SuperIpg> hsn;
+  std::shared_ptr<Graph> hsn_graph;
+  Clustering hsn_chips;
+  std::shared_ptr<Graph> q_graph;
+  Clustering q_chips;
+};
+
+TEST_F(Paper44Story, StructuralAxes) {
+  const auto hc = metrics::compute_costs(*hsn_graph, hsn_chips);
+  const auto qc = metrics::compute_costs(*q_graph, q_chips);
+  EXPECT_LT(hc.intercluster_degree, qc.intercluster_degree / 3);
+  EXPECT_LT(hc.intercluster_diameter, qc.intercluster_diameter);
+  EXPECT_LT(hc.avg_intercluster_distance, qc.avg_intercluster_distance / 2);
+  EXPECT_LT(hc.ii_cost, qc.ii_cost / 4);
+
+  const auto hl = mcmp::chip_link_stats(*hsn_graph, hsn_chips, 1.0);
+  const auto ql = mcmp::chip_link_stats(*q_graph, q_chips, 1.0);
+  EXPECT_GT(hl.offchip_link_bandwidth, ql.offchip_link_bandwidth * 3);
+
+  const double hbb = mcmp::hsn_bisection_bandwidth(1.0, 256, 16, 2);
+  const double qbb = mcmp::hypercube_bisection_bandwidth(1.0, 256, 16);
+  EXPECT_GT(hbb, qbb * 2);
+}
+
+TEST_F(Paper44Story, AlgorithmAxes) {
+  util::Xoshiro256 rng(123);
+  std::vector<algorithms::Complex> x(256);
+  for (auto& v : x) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto hrun = algorithms::fft_on_super_ipg(*hsn, x);
+  const Hpn q8(std::make_shared<HypercubeNucleus>(4), 2);
+  const auto qrun = algorithms::fft_on_hpn(q8, q_chips, x);
+  // Both correct...
+  const auto ref = algorithms::dft_reference(x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(std::abs(hrun.output[i] - ref[i]), 0.0, 1e-7);
+    ASSERT_NEAR(std::abs(qrun.output[i] - ref[i]), 0.0, 1e-7);
+  }
+  // ...and the HSN pays half the off-chip steps (2 vs 4).
+  EXPECT_EQ(hrun.counts.offchip_steps, 2u);
+  EXPECT_EQ(qrun.counts.offchip_steps, 4u);
+}
+
+TEST_F(Paper44Story, SimulatedAxes) {
+  auto hnet = mcmp::make_unit_chip_network(Graph(*hsn_graph), hsn_chips, 1.0);
+  auto qnet = mcmp::make_unit_chip_network(Graph(*q_graph), q_chips, 1.0);
+  const auto hrouter = sim::super_ipg_router(*hsn);
+  const auto qrouter = sim::hypercube_router(8);
+
+  util::Xoshiro256 rng(321);
+  const auto perm = sim::random_permutation(256, rng);
+  sim::SimConfig cfg;
+  cfg.packet_length_flits = 16;
+
+  // Store-and-forward.
+  const auto hs = sim::run_batch(hnet, hrouter, perm, cfg);
+  const auto qs = sim::run_batch(qnet, qrouter, perm, cfg);
+  EXPECT_GT(hs.throughput_flits_per_node_cycle,
+            qs.throughput_flits_per_node_cycle * 2);
+
+  // Cut-through.
+  sim::SimConfig vct = cfg;
+  vct.switching = sim::Switching::kVirtualCutThrough;
+  const auto hv = sim::run_batch(hnet, hrouter, perm, vct);
+  const auto qv = sim::run_batch(qnet, qrouter, perm, vct);
+  EXPECT_GT(hv.throughput_flits_per_node_cycle,
+            qv.throughput_flits_per_node_cycle * 2);
+
+  // Flit-level wormhole.
+  sim::WormholeConfig wc;
+  wc.packet_length_flits = 16;
+  const auto hw = sim::run_wormhole_batch(
+      hnet, hrouter, perm, wc,
+      sim::super_ipg_vc_classes(hsn->num_nucleus_generators()));
+  const auto qw = sim::run_wormhole_batch(qnet, qrouter, perm, wc);
+  EXPECT_GT(hw.throughput_flits_per_node_cycle,
+            qw.throughput_flits_per_node_cycle * 1.5);
+
+  // Executed MNB and TE.
+  EXPECT_LT(sim::run_mnb(hnet).makespan_cycles,
+            sim::run_mnb(qnet).makespan_cycles);
+  sim::SimConfig te = cfg;
+  te.packet_length_flits = 4;
+  EXPECT_LT(sim::run_total_exchange(hnet, hrouter, te).makespan_cycles,
+            sim::run_total_exchange(qnet, qrouter, te).makespan_cycles);
+}
+
+// --- small coverage gaps -----------------------------------------------------
+
+TEST(CoverageGaps, FftOnDirectedCn) {
+  const SuperIpg dcn = make_directed_cn(3, std::make_shared<HypercubeNucleus>(2));
+  util::Xoshiro256 rng(5);
+  std::vector<algorithms::Complex> x(dcn.num_nodes());
+  for (auto& v : x) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto run = algorithms::fft_on_super_ipg(dcn, x);
+  const auto ref = algorithms::dft_reference(x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(std::abs(run.output[i] - ref[i]), 0.0, 1e-8);
+  }
+  // Directed CN: one forward shift per level + one to close = l supers.
+  EXPECT_EQ(run.counts.offchip_steps, dcn.levels());
+}
+
+TEST(CoverageGaps, HpnMachineWithGhcFactor) {
+  // HPN(2, K_4) baseline machine: radix-4 dimension gathers.
+  const Hpn h(std::make_shared<CompleteNucleus>(4), 2);
+  emulation::HpnMachine<int> m(h, Clustering::blocks(16, 4),
+                               std::vector<int>(16, 1));
+  auto sum_all = [](std::span<const std::size_t>, std::span<int> v) {
+    int total = 0;
+    for (const int x : v) total += x;
+    for (int& x : v) x = total;
+  };
+  m.step_dimension(0, 0, sum_all);
+  m.step_dimension(1, 0, sum_all);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(m.value_at_node(v), 16);
+  EXPECT_EQ(m.counts().compute_steps, 6u);  // (4-1) per dimension step
+}
+
+}  // namespace
+}  // namespace ipg

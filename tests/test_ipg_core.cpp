@@ -1,0 +1,101 @@
+// Tests for the generic IPG engine (core::build_ipg) — including the
+// paper's §2 worked example, which must produce exactly 36 distinct nodes.
+#include "core/ipg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/super_generators.hpp"
+
+namespace ipg::core {
+namespace {
+
+TEST(IpgCore, Section2ExampleHas36Nodes) {
+  const Ipg g = section2_example();
+  EXPECT_EQ(g.num_nodes(), 36u);
+  EXPECT_EQ(g.num_generators(), 3u);
+  EXPECT_TRUE(g.is_undirected());  // two involutions + order-2 rotation
+}
+
+TEST(IpgCore, Section2ExampleNeighborsOfSeed) {
+  const Ipg g = section2_example();
+  const NodeId seed = g.node_of(Label::from_string("123321"));
+  ASSERT_EQ(seed, 0u);
+  // The three neighbours listed in §2: 213321, 321321, 321123.
+  EXPECT_EQ(g.labels[g.neighbor[seed][0]].to_string(), "213321");
+  EXPECT_EQ(g.labels[g.neighbor[seed][1]].to_string(), "321321");
+  EXPECT_EQ(g.labels[g.neighbor[seed][2]].to_string(), "321123");
+}
+
+TEST(IpgCore, LabelsAreAllDistinct) {
+  const Ipg g = section2_example();
+  std::set<std::string> seen;
+  for (const auto& l : g.labels) seen.insert(l.to_string());
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(IpgCore, CayleySpecialCase_AllSymbolsDistinct) {
+  // With distinct symbols the IPG is a Cayley graph: seed 1234 under the
+  // star-graph generators (transpose position 0 with i) gives S_4 = 24.
+  std::vector<Permutation> gens;
+  for (std::size_t i = 1; i < 4; ++i) gens.push_back(Permutation::transposition(4, 0, i));
+  const Ipg g = build_ipg(Label::from_string("1234"), gens);
+  EXPECT_EQ(g.num_nodes(), 24u);  // the star graph S_4
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::size_t k = 0; k < g.num_generators(); ++k) {
+      EXPECT_NE(g.neighbor[v][k], v);  // Cayley graphs have no self-loops
+    }
+  }
+}
+
+TEST(IpgCore, RepeatedSymbolsShrinkTheOrbit) {
+  // Same generators, seed with repeats: 1123 has orbit 4!/2! = 12.
+  std::vector<Permutation> gens;
+  for (std::size_t i = 1; i < 4; ++i) gens.push_back(Permutation::transposition(4, 0, i));
+  const Ipg g = build_ipg(Label::from_string("1123"), gens);
+  EXPECT_EQ(g.num_nodes(), 12u);
+}
+
+TEST(IpgCore, HypercubeEncodingGivesQn) {
+  // Q_3 in IPG form: 8 nodes, 3 generators, all involutions.
+  const Ipg g = build_ipg(hypercube_seed(3), hypercube_generators(3));
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(IpgCore, CompleteGraphEncodingGivesKm) {
+  const Ipg g = build_ipg(complete_graph_seed(5), complete_graph_generators(5));
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 10u);  // K_5
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(IpgCore, RingEncodingGivesCm) {
+  const Ipg g = build_ipg(ring_seed(7), ring_generators(7));
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 7u);
+}
+
+TEST(IpgCore, MaxNodesGuardThrows) {
+  std::vector<Permutation> gens;
+  for (std::size_t i = 1; i < 8; ++i) gens.push_back(Permutation::transposition(8, 0, i));
+  EXPECT_THROW(build_ipg(Label::from_string("12345678"), gens, 100),
+               std::invalid_argument);
+}
+
+TEST(IpgCore, GeneratorSizeMismatchThrows) {
+  EXPECT_THROW(build_ipg(Label::from_string("123"),
+                         {Permutation::transposition(4, 0, 1)}),
+               std::invalid_argument);
+}
+
+TEST(IpgCore, NodeOfUnknownLabelIsInvalid) {
+  const Ipg g = section2_example();
+  EXPECT_EQ(g.node_of(Label::from_string("999999")), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace ipg::core

@@ -1,0 +1,151 @@
+// Tests for the VLSI layout estimator (refs [29]/[33]: super-IPGs lay out
+// smaller than hypercubes), the DOT exporter, the generic-IPG nucleus
+// adapter, the extra named graphs (de Bruijn, Petersen), and the latency
+// percentile statistics.
+#include <gtest/gtest.h>
+
+#include "metrics/bisection.hpp"
+#include "metrics/distances.hpp"
+#include "metrics/layout.hpp"
+#include "sim/simulator.hpp"
+#include "topology/dot.hpp"
+#include "topology/generic_nucleus.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+using namespace metrics;
+
+TEST(Layout, PlacesEveryNodeOnDistinctCells) {
+  const Graph g = hypercube_graph(6);
+  const auto l = recursive_bisection_layout(g);
+  EXPECT_EQ(l.width * l.height, 64u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& p : l.position) {
+    EXPECT_LT(p.first, l.width);
+    EXPECT_LT(p.second, l.height);
+    EXPECT_TRUE(seen.insert(p).second) << "cell reused";
+  }
+}
+
+TEST(Layout, RingLaysOutWithShortWires) {
+  // A ring is nearly planar: recursive bisection keeps wires short.
+  const auto l = recursive_bisection_layout(ring_graph(16));
+  EXPECT_LT(l.avg_wire_length, 3.0);
+}
+
+TEST(Layout, SuperIpgWiresShorterThanHypercube) {
+  // The [29]/[33] claim, in wire-length form: HSN(2,Q3) (degree 4) lays
+  // out with less total wire than the same-size Q6 (degree 6).
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const auto lh = recursive_bisection_layout(hsn.to_graph(), 6, 1);
+  const auto lq = recursive_bisection_layout(hypercube_graph(6), 6, 1);
+  EXPECT_LT(lh.total_wire_length, lq.total_wire_length);
+}
+
+TEST(Layout, ThompsonBoundOrdersWithBisection) {
+  // Q6 bisection width 32 vs HSN(2,Q3) width ~16 (one swap link between
+  // every pair of chips across the cut): the hypercube needs measurably
+  // more layout area by Thompson's bound — the [29]/[33] story.
+  const auto qb = bisection_width_heuristic(hypercube_graph(6), 8);
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const auto hb = bisection_width_heuristic(hsn.to_graph(), 16);
+  EXPECT_DOUBLE_EQ(qb.cut, 32.0);
+  EXPECT_LT(hb.cut, qb.cut);
+  EXPECT_GT(thompson_area_lower_bound(qb.cut),
+            thompson_area_lower_bound(hb.cut) * 2);
+}
+
+TEST(Layout, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(recursive_bisection_layout(petersen_graph()),
+               std::invalid_argument);
+}
+
+TEST(Dot, ContainsClustersAndBoldOffchipEdges) {
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(2));
+  const Graph g = hsn.to_graph();
+  const auto chips = hsn.nucleus_clustering();
+  const std::string dot = to_dot(g, &chips);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_3"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(dot.find("graph \"HSN(2,Q2)\""), std::string::npos);
+}
+
+TEST(Dot, DirectedArcsGetArrows) {
+  const SuperIpg dcn = make_directed_cn(3, std::make_shared<HypercubeNucleus>(2));
+  const std::string dot = to_dot(dcn.to_graph());
+  EXPECT_NE(dot.find("dir=forward"), std::string::npos);
+}
+
+TEST(GenericNucleus, Section2ExampleAsNucleus) {
+  // HSN(2, 36-node example): 1296 nodes, routing and metrics work.
+  const auto nuc = section2_example_nucleus();
+  EXPECT_EQ(nuc->num_nodes(), 36u);
+  const SuperIpg s = make_hsn(2, nuc);
+  EXPECT_EQ(s.num_nodes(), 1296u);
+  const auto stats = intercluster_stats(s.to_graph(), s.nucleus_clustering());
+  EXPECT_EQ(stats.diameter, 1u);  // l - 1
+  for (NodeId from = 0; from < s.num_nodes(); from += 113) {
+    for (NodeId to = 0; to < s.num_nodes(); to += 97) {
+      NodeId v = from;
+      for (const auto g : s.route(from, to)) v = s.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+TEST(GenericNucleus, InverseGeneratorsResolved) {
+  const auto nuc = section2_example_nucleus();
+  for (std::size_t g = 0; g < nuc->num_generators(); ++g) {
+    for (NodeId v = 0; v < nuc->num_nodes(); ++v) {
+      EXPECT_EQ(nuc->apply(nuc->apply(v, g), nuc->inverse_generator(g)), v);
+    }
+  }
+}
+
+TEST(GenericNucleus, RejectsNonClosedGeneratorSets) {
+  // A single 4-cycle rotation has no inverse in the set.
+  const auto ipg = core::build_ipg(core::Label::from_string("1234"),
+                                   {core::Permutation::rotation(4, 1)});
+  EXPECT_THROW(GenericIpgNucleus(core::Ipg(ipg), "rot4"), std::invalid_argument);
+}
+
+TEST(Named, DeBruijnBasics) {
+  const Graph g = de_bruijn_graph(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_TRUE(g.is_undirected());
+  // Diameter of DB(n) is n.
+  EXPECT_EQ(distance_stats(g).diameter, 4u);
+}
+
+TEST(Named, PetersenBasics) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  const auto stats = distance_stats(g);
+  EXPECT_EQ(stats.diameter, 2u);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(SimStats, LatencyPercentilesOrdered) {
+  Graph g = hypercube_graph(6);
+  sim::SimNetwork net = sim::SimNetwork::with_uniform_bandwidth(
+      std::move(g), Clustering::blocks(64, 8), 1.0);
+  util::Xoshiro256 rng(7);
+  const auto perm = sim::random_permutation(64, rng);
+  sim::SimConfig cfg;
+  const auto r = sim::run_batch(net, sim::hypercube_router(6), perm, cfg);
+  EXPECT_LE(r.p50_latency_cycles, r.avg_latency_cycles * 1.5);
+  EXPECT_LE(r.p50_latency_cycles, r.p99_latency_cycles);
+  EXPECT_LE(r.p99_latency_cycles, r.max_latency_cycles);
+  EXPECT_GT(r.p50_latency_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace ipg

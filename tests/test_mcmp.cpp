@@ -1,0 +1,137 @@
+// Tests for the unit chip capacity model: the §4.2 closed forms, the
+// paper's worked numeric examples, and measured-vs-formula agreement.
+#include "mcmp/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::mcmp {
+namespace {
+
+using namespace topology;
+
+TEST(Capacity, PaperExample_12CubeBisectionBandwidth256w) {
+  // §4.2: a 12-cube with 16-node chips has bisection bandwidth 256 w.
+  EXPECT_DOUBLE_EQ(hypercube_bisection_bandwidth(1.0, 4096, 16), 256.0);
+  // And a 10-cube built from the SAME chips (256 chips, budget 16w each):
+  // its per-node w is 16w/4 = 4w, and the bisection bandwidth is again
+  // 256 w — "the bisection bandwidths of different-size hypercubes are the
+  // same when the same number of chips are used".
+  EXPECT_DOUBLE_EQ(hypercube_bisection_bandwidth(4.0, 1024, 4), 256.0);
+}
+
+TEST(Capacity, PaperExample_Hsn3Q4BisectionBandwidth) {
+  // §4.2: HSN(3,Q4) with 16-node chips has bisection bandwidth
+  // 8192 w / 15 > 512 w — more than double the hypercube's.
+  const double bb = hsn_bisection_bandwidth(1.0, 4096, 16, 3);
+  EXPECT_DOUBLE_EQ(bb, 8192.0 / 15.0);
+  EXPECT_GT(bb, 512.0);
+  EXPECT_GT(bb / hypercube_bisection_bandwidth(1.0, 4096, 16), 2.0);
+}
+
+TEST(Capacity, PaperExample_OffChipLinkWidthRatio) {
+  // §4: HSN(3,Q4)'s off-chip links are 8w/15 wide vs w/8 for the 12-cube.
+  const SuperIpg hsn = make_hsn(3, std::make_shared<HypercubeNucleus>(4));
+  const auto hs = chip_link_stats(hsn.to_graph(), hsn.nucleus_clustering(), 1.0);
+  EXPECT_EQ(hs.offchip_links_per_chip, 30u);
+  EXPECT_DOUBLE_EQ(hs.offchip_link_bandwidth, 16.0 / 30.0);
+
+  const Graph cube = hypercube_graph(12);
+  const auto cs =
+      chip_link_stats(cube, hypercube_subcube_clustering(12, 16), 1.0);
+  EXPECT_EQ(cs.offchip_links_per_chip, 128u);
+  EXPECT_DOUBLE_EQ(cs.offchip_link_bandwidth, 1.0 / 8.0);
+  EXPECT_NEAR(hs.offchip_link_bandwidth / cs.offchip_link_bandwidth, 4.27, 0.01);
+}
+
+TEST(Capacity, MeasuredHsnBisectionMatchesCorollary48) {
+  // Small instances where the heuristic reliably finds the optimum.
+  struct Case {
+    std::size_t l;
+    unsigned k;
+  };
+  for (const auto [l, k] : {Case{2, 2}, Case{2, 3}, Case{3, 2}}) {
+    const SuperIpg hsn = make_hsn(l, std::make_shared<HypercubeNucleus>(k));
+    const double measured = measured_bisection_bandwidth(
+        hsn.to_graph(), hsn.nucleus_clustering(), 1.0);
+    const double formula =
+        hsn_bisection_bandwidth(1.0, hsn.num_nodes(), hsn.nucleus_size(), l);
+    EXPECT_NEAR(measured, formula, formula * 0.05) << hsn.name();
+  }
+}
+
+TEST(Capacity, MeasuredHypercubeBisectionMatchesCorollary49) {
+  for (const unsigned n : {4u, 6u}) {
+    const std::size_t chip = n == 4 ? 4 : 16;
+    const Graph g = hypercube_graph(n);
+    const auto c = hypercube_subcube_clustering(n, chip);
+    const double measured = measured_bisection_bandwidth(g, c, 1.0);
+    const double formula =
+        hypercube_bisection_bandwidth(1.0, g.num_nodes(), chip);
+    EXPECT_NEAR(measured, formula, formula * 0.05) << n;
+  }
+}
+
+TEST(Capacity, MeasuredKary2BisectionMatchesCorollary410) {
+  // 8-ary 2-cube with 2x2 chips: B_B = w sqrt(64*4)/2 = 8 w.
+  const Graph g = kary_ncube_graph(8, 2);
+  const auto c = kary2_block_clustering(8, 2);
+  const double formula = kary2_bisection_bandwidth(1.0, 64, 4);
+  EXPECT_DOUBLE_EQ(formula, 8.0);
+  const double measured = measured_bisection_bandwidth(g, c, 1.0, 24);
+  EXPECT_NEAR(measured, formula, formula * 0.1);
+}
+
+TEST(Capacity, Theorem47LowerBoundHolds) {
+  // B_B >= wN/(4a) for measured a; check on HSN(2,Q3) and the hypercube.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const Graph g = hsn.to_graph();
+  const auto chips = hsn.nucleus_clustering();
+  const auto stats = metrics::intercluster_stats(g, chips);
+  const double lb = bb_lower_bound(1.0, g.num_nodes(), stats.average);
+  const double measured = measured_bisection_bandwidth(g, chips, 1.0);
+  EXPECT_GE(measured + 1e-9, lb);
+}
+
+TEST(Capacity, Corollary411_SmallScaleAdvantageAtLeast33Percent) {
+  // "As long as a chip has at least 4 nodes, and there are 4, 16, 64, or
+  // more chips, the bisection bandwidths of these super-IPGs will be
+  // higher than that of a hypercube by at least 33%."
+  struct Case {
+    std::size_t l;
+    unsigned k;  // nucleus Q_k, chip size 2^k
+  };
+  for (const auto [l, k] : {Case{2, 2}, Case{3, 2}, Case{2, 4}}) {
+    const std::size_t n_nodes = std::size_t{1} << (l * k);
+    const double hsn = hsn_bisection_bandwidth(1.0, n_nodes, std::size_t{1} << k, l);
+    const double cube =
+        hypercube_bisection_bandwidth(1.0, n_nodes, std::size_t{1} << k);
+    EXPECT_GE(hsn / cube, 4.0 / 3.0 - 1e-9)
+        << "l=" << l << " k=" << k << " ratio " << hsn / cube;
+  }
+}
+
+TEST(Capacity, UnitChipNetworkProvisionsLinks) {
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(2));
+  const auto net = make_unit_chip_network(hsn.to_graph(),
+                                          hsn.nucleus_clustering(), 1.0);
+  // Off-chip links: 4 nodes/chip * w=1 budget over 3 links = 4/3 each.
+  double min_off = 1e9, max_off = 0;
+  for (sim::LinkId l = 0; l < net.num_links(); ++l) {
+    if (net.is_offchip(l)) {
+      min_off = std::min(min_off, net.bandwidth(l));
+      max_off = std::max(max_off, net.bandwidth(l));
+    } else {
+      EXPECT_GT(net.bandwidth(l), 4.0);  // on-chip much faster
+    }
+  }
+  EXPECT_DOUBLE_EQ(min_off, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(max_off, 4.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace ipg::mcmp

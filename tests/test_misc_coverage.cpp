@@ -1,0 +1,116 @@
+// Miscellaneous coverage: wormhole credit exactness on fast links, MNB
+// queue statistics, layout determinism, DOT with hierarchies, cost metrics
+// on tori, HPN apply identities, and large-graph materialization smoke.
+#include <gtest/gtest.h>
+
+#include "metrics/costs.hpp"
+#include "metrics/layout.hpp"
+#include "mcmp/hierarchy.hpp"
+#include "sim/mnb.hpp"
+#include "sim/static_analysis.hpp"
+#include "sim/wormhole.hpp"
+#include "topology/dot.hpp"
+#include "topology/hpn.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include <sstream>
+
+namespace ipg {
+namespace {
+
+using namespace topology;
+
+TEST(MiscWormhole, FastLinksMoveMultipleFlitsPerCycle) {
+  // A bandwidth-4 single link moves a 16-flit worm in ~4 cycles.
+  GraphBuilder b("pair", 2, 2);
+  b.add_arc(0, 1, 0);
+  b.add_arc(1, 0, 1);
+  auto net = sim::SimNetwork::with_uniform_bandwidth(
+      std::move(b).build(), Clustering::blocks(2, 1), 4.0);
+  sim::WormholeConfig cfg;
+  cfg.packet_length_flits = 16;
+  std::vector<NodeId> dst{1, 1};
+  const auto r = sim::run_wormhole_batch(
+      net, [](NodeId, NodeId) { return std::vector<std::size_t>{0}; }, dst, cfg);
+  EXPECT_LE(r.makespan_cycles, 5.0);
+  EXPECT_GE(r.makespan_cycles, 4.0);
+}
+
+TEST(MiscMnb, QueueStatisticsAreReported) {
+  auto net = sim::SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(4), Clustering::blocks(16, 4), 1.0);
+  const auto r = sim::run_mnb(net);
+  EXPECT_GT(r.avg_link_queue_max, 0.0);
+  EXPECT_EQ(r.deliveries, 16u * 15u);
+}
+
+TEST(MiscLayout, DeterministicForSeed) {
+  const Graph g = hypercube_graph(5);
+  const auto a = metrics::recursive_bisection_layout(g, 3, 42);
+  const auto b = metrics::recursive_bisection_layout(g, 3, 42);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_DOUBLE_EQ(a.total_wire_length, b.total_wire_length);
+}
+
+TEST(MiscDot, WorksWithHierarchyChipLevel) {
+  const SuperIpg s = make_hsn(2, std::make_shared<HypercubeNucleus>(2));
+  const mcmp::PackagingHierarchy h(16, {4});
+  const Graph g = s.to_graph();
+  const Clustering chips = h.chips();
+  const std::string dot = to_dot(g, &chips);
+  EXPECT_NE(dot.find("cluster_3"), std::string::npos);
+}
+
+TEST(MiscCosts, TorusCostsBetweenSuperIpgAndHypercube) {
+  const auto tc = metrics::compute_costs(kary_ncube_graph(16, 2),
+                                         kary2_block_clustering(16, 4), 16);
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(4));
+  const auto hc = metrics::compute_costs(hsn.to_graph(), hsn.nucleus_clustering(), 16);
+  const auto qc = metrics::compute_costs(hypercube_graph(8),
+                                         hypercube_subcube_clustering(8, 16), 16);
+  EXPECT_LT(hc.ii_cost, tc.ii_cost);
+  EXPECT_LT(tc.id_cost, qc.id_cost);  // torus beats the hypercube on ID-cost
+}
+
+TEST(MiscHpn, ApplyIsInvolutiveForHypercubeFactors) {
+  const Hpn h(std::make_shared<HypercubeNucleus>(3), 3);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const auto v = static_cast<NodeId>(rng.below(h.num_nodes()));
+    const std::size_t j = rng.below(h.num_dims());
+    EXPECT_EQ(h.apply(h.apply(v, j), j), v);
+  }
+}
+
+TEST(MiscScale, MaterializeHsn3Q5Quickly) {
+  // 32768 nodes x 8 generators: the parallel materializer handles it.
+  const SuperIpg s = make_hsn(3, std::make_shared<HypercubeNucleus>(5));
+  const Graph g = s.to_graph();
+  EXPECT_EQ(g.num_nodes(), 32768u);
+  EXPECT_GT(g.num_arcs(), 200'000u);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(MiscStaticAnalysis, BottleneckLinkIdIsValid) {
+  auto net = sim::SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(5), Clustering::blocks(32, 4), 1.0);
+  const auto a = sim::analyze_uniform_load(net, sim::hypercube_router(5));
+  EXPECT_LT(a.bottleneck, net.num_links());
+  EXPECT_GT(a.avg_offchip_probability, 0.0);
+}
+
+TEST(MiscTable, HeaderlessAndRaggedRowsRender) {
+  util::Table t;
+  t.row({"a", "b", "c"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,80 @@
+// Tests for the executed multinode broadcast (Corollary 3.10): delivery
+// completeness, the binomial-tree timing on an uncontended hypercube, the
+// unit-link-capacity ordering (higher degree wins) and the unit-chip
+// reversal (the §4 story, executed).
+#include "sim/mnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcmp/capacity.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+TEST(MnbExecution, DeliversAllPairsOnRing) {
+  auto net = SimNetwork::with_uniform_bandwidth(ring_graph(8),
+                                                Clustering::blocks(8, 1), 1.0);
+  const auto r = run_mnb(net);
+  EXPECT_EQ(r.deliveries, 8u * 7u);
+  // Ring MNB: each directed link carries ~N/2 messages in each direction,
+  // plus pipeline depth; makespan is Theta(N).
+  EXPECT_GE(r.makespan_cycles, 4.0);
+  EXPECT_LE(r.makespan_cycles, 16.0);
+}
+
+TEST(MnbExecution, HypercubeScalesAsNOverLogN) {
+  // Cor 3.10's ingredient: MNB on Q_n takes Theta(N / n) under unit link
+  // capacity with all-port communication.
+  double prev_ratio = 0;
+  for (unsigned n : {4u, 6u, 8u}) {
+    auto net = SimNetwork::with_uniform_bandwidth(
+        hypercube_graph(n), Clustering::blocks(std::size_t{1} << n, 1), 1.0);
+    const auto r = run_mnb(net);
+    const double num_nodes = static_cast<double>(std::size_t{1} << n);
+    const double ratio = r.makespan_cycles / (num_nodes / n);
+    EXPECT_GT(ratio, 0.5) << n;
+    EXPECT_LT(ratio, 8.0) << n;  // bounded constant => Theta(N/n)
+    prev_ratio = ratio;
+  }
+  (void)prev_ratio;
+}
+
+TEST(MnbExecution, UnitLinkFavoursTheHypercube) {
+  // Under unit link capacity the hypercube's log N ports beat the
+  // super-IPG's sqrt(log N) ports — the Cor 3.10 slowdown direction.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  auto hnet = SimNetwork::with_uniform_bandwidth(
+      hsn.to_graph(), hsn.nucleus_clustering(), 1.0);
+  auto qnet = SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  const auto h = run_mnb(hnet);
+  const auto q = run_mnb(qnet);
+  EXPECT_LT(q.makespan_cycles, h.makespan_cycles);
+}
+
+TEST(MnbExecution, UnitChipReversesTheOrdering) {
+  // Under unit chip capacity the hypercube's thin off-chip links lose —
+  // the §4 headline, executed as an MNB.
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  auto hnet = mcmp::make_unit_chip_network(hsn.to_graph(),
+                                           hsn.nucleus_clustering(), 1.0);
+  auto qnet = mcmp::make_unit_chip_network(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  const auto h = run_mnb(hnet);
+  const auto q = run_mnb(qnet);
+  EXPECT_LT(h.makespan_cycles, q.makespan_cycles);
+}
+
+TEST(MnbExecution, RejectsOversizedNetworks) {
+  auto net = SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(11), Clustering::blocks(2048, 2), 1.0);
+  EXPECT_THROW(run_mnb(net), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::sim

@@ -1,0 +1,107 @@
+// Tests for the comparison topologies of §4 and their chip partitions.
+#include "topology/named.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+
+namespace ipg::topology {
+namespace {
+
+TEST(Named, HypercubeBasics) {
+  const Graph g = hypercube_graph(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(g.num_edges(), 80u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 5u);
+}
+
+TEST(Named, FoldedHypercube) {
+  const Graph g = folded_hypercube_graph(3);
+  EXPECT_EQ(g.num_edges(), 12u + 4u);
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 2u);
+}
+
+TEST(Named, CompleteAndRing) {
+  EXPECT_EQ(complete_graph(6).num_edges(), 15u);
+  EXPECT_EQ(ring_graph(9).num_edges(), 9u);
+  EXPECT_EQ(metrics::distance_stats(ring_graph(9)).diameter, 4u);
+}
+
+TEST(Named, KaryNCube) {
+  const Graph g = kary_ncube_graph(4, 3);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_EQ(g.num_edges(), 64u * 3);  // degree 6, k > 2
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 6u);  // 3 * floor(4/2)
+  // k = 2 degenerates to the hypercube.
+  const Graph q = kary_ncube_graph(2, 4);
+  EXPECT_EQ(q.num_edges(), hypercube_graph(4).num_edges());
+}
+
+TEST(Named, Mesh) {
+  const Graph g = mesh_graph(3, 2);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 4u);
+}
+
+TEST(Named, CccStructure) {
+  const Graph g = ccc_graph(3);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.is_undirected());
+  // CCC(3) is vertex-transitive with diameter 6.
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 6u);
+}
+
+TEST(Named, ButterflyStructure) {
+  const Graph g = butterfly_graph(3);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(Named, ShuffleExchange) {
+  const Graph g = shuffle_exchange_graph(3);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_LE(g.max_degree(), 3u);
+}
+
+TEST(Clusterings, HypercubeSubcubes) {
+  const auto c = hypercube_subcube_clustering(6, 16);
+  EXPECT_EQ(c.num_clusters(), 4u);
+  const auto census = census_links(hypercube_graph(6), c);
+  // Each node has 2 off-chip dimensions: 64 * 2 / 2 = 64 off-chip links.
+  EXPECT_EQ(census.offchip_edges, 64u);
+  EXPECT_DOUBLE_EQ(census.avg_offchip_per_node, 2.0);
+}
+
+TEST(Clusterings, Kary2Blocks) {
+  const auto c = kary2_block_clustering(8, 4);
+  EXPECT_EQ(c.num_clusters(), 4u);
+  const auto census = census_links(kary_ncube_graph(8, 2), c);
+  // Each 4x4 block has 4 links out per side: 16 off-chip links per chip,
+  // shared between two chips: 4 chips * 16 / 2 = 32.
+  EXPECT_EQ(census.offchip_edges, 32u);
+}
+
+TEST(Clusterings, CccCycles) {
+  const auto c = ccc_cycle_clustering(4);
+  EXPECT_EQ(c.num_clusters(), 16u);
+  const auto census = census_links(ccc_graph(4), c);
+  // Exactly the cube links are off-chip: one per node / 2.
+  EXPECT_DOUBLE_EQ(census.avg_offchip_per_node, 1.0);
+}
+
+TEST(Clusterings, ButterflyPartition) {
+  const auto c = butterfly_clustering(4, 2);
+  EXPECT_EQ(c.num_clusters(), 4u);
+  const auto census = census_links(butterfly_graph(4), c);
+  // Cross links at levels whose bit lies outside the low-r rows are
+  // off-chip; straight links stay on-chip.
+  EXPECT_GT(census.onchip_edges, census.offchip_edges);
+}
+
+}  // namespace
+}  // namespace ipg::topology

@@ -1,0 +1,120 @@
+// Tests for the concrete nucleus graphs and their generator/dimension
+// structure, which everything above (super-IPGs, HPNs, emulation) rests on.
+#include "topology/nucleus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+
+namespace ipg::topology {
+namespace {
+
+TEST(HypercubeNucleus, BasicStructure) {
+  const HypercubeNucleus q4(4);
+  EXPECT_EQ(q4.num_nodes(), 16u);
+  EXPECT_EQ(q4.num_generators(), 4u);
+  EXPECT_EQ(q4.apply(0b0101, 1), 0b0111u);
+  EXPECT_EQ(q4.inverse_generator(2), 2u);
+  EXPECT_EQ(q4.num_dimensions(), 4u);
+  EXPECT_EQ(q4.radix(0), 2u);
+  EXPECT_EQ(q4.digit(0b0100, 2), 1u);
+  EXPECT_EQ(q4.with_digit(0b0100, 2, 0), 0u);
+  EXPECT_EQ(q4.dim_generator(3, 1), 3u);
+}
+
+TEST(HypercubeNucleus, GraphIsQn) {
+  const Graph g = HypercubeNucleus(3).to_graph();
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(g.is_undirected());
+  const auto stats = metrics::distance_stats(g);
+  EXPECT_EQ(stats.diameter, 3u);
+  // Average over ordered pairs incl. self: sum_d d*C(3,d)/8 = 12/8.
+  EXPECT_DOUBLE_EQ(stats.average, 1.5);
+}
+
+TEST(FoldedHypercubeNucleus, ComplementLinkHalvesDiameter) {
+  const FoldedHypercubeNucleus fq4(4);
+  EXPECT_EQ(fq4.num_generators(), 5u);
+  EXPECT_EQ(fq4.apply(0b0000, 4), 0b1111u);
+  const auto stats = metrics::distance_stats(fq4.to_graph());
+  EXPECT_EQ(stats.diameter, 2u);  // folded Q_n has diameter ceil(n/2)
+}
+
+TEST(CompleteNucleus, EveryPairAdjacent) {
+  const CompleteNucleus k5(5);
+  EXPECT_EQ(k5.num_generators(), 4u);
+  const Graph g = k5.to_graph();
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 1u);
+  // Generator/inverse pairing: +1 <-> +4, +2 <-> +3.
+  EXPECT_EQ(k5.inverse_generator(0), 3u);
+  EXPECT_EQ(k5.inverse_generator(1), 2u);
+  EXPECT_EQ(k5.apply(k5.apply(2, 0), k5.inverse_generator(0)), 2u);
+}
+
+TEST(RingNucleus, CycleStructure) {
+  const RingNucleus c6(6);
+  EXPECT_EQ(c6.apply(5, 0), 0u);
+  EXPECT_EQ(c6.apply(0, 1), 5u);
+  EXPECT_EQ(metrics::distance_stats(c6.to_graph()).diameter, 3u);
+}
+
+TEST(RingNucleus, TwoNodeRingHasSingleGenerator) {
+  const RingNucleus c2(2);
+  EXPECT_EQ(c2.num_generators(), 1u);
+  EXPECT_EQ(c2.apply(0, 0), 1u);
+  EXPECT_EQ(c2.inverse_generator(0), 0u);
+}
+
+TEST(GeneralizedHypercube, MixedRadixStructure) {
+  // GHC(4,2,3): 24 nodes, generators 3 + 1 + 2 = 6.
+  const GeneralizedHypercubeNucleus ghc({4, 2, 3});
+  EXPECT_EQ(ghc.num_nodes(), 24u);
+  EXPECT_EQ(ghc.num_generators(), 6u);
+  EXPECT_EQ(ghc.num_dimensions(), 3u);
+  EXPECT_EQ(ghc.radix(0), 4u);
+  EXPECT_EQ(ghc.radix(2), 3u);
+  // Node 0: add 2 in dimension 0 -> node 2; add 1 in dimension 2 -> +8.
+  EXPECT_EQ(ghc.apply(0, ghc.dim_generator(0, 2)), 2u);
+  EXPECT_EQ(ghc.apply(0, ghc.dim_generator(2, 1)), 8u);
+  // Diameter = number of dimensions (one hop fixes a digit).
+  EXPECT_EQ(metrics::distance_stats(ghc.to_graph()).diameter, 3u);
+}
+
+TEST(GeneralizedHypercube, InverseGeneratorsRoundTrip) {
+  const GeneralizedHypercubeNucleus ghc({4, 8});
+  for (std::size_t g = 0; g < ghc.num_generators(); ++g) {
+    const NodeId v = 13;
+    EXPECT_EQ(ghc.apply(ghc.apply(v, g), ghc.inverse_generator(g)), v) << g;
+  }
+}
+
+TEST(GeneralizedHypercube, Radix2IsHypercube) {
+  const GeneralizedHypercubeNucleus ghc({2, 2, 2});
+  const HypercubeNucleus q3(3);
+  for (NodeId v = 0; v < 8; ++v) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(ghc.apply(v, ghc.dim_generator(d, 1)), q3.apply(v, d));
+    }
+  }
+}
+
+TEST(Nucleus, RouteReturnsShortestWord) {
+  const HypercubeNucleus q4(4);
+  const auto word = q4.route(0b0000, 0b1011);
+  EXPECT_EQ(word.size(), 3u);  // Hamming distance
+  NodeId v = 0;
+  for (const auto g : word) v = q4.apply(v, g);
+  EXPECT_EQ(v, 0b1011u);
+  EXPECT_TRUE(q4.route(5, 5).empty());
+}
+
+TEST(Nucleus, RouteOnRingTakesShortSide) {
+  const RingNucleus c8(8);
+  EXPECT_EQ(c8.route(0, 3).size(), 3u);
+  EXPECT_EQ(c8.route(0, 6).size(), 2u);  // wraps backwards
+}
+
+}  // namespace
+}  // namespace ipg::topology

@@ -1,0 +1,91 @@
+// Unit tests for core::Permutation — the generator primitive of the IPG
+// model. Conventions are checked against the worked example in §2.
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ipg::core {
+namespace {
+
+TEST(Permutation, IdentityFixesEverything) {
+  const auto id = Permutation::identity(6);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.is_involution());
+  EXPECT_EQ(id.order(), 1u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(id[i], i);
+}
+
+TEST(Permutation, RejectsNonPermutations) {
+  EXPECT_THROW(Permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation({0, 3, 1}), std::invalid_argument);
+}
+
+TEST(Permutation, Paper_Section2_GeneratorActions) {
+  // Seed Y = 123321; pi_1 = 213456, pi_2 = 321456, pi_3 = 456123 (§2).
+  const std::vector<std::uint8_t> y{1, 2, 3, 3, 2, 1};
+  auto apply = [&](const Permutation& p) {
+    std::vector<std::uint8_t> out(6);
+    p.apply(std::span<const std::uint8_t>(y), std::span<std::uint8_t>(out));
+    return out;
+  };
+  EXPECT_EQ(apply(Permutation::from_digits("213456")),
+            (std::vector<std::uint8_t>{2, 1, 3, 3, 2, 1}));
+  EXPECT_EQ(apply(Permutation::from_digits("321456")),
+            (std::vector<std::uint8_t>{3, 2, 1, 3, 2, 1}));
+  EXPECT_EQ(apply(Permutation::from_digits("456123")),
+            (std::vector<std::uint8_t>{3, 2, 1, 1, 2, 3}));
+}
+
+TEST(Permutation, TranspositionIsInvolution) {
+  const auto t = Permutation::transposition(5, 1, 3);
+  EXPECT_TRUE(t.is_involution());
+  EXPECT_FALSE(t.is_identity());
+  EXPECT_EQ(t.order(), 2u);
+  EXPECT_TRUE(t.then(t).is_identity());
+}
+
+TEST(Permutation, RotationComposesAdditively) {
+  const auto r1 = Permutation::rotation(6, 1);
+  const auto r2 = Permutation::rotation(6, 2);
+  EXPECT_EQ(r1.then(r1), r2);
+  EXPECT_EQ(r1.order(), 6u);
+  EXPECT_EQ(Permutation::rotation(6, 3).order(), 2u);
+}
+
+TEST(Permutation, ThenMatchesSequentialApplication) {
+  const auto p = Permutation::from_digits("23154");
+  const auto q = Permutation::from_digits("52341");
+  const std::vector<int> x{10, 20, 30, 40, 50};
+  const auto via_compose = p.then(q).apply_copy(x);
+  const auto via_steps = q.apply_copy(p.apply_copy(x));
+  EXPECT_EQ(via_compose, via_steps);
+}
+
+TEST(Permutation, InverseUndoesAction) {
+  const auto p = Permutation::from_digits("456123");
+  EXPECT_TRUE(p.then(p.inverse()).is_identity());
+  EXPECT_TRUE(p.inverse().then(p).is_identity());
+}
+
+TEST(Permutation, PrefixReversalFlipsOnlyPrefix) {
+  const auto f = Permutation::prefix_reversal(6, 4);
+  const std::vector<int> x{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(f.apply_copy(x), (std::vector<int>{4, 3, 2, 1, 5, 6}));
+  EXPECT_TRUE(f.is_involution());
+}
+
+TEST(Permutation, OrderOfThreeCycle) {
+  // 0 -> 1 -> 2 -> 0 three-cycle extended by a fixed point.
+  const Permutation p({1, 2, 0, 3});
+  EXPECT_EQ(p.order(), 3u);
+  EXPECT_FALSE(p.is_involution());
+}
+
+TEST(Permutation, ToStringRendersOneLine) {
+  EXPECT_EQ(Permutation::from_digits("312").to_string(), "[2 0 1]");
+}
+
+}  // namespace
+}  // namespace ipg::core

@@ -1,0 +1,72 @@
+// Tests for the Petersen nucleus and the cyclic Petersen networks ([31],
+// cited by the paper as a CN-family member).
+#include <gtest/gtest.h>
+
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::topology {
+namespace {
+
+TEST(PetersenNucleus, GeneratorActionsMatchThePetersenGraph) {
+  const PetersenNucleus p;
+  const Graph direct = petersen_graph();
+  // Every generator move must be a Petersen edge, and together they cover
+  // all 15 edges.
+  std::set<std::pair<NodeId, NodeId>> covered;
+  for (NodeId v = 0; v < 10; ++v) {
+    for (std::size_t g = 0; g < 3; ++g) {
+      const NodeId u = p.apply(v, g);
+      ASSERT_NE(u, v);
+      ASSERT_NE(direct.neighbor(v, 0) == u || direct.neighbor(v, 1) == u ||
+                    direct.neighbor(v, 2) == u,
+                false)
+          << v << "->" << u << " is not a Petersen edge";
+      covered.insert({std::min(v, u), std::max(v, u)});
+      // Inverse round-trips.
+      EXPECT_EQ(p.apply(u, p.inverse_generator(g)), v);
+    }
+  }
+  EXPECT_EQ(covered.size(), 15u);
+}
+
+TEST(PetersenNucleus, GraphMatchesDirectConstruction) {
+  const auto g = PetersenNucleus().to_graph();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  const auto a = metrics::distance_stats(g);
+  const auto b = metrics::distance_stats(petersen_graph());
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_DOUBLE_EQ(a.average, b.average);
+}
+
+TEST(CyclicPetersen, RingCnOverPetersen) {
+  // ring-CN(3, Petersen): 1000 nodes, intercluster diameter l-1 = 2.
+  const SuperIpg cpn = make_ring_cn(3, std::make_shared<PetersenNucleus>());
+  EXPECT_EQ(cpn.num_nodes(), 1000u);
+  EXPECT_EQ(cpn.name(), "ring-CN(3,Petersen)");
+  const auto stats =
+      metrics::intercluster_stats(cpn.to_graph(), cpn.nucleus_clustering());
+  EXPECT_EQ(stats.diameter, 2u);
+  // Routing across Petersen chips works.
+  for (NodeId from = 0; from < cpn.num_nodes(); from += 97) {
+    for (NodeId to = 0; to < cpn.num_nodes(); to += 89) {
+      NodeId v = from;
+      for (const auto g : cpn.route(from, to)) v = cpn.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+TEST(CyclicPetersen, HsnOverPetersenToo) {
+  const SuperIpg hsn = make_hsn(2, std::make_shared<PetersenNucleus>());
+  EXPECT_EQ(hsn.num_nodes(), 100u);
+  EXPECT_TRUE(hsn.to_graph().is_undirected());
+  const auto stats = metrics::distance_stats(hsn.to_graph());
+  EXPECT_GE(stats.diameter, 2u);
+}
+
+}  // namespace
+}  // namespace ipg::topology

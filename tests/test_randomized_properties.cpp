@@ -1,0 +1,133 @@
+// Randomized property tests: arbitrary inverse-closed generator sets fed
+// to the generic IPG engine must produce undirected, deterministic,
+// group-consistent graphs; higher-dimensional tori must stay deadlock-free
+// under the dateline scheme; random capacity-model weights must conserve
+// chip budgets.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/ipg.hpp"
+#include "metrics/bisection.hpp"
+#include "sim/wormhole.hpp"
+#include "topology/graph.hpp"
+#include "topology/named.hpp"
+#include "util/rng.hpp"
+
+namespace ipg {
+namespace {
+
+core::Permutation random_permutation_gen(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<core::Permutation::Pos> m(n);
+  for (std::size_t i = 0; i < n; ++i) m[i] = static_cast<core::Permutation::Pos>(i);
+  for (std::size_t i = n; i > 1; --i) std::swap(m[i - 1], m[rng.below(i)]);
+  return core::Permutation(std::move(m));
+}
+
+TEST(RandomizedIpg, InverseClosedGeneratorsGiveUndirectedGraphs) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 5 + rng.below(3);  // 5..7 symbols
+    std::vector<core::Permutation> gens;
+    for (int g = 0; g < 2; ++g) {
+      auto p = random_permutation_gen(n, rng);
+      if (p.is_identity()) continue;
+      auto inv = p.inverse();
+      gens.push_back(p);
+      if (!(inv == p)) gens.push_back(std::move(inv));
+    }
+    if (gens.empty()) continue;
+    // Seed with a repeated symbol to exercise the non-Cayley case.
+    std::vector<core::Label::Symbol> syms(n);
+    for (std::size_t i = 0; i < n; ++i) syms[i] = static_cast<core::Label::Symbol>(i % (n - 1));
+    const core::Label seed{std::span<const core::Label::Symbol>(syms)};
+    const auto ipg = core::build_ipg(seed, gens, 200'000);
+    EXPECT_TRUE(ipg.is_undirected()) << "trial " << trial;
+    // Deterministic: rebuilding gives the identical node order.
+    const auto again = core::build_ipg(seed, gens, 200'000);
+    ASSERT_EQ(again.num_nodes(), ipg.num_nodes());
+    for (core::NodeId v = 0; v < ipg.num_nodes(); ++v) {
+      ASSERT_TRUE(again.labels[v] == ipg.labels[v]);
+    }
+    // Orbit sizes divide n! (labels are cosets of the generated group).
+    std::size_t fact = 1;
+    for (std::size_t i = 2; i <= n; ++i) fact *= i;
+    EXPECT_EQ(fact % ipg.num_nodes(), 0u) << "trial " << trial;
+  }
+}
+
+TEST(RandomizedIpg, GeneratorActionIsFreeOnLabels) {
+  // Applying a generator twice along with its inverse must always return
+  // to the start, for every node of every random IPG.
+  util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 6;
+    auto p = random_permutation_gen(n, rng);
+    if (p.is_identity()) continue;
+    std::vector<core::Permutation> gens{p, p.inverse()};
+    const auto ipg = core::build_ipg(core::Label::from_string("112233"), gens,
+                                     200'000);
+    for (core::NodeId v = 0; v < ipg.num_nodes(); ++v) {
+      EXPECT_EQ(ipg.neighbor[ipg.neighbor[v][0]][1], v);
+    }
+  }
+}
+
+TEST(RandomizedWormhole, Torus3dWithDatelineVcsIsDeadlockFree) {
+  using namespace topology;
+  using namespace sim;
+  const std::size_t k = 4, n = 3;
+  auto net = SimNetwork::with_uniform_bandwidth(
+      kary_ncube_graph(k, n), Clustering::blocks(64, 4), 1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.num_vcs = 2;
+  cfg.vc_buffer_flits = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const auto perm = random_permutation(net.num_nodes(), rng);
+    const auto r = run_wormhole_batch(net, kary_router(k, n), perm, cfg,
+                                      torus_dateline_vc_classes(k, n));
+    EXPECT_GE(r.packets_delivered, net.num_nodes() - 2) << seed;
+  }
+}
+
+TEST(RandomizedCapacity, ChipBudgetsAreConserved) {
+  // For random clusterings of a random-ish graph, the unit-chip weights of
+  // the arcs leaving any chip never exceed its budget.
+  using namespace topology;
+  util::Xoshiro256 rng(13);
+  const Graph g = kary_ncube_graph(6, 2);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Random equal-size clustering via shuffled blocks.
+    std::vector<std::uint32_t> assign(g.num_nodes());
+    std::vector<NodeId> order(g.num_nodes());
+    std::iota(order.begin(), order.end(), NodeId{0});
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      assign[order[i]] = static_cast<std::uint32_t>(i / 6);
+    }
+    const Clustering chips(assign, 6);
+    const double w_node = 1.0;
+    const auto weights = metrics::unit_chip_arc_weights(g, chips, w_node);
+    std::map<std::uint32_t, double> out_bw;
+    std::size_t arc_index = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const auto& arc : g.arcs_of(v)) {
+        if (chips.is_intercluster(v, arc.to)) {
+          out_bw[chips.cluster_of(v)] += weights[arc_index];
+        }
+        ++arc_index;
+      }
+    }
+    for (const auto& [chip, bw] : out_bw) {
+      EXPECT_LE(bw, 6.0 * w_node + 1e-9) << "chip " << chip;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipg

@@ -1,0 +1,188 @@
+// Tests for the event-driven simulator: timing semantics of the switching
+// modes, bandwidth sharing, routing adapters, and traffic patterns.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+SimNetwork line_network(double bandwidth) {
+  // 0 - 1 - 2 - 3 path, each node its own chip (all links off-chip).
+  // Dimension labels must be unambiguous per node: 0 = toward 3, 1 = toward 0.
+  GraphBuilder b("line", 4, 2);
+  for (NodeId v = 0; v < 3; ++v) {
+    b.add_arc(v, v + 1, 0);
+    b.add_arc(v + 1, v, 1);
+  }
+  Graph g = std::move(b).build();
+  // Every node has at most 2 off-chip links; give each chip budget so each
+  // link ends up with exactly `bandwidth`: budget = 2 * bandwidth.
+  return SimNetwork(std::move(g), Clustering::blocks(4, 1), 2 * bandwidth,
+                    1000.0);
+}
+
+Router line_router() {
+  return [](NodeId src, NodeId dst) {
+    return std::vector<std::size_t>(
+        static_cast<std::size_t>(src < dst ? dst - src : src - dst),
+        src < dst ? 0 : 1);
+  };
+}
+
+TEST(Simulator, StoreAndForwardLatencyIsPerHopSerial) {
+  const SimNetwork net = line_network(1.0);
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.link_latency_cycles = 1;
+  std::vector<NodeId> dst{3, 1, 2, 3};  // only node 0 sends (0 -> 3)
+  const auto r = run_batch(net, line_router(), dst, cfg);
+  EXPECT_EQ(r.packets_delivered, 1u);
+  // 3 hops, each 8 cycles transfer + 1 latency.
+  EXPECT_DOUBLE_EQ(r.avg_latency_cycles, 3 * (8 + 1));
+  EXPECT_DOUBLE_EQ(r.avg_hops, 3.0);
+  EXPECT_DOUBLE_EQ(r.avg_offchip_hops, 3.0);
+}
+
+TEST(Simulator, CutThroughPipelinesHops) {
+  const SimNetwork net = line_network(1.0);
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.link_latency_cycles = 1;
+  cfg.switching = Switching::kVirtualCutThrough;
+  std::vector<NodeId> dst{3, 1, 2, 3};
+  const auto r = run_batch(net, line_router(), dst, cfg);
+  // Head moves 1 flit-time + latency per hop; tail arrives len after the
+  // last head: 2 * (1+1) + (8+1) = 13.
+  EXPECT_DOUBLE_EQ(r.avg_latency_cycles, 2 * 2 + 9);
+  EXPECT_LT(r.avg_latency_cycles, 27);  // strictly better than SAF
+}
+
+TEST(Simulator, WormholeMatchesVctAtFlowLevel) {
+  const SimNetwork net = line_network(1.0);
+  SimConfig vct, worm;
+  vct.switching = Switching::kVirtualCutThrough;
+  worm.switching = Switching::kWormhole;
+  std::vector<NodeId> dst{3, 2, 3, 3};
+  const auto a = run_batch(net, line_router(), dst, vct);
+  const auto b = run_batch(net, line_router(), dst, worm);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+TEST(Simulator, LinkContentionSerializes) {
+  const SimNetwork net = line_network(1.0);
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.link_latency_cycles = 0;
+  // Nodes 0 and 1 both send to 2: the 1->2 link carries both packets.
+  std::vector<NodeId> dst{2, 2, 2, 3};
+  const auto r = run_batch(net, line_router(), dst, cfg);
+  EXPECT_EQ(r.packets_delivered, 2u);
+  // Packet B (1->2): 4 cycles. Packet A (0->2): arrives at 1 at t=4, but
+  // link 1->2 is free then: done at 8. Makespan 8.
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 8.0);
+}
+
+TEST(Simulator, FractionalBandwidthSlowsTransfers) {
+  const SimNetwork net = line_network(0.5);  // half a flit per cycle
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.link_latency_cycles = 0;
+  std::vector<NodeId> dst{1, 1, 2, 3};
+  const auto r = run_batch(net, line_router(), dst, cfg);
+  EXPECT_DOUBLE_EQ(r.avg_latency_cycles, 16.0);
+}
+
+TEST(Simulator, HypercubeRouterRoutesCorrectly) {
+  const auto router = hypercube_router(4);
+  const auto dims = router(0b0000, 0b1010);
+  EXPECT_EQ(dims, (std::vector<std::size_t>{1, 3}));
+  EXPECT_TRUE(router(5, 5).empty());
+}
+
+TEST(Simulator, KaryRouterTakesShortWrap) {
+  const auto router = kary_router(8, 2);
+  // 0 -> 6 in dimension 0: two -1 hops (labels 1) beat six +1 hops.
+  const auto dims = router(0, 6);
+  EXPECT_EQ(dims, (std::vector<std::size_t>{1, 1}));
+  // 0 -> 2 in dimension 1: two +1 hops (label 2).
+  EXPECT_EQ(router(0, 16), (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(Simulator, TableRouterFindsShortestPaths) {
+  auto g = std::make_shared<Graph>(ring_graph(8));
+  const auto router = table_router(g);
+  EXPECT_EQ(router(0, 3).size(), 3u);
+  EXPECT_EQ(router(0, 6).size(), 2u);
+  // Following the dims reaches the destination.
+  NodeId cur = 0;
+  for (const auto d : router(0, 5)) cur = g->neighbor(cur, static_cast<std::uint16_t>(d));
+  EXPECT_EQ(cur, 5u);
+}
+
+TEST(Simulator, BatchUniformOnHypercubeDeliversAll) {
+  Graph g = hypercube_graph(6);
+  SimNetwork net(std::move(g), hypercube_subcube_clustering(6, 8), 8.0, 512.0);
+  util::Xoshiro256 rng(3);
+  const auto perm = random_permutation(net.num_nodes(), rng);
+  SimConfig cfg;
+  const auto r = run_batch(net, hypercube_router(6), perm, cfg);
+  EXPECT_GE(r.packets_delivered, net.num_nodes() - 1);  // fixed points skipped
+  EXPECT_GT(r.throughput_flits_per_node_cycle, 0.0);
+  EXPECT_NEAR(r.avg_hops, 3.0, 0.5);  // ~n/2 for random pairs
+  EXPECT_LE(r.max_offchip_utilization, 1.0 + 1e-9);
+}
+
+TEST(Simulator, OpenLoopLatencyGrowsWithLoad) {
+  Graph g = hypercube_graph(5);
+  SimNetwork net(std::move(g), Clustering::blocks(32, 4), 4.0, 256.0);
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  const auto lo = run_open(net, hypercube_router(5), uniform_traffic(32), 0.01,
+                           400, cfg);
+  const auto hi = run_open(net, hypercube_router(5), uniform_traffic(32), 0.2,
+                           400, cfg);
+  EXPECT_GT(lo.packets_delivered, 0u);
+  EXPECT_GT(hi.avg_latency_cycles, lo.avg_latency_cycles);
+}
+
+TEST(Traffic, PatternsAreValidDestinations) {
+  util::Xoshiro256 rng(9);
+  const auto uni = uniform_traffic(64);
+  for (int i = 0; i < 100; ++i) {
+    const auto d = uni(7, rng);
+    EXPECT_LT(d, 64u);
+    EXPECT_NE(d, 7u);
+  }
+  EXPECT_EQ(bit_complement_traffic(16)(0b0101, rng), 0b1010u);
+  EXPECT_EQ(transpose_traffic(16)(0b0111, rng), 0b1101u);
+  EXPECT_EQ(bit_reversal_traffic(16)(0b0010, rng), 0b0100u);
+}
+
+TEST(Traffic, HotspotBiasesTowardHotNode) {
+  util::Xoshiro256 rng(11);
+  const auto pat = hotspot_traffic(64, 5, 0.5);
+  std::size_t hot = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (pat(9, rng) == 5) ++hot;
+  }
+  EXPECT_GT(hot, 800u);
+}
+
+TEST(Traffic, RandomPermutationIsPermutation) {
+  util::Xoshiro256 rng(13);
+  const auto p = random_permutation(100, rng);
+  std::vector<bool> seen(100, false);
+  for (const auto v : p) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace ipg::sim

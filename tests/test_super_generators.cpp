@@ -1,0 +1,92 @@
+// Tests for super-generator permutation builders (§2): transpositions
+// T_{i,m}, cyclic shifts L/R_{i,m}, flips F_{i,m}, and nucleus lifting.
+#include "core/super_generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipg::core {
+namespace {
+
+std::vector<int> groups(std::size_t l, std::size_t m) {
+  // Label where every symbol of group g has value g: exposes group moves.
+  std::vector<int> x(l * m);
+  for (std::size_t g = 0; g < l; ++g) {
+    for (std::size_t s = 0; s < m; ++s) x[g * m + s] = static_cast<int>(g);
+  }
+  return x;
+}
+
+TEST(SuperGenerators, TranspositionSwapsGroups) {
+  const auto t = super_transposition(4, 3, 2);  // swap group 0 and group 2
+  const auto out = t.apply_copy(groups(4, 3));
+  EXPECT_EQ(out, (std::vector<int>{2, 2, 2, 1, 1, 1, 0, 0, 0, 3, 3, 3}));
+  EXPECT_TRUE(t.is_involution());
+}
+
+TEST(SuperGenerators, CyclicLeftMatchesPaperDefinition) {
+  // L_{1,m}(X1 X2 X3 X4) = X2 X3 X4 X1 (§2).
+  const auto left = super_cyclic_left(4, 2, 1);
+  const auto out = left.apply_copy(groups(4, 2));
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 2, 2, 3, 3, 0, 0}));
+}
+
+TEST(SuperGenerators, CyclicRightInvertsLeft) {
+  const auto left = super_cyclic_left(5, 2, 2);
+  const auto right = super_cyclic_right(5, 2, 2);
+  EXPECT_TRUE(left.then(right).is_identity());
+  EXPECT_EQ(left.inverse(), right);
+}
+
+TEST(SuperGenerators, FlipMatchesPaperDefinition) {
+  // F_2(X1 X2 X3 X4) = X2 X1 X3 X4; F_3(X1 X2 X3 X4) = X3 X2 X1 X4 (§2).
+  const auto f2 = super_flip(4, 2, 2);
+  EXPECT_EQ(f2.apply_copy(groups(4, 2)),
+            (std::vector<int>{1, 1, 0, 0, 2, 2, 3, 3}));
+  const auto f3 = super_flip(4, 2, 3);
+  EXPECT_EQ(f3.apply_copy(groups(4, 2)),
+            (std::vector<int>{2, 2, 1, 1, 0, 0, 3, 3}));
+  EXPECT_TRUE(f3.is_involution());
+}
+
+TEST(SuperGenerators, LiftedNucleusActsOnlyOnLeftmostGroup) {
+  const auto lifted = lift_nucleus_generator(Permutation::transposition(3, 0, 2), 3);
+  std::vector<int> x{10, 11, 12, 20, 21, 22, 30, 31, 32};
+  EXPECT_EQ(lifted.apply_copy(x),
+            (std::vector<int>{12, 11, 10, 20, 21, 22, 30, 31, 32}));
+}
+
+TEST(SuperGenerators, GeneratorSetSizes) {
+  EXPECT_EQ(make_super_generators(SuperGenKind::kTranspositions, 5, 2).size(), 4u);
+  EXPECT_EQ(make_super_generators(SuperGenKind::kRingShifts, 5, 2).size(), 2u);
+  EXPECT_EQ(make_super_generators(SuperGenKind::kRingShifts, 2, 2).size(), 1u);
+  EXPECT_EQ(make_super_generators(SuperGenKind::kCompleteShifts, 5, 2).size(), 4u);
+  EXPECT_EQ(make_super_generators(SuperGenKind::kFlips, 5, 2).size(), 4u);
+}
+
+TEST(SuperGenerators, GenericHsnOnQ2HasRightSize) {
+  // HSN(2, Q_2): nucleus 4 nodes, 2 levels -> 16 nodes.
+  const Ipg g = build_generic_super_ipg(hypercube_seed(2), hypercube_generators(2),
+                                        2, SuperGenKind::kTranspositions);
+  EXPECT_EQ(g.num_nodes(), 16u);
+}
+
+TEST(SuperGenerators, GenericFamiliesAgreeOnNodeCount) {
+  // All four families over the same nucleus have M^l nodes.
+  for (const auto kind :
+       {SuperGenKind::kTranspositions, SuperGenKind::kRingShifts,
+        SuperGenKind::kCompleteShifts, SuperGenKind::kFlips}) {
+    const Ipg g = build_generic_super_ipg(hypercube_seed(2), hypercube_generators(2),
+                                          3, kind);
+    EXPECT_EQ(g.num_nodes(), 64u) << static_cast<int>(kind);
+  }
+}
+
+TEST(SuperGenerators, InvalidArgumentsThrow) {
+  EXPECT_THROW(super_transposition(3, 2, 0), std::invalid_argument);
+  EXPECT_THROW(super_transposition(3, 2, 3), std::invalid_argument);
+  EXPECT_THROW(super_flip(3, 2, 1), std::invalid_argument);
+  EXPECT_THROW(super_cyclic_left(3, 2, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::core

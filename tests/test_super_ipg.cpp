@@ -1,0 +1,220 @@
+// Tests for the tuple-coded SuperIpg — including the proof (by exhaustive
+// check on small instances) that it is isomorphic to the generic
+// symbol-label IPG of §2, generator by generator.
+#include "topology/super_ipg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/super_generators.hpp"
+
+namespace ipg::topology {
+namespace {
+
+std::shared_ptr<const Nucleus> q(unsigned n) {
+  return std::make_shared<HypercubeNucleus>(n);
+}
+
+// Decodes a generic-IPG label group into a nucleus vertex id, for the two
+// nucleus encodings used by core::super_generators.
+NodeId decode_hypercube_group(const core::Label& label, std::size_t group,
+                              unsigned n) {
+  NodeId v = 0;
+  for (unsigned b = 0; b < n; ++b) {
+    const auto sym = label[group * 2 * n + 2 * b];
+    if (sym == 1) v |= NodeId{1} << b;
+  }
+  return v;
+}
+
+NodeId decode_rotation_group(const core::Label& label, std::size_t group,
+                             std::size_t m) {
+  return static_cast<NodeId>(label[group * m] - 1);
+}
+
+struct IsoCase {
+  core::SuperGenKind kind;
+  SuperFamily family;
+};
+
+class SuperIpgIso : public ::testing::TestWithParam<IsoCase> {};
+
+TEST_P(SuperIpgIso, TupleCodingMatchesGenericIpg_HypercubeNucleus) {
+  const auto [kind, family] = GetParam();
+  const unsigned n = 2;
+  const std::size_t l = 3;
+  const auto generic = core::build_generic_super_ipg(
+      core::hypercube_seed(n), core::hypercube_generators(n), l, kind);
+  const SuperIpg tuple(q(n), l, family);
+  ASSERT_EQ(generic.num_nodes(), tuple.num_nodes());
+
+  std::unordered_set<NodeId> mapped;
+  for (core::NodeId v = 0; v < generic.num_nodes(); ++v) {
+    std::vector<NodeId> groups(l);
+    for (std::size_t i = 0; i < l; ++i) {
+      groups[i] = decode_hypercube_group(generic.labels[v], i, n);
+    }
+    const NodeId tv = tuple.make_node(groups);
+    EXPECT_TRUE(mapped.insert(tv).second) << "mapping not injective";
+    for (std::size_t g = 0; g < generic.num_generators(); ++g) {
+      const core::NodeId u = generic.neighbor[v][g];
+      std::vector<NodeId> ug(l);
+      for (std::size_t i = 0; i < l; ++i) {
+        ug[i] = decode_hypercube_group(generic.labels[u], i, n);
+      }
+      EXPECT_EQ(tuple.make_node(ug), tuple.apply(tv, g))
+          << "generator " << g << " disagrees at node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SuperIpgIso,
+    ::testing::Values(
+        IsoCase{core::SuperGenKind::kTranspositions, SuperFamily::kHSN},
+        IsoCase{core::SuperGenKind::kRingShifts, SuperFamily::kRingCN},
+        IsoCase{core::SuperGenKind::kCompleteShifts, SuperFamily::kCompleteCN},
+        IsoCase{core::SuperGenKind::kFlips, SuperFamily::kSFN}));
+
+TEST(SuperIpg, TupleCodingMatchesGenericIpg_CompleteNucleus) {
+  // complete-CN(3, K_4) against the generic rotation encoding of K_4.
+  const std::size_t m = 4, l = 3;
+  const auto generic = core::build_generic_super_ipg(
+      core::complete_graph_seed(m), core::complete_graph_generators(m), l,
+      core::SuperGenKind::kCompleteShifts);
+  const SuperIpg tuple(std::make_shared<CompleteNucleus>(m), l,
+                       SuperFamily::kCompleteCN);
+  ASSERT_EQ(generic.num_nodes(), tuple.num_nodes());
+  for (core::NodeId v = 0; v < generic.num_nodes(); ++v) {
+    std::vector<NodeId> groups(l);
+    for (std::size_t i = 0; i < l; ++i) {
+      groups[i] = decode_rotation_group(generic.labels[v], i, m);
+    }
+    const NodeId tv = tuple.make_node(groups);
+    for (std::size_t g = 0; g < generic.num_generators(); ++g) {
+      const core::NodeId u = generic.neighbor[v][g];
+      std::vector<NodeId> ug(l);
+      for (std::size_t i = 0; i < l; ++i) {
+        ug[i] = decode_rotation_group(generic.labels[u], i, m);
+      }
+      EXPECT_EQ(tuple.make_node(ug), tuple.apply(tv, g));
+    }
+  }
+}
+
+TEST(SuperIpg, NodeCountsAreMPowerL) {
+  EXPECT_EQ(make_hsn(3, q(4)).num_nodes(), 4096u);       // HSN(3,Q4)
+  EXPECT_EQ(make_hcn(4).num_nodes(), 256u);              // HCN(4,4)
+  EXPECT_EQ(make_complete_cn(4, q(2)).num_nodes(), 256u);
+  EXPECT_EQ(make_sfn(3, q(3)).num_nodes(), 512u);
+  EXPECT_EQ(make_ring_cn(4, q(2)).num_nodes(), 256u);
+}
+
+TEST(SuperIpg, RecursiveFamiliesMultiplySizes) {
+  // RCC(2, Q_2): (4^2)^2 = 256 nodes. RHSN(2, 3, Q_2): (4^3)^3.
+  EXPECT_EQ(make_rcc(2, q(2)).num_nodes(), 256u);
+  EXPECT_EQ(make_rhsn(2, 3, q(2)).num_nodes(), 262144u);
+}
+
+TEST(SuperIpg, GroupsRoundTripThroughMakeNode) {
+  const SuperIpg s = make_hsn(3, q(3));
+  const std::vector<NodeId> groups{5, 0, 7};
+  const NodeId v = s.make_node(groups);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(s.group(v, i), groups[i]);
+  EXPECT_EQ(s.cluster_of(v), v / 8);
+}
+
+TEST(SuperIpg, GeneratorsAreInvertible) {
+  const SuperIpg s = make_sfn(4, q(2));
+  for (std::size_t g = 0; g < s.num_generators(); ++g) {
+    const std::size_t inv = s.inverse_generator(g);
+    for (NodeId v = 0; v < s.num_nodes(); v += 7) {
+      EXPECT_EQ(s.apply(s.apply(v, g), inv), v);
+    }
+  }
+}
+
+TEST(SuperIpg, GraphIsUndirectedForAllFamilies) {
+  for (const auto family : {SuperFamily::kHSN, SuperFamily::kRingCN,
+                            SuperFamily::kCompleteCN, SuperFamily::kSFN}) {
+    const SuperIpg s(q(2), 3, family);
+    EXPECT_TRUE(s.to_graph().is_undirected()) << family_name(family);
+  }
+}
+
+TEST(SuperIpg, TSingleDimensionIsTwoForPaperFamilies) {
+  // Corollary 3.2: HSN, complete-CN, SFN have t = 2 (slowdown 3).
+  EXPECT_EQ(make_hsn(4, q(2)).t_single_dimension(), 2u);
+  EXPECT_EQ(make_complete_cn(4, q(2)).t_single_dimension(), 2u);
+  EXPECT_EQ(make_sfn(4, q(2)).t_single_dimension(), 2u);
+  // ring-CN must walk: worst group is l/2 away, both directions counted.
+  EXPECT_EQ(make_ring_cn(4, q(2)).t_single_dimension(), 4u);
+}
+
+class SuperIpgRoute : public ::testing::TestWithParam<SuperFamily> {};
+
+TEST_P(SuperIpgRoute, RouteLandsOnDestination) {
+  const SuperIpg s(q(2), 3, GetParam());
+  // Exhaustive over a deterministic sample of pairs.
+  for (NodeId from = 0; from < s.num_nodes(); from += 3) {
+    for (NodeId to = 0; to < s.num_nodes(); to += 5) {
+      NodeId v = from;
+      for (const auto g : s.route(from, to)) v = s.apply(v, g);
+      ASSERT_EQ(v, to) << family_name(GetParam()) << " " << from << "->" << to;
+    }
+  }
+}
+
+TEST_P(SuperIpgRoute, RouteInterclusterHopsWithinDiameterBound) {
+  const SuperIpg s(q(2), 4, GetParam());
+  const auto c = s.nucleus_clustering();
+  std::size_t max_hops = 0;
+  for (NodeId from = 0; from < s.num_nodes(); from += 17) {
+    for (NodeId to = 0; to < s.num_nodes(); to += 13) {
+      NodeId v = from;
+      std::size_t hops = 0;
+      for (const auto g : s.route(from, to)) {
+        const NodeId u = s.apply(v, g);
+        if (c.is_intercluster(v, u)) ++hops;
+        v = u;
+      }
+      max_hops = std::max(max_hops, hops);
+    }
+  }
+  // The canonical router uses at most l-1 intercluster hops for HSN/SFN
+  // and at most l for the CNs (cycle closure).
+  EXPECT_LE(max_hops, s.levels());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SuperIpgRoute,
+                         ::testing::Values(SuperFamily::kHSN,
+                                           SuperFamily::kRingCN,
+                                           SuperFamily::kCompleteCN,
+                                           SuperFamily::kSFN));
+
+TEST(SuperIpg, RouteOfRecursiveFamilyWorks) {
+  const SuperIpg s = make_rcc(2, q(2));
+  for (NodeId from = 0; from < s.num_nodes(); from += 31) {
+    for (NodeId to = 0; to < s.num_nodes(); to += 29) {
+      NodeId v = from;
+      for (const auto g : s.route(from, to)) v = s.apply(v, g);
+      ASSERT_EQ(v, to);
+    }
+  }
+}
+
+TEST(SuperIpg, NamesAreDescriptive) {
+  EXPECT_EQ(make_hsn(3, q(4)).name(), "HSN(3,Q4)");
+  EXPECT_EQ(make_complete_cn(4, q(2)).name(), "complete-CN(4,Q2)");
+  EXPECT_EQ(make_rcc(2, q(2)).name(), "HSN(2,HSN(2,Q2))");
+}
+
+TEST(SuperIpg, RejectsBadArguments) {
+  EXPECT_THROW(SuperIpg(nullptr, 3, SuperFamily::kHSN), std::invalid_argument);
+  EXPECT_THROW(SuperIpg(q(2), 1, SuperFamily::kHSN), std::invalid_argument);
+  EXPECT_THROW(SuperIpg(q(4), 16, SuperFamily::kHSN), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::topology

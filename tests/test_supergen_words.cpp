@@ -1,0 +1,75 @@
+// Tests for the Theorem 4.1 / 4.3 word analysis: t (plain intercluster
+// diameter) and t_S (symmetric-variant intercluster diameter), checked
+// against Corollaries 4.2 and 4.4.
+#include "metrics/supergen_words.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/nucleus.hpp"
+
+namespace ipg::metrics {
+namespace {
+
+using namespace topology;
+
+std::shared_ptr<const Nucleus> q2() {
+  return std::make_shared<HypercubeNucleus>(2);
+}
+
+TEST(SuperGenWords, Corollary42_PlainFamiliesHaveTEqualLMinus1) {
+  for (std::size_t l = 2; l <= 6; ++l) {
+    EXPECT_EQ(analyze_supergen_words(make_hsn(l, q2())).t_visit_all, l - 1)
+        << "HSN l=" << l;
+    EXPECT_EQ(analyze_supergen_words(make_ring_cn(l, q2())).t_visit_all, l - 1)
+        << "ring-CN l=" << l;
+    EXPECT_EQ(analyze_supergen_words(make_complete_cn(l, q2())).t_visit_all, l - 1)
+        << "complete-CN l=" << l;
+    EXPECT_EQ(analyze_supergen_words(make_sfn(l, q2())).t_visit_all, l - 1)
+        << "SFN l=" << l;
+  }
+}
+
+TEST(SuperGenWords, Corollary44_SymmetricCompleteCN) {
+  // Symmetric complete-CN(l,G) has intercluster diameter l.
+  for (std::size_t l = 2; l <= 6; ++l) {
+    EXPECT_EQ(analyze_supergen_words(make_complete_cn(l, q2())).t_symmetric, l)
+        << l;
+  }
+}
+
+TEST(SuperGenWords, Corollary44_SymmetricHsnAndSfn) {
+  // Symmetric HSN(l,G) and SFN(l,G) have intercluster diameter 2l-2.
+  for (std::size_t l = 2; l <= 6; ++l) {
+    EXPECT_EQ(analyze_supergen_words(make_hsn(l, q2())).t_symmetric, 2 * l - 2)
+        << "HSN l=" << l;
+  }
+  // SFN: the paper states 2l-2 for the symmetric SFN as well, but exact BFS
+  // shows that is an upper bound only — prefix reversals rearrange faster
+  // than transpositions for l >= 6 (t_S = 8 < 10 at l = 6, pancake-style).
+  for (std::size_t l = 2; l <= 6; ++l) {
+    const auto ts = analyze_supergen_words(make_sfn(l, q2())).t_symmetric;
+    EXPECT_LE(ts, 2 * l - 2) << "SFN l=" << l;
+    if (l <= 5) {
+      EXPECT_EQ(ts, 2 * l - 2) << "SFN l=" << l;
+    }
+  }
+}
+
+TEST(SuperGenWords, Corollary44_SymmetricRingCN) {
+  // Symmetric ring-CN: 2 for l=2, 3 for l=3, floor(1.5 l) - 2 for l >= 4.
+  EXPECT_EQ(analyze_supergen_words(make_ring_cn(2, q2())).t_symmetric, 2u);
+  EXPECT_EQ(analyze_supergen_words(make_ring_cn(3, q2())).t_symmetric, 3u);
+  for (std::size_t l = 4; l <= 8; ++l) {
+    EXPECT_EQ(analyze_supergen_words(make_ring_cn(l, q2())).t_symmetric,
+              (3 * l) / 2 - 2)
+        << "ring-CN l=" << l;
+  }
+}
+
+TEST(SuperGenWords, LargeLevelsRejected) {
+  EXPECT_THROW(analyze_supergen_words(make_hsn(9, q2())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::metrics

@@ -1,0 +1,141 @@
+// Tests for the util layer: bit helpers, RNG determinism, thread pool, and
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::util {
+namespace {
+
+TEST(Bits, PowersOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(255), 7u);
+  EXPECT_EQ(ceil_log2(255), 8u);
+  EXPECT_EQ(ceil_log2(256), 8u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(bit_reverse(12345, 14), 14), 12345u);
+}
+
+TEST(Bits, IpowAndRadixDigits) {
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(radix_digit(81, 3, 4), 1u);
+  EXPECT_EQ(radix_digit(7, 4, 0), 3u);
+  EXPECT_EQ(with_radix_digit(7, 4, 0, 0), 4u);
+  EXPECT_EQ(with_radix_digit(0, 5, 2, 3), 75u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Xoshiro256 a2(42);
+  (void)c();
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&hits](std::size_t i) { hits[i].fetch_add(1); }, pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(5, 5, [](std::size_t) { FAIL(); }, pool);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    IPG_CHECK(1 == 2, "math is broken");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Table, RendersAlignedAscii) {
+  Table t("title");
+  t.header({"net", "N"});
+  t.add("HSN(3,Q4)", 4096);
+  t.add("Q12", 4096);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("HSN(3,Q4)"), std::string::npos);
+  EXPECT_NE(s.find("| net"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.header({"a", "b"});
+  t.add(1, 2.5);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, RatioFormatting) {
+  EXPECT_EQ(format_ratio(2.0), "2.00x");
+  EXPECT_EQ(format_ratio(0.333), "0.33x");
+}
+
+}  // namespace
+}  // namespace ipg::util

@@ -1,0 +1,164 @@
+// Tests for the flit-level wormhole engine: timing on an uncontended path,
+// VC blocking behaviour, buffer limits, fractional bandwidths, deadlock
+// freedom of the phase-indexed VC classes on super-IPG routes, and
+// agreement with the flow-level engines on aggregate rankings.
+#include "sim/wormhole.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcmp/capacity.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+SimNetwork line(double bandwidth, std::size_t nodes = 4) {
+  GraphBuilder b("line", nodes, 2);
+  for (NodeId v = 0; v + 1 < nodes; ++v) {
+    b.add_arc(v, v + 1, 0);
+    b.add_arc(v + 1, v, 1);
+  }
+  return SimNetwork::with_uniform_bandwidth(std::move(b).build(),
+                                            Clustering::blocks(nodes, 1),
+                                            bandwidth);
+}
+
+Router forward_router() {
+  return [](NodeId s, NodeId d) {
+    return std::vector<std::size_t>(static_cast<std::size_t>(d - s), 0);
+  };
+}
+
+TEST(Wormhole, UncontendedLatencyIsPipelineDepth) {
+  // len flits over k hops at 1 flit/cycle: head takes k cycles, tail
+  // arrives at k + len - 1.
+  const SimNetwork net = line(1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  std::vector<NodeId> dst{3, 1, 2, 3};
+  const auto r = run_wormhole_batch(net, forward_router(), dst, cfg);
+  EXPECT_EQ(r.packets_delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_cycles, 3 + 8 - 1);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 3.0);
+}
+
+TEST(Wormhole, SingleHopTakesLengthCycles) {
+  const SimNetwork net = line(1.0, 2);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 5;
+  std::vector<NodeId> dst{1, 1};
+  const auto r = run_wormhole_batch(net, forward_router(), dst, cfg);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 5.0);
+}
+
+TEST(Wormhole, FractionalBandwidthHalvesRate) {
+  const SimNetwork net = line(0.5, 2);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 4;
+  std::vector<NodeId> dst{1, 1};
+  const auto r = run_wormhole_batch(net, forward_router(), dst, cfg);
+  // One flit every two cycles: tail at ~8.
+  EXPECT_NEAR(r.makespan_cycles, 8.0, 1.0);
+}
+
+TEST(Wormhole, ContendedLinkSerializesWorms) {
+  // Both 0->3 and 1->3 squeeze through links 1->2 and 2->3.
+  const SimNetwork net = line(1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  std::vector<NodeId> dst{3, 3, 2, 3};
+  const auto r = run_wormhole_batch(net, forward_router(), dst, cfg);
+  EXPECT_EQ(r.packets_delivered, 2u);
+  // Lower bound: 16 flits over the final link + pipeline fill.
+  EXPECT_GE(r.makespan_cycles, 16.0);
+}
+
+TEST(Wormhole, TinyBuffersThrottleButDeliver) {
+  const SimNetwork net = line(1.0, 6);
+  WormholeConfig roomy, tight;
+  roomy.packet_length_flits = tight.packet_length_flits = 16;
+  roomy.vc_buffer_flits = 16;
+  tight.vc_buffer_flits = 1;
+  std::vector<NodeId> dst{5, 5, 2, 3, 4, 5};
+  const auto a = run_wormhole_batch(net, forward_router(), dst, roomy);
+  const auto b = run_wormhole_batch(net, forward_router(), dst, tight);
+  EXPECT_EQ(a.packets_delivered, 2u);
+  EXPECT_EQ(b.packets_delivered, 2u);
+  EXPECT_GE(b.makespan_cycles, a.makespan_cycles);
+}
+
+TEST(Wormhole, HypercubePermutationDeliversAll) {
+  auto net = SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  util::Xoshiro256 rng(3);
+  const auto perm = random_permutation(net.num_nodes(), rng);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.num_vcs = 2;
+  const auto r = run_wormhole_batch(net, hypercube_router(6), perm, cfg);
+  EXPECT_GE(r.packets_delivered, 60u);
+  EXPECT_GT(r.throughput_flits_per_node_cycle, 0.0);
+}
+
+TEST(Wormhole, SuperIpgRoutesWithPhaseVcsAreDeadlockFree) {
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(3, std::make_shared<HypercubeNucleus>(2)));
+  auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                          hsn->nucleus_clustering(), 1.0);
+  const std::size_t n_nuc = hsn->num_nucleus_generators();
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.num_vcs = 4;  // > l-1 off-chip hops
+  cfg.vc_buffer_flits = 2;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const auto perm = random_permutation(net.num_nodes(), rng);
+    const auto r = run_wormhole_batch(net, super_ipg_router(*hsn), perm, cfg,
+                                      super_ipg_vc_classes(n_nuc));
+    EXPECT_GE(r.packets_delivered, net.num_nodes() - 2);
+  }
+}
+
+TEST(Wormhole, TooFewVcsIsRejected) {
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(4, std::make_shared<HypercubeNucleus>(2)));
+  auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                          hsn->nucleus_clustering(), 1.0);
+  const std::size_t n_nuc = hsn->num_nucleus_generators();
+  WormholeConfig cfg;
+  cfg.num_vcs = 2;  // l-1 = 3 off-chip hops possible
+  std::vector<NodeId> dst(net.num_nodes());
+  for (NodeId v = 0; v < dst.size(); ++v) {
+    dst[v] = static_cast<NodeId>(net.num_nodes() - 1 - v);
+  }
+  EXPECT_THROW(run_wormhole_batch(net, super_ipg_router(*hsn), dst, cfg,
+                                  super_ipg_vc_classes(n_nuc)),
+               std::invalid_argument);
+}
+
+TEST(Wormhole, RankingMatchesFlowLevelUnderUnitChip) {
+  // §1: the super-IPG advantage is switching-independent — the flit-level
+  // wormhole ranking agrees with the flow-level SAF ranking.
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  auto hnet = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                           hsn->nucleus_clustering(), 1.0);
+  auto qnet = mcmp::make_unit_chip_network(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.num_vcs = 2;
+  const std::size_t n_nuc = hsn->num_nucleus_generators();
+  util::Xoshiro256 rng(9);
+  const auto perm = random_permutation(64, rng);
+  const auto h = run_wormhole_batch(hnet, super_ipg_router(*hsn), perm, cfg,
+                                    super_ipg_vc_classes(n_nuc));
+  const auto q = run_wormhole_batch(qnet, hypercube_router(6), perm, cfg);
+  EXPECT_LT(h.makespan_cycles, q.makespan_cycles);
+}
+
+}  // namespace
+}  // namespace ipg::sim

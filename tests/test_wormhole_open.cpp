@@ -1,0 +1,60 @@
+// Tests for the open-loop wormhole mode: latency grows with load, the
+// engine drains completely, and batch/open agree in the light-load limit.
+#include <gtest/gtest.h>
+
+#include "mcmp/capacity.hpp"
+#include "sim/wormhole.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+TEST(WormholeOpen, DeliversEverythingAndMeasuresLatency) {
+  auto net = SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(5), Clustering::blocks(32, 4), 1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.num_vcs = 2;
+  const auto r = run_wormhole_open(net, hypercube_router(5),
+                                   uniform_traffic(32), 0.02, 500, cfg);
+  EXPECT_GT(r.packets_delivered, 100u);
+  EXPECT_GT(r.avg_latency_cycles, 0.0);
+  EXPECT_LT(r.avg_latency_cycles, 100.0);  // light load: near-uncontended
+}
+
+TEST(WormholeOpen, LatencyGrowsWithLoad) {
+  auto net = SimNetwork::with_uniform_bandwidth(
+      hypercube_graph(5), Clustering::blocks(32, 4), 1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.num_vcs = 2;
+  const auto lo = run_wormhole_open(net, hypercube_router(5),
+                                    uniform_traffic(32), 0.01, 500, cfg);
+  const auto hi = run_wormhole_open(net, hypercube_router(5),
+                                    uniform_traffic(32), 0.15, 500, cfg);
+  EXPECT_GT(hi.avg_latency_cycles, lo.avg_latency_cycles);
+}
+
+TEST(WormholeOpen, SuperIpgUnderUnitChipBeatsHypercubeAtEqualLoad) {
+  const auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  auto hnet = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                           hsn->nucleus_clustering(), 1.0);
+  auto qnet = mcmp::make_unit_chip_network(
+      hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
+  WormholeConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.num_vcs = 4;
+  const auto h = run_wormhole_open(
+      hnet, super_ipg_router(*hsn), uniform_traffic(64), 0.05, 400, cfg,
+      super_ipg_vc_classes(hsn->num_nucleus_generators()));
+  const auto q = run_wormhole_open(qnet, hypercube_router(6),
+                                   uniform_traffic(64), 0.05, 400, cfg);
+  EXPECT_LT(h.avg_latency_cycles, q.avg_latency_cycles);
+}
+
+}  // namespace
+}  // namespace ipg::sim

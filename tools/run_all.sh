@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite, every experiment binary, and every
+# example, teeing outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+
+ctest --test-dir build 2>&1 | tee results/ctest.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" 2>&1 | tee "results/$name.txt"
+done
+
+for e in build/examples/*; do
+  [ -x "$e" ] || continue
+  name=$(basename "$e")
+  echo "=== example: $name ==="
+  "$e" 2>&1 | tee "results/example_$name.txt"
+done
+
+echo "All outputs under results/."
