@@ -3,11 +3,15 @@
 // permutation routing measures saturation throughput; open-loop injection
 // sweeps produce latency-vs-load curves; and the switching-technique
 // insensitivity claim is checked by running SAF vs cut-through.
+#include <array>
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <numeric>
 
 #include "mcmp/capacity.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "sim/wormhole.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
@@ -78,21 +82,16 @@ int main() {
             "avg latency", "avg off-chip hops", "max off-chip util"});
   SimConfig cfg;
   cfg.packet_length_flits = 16;
+  std::vector<std::uint64_t> seeds(16);
+  std::iota(seeds.begin(), seeds.end(), std::uint64_t{1000});
   for (auto& net : nets) {
-    double makespan = 0, throughput = 0, latency = 0, hops = 0, util_sum = 0;
-    const int reps = 16;
-    for (int rep = 0; rep < reps; ++rep) {
-      util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(rep));
-      const auto perm = random_permutation(net.network.num_nodes(), rng);
-      const auto r = run_batch(net.network, net.router, perm, cfg);
-      makespan += r.makespan_cycles;
-      throughput += r.throughput_flits_per_node_cycle;
-      latency += r.avg_latency_cycles;
-      hops += r.avg_offchip_hops;
-      util_sum += r.max_offchip_utilization;
-    }
-    t.add(net.name, makespan / reps, throughput / reps, latency / reps,
-          hops / reps, util_sum / reps);
+    const auto outcomes =
+        run_sweep(batch_replicate_sweep(net.network, net.router, seeds, cfg));
+    t.add(net.name, mean_of(outcomes, &SimResult::makespan_cycles),
+          mean_of(outcomes, &SimResult::throughput_flits_per_node_cycle),
+          mean_of(outcomes, &SimResult::avg_latency_cycles),
+          mean_of(outcomes, &SimResult::avg_offchip_hops),
+          mean_of(outcomes, &SimResult::max_offchip_utilization));
   }
   t.print(std::cout);
 
@@ -101,22 +100,21 @@ int main() {
   util::Table t2;
   t2.header({"network", "SAF", "VCT", "wormhole (flit-level)",
              "(throughput, flits/node/cyc)"});
+  constexpr std::array<Switching, 2> kModes{Switching::kStoreAndForward,
+                                            Switching::kVirtualCutThrough};
   for (auto& net : nets) {
     double saf = 0, vct = 0, worm = 0;
     for (int rep = 0; rep < 4; ++rep) {
       util::Xoshiro256 rng(77 + static_cast<std::uint64_t>(rep));
       const auto perm = random_permutation(net.network.num_nodes(), rng);
-      SimConfig a = cfg;
-      const auto ra = run_batch(net.network, net.router, perm, a);
-      SimConfig b = cfg;
-      b.switching = Switching::kVirtualCutThrough;
-      const auto rb = run_batch(net.network, net.router, perm, b);
+      const auto modes =
+          run_sweep(switching_sweep(net.network, net.router, perm, kModes, cfg));
       WormholeConfig wc;
       wc.packet_length_flits = static_cast<std::size_t>(cfg.packet_length_flits);
       const auto rw =
           run_wormhole_batch(net.network, net.router, perm, wc, net.vc_classes);
-      saf += ra.throughput_flits_per_node_cycle;
-      vct += rb.throughput_flits_per_node_cycle;
+      saf += modes[0].result.throughput_flits_per_node_cycle;
+      vct += modes[1].result.throughput_flits_per_node_cycle;
       worm += rw.throughput_flits_per_node_cycle;
     }
     t2.add(net.name, saf / 4, vct / 4, worm / 4, "");
@@ -157,20 +155,14 @@ int main() {
     util::Table tb;
     tb.header({"network", "makespan", "throughput (flits/node/cyc)",
                "avg latency", "avg off-chip hops"});
+    constexpr std::array<std::uint64_t, 4> kSeeds{31, 32, 33, 34};
     for (auto& net : big) {
-      double makespan = 0, throughput = 0, latency = 0, hops = 0;
-      const int reps = 4;
-      for (int rep = 0; rep < reps; ++rep) {
-        util::Xoshiro256 rng(31 + static_cast<std::uint64_t>(rep));
-        const auto perm = random_permutation(net.network.num_nodes(), rng);
-        const auto r = run_batch(net.network, net.router, perm, cfg);
-        makespan += r.makespan_cycles;
-        throughput += r.throughput_flits_per_node_cycle;
-        latency += r.avg_latency_cycles;
-        hops += r.avg_offchip_hops;
-      }
-      tb.add(net.name, makespan / reps, throughput / reps, latency / reps,
-             hops / reps);
+      const auto outcomes = run_sweep(
+          batch_replicate_sweep(net.network, net.router, kSeeds, cfg));
+      tb.add(net.name, mean_of(outcomes, &SimResult::makespan_cycles),
+             mean_of(outcomes, &SimResult::throughput_flits_per_node_cycle),
+             mean_of(outcomes, &SimResult::avg_latency_cycles),
+             mean_of(outcomes, &SimResult::avg_offchip_hops));
     }
     tb.print(std::cout);
   }
@@ -231,16 +223,16 @@ int main() {
   util::Table t3;
   t3.header({"network", "rate 0.02", "rate 0.05", "rate 0.10", "rate 0.20",
              "(avg latency, cycles)"});
+  constexpr std::array<double, 4> kRates{0.02, 0.05, 0.10, 0.20};
   for (auto& net : nets) {
+    SimConfig c = cfg;
+    c.packet_length_flits = 8;
+    const auto outcomes = run_sweep(
+        open_rate_sweep(net.network, net.router,
+                        uniform_traffic(net.network.num_nodes()), kRates, 600, c));
     std::vector<std::string> cells{net.name};
-    for (const double rate : {0.02, 0.05, 0.10, 0.20}) {
-      SimConfig c = cfg;
-      c.packet_length_flits = 8;
-      const auto r = run_open(net.network, net.router,
-                              uniform_traffic(net.network.num_nodes()), rate,
-                              600, c);
-      cells.push_back(util::Table::to_cell(r.avg_latency_cycles));
-    }
+    for (const SweepOutcome& o : outcomes)
+      cells.push_back(util::Table::to_cell(o.result.avg_latency_cycles));
     cells.push_back("");
     t3.row(cells);
   }

@@ -10,6 +10,7 @@
 #include "mcmp/capacity.hpp"
 #include "sim/mnb.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "util/table.hpp"
@@ -76,30 +77,40 @@ int main() {
                "throughput (flits/node/cyc)", "avg off-chip hops"});
     sim::SimConfig cfg;
     cfg.packet_length_flits = 4;
+    // The three exchanges are independent — fan them across the sweep pool.
+    struct TeNet {
+      std::string name;
+      sim::SimNetwork net;
+      sim::Router router;
+    };
+    std::vector<TeNet> nets;
     {
       const auto hsn = std::make_shared<topology::SuperIpg>(
           make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
-      auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
-                                              hsn->nucleus_clustering(), 1.0);
-      const auto r = sim::run_total_exchange(
-          net, [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }, cfg);
-      t3.add(hsn->name(), r.packets_delivered, r.makespan_cycles,
-             r.throughput_flits_per_node_cycle, r.avg_offchip_hops);
+      nets.push_back(
+          {hsn->name(),
+           mcmp::make_unit_chip_network(hsn->to_graph(),
+                                        hsn->nucleus_clustering(), 1.0),
+           [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }});
     }
-    {
-      auto net = mcmp::make_unit_chip_network(
-          hypercube_graph(6), hypercube_subcube_clustering(6, 8), 1.0);
-      const auto r = sim::run_total_exchange(net, sim::hypercube_router(6), cfg);
-      t3.add("Q6", r.packets_delivered, r.makespan_cycles,
+    nets.push_back({"Q6",
+                    mcmp::make_unit_chip_network(
+                        hypercube_graph(6), hypercube_subcube_clustering(6, 8),
+                        1.0),
+                    sim::hypercube_router(6)});
+    nets.push_back({"8-ary 2-cube",
+                    mcmp::make_unit_chip_network(kary_ncube_graph(8, 2),
+                                                 kary2_block_clustering(8, 2),
+                                                 1.0),
+                    sim::kary_router(8, 2)});
+    std::vector<sim::SweepJob> jobs;
+    for (const TeNet& n : nets)
+      jobs.push_back({n.name, [&n, cfg]() {
+                        return sim::run_total_exchange(n.net, n.router, cfg);
+                      }});
+    for (const auto& [label, r] : sim::run_sweep(jobs))
+      t3.add(label, r.packets_delivered, r.makespan_cycles,
              r.throughput_flits_per_node_cycle, r.avg_offchip_hops);
-    }
-    {
-      auto net = mcmp::make_unit_chip_network(kary_ncube_graph(8, 2),
-                                              kary2_block_clustering(8, 2), 1.0);
-      const auto r = sim::run_total_exchange(net, sim::kary_router(8, 2), cfg);
-      t3.add("8-ary 2-cube", r.packets_delivered, r.makespan_cycles,
-             r.throughput_flits_per_node_cycle, r.avg_offchip_hops);
-    }
     t3.print(std::cout);
     std::cout << "(The executed makespans follow the off-chip transmission "
                "counts — the §4.1 throughput argument, end to end.)\n";

@@ -1,0 +1,116 @@
+// Simulator hot-path benchmark: packets/sec for batch, open-loop, and
+// total-exchange runs on a fixed 512-node network (Q9, 32 chips x 16
+// nodes, unit chip capacity), plus a 16-point open-rate sweep timed at one
+// thread vs the machine pool. Emits BENCH_sim.json so CI can track the
+// perf trajectory across commits; the acceptance floor for this overhaul
+// is total exchange >= 3x the pre-arena engine.
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "topology/named.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::sim;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  std::string name;
+  std::size_t packets = 0;
+  double seconds = 0;
+  double packets_per_sec() const {
+    return static_cast<double>(packets) / seconds;
+  }
+};
+
+void emit_json(std::ostream& os, const std::vector<Measurement>& rows,
+               double sweep_1thread_s, double sweep_pool_s,
+               std::size_t pool_threads) {
+  os << "{\n  \"network\": \"Q9 (512 nodes, 32 chips x 16 nodes, unit chip "
+        "capacity)\",\n";
+  for (const Measurement& m : rows) {
+    os << "  \"" << m.name << "\": {\"packets\": " << m.packets
+       << ", \"seconds\": " << m.seconds
+       << ", \"packets_per_sec\": " << m.packets_per_sec() << "},\n";
+  }
+  os << "  \"rate_sweep_16pt\": {\"seconds_1_thread\": " << sweep_1thread_s
+     << ", \"seconds_pool\": " << sweep_pool_s
+     << ", \"pool_threads\": " << pool_threads << "}\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto net = mcmp::make_unit_chip_network(
+      topology::hypercube_graph(9),
+      topology::hypercube_subcube_clustering(9, 16), 1.0);
+  const Router router = hypercube_router(9);
+  SimConfig cfg;
+  cfg.packet_length_flits = 16;
+
+  std::vector<Measurement> rows;
+  {
+    auto t0 = Clock::now();
+    const auto r = run_total_exchange(net, router, cfg);
+    rows.push_back({"total_exchange", r.packets_delivered, seconds_since(t0)});
+  }
+  {
+    auto t0 = Clock::now();
+    const auto r =
+        run_open(net, router, uniform_traffic(net.num_nodes()), 0.1, 600, cfg);
+    rows.push_back({"open", r.packets_delivered, seconds_since(t0)});
+  }
+  {
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 1; s <= 16; ++s) seeds.push_back(s);
+    const auto jobs = batch_replicate_sweep(net, router, seeds, cfg);
+    auto t0 = Clock::now();
+    const auto outcomes = run_sweep(jobs);
+    std::size_t packets = 0;
+    for (const auto& o : outcomes) packets += o.result.packets_delivered;
+    rows.push_back({"batch", packets, seconds_since(t0)});
+  }
+
+  // 16-point open-rate sweep: single worker vs the machine pool. Per-point
+  // results are seed-deterministic, so only the wall clock may differ.
+  std::vector<double> rates;
+  for (int i = 1; i <= 16; ++i) rates.push_back(0.01 * i);
+  SimConfig open_cfg = cfg;
+  open_cfg.packet_length_flits = 8;
+  const auto jobs = open_rate_sweep(net, router, uniform_traffic(net.num_nodes()),
+                                    rates, 200, open_cfg);
+  util::ThreadPool one(1);
+  auto t1 = Clock::now();
+  const auto serial = run_sweep(jobs, one);
+  const double sweep_1thread_s = seconds_since(t1);
+  auto t2 = Clock::now();
+  const auto pooled = run_sweep(jobs);
+  const double sweep_pool_s = seconds_since(t2);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].result.avg_latency_cycles !=
+        pooled[i].result.avg_latency_cycles) {
+      std::cerr << "FAIL: sweep point " << serial[i].label
+                << " differs across thread counts\n";
+      return 1;
+    }
+  }
+
+  const std::size_t pool_threads = util::ThreadPool::global().size();
+  emit_json(std::cout, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
+  std::ofstream out("BENCH_sim.json");
+  emit_json(out, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
+  return 0;
+}

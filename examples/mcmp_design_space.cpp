@@ -3,12 +3,15 @@
 // together? Sweeps families and chip sizes, reporting the §4 decision
 // metrics (pins, off-chip link width, intercluster distance, bisection
 // bandwidth) plus simulated random-routing throughput.
+#include <array>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 
 #include "mcmp/capacity.hpp"
 #include "metrics/distances.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "util/table.hpp"
@@ -21,16 +24,13 @@ using namespace ipg::topology;
 double simulate_throughput(const Graph& g, const Clustering& chips,
                            const sim::Router& router) {
   auto net = mcmp::make_unit_chip_network(Graph(g), Clustering(chips), 1.0);
-  double total = 0;
-  const int reps = 4;
   sim::SimConfig cfg;
   cfg.packet_length_flits = 16;
-  for (int rep = 0; rep < reps; ++rep) {
-    util::Xoshiro256 rng(501 + static_cast<std::uint64_t>(rep));
-    const auto perm = sim::random_permutation(net.num_nodes(), rng);
-    total += sim::run_batch(net, router, perm, cfg).throughput_flits_per_node_cycle;
-  }
-  return total / reps;
+  constexpr std::array<std::uint64_t, 4> kSeeds{501, 502, 503, 504};
+  const auto outcomes =
+      sim::run_sweep(sim::batch_replicate_sweep(net, router, kSeeds, cfg));
+  return sim::mean_of(outcomes,
+                      &sim::SimResult::throughput_flits_per_node_cycle);
 }
 
 }  // namespace

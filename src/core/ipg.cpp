@@ -39,6 +39,12 @@ Ipg build_ipg(const Label& seed, std::vector<Permutation> generators,
 
   Ipg ipg;
   ipg.generators = std::move(generators);
+  // Reserve with the caller's size hint so the closure loop neither rehashes
+  // nor reallocates; cap it so a "no limit" sentinel doesn't pre-allocate
+  // gigabytes (orbits past 64k nodes grow incrementally, which is fine).
+  const std::size_t hint = std::min(max_nodes, std::size_t{1} << 16);
+  ipg.labels.reserve(hint);
+  ipg.index.reserve(hint);
   ipg.labels.push_back(seed);
   ipg.index.emplace(seed, NodeId{0});
 

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <string>
@@ -89,14 +90,21 @@ class Label {
     return std::equal(a.begin(), a.end(), b.begin());
   }
 
-  /// FNV-1a over the symbol bytes; labels are short, so this is fast and
-  /// collision behaviour is irrelevant at these sizes.
+  /// FNV-1a over 8-byte words of the inline array. Every constructor
+  /// zero-initializes data_ and nothing mutates it past size_, so the
+  /// padding bytes are identical for equal labels and whole-word hashing
+  /// agrees with operator==. The generic-engine BFS closure is dominated
+  /// by this function; one multiply per 8 symbols beats byte-at-a-time.
   std::size_t hash() const noexcept {
     std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < size_; ++i) {
-      h = (h ^ data_[i]) * 0x100000001b3ull;
+    const std::size_t words = (size_ + 7) / 8;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, data_.data() + w * 8, 8);
+      h = (h ^ chunk) * 0x100000001b3ull;
     }
     h ^= size_;
+    h ^= h >> 32;  // the multiply mixes upward; fold the entropy back down
     return static_cast<std::size_t>(h);
   }
 

@@ -42,20 +42,24 @@ std::vector<std::uint32_t> intercluster_distances(const Graph& g,
   IPG_CHECK(src < g.num_nodes(), "BFS source out of range");
   IPG_CHECK(c.num_nodes() == g.num_nodes(), "clustering does not match graph");
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
-  std::deque<NodeId> dq{src};
+  // 0-1 BFS. A node can be re-queued after its distance improves; entries
+  // carry the distance at push time so stale ones are dropped instead of
+  // re-expanding the node (dense on-chip subgraphs re-queue aggressively).
+  std::deque<std::pair<NodeId, std::uint32_t>> dq{{src, 0}};
   dist[src] = 0;
   while (!dq.empty()) {
-    const NodeId v = dq.front();
+    const auto [v, dv] = dq.front();
     dq.pop_front();
+    if (dv != dist[v]) continue;
     for (const auto& arc : g.arcs_of(v)) {
       const std::uint32_t w = c.is_intercluster(v, arc.to) ? 1u : 0u;
       const std::uint32_t nd = dist[v] + w;
       if (nd < dist[arc.to]) {
         dist[arc.to] = nd;
         if (w == 0) {
-          dq.push_front(arc.to);
+          dq.emplace_front(arc.to, nd);
         } else {
-          dq.push_back(arc.to);
+          dq.emplace_back(arc.to, nd);
         }
       }
     }

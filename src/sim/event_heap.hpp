@@ -1,0 +1,398 @@
+#pragma once
+// Event queue for the flow-level simulator: an indexed 4-ary min-heap
+// fronted by monotone radix buckets.
+//
+// Two observations shape the design. First, the engine needs a *total*
+// order on events — ties in time broken by a global sequence number
+// assigned at push time — so that every simulation's service order (and
+// therefore every SimResult field) is a pure function of its inputs; the
+// engine-equivalence and sweep-determinism tests rely on this. Second,
+// event pops are monotone in time (a handled event only schedules events
+// at or after its own timestamp), which admits a radix layout far cheaper
+// than a comparison heap over the full event population.
+//
+// Events carry their time as the raw IEEE-754 bit pattern (order-preserving
+// for the simulator's non-negative times). EventQueue keeps a small "band"
+// of soonest events in an indexed 4-ary min-heap (EventHeap: flat array,
+// implicit 4-ary indexing, half the depth of the binary std::priority_queue)
+// and parks everything else in 64 radix buckets addressed by the highest
+// bit in which an event's key differs from the last popped key. When the
+// band drains, the lowest nonempty bucket is either adopted wholesale as
+// the new band (small buckets) or split by a classic radix redistribution
+// (large ones). Each event moves through O(1) buckets amortized, so pushes
+// and pops cost a few cache lines instead of log2(N) comparisons over a
+// quarter-million-event heap — the situation a 512-node total exchange
+// puts the old std::priority_queue in.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+struct Event {
+  static constexpr std::uint32_t kFreeBufferBit = 0x80000000u;
+
+  std::uint64_t key;      ///< bit pattern of the (non-negative) time
+  std::uint32_t seq;      ///< global tie-break: lower = scheduled earlier
+  std::uint32_t id_kind;  ///< packet/node id; top bit set = free-buffer
+
+  // In-flight packet state, carried in the event so the hot loop never
+  // touches the (cache-cold) packet array between injection and delivery.
+  // Ignored by free-buffer events and by the reference engine.
+  std::uint32_t at = 0;         ///< node the packet sits at
+  std::uint32_t cursor = 0;     ///< next port's index in the route arena
+  std::uint16_t hops_left = 0;  ///< hops still to take
+  std::uint16_t route_len = 0;  ///< total hops of the route
+
+  static std::uint64_t key_of(double time) noexcept {
+    return std::bit_cast<std::uint64_t>(time);
+  }
+  double time() const noexcept { return std::bit_cast<double>(key); }
+  std::uint32_t id() const noexcept { return id_kind & ~kFreeBufferBit; }
+  bool is_free_buffer() const noexcept { return (id_kind & kFreeBufferBit) != 0; }
+
+  /// Canonical event order: earliest time first, then FIFO by sequence.
+  friend bool operator<(const Event& a, const Event& b) noexcept {
+    return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+  }
+};
+static_assert(sizeof(Event) == 32);
+
+/// Indexed 4-ary min-heap over the canonical (time, seq) event order:
+/// events live in a flat vector indexed implicitly (children of slot i at
+/// 4i+1..4i+4), so sift paths touch one cache line per level.
+class EventHeap {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  const Event& top() const noexcept { return heap_.front(); }
+
+  void push(const Event& e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!(e < heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void pop() {
+    const Event e = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      if (!(heap_[best] < e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// Monotone event queue: radix buckets over the key bits, the 4-ary heap
+/// as the in-band priority structure. Requires pushes at or after the last
+/// popped (time, seq) — which the event loop guarantees — and in exchange
+/// pops the canonical order with amortized O(1) bucket traffic.
+class EventQueue {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(const Event& e) {
+    // Keys below the radix pivot can arise legitimately: the engine merges
+    // injections *outside* the queue, and a top() call (to compare against
+    // a pending injection) may redistribute and raise last_ past that
+    // injection's time before the injection's own pushes arrive. The heap
+    // orders such stragglers exactly and drains before any bucket, whose
+    // entries all carry keys >= last_.
+    if (e.key < last_) {
+      heap_.push(e);
+      ++size_;
+      return;
+    }
+    const std::size_t idx = bucket_index(e.key);
+    if (idx <= band_) {
+      heap_.push(e);
+    } else {
+      buckets_[idx].push_back(e);
+      mask_ |= std::uint64_t{1} << (idx - 1);
+    }
+    ++size_;
+  }
+
+  /// Minimum event; only valid when !empty().
+  const Event& top() {
+    refill();
+    return heap_.top();
+  }
+
+  void pop() {
+    refill();
+    // max: popping a sub-pivot straggler must not lower the pivot, or the
+    // frozen-bits argument for stored bucket indices would break.
+    last_ = std::max(last_, heap_.top().key);
+    heap_.pop();
+    --size_;
+  }
+
+ private:
+  /// 0 for keys equal to the last popped key, else 1 + index of the
+  /// highest differing bit (1..64).
+  std::size_t bucket_index(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(std::bit_width(key ^ last_));
+  }
+
+  void refill() {
+    if (!heap_.empty()) return;
+    IPG_DCHECK(mask_ != 0, "pop/top on an empty event queue");
+    const std::size_t j = static_cast<std::size_t>(std::countr_zero(mask_)) + 1;
+    std::vector<Event>& bucket = buckets_[j];
+    mask_ &= ~(std::uint64_t{1} << (j - 1));
+    // Small buckets become the band wholesale; the heap absorbs them and
+    // the bits of last_ above the band stay frozen, so every other
+    // bucket's index remains exact. Large buckets get the classic radix
+    // split around their minimum key, strictly lowering each entry's
+    // bucket index (amortized O(1) moves per event).
+    if (bucket.size() <= kDirectBandMax) {
+      for (const Event& e : bucket) heap_.push(e);
+      band_ = j;
+    } else {
+      std::uint64_t min_key = bucket.front().key;
+      for (const Event& e : bucket) min_key = std::min(min_key, e.key);
+      last_ = min_key;
+      band_ = 0;
+      for (const Event& e : bucket) {
+        const std::size_t idx = bucket_index(e.key);
+        if (idx == 0) {
+          heap_.push(e);
+        } else {
+          buckets_[idx].push_back(e);
+          mask_ |= std::uint64_t{1} << (idx - 1);
+        }
+      }
+    }
+    bucket.clear();
+  }
+
+  static constexpr std::size_t kDirectBandMax = 64;
+
+  EventHeap heap_;                            ///< the current band
+  std::array<std::vector<Event>, 65> buckets_;  ///< [1..64] used
+  std::uint64_t mask_ = 0;  ///< bit i-1 set iff buckets_[i] nonempty
+  std::uint64_t last_ = 0;  ///< key of the last popped event (time 0.0)
+  std::size_t band_ = 0;    ///< bucket indices <= band_ live in the heap
+  std::size_t size_ = 0;
+};
+
+/// Monotone event queue for *quantized* time: when every timing component
+/// of a run (link transfer times, flit times, link latency, injection
+/// times) is an exact multiple of a power-of-two grid 2^-k, every event
+/// time is too, and maps exactly to an integer tick. Events then sort by
+/// bucketing instead of comparisons: a ring of 64-tick epochs receives
+/// near-future events (one append each), events beyond the ring window
+/// are binned into window-quarter bands drained into the ring exactly
+/// once — when their whole band enters the window — and the current
+/// epoch is counting-sorted by tick into a flat stream whose equal-tick
+/// groups are ordered by seq. Only the rare event that lands at or
+/// before the current epoch goes through the 4-ary heap. Pops merge the
+/// flat stream, the heap, and (in the engine) the injection schedule;
+/// ties resolve by seq via the canonical Event order. Exactly the
+/// (time, seq) total order, at a handful of sequential memory touches
+/// per event.
+class TickQueue {
+ public:
+  static constexpr std::size_t kEpochTickBits = 6;  ///< 64 ticks per epoch
+  static constexpr std::size_t kRingBits = 16;      ///< epochs in the window
+  static constexpr std::size_t kRingSize = std::size_t{1} << kRingBits;
+  static constexpr std::size_t kBandBits = 14;  ///< epochs per far-future band
+  static constexpr std::uint64_t kTicksPerEpoch = std::uint64_t{1}
+                                                  << kEpochTickBits;
+
+  /// @p grid_bits: event times are multiples of 2^-grid_bits (see
+  /// quantized_grid_bits in the engine).
+  explicit TickQueue(int grid_bits)
+      : scale_(std::ldexp(1.0, grid_bits)),
+        ring_(kRingSize),
+        bitmap_(kRingSize / 64, 0) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(const Event& e) {
+    const std::uint64_t epoch = tick_of(e.key) >> kEpochTickBits;
+    // <= rather than ==: a top() call made to compare against a pending
+    // injection may adopt an epoch *beyond* that injection, whose
+    // subsequent pushes then land before cur_epoch_. The heap merges them
+    // exactly (full (key, seq) comparison against the flat stream), so
+    // stragglers still pop in canonical order.
+    if (epoch <= cur_epoch_) {
+      heap_.push(e);
+    } else if (epoch - cur_epoch_ < kRingSize) {
+      ring_insert(e, epoch);
+    } else {
+      far_[epoch >> kBandBits].push_back(e);
+    }
+    ++size_;
+  }
+
+  /// Minimum event; only valid when !empty().
+  const Event& top() {
+    if (flat_pos_ == flat_.size() && heap_.empty()) adopt_next_epoch();
+    if (flat_pos_ == flat_.size()) return heap_.top();
+    if (heap_.empty() || flat_[flat_pos_] < heap_.top()) {
+      return flat_[flat_pos_];
+    }
+    return heap_.top();
+  }
+
+  void pop() {
+    if (flat_pos_ == flat_.size() && heap_.empty()) adopt_next_epoch();
+    if (flat_pos_ < flat_.size() &&
+        (heap_.empty() || flat_[flat_pos_] < heap_.top())) {
+      ++flat_pos_;
+    } else {
+      heap_.pop();
+    }
+    --size_;
+  }
+
+ private:
+  std::uint64_t tick_of(std::uint64_t key) const noexcept {
+    // Exact: the time is m * 2^-grid_bits with m well below 2^53.
+    return static_cast<std::uint64_t>(std::bit_cast<double>(key) * scale_);
+  }
+
+  void ring_insert(const Event& e, std::uint64_t epoch) {
+    const std::size_t slot = epoch & (kRingSize - 1);
+    ring_[slot].push_back(e);
+    bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++ring_count_;
+  }
+
+  /// A band's entries all fit the ring window once the band's last epoch
+  /// is within kRingSize of cur_epoch_ (they are also all > cur_epoch_:
+  /// they were pushed >= kRingSize ahead, and adoption never advances
+  /// cur_epoch_ past an undrained band's first epoch).
+  bool band_ready(std::uint64_t band) const noexcept {
+    return ((band + 1) << kBandBits) <= cur_epoch_ + kRingSize;
+  }
+
+  void drain_ready_bands() {
+    while (!far_.empty() && band_ready(far_.begin()->first)) {
+      for (const Event& e : far_.begin()->second) {
+        const std::uint64_t epoch = tick_of(e.key) >> kEpochTickBits;
+        IPG_DCHECK(epoch > cur_epoch_, "far-band event in the past");
+        ring_insert(e, epoch);
+      }
+      far_.erase(far_.begin());
+    }
+  }
+
+  void adopt_next_epoch() {
+    std::size_t slot;
+    for (;;) {
+      drain_ready_bands();
+      if (ring_count_ == 0) {
+        IPG_DCHECK(!far_.empty(), "pop/top on an empty event queue");
+        // Nothing within the window: step to just before the earliest
+        // band, which the next iteration drains (a pending band starts
+        // > cur_epoch_ + kRingSize - kBandSize, so this moves forward).
+        cur_epoch_ = (far_.begin()->first << kBandBits) - 1;
+        continue;
+      }
+      // Next nonempty epoch: scan the ring bitmap from cur_epoch_ + 1,
+      // wrapping once (all live epochs are within kRingSize of
+      // cur_epoch_, so ring slots are unambiguous).
+      const std::size_t start = (cur_epoch_ + 1) & (kRingSize - 1);
+      std::size_t w = start >> 6;
+      std::uint64_t bits = bitmap_[w] & (~std::uint64_t{0} << (start & 63));
+      while (bits == 0) {
+        w = (w + 1) & (bitmap_.size() - 1);
+        bits = bitmap_[w];
+      }
+      slot = (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      const std::uint64_t epoch =
+          cur_epoch_ + 1 + ((slot - start) & (kRingSize - 1));
+      if (!far_.empty() && epoch >= (far_.begin()->first << kBandBits)) {
+        // The next ring event sits past an undrained band: advance only
+        // to the band boundary and drain it before deciding.
+        cur_epoch_ = (far_.begin()->first << kBandBits) - 1;
+        continue;
+      }
+      cur_epoch_ = epoch;
+      bitmap_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      break;
+    }
+
+    // Counting sort by tick-within-epoch. Insertion order is *usually*
+    // sequence order (pushes draw monotone seqs), but band-drained far
+    // events enter a slot after directly-pushed events with larger seqs,
+    // so each equal-tick group is explicitly sorted by seq afterwards.
+    // Same tick means same key (the grid makes tick <-> time bijective),
+    // so the flat stream comes out exactly (key, seq)-sorted.
+    std::vector<Event>& bucket = ring_[slot];
+    std::array<std::uint32_t, kTicksPerEpoch> offsets{};
+    for (const Event& e : bucket) ++offsets[tick_of(e.key) & (kTicksPerEpoch - 1)];
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : offsets) {
+      const std::uint32_t count = c;
+      c = sum;
+      sum += count;
+    }
+    flat_.resize(bucket.size());
+    for (const Event& e : bucket) {
+      flat_[offsets[tick_of(e.key) & (kTicksPerEpoch - 1)]++] = e;
+    }
+    std::uint32_t begin = 0;
+    for (const std::uint32_t end : offsets) {
+      if (end - begin > 1 &&
+          !std::is_sorted(flat_.begin() + begin, flat_.begin() + end,
+                          [](const Event& a, const Event& b) { return a.seq < b.seq; })) {
+        std::sort(flat_.begin() + begin, flat_.begin() + end,
+                  [](const Event& a, const Event& b) { return a.seq < b.seq; });
+      }
+      begin = end;
+    }
+    flat_pos_ = 0;
+    ring_count_ -= bucket.size();
+    bucket.clear();
+  }
+
+  double scale_;                     ///< 2^grid_bits (time -> tick)
+  EventHeap heap_;                   ///< events landing in the current epoch
+  std::vector<Event> flat_;          ///< current epoch, (time, seq)-sorted
+  std::size_t flat_pos_ = 0;
+  std::vector<std::vector<Event>> ring_;  ///< future epochs, by epoch % size
+  std::vector<std::uint64_t> bitmap_;     ///< nonempty ring slots
+  std::size_t ring_count_ = 0;            ///< events across all ring slots
+  std::map<std::uint64_t, std::vector<Event>> far_;  ///< beyond the window,
+                                                     ///< by epoch >> kBandBits
+  std::uint64_t cur_epoch_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipg::sim

@@ -42,6 +42,28 @@ SimNetwork::SimNetwork(Graph graph, Clustering chips,
       offchip_.push_back(true);
     }
   }
+
+  build_dim_port_table();
+}
+
+void SimNetwork::build_dim_port_table() {
+  std::size_t max_dim = 0;
+  bool any = false;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (const Arc& a : graph_.arcs_of(v)) {
+      max_dim = std::max<std::size_t>(max_dim, a.dim);
+      any = true;
+    }
+  }
+  num_dims_ = any ? max_dim + 1 : 0;
+  dim_port_.assign(graph_.num_nodes() * num_dims_, -1);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    const auto arcs = graph_.arcs_of(v);
+    for (std::size_t p = 0; p < arcs.size(); ++p) {
+      std::int32_t& slot = dim_port_[v * num_dims_ + arcs[p].dim];
+      if (slot < 0) slot = static_cast<std::int32_t>(p);  // first match wins
+    }
+  }
 }
 
 SimNetwork SimNetwork::with_uniform_bandwidth(Graph graph, Clustering chips,
@@ -66,25 +88,28 @@ SimNetwork SimNetwork::with_bandwidths(Graph graph, Clustering chips,
 }
 
 std::size_t SimNetwork::port_for_dim(NodeId v, std::size_t dim) const {
-  const auto arcs = graph_.arcs_of(v);
-  for (std::size_t p = 0; p < arcs.size(); ++p) {
-    if (arcs[p].dim == dim) return p;
-  }
-  IPG_CHECK(false, "node has no link with the requested dimension label");
-  return 0;
+  const std::int32_t p =
+      dim < num_dims_ ? dim_port_[v * num_dims_ + dim] : -1;
+  IPG_CHECK(p >= 0, "node has no link with the requested dimension label");
+  return static_cast<std::size_t>(p);
 }
 
 std::vector<std::uint16_t> SimNetwork::ports_from_dims(
     NodeId src, const std::vector<std::size_t>& dims) const {
   std::vector<std::uint16_t> ports;
   ports.reserve(dims.size());
+  append_route(src, dims, ports);
+  return ports;
+}
+
+void SimNetwork::append_route(NodeId src, const std::vector<std::size_t>& dims,
+                              std::vector<std::uint16_t>& out) const {
   NodeId cur = src;
   for (const std::size_t d : dims) {
     const std::size_t p = port_for_dim(cur, d);
-    ports.push_back(static_cast<std::uint16_t>(p));
+    out.push_back(static_cast<std::uint16_t>(p));
     cur = arc(cur, p).to;
   }
-  return ports;
 }
 
 }  // namespace ipg::sim

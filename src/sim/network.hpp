@@ -51,6 +51,9 @@ class SimNetwork {
   LinkId link_of(NodeId v, std::size_t port) const noexcept {
     return first_link_[v] + port;
   }
+  /// Per-node offsets into the link/arc array (num_nodes entries); the
+  /// engines index it directly in their hot loops.
+  const std::size_t* first_links() const noexcept { return first_link_.data(); }
   const Arc& arc(NodeId v, std::size_t port) const noexcept {
     return graph_.arcs_of(v)[port];
   }
@@ -59,18 +62,31 @@ class SimNetwork {
   bool is_offchip(LinkId link) const noexcept { return offchip_[link]; }
 
   /// Port of @p v whose arc has dimension label @p dim; throws if absent.
+  /// O(1) via the dense (node, dim) -> port table built at construction.
   std::size_t port_for_dim(NodeId v, std::size_t dim) const;
+
+  /// Number of distinct dimension labels (max label + 1).
+  std::size_t num_dims() const noexcept { return num_dims_; }
 
   /// Converts a dimension word (generator indices) into a port route.
   std::vector<std::uint16_t> ports_from_dims(NodeId src,
                                              const std::vector<std::size_t>& dims) const;
 
+  /// Allocation-free variant: appends the port route for @p dims starting
+  /// at @p src onto @p out (the RouteArena hot path).
+  void append_route(NodeId src, const std::vector<std::size_t>& dims,
+                    std::vector<std::uint16_t>& out) const;
+
  private:
+  void build_dim_port_table();
+
   Graph graph_;
   Clustering chips_;
   std::vector<std::size_t> first_link_;  ///< per node, offset into arc array
   std::vector<double> bandwidth_;        ///< per directed link
   std::vector<bool> offchip_;
+  std::vector<std::int32_t> dim_port_;   ///< (v * num_dims_ + dim) -> port, -1 if absent
+  std::size_t num_dims_ = 0;
 };
 
 }  // namespace ipg::sim

@@ -1,0 +1,30 @@
+#include "sim/route_arena.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+RouteRef RouteArena::get(NodeId src, NodeId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  const auto [it, inserted] = memo_.try_emplace(key);
+  if (!inserted) return it->second;
+  return it->second = append(src, dst);
+}
+
+RouteRef RouteArena::append(NodeId src, NodeId dst) {
+  const std::vector<std::size_t> dims = route_(src, dst);
+  IPG_CHECK(dims.size() <= std::numeric_limits<std::uint16_t>::max(),
+            "route longer than 65535 hops");
+  IPG_CHECK(ports_.size() + dims.size() <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "route arena exceeds 2^32 hops");
+  RouteRef ref;
+  ref.offset = static_cast<std::uint32_t>(ports_.size());
+  ref.length = static_cast<std::uint16_t>(dims.size());
+  net_.append_route(src, dims, ports_);
+  return ref;
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Flat route storage with per-(src, dst) memoization.
+//
+// The seed engine gave every packet its own std::vector<uint16_t> source
+// route — two heap allocations per packet (the router's dimension word plus
+// the port vector), N(N-1) times for a total exchange. The arena replaces
+// that with one shared, append-only port buffer: a packet carries a 6-byte
+// (offset, length) reference, and each distinct (src, dst) pair is routed
+// exactly once per run no matter how many packets travel it (open-loop runs
+// revisit pairs constantly). One arena serves one simulation run, so there
+// is no cross-run invalidation problem and no locking: concurrent sweep
+// jobs each build their own.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/routers.hpp"
+
+namespace ipg::sim {
+
+/// Reference into a RouteArena's port buffer.
+struct RouteRef {
+  std::uint32_t offset = 0;
+  std::uint16_t length = 0;
+};
+
+class RouteArena {
+ public:
+  /// @p net and @p route must outlive the arena.
+  RouteArena(const SimNetwork& net, const Router& route)
+      : net_(net), route_(route) {}
+
+  void reserve(std::size_t routes, std::size_t total_hops) {
+    memo_.reserve(routes);
+    ports_.reserve(total_hops);
+  }
+
+  /// The route for (src, dst), computing and storing it on first request.
+  RouteRef get(NodeId src, NodeId dst);
+
+  /// Unmemoized variant: always routes and appends. For callers that visit
+  /// each (src, dst) pair at most once — a total exchange walks all N(N-1)
+  /// distinct pairs, so the memo's hash insert per pair is pure overhead.
+  RouteRef append(NodeId src, NodeId dst);
+
+  std::span<const std::uint16_t> ports(RouteRef r) const noexcept {
+    return {ports_.data() + r.offset, r.length};
+  }
+  /// Base pointer for offset-indexed access in the engine hot loop. Only
+  /// valid until the next get() (the buffer may reallocate).
+  const std::uint16_t* data() const noexcept { return ports_.data(); }
+
+  std::size_t num_routes() const noexcept { return memo_.size(); }
+  std::size_t num_hops_stored() const noexcept { return ports_.size(); }
+
+ private:
+  const SimNetwork& net_;
+  const Router& route_;
+  std::vector<std::uint16_t> ports_;
+  std::unordered_map<std::uint64_t, RouteRef> memo_;
+};
+
+}  // namespace ipg::sim

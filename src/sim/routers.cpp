@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "util/check.hpp"
@@ -100,6 +101,26 @@ Router table_router(std::shared_ptr<const Graph> graph) {
       cur = graph->neighbor(cur, d);
     }
     return dims;
+  };
+}
+
+Router cached_router(Router inner) {
+  IPG_CHECK(inner != nullptr, "cached_router needs a router");
+  struct Cache {
+    std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> dims;
+  };
+  auto cache = std::make_shared<Cache>();
+  return [inner = std::move(inner), cache](NodeId src, NodeId dst) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+    {
+      std::shared_lock lock(cache->mutex);
+      const auto it = cache->dims.find(key);
+      if (it != cache->dims.end()) return it->second;
+    }
+    std::vector<std::size_t> dims = inner(src, dst);
+    std::unique_lock lock(cache->mutex);
+    return cache->dims.try_emplace(key, std::move(dims)).first->second;
   };
 }
 

@@ -33,4 +33,12 @@ Router super_ipg_router(const topology::SuperIpg& ipg);
 /// cached; intended for small graphs (memory O(N) per distinct dst).
 Router table_router(std::shared_ptr<const topology::Graph> graph);
 
+/// Wraps @p inner with a shared per-(src, dst) memo of dimension words:
+/// each pair is routed once for the lifetime of the cache, however many
+/// runs or sweep points reuse the router. Thread-safe; copies of the
+/// returned Router share the cache. Within a single run the simulator's
+/// route arena already memoizes per pair — this wrapper adds reuse *across*
+/// runs (seed replicates, switching panels, rate sweeps).
+Router cached_router(Router inner);
+
 }  // namespace ipg::sim

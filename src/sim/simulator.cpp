@@ -1,29 +1,19 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
 #include <queue>
 
+#include "sim/event_heap.hpp"
+#include "sim/route_arena.hpp"
 #include "util/check.hpp"
 
 namespace ipg::sim {
 
 namespace {
-
-struct Packet {
-  NodeId src, dst;
-  double inject_time;
-  std::vector<std::uint16_t> ports;  ///< source route
-  std::size_t next_hop = 0;
-  NodeId at;  ///< current node
-};
-
-struct Event {
-  enum class Kind : std::uint8_t { kReady, kFreeBuffer };
-  double time;
-  std::uint32_t id;  ///< packet (kReady) or node (kFreeBuffer)
-  Kind kind;
-  bool operator>(const Event& o) const noexcept { return time > o.time; }
-};
 
 struct EngineStats {
   double last_delivery = 0;
@@ -35,15 +25,118 @@ struct EngineStats {
   std::size_t offchip_hops = 0;
 };
 
-/// Core event loop: packets are "ready at node" events; serving a hop
-/// reserves the link FIFO (busy-until time) in global time order.
-EngineStats run_engine(const SimNetwork& net, std::vector<Packet>& packets,
-                       const SimConfig& cfg, std::vector<double>& link_busy_until,
-                       std::vector<double>& link_busy_time) {
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  for (std::uint32_t i = 0; i < packets.size(); ++i) {
-    events.push({packets[i].inject_time, i, Event::Kind::kReady});
+void record_delivery(EngineStats& stats, double time, double inject_time) {
+  const double latency = time - inject_time;
+  stats.latency_sum += latency;
+  stats.latency_max = std::max(stats.latency_max, latency);
+  stats.latencies.push_back(latency);
+  stats.last_delivery = std::max(stats.last_delivery, time);
+  ++stats.delivered;
+}
+
+// ---------------------------------------------------------------------------
+// Arena engine (Engine::kArena): compact packets referencing the shared
+// route arena, radix-banded 4-ary event queue, injections streamed from a
+// sorted schedule so the queue only ever holds in-flight events.
+// ---------------------------------------------------------------------------
+
+/// Per-packet backing store. The hot loop reads it only at injection, at
+/// delivery (inject_time), and on the bounded-buffer blocked path — while a
+/// packet is in flight its state travels inside its Event.
+struct FlatPacket {
+  NodeId at;                ///< current node (stale while in flight)
+  std::uint32_t cursor;     ///< next port's index in the route arena
+  std::uint16_t hops_left;
+  std::uint16_t route_len;
+  double inject_time;
+};
+
+/// Per-link state of one run, consolidated so a hop touches one cache line
+/// and pays no divisions: transfer and inv_bandwidth are precomputed from
+/// the same operands the reference engine divides per event, so the times
+/// stay bit-identical.
+struct LinkHot {
+  double busy_until = 0;
+  double busy_time = 0;
+  double transfer;       ///< packet_length / bandwidth
+  double inv_bandwidth;  ///< one flit time (cut-through head)
+  NodeId to;             ///< downstream node
+  std::uint32_t offchip;
+};
+
+std::vector<LinkHot> make_link_table(const SimNetwork& net,
+                                     const SimConfig& cfg) {
+  std::vector<LinkHot> links(net.num_links());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const auto arcs = net.graph().arcs_of(v);
+    for (std::size_t port = 0; port < arcs.size(); ++port) {
+      LinkHot& l = links[net.link_of(v, port)];
+      const LinkId id = net.link_of(v, port);
+      l.transfer = cfg.packet_length_flits / net.bandwidth(id);
+      l.inv_bandwidth = 1.0 / net.bandwidth(id);
+      l.to = arcs[port].to;
+      l.offchip = net.is_offchip(id) ? 1 : 0;
+    }
   }
+  return links;
+}
+
+/// Smallest k <= 12 such that every timing component of the run is an
+/// integer multiple of 2^-k, or -1 if there is none (odd bandwidths like 3
+/// flits/cycle give non-terminating binary transfer times). When k exists,
+/// every event time the engine can compute is a multiple of 2^-k too (they
+/// are sums and maxes of the components), and TickQueue applies.
+int quantized_grid_bits(const std::vector<LinkHot>& links, double latency,
+                        const std::vector<FlatPacket>& packets) {
+  int bits = 0;
+  const auto fold = [&bits](double v) {
+    if (bits < 0) return;
+    if (!std::isfinite(v) || v < 0) {
+      bits = -1;
+      return;
+    }
+    for (int k = bits; k <= 12; ++k) {
+      const double scaled = std::ldexp(v, k);
+      if (scaled == std::floor(scaled) && scaled < 9.0e15) {
+        bits = k;
+        return;
+      }
+    }
+    bits = -1;
+  };
+  fold(latency);
+  for (const LinkHot& l : links) {
+    fold(l.transfer);
+    fold(l.inv_bandwidth);
+    if (bits < 0) return bits;
+  }
+  for (const FlatPacket& p : packets) {
+    fold(p.inject_time);
+    if (bits < 0) return bits;
+  }
+  return bits;
+}
+
+/// Core event loop, shared by both arena queues. @p order lists packet ids
+/// sorted by (inject_time, id); pending injections take part in the
+/// canonical (time, seq) event order with seq = packet id — matching the
+/// reference engine, which pushes all injections upfront with exactly
+/// those sequence numbers.
+template <typename Queue>
+EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
+                           std::vector<FlatPacket>& packets,
+                           const std::vector<std::uint32_t>& order,
+                           const std::uint16_t* route_ports,
+                           std::vector<LinkHot>& links, const SimConfig& cfg,
+                           std::vector<double>& link_busy_until,
+                           std::vector<double>& link_busy_time) {
+  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
+  const auto take_seq = [&next_seq] {
+    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
+              "event sequence overflow");
+    return next_seq++;
+  };
+  std::size_t next_inject = 0;
 
   // Bounded-buffer backpressure state (cfg.node_buffer_packets > 0).
   const std::size_t cap = cfg.node_buffer_packets;
@@ -54,32 +147,228 @@ EngineStats run_engine(const SimNetwork& net, std::vector<Packet>& packets,
     waiting.assign(net.num_nodes(), {});
   }
 
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward =
+      cfg.switching == Switching::kStoreAndForward;
+
   EngineStats stats;
-  const double len = cfg.packet_length_flits;
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    if (ev.kind == Event::Kind::kFreeBuffer) {
-      const NodeId node = ev.id;
+  stats.latencies.reserve(packets.size());
+  for (;;) {
+    Event ev;
+    if (next_inject < order.size()) {
+      const std::uint32_t pid = order[next_inject];
+      const FlatPacket& p = packets[pid];
+      const Event inject{Event::key_of(p.inject_time), pid,       pid,
+                         p.at,                         p.cursor,  p.hops_left,
+                         p.route_len};
+      if (events.empty() || inject < events.top()) {
+        ev = inject;
+        ++next_inject;
+      } else {
+        ev = events.top();
+        events.pop();
+      }
+    } else if (!events.empty()) {
+      ev = events.top();
+      events.pop();
+    } else {
+      break;
+    }
+
+    const double now = ev.time();
+    if (ev.is_free_buffer()) {
+      const NodeId node = ev.id();
       --occupancy[node];
       if (!waiting[node].empty()) {
         const std::uint32_t pid = waiting[node].front();
         waiting[node].pop_front();
-        events.push({ev.time, pid, Event::Kind::kReady});
+        const FlatPacket& p = packets[pid];
+        events.push({ev.key, take_seq(), pid, p.at, p.cursor, p.hops_left,
+                     p.route_len});
       }
       continue;
     }
-    Packet& p = packets[ev.id];
-    if (p.next_hop == p.ports.size()) {
+    if (ev.hops_left == 0) {
       // Delivered. For cut-through the tail may still be in flight; the
       // ready event time already accounts for the last link's tail arrival
-      // (see below: delivery events are pushed at tail time).
-      const double latency = ev.time - p.inject_time;
-      stats.latency_sum += latency;
-      stats.latency_max = std::max(stats.latency_max, latency);
-      stats.latencies.push_back(latency);
-      stats.last_delivery = std::max(stats.last_delivery, ev.time);
-      ++stats.delivered;
+      // (delivery events are pushed at tail time below).
+      record_delivery(stats, now, packets[ev.id()].inject_time);
+      continue;
+    }
+    const std::uint16_t port = route_ports[ev.cursor];
+    LinkHot& link = links[first_link[ev.at] + port];
+    const NodeId to = link.to;
+    const bool last_hop = ev.hops_left == 1;
+
+    if (cap > 0 && !last_hop) {
+      // Intermediate node: need buffer space downstream (ejection at the
+      // destination is always possible).
+      if (occupancy[to] >= cap) {
+        FlatPacket& p = packets[ev.id()];
+        p.at = ev.at;
+        p.cursor = ev.cursor;
+        p.hops_left = ev.hops_left;
+        waiting[to].push_back(ev.id());
+        continue;
+      }
+      ++occupancy[to];
+    }
+
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    // The packet's tail leaves the upstream node at start + transfer,
+    // freeing the buffer slot it held there (if it was an intermediate).
+    if (cap > 0 && ev.hops_left < ev.route_len) {
+      events.push({Event::key_of(tail_departure), take_seq(),
+                   ev.at | Event::kFreeBufferBit});
+    }
+
+    ++stats.hops;
+    stats.offchip_hops += link.offchip;
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      // Cut-through: the head is available after one flit time + latency;
+      // final delivery still waits for the tail.
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    events.push({Event::key_of(ready_next), take_seq(), ev.id(), to,
+                 ev.cursor + 1,
+                 static_cast<std::uint16_t>(ev.hops_left - 1), ev.route_len});
+  }
+  for (LinkId l = 0; l < links.size(); ++l) {
+    link_busy_until[l] = links[l].busy_until;
+    link_busy_time[l] = links[l].busy_time;
+  }
+  IPG_CHECK(stats.delivered == packets.size(),
+            "simulation ended with undelivered packets — routing deadlock "
+            "under bounded buffers");
+  return stats;
+}
+
+/// Arena engine entry point: picks the tick calendar when the run's timing
+/// quantizes to a power-of-two grid (every stock network and test config
+/// does), the radix-banded queue otherwise. Both pop the same canonical
+/// (time, seq) order, so the choice never changes results.
+EngineStats run_engine_arena(const SimNetwork& net,
+                             std::vector<FlatPacket>& packets,
+                             const std::vector<std::uint32_t>& order,
+                             const std::uint16_t* route_ports,
+                             const SimConfig& cfg,
+                             std::vector<double>& link_busy_until,
+                             std::vector<double>& link_busy_time) {
+  IPG_CHECK(packets.size() < Event::kFreeBufferBit &&
+                net.num_nodes() < Event::kFreeBufferBit,
+            "packet/node ids must fit in 31 bits");
+  std::vector<LinkHot> links = make_link_table(net, cfg);
+  const int grid_bits = quantized_grid_bits(links, cfg.link_latency_cycles,
+                                            packets);
+  if (grid_bits >= 0) {
+    TickQueue events(grid_bits);
+    return run_arena_loop(events, net, packets, order, route_ports, links,
+                          cfg, link_busy_until, link_busy_time);
+  }
+  EventQueue events;
+  return run_arena_loop(events, net, packets, order, route_ports, links, cfg,
+                        link_busy_until, link_busy_time);
+}
+
+/// Injection schedule: packet ids ordered by (inject_time, id). Stable sort
+/// keeps generation order among equal-time injections, matching the
+/// reference engine's upfront push order.
+std::vector<std::uint32_t> injection_order(
+    const std::vector<FlatPacket>& packets) {
+  std::vector<std::uint32_t> order(packets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const bool sorted = std::is_sorted(
+      packets.begin(), packets.end(), [](const FlatPacket& a, const FlatPacket& b) {
+        return a.inject_time < b.inject_time;
+      });
+  if (!sorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&packets](std::uint32_t a, std::uint32_t b) {
+                       return packets[a].inject_time < packets[b].inject_time;
+                     });
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine (Engine::kReference): the pre-overhaul data plane — one
+// heap-allocated route vector per packet, std::priority_queue, all events
+// pushed upfront. Kept as the oracle for the equivalence tests; shares the
+// canonical (time, seq) event order with the arena engine.
+// ---------------------------------------------------------------------------
+
+struct RefPacket {
+  NodeId src, dst;
+  double inject_time;
+  std::vector<std::uint16_t> ports;  ///< source route
+  std::size_t next_hop = 0;
+  NodeId at;  ///< current node
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return b < a;
+  }
+};
+
+EngineStats run_engine_reference(const SimNetwork& net,
+                                 std::vector<RefPacket>& packets,
+                                 const SimConfig& cfg,
+                                 std::vector<double>& link_busy_until,
+                                 std::vector<double>& link_busy_time) {
+  IPG_CHECK(packets.size() < Event::kFreeBufferBit &&
+                net.num_nodes() < Event::kFreeBufferBit,
+            "packet/node ids must fit in 31 bits");
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    events.push({Event::key_of(packets[i].inject_time), i, i});
+  }
+  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
+  const auto take_seq = [&next_seq] {
+    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
+              "event sequence overflow");
+    return next_seq++;
+  };
+
+  const std::size_t cap = cfg.node_buffer_packets;
+  std::vector<std::size_t> occupancy;
+  std::vector<std::deque<std::uint32_t>> waiting;
+  if (cap > 0) {
+    occupancy.assign(net.num_nodes(), 0);
+    waiting.assign(net.num_nodes(), {});
+  }
+
+  EngineStats stats;
+  stats.latencies.reserve(packets.size());
+  const double len = cfg.packet_length_flits;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time();
+    if (ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      --occupancy[node];
+      if (!waiting[node].empty()) {
+        const std::uint32_t pid = waiting[node].front();
+        waiting[node].pop_front();
+        events.push({ev.key, take_seq(), pid});
+      }
+      continue;
+    }
+    RefPacket& p = packets[ev.id()];
+    if (p.next_hop == p.ports.size()) {
+      record_delivery(stats, now, p.inject_time);
       continue;
     }
     const std::uint16_t port = p.ports[p.next_hop];
@@ -88,25 +377,22 @@ EngineStats run_engine(const SimNetwork& net, std::vector<Packet>& packets,
     const bool last_hop = p.next_hop + 1 == p.ports.size();
 
     if (cap > 0 && !last_hop) {
-      // Intermediate node: need buffer space downstream (ejection at the
-      // destination is always possible).
       if (occupancy[to] >= cap) {
-        waiting[to].push_back(ev.id);
+        waiting[to].push_back(ev.id());
         continue;
       }
       ++occupancy[to];
     }
 
-    const double start = std::max(ev.time, link_busy_until[link]);
+    const double start = std::max(now, link_busy_until[link]);
     const double transfer = len / net.bandwidth(link);
     const double tail_arrival = start + transfer + cfg.link_latency_cycles;
     link_busy_until[link] = start + transfer;
     link_busy_time[link] += transfer;
 
-    // The packet's tail leaves the upstream node at start + transfer,
-    // freeing the buffer slot it held there (if it was an intermediate).
     if (cap > 0 && p.next_hop > 0) {
-      events.push({start + transfer, p.at, Event::Kind::kFreeBuffer});
+      events.push({Event::key_of(start + transfer), take_seq(),
+                   p.at | Event::kFreeBufferBit});
     }
 
     ++stats.hops;
@@ -118,33 +404,33 @@ EngineStats run_engine(const SimNetwork& net, std::vector<Packet>& packets,
     if (cfg.switching == Switching::kStoreAndForward) {
       ready_next = tail_arrival;
     } else {
-      // Cut-through: the head is available after one flit time + latency;
-      // final delivery still waits for the tail.
       const double head_arrival =
           start + 1.0 / net.bandwidth(link) + cfg.link_latency_cycles;
       ready_next = last_hop ? tail_arrival : head_arrival;
     }
-    events.push({ready_next, ev.id, Event::Kind::kReady});
+    events.push({Event::key_of(ready_next), take_seq(), ev.id()});
   }
-  std::size_t expected = packets.size();
-  IPG_CHECK(stats.delivered == expected,
+  IPG_CHECK(stats.delivered == packets.size(),
             "simulation ended with undelivered packets — routing deadlock "
             "under bounded buffers");
   return stats;
 }
 
-SimResult summarize(const SimNetwork& net, const EngineStats& stats,
-                    const SimConfig& cfg, const std::vector<double>& link_busy_time) {
+// ---------------------------------------------------------------------------
+// Shared summarization and experiment drivers.
+// ---------------------------------------------------------------------------
+
+SimResult summarize(const SimNetwork& net, EngineStats& stats,
+                    const SimConfig& cfg,
+                    const std::vector<double>& link_busy_time) {
   SimResult r;
   r.packets_delivered = stats.delivered;
   r.makespan_cycles = stats.last_delivery;
   if (stats.delivered > 0) {
     r.avg_latency_cycles = stats.latency_sum / static_cast<double>(stats.delivered);
     r.max_latency_cycles = stats.latency_max;
-    std::vector<double> sorted = stats.latencies;
-    std::sort(sorted.begin(), sorted.end());
-    r.p50_latency_cycles = sorted[sorted.size() / 2];
-    r.p99_latency_cycles = sorted[(sorted.size() * 99) / 100];
+    r.p50_latency_cycles = percentile_nearest_rank(stats.latencies, 50.0);
+    r.p99_latency_cycles = percentile_nearest_rank(stats.latencies, 99.0);
     r.avg_hops = static_cast<double>(stats.hops) / static_cast<double>(stats.delivered);
     r.avg_offchip_hops =
         static_cast<double>(stats.offchip_hops) / static_cast<double>(stats.delivered);
@@ -169,77 +455,151 @@ SimResult summarize(const SimNetwork& net, const EngineStats& stats,
   return r;
 }
 
+/// Emits every open-loop injection as (src, dst, cycle), consuming the RNG
+/// stream in the fixed node-major order both engines share.
+template <typename Emit>
+void draw_open_injections(const SimNetwork& net, const TrafficPattern& pattern,
+                          double rate, std::size_t inject_cycles,
+                          std::uint64_t seed, Emit&& emit) {
+  util::Xoshiro256 rng(seed);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
+      if (!rng.bernoulli(rate)) continue;
+      const NodeId d = pattern(v, rng);
+      if (d == v) continue;
+      emit(v, d, static_cast<double>(cycle));
+    }
+  }
+}
+
+FlatPacket make_flat_packet(RouteArena& arena, NodeId src, NodeId dst,
+                            double inject_time) {
+  const RouteRef ref = arena.get(src, dst);
+  FlatPacket p;
+  p.at = src;
+  p.cursor = ref.offset;
+  p.hops_left = ref.length;
+  p.route_len = ref.length;
+  p.inject_time = inject_time;
+  return p;
+}
+
+RefPacket make_ref_packet(const SimNetwork& net, const Router& route,
+                          NodeId src, NodeId dst, double inject_time) {
+  RefPacket p;
+  p.src = src;
+  p.dst = dst;
+  p.at = src;
+  p.inject_time = inject_time;
+  p.ports = net.ports_from_dims(src, route(src, dst));
+  return p;
+}
+
+SimResult run_flat(const SimNetwork& net, std::vector<FlatPacket>& packets,
+                   const RouteArena& arena, const SimConfig& cfg) {
+  const std::vector<std::uint32_t> order = injection_order(packets);
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  EngineStats stats = run_engine_arena(net, packets, order, arena.data(), cfg,
+                                       busy_until, busy_time);
+  return summarize(net, stats, cfg, busy_time);
+}
+
+SimResult run_ref(const SimNetwork& net, std::vector<RefPacket>& packets,
+                  const SimConfig& cfg) {
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  EngineStats stats =
+      run_engine_reference(net, packets, cfg, busy_until, busy_time);
+  return summarize(net, stats, cfg, busy_time);
+}
+
 }  // namespace
+
+double percentile_nearest_rank(std::vector<double>& values, double pct) {
+  IPG_CHECK(!values.empty(), "percentile of an empty sample");
+  IPG_CHECK(pct > 0 && pct <= 100, "percentile must be in (0, 100]");
+  const auto n = static_cast<double>(values.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(n * pct / 100.0));
+  rank = std::clamp<std::size_t>(rank, 1, values.size());
+  const auto nth = values.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
 
 SimResult run_batch(const SimNetwork& net, const Router& route,
                     const std::vector<NodeId>& dst, const SimConfig& cfg) {
   IPG_CHECK(dst.size() == net.num_nodes(), "one destination per node");
-  std::vector<Packet> packets;
+  if (cfg.engine == Engine::kReference) {
+    std::vector<RefPacket> packets;
+    packets.reserve(dst.size());
+    for (NodeId v = 0; v < dst.size(); ++v) {
+      if (dst[v] == v) continue;
+      packets.push_back(make_ref_packet(net, route, v, dst[v], 0.0));
+    }
+    return run_ref(net, packets, cfg);
+  }
+  RouteArena arena(net, route);
+  arena.reserve(dst.size(), 4 * dst.size());
+  std::vector<FlatPacket> packets;
   packets.reserve(dst.size());
   for (NodeId v = 0; v < dst.size(); ++v) {
     if (dst[v] == v) continue;
-    Packet p;
-    p.src = v;
-    p.dst = dst[v];
-    p.at = v;
-    p.inject_time = 0;
-    p.ports = net.ports_from_dims(v, route(v, dst[v]));
-    packets.push_back(std::move(p));
+    packets.push_back(make_flat_packet(arena, v, dst[v], 0.0));
   }
-  std::vector<double> busy_until(net.num_links(), 0.0);
-  std::vector<double> busy_time(net.num_links(), 0.0);
-  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
-  return summarize(net, stats, cfg, busy_time);
+  return run_flat(net, packets, arena, cfg);
 }
 
 SimResult run_total_exchange(const SimNetwork& net, const Router& route,
                              const SimConfig& cfg) {
   const std::size_t n = net.num_nodes();
   IPG_CHECK(n <= 1024, "total exchange is quadratic; keep N <= 1024");
-  std::vector<Packet> packets;
+  if (cfg.engine == Engine::kReference) {
+    std::vector<RefPacket> packets;
+    packets.reserve(n * (n - 1));
+    for (NodeId src = 0; src < n; ++src) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        packets.push_back(make_ref_packet(net, route, src, dst, 0.0));
+      }
+    }
+    return run_ref(net, packets, cfg);
+  }
+  RouteArena arena(net, route);
+  arena.reserve(0, 0);
+  std::vector<FlatPacket> packets;
   packets.reserve(n * (n - 1));
   for (NodeId src = 0; src < n; ++src) {
     for (NodeId dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
-      Packet p;
-      p.src = src;
-      p.dst = dst;
-      p.at = src;
-      p.inject_time = 0;
-      p.ports = net.ports_from_dims(src, route(src, dst));
-      packets.push_back(std::move(p));
+      // All pairs are distinct, so skip the arena's memo entirely.
+      const RouteRef ref = arena.append(src, dst);
+      packets.push_back({src, ref.offset, ref.length, ref.length, 0.0});
     }
   }
-  std::vector<double> busy_until(net.num_links(), 0.0);
-  std::vector<double> busy_time(net.num_links(), 0.0);
-  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
-  return summarize(net, stats, cfg, busy_time);
+  return run_flat(net, packets, arena, cfg);
 }
 
 SimResult run_open(const SimNetwork& net, const Router& route,
                    const TrafficPattern& pattern, double rate,
                    std::size_t inject_cycles, const SimConfig& cfg) {
   IPG_CHECK(rate > 0 && rate <= 1.0, "injection rate must be in (0, 1]");
-  util::Xoshiro256 rng(cfg.seed);
-  std::vector<Packet> packets;
-  for (NodeId v = 0; v < net.num_nodes(); ++v) {
-    for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
-      if (!rng.bernoulli(rate)) continue;
-      const NodeId d = pattern(v, rng);
-      if (d == v) continue;
-      Packet p;
-      p.src = v;
-      p.dst = d;
-      p.at = v;
-      p.inject_time = static_cast<double>(cycle);
-      p.ports = net.ports_from_dims(v, route(v, d));
-      packets.push_back(std::move(p));
-    }
+  if (cfg.engine == Engine::kReference) {
+    std::vector<RefPacket> packets;
+    draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
+                         [&](NodeId v, NodeId d, double t) {
+                           packets.push_back(make_ref_packet(net, route, v, d, t));
+                         });
+    return run_ref(net, packets, cfg);
   }
-  std::vector<double> busy_until(net.num_links(), 0.0);
-  std::vector<double> busy_time(net.num_links(), 0.0);
-  const EngineStats stats = run_engine(net, packets, cfg, busy_until, busy_time);
-  return summarize(net, stats, cfg, busy_time);
+  RouteArena arena(net, route);
+  arena.reserve(net.num_nodes(), 0);
+  std::vector<FlatPacket> packets;
+  draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
+                       [&](NodeId v, NodeId d, double t) {
+                         packets.push_back(make_flat_packet(arena, v, d, t));
+                       });
+  return run_flat(net, packets, arena, cfg);
 }
 
 }  // namespace ipg::sim

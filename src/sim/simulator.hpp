@@ -17,6 +17,16 @@
 //     reports makespan, so saturation throughput = N * length / makespan.
 //   run_open:   Bernoulli injection at a given rate over a window; reports
 //     delivered throughput and average latency (latency-vs-load curves).
+//
+// Two engines implement identical semantics (docs/PERF.md):
+//   kArena (default): packets reference a shared flat route arena with
+//     per-(src, dst) route memoization, events live in an indexed 4-ary
+//     min-heap, and open-loop injections are streamed into the event loop
+//     from a sorted schedule instead of being pre-pushed into the heap.
+//   kReference: the pre-overhaul data plane (per-packet route vectors,
+//     std::priority_queue) kept as the oracle for equivalence tests.
+// Both order events canonically by (time, push sequence), so for a fixed
+// seed every SimResult field is bit-identical across engines and runs.
 
 #include <cstdint>
 #include <vector>
@@ -33,7 +43,13 @@ enum class Switching : std::uint8_t {
   kWormhole,
 };
 
+enum class Engine : std::uint8_t {
+  kArena,      ///< flat route arena + indexed 4-ary event heap (fast path)
+  kReference,  ///< pre-overhaul engine, kept as the equivalence oracle
+};
+
 struct SimConfig {
+  Engine engine = Engine::kArena;
   Switching switching = Switching::kStoreAndForward;
   double packet_length_flits = 16;
   double link_latency_cycles = 1;
@@ -78,5 +94,12 @@ SimResult run_open(const SimNetwork& net, const Router& route,
 /// Keep N modest (packet count is quadratic).
 SimResult run_total_exchange(const SimNetwork& net, const Router& route,
                              const SimConfig& cfg);
+
+/// Nearest-rank percentile: the ceil(n * pct / 100)-th smallest sample
+/// (pct in (0, 100]), found with nth_element — @p values is reordered, not
+/// fully sorted. For one sample every percentile is that sample; for two,
+/// p50 is the lower of the pair (rank ceil(1) = 1). Used by summarize() and
+/// exposed for its unit tests.
+double percentile_nearest_rank(std::vector<double>& values, double pct);
 
 }  // namespace ipg::sim

@@ -1,0 +1,87 @@
+#include "sim/sweep.hpp"
+
+#include "sim/traffic.hpp"
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+std::vector<SweepOutcome> run_sweep(const std::vector<SweepJob>& jobs,
+                                    util::ThreadPool& pool) {
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  util::parallel_for(
+      0, jobs.size(),
+      [&](std::size_t i) {
+        outcomes[i].label = jobs[i].label;
+        outcomes[i].result = jobs[i].run();
+      },
+      pool);
+  return outcomes;
+}
+
+std::vector<SweepJob> open_rate_sweep(const SimNetwork& net,
+                                      const Router& route,
+                                      const TrafficPattern& pattern,
+                                      std::span<const double> rates,
+                                      std::size_t inject_cycles,
+                                      const SimConfig& base) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(rates.size());
+  for (const double rate : rates) {
+    jobs.push_back({"rate " + std::to_string(rate),
+                    [&net, route, pattern, rate, inject_cycles, base]() {
+                      return run_open(net, route, pattern, rate,
+                                      inject_cycles, base);
+                    }});
+  }
+  return jobs;
+}
+
+std::vector<SweepJob> batch_replicate_sweep(const SimNetwork& net,
+                                            const Router& route,
+                                            std::span<const std::uint64_t> seeds,
+                                            const SimConfig& base) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    jobs.push_back({"seed " + std::to_string(seed),
+                    [&net, route, seed, base]() {
+                      util::Xoshiro256 rng(seed);
+                      const auto perm =
+                          random_permutation(net.num_nodes(), rng);
+                      SimConfig cfg = base;
+                      cfg.seed = seed;
+                      return run_batch(net, route, perm, cfg);
+                    }});
+  }
+  return jobs;
+}
+
+std::vector<SweepJob> switching_sweep(const SimNetwork& net,
+                                      const Router& route,
+                                      const std::vector<NodeId>& dst,
+                                      std::span<const Switching> modes,
+                                      const SimConfig& base) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(modes.size());
+  for (const Switching mode : modes) {
+    const char* name = mode == Switching::kStoreAndForward ? "SAF"
+                       : mode == Switching::kVirtualCutThrough ? "VCT"
+                                                               : "wormhole";
+    jobs.push_back({name, [&net, route, dst, mode, base]() {
+                      SimConfig cfg = base;
+                      cfg.switching = mode;
+                      return run_batch(net, route, dst, cfg);
+                    }});
+  }
+  return jobs;
+}
+
+double mean_of(const std::vector<SweepOutcome>& outcomes,
+               double SimResult::*field) {
+  IPG_CHECK(!outcomes.empty(), "mean over an empty sweep");
+  double sum = 0;
+  for (const SweepOutcome& o : outcomes) sum += o.result.*field;
+  return sum / static_cast<double>(outcomes.size());
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Parallel experiment sweep driver.
+//
+// Every MCMP experiment is a pile of independent simulations — rate points
+// for a latency-vs-load curve, seed replicates for a batch average,
+// switching modes for the insensitivity check. Each point is a closed
+// deterministic function of its own config (run_* seed their own RNG from
+// SimConfig::seed, and every job copies its Router/TrafficPattern so
+// stateful route caches are never shared), so fanning the points across
+// util::ThreadPool changes wall-clock time and nothing else: results are
+// identical for any thread count, and identical to running each point
+// alone. The sweep-determinism test pins this.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+
+/// One independent simulation: a label for reporting plus a closure that
+/// runs it. The closure must be self-contained and thread-safe (capture
+/// shared state by value or const reference only).
+struct SweepJob {
+  std::string label;
+  std::function<SimResult()> run;
+};
+
+struct SweepOutcome {
+  std::string label;
+  SimResult result;
+};
+
+/// Runs all jobs across @p pool; outcomes come back in job order.
+std::vector<SweepOutcome> run_sweep(
+    const std::vector<SweepJob>& jobs,
+    util::ThreadPool& pool = util::ThreadPool::global());
+
+/// Open-loop latency-vs-load curve: one job per rate point, all with the
+/// same seed and pattern. @p net must outlive the jobs.
+std::vector<SweepJob> open_rate_sweep(const SimNetwork& net,
+                                      const Router& route,
+                                      const TrafficPattern& pattern,
+                                      std::span<const double> rates,
+                                      std::size_t inject_cycles,
+                                      const SimConfig& base);
+
+/// Batch random-permutation replicates: job i draws its permutation from
+/// Xoshiro256(seeds[i]) and runs with SimConfig::seed = seeds[i].
+std::vector<SweepJob> batch_replicate_sweep(const SimNetwork& net,
+                                            const Router& route,
+                                            std::span<const std::uint64_t> seeds,
+                                            const SimConfig& base);
+
+/// Switching-insensitivity panel: the same batch snapshot under each mode.
+std::vector<SweepJob> switching_sweep(const SimNetwork& net,
+                                      const Router& route,
+                                      const std::vector<NodeId>& dst,
+                                      std::span<const Switching> modes,
+                                      const SimConfig& base);
+
+/// Mean of one SimResult field over all outcomes (replicate averaging).
+double mean_of(const std::vector<SweepOutcome>& outcomes,
+               double SimResult::*field);
+
+}  // namespace ipg::sim

@@ -1,0 +1,196 @@
+// Engine equivalence: the arena/heap data plane (Engine::kArena) must
+// reproduce the reference engine's SimResult bit-for-bit on fixed seeds.
+// Both engines order events canonically by (time, push sequence), so every
+// field — including the FP-summation-order-sensitive averages — is a pure
+// function of the inputs; any drift here means the fast path changed the
+// simulation, not just its speed. Percentile edge cases for summarize()
+// ride along at the bottom.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/simulator.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  EXPECT_EQ(a.p50_latency_cycles, b.p50_latency_cycles);
+  EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
+  EXPECT_EQ(a.max_latency_cycles, b.max_latency_cycles);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
+  EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+}
+
+struct TestNet {
+  SimNetwork net;
+  Router router;
+};
+
+TestNet hsn_q3() {
+  auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  return {mcmp::make_unit_chip_network(hsn->to_graph(),
+                                       hsn->nucleus_clustering(), 1.0),
+          [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }};
+}
+
+TestNet kary42() {
+  return {mcmp::make_unit_chip_network(kary_ncube_graph(4, 2),
+                                       kary2_block_clustering(4, 2), 1.0),
+          kary_router(4, 2)};
+}
+
+/// Non-dyadic bandwidth: transfer times don't land on a binary grid, which
+/// forces the arena engine off the tick calendar and onto the radix-banded
+/// EventQueue — the other queue implementation must match too.
+TestNet kary42_nondyadic() {
+  return {SimNetwork::with_uniform_bandwidth(kary_ncube_graph(4, 2),
+                                             kary2_block_clustering(4, 2), 0.3),
+          kary_router(4, 2)};
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<int> {
+ protected:
+  TestNet make_net() const {
+    switch (GetParam()) {
+      case 0: return hsn_q3();
+      case 1: return kary42();
+      default: return kary42_nondyadic();
+    }
+  }
+};
+
+TEST_P(EngineEquivalence, Batch) {
+  const TestNet t = make_net();
+  for (const Switching mode :
+       {Switching::kStoreAndForward, Switching::kVirtualCutThrough}) {
+    SimConfig cfg;
+    cfg.packet_length_flits = 8;
+    cfg.switching = mode;
+    util::Xoshiro256 rng(42);
+    const auto perm = random_permutation(t.net.num_nodes(), rng);
+    cfg.engine = Engine::kArena;
+    const auto fast = run_batch(t.net, t.router, perm, cfg);
+    cfg.engine = Engine::kReference;
+    const auto oracle = run_batch(t.net, t.router, perm, cfg);
+    expect_identical(fast, oracle);
+  }
+}
+
+TEST_P(EngineEquivalence, Open) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kArena;
+  const auto fast = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  EXPECT_GT(fast.packets_delivered, 0u);
+  expect_identical(fast, oracle);
+}
+
+TEST_P(EngineEquivalence, TotalExchange) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.engine = Engine::kArena;
+  const auto fast = run_total_exchange(t.net, t.router, cfg);
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_total_exchange(t.net, t.router, cfg);
+  const std::size_t n = t.net.num_nodes();
+  EXPECT_EQ(fast.packets_delivered, n * (n - 1));
+  expect_identical(fast, oracle);
+}
+
+TEST_P(EngineEquivalence, BatchBoundedBuffers) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  // Backpressure path. The HSN's hierarchical routes need more slack than
+  // the dimension-ordered tori to stay deadlock-free at this load.
+  cfg.node_buffer_packets = GetParam() == 0 ? 6 : 2;
+  util::Xoshiro256 rng(9);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  cfg.engine = Engine::kArena;
+  const auto fast = run_batch(t.net, t.router, perm, cfg);
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_batch(t.net, t.router, perm, cfg);
+  expect_identical(fast, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, EngineEquivalence, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "HsnQ3";
+                             case 1: return "Kary4Cube2";
+                             default: return "Kary4Cube2NonDyadic";
+                           }
+                         });
+
+// --- summarize() percentile edge cases (nearest-rank) ---
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  for (const double pct : {1.0, 50.0, 99.0, 100.0}) {
+    std::vector<double> v{5.0};
+    EXPECT_EQ(percentile_nearest_rank(v, pct), 5.0);
+  }
+}
+
+TEST(Percentile, TwoSamples) {
+  std::vector<double> v{2.0, 1.0};
+  EXPECT_EQ(percentile_nearest_rank(v, 50), 1.0);  // rank ceil(1) = 1st
+  v = {2.0, 1.0};
+  EXPECT_EQ(percentile_nearest_rank(v, 99), 2.0);  // rank ceil(1.98) = 2nd
+  v = {2.0, 1.0};
+  EXPECT_EQ(percentile_nearest_rank(v, 1), 1.0);
+}
+
+TEST(Percentile, HundredSamplesMatchRanksExactly) {
+  std::vector<double> base(100);
+  for (std::size_t i = 0; i < 100; ++i) base[i] = static_cast<double>(100 - i);
+  std::vector<double> v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 50), 50.0);
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 99), 99.0);
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 100), 100.0);
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 1), 1.0);
+}
+
+TEST(Percentile, SingleDeliveredPacketEndToEnd) {
+  // One packet: p50 = p99 = max = avg.
+  GraphBuilder b("pair", 2, 2);
+  b.add_arc(0, 1, 0);
+  b.add_arc(1, 0, 1);
+  SimNetwork net(std::move(b).build(), Clustering::blocks(2, 1), 2.0, 1000.0);
+  const Router route = [](NodeId s, NodeId d) {
+    return std::vector<std::size_t>(s == d ? 0 : 1, s < d ? 0 : 1);
+  };
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  const std::vector<NodeId> dst{1, 1};  // only node 0 sends
+  const auto r = run_batch(net, route, dst, cfg);
+  ASSERT_EQ(r.packets_delivered, 1u);
+  EXPECT_EQ(r.p50_latency_cycles, r.avg_latency_cycles);
+  EXPECT_EQ(r.p99_latency_cycles, r.avg_latency_cycles);
+  EXPECT_EQ(r.max_latency_cycles, r.avg_latency_cycles);
+}
+
+}  // namespace
+}  // namespace ipg::sim

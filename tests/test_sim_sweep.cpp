@@ -1,0 +1,125 @@
+// Sweep-driver determinism: each SweepJob is a closed function of its own
+// config, so outcomes must be identical for any thread count and identical
+// to running each point directly. This is what makes the parallel driver a
+// pure wall-clock optimization.
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "topology/named.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+SimNetwork test_net() {
+  return mcmp::make_unit_chip_network(kary_ncube_graph(4, 2),
+                                      kary2_block_clustering(4, 2), 1.0);
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  EXPECT_EQ(a.p50_latency_cycles, b.p50_latency_cycles);
+  EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
+  EXPECT_EQ(a.max_latency_cycles, b.max_latency_cycles);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
+  EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+}
+
+TEST(SweepDriver, RateSweepIdenticalAcrossThreadCounts) {
+  const SimNetwork net = test_net();
+  const Router router = kary_router(4, 2);
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  std::vector<double> rates;
+  for (int i = 1; i <= 16; ++i) rates.push_back(0.01 * i);
+  const auto jobs = open_rate_sweep(net, router, uniform_traffic(net.num_nodes()),
+                                    rates, 100, cfg);
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool4(4);
+  const auto serial = run_sweep(jobs, pool1);
+  const auto parallel = run_sweep(jobs, pool4);
+  ASSERT_EQ(serial.size(), rates.size());
+  ASSERT_EQ(parallel.size(), rates.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    expect_identical(serial[i].result, parallel[i].result);
+  }
+}
+
+TEST(SweepDriver, RateSweepPointsMatchDirectRuns) {
+  const SimNetwork net = test_net();
+  const Router router = kary_router(4, 2);
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  const std::array<double, 3> rates{0.02, 0.05, 0.10};
+  const auto pattern = uniform_traffic(net.num_nodes());
+  const auto outcomes =
+      run_sweep(open_rate_sweep(net, router, pattern, rates, 100, cfg));
+  ASSERT_EQ(outcomes.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto direct = run_open(net, router, pattern, rates[i], 100, cfg);
+    expect_identical(outcomes[i].result, direct);
+  }
+}
+
+TEST(SweepDriver, BatchReplicatesIdenticalAcrossThreadCounts) {
+  const SimNetwork net = test_net();
+  const Router router = kary_router(4, 2);
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  const std::array<std::uint64_t, 8> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto jobs = batch_replicate_sweep(net, router, seeds, cfg);
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool4(4);
+  const auto serial = run_sweep(jobs, pool1);
+  const auto parallel = run_sweep(jobs, pool4);
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    expect_identical(serial[i].result, parallel[i].result);
+  // Replicates with distinct seeds should not all coincide.
+  bool any_different = false;
+  for (std::size_t i = 1; i < seeds.size(); ++i)
+    any_different |= serial[i].result.makespan_cycles !=
+                     serial[0].result.makespan_cycles;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SweepDriver, SwitchingSweepMatchesDirectRuns) {
+  const SimNetwork net = test_net();
+  const Router router = kary_router(4, 2);
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  util::Xoshiro256 rng(3);
+  const auto dst = random_permutation(net.num_nodes(), rng);
+  const std::array<Switching, 2> modes{Switching::kStoreAndForward,
+                                       Switching::kVirtualCutThrough};
+  const auto outcomes = run_sweep(switching_sweep(net, router, dst, modes, cfg));
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    SimConfig direct = cfg;
+    direct.switching = modes[i];
+    expect_identical(outcomes[i].result, run_batch(net, router, dst, direct));
+  }
+}
+
+TEST(SweepDriver, MeanOfAveragesField) {
+  std::vector<SweepOutcome> outcomes(2);
+  outcomes[0].result.makespan_cycles = 10;
+  outcomes[1].result.makespan_cycles = 30;
+  EXPECT_EQ(mean_of(outcomes, &SimResult::makespan_cycles), 20.0);
+}
+
+}  // namespace
+}  // namespace ipg::sim
