@@ -1,0 +1,140 @@
+// Degraded-throughput curve: how much random-routing capacity survives as
+// off-chip links die? HSN(2,Q4) vs the equal-cost hypercube Q8 (256 nodes,
+// 16 chips x 16 nodes, unit chip capacity) run the same open-loop load
+// with k = 0, 2, ..., 12 off-chip links dead from t=0, fault-aware
+// rerouting and a 3-retry backoff ladder enabled. Per network the k points
+// are a fault_plan_sweep fanned across the machine pool. Emits
+// BENCH_faults.json so CI can track the robustness trajectory alongside
+// BENCH_sim.json's raw speed.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::topology;
+using namespace ipg::sim;
+
+struct Net {
+  std::string name;
+  Graph graph;
+  Clustering chips;
+  SimNetwork network;
+  Router router;
+};
+
+std::vector<Net> build_networks() {
+  std::vector<Net> nets;
+  {
+    auto hsn = std::make_shared<SuperIpg>(
+        make_hsn(2, std::make_shared<HypercubeNucleus>(4)));
+    Graph g = hsn->to_graph();
+    Clustering chips = hsn->nucleus_clustering();
+    nets.push_back({hsn->name(), Graph(g), Clustering(chips),
+                    mcmp::make_unit_chip_network(std::move(g),
+                                                 std::move(chips), 1.0),
+                    [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }});
+  }
+  {
+    Graph g = hypercube_graph(8);
+    Clustering chips = hypercube_subcube_clustering(8, 16);
+    nets.push_back({"Q8", Graph(g), Clustering(chips),
+                    mcmp::make_unit_chip_network(std::move(g),
+                                                 std::move(chips), 1.0),
+                    hypercube_router(8)});
+  }
+  return nets;
+}
+
+struct Point {
+  std::size_t dead_links = 0;
+  SimResult result;
+};
+
+void emit_json(std::ostream& os,
+               const std::vector<std::pair<std::string, std::vector<Point>>>& curves) {
+  os << "{\n  \"workload\": \"open-loop uniform, rate 0.05, 400 inject "
+        "cycles, 16-flit packets, 3 retries, k off-chip links dead from "
+        "t=0\",\n  \"curves\": {\n";
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    os << "    \"" << curves[c].first << "\": [\n";
+    const auto& pts = curves[c].second;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const SimResult& r = pts[i].result;
+      os << "      {\"dead_offchip_links\": " << pts[i].dead_links
+         << ", \"throughput_flits_per_node_cycle\": "
+         << r.throughput_flits_per_node_cycle
+         << ", \"delivered_fraction\": " << r.delivered_fraction
+         << ", \"packets_dropped\": " << r.packets_dropped
+         << ", \"packets_retransmitted\": " << r.packets_retransmitted
+         << ", \"reroute_hops\": " << r.reroute_hops
+         << ", \"avg_latency_cycles\": " << r.avg_latency_cycles << "}"
+         << (i + 1 < pts.size() ? "," : "") << "\n";
+    }
+    os << "    ]" << (c + 1 < curves.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Degraded throughput: HSN(2,Q4) vs Q8 under off-chip "
+               "link deaths ===\n"
+            << "256 nodes, 16 chips x 16 nodes, equal per-chip off-chip "
+               "bandwidth; fault-aware rerouting + retry enabled.\n\n";
+
+  const std::vector<std::size_t> kills{0, 2, 4, 6, 8, 10, 12};
+  SimConfig cfg;
+  cfg.packet_length_flits = 16;
+  cfg.max_retries = 3;
+  cfg.retry_backoff_cycles = 32;
+
+  std::vector<std::pair<std::string, std::vector<Point>>> curves;
+  for (const Net& net : build_networks()) {
+    std::vector<std::shared_ptr<const FaultPlan>> plans;
+    for (const std::size_t k : kills) {
+      plans.push_back(std::make_shared<const FaultPlan>(
+          FaultPlan::random_link_faults(net.graph, &net.chips, k, 0.0, 0.0, 7)));
+    }
+    const auto jobs =
+        fault_plan_sweep(net.network, net.router,
+                         uniform_traffic(net.network.num_nodes()), 0.05, 400,
+                         plans, cfg);
+    const auto outcomes = run_sweep(jobs);
+
+    util::Table t;
+    t.header({"dead off-chip links", "throughput (flits/node/cyc)",
+              "delivered frac", "dropped", "retx", "reroute hops",
+              "avg latency"});
+    std::vector<Point> pts;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const SimResult& r = outcomes[i].result;
+      t.add(kills[i], r.throughput_flits_per_node_cycle, r.delivered_fraction,
+            r.packets_dropped, r.packets_retransmitted, r.reroute_hops,
+            r.avg_latency_cycles);
+      pts.push_back({kills[i], r});
+    }
+    std::cout << "--- " << net.name << " ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+    curves.push_back({net.name, std::move(pts)});
+  }
+
+  emit_json(std::cout, curves);
+  std::ofstream out("BENCH_faults.json");
+  emit_json(out, curves);
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topology/faults.hpp"
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+void FaultPlan::insert(const FaultEvent& e) {
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  events_.insert(pos, e);
+}
+
+void FaultPlan::validate(std::size_t num_nodes) const {
+  for (const FaultEvent& e : events_) {
+    IPG_CHECK(std::isfinite(e.time) && e.time >= 0,
+              "fault event time must be finite and non-negative");
+    IPG_CHECK(e.a < num_nodes, "fault event names a node out of range");
+    if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
+      IPG_CHECK(e.b < num_nodes, "fault event names a node out of range");
+      IPG_CHECK(e.a != e.b, "link fault needs two distinct endpoints");
+    }
+  }
+}
+
+FaultPlan FaultPlan::random_link_faults(const topology::Graph& g,
+                                        const topology::Clustering* chips,
+                                        std::size_t count, double first_time,
+                                        double spacing, std::uint64_t seed) {
+  IPG_CHECK(std::isfinite(first_time) && first_time >= 0,
+            "fault times must be finite and non-negative");
+  IPG_CHECK(std::isfinite(spacing) && spacing >= 0,
+            "fault spacing must be finite and non-negative");
+  FaultPlan plan;
+  const auto links = topology::sample_links(g, chips, count, seed);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    plan.fail_link(first_time + static_cast<double>(i) * spacing,
+                   links[i].first, links[i].second);
+  }
+  return plan;
+}
+
+FaultState::FaultState(const SimNetwork& net, const FaultPlan& plan,
+                       const Router& route)
+    : net_(net), route_(route), events_(plan.events()), arena_(net, route) {
+  plan.validate(net.num_nodes());
+  link_dead_.assign(net.num_links(), 0);
+  node_dead_.assign(net.num_nodes(), 0);
+  usable_.assign(net.num_links(), 1);
+}
+
+void FaultState::refresh(LinkId link) {
+  const NodeId u = net_.link_from(link);
+  const NodeId w = net_.link_to(link);
+  usable_[link] =
+      (link_dead_[link] == 0 && node_dead_[u] == 0 && node_dead_[w] == 0) ? 1
+                                                                          : 0;
+}
+
+void FaultState::set_link(NodeId a, NodeId b, bool dead) {
+  bool found = false;
+  const auto mark = [&](NodeId u, NodeId w) {
+    const auto arcs = net_.graph().arcs_of(u);
+    for (std::size_t port = 0; port < arcs.size(); ++port) {
+      if (arcs[port].to != w) continue;
+      const LinkId link = net_.link_of(u, port);
+      link_dead_[link] = dead ? 1 : 0;
+      refresh(link);
+      found = true;
+    }
+  };
+  mark(a, b);
+  mark(b, a);
+  IPG_CHECK(found, "fault plan names a link absent from the network");
+}
+
+void FaultState::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      set_link(e.a, e.b, true);
+      break;
+    case FaultKind::kLinkUp:
+      set_link(e.a, e.b, false);
+      break;
+    case FaultKind::kNodeDown:
+    case FaultKind::kNodeUp: {
+      node_dead_[e.a] = e.kind == FaultKind::kNodeDown ? 1 : 0;
+      const auto arcs = net_.graph().arcs_of(e.a);
+      for (std::size_t port = 0; port < arcs.size(); ++port) {
+        refresh(net_.link_of(e.a, port));
+        // Incoming direction: the reverse arc at the neighbor (all stock
+        // networks are undirected, so it exists; if not, nothing to do).
+        const NodeId w = arcs[port].to;
+        const auto back = net_.graph().arcs_of(w);
+        for (std::size_t q = 0; q < back.size(); ++q) {
+          if (back[q].to == e.a) refresh(net_.link_of(w, q));
+        }
+      }
+      break;
+    }
+  }
+}
+
+void FaultState::apply_until(double now) {
+  bool any_repair = false;
+  while (next_event_ < events_.size() && events_[next_event_].time <= now) {
+    const FaultEvent& e = events_[next_event_++];
+    any_repair |=
+        e.kind == FaultKind::kLinkUp || e.kind == FaultKind::kNodeUp;
+    apply(e);
+  }
+  if (any_repair) {
+    arena_.clear_memo();
+    return;
+  }
+  arena_.erase_memo_if([this](NodeId src, NodeId /*dst*/, RouteRef ref) {
+    NodeId cur = src;
+    const std::uint16_t* route = arena_.data() + ref.offset;
+    for (std::uint16_t i = 0; i < ref.length; ++i) {
+      const LinkId link = net_.link_of(cur, route[i]);
+      if (usable_[link] == 0) return true;
+      cur = net_.arc(cur, route[i]).to;
+    }
+    return false;
+  });
+}
+
+bool FaultState::route_from(NodeId u, NodeId dst, RouteRef& out) {
+  if (const RouteRef* hit = arena_.lookup(u, dst)) {
+    out = *hit;
+    return true;
+  }
+  scratch_.clear();
+  // Prefer the topology router's route (the paper's routing) while it
+  // avoids the dead set; fall back to a BFS shortest path otherwise.
+  bool live = true;
+  NodeId cur = u;
+  for (const std::size_t dim : route_(u, dst)) {
+    const std::size_t port = net_.port_for_dim(cur, dim);
+    if (usable_[net_.link_of(cur, port)] == 0) {
+      live = false;
+      break;
+    }
+    scratch_.push_back(static_cast<std::uint16_t>(port));
+    cur = net_.arc(cur, port).to;
+  }
+  if (!live) {
+    scratch_.clear();
+    if (!append_live_route(net_, usable_, u, dst, scratch_)) return false;
+  }
+  out = arena_.put(u, dst, scratch_);
+  return true;
+}
+
+}  // namespace ipg::sim

@@ -1,0 +1,141 @@
+#pragma once
+// Deterministic fault injection for the simulator (docs/ROBUSTNESS.md).
+//
+// A FaultPlan is a time-sorted script of link/node failures and repairs,
+// written out explicitly or drawn from a seeded RNG (§5 credits super-IPGs
+// with inheriting the connectivity of their nucleus plus the
+// super-generator links; the plan turns that structural claim into
+// measurable degraded-mode behavior). Both engines consume the same plan
+// at the same simulated instants, so degraded runs stay bit-identical
+// across Engine::kArena / Engine::kReference and across sweep thread
+// counts — the same determinism contract the healthy data plane pins.
+//
+// FaultState is the per-run live view: it applies plan events as simulated
+// time advances, tracks which directed links are currently usable, and
+// answers fault-aware route queries through a RouteArena whose memo is
+// invalidated whenever the usable-link set changes. Routes the topology
+// router would take are preferred while they stay alive; otherwise a BFS
+// shortest path over the live subgraph serves as the detour.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/route_arena.hpp"
+#include "sim/routers.hpp"
+
+namespace ipg::sim {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,  ///< both directions of the (a, b) link fail
+  kLinkUp,    ///< both directions repaired
+  kNodeDown,  ///< every link touching node a fails
+  kNodeUp,    ///< node a repaired (its links recover unless separately dead)
+};
+
+struct FaultEvent {
+  double time = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  NodeId a = 0;  ///< link endpoint / affected node
+  NodeId b = 0;  ///< other link endpoint (ignored for node events)
+};
+
+/// An immutable-once-running script of failures and repairs. Events are
+/// kept sorted by time (stable for equal times, so insertion order breaks
+/// ties deterministically). Plans are independent of any network; validate()
+/// checks them against one before a run.
+class FaultPlan {
+ public:
+  FaultPlan& fail_link(double time, NodeId a, NodeId b) {
+    insert({time, FaultKind::kLinkDown, a, b});
+    return *this;
+  }
+  FaultPlan& repair_link(double time, NodeId a, NodeId b) {
+    insert({time, FaultKind::kLinkUp, a, b});
+    return *this;
+  }
+  FaultPlan& fail_node(double time, NodeId v) {
+    insert({time, FaultKind::kNodeDown, v, v});
+    return *this;
+  }
+  FaultPlan& repair_node(double time, NodeId v) {
+    insert({time, FaultKind::kNodeUp, v, v});
+    return *this;
+  }
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::span<const FaultEvent> events() const noexcept { return events_; }
+
+  /// Throws (util::check) if any event has a non-finite or negative time,
+  /// or endpoints out of range for a @p num_nodes network.
+  void validate(std::size_t num_nodes) const;
+
+  /// @p count distinct links of @p g (drawn by topology::sample_links with
+  /// @p seed; off-chip links only when @p chips is non-null) failing at
+  /// first_time, first_time + spacing, ... — a pure function of the
+  /// arguments, shareable across sweep jobs.
+  static FaultPlan random_link_faults(const topology::Graph& g,
+                                      const topology::Clustering* chips,
+                                      std::size_t count, double first_time,
+                                      double spacing, std::uint64_t seed);
+
+ private:
+  void insert(const FaultEvent& e);
+
+  std::vector<FaultEvent> events_;  ///< sorted by time, stable
+};
+
+/// Per-run live fault view shared by both engines. Owns the run's
+/// RouteArena: every route a fault-aware run follows — healthy-router
+/// routes and BFS detours alike — is stored here, so the two engines read
+/// byte-identical port sequences by construction.
+class FaultState {
+ public:
+  /// @p net, @p plan, and @p route must outlive the state.
+  FaultState(const SimNetwork& net, const FaultPlan& plan,
+             const Router& route);
+
+  /// Applies every plan event with time <= now. Newly dead links evict the
+  /// memoized routes that cross them; any repair clears the whole memo
+  /// (a shorter route may have come back).
+  void advance_to(double now) {
+    if (next_event_ < events_.size() && events_[next_event_].time <= now) {
+      apply_until(now);
+    }
+  }
+
+  bool link_usable(LinkId link) const noexcept { return usable_[link] != 0; }
+  bool node_dead(NodeId v) const noexcept { return node_dead_[v] != 0; }
+  std::span<const std::uint8_t> usable() const noexcept { return usable_; }
+
+  /// Fault-aware route from @p u to @p dst: the memoized route if one is
+  /// live, else the topology router's route when it avoids the dead set,
+  /// else a BFS shortest path over the live subgraph. Returns false when
+  /// @p dst is unreachable from @p u right now. On success the first hop
+  /// of *out is guaranteed usable.
+  bool route_from(NodeId u, NodeId dst, RouteRef& out);
+
+  /// Port buffer backing the refs handed out by route_from. Re-read after
+  /// every route_from call — the arena may reallocate.
+  const std::uint16_t* ports() const noexcept { return arena_.data(); }
+
+ private:
+  void apply_until(double now);
+  void apply(const FaultEvent& e);
+  void set_link(NodeId a, NodeId b, bool dead);
+  void refresh(LinkId link);
+
+  const SimNetwork& net_;
+  const Router& route_;
+  std::span<const FaultEvent> events_;
+  std::size_t next_event_ = 0;
+  std::vector<std::uint8_t> link_dead_;  ///< per directed link
+  std::vector<std::uint8_t> node_dead_;  ///< per node
+  std::vector<std::uint8_t> usable_;     ///< !link_dead && endpoints alive
+  RouteArena arena_;
+  std::vector<std::uint16_t> scratch_;  ///< route assembly buffer
+};
+
+}  // namespace ipg::sim

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ipg::sim {
 
@@ -9,12 +10,18 @@ SimNetwork::SimNetwork(Graph graph, Clustering chips,
     : graph_(std::move(graph)), chips_(std::move(chips)) {
   IPG_CHECK(chips_.num_nodes() == graph_.num_nodes(),
             "clustering does not match graph");
-  IPG_CHECK(offchip_budget_per_chip > 0 && onchip_bandwidth > 0,
-            "bandwidths must be positive");
+  IPG_CHECK(std::isfinite(offchip_budget_per_chip) &&
+                std::isfinite(onchip_bandwidth) &&
+                offchip_budget_per_chip > 0 && onchip_bandwidth > 0,
+            "bandwidths must be positive and finite");
 
   first_link_.resize(graph_.num_nodes() + 1, 0);
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     first_link_[v + 1] = first_link_[v] + graph_.degree(v);
+  }
+  link_from_.reserve(graph_.num_arcs());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    link_from_.insert(link_from_.end(), graph_.degree(v), v);
   }
 
   // Off-chip links touching each chip (counted as outgoing arcs).
@@ -68,7 +75,8 @@ void SimNetwork::build_dim_port_table() {
 
 SimNetwork SimNetwork::with_uniform_bandwidth(Graph graph, Clustering chips,
                                               double link_bandwidth) {
-  IPG_CHECK(link_bandwidth > 0, "bandwidth must be positive");
+  IPG_CHECK(std::isfinite(link_bandwidth) && link_bandwidth > 0,
+            "bandwidth must be positive and finite");
   // Build through the chip constructor, then flatten all bandwidths.
   SimNetwork net(std::move(graph), std::move(chips), 1.0, 1.0);
   std::fill(net.bandwidth_.begin(), net.bandwidth_.end(), link_bandwidth);
@@ -80,7 +88,7 @@ SimNetwork SimNetwork::with_bandwidths(Graph graph, Clustering chips,
   IPG_CHECK(per_arc_bandwidth.size() == graph.num_arcs(),
             "need one bandwidth per arc");
   for (const double b : per_arc_bandwidth) {
-    IPG_CHECK(b > 0, "bandwidths must be positive");
+    IPG_CHECK(std::isfinite(b) && b > 0, "bandwidths must be positive and finite");
   }
   SimNetwork net(std::move(graph), std::move(chips), 1.0, 1.0);
   net.bandwidth_ = std::move(per_arc_bandwidth);

@@ -57,6 +57,13 @@ class SimNetwork {
   const Arc& arc(NodeId v, std::size_t port) const noexcept {
     return graph_.arcs_of(v)[port];
   }
+  /// Source node of a directed link (inverse of link_of; the fault state
+  /// uses it to recompute link usability after node events).
+  NodeId link_from(LinkId link) const noexcept { return link_from_[link]; }
+  /// Downstream node of a directed link.
+  NodeId link_to(LinkId link) const noexcept {
+    return arc(link_from_[link], link - first_link_[link_from_[link]]).to;
+  }
 
   double bandwidth(LinkId link) const noexcept { return bandwidth_[link]; }
   bool is_offchip(LinkId link) const noexcept { return offchip_[link]; }
@@ -83,6 +90,7 @@ class SimNetwork {
   Graph graph_;
   Clustering chips_;
   std::vector<std::size_t> first_link_;  ///< per node, offset into arc array
+  std::vector<NodeId> link_from_;        ///< per directed link, source node
   std::vector<double> bandwidth_;        ///< per directed link
   std::vector<bool> offchip_;
   std::vector<std::int32_t> dim_port_;   ///< (v * num_dims_ + dim) -> port, -1 if absent

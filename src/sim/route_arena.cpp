@@ -7,10 +7,24 @@
 namespace ipg::sim {
 
 RouteRef RouteArena::get(NodeId src, NodeId dst) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
-  const auto [it, inserted] = memo_.try_emplace(key);
+  const auto [it, inserted] = memo_.try_emplace(key_of(src, dst));
   if (!inserted) return it->second;
   return it->second = append(src, dst);
+}
+
+RouteRef RouteArena::put(NodeId src, NodeId dst,
+                         std::span<const std::uint16_t> ports) {
+  IPG_CHECK(ports.size() <= std::numeric_limits<std::uint16_t>::max(),
+            "route longer than 65535 hops");
+  IPG_CHECK(ports_.size() + ports.size() <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "route arena exceeds 2^32 hops");
+  RouteRef ref;
+  ref.offset = static_cast<std::uint32_t>(ports_.size());
+  ref.length = static_cast<std::uint16_t>(ports.size());
+  ports_.insert(ports_.end(), ports.begin(), ports.end());
+  memo_.insert_or_assign(key_of(src, dst), ref);
+  return ref;
 }
 
 RouteRef RouteArena::append(NodeId src, NodeId dst) {

@@ -46,6 +46,38 @@ class RouteArena {
   /// distinct pairs, so the memo's hash insert per pair is pure overhead.
   RouteRef append(NodeId src, NodeId dst);
 
+  /// Memo lookup without computing: null if (src, dst) has no entry. The
+  /// fault-aware data plane routes around the dead set itself and stores
+  /// the result with put(), so it never wants get()'s blind router call.
+  const RouteRef* lookup(NodeId src, NodeId dst) const {
+    const auto it = memo_.find(key_of(src, dst));
+    return it == memo_.end() ? nullptr : &it->second;
+  }
+
+  /// Appends an externally computed port route and (re)memoizes the pair.
+  RouteRef put(NodeId src, NodeId dst, std::span<const std::uint16_t> ports);
+
+  /// Drops every memo entry for which @p pred(src, dst, ref) returns true.
+  /// The port storage is append-only, so refs already held by in-flight
+  /// packets stay valid; only future lookups are affected. Used to
+  /// invalidate routes that cross a newly failed link.
+  template <typename Pred>
+  void erase_memo_if(Pred pred) {
+    for (auto it = memo_.begin(); it != memo_.end();) {
+      const NodeId src = static_cast<NodeId>(it->first >> 32);
+      const NodeId dst = static_cast<NodeId>(it->first & 0xffffffffu);
+      if (pred(src, dst, it->second)) {
+        it = memo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Forgets every memoized pair (repairs may restore shorter routes, so
+  /// stale-but-live entries must not shadow them).
+  void clear_memo() { memo_.clear(); }
+
   std::span<const std::uint16_t> ports(RouteRef r) const noexcept {
     return {ports_.data() + r.offset, r.length};
   }
@@ -57,6 +89,10 @@ class RouteArena {
   std::size_t num_hops_stored() const noexcept { return ports_.size(); }
 
  private:
+  static std::uint64_t key_of(NodeId src, NodeId dst) noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
   const SimNetwork& net_;
   const Router& route_;
   std::vector<std::uint16_t> ports_;

@@ -124,4 +124,37 @@ Router cached_router(Router inner) {
   };
 }
 
+bool append_live_route(const SimNetwork& net,
+                       std::span<const std::uint8_t> usable, NodeId src,
+                       NodeId dst, std::vector<std::uint16_t>& out) {
+  IPG_CHECK(usable.size() == net.num_links(),
+            "need one usability flag per directed link");
+  if (src == dst) return true;
+  const std::size_t n = net.num_nodes();
+  std::vector<NodeId> pred_node(n, topology::kInvalidNode);
+  std::vector<std::uint16_t> pred_port(n, 0);
+  std::deque<NodeId> frontier{src};
+  pred_node[src] = src;
+  while (!frontier.empty() && pred_node[dst] == topology::kInvalidNode) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    const auto arcs = net.graph().arcs_of(v);
+    for (std::size_t port = 0; port < arcs.size(); ++port) {
+      if (usable[net.link_of(v, port)] == 0) continue;
+      const NodeId w = arcs[port].to;
+      if (pred_node[w] != topology::kInvalidNode) continue;
+      pred_node[w] = v;
+      pred_port[w] = static_cast<std::uint16_t>(port);
+      frontier.push_back(w);
+    }
+  }
+  if (pred_node[dst] == topology::kInvalidNode) return false;
+  std::vector<std::uint16_t> reversed;
+  for (NodeId v = dst; v != src; v = pred_node[v]) {
+    reversed.push_back(pred_port[v]);
+  }
+  out.insert(out.end(), reversed.rbegin(), reversed.rend());
+  return true;
+}
+
 }  // namespace ipg::sim

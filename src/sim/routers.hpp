@@ -5,10 +5,13 @@
 // last-visit-rewrite route for super-IPGs, and a BFS-table fallback for
 // arbitrary graphs.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "sim/network.hpp"
 #include "topology/graph.hpp"
 #include "topology/super_ipg.hpp"
 
@@ -40,5 +43,16 @@ Router table_router(std::shared_ptr<const topology::Graph> graph);
 /// route arena already memoizes per pair — this wrapper adds reuse *across*
 /// runs (seed replicates, switching panels, rate sweeps).
 Router cached_router(Router inner);
+
+/// Appends the port route of a BFS shortest path from @p src to @p dst that
+/// crosses only links with usable[link] != 0 onto @p out. Deterministic:
+/// ports are scanned in order and the frontier is FIFO, so the chosen path
+/// is a pure function of (net, usable, src, dst). Returns false — leaving
+/// @p out untouched — when no live path exists. This is the fault-aware
+/// data plane's detour fallback (FaultState::route_from).
+bool append_live_route(const SimNetwork& net,
+                       std::span<const std::uint8_t> usable,
+                       topology::NodeId src, topology::NodeId dst,
+                       std::vector<std::uint16_t>& out);
 
 }  // namespace ipg::sim

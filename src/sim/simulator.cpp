@@ -6,8 +6,11 @@
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <stdexcept>
+#include <string>
 
 #include "sim/event_heap.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/route_arena.hpp"
 #include "util/check.hpp"
 
@@ -23,7 +26,54 @@ struct EngineStats {
   std::size_t delivered = 0;
   std::size_t hops = 0;
   std::size_t offchip_hops = 0;
+  std::size_t injected = 0;
+  std::size_t dropped = 0;
+  std::size_t retransmitted = 0;
+  std::size_t in_flight = 0;
+  std::size_t reroute_hops = 0;
 };
+
+/// Diagnoses why bounded-buffer packets are stuck at end of run: every
+/// undelivered packet is parked in some waiting list, so following the
+/// "node hosting a parked packet -> full node it wants to enter" relation
+/// from any parked packet must revisit a node — that cycle is the report.
+/// @p at_of maps a parked packet id to the node currently hosting it.
+template <typename AtOf>
+[[noreturn]] void fail_with_deadlock_cycle(
+    const std::vector<std::deque<std::uint32_t>>& waiting, AtOf&& at_of) {
+  std::vector<NodeId> succ(waiting.size(), topology::kInvalidNode);
+  NodeId start = topology::kInvalidNode;
+  for (std::size_t to = 0; to < waiting.size(); ++to) {
+    for (const std::uint32_t pid : waiting[to]) {
+      const NodeId at = at_of(pid);
+      if (succ[at] == topology::kInvalidNode) {
+        succ[at] = static_cast<NodeId>(to);
+      }
+      if (start == topology::kInvalidNode) start = at;
+    }
+  }
+  std::string msg =
+      "simulation ended with undelivered packets — routing deadlock under "
+      "bounded buffers";
+  if (start != topology::kInvalidNode) {
+    std::vector<std::uint8_t> seen(waiting.size(), 0);
+    std::vector<NodeId> path;
+    NodeId v = start;
+    while (v != topology::kInvalidNode && seen[v] == 0) {
+      seen[v] = 1;
+      path.push_back(v);
+      v = succ[v];
+    }
+    if (v != topology::kInvalidNode) {
+      msg += "; waiting cycle: ";
+      std::size_t i = 0;
+      while (path[i] != v) ++i;
+      for (; i < path.size(); ++i) msg += std::to_string(path[i]) + " -> ";
+      msg += std::to_string(v);
+    }
+  }
+  throw std::invalid_argument(msg);
+}
 
 void record_delivery(EngineStats& stats, double time, double inject_time) {
   const double latency = time - inject_time;
@@ -81,15 +131,13 @@ std::vector<LinkHot> make_link_table(const SimNetwork& net,
   return links;
 }
 
-/// Smallest k <= 12 such that every timing component of the run is an
-/// integer multiple of 2^-k, or -1 if there is none (odd bandwidths like 3
-/// flits/cycle give non-terminating binary transfer times). When k exists,
-/// every event time the engine can compute is a multiple of 2^-k too (they
-/// are sums and maxes of the components), and TickQueue applies.
-int quantized_grid_bits(const std::vector<LinkHot>& links, double latency,
-                        const std::vector<FlatPacket>& packets) {
+/// Folds timing components into the smallest k <= 12 such that every one
+/// seen so far is an integer multiple of 2^-k; bits == -1 means no such k
+/// (odd bandwidths like 3 flits/cycle give non-terminating binary transfer
+/// times).
+struct GridFold {
   int bits = 0;
-  const auto fold = [&bits](double v) {
+  void fold(double v) {
     if (bits < 0) return;
     if (!std::isfinite(v) || v < 0) {
       bits = -1;
@@ -103,18 +151,39 @@ int quantized_grid_bits(const std::vector<LinkHot>& links, double latency,
       }
     }
     bits = -1;
-  };
-  fold(latency);
+  }
+};
+
+/// Grid exponent for a run, or -1 if its timing does not quantize. When k
+/// exists, every event time the engine can compute is a multiple of 2^-k
+/// (times are sums and maxes of the folded components — including retry
+/// backoff delays, which are power-of-two multiples of the base delay), and
+/// TickQueue applies. Works for the healthy FlatPacket and the FaultPacket
+/// loops alike; with the default max_retries == 0 it folds exactly the
+/// components the pre-fault engine folded.
+template <typename Packet>
+int quantized_grid_bits(const std::vector<LinkHot>& links,
+                        const SimConfig& cfg,
+                        const std::vector<Packet>& packets) {
+  GridFold f;
+  f.fold(cfg.link_latency_cycles);
   for (const LinkHot& l : links) {
-    fold(l.transfer);
-    fold(l.inv_bandwidth);
-    if (bits < 0) return bits;
+    f.fold(l.transfer);
+    f.fold(l.inv_bandwidth);
+    if (f.bits < 0) return f.bits;
   }
-  for (const FlatPacket& p : packets) {
-    fold(p.inject_time);
-    if (bits < 0) return bits;
+  for (const Packet& p : packets) {
+    f.fold(p.inject_time);
+    if (f.bits < 0) return f.bits;
   }
-  return bits;
+  if (cfg.max_retries > 0) {
+    const std::uint32_t max_exp = std::min<std::uint32_t>(cfg.max_retries - 1, 16);
+    for (std::uint32_t j = 0; j <= max_exp; ++j) {
+      f.fold(cfg.retry_backoff_cycles * static_cast<double>(1ull << j));
+      if (f.bits < 0) return f.bits;
+    }
+  }
+  return f.bits;
 }
 
 /// Core event loop, shared by both arena queues. @p order lists packet ids
@@ -248,9 +317,11 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
     link_busy_until[l] = links[l].busy_until;
     link_busy_time[l] = links[l].busy_time;
   }
-  IPG_CHECK(stats.delivered == packets.size(),
-            "simulation ended with undelivered packets — routing deadlock "
-            "under bounded buffers");
+  stats.injected = packets.size();
+  if (stats.delivered != packets.size()) {
+    fail_with_deadlock_cycle(
+        waiting, [&](std::uint32_t pid) { return packets[pid].at; });
+  }
   return stats;
 }
 
@@ -269,8 +340,7 @@ EngineStats run_engine_arena(const SimNetwork& net,
                 net.num_nodes() < Event::kFreeBufferBit,
             "packet/node ids must fit in 31 bits");
   std::vector<LinkHot> links = make_link_table(net, cfg);
-  const int grid_bits = quantized_grid_bits(links, cfg.link_latency_cycles,
-                                            packets);
+  const int grid_bits = quantized_grid_bits(links, cfg, packets);
   if (grid_bits >= 0) {
     TickQueue events(grid_bits);
     return run_arena_loop(events, net, packets, order, route_ports, links,
@@ -283,13 +353,14 @@ EngineStats run_engine_arena(const SimNetwork& net,
 
 /// Injection schedule: packet ids ordered by (inject_time, id). Stable sort
 /// keeps generation order among equal-time injections, matching the
-/// reference engine's upfront push order.
-std::vector<std::uint32_t> injection_order(
-    const std::vector<FlatPacket>& packets) {
+/// reference engine's upfront push order. Works for any packet type with an
+/// inject_time field (FlatPacket and FaultPacket).
+template <typename Packet>
+std::vector<std::uint32_t> injection_order(const std::vector<Packet>& packets) {
   std::vector<std::uint32_t> order(packets.size());
   std::iota(order.begin(), order.end(), 0u);
   const bool sorted = std::is_sorted(
-      packets.begin(), packets.end(), [](const FlatPacket& a, const FlatPacket& b) {
+      packets.begin(), packets.end(), [](const Packet& a, const Packet& b) {
         return a.inject_time < b.inject_time;
       });
   if (!sorted) {
@@ -410,9 +481,11 @@ EngineStats run_engine_reference(const SimNetwork& net,
     }
     events.push({Event::key_of(ready_next), take_seq(), ev.id()});
   }
-  IPG_CHECK(stats.delivered == packets.size(),
-            "simulation ended with undelivered packets — routing deadlock "
-            "under bounded buffers");
+  stats.injected = packets.size();
+  if (stats.delivered != packets.size()) {
+    fail_with_deadlock_cycle(
+        waiting, [&](std::uint32_t pid) { return packets[pid].at; });
+  }
   return stats;
 }
 
@@ -426,6 +499,15 @@ SimResult summarize(const SimNetwork& net, EngineStats& stats,
   SimResult r;
   r.packets_delivered = stats.delivered;
   r.makespan_cycles = stats.last_delivery;
+  r.packets_injected = stats.injected;
+  r.packets_dropped = stats.dropped;
+  r.packets_retransmitted = stats.retransmitted;
+  r.packets_in_flight = stats.in_flight;
+  r.reroute_hops = stats.reroute_hops;
+  r.delivered_fraction = stats.injected == 0
+                             ? 1.0
+                             : static_cast<double>(stats.delivered) /
+                                   static_cast<double>(stats.injected);
   if (stats.delivered > 0) {
     r.avg_latency_cycles = stats.latency_sum / static_cast<double>(stats.delivered);
     r.max_latency_cycles = stats.latency_max;
@@ -466,6 +548,8 @@ void draw_open_injections(const SimNetwork& net, const TrafficPattern& pattern,
     for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
       if (!rng.bernoulli(rate)) continue;
       const NodeId d = pattern(v, rng);
+      IPG_CHECK(d < net.num_nodes(),
+                "traffic pattern produced an out-of-range destination");
       if (d == v) continue;
       emit(v, d, static_cast<double>(cycle));
     }
@@ -514,6 +598,320 @@ SimResult run_ref(const SimNetwork& net, std::vector<RefPacket>& packets,
   return summarize(net, stats, cfg, busy_time);
 }
 
+// ---------------------------------------------------------------------------
+// Fault-aware data plane (degraded mode). One loop body serves both
+// engines: the template parameters preserve their structural differences —
+// kArena streams injections from a sorted schedule into a TickQueue /
+// EventQueue, kReference pushes everything upfront into a
+// std::priority_queue — while the packet array holds all mutable state, so
+// the two engines follow byte-identical routes and pop the same canonical
+// (time, seq) order. A packet that finds its next link dead detours from
+// the node that discovered the failure (FaultState::route_from, bounded by
+// SimConfig::misroute_budget); with no live route it is dropped, or
+// retransmitted from its source under capped exponential backoff.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint8_t kActive = 0;
+constexpr std::uint8_t kDelivered = 1;
+constexpr std::uint8_t kDropped = 2;
+
+/// Authoritative per-packet state for degraded runs. Unlike the healthy
+/// arena loop, events never carry packet state: routes can change while a
+/// packet is parked, so the array is the single source of truth.
+struct FaultPacket {
+  NodeId src;
+  NodeId dst;
+  NodeId at;                    ///< current node
+  std::uint32_t cursor = 0;     ///< next port's index in the fault arena
+  std::uint16_t hops_left = 0;
+  std::uint16_t reroutes = 0;   ///< detours adopted this attempt
+  std::uint32_t attempt = 0;    ///< retransmissions so far
+  double inject_time;           ///< original injection (latency baseline)
+  std::uint8_t state = kActive;
+  bool routed = false;          ///< cursor/hops_left valid
+  bool moved = false;           ///< holds a buffer slot at its current node
+};
+
+template <typename Queue, bool kStreamInjections>
+EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
+                            FaultState& faults,
+                            std::vector<FaultPacket>& packets,
+                            const std::vector<std::uint32_t>& order,
+                            std::vector<LinkHot>& links, const SimConfig& cfg,
+                            std::vector<double>& link_busy_until,
+                            std::vector<double>& link_busy_time) {
+  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
+  const auto take_seq = [&next_seq] {
+    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
+              "event sequence overflow");
+    return next_seq++;
+  };
+  std::size_t next_inject = 0;
+  if constexpr (!kStreamInjections) {
+    for (std::uint32_t i = 0; i < packets.size(); ++i) {
+      events.push(Event{Event::key_of(packets[i].inject_time), i, i});
+    }
+  }
+
+  const std::size_t cap = cfg.node_buffer_packets;
+  std::vector<std::size_t> occupancy;
+  std::vector<std::deque<std::uint32_t>> waiting;
+  if (cap > 0) {
+    occupancy.assign(net.num_nodes(), 0);
+    waiting.assign(net.num_nodes(), {});
+  }
+
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
+  const double cutoff = cfg.max_cycles;
+
+  EngineStats stats;
+  stats.latencies.reserve(packets.size());
+
+  // Drop-or-retry at a fault: frees the buffer slot the packet holds, then
+  // either schedules a fresh attempt from the source under capped
+  // exponential backoff or drops the packet for good.
+  const auto fail_packet = [&](std::uint32_t pid, std::uint64_t key,
+                               double now) {
+    FaultPacket& p = packets[pid];
+    if (cap > 0 && p.moved) {
+      events.push(Event{key, take_seq(), p.at | Event::kFreeBufferBit});
+      p.moved = false;
+    }
+    if (p.attempt < cfg.max_retries) {
+      ++p.attempt;
+      ++stats.retransmitted;
+      p.at = p.src;
+      p.routed = false;
+      p.reroutes = 0;
+      const std::uint32_t exp = std::min<std::uint32_t>(p.attempt - 1, 16);
+      const double delay =
+          cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
+      events.push(Event{Event::key_of(now + delay), take_seq(), pid});
+    } else {
+      p.state = kDropped;
+      ++stats.dropped;
+    }
+  };
+
+  bool cutoff_hit = false;
+  for (;;) {
+    Event ev;
+    if constexpr (kStreamInjections) {
+      if (next_inject < order.size()) {
+        const std::uint32_t next_pid = order[next_inject];
+        const Event inject{Event::key_of(packets[next_pid].inject_time),
+                           next_pid, next_pid};
+        if (events.empty() || inject < events.top()) {
+          ev = inject;
+          ++next_inject;
+        } else {
+          ev = events.top();
+          events.pop();
+        }
+      } else if (!events.empty()) {
+        ev = events.top();
+        events.pop();
+      } else {
+        break;
+      }
+    } else {
+      if (events.empty()) break;
+      ev = events.top();
+      events.pop();
+    }
+
+    const double now = ev.time();
+    if (cutoff > 0 && now > cutoff) {
+      cutoff_hit = true;
+      break;
+    }
+    faults.advance_to(now);
+
+    if (ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      --occupancy[node];
+      if (!waiting[node].empty()) {
+        const std::uint32_t pid = waiting[node].front();
+        waiting[node].pop_front();
+        events.push(Event{ev.key, take_seq(), pid});
+      }
+      continue;
+    }
+
+    const std::uint32_t pid = ev.id();
+    FaultPacket& p = packets[pid];
+    if (!p.routed) {
+      RouteRef ref;
+      if (!faults.route_from(p.at, p.dst, ref)) {
+        fail_packet(pid, ev.key, now);
+        continue;
+      }
+      p.routed = true;
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+    }
+    if (p.hops_left == 0) {
+      p.state = kDelivered;
+      record_delivery(stats, now, p.inject_time);
+      continue;
+    }
+
+    std::uint16_t port = faults.ports()[p.cursor];
+    LinkId link_id = first_link[p.at] + port;
+    if (!faults.link_usable(link_id)) {
+      // Detour at the node that discovered the failure.
+      RouteRef ref;
+      if (p.reroutes >= cfg.misroute_budget ||
+          !faults.route_from(p.at, p.dst, ref)) {
+        fail_packet(pid, ev.key, now);
+        continue;
+      }
+      ++p.reroutes;
+      if (ref.length > p.hops_left) {
+        stats.reroute_hops += static_cast<std::size_t>(ref.length - p.hops_left);
+      }
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+      port = faults.ports()[p.cursor];
+      link_id = first_link[p.at] + port;  // first hop is live by construction
+    }
+
+    LinkHot& link = links[link_id];
+    const NodeId to = link.to;
+    const bool last_hop = p.hops_left == 1;
+
+    if (cap > 0 && !last_hop) {
+      if (occupancy[to] >= cap) {
+        waiting[to].push_back(pid);
+        continue;
+      }
+      ++occupancy[to];
+    }
+
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    if (cap > 0 && p.moved) {
+      events.push(Event{Event::key_of(tail_departure), take_seq(),
+                        p.at | Event::kFreeBufferBit});
+    }
+
+    ++stats.hops;
+    stats.offchip_hops += link.offchip;
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    p.at = to;
+    ++p.cursor;
+    --p.hops_left;
+    p.moved = !last_hop;
+    events.push(Event{Event::key_of(ready_next), take_seq(), pid});
+  }
+
+  for (LinkId l = 0; l < links.size(); ++l) {
+    link_busy_until[l] = links[l].busy_until;
+    link_busy_time[l] = links[l].busy_time;
+  }
+  stats.injected = packets.size();
+  for (const FaultPacket& p : packets) {
+    if (p.state == kActive) ++stats.in_flight;
+  }
+  if (stats.in_flight > 0 && !cutoff_hit) {
+    fail_with_deadlock_cycle(
+        waiting, [&](std::uint32_t pid) { return packets[pid].at; });
+  }
+  IPG_CHECK(
+      stats.delivered + stats.dropped + stats.in_flight == stats.injected,
+      "packet conservation violated");
+  return stats;
+}
+
+SimResult run_faulty(const SimNetwork& net, const Router& route,
+                     std::span<const Injection> injections,
+                     const SimConfig& cfg) {
+  static const FaultPlan kNoFaults;
+  const FaultPlan& plan =
+      cfg.fault_plan != nullptr ? *cfg.fault_plan : kNoFaults;
+  FaultState faults(net, plan, route);
+  std::vector<FaultPacket> packets;
+  packets.reserve(injections.size());
+  for (const Injection& i : injections) {
+    FaultPacket p;
+    p.src = i.src;
+    p.dst = i.dst;
+    p.at = i.src;
+    p.inject_time = i.time;
+    packets.push_back(p);
+  }
+  IPG_CHECK(packets.size() < Event::kFreeBufferBit &&
+                net.num_nodes() < Event::kFreeBufferBit,
+            "packet/node ids must fit in 31 bits");
+  std::vector<LinkHot> links = make_link_table(net, cfg);
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  EngineStats stats;
+  if (cfg.engine == Engine::kReference) {
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    const std::vector<std::uint32_t> no_order;
+    stats = run_faulty_loop<decltype(events), false>(
+        events, net, faults, packets, no_order, links, cfg, busy_until,
+        busy_time);
+  } else {
+    const std::vector<std::uint32_t> order = injection_order(packets);
+    const int grid_bits = quantized_grid_bits(links, cfg, packets);
+    if (grid_bits >= 0) {
+      TickQueue events(grid_bits);
+      stats = run_faulty_loop<TickQueue, true>(events, net, faults, packets,
+                                               order, links, cfg, busy_until,
+                                               busy_time);
+    } else {
+      EventQueue events;
+      stats = run_faulty_loop<EventQueue, true>(events, net, faults, packets,
+                                                order, links, cfg, busy_until,
+                                                busy_time);
+    }
+  }
+  return summarize(net, stats, cfg, busy_time);
+}
+
+/// True when the run must take the fault-aware path. An empty or null plan
+/// with no cutoff keeps the healthy fast path — and its bit-identical
+/// results — untouched.
+bool degraded_mode(const SimConfig& cfg) {
+  return (cfg.fault_plan != nullptr && !cfg.fault_plan->empty()) ||
+         cfg.max_cycles > 0;
+}
+
+/// Up-front validation shared by every run_* driver (satellite: clear
+/// util::check errors instead of silent UB or hangs).
+void validate_run_inputs(const SimNetwork& net, const SimConfig& cfg) {
+  IPG_CHECK(net.num_nodes() > 0, "network has no nodes");
+  IPG_CHECK(
+      std::isfinite(cfg.packet_length_flits) && cfg.packet_length_flits > 0,
+      "packet_length_flits must be positive and finite");
+  IPG_CHECK(
+      std::isfinite(cfg.link_latency_cycles) && cfg.link_latency_cycles >= 0,
+      "link_latency_cycles must be non-negative and finite");
+  IPG_CHECK(std::isfinite(cfg.max_cycles) && cfg.max_cycles >= 0,
+            "max_cycles must be non-negative and finite");
+  if (cfg.max_retries > 0) {
+    IPG_CHECK(
+        std::isfinite(cfg.retry_backoff_cycles) && cfg.retry_backoff_cycles > 0,
+        "retry_backoff_cycles must be positive when retries are enabled");
+  }
+  if (cfg.fault_plan != nullptr) cfg.fault_plan->validate(net.num_nodes());
+}
+
 }  // namespace
 
 double percentile_nearest_rank(std::vector<double>& values, double pct) {
@@ -529,7 +927,19 @@ double percentile_nearest_rank(std::vector<double>& values, double pct) {
 
 SimResult run_batch(const SimNetwork& net, const Router& route,
                     const std::vector<NodeId>& dst, const SimConfig& cfg) {
+  validate_run_inputs(net, cfg);
   IPG_CHECK(dst.size() == net.num_nodes(), "one destination per node");
+  for (NodeId v = 0; v < dst.size(); ++v) {
+    IPG_CHECK(dst[v] < net.num_nodes(), "destination out of range");
+  }
+  if (degraded_mode(cfg)) {
+    std::vector<Injection> injections;
+    injections.reserve(dst.size());
+    for (NodeId v = 0; v < dst.size(); ++v) {
+      if (dst[v] != v) injections.push_back({v, dst[v], 0.0});
+    }
+    return run_faulty(net, route, injections, cfg);
+  }
   if (cfg.engine == Engine::kReference) {
     std::vector<RefPacket> packets;
     packets.reserve(dst.size());
@@ -552,8 +962,19 @@ SimResult run_batch(const SimNetwork& net, const Router& route,
 
 SimResult run_total_exchange(const SimNetwork& net, const Router& route,
                              const SimConfig& cfg) {
+  validate_run_inputs(net, cfg);
   const std::size_t n = net.num_nodes();
   IPG_CHECK(n <= 1024, "total exchange is quadratic; keep N <= 1024");
+  if (degraded_mode(cfg)) {
+    std::vector<Injection> injections;
+    injections.reserve(n * (n - 1));
+    for (NodeId src = 0; src < n; ++src) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (src != dst) injections.push_back({src, dst, 0.0});
+      }
+    }
+    return run_faulty(net, route, injections, cfg);
+  }
   if (cfg.engine == Engine::kReference) {
     std::vector<RefPacket> packets;
     packets.reserve(n * (n - 1));
@@ -583,7 +1004,19 @@ SimResult run_total_exchange(const SimNetwork& net, const Router& route,
 SimResult run_open(const SimNetwork& net, const Router& route,
                    const TrafficPattern& pattern, double rate,
                    std::size_t inject_cycles, const SimConfig& cfg) {
-  IPG_CHECK(rate > 0 && rate <= 1.0, "injection rate must be in (0, 1]");
+  validate_run_inputs(net, cfg);
+  IPG_CHECK(std::isfinite(rate) && rate > 0 && rate <= 1.0,
+            "injection rate must be in (0, 1]");
+  if (degraded_mode(cfg)) {
+    // Same RNG stream and node-major draw order as the healthy path, so the
+    // injected population is independent of the fault plan.
+    std::vector<Injection> injections;
+    draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
+                         [&](NodeId v, NodeId d, double t) {
+                           injections.push_back({v, d, t});
+                         });
+    return run_faulty(net, route, injections, cfg);
+  }
   if (cfg.engine == Engine::kReference) {
     std::vector<RefPacket> packets;
     draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
@@ -599,6 +1032,36 @@ SimResult run_open(const SimNetwork& net, const Router& route,
                        [&](NodeId v, NodeId d, double t) {
                          packets.push_back(make_flat_packet(arena, v, d, t));
                        });
+  return run_flat(net, packets, arena, cfg);
+}
+
+SimResult run_trace(const SimNetwork& net, const Router& route,
+                    std::span<const Injection> injections,
+                    const SimConfig& cfg) {
+  validate_run_inputs(net, cfg);
+  for (const Injection& i : injections) {
+    IPG_CHECK(i.src < net.num_nodes() && i.dst < net.num_nodes(),
+              "injection endpoints out of range");
+    IPG_CHECK(i.src != i.dst, "injection with src == dst");
+    IPG_CHECK(std::isfinite(i.time) && i.time >= 0,
+              "injection time must be finite and non-negative");
+  }
+  if (degraded_mode(cfg)) return run_faulty(net, route, injections, cfg);
+  if (cfg.engine == Engine::kReference) {
+    std::vector<RefPacket> packets;
+    packets.reserve(injections.size());
+    for (const Injection& i : injections) {
+      packets.push_back(make_ref_packet(net, route, i.src, i.dst, i.time));
+    }
+    return run_ref(net, packets, cfg);
+  }
+  RouteArena arena(net, route);
+  arena.reserve(injections.size(), 0);
+  std::vector<FlatPacket> packets;
+  packets.reserve(injections.size());
+  for (const Injection& i : injections) {
+    packets.push_back(make_flat_packet(arena, i.src, i.dst, i.time));
+  }
   return run_flat(net, packets, arena, cfg);
 }
 

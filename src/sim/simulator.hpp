@@ -29,8 +29,11 @@
 // seed every SimResult field is bit-identical across engines and runs.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/routers.hpp"
 #include "sim/traffic.hpp"
@@ -60,6 +63,24 @@ struct SimConfig {
   /// hierarchical super-IPG routes are); a cyclic wait raises an error.
   std::size_t node_buffer_packets = 0;
   std::uint64_t seed = 1;
+
+  // -- Degraded-mode knobs (docs/ROBUSTNESS.md). With a null/empty plan and
+  // max_cycles == 0 the healthy fast path runs and every SimResult field is
+  // bit-identical to the pre-fault engines.
+
+  /// Scheduled link/node failures and repairs, shared across sweep jobs.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// Retransmissions a packet may attempt after being dropped at a fault
+  /// (no live route, or misroute budget exhausted). 0 = drop immediately.
+  std::uint32_t max_retries = 0;
+  /// Delay before the first retransmission; doubles per attempt with the
+  /// exponent capped at 2^16 (capped exponential backoff).
+  double retry_backoff_cycles = 32;
+  /// Detours a packet may adopt per source attempt before giving up.
+  std::uint32_t misroute_budget = 8;
+  /// Hard cutoff: events after this time are not processed and unfinished
+  /// packets count as in flight. 0 = run until the event queue drains.
+  double max_cycles = 0;
 };
 
 struct SimResult {
@@ -75,6 +96,25 @@ struct SimResult {
   double throughput_flits_per_node_cycle = 0;
   double max_offchip_utilization = 0;  ///< busiest off-chip link
   double avg_offchip_utilization = 0;
+
+  // -- Degraded-mode accounting. The conservation invariant
+  //    packets_injected == packets_delivered + packets_dropped +
+  //    packets_in_flight
+  // holds for every run (the engines check it); healthy runs have
+  // dropped == in_flight == 0 and delivered_fraction == 1.
+  std::size_t packets_injected = 0;       ///< distinct packets (not attempts)
+  std::size_t packets_dropped = 0;
+  std::size_t packets_retransmitted = 0;  ///< total retry attempts
+  std::size_t packets_in_flight = 0;      ///< undelivered at the cutoff
+  std::size_t reroute_hops = 0;  ///< extra hops adopted by mid-flight detours
+  double delivered_fraction = 1;  ///< delivered / injected (1 if none)
+};
+
+/// One externally scheduled packet for run_trace.
+struct Injection {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double time = 0;
 };
 
 /// One packet per source with the given destinations (dst[v] == v means no
@@ -94,6 +134,14 @@ SimResult run_open(const SimNetwork& net, const Router& route,
 /// Keep N modest (packet count is quadratic).
 SimResult run_total_exchange(const SimNetwork& net, const Router& route,
                              const SimConfig& cfg);
+
+/// Runs an explicit injection schedule — the primitive the batch / open /
+/// total-exchange drivers reduce to, exposed for fault drills and
+/// deterministic degraded-mode tests. Honors every SimConfig knob,
+/// including the fault plan and retry policy.
+SimResult run_trace(const SimNetwork& net, const Router& route,
+                    std::span<const Injection> injections,
+                    const SimConfig& cfg);
 
 /// Nearest-rank percentile: the ceil(n * pct / 100)-th smallest sample
 /// (pct in (0, 100]), found with nth_element — @p values is reordered, not

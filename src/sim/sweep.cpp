@@ -76,6 +76,26 @@ std::vector<SweepJob> switching_sweep(const SimNetwork& net,
   return jobs;
 }
 
+std::vector<SweepJob> fault_plan_sweep(
+    const SimNetwork& net, const Router& route, const TrafficPattern& pattern,
+    double rate, std::size_t inject_cycles,
+    std::span<const std::shared_ptr<const FaultPlan>> plans,
+    const SimConfig& base) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const std::shared_ptr<const FaultPlan> plan = plans[i];
+    jobs.push_back({"plan " + std::to_string(i),
+                    [&net, route, pattern, rate, inject_cycles, plan, base]() {
+                      SimConfig cfg = base;
+                      cfg.fault_plan = plan;
+                      return run_open(net, route, pattern, rate,
+                                      inject_cycles, cfg);
+                    }});
+  }
+  return jobs;
+}
+
 double mean_of(const std::vector<SweepOutcome>& outcomes,
                double SimResult::*field) {
   IPG_CHECK(!outcomes.empty(), "mean over an empty sweep");

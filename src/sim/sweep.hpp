@@ -12,6 +12,7 @@
 // alone. The sweep-determinism test pins this.
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -61,6 +62,16 @@ std::vector<SweepJob> switching_sweep(const SimNetwork& net,
                                       const std::vector<NodeId>& dst,
                                       std::span<const Switching> modes,
                                       const SimConfig& base);
+
+/// Degraded-mode axis: the same open-loop run under each fault plan (null
+/// or empty entries are healthy baselines). Plans are shared pointers so
+/// jobs stay cheap to copy and one plan can serve many sweep points;
+/// job i runs with SimConfig::fault_plan = plans[i] and label "plan i".
+std::vector<SweepJob> fault_plan_sweep(
+    const SimNetwork& net, const Router& route, const TrafficPattern& pattern,
+    double rate, std::size_t inject_cycles,
+    std::span<const std::shared_ptr<const FaultPlan>> plans,
+    const SimConfig& base);
 
 /// Mean of one SimResult field over all outcomes (replicate averaging).
 double mean_of(const std::vector<SweepOutcome>& outcomes,

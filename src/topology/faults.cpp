@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "util/rng.hpp"
+
 namespace ipg::topology {
 
 namespace {
@@ -147,6 +149,37 @@ std::size_t node_disjoint_paths(const Graph& g, NodeId s, NodeId t,
   std::size_t flow = 0;
   while (flow < max_k && net.augment(s, t + n)) ++flow;
   return flow;
+}
+
+std::vector<std::pair<NodeId, NodeId>> sample_links(
+    const Graph& g, const Clustering* intercluster_only, std::size_t count,
+    std::uint64_t seed) {
+  // Each undirected link once, in deterministic scan order (multigraph
+  // parallels collapse to one entry, matching remove_links semantics).
+  std::vector<std::pair<NodeId, NodeId>> eligible;
+  std::unordered_set<std::uint64_t> seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& arc : g.arcs_of(v)) {
+      if (arc.to <= v) continue;
+      if (intercluster_only != nullptr &&
+          !intercluster_only->is_intercluster(v, arc.to)) {
+        continue;
+      }
+      if (seen.insert(pair_key(v, arc.to)).second) {
+        eligible.emplace_back(v, arc.to);
+      }
+    }
+  }
+  IPG_CHECK(count <= eligible.size(),
+            "asked to sample more links than the graph has eligible");
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(eligible.size() - i));
+    std::swap(eligible[i], eligible[j]);
+  }
+  eligible.resize(count);
+  return eligible;
 }
 
 }  // namespace ipg::topology

@@ -37,4 +37,14 @@ std::size_t edge_disjoint_paths(const Graph& g, NodeId s, NodeId t,
 std::size_t node_disjoint_paths(const Graph& g, NodeId s, NodeId t,
                                 std::size_t max_k = 64);
 
+/// Draws @p count distinct undirected links of @p g uniformly at random
+/// (partial Fisher–Yates over the edge list, Xoshiro256(@p seed)); a pure
+/// function of its arguments. When @p intercluster_only is non-null, only
+/// links crossing clusters (off-chip links in the MCMP view) are eligible.
+/// Throws if fewer than @p count links are eligible. Feeds both static
+/// graph surgery (remove_links) and the simulator's live FaultPlan.
+std::vector<std::pair<NodeId, NodeId>> sample_links(
+    const Graph& g, const Clustering* intercluster_only, std::size_t count,
+    std::uint64_t seed);
+
 }  // namespace ipg::topology

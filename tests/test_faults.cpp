@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "metrics/distances.hpp"
 #include "sim/routers.hpp"
 #include "topology/named.hpp"
@@ -114,6 +116,71 @@ TEST(Faults, RandomLinkFailuresRarelyDisconnect) {
 TEST(Faults, MaxKCapsTheSearch) {
   const Graph g = hypercube_graph(4);
   EXPECT_EQ(edge_disjoint_paths(g, 0, 15, 2), 2u);
+}
+
+TEST(Faults, KaryTorusConnectivityIsTwoN) {
+  // The 4-ary 2-cube is 4-regular and 4-connected (2n for k > 2): the two
+  // wrap directions per dimension give four disjoint escapes everywhere.
+  const Graph g = kary_ncube_graph(4, 2);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 10), 4u);  // (0,0) -> (2,2), antipodal
+  EXPECT_EQ(node_disjoint_paths(g, 0, 10), 4u);
+  EXPECT_EQ(node_disjoint_paths(g, 0, 1), 4u);  // adjacent pair too
+}
+
+TEST(Faults, CompleteCnConnectivityIsThrottledByClusterExits) {
+  // CCN(2, K4): distinct-symbol nodes have degree 4 (3 nucleus generators
+  // + one inter-cluster generator), but cluster s contains node (s,s)
+  // whose inter-cluster link degenerates to a self-loop, leaving every
+  // cluster exactly 3 live exits. Inter-cluster pairs therefore cap at 3
+  // disjoint paths — one below the degree.
+  const SuperIpg ccn = make_complete_cn(2, std::make_shared<CompleteNucleus>(4));
+  const Graph g = ccn.to_graph();
+  const NodeId a = ccn.make_node(std::vector<NodeId>{0, 1});
+  const NodeId b = ccn.make_node(std::vector<NodeId>{2, 3});
+  EXPECT_EQ(g.degree(a), 4u);
+  EXPECT_EQ(node_disjoint_paths(g, a, b), 3u);
+  EXPECT_EQ(edge_disjoint_paths(g, a, b), 3u);
+  const NodeId xx = ccn.make_node(std::vector<NodeId>{2, 2});
+  EXPECT_EQ(g.degree(xx), 3u);  // (x,x): the self-loop exit
+  EXPECT_EQ(node_disjoint_paths(g, a, xx), 3u);
+}
+
+TEST(Faults, IsolatedNodeHasZeroDisjointPaths) {
+  const Graph d = remove_nodes(hypercube_graph(3), {0});
+  EXPECT_EQ(edge_disjoint_paths(d, 0, 7), 0u);
+  EXPECT_EQ(node_disjoint_paths(d, 0, 7), 0u);
+}
+
+TEST(Faults, SampleLinksIsDeterministicAndDistinct) {
+  const Graph g = kary_ncube_graph(4, 2);
+  const auto a = sample_links(g, nullptr, 8, 77);
+  const auto b = sample_links(g, nullptr, 8, 77);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(a[i].first, a[i].second);  // canonical orientation
+    // The pair is a real edge of the graph.
+    bool found = false;
+    for (const auto& arc : g.arcs_of(a[i].first)) found |= arc.to == a[i].second;
+    EXPECT_TRUE(found) << a[i].first << "-" << a[i].second;
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+  }
+}
+
+TEST(Faults, SampleLinksCanRestrictToOffchip) {
+  const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(3));
+  const Graph g = hsn.to_graph();
+  const Clustering chips = hsn.nucleus_clustering();
+  const auto links = sample_links(g, &chips, 6, 5);
+  ASSERT_EQ(links.size(), 6u);
+  for (const auto& [u, v] : links) {
+    EXPECT_TRUE(chips.is_intercluster(u, v)) << u << "-" << v;
+  }
+}
+
+TEST(Faults, SampleLinksRejectsOversampling) {
+  EXPECT_THROW(sample_links(ring_graph(6), nullptr, 7, 1),
+               std::invalid_argument);
 }
 
 }  // namespace

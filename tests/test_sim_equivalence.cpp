@@ -32,6 +32,17 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
   EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
   EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_retransmitted, b.packets_retransmitted);
+  EXPECT_EQ(a.packets_in_flight, b.packets_in_flight);
+  EXPECT_EQ(a.reroute_hops, b.reroute_hops);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+void expect_conserved(const SimResult& r) {
+  EXPECT_EQ(r.packets_injected,
+            r.packets_delivered + r.packets_dropped + r.packets_in_flight);
 }
 
 struct TestNet {
@@ -131,6 +142,48 @@ TEST_P(EngineEquivalence, BatchBoundedBuffers) {
   cfg.engine = Engine::kReference;
   const auto oracle = run_batch(t.net, t.router, perm, cfg);
   expect_identical(fast, oracle);
+}
+
+TEST_P(EngineEquivalence, EmptyFaultPlanBitIdentical) {
+  // PR-1 contract carried forward: an absent plan and an empty plan both
+  // take the healthy fast path, so every SimResult field is bit-identical.
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  cfg.max_retries = 3;  // retry knobs are inert without faults
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  const auto healthy = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  cfg.fault_plan = std::make_shared<const FaultPlan>();
+  const auto with_empty_plan = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  expect_identical(healthy, with_empty_plan);
+  EXPECT_EQ(with_empty_plan.packets_dropped, 0u);
+  EXPECT_EQ(with_empty_plan.delivered_fraction, 1.0);
+  expect_conserved(with_empty_plan);
+}
+
+TEST_P(EngineEquivalence, FaultPlanBitIdenticalAcrossEngines) {
+  // Degraded mode: links die mid-run, packets detour and retry. The two
+  // engines must still agree on every field, and packet conservation
+  // (injected = delivered + dropped + in-flight) must hold.
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_cycles = 16;
+  cfg.max_cycles = 4000;  // bound the run even if a fault strands packets
+  cfg.fault_plan = std::make_shared<const FaultPlan>(
+      FaultPlan::random_link_faults(t.net.graph(), nullptr, 3, 40.0, 30.0, 11));
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kArena;
+  const auto fast = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  EXPECT_GT(fast.packets_delivered, 0u);
+  expect_identical(fast, oracle);
+  expect_conserved(fast);
+  expect_conserved(oracle);
 }
 
 INSTANTIATE_TEST_SUITE_P(Networks, EngineEquivalence, ::testing::Values(0, 1, 2),
