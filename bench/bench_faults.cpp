@@ -6,6 +6,7 @@
 // are a fault_plan_sweep fanned across the machine pool. Emits
 // BENCH_faults.json so CI can track the robustness trajectory alongside
 // BENCH_sim.json's raw speed.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -79,9 +80,13 @@ void emit_json(std::ostream& os,
          << ", \"delivered_fraction\": " << r.delivered_fraction
          << ", \"packets_dropped\": " << r.packets_dropped
          << ", \"packets_retransmitted\": " << r.packets_retransmitted
-         << ", \"reroute_hops\": " << r.reroute_hops
-         << ", \"avg_latency_cycles\": " << r.avg_latency_cycles << "}"
-         << (i + 1 < pts.size() ? "," : "") << "\n";
+         << ", \"reroute_hops\": " << r.reroute_hops;
+      // Zero-delivery points report NaN latency, which JSON cannot carry —
+      // omit the field rather than emit a 0 that reads as perfect latency.
+      if (!std::isnan(r.avg_latency_cycles)) {
+        os << ", \"avg_latency_cycles\": " << r.avg_latency_cycles;
+      }
+      os << "}" << (i + 1 < pts.size() ? "," : "") << "\n";
     }
     os << "    ]" << (c + 1 < curves.size() ? "," : "") << "\n";
   }
@@ -113,7 +118,10 @@ int main() {
         fault_plan_sweep(net.network, net.router,
                          uniform_traffic(net.network.num_nodes()), 0.05, 400,
                          plans, cfg);
-    const auto outcomes = run_sweep(jobs);
+    // Progress on stderr keeps stdout's table + JSON clean.
+    StreamSweepProgress progress(std::cerr);
+    const auto outcomes =
+        run_sweep(jobs, util::ThreadPool::global(), &progress);
 
     util::Table t;
     t.header({"dead off-chip links", "throughput (flits/node/cyc)",

@@ -73,12 +73,16 @@ int main() {
         run_open(net, router, uniform_traffic(net.num_nodes()), 0.1, 600, cfg);
     rows.push_back({"open", r.packets_delivered, seconds_since(t0)});
   }
+  // Per-job progress goes to stderr (sim::StreamSweepProgress) so stdout
+  // stays pure table + JSON for CI consumption.
+  StreamSweepProgress progress(std::cerr);
   {
     std::vector<std::uint64_t> seeds;
     for (std::uint64_t s = 1; s <= 16; ++s) seeds.push_back(s);
     const auto jobs = batch_replicate_sweep(net, router, seeds, cfg);
     auto t0 = Clock::now();
-    const auto outcomes = run_sweep(jobs);
+    const auto outcomes =
+        run_sweep(jobs, util::ThreadPool::global(), &progress);
     std::size_t packets = 0;
     for (const auto& o : outcomes) packets += o.result.packets_delivered;
     rows.push_back({"batch", packets, seconds_since(t0)});
@@ -92,12 +96,14 @@ int main() {
   open_cfg.packet_length_flits = 8;
   const auto jobs = open_rate_sweep(net, router, uniform_traffic(net.num_nodes()),
                                     rates, 200, open_cfg);
+  // Both timed runs carry the same progress reporter so the 1-thread vs
+  // pool comparison stays apples to apples.
   util::ThreadPool one(1);
   auto t1 = Clock::now();
-  const auto serial = run_sweep(jobs, one);
+  const auto serial = run_sweep(jobs, one, &progress);
   const double sweep_1thread_s = seconds_since(t1);
   auto t2 = Clock::now();
-  const auto pooled = run_sweep(jobs);
+  const auto pooled = run_sweep(jobs, util::ThreadPool::global(), &progress);
   const double sweep_pool_s = seconds_since(t2);
   for (std::size_t i = 0; i < serial.size(); ++i) {
     if (serial[i].result.avg_latency_cycles !=

@@ -8,12 +8,21 @@
 // the next) to show the degradation unfolding: delivered fraction, drops,
 // retransmissions, and extra reroute hops — the reliability properties §5
 // credits to these topologies, now measured in motion.
+//
+// Pass `--trace out.json` to record the full-drain run as Chrome
+// trace_event JSON (docs/OBSERVABILITY.md) — load the file in
+// chrome://tracing or https://ui.perfetto.dev to scrub through every hop,
+// detour, retry, and fault on per-node/per-link tracks.
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mcmp/capacity.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/observer.hpp"
 #include "sim/simulator.hpp"
 #include "topology/faults.hpp"
 #include "topology/named.hpp"
@@ -21,9 +30,19 @@
 #include "topology/super_ipg.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ipg;
   using namespace ipg::topology;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: fault_drill [--trace out.json]\n";
+      return 2;
+    }
+  }
 
   const SuperIpg hsn = make_hsn(2, std::make_shared<HypercubeNucleus>(4));
   const Graph g = hsn.to_graph();
@@ -70,9 +89,22 @@ int main() {
           r.delivered_fraction);
   }
   // Full drain: no cutoff — every packet either delivers or exhausts its
-  // retries.
+  // retries. This is the run the optional Chrome trace records.
+  sim::ChromeTraceObserver trace;
+  if (!trace_path.empty()) cfg.observer = &trace;
   const auto final =
       sim::run_open(net, router, pattern, kRate, kInjectCycles, cfg);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open trace file: " << trace_path << "\n";
+      return 1;
+    }
+    trace.write_json(out);
+    std::cerr << "wrote " << trace.num_events() << " trace events to "
+              << trace_path << (trace.truncated() ? " (truncated)" : "")
+              << "\n";
+  }
   t.add("drain", kKills, final.packets_delivered, final.packets_dropped,
         final.packets_retransmitted, final.reroute_hops,
         final.packets_in_flight, final.delivered_fraction);

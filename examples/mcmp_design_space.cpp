@@ -27,8 +27,11 @@ double simulate_throughput(const Graph& g, const Clustering& chips,
   sim::SimConfig cfg;
   cfg.packet_length_flits = 16;
   constexpr std::array<std::uint64_t, 4> kSeeds{501, 502, 503, 504};
+  // Replicate progress on stderr; the design-space table owns stdout.
+  sim::StreamSweepProgress progress(std::cerr);
   const auto outcomes =
-      sim::run_sweep(sim::batch_replicate_sweep(net, router, kSeeds, cfg));
+      sim::run_sweep(sim::batch_replicate_sweep(net, router, kSeeds, cfg),
+                     util::ThreadPool::global(), &progress);
   return sim::mean_of(outcomes,
                       &sim::SimResult::throughput_flits_per_node_cycle);
 }

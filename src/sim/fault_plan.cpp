@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/observer.hpp"
 #include "topology/faults.hpp"
 #include "util/check.hpp"
 
@@ -79,6 +80,7 @@ void FaultState::set_link(NodeId a, NodeId b, bool dead) {
 }
 
 void FaultState::apply(const FaultEvent& e) {
+  if (observer_ != nullptr) observer_->on_fault(e);
   switch (e.kind) {
     case FaultKind::kLinkDown:
       set_link(e.a, e.b, true);

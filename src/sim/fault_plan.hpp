@@ -27,6 +27,8 @@
 
 namespace ipg::sim {
 
+class SimObserver;  // sim/observer.hpp
+
 enum class FaultKind : std::uint8_t {
   kLinkDown,  ///< both directions of the (a, b) link fail
   kLinkUp,    ///< both directions repaired
@@ -97,6 +99,10 @@ class FaultState {
   FaultState(const SimNetwork& net, const FaultPlan& plan,
              const Router& route);
 
+  /// Notifies @p obs (may be null) of every plan event as it takes effect.
+  /// Pure notification — attaching an observer never changes fault state.
+  void set_observer(SimObserver* obs) noexcept { observer_ = obs; }
+
   /// Applies every plan event with time <= now. Newly dead links evict the
   /// memoized routes that cross them; any repair clears the whole memo
   /// (a shorter route may have come back).
@@ -129,6 +135,7 @@ class FaultState {
 
   const SimNetwork& net_;
   const Router& route_;
+  SimObserver* observer_ = nullptr;
   std::span<const FaultEvent> events_;
   std::size_t next_event_ = 0;
   std::vector<std::uint8_t> link_dead_;  ///< per directed link

@@ -1,0 +1,303 @@
+#include "sim/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace ipg::sim {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kNumOctaves =
+    static_cast<std::size_t>(LatencyHistogram::kMaxExp -
+                             LatencyHistogram::kMinExp + 1);
+// Bucket 0 holds zero (and negative, which latencies never are) values;
+// octave buckets follow.
+constexpr std::size_t kNumBuckets =
+    1 + kNumOctaves * LatencyHistogram::kSubBuckets;
+
+}  // namespace
+
+void LatencyHistogram::reserve(std::size_t n) {
+  if (buckets_.empty()) exact_.reserve(std::min(n, kExactCap));
+}
+
+std::size_t LatencyHistogram::bucket_of(double v) noexcept {
+  if (!(v > 0)) return 0;
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // frexp reports the exponent of the *upper* power of two; an octave here
+  // is [2^(exp-1), 2^exp), indexed by exp clamped into the covered range.
+  const int octave = std::clamp(exp, kMinExp, kMaxExp);
+  std::size_t sub = 0;
+  if (exp >= kMinExp && exp <= kMaxExp) {
+    sub = static_cast<std::size_t>((m - 0.5) *
+                                   static_cast<double>(2 * kSubBuckets));
+    sub = std::min(sub, kSubBuckets - 1);
+  } else if (exp > kMaxExp) {
+    sub = kSubBuckets - 1;  // clamp overflow to the topmost bucket
+  }
+  return 1 + static_cast<std::size_t>(octave - kMinExp) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_mid(std::size_t idx) noexcept {
+  if (idx == 0) return 0.0;
+  const std::size_t off = idx - 1;
+  const int octave = static_cast<int>(off / kSubBuckets) + kMinExp;
+  const auto sub = static_cast<double>(off % kSubBuckets);
+  const double lower_m = 0.5 + sub / static_cast<double>(2 * kSubBuckets);
+  const double width_m = 0.5 / static_cast<double>(kSubBuckets);
+  return std::ldexp(lower_m + width_m / 2.0, octave);
+}
+
+void LatencyHistogram::fold_into_buckets() {
+  buckets_.assign(kNumBuckets, 0);
+  for (const double v : exact_) ++buckets_[bucket_of(v)];
+  exact_.clear();
+  exact_.shrink_to_fit();
+}
+
+void LatencyHistogram::record(double v) {
+  sum_ += v;
+  max_ = std::max(max_, v);
+  ++count_;
+  if (buckets_.empty()) {
+    exact_.push_back(v);
+    if (exact_.size() > kExactCap) fold_into_buckets();
+    return;
+  }
+  ++buckets_[bucket_of(v)];
+}
+
+double LatencyHistogram::percentile(double pct) {
+  IPG_CHECK(count_ > 0, "percentile of an empty latency sample");
+  if (buckets_.empty()) return percentile_nearest_rank(exact_, pct);
+  IPG_CHECK(pct > 0 && pct <= 100, "percentile must be in (0, 100]");
+  const auto n = static_cast<double>(count_);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(n * pct / 100.0));
+  rank = std::clamp<std::size_t>(rank, 1, count_);
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_mid(i);
+  }
+  return bucket_mid(buckets_.size() - 1);  // unreachable: counts sum to n
+}
+
+// ---------------------------------------------------------------------------
+// MetricsObserver
+// ---------------------------------------------------------------------------
+
+void MetricsObserver::on_run_begin(const SimNetwork& net) {
+  ++counters_.runs;
+  if (link_busy_.size() < net.num_links()) {
+    link_busy_.resize(net.num_links(), 0.0);
+  }
+}
+
+void MetricsObserver::on_inject(std::uint32_t /*packet*/, NodeId /*src*/,
+                                NodeId /*dst*/, double /*time*/) {
+  ++counters_.injected;
+}
+
+void MetricsObserver::on_hop(const HopRecord& hop) {
+  ++counters_.hops;
+  counters_.offchip_hops += hop.offchip ? 1 : 0;
+  link_busy_[hop.link] += hop.tail_departure - hop.start;
+}
+
+void MetricsObserver::on_detour(std::uint32_t /*packet*/, NodeId /*at*/,
+                                double /*time*/, std::uint16_t /*route_hops*/) {
+  ++counters_.detours;
+}
+
+void MetricsObserver::on_retry(std::uint32_t /*packet*/,
+                               std::uint32_t /*attempt*/, NodeId /*src*/,
+                               double /*time*/, double /*resume_time*/) {
+  ++counters_.retries;
+}
+
+void MetricsObserver::on_drop(std::uint32_t /*packet*/, NodeId /*at*/,
+                              double /*time*/) {
+  ++counters_.dropped;
+}
+
+void MetricsObserver::on_deliver(std::uint32_t /*packet*/, NodeId /*dst*/,
+                                 double /*time*/, double latency) {
+  ++counters_.delivered;
+  latencies_.record(latency);
+}
+
+void MetricsObserver::on_fault(const FaultEvent& /*event*/) {
+  ++counters_.faults_applied;
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceObserver
+// ---------------------------------------------------------------------------
+
+void ChromeTraceObserver::on_run_begin(const SimNetwork& net) {
+  num_nodes_ = net.num_nodes();
+  links_.resize(net.num_links());
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    links_[l] = {net.link_from(l), net.link_to(l), net.is_offchip(l)};
+  }
+}
+
+bool ChromeTraceObserver::add(const Rec& rec) {
+  if (recs_.size() >= max_events_) {
+    truncated_ = true;
+    return false;
+  }
+  recs_.push_back(rec);
+  return true;
+}
+
+void ChromeTraceObserver::on_inject(std::uint32_t packet, NodeId src,
+                                    NodeId /*dst*/, double time) {
+  add({time, 0, src, packet, Kind::kInject});
+}
+
+void ChromeTraceObserver::on_hop(const HopRecord& hop) {
+  add({hop.start, hop.tail_departure - hop.start,
+       static_cast<std::uint32_t>(hop.link), hop.packet, Kind::kHop});
+}
+
+void ChromeTraceObserver::on_detour(std::uint32_t packet, NodeId at,
+                                    double time, std::uint16_t /*route_hops*/) {
+  add({time, 0, at, packet, Kind::kDetour});
+}
+
+void ChromeTraceObserver::on_retry(std::uint32_t packet,
+                                   std::uint32_t /*attempt*/, NodeId src,
+                                   double time, double /*resume_time*/) {
+  add({time, 0, src, packet, Kind::kRetry});
+}
+
+void ChromeTraceObserver::on_drop(std::uint32_t packet, NodeId at,
+                                  double time) {
+  add({time, 0, at, packet, Kind::kDrop});
+}
+
+void ChromeTraceObserver::on_deliver(std::uint32_t packet, NodeId dst,
+                                     double time, double /*latency*/) {
+  add({time, 0, dst, packet, Kind::kDeliver});
+}
+
+void ChromeTraceObserver::on_fault(const FaultEvent& event) {
+  if (add({event.time, 0, event.a,
+           static_cast<std::uint32_t>(faults_.size()), Kind::kFault})) {
+    faults_.push_back(event);
+  }
+}
+
+namespace {
+
+constexpr std::uint32_t kNodesPid = 1;
+constexpr std::uint32_t kLinksPid = 2;
+
+void write_instant(std::ostream& os, std::uint32_t tid, double ts,
+                   const char* cat, const std::string& name) {
+  os << "{\"ph\":\"i\",\"pid\":" << kNodesPid << ",\"tid\":" << tid
+     << ",\"ts\":" << ts << ",\"s\":\"t\",\"cat\":\"" << cat
+     << "\",\"name\":\"" << name << "\"}";
+}
+
+std::string fault_name(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      return "link " + std::to_string(e.a) + "-" + std::to_string(e.b) +
+             " down";
+    case FaultKind::kLinkUp:
+      return "link " + std::to_string(e.a) + "-" + std::to_string(e.b) +
+             " up";
+    case FaultKind::kNodeDown:
+      return "node " + std::to_string(e.a) + " down";
+    case FaultKind::kNodeUp:
+      return "node " + std::to_string(e.a) + " up";
+  }
+  return "fault";
+}
+
+}  // namespace
+
+void ChromeTraceObserver::write_json(std::ostream& os) const {
+  const auto old_precision = os.precision(15);
+
+  // Metadata: name the two processes, plus every node/link thread that
+  // actually carries an event (idle tracks would only add noise).
+  std::vector<std::uint8_t> node_used(num_nodes_, 0);
+  std::vector<std::uint8_t> link_used(links_.size(), 0);
+  for (const Rec& r : recs_) {
+    if (r.kind == Kind::kHop) {
+      if (r.tid < link_used.size()) link_used[r.tid] = 1;
+    } else if (r.tid < node_used.size()) {
+      node_used[r.tid] = 1;
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":" << kNodesPid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"nodes\"}}";
+  os << ",\n{\"ph\":\"M\",\"pid\":" << kLinksPid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"links\"}}";
+  for (std::size_t v = 0; v < node_used.size(); ++v) {
+    if (!node_used[v]) continue;
+    os << ",\n{\"ph\":\"M\",\"pid\":" << kNodesPid << ",\"tid\":" << v
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"node " << v
+       << "\"}}";
+  }
+  for (std::size_t l = 0; l < link_used.size(); ++l) {
+    if (!link_used[l]) continue;
+    os << ",\n{\"ph\":\"M\",\"pid\":" << kLinksPid << ",\"tid\":" << l
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"link "
+       << links_[l].from << "->" << links_[l].to
+       << (links_[l].offchip ? " (off-chip)" : "") << "\"}}";
+  }
+
+  for (const Rec& r : recs_) {
+    os << ",\n";
+    // Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
+    // positive on `"p" + std::to_string(...)`.
+    std::string pkt = "p";
+    pkt += std::to_string(r.a);
+    switch (r.kind) {
+      case Kind::kHop:
+        os << "{\"ph\":\"X\",\"pid\":" << kLinksPid << ",\"tid\":" << r.tid
+           << ",\"ts\":" << r.ts << ",\"dur\":" << r.dur
+           << ",\"cat\":\"hop\",\"name\":\"" << pkt
+           << "\",\"args\":{\"packet\":" << r.a << "}}";
+        break;
+      case Kind::kInject:
+        write_instant(os, r.tid, r.ts, "packet", "inject " + pkt);
+        break;
+      case Kind::kDeliver:
+        write_instant(os, r.tid, r.ts, "packet", "deliver " + pkt);
+        break;
+      case Kind::kDrop:
+        write_instant(os, r.tid, r.ts, "loss", "drop " + pkt);
+        break;
+      case Kind::kRetry:
+        write_instant(os, r.tid, r.ts, "loss", "retry " + pkt);
+        break;
+      case Kind::kDetour:
+        write_instant(os, r.tid, r.ts, "loss", "detour " + pkt);
+        break;
+      case Kind::kFault:
+        write_instant(os, r.tid, r.ts, "fault", fault_name(faults_[r.a]));
+        break;
+    }
+  }
+  os << "\n]}\n";
+  os.precision(old_precision);
+}
+
+}  // namespace ipg::sim

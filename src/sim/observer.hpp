@@ -1,0 +1,249 @@
+#pragma once
+// Observability layer for the flow simulator (docs/OBSERVABILITY.md).
+//
+// SimObserver is a hook interface threaded through both engines
+// (Engine::kArena and Engine::kReference) and the fault-aware data plane:
+// packet lifecycle events (inject, hop, detour, retry, drop, deliver),
+// link busy intervals (carried by each hop), applied fault-plan events,
+// and run begin/end. Hooks are pure notifications — an observer can never
+// change a simulation, so for a fixed seed every SimResult field is
+// bit-identical with and without one attached (pinned by
+// tests/test_sim_observer.cpp). A null SimConfig::observer costs one
+// predicted-not-taken branch per event.
+//
+// Three shipped implementations:
+//   MetricsObserver     — counters + per-link busy time + a bounded
+//                         log-scale latency histogram;
+//   ChromeTraceObserver — Chrome trace_event JSON exporter (one track per
+//                         node and per link; load the file in
+//                         chrome://tracing or https://ui.perfetto.dev);
+//   StreamSweepProgress — per-sweep-job progress/throughput reporting
+//                         (lives in sim/sweep.hpp; it observes jobs, not
+//                         packets).
+//
+// Observers are NOT thread-safe: give each concurrent sweep job its own
+// observer (or none). SimConfig copies share the pointer, so a base
+// config handed to a sweep builder must leave observer null.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/network.hpp"
+
+namespace ipg::sim {
+
+/// One packet transfer over one directed link, as both engines model it:
+/// the link is busy during [start, tail_departure); the tail reaches the
+/// downstream node at arrival (= tail_departure + link latency).
+struct HopRecord {
+  std::uint32_t packet = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  LinkId link = 0;
+  double start = 0;
+  double tail_departure = 0;
+  double arrival = 0;
+  bool offchip = false;
+};
+
+/// Hook interface. Every method has an empty default so observers override
+/// only what they consume. Call order within a run is deterministic (it
+/// follows the canonical (time, sequence) event order), so observer output
+/// is as reproducible as the SimResult itself.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Start of a run_* driver, after input validation, before any packet
+  /// event. @p net outlives the run.
+  virtual void on_run_begin(const SimNetwork& /*net*/) {}
+  /// A packet entering the workload (distinct packets, not retry attempts).
+  virtual void on_inject(std::uint32_t /*packet*/, NodeId /*src*/,
+                         NodeId /*dst*/, double /*time*/) {}
+  /// A transfer occupying a link (see HopRecord). Fires once per hop,
+  /// including hops of packets that are later dropped or cut off.
+  virtual void on_hop(const HopRecord& /*hop*/) {}
+  /// A packet adopting a fresh route mid-flight after finding its next
+  /// link dead; @p route_hops is the length of the new route from @p at.
+  virtual void on_detour(std::uint32_t /*packet*/, NodeId /*at*/,
+                         double /*time*/, std::uint16_t /*route_hops*/) {}
+  /// A failed packet rescheduled from its source @p src; @p attempt counts
+  /// from 1 and @p resume_time includes the backoff delay.
+  virtual void on_retry(std::uint32_t /*packet*/, std::uint32_t /*attempt*/,
+                        NodeId /*src*/, double /*time*/,
+                        double /*resume_time*/) {}
+  /// A packet dropped for good (no live route / budgets exhausted).
+  virtual void on_drop(std::uint32_t /*packet*/, NodeId /*at*/,
+                       double /*time*/) {}
+  /// Full delivery at the destination; @p latency = time - injection time.
+  virtual void on_deliver(std::uint32_t /*packet*/, NodeId /*dst*/,
+                          double /*time*/, double /*latency*/) {}
+  /// A fault-plan event taking effect (applied in plan order as simulated
+  /// time advances).
+  virtual void on_fault(const FaultEvent& /*event*/) {}
+  /// End of the run. @p horizon is the reporting horizon utilization is
+  /// normalized by: the last delivery, extended to the max_cycles cutoff
+  /// when one ended the run early.
+  virtual void on_run_end(double /*horizon*/) {}
+};
+
+/// Bounded-memory latency sample: exact up to kExactCap samples (nearest-
+/// rank percentiles via percentile_nearest_rank, bit-identical to the
+/// pre-histogram engines), then folded into a fixed log-scale histogram
+/// with kSubBuckets buckets per octave. Histogram percentile estimates
+/// return the bucket midpoint; for values in [2^kMinExp, 2^(kMaxExp+1))
+/// the relative error is below relative_error_bound() = 1/(2·kSubBuckets).
+/// Count/sum/max stay exact in both regimes, so averages never degrade.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kExactCap = std::size_t{1} << 16;
+  static constexpr int kSubBucketBits = 6;  ///< 64 buckets per octave
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  static constexpr int kMinExp = -8;  ///< smaller magnitudes clamp here
+  static constexpr int kMaxExp = 48;  ///< larger magnitudes clamp here
+
+  /// Relative error bound of histogram-mode percentiles (in-range values).
+  static constexpr double relative_error_bound() {
+    return 1.0 / static_cast<double>(2 * kSubBuckets);
+  }
+
+  void reserve(std::size_t n);
+  void record(double v);
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double max() const noexcept { return max_; }
+  /// True while percentiles are exact (count() <= kExactCap).
+  bool exact() const noexcept { return buckets_.empty(); }
+
+  /// Nearest-rank percentile, pct in (0, 100]: exact while in exact mode
+  /// (the sample buffer is reordered, not consumed), bucket-midpoint
+  /// estimate afterwards. Requires count() > 0.
+  double percentile(double pct);
+
+ private:
+  static std::size_t bucket_of(double v) noexcept;
+  static double bucket_mid(std::size_t idx) noexcept;
+  void fold_into_buckets();
+
+  std::vector<double> exact_;           ///< samples while in exact mode
+  std::vector<std::uint64_t> buckets_;  ///< non-empty once folded
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+/// Shipped observer #1: counters, per-link busy time, and a bounded
+/// latency histogram. Reusable across runs — counters and latencies
+/// accumulate; per-link busy time grows to the largest network seen.
+class MetricsObserver final : public SimObserver {
+ public:
+  struct Counters {
+    std::size_t injected = 0;
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    std::size_t retries = 0;
+    std::size_t detours = 0;
+    std::size_t hops = 0;
+    std::size_t offchip_hops = 0;
+    std::size_t faults_applied = 0;
+    std::size_t runs = 0;
+  };
+
+  void on_run_begin(const SimNetwork& net) override;
+  void on_inject(std::uint32_t packet, NodeId src, NodeId dst,
+                 double time) override;
+  void on_hop(const HopRecord& hop) override;
+  void on_detour(std::uint32_t packet, NodeId at, double time,
+                 std::uint16_t route_hops) override;
+  void on_retry(std::uint32_t packet, std::uint32_t attempt, NodeId src,
+                double time, double resume_time) override;
+  void on_drop(std::uint32_t packet, NodeId at, double time) override;
+  void on_deliver(std::uint32_t packet, NodeId dst, double time,
+                  double latency) override;
+  void on_fault(const FaultEvent& event) override;
+
+  const Counters& counters() const noexcept { return counters_; }
+  LatencyHistogram& latencies() noexcept { return latencies_; }
+  const LatencyHistogram& latencies() const noexcept { return latencies_; }
+  /// Busy time accumulated per directed link (indexed by LinkId).
+  const std::vector<double>& link_busy_time() const noexcept {
+    return link_busy_;
+  }
+
+ private:
+  Counters counters_;
+  LatencyHistogram latencies_;
+  std::vector<double> link_busy_;
+};
+
+/// Shipped observer #2: records packet/link/fault activity and exports it
+/// as Chrome trace_event JSON (docs/OBSERVABILITY.md documents the
+/// schema). Tracks: process "nodes" carries instant markers (inject,
+/// deliver, drop, retry, detour, fault) on one thread per node; process
+/// "links" carries complete ("X") busy intervals on one thread per
+/// directed link. One simulated cycle maps to one trace microsecond.
+/// Recording stops at @p max_events (truncated() turns true) so a runaway
+/// run cannot exhaust memory; the JSON stays valid either way.
+class ChromeTraceObserver final : public SimObserver {
+ public:
+  explicit ChromeTraceObserver(std::size_t max_events = std::size_t{1} << 20)
+      : max_events_(max_events) {}
+
+  void on_run_begin(const SimNetwork& net) override;
+  void on_inject(std::uint32_t packet, NodeId src, NodeId dst,
+                 double time) override;
+  void on_hop(const HopRecord& hop) override;
+  void on_detour(std::uint32_t packet, NodeId at, double time,
+                 std::uint16_t route_hops) override;
+  void on_retry(std::uint32_t packet, std::uint32_t attempt, NodeId src,
+                double time, double resume_time) override;
+  void on_drop(std::uint32_t packet, NodeId at, double time) override;
+  void on_deliver(std::uint32_t packet, NodeId dst, double time,
+                  double latency) override;
+  void on_fault(const FaultEvent& event) override;
+
+  /// Writes the whole trace as a JSON object ({"traceEvents": [...]}).
+  void write_json(std::ostream& os) const;
+
+  std::size_t num_events() const noexcept { return recs_.size(); }
+  bool truncated() const noexcept { return truncated_; }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kHop,
+    kInject,
+    kDeliver,
+    kDrop,
+    kRetry,
+    kDetour,
+    kFault,
+  };
+  struct Rec {
+    double ts;         ///< cycles (written as trace microseconds)
+    double dur;        ///< hop only: busy duration
+    std::uint32_t tid; ///< link id (hop) or node id (everything else)
+    std::uint32_t a;   ///< packet id / fault event index
+    Kind kind;
+  };
+
+  bool add(const Rec& rec);
+
+  struct LinkInfo {
+    NodeId from = 0;
+    NodeId to = 0;
+    bool offchip = false;
+  };
+
+  std::vector<LinkInfo> links_;     ///< captured at on_run_begin
+  std::size_t num_nodes_ = 0;
+  std::vector<Rec> recs_;
+  std::vector<FaultEvent> faults_;  ///< applied events, in apply order
+  std::size_t max_events_;
+  bool truncated_ = false;
+};
+
+}  // namespace ipg::sim

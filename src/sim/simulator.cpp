@@ -11,6 +11,7 @@
 
 #include "sim/event_heap.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/observer.hpp"
 #include "sim/route_arena.hpp"
 #include "util/check.hpp"
 
@@ -20,9 +21,10 @@ namespace {
 
 struct EngineStats {
   double last_delivery = 0;
-  double latency_sum = 0;
-  double latency_max = 0;
-  std::vector<double> latencies;
+  /// Bounded-memory latency sample: exact (and bit-identical to the old
+  /// unbounded vector) up to LatencyHistogram::kExactCap delivered
+  /// packets, log-bucket estimates beyond.
+  LatencyHistogram latency;
   std::size_t delivered = 0;
   std::size_t hops = 0;
   std::size_t offchip_hops = 0;
@@ -31,6 +33,7 @@ struct EngineStats {
   std::size_t retransmitted = 0;
   std::size_t in_flight = 0;
   std::size_t reroute_hops = 0;
+  bool cutoff_hit = false;  ///< a max_cycles cutoff ended the run early
 };
 
 /// Diagnoses why bounded-buffer packets are stuck at end of run: every
@@ -75,13 +78,13 @@ template <typename AtOf>
   throw std::invalid_argument(msg);
 }
 
-void record_delivery(EngineStats& stats, double time, double inject_time) {
+void record_delivery(EngineStats& stats, SimObserver* obs, std::uint32_t pid,
+                     NodeId dst, double time, double inject_time) {
   const double latency = time - inject_time;
-  stats.latency_sum += latency;
-  stats.latency_max = std::max(stats.latency_max, latency);
-  stats.latencies.push_back(latency);
+  stats.latency.record(latency);
   stats.last_delivery = std::max(stats.last_delivery, time);
   ++stats.delivered;
+  if (obs != nullptr) obs->on_deliver(pid, dst, time, latency);
 }
 
 // ---------------------------------------------------------------------------
@@ -220,9 +223,10 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
   const double latency = cfg.link_latency_cycles;
   const bool store_and_forward =
       cfg.switching == Switching::kStoreAndForward;
+  SimObserver* const obs = cfg.observer;
 
   EngineStats stats;
-  stats.latencies.reserve(packets.size());
+  stats.latency.reserve(packets.size());
   for (;;) {
     Event ev;
     if (next_inject < order.size()) {
@@ -262,11 +266,13 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
       // Delivered. For cut-through the tail may still be in flight; the
       // ready event time already accounts for the last link's tail arrival
       // (delivery events are pushed at tail time below).
-      record_delivery(stats, now, packets[ev.id()].inject_time);
+      record_delivery(stats, obs, ev.id(), ev.at, now,
+                      packets[ev.id()].inject_time);
       continue;
     }
     const std::uint16_t port = route_ports[ev.cursor];
-    LinkHot& link = links[first_link[ev.at] + port];
+    const LinkId link_id = static_cast<LinkId>(first_link[ev.at] + port);
+    LinkHot& link = links[link_id];
     const NodeId to = link.to;
     const bool last_hop = ev.hops_left == 1;
 
@@ -299,6 +305,10 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
 
     ++stats.hops;
     stats.offchip_hops += link.offchip;
+    if (obs != nullptr) {
+      obs->on_hop({ev.id(), ev.at, to, link_id, start, tail_departure,
+                   tail_arrival, link.offchip != 0});
+    }
 
     double ready_next;
     if (store_and_forward) {
@@ -420,8 +430,9 @@ EngineStats run_engine_reference(const SimNetwork& net,
     waiting.assign(net.num_nodes(), {});
   }
 
+  SimObserver* const obs = cfg.observer;
   EngineStats stats;
-  stats.latencies.reserve(packets.size());
+  stats.latency.reserve(packets.size());
   const double len = cfg.packet_length_flits;
   while (!events.empty()) {
     const Event ev = events.top();
@@ -439,7 +450,7 @@ EngineStats run_engine_reference(const SimNetwork& net,
     }
     RefPacket& p = packets[ev.id()];
     if (p.next_hop == p.ports.size()) {
-      record_delivery(stats, now, p.inject_time);
+      record_delivery(stats, obs, ev.id(), p.at, now, p.inject_time);
       continue;
     }
     const std::uint16_t port = p.ports[p.next_hop];
@@ -468,6 +479,10 @@ EngineStats run_engine_reference(const SimNetwork& net,
 
     ++stats.hops;
     if (net.is_offchip(link)) ++stats.offchip_hops;
+    if (obs != nullptr) {
+      obs->on_hop({ev.id(), p.at, to, link, start, start + transfer,
+                   tail_arrival, net.is_offchip(link)});
+    }
 
     p.at = to;
     ++p.next_hop;
@@ -495,7 +510,12 @@ EngineStats run_engine_reference(const SimNetwork& net,
 
 SimResult summarize(const SimNetwork& net, EngineStats& stats,
                     const SimConfig& cfg,
-                    const std::vector<double>& link_busy_time) {
+                    const std::vector<double>& link_busy_time,
+                    const std::vector<double>& link_busy_until) {
+  // One latency sample per *delivered packet* — retransmissions re-deliver
+  // under the same packet id, so attempts must never double-record.
+  IPG_CHECK(stats.latency.count() == stats.delivered,
+            "latency sample count must equal packets delivered");
   SimResult r;
   r.packets_delivered = stats.delivered;
   r.makespan_cycles = stats.last_delivery;
@@ -509,23 +529,50 @@ SimResult summarize(const SimNetwork& net, EngineStats& stats,
                              : static_cast<double>(stats.delivered) /
                                    static_cast<double>(stats.injected);
   if (stats.delivered > 0) {
-    r.avg_latency_cycles = stats.latency_sum / static_cast<double>(stats.delivered);
-    r.max_latency_cycles = stats.latency_max;
-    r.p50_latency_cycles = percentile_nearest_rank(stats.latencies, 50.0);
-    r.p99_latency_cycles = percentile_nearest_rank(stats.latencies, 99.0);
+    r.avg_latency_cycles =
+        stats.latency.sum() / static_cast<double>(stats.delivered);
+    r.max_latency_cycles = stats.latency.max();
+    r.p50_latency_cycles = stats.latency.percentile(50.0);
+    r.p99_latency_cycles = stats.latency.percentile(99.0);
     r.avg_hops = static_cast<double>(stats.hops) / static_cast<double>(stats.delivered);
     r.avg_offchip_hops =
         static_cast<double>(stats.offchip_hops) / static_cast<double>(stats.delivered);
+  } else {
+    // Nothing delivered (total blackout): 0 here would read as perfect
+    // latency on a degraded-run curve.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    r.avg_latency_cycles = nan;
+    r.max_latency_cycles = nan;
+    r.p50_latency_cycles = nan;
+    r.p99_latency_cycles = nan;
   }
+
+  // Reporting horizon: the last delivery, extended to the max_cycles cutoff
+  // when one ended the run early (links can stay busy past the last
+  // delivery on cutoff/degraded runs). Healthy complete runs always have
+  // busy_until <= last_delivery, so the clamp is a no-op there and the
+  // utilization stays bit-identical to the pre-observer engines.
+  const double horizon = stats.cutoff_hit
+                             ? std::max(stats.last_delivery, cfg.max_cycles)
+                             : stats.last_delivery;
   if (stats.last_delivery > 0) {
     r.throughput_flits_per_node_cycle =
         static_cast<double>(stats.delivered) * cfg.packet_length_flits /
         (static_cast<double>(net.num_nodes()) * stats.last_delivery);
+  }
+  if (horizon > 0) {
     double max_util = 0, sum_util = 0;
     std::size_t offchip_count = 0;
     for (LinkId l = 0; l < net.num_links(); ++l) {
       if (!net.is_offchip(l)) continue;
-      const double util = link_busy_time[l] / stats.last_delivery;
+      // Busy time beyond the horizon is one contiguous suffix ending at
+      // busy_until (every transfer starts at an event time <= horizon or
+      // back-to-back at the previous busy_until), so subtracting the
+      // overhang yields the exact in-horizon busy time.
+      const double busy =
+          link_busy_time[l] -
+          std::max(0.0, link_busy_until[l] - horizon);
+      const double util = std::max(0.0, busy) / horizon;
       max_util = std::max(max_util, util);
       sum_util += util;
       ++offchip_count;
@@ -534,6 +581,7 @@ SimResult summarize(const SimNetwork& net, EngineStats& stats,
     r.avg_offchip_utilization =
         offchip_count == 0 ? 0 : sum_util / static_cast<double>(offchip_count);
   }
+  if (cfg.observer != nullptr) cfg.observer->on_run_end(horizon);
   return r;
 }
 
@@ -556,8 +604,10 @@ void draw_open_injections(const SimNetwork& net, const TrafficPattern& pattern,
   }
 }
 
-FlatPacket make_flat_packet(RouteArena& arena, NodeId src, NodeId dst,
+FlatPacket make_flat_packet(RouteArena& arena, SimObserver* obs,
+                            std::uint32_t pid, NodeId src, NodeId dst,
                             double inject_time) {
+  if (obs != nullptr) obs->on_inject(pid, src, dst, inject_time);
   const RouteRef ref = arena.get(src, dst);
   FlatPacket p;
   p.at = src;
@@ -569,7 +619,9 @@ FlatPacket make_flat_packet(RouteArena& arena, NodeId src, NodeId dst,
 }
 
 RefPacket make_ref_packet(const SimNetwork& net, const Router& route,
-                          NodeId src, NodeId dst, double inject_time) {
+                          SimObserver* obs, std::uint32_t pid, NodeId src,
+                          NodeId dst, double inject_time) {
+  if (obs != nullptr) obs->on_inject(pid, src, dst, inject_time);
   RefPacket p;
   p.src = src;
   p.dst = dst;
@@ -586,7 +638,7 @@ SimResult run_flat(const SimNetwork& net, std::vector<FlatPacket>& packets,
   std::vector<double> busy_time(net.num_links(), 0.0);
   EngineStats stats = run_engine_arena(net, packets, order, arena.data(), cfg,
                                        busy_until, busy_time);
-  return summarize(net, stats, cfg, busy_time);
+  return summarize(net, stats, cfg, busy_time, busy_until);
 }
 
 SimResult run_ref(const SimNetwork& net, std::vector<RefPacket>& packets,
@@ -595,7 +647,7 @@ SimResult run_ref(const SimNetwork& net, std::vector<RefPacket>& packets,
   std::vector<double> busy_time(net.num_links(), 0.0);
   EngineStats stats =
       run_engine_reference(net, packets, cfg, busy_until, busy_time);
-  return summarize(net, stats, cfg, busy_time);
+  return summarize(net, stats, cfg, busy_time, busy_until);
 }
 
 // ---------------------------------------------------------------------------
@@ -665,9 +717,10 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
   const double latency = cfg.link_latency_cycles;
   const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
   const double cutoff = cfg.max_cycles;
+  SimObserver* const obs = cfg.observer;
 
   EngineStats stats;
-  stats.latencies.reserve(packets.size());
+  stats.latency.reserve(packets.size());
 
   // Drop-or-retry at a fault: frees the buffer slot the packet holds, then
   // either schedules a fresh attempt from the source under capped
@@ -689,9 +742,13 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       const double delay =
           cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
       events.push(Event{Event::key_of(now + delay), take_seq(), pid});
+      if (obs != nullptr) {
+        obs->on_retry(pid, p.attempt, p.src, now, now + delay);
+      }
     } else {
       p.state = kDropped;
       ++stats.dropped;
+      if (obs != nullptr) obs->on_drop(pid, p.at, now);
     }
   };
 
@@ -754,7 +811,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
     }
     if (p.hops_left == 0) {
       p.state = kDelivered;
-      record_delivery(stats, now, p.inject_time);
+      record_delivery(stats, obs, pid, p.at, now, p.inject_time);
       continue;
     }
 
@@ -776,6 +833,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       p.hops_left = ref.length;
       port = faults.ports()[p.cursor];
       link_id = first_link[p.at] + port;  // first hop is live by construction
+      if (obs != nullptr) obs->on_detour(pid, p.at, now, ref.length);
     }
 
     LinkHot& link = links[link_id];
@@ -803,6 +861,10 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
 
     ++stats.hops;
     stats.offchip_hops += link.offchip;
+    if (obs != nullptr) {
+      obs->on_hop({pid, p.at, to, static_cast<LinkId>(link_id), start,
+                   tail_departure, tail_arrival, link.offchip != 0});
+    }
 
     double ready_next;
     if (store_and_forward) {
@@ -833,6 +895,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
   IPG_CHECK(
       stats.delivered + stats.dropped + stats.in_flight == stats.injected,
       "packet conservation violated");
+  stats.cutoff_hit = cutoff_hit;
   return stats;
 }
 
@@ -843,9 +906,14 @@ SimResult run_faulty(const SimNetwork& net, const Router& route,
   const FaultPlan& plan =
       cfg.fault_plan != nullptr ? *cfg.fault_plan : kNoFaults;
   FaultState faults(net, plan, route);
+  faults.set_observer(cfg.observer);
   std::vector<FaultPacket> packets;
   packets.reserve(injections.size());
   for (const Injection& i : injections) {
+    if (cfg.observer != nullptr) {
+      cfg.observer->on_inject(static_cast<std::uint32_t>(packets.size()),
+                              i.src, i.dst, i.time);
+    }
     FaultPacket p;
     p.src = i.src;
     p.dst = i.dst;
@@ -881,7 +949,7 @@ SimResult run_faulty(const SimNetwork& net, const Router& route,
                                                 busy_time);
     }
   }
-  return summarize(net, stats, cfg, busy_time);
+  return summarize(net, stats, cfg, busy_time, busy_until);
 }
 
 /// True when the run must take the fault-aware path. An empty or null plan
@@ -910,6 +978,9 @@ void validate_run_inputs(const SimNetwork& net, const SimConfig& cfg) {
         "retry_backoff_cycles must be positive when retries are enabled");
   }
   if (cfg.fault_plan != nullptr) cfg.fault_plan->validate(net.num_nodes());
+  // Every public run_* driver funnels through here exactly once, after its
+  // inputs are known-good — the natural single site for run-begin hooks.
+  if (cfg.observer != nullptr) cfg.observer->on_run_begin(net);
 }
 
 }  // namespace
@@ -945,7 +1016,9 @@ SimResult run_batch(const SimNetwork& net, const Router& route,
     packets.reserve(dst.size());
     for (NodeId v = 0; v < dst.size(); ++v) {
       if (dst[v] == v) continue;
-      packets.push_back(make_ref_packet(net, route, v, dst[v], 0.0));
+      packets.push_back(make_ref_packet(
+          net, route, cfg.observer, static_cast<std::uint32_t>(packets.size()),
+          v, dst[v], 0.0));
     }
     return run_ref(net, packets, cfg);
   }
@@ -955,7 +1028,9 @@ SimResult run_batch(const SimNetwork& net, const Router& route,
   packets.reserve(dst.size());
   for (NodeId v = 0; v < dst.size(); ++v) {
     if (dst[v] == v) continue;
-    packets.push_back(make_flat_packet(arena, v, dst[v], 0.0));
+    packets.push_back(make_flat_packet(
+        arena, cfg.observer, static_cast<std::uint32_t>(packets.size()), v,
+        dst[v], 0.0));
   }
   return run_flat(net, packets, arena, cfg);
 }
@@ -981,7 +1056,9 @@ SimResult run_total_exchange(const SimNetwork& net, const Router& route,
     for (NodeId src = 0; src < n; ++src) {
       for (NodeId dst = 0; dst < n; ++dst) {
         if (src == dst) continue;
-        packets.push_back(make_ref_packet(net, route, src, dst, 0.0));
+        packets.push_back(make_ref_packet(
+            net, route, cfg.observer,
+            static_cast<std::uint32_t>(packets.size()), src, dst, 0.0));
       }
     }
     return run_ref(net, packets, cfg);
@@ -993,6 +1070,10 @@ SimResult run_total_exchange(const SimNetwork& net, const Router& route,
   for (NodeId src = 0; src < n; ++src) {
     for (NodeId dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
+      if (cfg.observer != nullptr) {
+        cfg.observer->on_inject(static_cast<std::uint32_t>(packets.size()),
+                                src, dst, 0.0);
+      }
       // All pairs are distinct, so skip the arena's memo entirely.
       const RouteRef ref = arena.append(src, dst);
       packets.push_back({src, ref.offset, ref.length, ref.length, 0.0});
@@ -1021,7 +1102,10 @@ SimResult run_open(const SimNetwork& net, const Router& route,
     std::vector<RefPacket> packets;
     draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
                          [&](NodeId v, NodeId d, double t) {
-                           packets.push_back(make_ref_packet(net, route, v, d, t));
+                           packets.push_back(make_ref_packet(
+                               net, route, cfg.observer,
+                               static_cast<std::uint32_t>(packets.size()), v,
+                               d, t));
                          });
     return run_ref(net, packets, cfg);
   }
@@ -1030,7 +1114,10 @@ SimResult run_open(const SimNetwork& net, const Router& route,
   std::vector<FlatPacket> packets;
   draw_open_injections(net, pattern, rate, inject_cycles, cfg.seed,
                        [&](NodeId v, NodeId d, double t) {
-                         packets.push_back(make_flat_packet(arena, v, d, t));
+                         packets.push_back(make_flat_packet(
+                             arena, cfg.observer,
+                             static_cast<std::uint32_t>(packets.size()), v, d,
+                             t));
                        });
   return run_flat(net, packets, arena, cfg);
 }
@@ -1051,7 +1138,9 @@ SimResult run_trace(const SimNetwork& net, const Router& route,
     std::vector<RefPacket> packets;
     packets.reserve(injections.size());
     for (const Injection& i : injections) {
-      packets.push_back(make_ref_packet(net, route, i.src, i.dst, i.time));
+      packets.push_back(make_ref_packet(
+          net, route, cfg.observer, static_cast<std::uint32_t>(packets.size()),
+          i.src, i.dst, i.time));
     }
     return run_ref(net, packets, cfg);
   }
@@ -1060,7 +1149,9 @@ SimResult run_trace(const SimNetwork& net, const Router& route,
   std::vector<FlatPacket> packets;
   packets.reserve(injections.size());
   for (const Injection& i : injections) {
-    packets.push_back(make_flat_packet(arena, i.src, i.dst, i.time));
+    packets.push_back(make_flat_packet(
+        arena, cfg.observer, static_cast<std::uint32_t>(packets.size()),
+        i.src, i.dst, i.time));
   }
   return run_flat(net, packets, arena, cfg);
 }

@@ -40,6 +40,8 @@
 
 namespace ipg::sim {
 
+class SimObserver;  // sim/observer.hpp
+
 enum class Switching : std::uint8_t {
   kStoreAndForward,
   kVirtualCutThrough,
@@ -64,6 +66,13 @@ struct SimConfig {
   std::size_t node_buffer_packets = 0;
   std::uint64_t seed = 1;
 
+  /// Observability hook (sim/observer.hpp, docs/OBSERVABILITY.md). Null —
+  /// the default — keeps the unobserved fast path; attaching an observer
+  /// never changes any SimResult field (hooks are pure notifications). The
+  /// observer must outlive the run and is not thread-safe: sweep base
+  /// configs must leave it null and give each job its own observer if any.
+  SimObserver* observer = nullptr;
+
   // -- Degraded-mode knobs (docs/ROBUSTNESS.md). With a null/empty plan and
   // max_cycles == 0 the healthy fast path runs and every SimResult field is
   // bit-identical to the pre-fault engines.
@@ -85,8 +94,13 @@ struct SimConfig {
 
 struct SimResult {
   std::size_t packets_delivered = 0;
-  double makespan_cycles = 0;       ///< time until the last delivery
-  double avg_latency_cycles = 0;    ///< injection -> full delivery
+  double makespan_cycles = 0;  ///< time until the last delivery
+  // Latency statistics cover delivered packets only. When nothing was
+  // delivered (total blackout plans) they are NaN, never 0 — a 0 here
+  // would read as perfect latency on a degraded-run curve. p50/p99 are
+  // nearest-rank, exact up to LatencyHistogram::kExactCap samples and a
+  // log-bucket estimate (relative error < 1/128) beyond that.
+  double avg_latency_cycles = 0;  ///< injection -> full delivery
   double p50_latency_cycles = 0;
   double p99_latency_cycles = 0;
   double max_latency_cycles = 0;
@@ -94,6 +108,10 @@ struct SimResult {
   double avg_offchip_hops = 0;
   /// Delivered flits per node per cycle over the makespan.
   double throughput_flits_per_node_cycle = 0;
+  // Off-chip utilization is busy time within the reporting horizon
+  // (max(last delivery, max_cycles cutoff when one ended the run)) divided
+  // by that horizon — always in [0, 1], even on cutoff or degraded runs
+  // where links stay busy past the last delivery.
   double max_offchip_utilization = 0;  ///< busiest off-chip link
   double avg_offchip_utilization = 0;
 

@@ -1,20 +1,64 @@
 #include "sim/sweep.hpp"
 
+#include <atomic>
+#include <ostream>
+
 #include "sim/traffic.hpp"
 #include "util/check.hpp"
 
 namespace ipg::sim {
 
+void StreamSweepProgress::on_sweep_begin(std::size_t total_jobs) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  start_ = std::chrono::steady_clock::now();
+  packets_ = 0;
+  os_ << "[sweep] starting " << total_jobs << " jobs\n" << std::flush;
+}
+
+void StreamSweepProgress::on_job_done(const SweepOutcome& outcome,
+                                      std::size_t done, std::size_t total) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  packets_ += outcome.result.packets_delivered;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  os_ << "[sweep " << done << "/" << total << "] " << outcome.label << ": "
+      << outcome.result.packets_delivered << " delivered";
+  if (secs > 0) {
+    os_ << " | " << static_cast<double>(packets_) / secs << " pkt/s";
+  }
+  os_ << " | " << secs << "s elapsed\n" << std::flush;
+}
+
+void StreamSweepProgress::on_sweep_end() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  os_ << "[sweep] done: " << packets_ << " packets delivered in " << secs
+      << "s\n"
+      << std::flush;
+}
+
 std::vector<SweepOutcome> run_sweep(const std::vector<SweepJob>& jobs,
-                                    util::ThreadPool& pool) {
+                                    util::ThreadPool& pool,
+                                    SweepProgress* progress) {
   std::vector<SweepOutcome> outcomes(jobs.size());
+  if (progress != nullptr) progress->on_sweep_begin(jobs.size());
+  std::atomic<std::size_t> done{0};
   util::parallel_for(
       0, jobs.size(),
       [&](std::size_t i) {
         outcomes[i].label = jobs[i].label;
         outcomes[i].result = jobs[i].run();
+        if (progress != nullptr) {
+          progress->on_job_done(
+              outcomes[i], done.fetch_add(1, std::memory_order_relaxed) + 1,
+              jobs.size());
+        }
       },
       pool);
+  if (progress != nullptr) progress->on_sweep_end();
   return outcomes;
 }
 

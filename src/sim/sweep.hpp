@@ -11,8 +11,11 @@
 // identical for any thread count, and identical to running each point
 // alone. The sweep-determinism test pins this.
 
+#include <chrono>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,10 +38,50 @@ struct SweepOutcome {
   SimResult result;
 };
 
+/// Job-level progress hook for run_sweep. This observes sweep *jobs*, not
+/// packet events (SimObserver does that, docs/OBSERVABILITY.md): jobs run
+/// on pool worker threads, so on_job_done may be called concurrently —
+/// implementations must be thread-safe. Progress never changes outcomes;
+/// run_sweep stays deterministic for any thread count with or without one.
+class SweepProgress {
+ public:
+  virtual ~SweepProgress() = default;
+
+  /// Before any job runs (on the calling thread).
+  virtual void on_sweep_begin(std::size_t /*total_jobs*/) {}
+  /// After each job completes. @p done is the running completion count
+  /// (1-based, in completion — not job — order); @p total the job count.
+  virtual void on_job_done(const SweepOutcome& /*outcome*/,
+                           std::size_t /*done*/, std::size_t /*total*/) {}
+  /// After every job completed (on the calling thread).
+  virtual void on_sweep_end() {}
+};
+
+/// Shipped SweepProgress: one line per completed job — counter, label,
+/// delivered packets, elapsed wall time, and cumulative delivered-packet
+/// throughput. The benches hand it std::cerr so stdout stays pure JSON.
+class StreamSweepProgress final : public SweepProgress {
+ public:
+  explicit StreamSweepProgress(std::ostream& os) : os_(os) {}
+
+  void on_sweep_begin(std::size_t total_jobs) override;
+  void on_job_done(const SweepOutcome& outcome, std::size_t done,
+                   std::size_t total) override;
+  void on_sweep_end() override;
+
+ private:
+  std::ostream& os_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_{};
+  std::size_t packets_ = 0;  ///< delivered, cumulative over finished jobs
+};
+
 /// Runs all jobs across @p pool; outcomes come back in job order.
+/// @p progress (may be null) hears each completion as it happens.
 std::vector<SweepOutcome> run_sweep(
     const std::vector<SweepJob>& jobs,
-    util::ThreadPool& pool = util::ThreadPool::global());
+    util::ThreadPool& pool = util::ThreadPool::global(),
+    SweepProgress* progress = nullptr);
 
 /// Open-loop latency-vs-load curve: one job per rate point, all with the
 /// same seed and pattern. @p net must outlive the jobs.

@@ -7,6 +7,8 @@
 // ride along at the bottom.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -20,13 +22,20 @@ namespace {
 
 using namespace topology;
 
+/// Latency fields compare bitwise: zero-delivery runs report NaN (which
+/// operator== would fail on itself) and the contract is bit-identity.
+void expect_latency_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
 void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
   EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
-  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
-  EXPECT_EQ(a.p50_latency_cycles, b.p50_latency_cycles);
-  EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
-  EXPECT_EQ(a.max_latency_cycles, b.max_latency_cycles);
+  expect_latency_bits(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_latency_bits(a.p50_latency_cycles, b.p50_latency_cycles);
+  expect_latency_bits(a.p99_latency_cycles, b.p99_latency_cycles);
+  expect_latency_bits(a.max_latency_cycles, b.max_latency_cycles);
   EXPECT_EQ(a.avg_hops, b.avg_hops);
   EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
   EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
@@ -211,6 +220,23 @@ TEST(Percentile, TwoSamples) {
   EXPECT_EQ(percentile_nearest_rank(v, 99), 2.0);  // rank ceil(1.98) = 2nd
   v = {2.0, 1.0};
   EXPECT_EQ(percentile_nearest_rank(v, 1), 1.0);
+}
+
+TEST(Percentile, RepeatedValuesReturnTheValue) {
+  // Ties must never interpolate: whatever the rank, the answer is one of
+  // the two distinct values actually present.
+  std::vector<double> base{3.0, 3.0, 3.0, 3.0, 7.0, 7.0, 3.0, 3.0};
+  std::vector<double> v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 50), 3.0);  // rank 4 of 8
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 75), 3.0);  // rank 6 = last 3.0
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 90), 7.0);  // rank ceil(7.2) = 8
+  v = base;
+  EXPECT_EQ(percentile_nearest_rank(v, 100), 7.0);
+  std::vector<double> all_same(16, 4.5);
+  EXPECT_EQ(percentile_nearest_rank(all_same, 1), 4.5);
+  EXPECT_EQ(percentile_nearest_rank(all_same, 99), 4.5);
 }
 
 TEST(Percentile, HundredSamplesMatchRanksExactly) {

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -28,6 +31,15 @@ namespace {
 
 using namespace topology;
 
+/// Bitwise double equality: the engines' contract is bit-identity, and
+/// zero-delivery runs legitimately report NaN latencies (NaN != NaN under
+/// operator==, but the bit patterns match — both engines produce the same
+/// quiet_NaN constant).
+void expect_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
 void expect_same(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.packets_injected, b.packets_injected);
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
@@ -37,8 +49,13 @@ void expect_same(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.reroute_hops, b.reroute_hops);
   EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
   EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
-  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_bits(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_bits(a.p50_latency_cycles, b.p50_latency_cycles);
+  expect_bits(a.p99_latency_cycles, b.p99_latency_cycles);
+  expect_bits(a.max_latency_cycles, b.max_latency_cycles);
   EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
   EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
 }
 
@@ -155,6 +172,12 @@ TEST(SimFaults, ExhaustedRetriesDrop) {
   EXPECT_EQ(r.packets_dropped, 1u);
   EXPECT_EQ(r.packets_retransmitted, 3u);
   EXPECT_EQ(r.delivered_fraction, 0.0);
+  // Nothing was delivered, so every latency statistic must read NaN — a 0
+  // would look like perfect latency on a degraded-run curve.
+  EXPECT_TRUE(std::isnan(r.avg_latency_cycles));
+  EXPECT_TRUE(std::isnan(r.p50_latency_cycles));
+  EXPECT_TRUE(std::isnan(r.p99_latency_cycles));
+  EXPECT_TRUE(std::isnan(r.max_latency_cycles));
 }
 
 TEST(SimFaults, NodeDeathAndRepairRoundTrip) {
@@ -248,6 +271,31 @@ TEST(SimFaults, MaxCyclesCutoffCountsInFlightInsteadOfThrowing) {
     EXPECT_EQ(r.delivered_fraction, 0.0);
     expect_conserved(r);
   }
+}
+
+TEST(SimFaults, CutoffUtilizationClampedToOne) {
+  // Five identical 1 -> 2 packets injected at t=0 on a 6-ring clustered one
+  // node per chip (every link off-chip). All five transfers are scheduled
+  // on link (1,2) back to back at t=0 — busy through t=40 — but the run is
+  // cut off at max_cycles=10 after a single delivery (t=9). The old
+  // summarize() divided the full 40 cycles of busy time by the last
+  // delivery (9), reporting a utilization of 40/9 > 4; clamping busy time
+  // to the horizon max(9, 10) = 10 yields exactly 1.0 — the link really is
+  // saturated for the whole reporting window.
+  const SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      ring_graph(6), Clustering::blocks(6, 1), 1.0);
+  const Router route = ring_router();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.max_cycles = 10;
+  const std::vector<Injection> trace{
+      {1, 2, 0.0}, {1, 2, 0.0}, {1, 2, 0.0}, {1, 2, 0.0}, {1, 2, 0.0}};
+  const auto r = run_both(net, route, trace, cfg);
+  EXPECT_EQ(r.packets_delivered, 1u);
+  EXPECT_EQ(r.packets_in_flight, 4u);
+  EXPECT_EQ(r.makespan_cycles, 9.0);
+  EXPECT_EQ(r.max_offchip_utilization, 1.0);
+  EXPECT_LE(r.avg_offchip_utilization, 1.0);
 }
 
 // --- sweep determinism under fault plans ------------------------------------

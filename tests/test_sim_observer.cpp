@@ -1,0 +1,328 @@
+// Observability layer (sim/observer.hpp, docs/OBSERVABILITY.md):
+//  - observer-on vs observer-off bit-identity of every SimResult field on
+//    fixed-seed runs (hooks are pure notifications — the pinned contract);
+//  - MetricsObserver counters reconciling against the SimResult;
+//  - ChromeTraceObserver producing parseable trace_event JSON with the
+//    documented tracks, and honoring its event cap;
+//  - LatencyHistogram: exact nearest-rank percentiles below kExactCap,
+//    bucket-midpoint estimates within the documented error bound above it;
+//  - StreamSweepProgress reporting every job exactly once without changing
+//    sweep outcomes.
+#include "sim/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+void expect_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  expect_bits(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_bits(a.p50_latency_cycles, b.p50_latency_cycles);
+  expect_bits(a.p99_latency_cycles, b.p99_latency_cycles);
+  expect_bits(a.max_latency_cycles, b.max_latency_cycles);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
+  EXPECT_EQ(a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_retransmitted, b.packets_retransmitted);
+  EXPECT_EQ(a.packets_in_flight, b.packets_in_flight);
+  EXPECT_EQ(a.reroute_hops, b.reroute_hops);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+struct TestNet {
+  SimNetwork net;
+  Router router;
+};
+
+TestNet hsn_q3() {
+  auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  return {mcmp::make_unit_chip_network(hsn->to_graph(),
+                                       hsn->nucleus_clustering(), 1.0),
+          [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }};
+}
+
+SimConfig open_cfg() {
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+SimConfig faulty_cfg(const SimNetwork& net) {
+  SimConfig cfg = open_cfg();
+  cfg.max_retries = 2;
+  cfg.retry_backoff_cycles = 16;
+  cfg.max_cycles = 4000;
+  cfg.fault_plan = std::make_shared<const FaultPlan>(
+      FaultPlan::random_link_faults(net.graph(), nullptr, 3, 40.0, 30.0, 11));
+  return cfg;
+}
+
+// --- bit-identity: observers never change results ---------------------------
+
+TEST(SimObserver, ObserverOnOffBitIdenticalHealthy) {
+  const TestNet t = hsn_q3();
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  for (const Engine engine : {Engine::kArena, Engine::kReference}) {
+    SimConfig cfg = open_cfg();
+    cfg.engine = engine;
+    const auto plain = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    MetricsObserver metrics;
+    cfg.observer = &metrics;
+    const auto observed = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    ChromeTraceObserver trace;
+    cfg.observer = &trace;
+    const auto traced = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    EXPECT_GT(plain.packets_delivered, 0u);
+    expect_identical(plain, observed);
+    expect_identical(plain, traced);
+  }
+}
+
+TEST(SimObserver, ObserverOnOffBitIdenticalFaulty) {
+  const TestNet t = hsn_q3();
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  for (const Engine engine : {Engine::kArena, Engine::kReference}) {
+    SimConfig cfg = faulty_cfg(t.net);
+    cfg.engine = engine;
+    const auto plain = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    MetricsObserver metrics;
+    cfg.observer = &metrics;
+    const auto observed = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    EXPECT_GT(plain.packets_delivered, 0u);
+    expect_identical(plain, observed);
+  }
+}
+
+// --- MetricsObserver reconciles with the SimResult --------------------------
+
+TEST(SimObserver, MetricsObserverMatchesHealthyResult) {
+  const TestNet t = hsn_q3();
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  SimConfig cfg = open_cfg();
+  MetricsObserver metrics;
+  cfg.observer = &metrics;
+  const auto r = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  const auto& c = metrics.counters();
+  EXPECT_EQ(c.runs, 1u);
+  EXPECT_EQ(c.injected, r.packets_injected);
+  EXPECT_EQ(c.delivered, r.packets_delivered);
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(c.retries, 0u);
+  EXPECT_EQ(c.detours, 0u);
+  EXPECT_EQ(c.faults_applied, 0u);
+  const auto delivered = static_cast<double>(r.packets_delivered);
+  EXPECT_DOUBLE_EQ(static_cast<double>(c.hops) / delivered, r.avg_hops);
+  EXPECT_DOUBLE_EQ(static_cast<double>(c.offchip_hops) / delivered,
+                   r.avg_offchip_hops);
+  // Latency histogram reconciles with the result's statistics.
+  EXPECT_EQ(metrics.latencies().count(), r.packets_delivered);
+  EXPECT_DOUBLE_EQ(metrics.latencies().sum() / delivered, r.avg_latency_cycles);
+  expect_bits(metrics.latencies().max(), r.max_latency_cycles);
+  expect_bits(metrics.latencies().percentile(50.0), r.p50_latency_cycles);
+  expect_bits(metrics.latencies().percentile(99.0), r.p99_latency_cycles);
+  // Per-link busy time is exactly what the engine accumulated, so the
+  // busiest off-chip link recomputes the utilization (healthy run: horizon
+  // is the last delivery = makespan).
+  double max_busy = 0;
+  for (LinkId l = 0; l < t.net.num_links(); ++l) {
+    if (!t.net.is_offchip(l)) continue;
+    max_busy = std::max(max_busy, metrics.link_busy_time()[l]);
+  }
+  EXPECT_DOUBLE_EQ(max_busy / r.makespan_cycles, r.max_offchip_utilization);
+}
+
+TEST(SimObserver, MetricsObserverCountsFaultEvents) {
+  const TestNet t = hsn_q3();
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  SimConfig cfg = faulty_cfg(t.net);
+  MetricsObserver metrics;
+  cfg.observer = &metrics;
+  const auto r = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  const auto& c = metrics.counters();
+  EXPECT_EQ(c.injected, r.packets_injected);
+  EXPECT_EQ(c.delivered, r.packets_delivered);
+  EXPECT_EQ(c.dropped, r.packets_dropped);
+  EXPECT_EQ(c.retries, r.packets_retransmitted);
+  EXPECT_EQ(c.faults_applied, 3u);  // the plan's three link failures
+}
+
+// --- ChromeTraceObserver ----------------------------------------------------
+
+TEST(SimObserver, ChromeTraceEmitsDocumentedTracks) {
+  const SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      ring_graph(6), Clustering::blocks(6, 1), 1.0);
+  const Router route = table_router(std::make_shared<const Graph>(ring_graph(6)));
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_cycles = 16;
+  cfg.fault_plan = std::make_shared<const FaultPlan>(
+      FaultPlan().fail_link(5.0, 0, 5).repair_link(100.0, 0, 5));
+  ChromeTraceObserver trace;
+  cfg.observer = &trace;
+  const std::vector<Injection> in{{1, 5, 0.0}, {2, 4, 0.0}};
+  const auto r = run_trace(net, route, in, cfg);
+  EXPECT_EQ(r.packets_delivered, 2u);
+  EXPECT_GT(trace.num_events(), 0u);
+  EXPECT_FALSE(trace.truncated());
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  // Envelope and both process tracks.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"links\""), std::string::npos);
+  // Hop intervals are complete events; lifecycle markers are instants.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("inject p0"), std::string::npos);
+  EXPECT_NE(json.find("deliver p0"), std::string::npos);
+  // The applied fault shows up by name; the trace ends well-formed.
+  EXPECT_NE(json.find("link 0-5 down"), std::string::npos);
+  EXPECT_NE(json.find("(off-chip)"), std::string::npos);
+  EXPECT_EQ(json.rfind("]}\n"), json.size() - 3);
+}
+
+TEST(SimObserver, ChromeTraceHonorsEventCap) {
+  const TestNet t = hsn_q3();
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  SimConfig cfg = open_cfg();
+  ChromeTraceObserver trace(/*max_events=*/16);
+  cfg.observer = &trace;
+  (void)run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  EXPECT_EQ(trace.num_events(), 16u);
+  EXPECT_TRUE(trace.truncated());
+  std::ostringstream os;
+  trace.write_json(os);  // still valid JSON with a truncated recording
+  EXPECT_EQ(os.str().rfind("]}\n"), os.str().size() - 3);
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, ExactModeMatchesNearestRank) {
+  LatencyHistogram h;
+  std::vector<double> samples;
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1.0 + static_cast<double>(rng() % (1u << 20));
+    samples.push_back(v);
+    h.record(v);
+  }
+  EXPECT_TRUE(h.exact());
+  EXPECT_EQ(h.count(), samples.size());
+  for (const double pct : {1.0, 50.0, 75.0, 99.0, 100.0}) {
+    std::vector<double> copy = samples;
+    EXPECT_EQ(h.percentile(pct), percentile_nearest_rank(copy, pct));
+  }
+}
+
+TEST(LatencyHistogram, EstimateWithinDocumentedBoundPastCap) {
+  LatencyHistogram h;
+  std::vector<double> samples;
+  util::Xoshiro256 rng(321);
+  const std::size_t n = LatencyHistogram::kExactCap + 5000;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Latency-shaped values spanning several octaves.
+    const double v = 4.0 + static_cast<double>(rng() % (1u << 16)) / 16.0;
+    samples.push_back(v);
+    h.record(v);
+  }
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.count(), n);
+  double sum = 0, max = 0;
+  for (const double v : samples) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), sum);  // sum/max stay exact in histogram mode
+  EXPECT_EQ(h.max(), max);
+  for (const double pct : {50.0, 99.0}) {
+    std::vector<double> copy = samples;
+    const double exact = percentile_nearest_rank(copy, pct);
+    const double est = h.percentile(pct);
+    EXPECT_LE(std::abs(est - exact) / exact,
+              LatencyHistogram::relative_error_bound())
+        << "pct " << pct << ": " << est << " vs " << exact;
+  }
+}
+
+TEST(LatencyHistogram, HugeRunKeepsResultPercentilesWithinBound) {
+  // End to end: a total exchange big enough to overflow the exact buffer
+  // (512 nodes -> 261k packets) must still report sane percentiles.
+  const SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      kary_ncube_graph(8, 3), Clustering::blocks(512, 64), 1.0);
+  const Router route = kary_router(8, 3);
+  SimConfig cfg;
+  cfg.packet_length_flits = 1;
+  const auto r = run_total_exchange(net, route, cfg);
+  EXPECT_EQ(r.packets_delivered, 512u * 511u);
+  EXPECT_GT(r.p50_latency_cycles, 0.0);
+  EXPECT_GE(r.p99_latency_cycles, r.p50_latency_cycles);
+  EXPECT_LE(r.p99_latency_cycles,
+            r.max_latency_cycles * (1.0 + LatencyHistogram::relative_error_bound()));
+}
+
+// --- StreamSweepProgress ----------------------------------------------------
+
+TEST(SweepProgress, ReportsEveryJobWithoutChangingOutcomes) {
+  const SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      kary_ncube_graph(4, 2), kary2_block_clustering(4, 2), 1.0);
+  const Router route = kary_router(4, 2);
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  const std::vector<double> rates{0.02, 0.04, 0.06};
+  const auto jobs = open_rate_sweep(net, route,
+                                    uniform_traffic(net.num_nodes()), rates,
+                                    100, cfg);
+  util::ThreadPool pool(2);
+  const auto plain = run_sweep(jobs, pool);
+  std::ostringstream os;
+  StreamSweepProgress progress(os);
+  const auto reported = run_sweep(jobs, pool, &progress);
+  ASSERT_EQ(plain.size(), reported.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].label, reported[i].label);
+    expect_identical(plain[i].result, reported[i].result);
+  }
+  const std::string log = os.str();
+  EXPECT_NE(log.find("starting 3 jobs"), std::string::npos);
+  for (const auto& job : jobs) {
+    EXPECT_NE(log.find(job.label), std::string::npos) << log;
+  }
+  EXPECT_NE(log.find("[sweep 3/3]"), std::string::npos);
+  EXPECT_NE(log.find("[sweep] done:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipg::sim

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Minimal schema check for Chrome trace_event JSON emitted by
+sim::ChromeTraceObserver (docs/OBSERVABILITY.md documents the schema).
+
+Validates, with no third-party dependencies, that a trace file will load in
+chrome://tracing / Perfetto:
+  - top level is an object with a "traceEvents" array;
+  - every event is an object with a string "ph" and integer "pid"/"tid";
+  - "M" metadata events carry name + args;
+  - "X" complete events carry numeric ts/dur >= 0;
+  - "i" instant events carry numeric ts and scope "s";
+  - both documented process tracks ("nodes", "links") are declared.
+
+Usage: validate_trace.py TRACE.json
+Exits 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py TRACE.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    require(isinstance(doc, dict), "top level must be a JSON object")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), '"traceEvents" must be an array')
+    require(len(events) > 0, "trace has no events")
+
+    process_names = set()
+    counts = {"M": 0, "X": 0, "i": 0}
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(e, dict), f"{where} is not an object")
+        ph = e.get("ph")
+        require(isinstance(ph, str), f'{where} lacks a string "ph"')
+        require(isinstance(e.get("pid"), int), f'{where} lacks an integer "pid"')
+        require(isinstance(e.get("tid"), int), f'{where} lacks an integer "tid"')
+        if ph == "M":
+            require(isinstance(e.get("name"), str), f"{where}: M event needs a name")
+            require(isinstance(e.get("args"), dict), f"{where}: M event needs args")
+            if e["name"] == "process_name":
+                process_names.add(e["args"].get("name"))
+        elif ph == "X":
+            require(is_num(e.get("ts")), f"{where}: X event needs numeric ts")
+            require(is_num(e.get("dur")), f"{where}: X event needs numeric dur")
+            require(e["ts"] >= 0 and e["dur"] >= 0, f"{where}: negative ts/dur")
+            require(isinstance(e.get("name"), str), f"{where}: X event needs a name")
+        elif ph == "i":
+            require(is_num(e.get("ts")), f"{where}: instant needs numeric ts")
+            require(e.get("s") in ("t", "p", "g"), f"{where}: instant needs scope s")
+            require(isinstance(e.get("name"), str), f"{where}: instant needs a name")
+        else:
+            fail(f"{where}: unexpected phase {ph!r}")
+        counts[ph] += 1
+
+    require({"nodes", "links"} <= process_names,
+            f"missing process tracks, saw {sorted(process_names)}")
+    require(counts["X"] > 0, "no link busy intervals recorded")
+    require(counts["i"] > 0, "no instant markers recorded")
+    print(f"validate_trace: OK: {len(events)} events "
+          f"({counts['M']} metadata, {counts['X']} intervals, "
+          f"{counts['i']} instants)")
+
+
+if __name__ == "__main__":
+    main()
