@@ -1,0 +1,459 @@
+// Conformance checks on the measured layer itself: the event simulator's
+// latencies against routed-hop ground truth (plus kArena/kReference
+// engine equivalence), the LatencyHistogram percentile estimates against
+// exact nearest-rank, and the sampled distance sweep against the exact
+// all-pairs sweep on vertex-transitive instances.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conformance/families.hpp"
+#include "conformance/internal.hpp"
+#include "metrics/distances.hpp"
+#include "topology/named.hpp"
+#include "sim/network.hpp"
+#include "sim/observer.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::conformance::internal {
+
+namespace {
+
+using sim::NodeId;
+using topology::Clustering;
+using topology::Graph;
+
+constexpr double kEps = 1e-9;
+
+bool close(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) == std::isnan(b);
+  return std::abs(a - b) <= kEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Per-packet trace: injection data, hop count, and delivery latency.
+class PacketProbe final : public sim::SimObserver {
+ public:
+  struct Packet {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::size_t hops = 0;
+    double latency = -1;  ///< -1 until delivered
+  };
+
+  void on_inject(std::uint32_t packet, NodeId src, NodeId dst,
+                 double /*time*/) override {
+    if (packets_.size() <= packet) packets_.resize(packet + 1);
+    packets_[packet].src = src;
+    packets_[packet].dst = dst;
+  }
+  void on_hop(const sim::HopRecord& hop) override {
+    ++packets_.at(hop.packet).hops;
+  }
+  void on_deliver(std::uint32_t packet, NodeId /*dst*/, double /*time*/,
+                  double latency) override {
+    packets_.at(packet).latency = latency;
+  }
+
+  const std::vector<Packet>& packets() const noexcept { return packets_; }
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+/// Field-by-field SimResult comparison (engine-equivalence oracle).
+std::string compare_results(const sim::SimResult& a, const sim::SimResult& b) {
+  const std::map<std::string, std::pair<double, double>> fields = {
+      {"packets_delivered",
+       {static_cast<double>(a.packets_delivered),
+        static_cast<double>(b.packets_delivered)}},
+      {"makespan_cycles", {a.makespan_cycles, b.makespan_cycles}},
+      {"avg_latency_cycles", {a.avg_latency_cycles, b.avg_latency_cycles}},
+      {"p50_latency_cycles", {a.p50_latency_cycles, b.p50_latency_cycles}},
+      {"p99_latency_cycles", {a.p99_latency_cycles, b.p99_latency_cycles}},
+      {"max_latency_cycles", {a.max_latency_cycles, b.max_latency_cycles}},
+      {"avg_hops", {a.avg_hops, b.avg_hops}},
+      {"avg_offchip_hops", {a.avg_offchip_hops, b.avg_offchip_hops}},
+      {"throughput",
+       {a.throughput_flits_per_node_cycle, b.throughput_flits_per_node_cycle}},
+      {"max_offchip_utilization",
+       {a.max_offchip_utilization, b.max_offchip_utilization}},
+      {"avg_offchip_utilization",
+       {a.avg_offchip_utilization, b.avg_offchip_utilization}},
+  };
+  for (const auto& [name, pair] : fields) {
+    if (pair.first != pair.second) {
+      return detail("engines disagree on ", name, ": ", pair.first, " vs ",
+                    pair.second);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Simulator latency vs routed-hop ground truth
+// ---------------------------------------------------------------------------
+
+CheckSpec make_sim_latency_check() {
+  CheckSpec spec;
+  spec.id = "sim-latency";
+  spec.claim =
+      "every simulated packet takes at least its BFS-distance hops and at "
+      "least the zero-load store-and-forward latency; SimResult aggregates "
+      "match an independent per-packet observer, exact percentiles, and "
+      "the reference engine bit for bit";
+  spec.theorems = "§5 (simulation model), docs/OBSERVABILITY.md invariants";
+  spec.run = [](const RunOptions& opts) {
+    CheckResult r;
+    const double bw = 1.0;            // uniform link bandwidth (flits/cycle)
+    const double length = 16;         // packet length (flits)
+    const double link_lat = 1.0;
+
+    auto sweep = plain_family_sweep(3, /*with_directed=*/false,
+                                    /*with_two_level_classics=*/false);
+    for (const auto& inst : sweep) {
+      if (inst.ipg->num_nodes() > 96) continue;  // keep the batch runs quick
+      const Graph g = inst.ipg->to_graph();
+      const Clustering chips = chips_of(inst);
+      const sim::SimNetwork net =
+          sim::SimNetwork::with_uniform_bandwidth(g, chips, bw);
+      const sim::Router route = sim::super_ipg_router(*inst.ipg);
+
+      // BFS ground truth from every source (instances are small).
+      std::vector<std::vector<std::uint32_t>> dist(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        dist[v] = metrics::bfs_distances(g, v);
+      }
+
+      for (std::uint64_t seed = 1; seed <= opts.seeds; ++seed) {
+        ++r.instances;
+        util::Xoshiro256 rng(0xc0ffee ^ (seed * 0x9e3779b97f4a7c15ull));
+        const std::vector<NodeId> dst =
+            sim::random_permutation(g.num_nodes(), rng);
+
+        PacketProbe probe;
+        sim::SimConfig cfg;
+        cfg.packet_length_flits = length;
+        cfg.link_latency_cycles = link_lat;
+        cfg.seed = seed;
+        cfg.observer = &probe;
+        const sim::SimResult res = sim::run_batch(net, route, dst, cfg);
+
+        // The observer never perturbs results: re-run unobserved.
+        sim::SimConfig plain = cfg;
+        plain.observer = nullptr;
+        if (auto diff = compare_results(res, sim::run_batch(net, route, dst,
+                                                            plain));
+            !diff.empty()) {
+          fail(r, inst.name, seed, "observed vs unobserved: " + diff);
+        }
+        // Engine equivalence: the reference engine is the oracle.
+        sim::SimConfig ref = plain;
+        ref.engine = sim::Engine::kReference;
+        if (auto diff = compare_results(res, sim::run_batch(net, route, dst,
+                                                            ref));
+            !diff.empty()) {
+          fail(r, inst.name, seed, "kArena vs kReference: " + diff);
+        }
+
+        std::size_t expected = 0;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) expected += dst[v] != v;
+        if (res.packets_delivered != expected) {
+          fail(r, inst.name, seed,
+               detail("delivered ", res.packets_delivered, " of ", expected,
+                      " packets"));
+          continue;
+        }
+
+        // Per-packet invariants against the BFS ground truth. Store-and-
+        // forward zero-load latency is hops * (serialization + link
+        // latency); congestion only adds to it.
+        double hop_sum = 0;
+        double lat_sum = 0;
+        std::vector<double> latencies;
+        bool bad = false;
+        for (const auto& p : probe.packets()) {
+          const std::uint32_t d = dist[p.src][p.dst];
+          if (p.latency < 0) {
+            fail(r, inst.name, seed,
+                 detail("packet ", p.src, "->", p.dst, " never delivered"));
+            bad = true;
+            break;
+          }
+          if (p.hops < d) {
+            fail(r, inst.name, seed,
+                 detail("packet ", p.src, "->", p.dst, " took ", p.hops,
+                        " hops < BFS distance ", d));
+            bad = true;
+            break;
+          }
+          const double floor =
+              static_cast<double>(p.hops) * (length / bw + link_lat);
+          if (p.latency + kEps < floor) {
+            fail(r, inst.name, seed,
+                 detail("packet ", p.src, "->", p.dst, " latency ", p.latency,
+                        " below the zero-load floor ", floor));
+            bad = true;
+            break;
+          }
+          hop_sum += static_cast<double>(p.hops);
+          lat_sum += p.latency;
+          latencies.push_back(p.latency);
+        }
+        if (bad) continue;
+
+        const double n = static_cast<double>(latencies.size());
+        if (!close(res.avg_hops, hop_sum / n)) {
+          fail(r, inst.name, seed,
+               detail("SimResult avg_hops ", res.avg_hops,
+                      " != observer average ", hop_sum / n));
+        }
+        if (!close(res.avg_latency_cycles, lat_sum / n)) {
+          fail(r, inst.name, seed,
+               detail("SimResult avg_latency ", res.avg_latency_cycles,
+                      " != observer average ", lat_sum / n));
+        }
+        const double max_lat =
+            *std::max_element(latencies.begin(), latencies.end());
+        if (!close(res.max_latency_cycles, max_lat)) {
+          fail(r, inst.name, seed,
+               detail("SimResult max_latency ", res.max_latency_cycles,
+                      " != observer max ", max_lat));
+        }
+        // Batch runs stay under kExactCap samples, so the reported
+        // percentiles must be exactly nearest-rank.
+        for (const double pct : {50.0, 99.0}) {
+          std::vector<double> copy = latencies;
+          const double exact = sim::percentile_nearest_rank(copy, pct);
+          const double reported =
+              pct == 50.0 ? res.p50_latency_cycles : res.p99_latency_cycles;
+          if (!close(reported, exact)) {
+            fail(r, inst.name, seed,
+                 detail("SimResult p", pct, " = ", reported,
+                        " != exact nearest-rank ", exact));
+          }
+        }
+      }
+    }
+    return r;
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram percentiles at and beyond the exact/bucketed switchover
+// ---------------------------------------------------------------------------
+
+CheckSpec make_latency_histogram_check() {
+  CheckSpec spec;
+  spec.id = "latency-histogram";
+  spec.claim =
+      "LatencyHistogram percentiles are exactly nearest-rank up to 2^16 "
+      "samples and within the documented 1/128 relative error bound at "
+      "2^16 + 1 and beyond, across distribution shapes";
+  spec.theorems = "docs/OBSERVABILITY.md (bounded-memory percentile bound)";
+  spec.run = [](const RunOptions& opts) {
+    CheckResult r;
+    constexpr std::size_t cap = sim::LatencyHistogram::kExactCap;
+    const std::vector<std::pair<std::string, int>> shapes = {
+        {"uniform", 0}, {"heavy-tail", 1}, {"bimodal", 2}};
+    const std::vector<std::size_t> sizes = {cap - 1, cap, cap + 1, 4 * cap};
+
+    for (const auto& [shape, mode] : shapes) {
+      for (std::uint64_t seed = 1; seed <= opts.seeds; ++seed) {
+        for (const std::size_t size : sizes) {
+          ++r.instances;
+          const std::string name =
+              detail("histogram(", shape, ",n=", size, ")");
+          const std::uint64_t gen_seed =
+              seed * std::uint64_t{0x2545f4914f6cdd1d} +
+              static_cast<std::uint64_t>(mode);
+          util::Xoshiro256 gen(gen_seed);
+          sim::LatencyHistogram hist;
+          std::vector<double> values;
+          values.reserve(size);
+          for (std::size_t i = 0; i < size; ++i) {
+            const double u = gen.uniform();
+            double v = 0;
+            switch (mode) {
+              case 0: v = 1.0 + 1e4 * u; break;
+              case 1: v = 1.0 / (1.0 - u * 0.999999); break;
+              case 2: v = (i % 2 == 0) ? 10.0 + u : 1e6 + u * 1e5; break;
+            }
+            hist.record(v);
+            values.push_back(v);
+          }
+          if (hist.count() != size) {
+            fail(r, name, seed,
+                 detail("count() = ", hist.count(), " != ", size));
+            continue;
+          }
+          const bool want_exact = size <= cap;
+          if (hist.exact() != want_exact) {
+            fail(r, name, seed,
+                 detail("exact() = ", hist.exact(), " at n = ", size,
+                        " (cap ", cap, ")"));
+            continue;
+          }
+          for (const double pct : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+            std::vector<double> copy = values;
+            const double truth = sim::percentile_nearest_rank(copy, pct);
+            const double est = hist.percentile(pct);
+            if (want_exact) {
+              if (est != truth) {
+                fail(r, name, seed,
+                     detail("exact-mode p", pct, " = ", est,
+                            " != nearest-rank ", truth));
+              }
+            } else {
+              const double rel = std::abs(est - truth) / truth;
+              if (rel > sim::LatencyHistogram::relative_error_bound()) {
+                fail(r, name, seed,
+                     detail("bucketed p", pct, " = ", est, " vs exact ",
+                            truth, ": relative error ", rel,
+                            " exceeds the 1/128 bound"));
+              }
+            }
+          }
+        }
+      }
+    }
+    return r;
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Sampled vs exact distance sweeps on vertex-transitive instances
+// ---------------------------------------------------------------------------
+
+CheckSpec make_distance_sampling_check() {
+  CheckSpec spec;
+  spec.id = "distance-sampling";
+  spec.claim =
+      "the sampled distance sweep shares the exact sweep's ordered-pairs-"
+      "with-self convention: on vertex-transitive graphs (every source row "
+      "sums alike) any sample count reproduces the exact average bit for "
+      "bit; on super-IPGs (NOT vertex-transitive: super-generators fix "
+      "equal-content nodes) a full-cover sample is exact and partial "
+      "samples stay within the exact bounds";
+  spec.theorems = "§4.1 measurement convention (distances.hpp contract)";
+  spec.run = [](const RunOptions&) {
+    CheckResult r;
+
+    // Part A: vertex-transitive named graphs — sampling must be exact for
+    // every sample count, including the clustered sweep on the hypercube
+    // (subcube chips are cosets, so XOR automorphisms act transitively).
+    struct Symmetric {
+      std::string name;
+      Graph g;
+      bool clustered;
+      Clustering chips;
+    };
+    std::vector<Symmetric> symmetric;
+    symmetric.push_back({"Q6", topology::hypercube_graph(6), true,
+                         topology::hypercube_subcube_clustering(6, 4)});
+    symmetric.push_back({"FQ4", topology::folded_hypercube_graph(4), false,
+                         Clustering::single(16)});
+    symmetric.push_back({"4-ary 2-cube", topology::kary_ncube_graph(4, 2),
+                         false, Clustering::single(16)});
+    for (const Symmetric& s : symmetric) {
+      const auto exact_all = metrics::distance_stats(s.g);
+      const auto exact_ic =
+          s.clustered ? metrics::intercluster_stats(s.g, s.chips)
+                      : exact_all;
+      for (const std::size_t sample :
+           {std::size_t{1}, std::size_t{2}, std::size_t{5},
+            s.g.num_nodes() / 2, s.g.num_nodes(), 10 * s.g.num_nodes()}) {
+        ++r.instances;
+        const auto sampled = metrics::distance_stats(s.g, sample);
+        if (sampled.average != exact_all.average) {
+          fail(r, s.name, 0,
+               detail("distance_stats(sample=", sample, ").average = ",
+                      sampled.average, " != exact ", exact_all.average));
+        }
+        if (sampled.diameter != exact_all.diameter) {
+          fail(r, s.name, 0,
+               detail("distance_stats(sample=", sample, ").diameter = ",
+                      sampled.diameter, " != exact ", exact_all.diameter));
+        }
+        const std::size_t want_sources =
+            sample >= s.g.num_nodes() ? s.g.num_nodes() : sample;
+        if (sampled.sources_used != want_sources) {
+          fail(r, s.name, 0,
+               detail("sources_used = ", sampled.sources_used,
+                      " for sample ", sample, ", expected ", want_sources));
+        }
+        if (s.clustered) {
+          const auto sic = metrics::intercluster_stats(s.g, s.chips, sample);
+          if (sic.average != exact_ic.average ||
+              sic.diameter != exact_ic.diameter) {
+            fail(r, s.name, 0,
+                 detail("intercluster_stats(sample=", sample, ") = (",
+                        sic.average, ", ", sic.diameter, ") != exact (",
+                        exact_ic.average, ", ", exact_ic.diameter, ")"));
+          }
+        }
+      }
+    }
+
+    // Part B: super-IPG sweep — full-cover samples reproduce the exact
+    // sweep exactly; partial samples can only shrink the diameter and must
+    // keep the average within [0, diameter].
+    for (const auto& inst : plain_family_sweep(3, /*with_directed=*/true)) {
+      const Graph g = inst.ipg->to_graph();
+      const Clustering chips = chips_of(inst);
+      const auto exact_all = metrics::distance_stats(g);
+      const auto exact_ic = metrics::intercluster_stats(g, chips);
+      for (const std::size_t sample :
+           {std::size_t{1}, g.num_nodes() / 2, g.num_nodes(),
+            10 * g.num_nodes()}) {
+        if (sample == 0) continue;
+        ++r.instances;
+        const auto s_all = metrics::distance_stats(g, sample);
+        const auto s_ic = metrics::intercluster_stats(g, chips, sample);
+        if (sample >= g.num_nodes()) {
+          if (s_all.average != exact_all.average ||
+              s_all.diameter != exact_all.diameter ||
+              s_ic.average != exact_ic.average ||
+              s_ic.diameter != exact_ic.diameter) {
+            fail(r, inst.name, 0,
+                 detail("full-cover sample ", sample,
+                        " does not reproduce the exact sweep"));
+          }
+        } else {
+          if (s_all.diameter > exact_all.diameter ||
+              s_ic.diameter > exact_ic.diameter) {
+            fail(r, inst.name, 0,
+                 detail("sampled diameter exceeds the exact diameter at "
+                        "sample ",
+                        sample));
+          }
+          if (s_all.average < 0 ||
+              s_all.average >
+                  static_cast<double>(exact_all.diameter) + kEps ||
+              s_ic.average < 0 ||
+              s_ic.average > static_cast<double>(exact_ic.diameter) + kEps) {
+            fail(r, inst.name, 0,
+                 detail("sampled average outside [0, diameter] at sample ",
+                        sample));
+          }
+        }
+      }
+    }
+    return r;
+  };
+  return spec;
+}
+
+}  // namespace ipg::conformance::internal

@@ -1,0 +1,147 @@
+#include "conformance/conformance.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "conformance/internal.hpp"
+#include "util/check.hpp"
+
+namespace ipg::conformance {
+
+const std::vector<CheckSpec>& registry() {
+  static const std::vector<CheckSpec> specs = [] {
+    using namespace internal;
+    std::vector<CheckSpec> v;
+    v.push_back(make_intercluster_diameter_check());
+    v.push_back(make_intercluster_average_check());
+    v.push_back(make_bisection_bandwidth_check());
+    v.push_back(make_allport_schedule_check());
+    v.push_back(make_embedding_dilation_check());
+    v.push_back(make_ascend_descend_check());
+    v.push_back(make_sim_latency_check());
+    v.push_back(make_latency_histogram_check());
+    v.push_back(make_distance_sampling_check());
+    return v;
+  }();
+  return specs;
+}
+
+std::vector<CheckResult> run_all(const RunOptions& opts) {
+  IPG_CHECK(opts.seeds >= 1, "at least one seed replicate is required");
+  std::vector<CheckResult> out;
+  for (const CheckSpec& spec : registry()) {
+    CheckResult r = spec.run(opts);
+    r.id = spec.id;
+    r.claim = spec.claim;
+    r.theorems = spec.theorems;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<CheckResult> run_selected(const std::vector<std::string>& ids,
+                                      const RunOptions& opts) {
+  IPG_CHECK(opts.seeds >= 1, "at least one seed replicate is required");
+  std::vector<CheckResult> out;
+  for (const std::string& id : ids) {
+    const CheckSpec* found = nullptr;
+    for (const CheckSpec& spec : registry()) {
+      if (spec.id == id) {
+        found = &spec;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw std::invalid_argument("unknown conformance check id: " + id);
+    }
+    CheckResult r = found->run(opts);
+    r.id = found->id;
+    r.claim = found->claim;
+    r.theorems = found->theorems;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool print_report(std::ostream& os, const std::vector<CheckResult>& results) {
+  bool all_passed = true;
+  std::size_t instances = 0;
+  for (const CheckResult& r : results) {
+    instances += r.instances;
+    os << (r.passed() ? "PASS" : "FAIL") << "  " << r.id << "  ("
+       << r.theorems << "; " << r.instances << " instances)\n";
+    if (!r.passed()) {
+      all_passed = false;
+      const CheckFailure& minimal = r.failures.front();
+      os << "      minimal failing instance: " << minimal.instance;
+      if (minimal.seed != 0) os << " [seed " << minimal.seed << "]";
+      os << "\n      " << minimal.detail << "\n";
+      if (r.failures.size() > 1) {
+        os << "      (+" << r.failures.size() - 1 << " more failures)\n";
+      }
+    }
+  }
+  os << (all_passed ? "OK" : "FAILED") << ": " << results.size()
+     << " checks, " << instances << " instances\n";
+  return all_passed;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const std::vector<CheckResult>& results,
+                const RunOptions& opts) {
+  bool all_passed = true;
+  for (const CheckResult& r : results) all_passed &= r.passed();
+  os << "{\n  \"schema\": \"ipg-conformance-v1\",\n  \"seeds\": "
+     << opts.seeds << ",\n  \"passed\": " << (all_passed ? "true" : "false")
+     << ",\n  \"checks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CheckResult& r = results[i];
+    os << "    {\n      \"id\": ";
+    json_escape(os, r.id);
+    os << ",\n      \"claim\": ";
+    json_escape(os, r.claim);
+    os << ",\n      \"theorems\": ";
+    json_escape(os, r.theorems);
+    os << ",\n      \"instances\": " << r.instances
+       << ",\n      \"passed\": " << (r.passed() ? "true" : "false")
+       << ",\n      \"failures\": [";
+    for (std::size_t j = 0; j < r.failures.size(); ++j) {
+      const CheckFailure& f = r.failures[j];
+      os << (j == 0 ? "\n" : ",\n") << "        {\"instance\": ";
+      json_escape(os, f.instance);
+      os << ", \"seed\": " << f.seed << ", \"detail\": ";
+      json_escape(os, f.detail);
+      os << "}";
+    }
+    os << (r.failures.empty() ? "]" : "\n      ]") << "\n    }"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace ipg::conformance

@@ -1,0 +1,84 @@
+#pragma once
+// Paper-conformance differential checker (docs/CONFORMANCE.md).
+//
+// The reproduction states the same quantities in three independent layers:
+// analytic closed forms (Thm 4.1–4.7, Cor 3.2/3.3/3.6/3.7, Cor 4.8–4.10),
+// constructive schedules/embeddings/plans (Thm 3.1/3.5/3.8), and measured
+// ground truth (BFS sweeps, bisection heuristics, the event-driven
+// simulator). Each conformance check cross-validates one claim across
+// those layers over a seeded family sweep (HSN, SFN, ring-/complete-CN,
+// RCC, HCN/HFN, plus the hypercube / k-ary 2-cube comparison networks) and
+// reports PASS/FAIL with the minimal failing instance. `tools/ipg_check`
+// drives the registry and emits machine-readable CONFORMANCE.json; CI runs
+// it with --seeds 4 and fails the build on any FAIL. There is no waiver
+// list: a failing check means a bug in the tree, fixed at the root.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipg::conformance {
+
+struct RunOptions {
+  /// Seed replicates for the randomized pieces (bisection restarts, batch
+  /// permutations, synthetic latency distributions). Seeds are 1..seeds.
+  std::uint64_t seeds = 2;
+  /// Stream per-instance progress lines to stderr.
+  bool verbose = false;
+};
+
+/// One divergence between layers, pinned to the instance that showed it.
+struct CheckFailure {
+  std::string instance;  ///< family + parameters, e.g. "HSN(3,Q2)"
+  std::uint64_t seed = 0;  ///< seed replicate (0 = deterministic check)
+  std::string detail;      ///< which quantities diverged, with values
+};
+
+struct CheckResult {
+  std::string id;        ///< stable kebab-case check id
+  std::string claim;     ///< the paper claim being validated
+  std::string theorems;  ///< "Thm 4.1, Cor 4.2", for the report
+  std::size_t instances = 0;  ///< (instance, seed) combinations swept
+  /// All divergences found; the sweep runs smallest instance first, so
+  /// failures.front() is the minimal failing instance.
+  std::vector<CheckFailure> failures;
+
+  bool passed() const noexcept { return failures.empty(); }
+};
+
+/// A registered check: sweeps its instances under @p opts and returns the
+/// filled result. Checks never throw for conformance failures (those go in
+/// `failures`); they only throw on internal misuse.
+struct CheckSpec {
+  std::string id;
+  std::string claim;
+  std::string theorems;
+  std::function<CheckResult(const RunOptions&)> run;
+};
+
+/// The full registry, in documentation order (docs/CONFORMANCE.md mirrors
+/// it). Stable ids:
+///   intercluster-diameter, intercluster-average, bisection-bandwidth,
+///   allport-schedule, embedding-dilation, ascend-descend-steps,
+///   sim-latency, latency-histogram, distance-sampling.
+const std::vector<CheckSpec>& registry();
+
+/// Runs every registered check. Results come back in registry order.
+std::vector<CheckResult> run_all(const RunOptions& opts);
+
+/// Runs the named checks (ids as in registry()); throws
+/// std::invalid_argument for an unknown id.
+std::vector<CheckResult> run_selected(const std::vector<std::string>& ids,
+                                      const RunOptions& opts);
+
+/// Human-readable PASS/FAIL table; returns true when everything passed.
+bool print_report(std::ostream& os, const std::vector<CheckResult>& results);
+
+/// Machine-readable report (the CONFORMANCE.json schema, see
+/// docs/CONFORMANCE.md).
+void write_json(std::ostream& os, const std::vector<CheckResult>& results,
+                const RunOptions& opts);
+
+}  // namespace ipg::conformance

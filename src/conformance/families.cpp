@@ -1,0 +1,102 @@
+#include "conformance/families.hpp"
+
+#include <algorithm>
+
+#include "topology/nucleus.hpp"
+
+namespace ipg::conformance {
+
+using topology::SuperFamily;
+using topology::SuperIpg;
+
+namespace {
+
+FamilyInstance wrap(SuperIpg ipg, SuperFamily family, std::size_t levels,
+                    std::size_t nucleus_m, std::size_t flat_levels,
+                    std::size_t base_m, bool recursive) {
+  FamilyInstance inst;
+  inst.ipg = std::make_shared<SuperIpg>(std::move(ipg));
+  inst.name = inst.ipg->name();
+  inst.family = family;
+  inst.levels = levels;
+  inst.nucleus_m = nucleus_m;
+  inst.flat_levels = flat_levels;
+  inst.base_m = base_m;
+  inst.recursive = recursive;
+  return inst;
+}
+
+void sort_by_size(std::vector<FamilyInstance>& v) {
+  std::stable_sort(v.begin(), v.end(),
+                   [](const FamilyInstance& a, const FamilyInstance& b) {
+                     return a.ipg->num_nodes() < b.ipg->num_nodes();
+                   });
+}
+
+}  // namespace
+
+std::vector<FamilyInstance> plain_family_sweep(std::size_t max_levels,
+                                               bool with_directed,
+                                               bool with_two_level_classics) {
+  using topology::HypercubeNucleus;
+  std::vector<FamilyInstance> out;
+  for (unsigned k = 1; k <= 2; ++k) {
+    const auto q = std::make_shared<HypercubeNucleus>(k);
+    const std::size_t m = q->num_nodes();
+    for (std::size_t l = 2; l <= max_levels; ++l) {
+      out.push_back(wrap(make_hsn(l, q), SuperFamily::kHSN, l, m, l, m, false));
+      out.push_back(wrap(make_sfn(l, q), SuperFamily::kSFN, l, m, l, m, false));
+      out.push_back(
+          wrap(make_ring_cn(l, q), SuperFamily::kRingCN, l, m, l, m, false));
+      out.push_back(wrap(make_complete_cn(l, q), SuperFamily::kCompleteCN, l, m,
+                         l, m, false));
+      if (with_directed) {
+        out.push_back(wrap(make_directed_cn(l, q), SuperFamily::kDirectedRingCN,
+                           l, m, l, m, false));
+      }
+    }
+  }
+  {
+    // One l = 2 instance over a larger nucleus (the HCN(3,3) shape).
+    const auto q3 = std::make_shared<HypercubeNucleus>(3);
+    out.push_back(
+        wrap(make_hsn(2, q3), SuperFamily::kHSN, 2, 8, 2, 8, false));
+    out.push_back(wrap(make_complete_cn(3, q3), SuperFamily::kCompleteCN, 3, 8,
+                       3, 8, false));
+  }
+  if (with_two_level_classics) {
+    // HCN(2,2) = HSN(2,Q2) is already in the sweep; add HFN(2)/HFN(3),
+    // whose folded-hypercube nucleus exercises a non-plain-cube chip.
+    for (unsigned n : {2u, 3u}) {
+      SuperIpg hfn = topology::make_hfn(n);
+      const std::size_t m = hfn.nucleus_size();
+      out.push_back(
+          wrap(std::move(hfn), SuperFamily::kHSN, 2, m, 2, m, false));
+    }
+  }
+  sort_by_size(out);
+  return out;
+}
+
+std::vector<FamilyInstance> recursive_family_sweep() {
+  using topology::HypercubeNucleus;
+  std::vector<FamilyInstance> out;
+  const auto q1 = std::make_shared<HypercubeNucleus>(1);
+  const auto q2 = std::make_shared<HypercubeNucleus>(2);
+  // RCC(1,G) = HSN(2,G); RCC(2,G) = HSN(2, RCC(1,G)) with 4 base copies.
+  out.push_back(
+      wrap(topology::make_rcc(1, q2), SuperFamily::kHSN, 2, 4, 2, 4, true));
+  out.push_back(
+      wrap(topology::make_rcc(2, q1), SuperFamily::kHSN, 2, 4, 4, 2, true));
+  out.push_back(
+      wrap(topology::make_rcc(2, q2), SuperFamily::kHSN, 2, 16, 4, 4, true));
+  sort_by_size(out);
+  return out;
+}
+
+topology::Clustering chips_of(const FamilyInstance& inst) {
+  return inst.recursive ? topology::base_nucleus_clustering(*inst.ipg)
+                        : inst.ipg->nucleus_clustering();
+}
+
+}  // namespace ipg::conformance

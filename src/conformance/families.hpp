@@ -1,0 +1,48 @@
+#pragma once
+// The seeded family sweep shared by the conformance checks: small super-IPG
+// instances of every family the paper analyzes, ordered by node count so a
+// check's first failure is its minimal failing instance.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/super_ipg.hpp"
+
+namespace ipg::conformance {
+
+/// One super-IPG instance of the sweep, with the chip partition the paper
+/// uses for it (one chip per base-nucleus copy).
+struct FamilyInstance {
+  std::shared_ptr<const topology::SuperIpg> ipg;
+  std::string name;          ///< e.g. "HSN(3,Q2)"
+  topology::SuperFamily family;
+  std::size_t levels = 0;    ///< l of the top-level construction
+  std::size_t nucleus_m = 0; ///< M of the top-level nucleus
+  /// Flattened level count over the *base* nucleus: equals `levels` for
+  /// plain families, 2^r for RCC(r,G) — the l of the Thm 4.x closed forms.
+  std::size_t flat_levels = 0;
+  std::size_t base_m = 0;    ///< base-nucleus size (chip size M)
+  bool recursive = false;    ///< RCC-style (super-generators are nested)
+};
+
+/// Plain (non-recursive) families over hypercube nuclei: HSN, SFN,
+/// ring-CN, complete-CN (+ the directed ring-CN when @p with_directed),
+/// l in [2, max_levels], nuclei Q1/Q2 (and Q3 at l = 2). HCN(n) = HSN(2,Qn)
+/// and HFN(n) appear through @p with_two_level_classics. Sorted by node
+/// count ascending; everything is small enough for all-pairs BFS.
+std::vector<FamilyInstance> plain_family_sweep(std::size_t max_levels = 4,
+                                               bool with_directed = false,
+                                               bool with_two_level_classics = true);
+
+/// Recursive instances: RCC(1,Q2), RCC(2,Q2), RCC(2,Q1) — clustered by
+/// their base nucleus (base_nucleus_clustering).
+std::vector<FamilyInstance> recursive_family_sweep();
+
+/// The chip partition of an instance (nucleus clustering for plain
+/// families, base-nucleus clustering for recursive ones).
+topology::Clustering chips_of(const FamilyInstance& inst);
+
+}  // namespace ipg::conformance

@@ -1,0 +1,37 @@
+#pragma once
+// Internal glue shared by the conformance check translation units.
+
+#include <sstream>
+#include <string>
+
+#include "conformance/conformance.hpp"
+
+namespace ipg::conformance::internal {
+
+/// Streams any mix of values into one failure-detail string.
+template <typename... Parts>
+std::string detail(const Parts&... parts) {
+  std::ostringstream os;
+  os.precision(12);
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Records a failure (minimal instance first: callers sweep smallest-first).
+inline void fail(CheckResult& r, const std::string& instance,
+                 std::uint64_t seed, std::string what) {
+  r.failures.push_back({instance, seed, std::move(what)});
+}
+
+// Check constructors, one per translation unit group.
+CheckSpec make_intercluster_diameter_check();
+CheckSpec make_intercluster_average_check();
+CheckSpec make_bisection_bandwidth_check();
+CheckSpec make_allport_schedule_check();
+CheckSpec make_embedding_dilation_check();
+CheckSpec make_ascend_descend_check();
+CheckSpec make_sim_latency_check();
+CheckSpec make_latency_histogram_check();
+CheckSpec make_distance_sampling_check();
+
+}  // namespace ipg::conformance::internal

@@ -181,6 +181,7 @@ BisectionResult cluster_bisection_heuristic(const Graph& g, const Clustering& c,
                                             std::uint64_t seed) {
   IPG_CHECK(c.num_nodes() == g.num_nodes(), "clustering does not match graph");
   IPG_CHECK(arc_weight.size() == g.num_arcs(), "need one weight per arc");
+  IPG_CHECK(c.num_clusters() >= 2, "cluster bisection needs at least two clusters");
   IPG_CHECK(c.num_clusters() % 2 == 0, "cluster bisection needs an even cluster count");
   const auto sizes = c.cluster_sizes();
   IPG_CHECK(std::adjacent_find(sizes.begin(), sizes.end(),
@@ -220,6 +221,16 @@ std::vector<double> unit_chip_arc_weights(const Graph& g, const Clustering& c,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (const auto& arc : g.arcs_of(v)) {
       if (c.is_intercluster(v, arc.to)) ++offchip_links[c.cluster_of(v)];
+    }
+  }
+  // Unit chip capacity divides each cluster's budget over its off-chip
+  // links; a cluster no off-chip link touches has no defined link
+  // bandwidth, so reject it up front rather than weighting a cut that can
+  // never include it.
+  if (c.num_clusters() > 1) {
+    for (std::size_t cl = 0; cl < c.num_clusters(); ++cl) {
+      IPG_CHECK(offchip_links[cl] > 0,
+                "unit chip weights need every cluster to touch an off-chip link");
     }
   }
   const auto sizes = c.cluster_sizes();

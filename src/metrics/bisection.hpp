@@ -35,7 +35,7 @@ BisectionResult bisection_width_heuristic(const Graph& g, unsigned restarts = 8,
 /// sides (the paper never cuts on-chip links, §4.2), and each cut off-chip
 /// link contributes its weight. @p offchip_weight[e-index] must follow arc
 /// order; use uniform_offchip_weights() for the unit-chip-capacity model.
-/// Requires an even number of equal-size clusters.
+/// Requires an even number (at least two) of equal-size clusters.
 BisectionResult cluster_bisection_heuristic(const Graph& g, const Clustering& c,
                                             const std::vector<double>& arc_weight,
                                             unsigned restarts = 8,
@@ -45,7 +45,9 @@ BisectionResult cluster_bisection_heuristic(const Graph& g, const Clustering& c,
 /// off-chip bandwidth cluster_size * w_node, spread uniformly over the
 /// off-chip links touching it; a link's bandwidth is the minimum of its two
 /// endpoints' allocations. On-chip arcs get weight 0 (never cut) —
-/// equivalently "infinitely wide", per the paper's assumption.
+/// equivalently "infinitely wide", per the paper's assumption. With more
+/// than one cluster, every cluster must touch at least one off-chip link
+/// (a fully isolated chip has no defined off-chip link bandwidth).
 std::vector<double> unit_chip_arc_weights(const Graph& g, const Clustering& c,
                                           double w_node);
 

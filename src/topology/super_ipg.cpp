@@ -312,7 +312,24 @@ std::vector<std::size_t> SuperIpg::route(NodeId from, NodeId to) const {
                   content[g] == static_cast<NodeId>(group(to, final_pos[g])),
               "routing invariant violated: unvisited group content mismatch");
   }
-  return out;
+
+  // The visiting word applies super-generators unconditionally, but a
+  // generator can fix a concrete node (an SFN flip over equal prefix
+  // groups, a rotation of equal remaining groups). A fixed point is a
+  // self-loop, not a link of to_graph(), so drop those steps: skipping an
+  // identity move leaves the walk's position — and hence its endpoint —
+  // unchanged.
+  std::vector<std::size_t> walk;
+  walk.reserve(out.size());
+  NodeId cur = from;
+  for (const std::size_t g : out) {
+    const NodeId nxt = apply(cur, g);
+    if (nxt == cur) continue;
+    walk.push_back(g);
+    cur = nxt;
+  }
+  IPG_CHECK(cur == to, "routing invariant violated: walk misses destination");
+  return walk;
 }
 
 Graph SuperIpg::to_graph() const {

@@ -110,6 +110,8 @@ class SuperIpg {
   /// Full generator word (global indices) routing @p from to @p to, using
   /// the family's canonical visiting order: each differing super-symbol is
   /// corrected during its last visit to the leftmost position (§4.2).
+  /// Every step moves the current node (generator fixed points are
+  /// dropped), so the word is a walk in to_graph().
   std::vector<std::size_t> route(NodeId from, NodeId to) const;
 
   /// Materializes the CSR graph; dimension label = generator index.

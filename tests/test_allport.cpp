@@ -45,7 +45,9 @@ TEST(AllPort, Figure1b_FifteenDimHpnOn5x3_Utilization93Percent) {
   const AllPortSchedule s = build_allport_schedule(5, 3);
   EXPECT_EQ(s.makespan, 6u);
   EXPECT_EQ(s.num_dims(), 15u);
-  EXPECT_NEAR(s.utilization(), 39.0 / 42.0, 1e-12);
+  // Pinned exactly: 39 tasks over 7 resources * 6 rows is representable,
+  // so the report must be the paper's figure bit for bit.
+  EXPECT_DOUBLE_EQ(s.utilization(), 39.0 / 42.0);
   EXPECT_NEAR(s.utilization(), 0.93, 0.01);
 }
 
@@ -60,6 +62,32 @@ TEST(AllPort, VerifierCatchesResourceConflicts) {
   AllPortSchedule s = build_allport_schedule(3, 2);
   // Force two nucleus steps of the same generator into one row.
   s.dims[0].nucleus = s.dims[2].nucleus;
+  EXPECT_THROW(verify_allport_schedule(s), std::invalid_argument);
+}
+
+TEST(AllPort, VerifierCatchesSharedInverseDoubleBooking) {
+  // With shared_inverse, S_i and S_i^{-1} are the same physical link, so a
+  // row holding both a bring and a restore of the same level double-books
+  // it. Hand-build that conflict while keeping every chain constraint
+  // (bring < nucleus < restore) intact, so the only violation left is the
+  // shared resource.
+  AllPortSchedule s = build_allport_schedule(5, 3, /*shared_inverse=*/true);
+  ASSERT_TRUE(s.shared_inverse);
+  const std::size_t n = s.nucleus_gens;
+  bool mutated = false;
+  for (std::size_t level = 1; !mutated && level < s.levels; ++level) {
+    for (std::size_t i = level * n; !mutated && i < (level + 1) * n; ++i) {
+      for (std::size_t j = level * n; !mutated && j < (level + 1) * n; ++j) {
+        if (i == j) continue;
+        if (s.dims[j].restore < s.dims[i].nucleus &&
+            s.dims[j].restore != s.dims[i].bring) {
+          s.dims[i].bring = s.dims[j].restore;
+          mutated = true;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(mutated) << "no row available to stage the conflict";
   EXPECT_THROW(verify_allport_schedule(s), std::invalid_argument);
 }
 

@@ -109,6 +109,49 @@ TEST(ClusterBisection, RequiresEqualSizeClusters) {
       std::invalid_argument);
 }
 
+TEST(ClusterBisection, RequiresAtLeastTwoClusters) {
+  // A single cluster has no cut at all; reject up front instead of
+  // returning a meaningless empty bisection.
+  const Graph g = ring_graph(4);
+  const Clustering c = Clustering::single(4);
+  EXPECT_THROW(
+      cluster_bisection_heuristic(g, c, unit_link_arc_weights(g)),
+      std::invalid_argument);
+}
+
+TEST(ClusterBisection, RequiresEvenClusterCount) {
+  // Three equal-size clusters: balanced cluster-respecting halves do not
+  // exist, so the heuristic must refuse rather than silently unbalance.
+  const Graph g = ring_graph(6);
+  const Clustering c({0, 0, 1, 1, 2, 2}, 3);
+  EXPECT_THROW(
+      cluster_bisection_heuristic(g, c, unit_link_arc_weights(g)),
+      std::invalid_argument);
+}
+
+TEST(UnitChipWeights, RejectsClusterWithoutOffChipLinks) {
+  // Clusters 0 and 1 are joined; cluster 2 is an island with no off-chip
+  // link, so its per-link bandwidth share is undefined (division by its
+  // zero off-chip link count). Must throw, not divide.
+  GraphBuilder b("island", 6, 2);
+  b.add_edge(0, 1, 0);  // inside cluster 0
+  b.add_edge(2, 3, 0);  // inside cluster 1
+  b.add_edge(1, 2, 1);  // cluster 0 <-> cluster 1
+  b.add_edge(4, 5, 0);  // inside cluster 2 — never leaves it
+  const Graph g = std::move(b).build();
+  const Clustering c({0, 0, 1, 1, 2, 2}, 3);
+  EXPECT_THROW(unit_chip_arc_weights(g, c, 1.0), std::invalid_argument);
+}
+
+TEST(UnitChipWeights, SingleClusterHasNoOffChipLinksAndIsFine) {
+  // With one cluster there are no intercluster arcs to weight; the
+  // all-zero weight vector is the correct degenerate answer.
+  const Graph g = ring_graph(4);
+  const auto w = unit_chip_arc_weights(g, Clustering::single(4), 1.0);
+  EXPECT_EQ(w.size(), g.num_arcs());
+  for (const double x : w) EXPECT_EQ(x, 0.0);
+}
+
 TEST(UnitLinkWeights, AllOnes) {
   const Graph g = ring_graph(5);
   const auto w = unit_link_arc_weights(g);

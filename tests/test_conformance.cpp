@@ -1,0 +1,135 @@
+// Tier-1 pin of the paper-conformance checker: the full registry must run
+// green (any FAIL here is a real divergence between the analytic, the
+// constructive, and the measured layer — fix it at the root, never waive
+// it), plus pinned regressions for the bugs the checker has caught.
+#include "conformance/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "conformance/families.hpp"
+#include "sim/network.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::conformance {
+namespace {
+
+TEST(Conformance, RegistryHasTheDocumentedChecks) {
+  const auto& specs = registry();
+  ASSERT_EQ(specs.size(), 9u);
+  const std::vector<std::string> ids = {
+      "intercluster-diameter", "intercluster-average", "bisection-bandwidth",
+      "allport-schedule",      "embedding-dilation",   "ascend-descend-steps",
+      "sim-latency",           "latency-histogram",    "distance-sampling"};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(specs[i].id, ids[i]);
+    EXPECT_FALSE(specs[i].claim.empty());
+    EXPECT_FALSE(specs[i].theorems.empty());
+    EXPECT_TRUE(specs[i].run != nullptr);
+  }
+}
+
+TEST(Conformance, AllChecksPassAtOneSeed) {
+  RunOptions opts;
+  opts.seeds = 1;
+  const auto results = run_all(opts);
+  ASSERT_EQ(results.size(), registry().size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.instances, 0u) << r.id;
+    EXPECT_TRUE(r.passed())
+        << r.id << " failed on " << r.failures.front().instance << ": "
+        << r.failures.front().detail;
+  }
+}
+
+TEST(Conformance, SelectedRunAndReportRoundTrip) {
+  RunOptions opts;
+  opts.seeds = 1;
+  const auto results = run_selected({"allport-schedule"}, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, "allport-schedule");
+
+  std::ostringstream report;
+  EXPECT_TRUE(print_report(report, results));
+  EXPECT_NE(report.str().find("PASS  allport-schedule"), std::string::npos);
+
+  std::ostringstream json;
+  write_json(json, results, opts);
+  EXPECT_NE(json.str().find("\"schema\": \"ipg-conformance-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"passed\": true"), std::string::npos);
+
+  EXPECT_THROW(run_selected({"no-such-check"}, opts), std::invalid_argument);
+}
+
+TEST(Conformance, FailureReportNamesTheMinimalInstance) {
+  std::vector<CheckResult> results(1);
+  results[0].id = "synthetic";
+  results[0].theorems = "Thm 0.0";
+  results[0].instances = 3;
+  results[0].failures.push_back({"TINY(2)", 1, "value 1 != 2"});
+  results[0].failures.push_back({"BIG(9)", 2, "value 3 != 4"});
+  std::ostringstream report;
+  EXPECT_FALSE(print_report(report, results));
+  EXPECT_NE(report.str().find("minimal failing instance: TINY(2)"),
+            std::string::npos);
+  std::ostringstream json;
+  write_json(json, results, RunOptions{});
+  EXPECT_NE(json.str().find("\"passed\": false"), std::string::npos);
+  EXPECT_NE(json.str().find("TINY(2)"), std::string::npos);
+}
+
+// Regression (found by the sim-latency conformance check): SuperIpg::route
+// used to emit super-generator steps that fix the current node — an SFN
+// flip over equal prefix groups, a rotation of equal remaining groups.
+// Such a step is a self-loop, not an arc of to_graph(), so expanding the
+// route in the simulator threw "node has no link with the requested
+// dimension label". Every routed step must move the walk.
+TEST(Conformance, RoutedWordsNeverFixTheCurrentNode) {
+  for (const auto& inst :
+       plain_family_sweep(3, /*with_directed=*/true,
+                          /*with_two_level_classics=*/false)) {
+    const auto& s = *inst.ipg;
+    if (s.num_nodes() > 64) continue;
+    for (topology::NodeId from = 0; from < s.num_nodes(); ++from) {
+      for (topology::NodeId to = 0; to < s.num_nodes(); ++to) {
+        topology::NodeId cur = from;
+        for (const std::size_t g : s.route(from, to)) {
+          const topology::NodeId nxt = s.apply(cur, g);
+          ASSERT_NE(nxt, cur)
+              << inst.name << ": route " << from << "->" << to
+              << " applies generator " << g << " as a self-loop at " << cur;
+          cur = nxt;
+        }
+        ASSERT_EQ(cur, to) << inst.name;
+      }
+    }
+  }
+}
+
+TEST(Conformance, SfnBatchSimulationAcceptsEveryRoutedWord) {
+  // The concrete crasher: SFN routes over equal-content nodes. A full
+  // permutation batch through the simulator exercises the dim -> port
+  // expansion for every routed word.
+  const auto q2 = std::make_shared<topology::HypercubeNucleus>(2);
+  const topology::SuperIpg sfn = topology::make_sfn(3, q2);
+  const auto net = sim::SimNetwork::with_uniform_bandwidth(
+      sfn.to_graph(), sfn.nucleus_clustering(), 1.0);
+  util::Xoshiro256 rng(7);
+  const auto dst = sim::random_permutation(sfn.num_nodes(), rng);
+  sim::SimConfig cfg;
+  const auto res =
+      sim::run_batch(net, sim::super_ipg_router(sfn), dst, cfg);
+  std::size_t expected = 0;
+  for (std::size_t v = 0; v < dst.size(); ++v) expected += dst[v] != v;
+  EXPECT_EQ(res.packets_delivered, expected);
+}
+
+}  // namespace
+}  // namespace ipg::conformance

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "topology/super_ipg.hpp"
@@ -38,6 +41,58 @@ TEST(Distances, SampledSweepMatchesExactOnVertexTransitiveGraph) {
   EXPECT_EQ(sampled.sources_used, 8u);
   EXPECT_EQ(sampled.diameter, exact.diameter);
   EXPECT_DOUBLE_EQ(sampled.average, exact.average);
+}
+
+TEST(Distances, SampledSweepUsesTheExactPairConvention) {
+  // Audit pin: the sampled path divides by sources * n, the exact path by
+  // n * n — both the ordered-pairs-with-self convention. On a vertex-
+  // transitive graph every source row sums alike, so the two divisions
+  // evaluate the same rational and the doubles are bit-identical for any
+  // sample count, not just the one the sweep test above uses.
+  const Graph g = hypercube_graph(6);
+  const auto exact = distance_stats(g);
+  for (const std::size_t sample : {1u, 2u, 3u, 5u, 16u, 63u, 64u, 1000u}) {
+    const auto sampled = distance_stats(g, sample);
+    EXPECT_EQ(sampled.sources_used, std::min<std::size_t>(sample, 64u));
+    EXPECT_EQ(sampled.diameter, exact.diameter) << sample;
+    EXPECT_DOUBLE_EQ(sampled.average, exact.average) << sample;
+  }
+}
+
+TEST(Intercluster, SampledSweepMatchesExactOnSubcubeChips) {
+  // Same audit for the intercluster sweep (previously uncovered): subcube
+  // chips are cosets of a linear subspace, so XOR automorphisms act
+  // transitively and sampling is exact here too.
+  const Graph g = hypercube_graph(6);
+  const auto chips = hypercube_subcube_clustering(6, 4);
+  const auto exact = intercluster_stats(g, chips);
+  for (const std::size_t sample : {1u, 2u, 5u, 32u, 64u, 100u}) {
+    const auto sampled = intercluster_stats(g, chips, sample);
+    EXPECT_EQ(sampled.diameter, exact.diameter) << sample;
+    EXPECT_DOUBLE_EQ(sampled.average, exact.average) << sample;
+  }
+}
+
+TEST(Intercluster, FullCoverSampleIsExactOnNonTransitiveGraphs) {
+  // Super-IPGs are NOT vertex-transitive (a super-generator fixes nodes
+  // whose groups hold equal contents, so degrees differ) and partial
+  // sampling is only an estimate there — but any sample count covering
+  // every node must reproduce the exact sweep.
+  const auto q2 = std::make_shared<HypercubeNucleus>(2);
+  const SuperIpg sfn = make_sfn(3, q2);
+  const Graph g = sfn.to_graph();
+  const auto chips = sfn.nucleus_clustering();
+  const auto exact = distance_stats(g);
+  const auto exact_ic = intercluster_stats(g, chips);
+  for (const std::size_t sample : {g.num_nodes(), 10 * g.num_nodes()}) {
+    const auto s_all = distance_stats(g, sample);
+    EXPECT_EQ(s_all.sources_used, g.num_nodes());
+    EXPECT_EQ(s_all.diameter, exact.diameter);
+    EXPECT_DOUBLE_EQ(s_all.average, exact.average);
+    const auto s_ic = intercluster_stats(g, chips, sample);
+    EXPECT_EQ(s_ic.diameter, exact_ic.diameter);
+    EXPECT_DOUBLE_EQ(s_ic.average, exact_ic.average);
+  }
 }
 
 TEST(Distances, DisconnectedGraphThrows) {

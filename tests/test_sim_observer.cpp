@@ -277,6 +277,39 @@ TEST(LatencyHistogram, EstimateWithinDocumentedBoundPastCap) {
   }
 }
 
+TEST(LatencyHistogram, SwitchoverBoundary) {
+  // Pin the exact -> bucketed transition sample by sample: the histogram
+  // is exact at kExactCap - 1 and kExactCap samples, and folds exactly one
+  // sample later, where every percentile must still agree with the
+  // nearest-rank truth within the documented 1/128 relative bound.
+  constexpr std::size_t cap = LatencyHistogram::kExactCap;
+  for (const std::size_t n : {cap - 1, cap, cap + 1}) {
+    LatencyHistogram h;
+    std::vector<double> samples;
+    samples.reserve(n);
+    util::Xoshiro256 rng(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = 2.0 + rng.uniform() * 4096.0;
+      samples.push_back(v);
+      h.record(v);
+    }
+    EXPECT_EQ(h.count(), n);
+    EXPECT_EQ(h.exact(), n <= cap) << "n = " << n;
+    for (const double pct : {1.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+      std::vector<double> copy = samples;
+      const double exact = percentile_nearest_rank(copy, pct);
+      const double est = h.percentile(pct);
+      if (n <= cap) {
+        EXPECT_EQ(est, exact) << "n = " << n << ", pct " << pct;
+      } else {
+        EXPECT_LE(std::abs(est - exact) / exact,
+                  LatencyHistogram::relative_error_bound())
+            << "n = " << n << ", pct " << pct;
+      }
+    }
+  }
+}
+
 TEST(LatencyHistogram, HugeRunKeepsResultPercentilesWithinBound) {
   // End to end: a total exchange big enough to overflow the exact buffer
   // (512 nodes -> 261k packets) must still report sane percentiles.

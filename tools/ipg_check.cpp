@@ -1,0 +1,106 @@
+// ipg_check — the paper-conformance differential checker CLI.
+//
+//   ipg_check --all [--seeds N] [--json FILE] [--verbose]
+//   ipg_check --check ID [--check ID ...] [...]
+//   ipg_check --list
+//
+// Exit status: 0 when every selected check passed, 1 on any FAIL, 2 on
+// usage errors. CI runs `ipg_check --all --seeds 4 --json CONFORMANCE.json`
+// and fails the build on a nonzero exit.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " (--all | --check ID... | --list)\n"
+      << "       [--seeds N]   seed replicates for randomized pieces "
+         "(default 2)\n"
+      << "       [--json FILE] write the machine-readable CONFORMANCE "
+         "report\n"
+      << "       [--verbose]   per-instance progress on stderr\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipg::conformance;
+
+  bool all = false;
+  bool list = false;
+  std::vector<std::string> ids;
+  std::string json_path;
+  RunOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--check") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      ids.emplace_back(v);
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.seeds = std::strtoull(v, nullptr, 10);
+      if (opts.seeds == 0) {
+        std::cerr << "--seeds must be at least 1\n";
+        return 2;
+      }
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) {
+    for (const CheckSpec& spec : registry()) {
+      std::cout << spec.id << "\n    " << spec.theorems << "\n    "
+                << spec.claim << "\n";
+    }
+    return 0;
+  }
+  if (all ? !ids.empty() : ids.empty()) {
+    // exactly one of --all / --check must be given
+    return usage(argv[0]);
+  }
+
+  std::vector<CheckResult> results;
+  try {
+    results = all ? run_all(opts) : run_selected(ids, opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const bool ok = print_report(std::cout, results);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    write_json(out, results, opts);
+  }
+  return ok ? 0 : 1;
+}
