@@ -4,10 +4,19 @@
 // thread vs the machine pool. Emits BENCH_sim.json so CI can track the
 // perf trajectory across commits; the acceptance floor for this overhaul
 // is total exchange >= 3x the pre-arena engine.
+//
+// A second section measures the sharded parallel engine's strong-scaling
+// curve — a fixed 64k-node HSN(4, Q4) cyclic-exchange workload at K = 1, 2,
+// 4, ... domains, bit-checked against the kArena baseline — and drives one
+// million-node HSN(5, Q4) exchange round end to end. Emitted separately as
+// BENCH_sim_scale.json.
+#include <bit>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,7 @@
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "topology/named.hpp"
+#include "topology/nucleus.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -49,6 +59,111 @@ void emit_json(std::ostream& os, const std::vector<Measurement>& rows,
   os << "  \"rate_sweep_16pt\": {\"seconds_1_thread\": " << sweep_1thread_s
      << ", \"seconds_pool\": " << sweep_pool_s
      << ", \"pool_threads\": " << pool_threads << "}\n}\n";
+}
+
+/// Cyclic-offset exchange rounds: round r has every node v send one packet
+/// to (v + off_r) mod n at t = r. A total-exchange-shaped load whose packet
+/// count is rounds * n instead of n^2, so it scales to 64k and 1M nodes.
+std::vector<Injection> cyclic_exchange(std::size_t n, std::size_t rounds) {
+  std::vector<Injection> inj;
+  inj.reserve(n * rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t off = (r * 8191 + 1) % n;
+    for (std::size_t v = 0; v < n; ++v) {
+      inj.push_back({static_cast<NodeId>(v),
+                     static_cast<NodeId>((v + off) % n),
+                     static_cast<double>(r)});
+    }
+  }
+  return inj;
+}
+
+struct ScaleRow {
+  std::uint32_t domains = 0;
+  double seconds = 0;
+  bool bit_identical = false;
+};
+
+int run_sharded_scaling(std::ostream& json) {
+  using namespace ipg::topology;
+  // 64k-node super-IPG: 4-level HSN over a Q4 nucleus, one chip per
+  // nucleus cluster.
+  auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(4, std::make_shared<HypercubeNucleus>(4)));
+  const auto net = mcmp::make_unit_chip_network(hsn->to_graph(),
+                                                hsn->nucleus_clustering(), 1.0);
+  const Router router = [hsn](NodeId s, NodeId d) { return hsn->route(s, d); };
+  const std::size_t n = net.num_nodes();
+  const auto injections = cyclic_exchange(n, 4);
+
+  SimConfig cfg;
+  cfg.packet_length_flits = 16;
+
+  auto t0 = Clock::now();
+  const auto baseline = run_trace(net, router, injections, cfg);
+  const double arena_s = seconds_since(t0);
+
+  const std::size_t pool = util::ThreadPool::global().size();
+  std::vector<ScaleRow> rows;
+  for (std::uint32_t k = 1; k <= std::max<std::size_t>(pool, 8); k *= 2) {
+    SimConfig scfg = cfg;
+    scfg.engine = Engine::kSharded;
+    scfg.shard_domains = k;
+    auto tk = Clock::now();
+    const auto r = run_trace(net, router, injections, scfg);
+    ScaleRow row;
+    row.domains = k;
+    row.seconds = seconds_since(tk);
+    row.bit_identical =
+        std::bit_cast<std::uint64_t>(r.makespan_cycles) ==
+            std::bit_cast<std::uint64_t>(baseline.makespan_cycles) &&
+        std::bit_cast<std::uint64_t>(r.avg_latency_cycles) ==
+            std::bit_cast<std::uint64_t>(baseline.avg_latency_cycles) &&
+        r.packets_delivered == baseline.packets_delivered;
+    rows.push_back(row);
+    if (!row.bit_identical) {
+      std::cerr << "FAIL: kSharded K=" << k << " diverged from kArena\n";
+    }
+  }
+
+  // Million-node run: one exchange round over a 5-level HSN (16^5 nodes),
+  // proving the sharded engine completes at that scale.
+  auto big = std::make_shared<SuperIpg>(
+      make_hsn(5, std::make_shared<HypercubeNucleus>(4)));
+  const auto big_net = mcmp::make_unit_chip_network(
+      big->to_graph(), big->nucleus_clustering(), 1.0);
+  const Router big_router = [big](NodeId s, NodeId d) {
+    return big->route(s, d);
+  };
+  const auto big_inj = cyclic_exchange(big_net.num_nodes(), 1);
+  SimConfig big_cfg;
+  big_cfg.packet_length_flits = 16;
+  big_cfg.engine = Engine::kSharded;
+  auto tb = Clock::now();
+  const auto big_res = run_trace(big_net, big_router, big_inj, big_cfg);
+  const double big_s = seconds_since(tb);
+  const bool big_ok = big_res.packets_delivered == big_inj.size();
+
+  json << "{\n  \"network\": \"HSN(4, Q4) (65536 nodes, 4096 chips x 16 "
+          "nodes)\",\n  \"workload\": \"4-round cyclic exchange, "
+       << injections.size() << " packets\",\n  \"pool_threads\": " << pool
+       << ",\n  \"arena_baseline\": {\"seconds\": " << arena_s
+       << "},\n  \"sharded\": [\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    all_identical = all_identical && rows[i].bit_identical;
+    json << "    {\"domains\": " << rows[i].domains
+         << ", \"seconds\": " << rows[i].seconds << ", \"speedup_vs_arena\": "
+         << arena_s / rows[i].seconds << ", \"bit_identical\": "
+         << (rows[i].bit_identical ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"million_node\": {\"network\": \"HSN(5, Q4)\", "
+          "\"nodes\": "
+       << big_net.num_nodes() << ", \"packets\": " << big_inj.size()
+       << ", \"seconds\": " << big_s << ", \"delivered_all\": "
+       << (big_ok ? "true" : "false") << "}\n}\n";
+  return all_identical && big_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -118,5 +233,12 @@ int main() {
   emit_json(std::cout, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
   std::ofstream out("BENCH_sim.json");
   emit_json(out, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
-  return 0;
+
+  // Sharded-engine strong scaling + million-node run (BENCH_sim_scale.json).
+  std::ofstream scale_out("BENCH_sim_scale.json");
+  const int rc = run_sharded_scaling(scale_out);
+  scale_out.close();  // flush before echoing the file to stdout
+  std::ifstream echo("BENCH_sim_scale.json");
+  std::cout << echo.rdbuf();
+  return rc;
 }

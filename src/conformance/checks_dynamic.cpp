@@ -1,6 +1,7 @@
 // Conformance checks on the measured layer itself: the event simulator's
-// latencies against routed-hop ground truth (plus kArena/kReference
-// engine equivalence), the LatencyHistogram percentile estimates against
+// latencies against routed-hop ground truth (plus kArena/kReference/
+// kSharded engine equivalence), the LatencyHistogram percentile estimates
+// against
 // exact nearest-rank, and the sampled distance sweep against the exact
 // all-pairs sweep on vertex-transitive instances.
 
@@ -111,7 +112,7 @@ CheckSpec make_sim_latency_check() {
       "every simulated packet takes at least its BFS-distance hops and at "
       "least the zero-load store-and-forward latency; SimResult aggregates "
       "match an independent per-packet observer, exact percentiles, and "
-      "the reference engine bit for bit";
+      "the reference and sharded engines bit for bit";
   spec.theorems = "§5 (simulation model), docs/OBSERVABILITY.md invariants";
   spec.run = [](const RunOptions& opts) {
     CheckResult r;
@@ -164,6 +165,16 @@ CheckSpec make_sim_latency_check() {
                                                             ref));
             !diff.empty()) {
           fail(r, inst.name, seed, "kArena vs kReference: " + diff);
+        }
+        // ... and so is the sharded parallel engine, at a domain count that
+        // exercises real cross-domain traffic.
+        sim::SimConfig sharded = plain;
+        sharded.engine = sim::Engine::kSharded;
+        sharded.shard_domains = 3;
+        if (auto diff = compare_results(res, sim::run_batch(net, route, dst,
+                                                            sharded));
+            !diff.empty()) {
+          fail(r, inst.name, seed, "kArena vs kSharded: " + diff);
         }
 
         std::size_t expected = 0;

@@ -1,0 +1,229 @@
+#pragma once
+// Internals shared by the simulator engines (simulator.cpp, sharded.cpp).
+//
+// Not part of the public surface: everything here exists so the sequential
+// engines and the sharded engine can share one definition of the packet
+// state, per-link hot state, stats accumulator, and summarization — the
+// bit-identity contract between engines rests on these being literally the
+// same code. Include from src/sim translation units only.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace ipg::sim::detail {
+
+struct EngineStats {
+  double last_delivery = 0;
+  /// Bounded-memory latency sample: exact (and bit-identical to the old
+  /// unbounded vector) up to LatencyHistogram::kExactCap delivered
+  /// packets, log-bucket estimates beyond.
+  LatencyHistogram latency;
+  std::size_t delivered = 0;
+  std::size_t hops = 0;
+  std::size_t offchip_hops = 0;
+  std::size_t injected = 0;
+  std::size_t dropped = 0;
+  std::size_t retransmitted = 0;
+  std::size_t in_flight = 0;
+  std::size_t reroute_hops = 0;
+  bool cutoff_hit = false;  ///< a max_cycles cutoff ended the run early
+};
+
+/// Diagnoses why bounded-buffer packets are stuck at end of run: every
+/// undelivered packet is parked in some waiting list, so following the
+/// "node hosting a parked packet -> full node it wants to enter" relation
+/// from any parked packet must revisit a node — that cycle is the report.
+/// @p at_of maps a parked packet id to the node currently hosting it.
+template <typename AtOf>
+[[noreturn]] void fail_with_deadlock_cycle(
+    const std::vector<std::deque<std::uint32_t>>& waiting, AtOf&& at_of) {
+  std::vector<NodeId> succ(waiting.size(), topology::kInvalidNode);
+  NodeId start = topology::kInvalidNode;
+  for (std::size_t to = 0; to < waiting.size(); ++to) {
+    for (const std::uint32_t pid : waiting[to]) {
+      const NodeId at = at_of(pid);
+      if (succ[at] == topology::kInvalidNode) {
+        succ[at] = static_cast<NodeId>(to);
+      }
+      if (start == topology::kInvalidNode) start = at;
+    }
+  }
+  std::string msg =
+      "simulation ended with undelivered packets — routing deadlock under "
+      "bounded buffers";
+  if (start != topology::kInvalidNode) {
+    std::vector<std::uint8_t> seen(waiting.size(), 0);
+    std::vector<NodeId> path;
+    NodeId v = start;
+    while (v != topology::kInvalidNode && seen[v] == 0) {
+      seen[v] = 1;
+      path.push_back(v);
+      v = succ[v];
+    }
+    if (v != topology::kInvalidNode) {
+      msg += "; waiting cycle: ";
+      std::size_t i = 0;
+      while (path[i] != v) ++i;
+      for (; i < path.size(); ++i) msg += std::to_string(path[i]) + " -> ";
+      msg += std::to_string(v);
+    }
+  }
+  throw std::invalid_argument(msg);
+}
+
+inline void record_delivery(EngineStats& stats, SimObserver* obs,
+                            std::uint32_t pid, NodeId dst, double time,
+                            double inject_time) {
+  const double latency = time - inject_time;
+  stats.latency.record(latency);
+  stats.last_delivery = std::max(stats.last_delivery, time);
+  ++stats.delivered;
+  if (obs != nullptr) obs->on_deliver(pid, dst, time, latency);
+}
+
+/// Per-packet backing store of the arena engines. The hot loop reads it
+/// only at injection, at delivery (inject_time), and on the bounded-buffer
+/// blocked path — while a packet is in flight its state travels inside its
+/// Event.
+struct FlatPacket {
+  NodeId at;                ///< current node (stale while in flight)
+  std::uint32_t cursor;     ///< next port's index in the route arena
+  std::uint16_t hops_left;
+  std::uint16_t route_len;
+  double inject_time;
+};
+
+/// Per-link state of one run, consolidated so a hop touches one cache line
+/// and pays no divisions: transfer and inv_bandwidth are precomputed from
+/// the same operands the reference engine divides per event, so the times
+/// stay bit-identical. In the sharded engine the table is shared across
+/// domains: the mutable fields of links[l] are touched only by the domain
+/// owning l's upstream node, so element access stays disjoint.
+struct LinkHot {
+  double busy_until = 0;
+  double busy_time = 0;
+  double transfer;       ///< packet_length / bandwidth
+  double inv_bandwidth;  ///< one flit time (cut-through head)
+  NodeId to;             ///< downstream node
+  std::uint32_t offchip;
+};
+
+std::vector<LinkHot> make_link_table(const SimNetwork& net,
+                                     const SimConfig& cfg);
+
+/// Folds timing components into the smallest k <= 12 such that every one
+/// seen so far is an integer multiple of 2^-k; bits == -1 means no such k
+/// (odd bandwidths like 3 flits/cycle give non-terminating binary transfer
+/// times).
+struct GridFold {
+  int bits = 0;
+  void fold(double v) {
+    if (bits < 0) return;
+    if (!std::isfinite(v) || v < 0) {
+      bits = -1;
+      return;
+    }
+    for (int k = bits; k <= 12; ++k) {
+      const double scaled = std::ldexp(v, k);
+      if (scaled == std::floor(scaled) && scaled < 9.0e15) {
+        bits = k;
+        return;
+      }
+    }
+    bits = -1;
+  }
+};
+
+/// Grid exponent for a run, or -1 if its timing does not quantize. When k
+/// exists, every event time the engine can compute is a multiple of 2^-k
+/// (times are sums and maxes of the folded components — including retry
+/// backoff delays, which are power-of-two multiples of the base delay), and
+/// TickQueue applies. Works for the healthy FlatPacket and the FaultPacket
+/// loops alike; with the default max_retries == 0 it folds exactly the
+/// components the pre-fault engine folded.
+template <typename Packet>
+int quantized_grid_bits(const std::vector<LinkHot>& links,
+                        const SimConfig& cfg,
+                        const std::vector<Packet>& packets) {
+  GridFold f;
+  f.fold(cfg.link_latency_cycles);
+  for (const LinkHot& l : links) {
+    f.fold(l.transfer);
+    f.fold(l.inv_bandwidth);
+    if (f.bits < 0) return f.bits;
+  }
+  for (const Packet& p : packets) {
+    f.fold(p.inject_time);
+    if (f.bits < 0) return f.bits;
+  }
+  if (cfg.max_retries > 0) {
+    const std::uint32_t max_exp = std::min<std::uint32_t>(cfg.max_retries - 1, 16);
+    for (std::uint32_t j = 0; j <= max_exp; ++j) {
+      f.fold(cfg.retry_backoff_cycles * static_cast<double>(1ull << j));
+      if (f.bits < 0) return f.bits;
+    }
+  }
+  return f.bits;
+}
+
+/// Injection schedule: packet ids ordered by (inject_time, id). Stable sort
+/// keeps generation order among equal-time injections, matching the
+/// reference engine's upfront push order. Works for any packet type with an
+/// inject_time field (FlatPacket and FaultPacket).
+template <typename Packet>
+std::vector<std::uint32_t> injection_order(const std::vector<Packet>& packets) {
+  std::vector<std::uint32_t> order(packets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const bool sorted = std::is_sorted(
+      packets.begin(), packets.end(), [](const Packet& a, const Packet& b) {
+        return a.inject_time < b.inject_time;
+      });
+  if (!sorted) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&packets](std::uint32_t a, std::uint32_t b) {
+                       return packets[a].inject_time < packets[b].inject_time;
+                     });
+  }
+  return order;
+}
+
+// Degraded-mode per-packet lifecycle states.
+constexpr std::uint8_t kActive = 0;
+constexpr std::uint8_t kDelivered = 1;
+constexpr std::uint8_t kDropped = 2;
+
+/// Authoritative per-packet state for degraded runs. Unlike the healthy
+/// arena loop, events never carry packet state: routes can change while a
+/// packet is parked, so the array is the single source of truth. Under the
+/// sharded engine each packet is touched only by the domain owning its
+/// current event; ownership hands over at sync barriers.
+struct FaultPacket {
+  NodeId src;
+  NodeId dst;
+  NodeId at;                    ///< current node
+  std::uint32_t cursor = 0;     ///< next port's index in the fault arena
+  std::uint16_t hops_left = 0;
+  std::uint16_t reroutes = 0;   ///< detours adopted this attempt
+  std::uint32_t attempt = 0;    ///< retransmissions so far
+  double inject_time;           ///< original injection (latency baseline)
+  std::uint8_t state = kActive;
+  bool routed = false;          ///< cursor/hops_left valid
+  bool moved = false;           ///< holds a buffer slot at its current node
+};
+
+SimResult summarize(const SimNetwork& net, EngineStats& stats,
+                    const SimConfig& cfg,
+                    const std::vector<double>& link_busy_time,
+                    const std::vector<double>& link_busy_until);
+
+}  // namespace ipg::sim::detail

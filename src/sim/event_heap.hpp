@@ -3,10 +3,14 @@
 // fronted by monotone radix buckets.
 //
 // Two observations shape the design. First, the engine needs a *total*
-// order on events — ties in time broken by a global sequence number
-// assigned at push time — so that every simulation's service order (and
+// order on events — ties in time broken by a sequence number that is a
+// pure function of the event's identity (packet id or node id, see
+// Event::kPacketSeqBase) — so that every simulation's service order (and
 // therefore every SimResult field) is a pure function of its inputs; the
-// engine-equivalence and sweep-determinism tests rely on this. Second,
+// engine-equivalence, sharded-equivalence and sweep-determinism tests rely
+// on this. Because the tie-break is identity-derived rather than a counter
+// assigned at push time, independently running event queues (one per shard
+// domain) agree on the order without any shared state. Second,
 // event pops are monotone in time (a handled event only schedules events
 // at or after its own timestamp), which admits a radix layout far cheaper
 // than a comparison heap over the full event population.
@@ -40,8 +44,16 @@ namespace ipg::sim {
 struct Event {
   static constexpr std::uint32_t kFreeBufferBit = 0x80000000u;
 
+  /// Canonical seq for a packet event: kPacketSeqBase + packet id. Free-
+  /// buffer events use their node id (< kPacketSeqBase), so at equal times
+  /// buffer releases are served before packet moves. A packet has at most
+  /// one pending event at any instant and a node's duplicate free-buffer
+  /// events are interchangeable, so identity-derived seqs still yield a
+  /// deterministic total service order — with no shared push counter.
+  static constexpr std::uint32_t kPacketSeqBase = 0x80000000u;
+
   std::uint64_t key;      ///< bit pattern of the (non-negative) time
-  std::uint32_t seq;      ///< global tie-break: lower = scheduled earlier
+  std::uint32_t seq;      ///< tie-break: identity-derived, lower pops first
   std::uint32_t id_kind;  ///< packet/node id; top bit set = free-buffer
 
   // In-flight packet state, carried in the event so the hot loop never

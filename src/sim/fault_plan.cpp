@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/observer.hpp"
 #include "topology/faults.hpp"
@@ -45,16 +46,21 @@ FaultPlan FaultPlan::random_link_faults(const topology::Graph& g,
   return plan;
 }
 
-FaultState::FaultState(const SimNetwork& net, const FaultPlan& plan,
-                       const Router& route)
-    : net_(net), route_(route), events_(plan.events()), arena_(net, route) {
+FaultCore::FaultCore(const SimNetwork& net, const FaultPlan& plan)
+    : net_(net), events_(plan.events()) {
   plan.validate(net.num_nodes());
   link_dead_.assign(net.num_links(), 0);
   node_dead_.assign(net.num_nodes(), 0);
   usable_.assign(net.num_links(), 1);
 }
 
-void FaultState::refresh(LinkId link) {
+double FaultCore::next_fault_time() const noexcept {
+  return next_event_ < events_.size()
+             ? events_[next_event_].time
+             : std::numeric_limits<double>::infinity();
+}
+
+void FaultCore::refresh(LinkId link) {
   const NodeId u = net_.link_from(link);
   const NodeId w = net_.link_to(link);
   usable_[link] =
@@ -62,7 +68,7 @@ void FaultState::refresh(LinkId link) {
                                                                           : 0;
 }
 
-void FaultState::set_link(NodeId a, NodeId b, bool dead) {
+void FaultCore::set_link(NodeId a, NodeId b, bool dead) {
   bool found = false;
   const auto mark = [&](NodeId u, NodeId w) {
     const auto arcs = net_.graph().arcs_of(u);
@@ -79,7 +85,7 @@ void FaultState::set_link(NodeId a, NodeId b, bool dead) {
   IPG_CHECK(found, "fault plan names a link absent from the network");
 }
 
-void FaultState::apply(const FaultEvent& e) {
+void FaultCore::apply(const FaultEvent& e) {
   if (observer_ != nullptr) observer_->on_fault(e);
   switch (e.kind) {
     case FaultKind::kLinkDown:
@@ -107,52 +113,66 @@ void FaultState::apply(const FaultEvent& e) {
   }
 }
 
-void FaultState::apply_until(double now) {
-  bool any_repair = false;
+FaultCore::Applied FaultCore::apply_until(double now) {
+  Applied result;
   while (next_event_ < events_.size() && events_[next_event_].time <= now) {
     const FaultEvent& e = events_[next_event_++];
-    any_repair |=
+    result.any = true;
+    result.any_repair |=
         e.kind == FaultKind::kLinkUp || e.kind == FaultKind::kNodeUp;
     apply(e);
   }
+  return result;
+}
+
+FaultRoutes::FaultRoutes(const FaultCore& core, const Router& route)
+    : core_(core), route_(route), arena_(core.net(), route) {}
+
+void FaultRoutes::evict(bool any_repair) {
+  IPG_CHECK(mutation_allowed_,
+            "route memo invalidation outside a sync barrier");
   if (any_repair) {
     arena_.clear_memo();
     return;
   }
-  arena_.erase_memo_if([this](NodeId src, NodeId /*dst*/, RouteRef ref) {
+  const SimNetwork& net = core_.net();
+  const std::span<const std::uint8_t> usable = core_.usable();
+  arena_.erase_memo_if([&](NodeId src, NodeId /*dst*/, RouteRef ref) {
     NodeId cur = src;
     const std::uint16_t* route = arena_.data() + ref.offset;
     for (std::uint16_t i = 0; i < ref.length; ++i) {
-      const LinkId link = net_.link_of(cur, route[i]);
-      if (usable_[link] == 0) return true;
-      cur = net_.arc(cur, route[i]).to;
+      const LinkId link = net.link_of(cur, route[i]);
+      if (usable[link] == 0) return true;
+      cur = net.arc(cur, route[i]).to;
     }
     return false;
   });
 }
 
-bool FaultState::route_from(NodeId u, NodeId dst, RouteRef& out) {
+bool FaultRoutes::route_from(NodeId u, NodeId dst, RouteRef& out) {
   if (const RouteRef* hit = arena_.lookup(u, dst)) {
     out = *hit;
     return true;
   }
+  const SimNetwork& net = core_.net();
+  const std::span<const std::uint8_t> usable = core_.usable();
   scratch_.clear();
   // Prefer the topology router's route (the paper's routing) while it
   // avoids the dead set; fall back to a BFS shortest path otherwise.
   bool live = true;
   NodeId cur = u;
   for (const std::size_t dim : route_(u, dst)) {
-    const std::size_t port = net_.port_for_dim(cur, dim);
-    if (usable_[net_.link_of(cur, port)] == 0) {
+    const std::size_t port = net.port_for_dim(cur, dim);
+    if (usable[net.link_of(cur, port)] == 0) {
       live = false;
       break;
     }
     scratch_.push_back(static_cast<std::uint16_t>(port));
-    cur = net_.arc(cur, port).to;
+    cur = net.arc(cur, port).to;
   }
   if (!live) {
     scratch_.clear();
-    if (!append_live_route(net_, usable_, u, dst, scratch_)) return false;
+    if (!append_live_route(net, usable, u, dst, scratch_)) return false;
   }
   out = arena_.put(u, dst, scratch_);
   return true;

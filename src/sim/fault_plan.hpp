@@ -89,32 +89,68 @@ class FaultPlan {
   std::vector<FaultEvent> events_;  ///< sorted by time, stable
 };
 
-/// Per-run live fault view shared by both engines. Owns the run's
-/// RouteArena: every route a fault-aware run follows — healthy-router
-/// routes and BFS detours alike — is stored here, so the two engines read
-/// byte-identical port sequences by construction.
-class FaultState {
+/// Shared (cross-domain) fault state: the plan cursor and the per-link
+/// usability bits. Exactly one thread may call apply_until at a time — the
+/// sequential loop does so inline, the sharded engine only at its serial
+/// sync barriers — while any number of threads may concurrently read
+/// link_usable/usable between applications.
+class FaultCore {
  public:
-  /// @p net, @p plan, and @p route must outlive the state.
-  FaultState(const SimNetwork& net, const FaultPlan& plan,
-             const Router& route);
+  struct Applied {
+    bool any = false;         ///< at least one plan event took effect
+    bool any_repair = false;  ///< ... and at least one was a repair
+  };
+
+  /// @p net and @p plan must outlive the core.
+  FaultCore(const SimNetwork& net, const FaultPlan& plan);
 
   /// Notifies @p obs (may be null) of every plan event as it takes effect.
   /// Pure notification — attaching an observer never changes fault state.
   void set_observer(SimObserver* obs) noexcept { observer_ = obs; }
 
-  /// Applies every plan event with time <= now. Newly dead links evict the
-  /// memoized routes that cross them; any repair clears the whole memo
-  /// (a shorter route may have come back).
-  void advance_to(double now) {
-    if (next_event_ < events_.size() && events_[next_event_].time <= now) {
-      apply_until(now);
-    }
+  /// True when a plan event with time <= now is still unapplied.
+  bool pending(double now) const noexcept {
+    return next_event_ < events_.size() && events_[next_event_].time <= now;
   }
+  /// Time of the next unapplied plan event, +infinity when exhausted.
+  double next_fault_time() const noexcept;
+
+  /// Applies every plan event with time <= now, firing on_fault for each.
+  /// Serial-only (see class comment); callers owning route memo shards must
+  /// evict stale entries afterwards (FaultRoutes::evict).
+  Applied apply_until(double now);
 
   bool link_usable(LinkId link) const noexcept { return usable_[link] != 0; }
   bool node_dead(NodeId v) const noexcept { return node_dead_[v] != 0; }
   std::span<const std::uint8_t> usable() const noexcept { return usable_; }
+  const SimNetwork& net() const noexcept { return net_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void set_link(NodeId a, NodeId b, bool dead);
+  void refresh(LinkId link);
+
+  const SimNetwork& net_;
+  SimObserver* observer_ = nullptr;
+  std::span<const FaultEvent> events_;
+  std::size_t next_event_ = 0;
+  std::vector<std::uint8_t> link_dead_;  ///< per directed link
+  std::vector<std::uint8_t> node_dead_;  ///< per node
+  std::vector<std::uint8_t> usable_;     ///< !link_dead && endpoints alive
+};
+
+/// One domain's fault-aware route store: a private RouteArena shard plus
+/// the route-around logic, reading the shared FaultCore's usability bits.
+/// The sequential engines own a single shard; the sharded engine gives each
+/// domain its own, keyed by route source node (route_from(u, ...) is only
+/// ever called by the domain that owns u), so shards partition the memo
+/// space and never contend. Mutation is confined to the owning thread;
+/// evict() additionally asserts it runs only where the engine permits memo
+/// invalidation (the sync barriers, for the sharded engine).
+class FaultRoutes {
+ public:
+  /// @p core and @p route must outlive this object.
+  FaultRoutes(const FaultCore& core, const Router& route);
 
   /// Fault-aware route from @p u to @p dst: the memoized route if one is
   /// live, else the topology router's route when it avoids the dead set,
@@ -123,26 +159,77 @@ class FaultState {
   /// of *out is guaranteed usable.
   bool route_from(NodeId u, NodeId dst, RouteRef& out);
 
+  /// Copies a raw port sequence (a migrating packet's remaining route,
+  /// read from another domain's shard at a barrier) into this shard.
+  RouteRef adopt(std::span<const std::uint16_t> ports) {
+    return arena_.adopt(ports);
+  }
+
+  /// Invalidates memo entries made stale by the plan events just applied:
+  /// clears everything after a repair (a shorter route may have come
+  /// back), else drops only the routes crossing a now-unusable link.
+  /// Asserts mutation is currently allowed (see set_mutation_allowed).
+  void evict(bool any_repair);
+
+  /// Barrier fence for the sharded engine: memo invalidation outside a
+  /// sync barrier would race with concurrent readers, so evict() checks
+  /// this flag. Sequential engines leave it permanently true.
+  void set_mutation_allowed(bool allowed) noexcept {
+    mutation_allowed_ = allowed;
+  }
+
   /// Port buffer backing the refs handed out by route_from. Re-read after
-  /// every route_from call — the arena may reallocate.
+  /// every route_from/adopt call — the arena may reallocate.
   const std::uint16_t* ports() const noexcept { return arena_.data(); }
+  std::span<const std::uint16_t> ports(RouteRef r) const noexcept {
+    return arena_.ports(r);
+  }
 
  private:
-  void apply_until(double now);
-  void apply(const FaultEvent& e);
-  void set_link(NodeId a, NodeId b, bool dead);
-  void refresh(LinkId link);
-
-  const SimNetwork& net_;
+  const FaultCore& core_;
   const Router& route_;
-  SimObserver* observer_ = nullptr;
-  std::span<const FaultEvent> events_;
-  std::size_t next_event_ = 0;
-  std::vector<std::uint8_t> link_dead_;  ///< per directed link
-  std::vector<std::uint8_t> node_dead_;  ///< per node
-  std::vector<std::uint8_t> usable_;     ///< !link_dead && endpoints alive
   RouteArena arena_;
   std::vector<std::uint16_t> scratch_;  ///< route assembly buffer
+  bool mutation_allowed_ = true;
+};
+
+/// Per-run live fault view for the sequential engines: one FaultCore plus
+/// one FaultRoutes shard behind the pre-sharding interface. Every route a
+/// fault-aware run follows — healthy-router routes and BFS detours alike —
+/// is stored in the shard, so kArena and kReference read byte-identical
+/// port sequences by construction.
+class FaultState {
+ public:
+  /// @p net, @p plan, and @p route must outlive the state.
+  FaultState(const SimNetwork& net, const FaultPlan& plan, const Router& route)
+      : core_(net, plan), routes_(core_, route) {}
+
+  void set_observer(SimObserver* obs) noexcept { core_.set_observer(obs); }
+
+  /// Applies every plan event with time <= now. Newly dead links evict the
+  /// memoized routes that cross them; any repair clears the whole memo
+  /// (a shorter route may have come back).
+  void advance_to(double now) {
+    if (core_.pending(now)) {
+      routes_.evict(core_.apply_until(now).any_repair);
+    }
+  }
+
+  bool link_usable(LinkId link) const noexcept {
+    return core_.link_usable(link);
+  }
+  bool node_dead(NodeId v) const noexcept { return core_.node_dead(v); }
+  std::span<const std::uint8_t> usable() const noexcept {
+    return core_.usable();
+  }
+  bool route_from(NodeId u, NodeId dst, RouteRef& out) {
+    return routes_.route_from(u, dst, out);
+  }
+  const std::uint16_t* ports() const noexcept { return routes_.ports(); }
+
+ private:
+  FaultCore core_;
+  FaultRoutes routes_;
 };
 
 }  // namespace ipg::sim

@@ -27,6 +27,19 @@ RouteRef RouteArena::put(NodeId src, NodeId dst,
   return ref;
 }
 
+RouteRef RouteArena::adopt(std::span<const std::uint16_t> ports) {
+  IPG_CHECK(ports.size() <= std::numeric_limits<std::uint16_t>::max(),
+            "route longer than 65535 hops");
+  IPG_CHECK(ports_.size() + ports.size() <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "route arena exceeds 2^32 hops");
+  RouteRef ref;
+  ref.offset = static_cast<std::uint32_t>(ports_.size());
+  ref.length = static_cast<std::uint16_t>(ports.size());
+  ports_.insert(ports_.end(), ports.begin(), ports.end());
+  return ref;
+}
+
 RouteRef RouteArena::append(NodeId src, NodeId dst) {
   const std::vector<std::size_t> dims = route_(src, dst);
   IPG_CHECK(dims.size() <= std::numeric_limits<std::uint16_t>::max(),

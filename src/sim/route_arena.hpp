@@ -10,6 +10,16 @@
 // revisit pairs constantly). One arena serves one simulation run, so there
 // is no cross-run invalidation problem and no locking: concurrent sweep
 // jobs each build their own.
+//
+// Thread-safety contract (sharded engine): every const member — lookup(),
+// ports(), data(), the counters — is safe to call from any number of
+// threads concurrently, PROVIDED no thread is mutating. The sharded engine
+// exploits this in two ways: the healthy path builds one arena up front and
+// all domains read it concurrently through data(); the faulty path gives
+// each domain its own private arena (a memo shard keyed by route source, so
+// shards never contend) and restricts mutation — put()/adopt()/eviction —
+// to the domain's owner thread, with eviction additionally fenced to the
+// serial sync barriers (see FaultRoutes::evict).
 
 #include <cstdint>
 #include <span>
@@ -56,6 +66,12 @@ class RouteArena {
 
   /// Appends an externally computed port route and (re)memoizes the pair.
   RouteRef put(NodeId src, NodeId dst, std::span<const std::uint16_t> ports);
+
+  /// Appends a raw port sequence without touching the memo. Used to copy a
+  /// migrating packet's remaining route from another domain's arena shard
+  /// into this one at a sync barrier, so in-flight refs always resolve
+  /// against the shard owned by the packet's current domain.
+  RouteRef adopt(std::span<const std::uint16_t> ports);
 
   /// Drops every memo entry for which @p pred(src, dst, ref) returns true.
   /// The port storage is append-only, so refs already held by in-flight

@@ -1,0 +1,791 @@
+// Engine::kSharded — conservative-window parallel event processing.
+// Design notes in sim/sharded.hpp; the window/barrier protocol here replays
+// exactly the sequential engines' canonical (time, seq) event order, which
+// is what makes every SimResult field bit-identical across engines, domain
+// counts, and thread counts (test_sim_sharded pins this).
+
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sim/event_heap.hpp"
+#include "sim/observer.hpp"
+#include "topology/domain_cut.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim::detail {
+namespace {
+
+constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One observable effect of a processed event, buffered by the domain that
+/// produced it (in its local pop order, so already sorted by (key, seq))
+/// and replayed serially at the barrier after a K-way merge. Deliveries are
+/// always buffered — LatencyHistogram folds samples in arrival order, and
+/// floating-point accumulation only reproduces the sequential engines'
+/// bits when replayed in the same order. The observer-only kinds are
+/// buffered only when an observer is attached.
+struct Rec {
+  enum Kind : std::uint8_t { kDeliver, kHop, kDetour, kRetry, kDrop };
+  std::uint64_t key = 0;  ///< the popped event's time bits
+  std::uint32_t seq = 0;  ///< the popped event's identity-derived seq
+  Kind kind = kDeliver;
+  bool offchip = false;          // kHop
+  std::uint16_t route_hops = 0;  // kDetour: adopted route length
+  std::uint32_t pid = 0;
+  NodeId node = 0;  ///< deliver: dst | hop: from | detour/drop: at | retry: src
+  NodeId to = 0;              // kHop
+  std::uint32_t attempt = 0;  // kRetry
+  LinkId link = 0;            // kHop
+  double d0 = 0;  ///< deliver: inject_time | hop: start | retry: resume
+  double d1 = 0;  // kHop: tail_departure
+  double d2 = 0;  // kHop: arrival
+};
+
+void apply_rec(const Rec& r, EngineStats& stats, SimObserver* obs) {
+  const double time = std::bit_cast<double>(r.key);
+  switch (r.kind) {
+    case Rec::kDeliver:
+      record_delivery(stats, obs, r.pid, r.node, time, r.d0);
+      break;
+    case Rec::kHop:
+      obs->on_hop({r.pid, r.node, r.to, r.link, r.d0, r.d1, r.d2, r.offchip});
+      break;
+    case Rec::kDetour:
+      obs->on_detour(r.pid, r.node, time, r.route_hops);
+      break;
+    case Rec::kRetry:
+      obs->on_retry(r.pid, r.attempt, r.node, time, r.d0);
+      break;
+    case Rec::kDrop:
+      obs->on_drop(r.pid, r.node, time);
+      break;
+  }
+}
+
+/// Serial barrier replay: K-way merge of the domains' record buffers by
+/// (key, seq). Equal (key, seq) across domains cannot collide — a packet
+/// lives in exactly one domain per window and its seq embeds its id — and
+/// within a domain equal pairs (a detour and its hop) stay adjacent because
+/// the scan prefers the earliest domain position at ties.
+template <typename Domain>
+void replay_window(std::vector<Domain>& doms, EngineStats& stats,
+                   SimObserver* obs) {
+  std::vector<std::size_t> pos(doms.size(), 0);
+  for (;;) {
+    std::size_t best = doms.size();
+    for (std::size_t d = 0; d < doms.size(); ++d) {
+      if (pos[d] >= doms[d].recs.size()) continue;
+      const Rec& r = doms[d].recs[pos[d]];
+      if (best == doms.size()) {
+        best = d;
+        continue;
+      }
+      const Rec& b = doms[best].recs[pos[best]];
+      if (r.key < b.key || (r.key == b.key && r.seq < b.seq)) best = d;
+    }
+    if (best == doms.size()) break;
+    apply_rec(doms[best].recs[pos[best]++], stats, obs);
+  }
+  for (Domain& d : doms) d.recs.clear();
+}
+
+/// Domain count for a run: the explicit knob, else the process thread
+/// pool's size, never more than one domain per node.
+std::size_t resolve_domains(const SimNetwork& net, const SimConfig& cfg) {
+  std::size_t k = cfg.shard_domains > 0 ? cfg.shard_domains
+                                        : util::ThreadPool::global().size();
+  if (k < 1) k = 1;
+  return std::min(k, net.num_nodes());
+}
+
+/// Conservative lookahead: the least simulated time by which an event in
+/// one domain can schedule an event in another. Crossing a domain boundary
+/// always rides a link (arrival >= start + min(1, len) * inv_bandwidth +
+/// latency for both switching modes), and with retries enabled a failed
+/// packet may be rescheduled at a cross-domain source after just the base
+/// backoff delay. +infinity when no link crosses the cut (K == 1): one
+/// window covers the whole run.
+double cross_lookahead(const SimNetwork& net, const std::vector<LinkHot>& links,
+                       const std::vector<std::uint32_t>& domain_of,
+                       const SimConfig& cfg) {
+  double min_inv = kInf;
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    if (domain_of[net.link_from(l)] != domain_of[links[l].to]) {
+      min_inv = std::min(min_inv, links[l].inv_bandwidth);
+    }
+  }
+  if (!std::isfinite(min_inv)) return kInf;
+  double la = cfg.link_latency_cycles +
+              min_inv * std::min(1.0, cfg.packet_length_flits);
+  if (cfg.max_retries > 0) la = std::min(la, cfg.retry_backoff_cycles);
+  return la;
+}
+
+/// End of the window starting at @p m_time: m + lookahead, nudged up one
+/// ulp when the sum absorbs (times so large that m + la == m) so every
+/// window still makes progress. The mailbox drain cross-checks arrivals
+/// against this bound, so absorption can degrade speed but never
+/// correctness.
+double window_end(double m_time, double lookahead) {
+  double w = std::isfinite(lookahead) ? m_time + lookahead : kInf;
+  if (!(w > m_time)) w = std::nextafter(m_time, kInf);
+  return w;
+}
+
+/// Runs K domain closures, on the process pool when it helps, inline when
+/// the pool could not (single worker) or must not (already inside a pool
+/// worker — a sharded run inside a sweep job stays sequential rather than
+/// deadlocking on its own pool). The inline path is also the K == 1 path,
+/// so results never depend on which executor ran.
+template <typename Body>
+void run_domains(std::size_t k, Body&& body) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  if (k == 1 || pool.size() == 1 || util::ThreadPool::in_worker()) {
+    for (std::size_t d = 0; d < k; ++d) body(d);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    pool.submit([&body, &errors, d] {
+      try {
+        body(d);
+      } catch (...) {
+        errors[d] = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Healthy sharded run (no faults, no cutoff, unbounded buffers).
+// ---------------------------------------------------------------------------
+
+template <typename Queue>
+struct HealthyDomain {
+  Queue events;
+  std::vector<std::uint32_t> order;  ///< owned slice of the injection order
+  std::size_t next_inject = 0;
+  std::vector<Rec> recs;
+  std::size_t hops = 0;
+  std::size_t offchip_hops = 0;
+  std::vector<std::vector<Event>> outbox;  ///< one per destination domain
+
+  HealthyDomain(const Queue& proto, std::size_t k) : events(proto), outbox(k) {}
+};
+
+/// Earliest pending (time, seq) key in this domain — queued events merged
+/// with its not-yet-streamed injections — or kNoEvent when idle.
+template <typename Queue>
+std::uint64_t next_key(HealthyDomain<Queue>& dom,
+                       const std::vector<FlatPacket>& packets) {
+  std::uint64_t key = dom.events.empty() ? kNoEvent : dom.events.top().key;
+  if (dom.next_inject < dom.order.size()) {
+    key = std::min(
+        key, Event::key_of(packets[dom.order[dom.next_inject]].inject_time));
+  }
+  return key;
+}
+
+/// One domain's window [m, W): the arena engine's event loop verbatim
+/// (same arithmetic, same order), stopping at w_key and diverting events
+/// for other domains into the outbox. links is shared across domains but a
+/// hop only touches links[l] for l leaving a node this domain owns.
+template <typename Queue>
+void run_healthy_window(HealthyDomain<Queue>& dom, std::uint64_t w_key,
+                        const SimNetwork& net,
+                        const std::vector<FlatPacket>& packets,
+                        const std::uint16_t* route_ports,
+                        std::vector<LinkHot>& links,
+                        const std::vector<std::uint32_t>& domain_of,
+                        std::uint32_t my_domain, const SimConfig& cfg,
+                        bool record_hops) {
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
+
+  for (;;) {
+    Event ev;
+    if (dom.next_inject < dom.order.size()) {
+      const std::uint32_t pid = dom.order[dom.next_inject];
+      const FlatPacket& p = packets[pid];
+      const Event inject{Event::key_of(p.inject_time),
+                         Event::kPacketSeqBase + pid,
+                         pid,
+                         p.at,
+                         p.cursor,
+                         p.hops_left,
+                         p.route_len};
+      if (dom.events.empty() || inject < dom.events.top()) {
+        if (inject.key >= w_key) break;
+        ev = inject;
+        ++dom.next_inject;
+      } else {
+        if (dom.events.top().key >= w_key) break;
+        ev = dom.events.top();
+        dom.events.pop();
+      }
+    } else if (!dom.events.empty()) {
+      if (dom.events.top().key >= w_key) break;
+      ev = dom.events.top();
+      dom.events.pop();
+    } else {
+      break;
+    }
+
+    if (ev.hops_left == 0) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kDeliver;
+      r.pid = ev.id();
+      r.node = ev.at;
+      r.d0 = packets[ev.id()].inject_time;
+      dom.recs.push_back(r);
+      continue;
+    }
+    const std::uint16_t port = route_ports[ev.cursor];
+    const LinkId link_id = static_cast<LinkId>(first_link[ev.at] + port);
+    LinkHot& link = links[link_id];
+    const NodeId to = link.to;
+    const bool last_hop = ev.hops_left == 1;
+
+    const double now = ev.time();
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    ++dom.hops;
+    dom.offchip_hops += link.offchip;
+    if (record_hops) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kHop;
+      r.offchip = link.offchip != 0;
+      r.pid = ev.id();
+      r.node = ev.at;
+      r.to = to;
+      r.link = link_id;
+      r.d0 = start;
+      r.d1 = tail_departure;
+      r.d2 = tail_arrival;
+      dom.recs.push_back(r);
+    }
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    const Event nxt{Event::key_of(ready_next),
+                    Event::kPacketSeqBase + ev.id(),
+                    ev.id(),
+                    to,
+                    ev.cursor + 1,
+                    static_cast<std::uint16_t>(ev.hops_left - 1),
+                    ev.route_len};
+    const std::uint32_t dst_dom = domain_of[to];
+    if (dst_dom == my_domain) {
+      dom.events.push(nxt);
+    } else {
+      dom.outbox[dst_dom].push_back(nxt);
+    }
+  }
+}
+
+template <typename Queue>
+EngineStats run_sharded_flat_loop(const Queue& proto, const SimNetwork& net,
+                                  std::vector<FlatPacket>& packets,
+                                  const std::uint16_t* route_ports,
+                                  std::vector<LinkHot>& links,
+                                  const SimConfig& cfg,
+                                  std::vector<double>& link_busy_until,
+                                  std::vector<double>& link_busy_time) {
+  const std::size_t k = resolve_domains(net, cfg);
+  const topology::DomainCut cut = topology::make_domain_cut(net.chips(), k);
+  const double lookahead = cross_lookahead(net, links, cut.domain_of, cfg);
+
+  std::vector<HealthyDomain<Queue>> doms;
+  doms.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) doms.emplace_back(proto, k);
+  for (const std::uint32_t pid : injection_order(packets)) {
+    doms[cut.domain_of[packets[pid].at]].order.push_back(pid);
+  }
+
+  EngineStats stats;
+  stats.latency.reserve(packets.size());
+  SimObserver* const obs = cfg.observer;
+  const bool record_hops = obs != nullptr;
+
+  std::uint64_t last_w_key = 0;
+  for (;;) {
+    // Serial barrier, part 1: drain cross-domain mailboxes. The drain also
+    // proves the previous window honored its own lookahead bound — if
+    // floating-point absorption ever produced an arrival inside the window
+    // that emitted it, the run fails loudly instead of silently diverging
+    // from the sequential order.
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        for (const Event& e : doms[a].outbox[b]) {
+          IPG_CHECK(e.key >= last_w_key,
+                    "sharded engine: cross-domain arrival inside its own "
+                    "window (lookahead violated)");
+          doms[b].events.push(e);
+        }
+        doms[a].outbox[b].clear();
+      }
+    }
+
+    std::uint64_t m = kNoEvent;
+    for (HealthyDomain<Queue>& d : doms) {
+      m = std::min(m, next_key(d, packets));
+    }
+    if (m == kNoEvent) break;
+
+    const double m_time = std::bit_cast<double>(m);
+    const double w = window_end(m_time, lookahead);
+    const std::uint64_t w_key = Event::key_of(w);
+    last_w_key = w_key;
+
+    run_domains(k, [&](std::size_t d) {
+      run_healthy_window(doms[d], w_key, net, packets, route_ports, links,
+                         cut.domain_of, static_cast<std::uint32_t>(d), cfg,
+                         record_hops);
+    });
+    replay_window(doms, stats, obs);
+  }
+
+  for (LinkId l = 0; l < links.size(); ++l) {
+    link_busy_until[l] = links[l].busy_until;
+    link_busy_time[l] = links[l].busy_time;
+  }
+  stats.injected = packets.size();
+  for (const HealthyDomain<Queue>& d : doms) {
+    stats.hops += d.hops;
+    stats.offchip_hops += d.offchip_hops;
+  }
+  if (stats.delivered != packets.size()) {
+    // Unreachable for unbounded buffers (every event chain ends in a
+    // delivery); kept for message parity with the sequential engines.
+    fail_with_deadlock_cycle(std::vector<std::deque<std::uint32_t>>{},
+                             [&](std::uint32_t pid) { return packets[pid].at; });
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode sharded run (fault plan and/or max_cycles cutoff).
+// ---------------------------------------------------------------------------
+
+template <typename Queue>
+struct FaultyDomain {
+  Queue events;
+  FaultRoutes routes;  ///< private memo shard keyed by route source
+  std::vector<std::uint32_t> order;
+  std::size_t next_inject = 0;
+  std::vector<Rec> recs;
+  std::size_t hops = 0;
+  std::size_t offchip_hops = 0;
+  std::size_t dropped = 0;
+  std::size_t retransmitted = 0;
+  std::size_t reroute_hops = 0;
+  std::vector<std::vector<Event>> outbox;
+
+  FaultyDomain(const Queue& proto, const FaultCore& core, const Router& route,
+               std::size_t k)
+      : events(proto), routes(core, route), outbox(k) {}
+};
+
+template <typename Queue>
+std::uint64_t next_key(FaultyDomain<Queue>& dom,
+                       const std::vector<FaultPacket>& packets) {
+  std::uint64_t key = dom.events.empty() ? kNoEvent : dom.events.top().key;
+  if (dom.next_inject < dom.order.size()) {
+    key = std::min(
+        key, Event::key_of(packets[dom.order[dom.next_inject]].inject_time));
+  }
+  return key;
+}
+
+/// One domain's degraded window [m, W): the fault-aware loop body verbatim
+/// minus bounded buffers (rejected under kSharded) and minus fault
+/// application — W never crosses the next plan event, so the usability
+/// bits read from the shared core are constant for the whole window.
+template <typename Queue>
+void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
+                       const SimNetwork& net, const FaultCore& core,
+                       std::vector<FaultPacket>& packets,
+                       std::vector<LinkHot>& links,
+                       const std::vector<std::uint32_t>& domain_of,
+                       std::uint32_t my_domain, const SimConfig& cfg,
+                       bool record_obs) {
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
+
+  const auto push_event = [&](const Event& e, NodeId at_node) {
+    const std::uint32_t dd = domain_of[at_node];
+    if (dd == my_domain) {
+      dom.events.push(e);
+    } else {
+      dom.outbox[dd].push_back(e);
+    }
+  };
+
+  const auto fail_packet = [&](std::uint32_t pid, const Event& ev,
+                               double now) {
+    FaultPacket& p = packets[pid];
+    if (p.attempt < cfg.max_retries) {
+      ++p.attempt;
+      ++dom.retransmitted;
+      p.at = p.src;
+      p.routed = false;
+      p.reroutes = 0;
+      const std::uint32_t exp = std::min<std::uint32_t>(p.attempt - 1, 16);
+      const double delay =
+          cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
+      push_event(
+          Event{Event::key_of(now + delay), Event::kPacketSeqBase + pid, pid},
+          p.src);
+      if (record_obs) {
+        Rec r;
+        r.key = ev.key;
+        r.seq = ev.seq;
+        r.kind = Rec::kRetry;
+        r.pid = pid;
+        r.node = p.src;
+        r.attempt = p.attempt;
+        r.d0 = now + delay;
+        dom.recs.push_back(r);
+      }
+    } else {
+      p.state = kDropped;
+      ++dom.dropped;
+      if (record_obs) {
+        Rec r;
+        r.key = ev.key;
+        r.seq = ev.seq;
+        r.kind = Rec::kDrop;
+        r.pid = pid;
+        r.node = p.at;
+        dom.recs.push_back(r);
+      }
+    }
+  };
+
+  for (;;) {
+    Event ev;
+    if (dom.next_inject < dom.order.size()) {
+      const std::uint32_t next_pid = dom.order[dom.next_inject];
+      const Event inject{Event::key_of(packets[next_pid].inject_time),
+                         Event::kPacketSeqBase + next_pid, next_pid};
+      if (dom.events.empty() || inject < dom.events.top()) {
+        if (inject.key >= w_key) break;
+        ev = inject;
+        ++dom.next_inject;
+      } else {
+        if (dom.events.top().key >= w_key) break;
+        ev = dom.events.top();
+        dom.events.pop();
+      }
+    } else if (!dom.events.empty()) {
+      if (dom.events.top().key >= w_key) break;
+      ev = dom.events.top();
+      dom.events.pop();
+    } else {
+      break;
+    }
+
+    const double now = ev.time();
+    const std::uint32_t pid = ev.id();
+    FaultPacket& p = packets[pid];
+    if (!p.routed) {
+      RouteRef ref;
+      if (!dom.routes.route_from(p.at, p.dst, ref)) {
+        fail_packet(pid, ev, now);
+        continue;
+      }
+      p.routed = true;
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+    }
+    if (p.hops_left == 0) {
+      p.state = kDelivered;
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kDeliver;
+      r.pid = pid;
+      r.node = p.at;
+      r.d0 = p.inject_time;
+      dom.recs.push_back(r);
+      continue;
+    }
+
+    std::uint16_t port = dom.routes.ports()[p.cursor];
+    LinkId link_id = first_link[p.at] + port;
+    if (!core.link_usable(link_id)) {
+      RouteRef ref;
+      if (p.reroutes >= cfg.misroute_budget ||
+          !dom.routes.route_from(p.at, p.dst, ref)) {
+        fail_packet(pid, ev, now);
+        continue;
+      }
+      ++p.reroutes;
+      if (ref.length > p.hops_left) {
+        dom.reroute_hops += static_cast<std::size_t>(ref.length - p.hops_left);
+      }
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+      port = dom.routes.ports()[p.cursor];
+      link_id = first_link[p.at] + port;  // first hop is live by construction
+      if (record_obs) {
+        Rec r;
+        r.key = ev.key;
+        r.seq = ev.seq;
+        r.kind = Rec::kDetour;
+        r.route_hops = ref.length;
+        r.pid = pid;
+        r.node = p.at;
+        dom.recs.push_back(r);
+      }
+    }
+
+    LinkHot& link = links[link_id];
+    const NodeId to = link.to;
+    const bool last_hop = p.hops_left == 1;
+
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    ++dom.hops;
+    dom.offchip_hops += link.offchip;
+    if (record_obs) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kHop;
+      r.offchip = link.offchip != 0;
+      r.pid = pid;
+      r.node = p.at;
+      r.to = to;
+      r.link = static_cast<LinkId>(link_id);
+      r.d0 = start;
+      r.d1 = tail_departure;
+      r.d2 = tail_arrival;
+      dom.recs.push_back(r);
+    }
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    p.at = to;
+    ++p.cursor;
+    --p.hops_left;
+    push_event(
+        Event{Event::key_of(ready_next), Event::kPacketSeqBase + pid, pid},
+        to);
+  }
+}
+
+template <typename Queue>
+EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
+                                    const Router& route, const FaultPlan& plan,
+                                    std::vector<FaultPacket>& packets,
+                                    std::vector<LinkHot>& links,
+                                    const SimConfig& cfg,
+                                    std::vector<double>& link_busy_until,
+                                    std::vector<double>& link_busy_time) {
+  const std::size_t k = resolve_domains(net, cfg);
+  const topology::DomainCut cut = topology::make_domain_cut(net.chips(), k);
+  const double lookahead = cross_lookahead(net, links, cut.domain_of, cfg);
+
+  FaultCore core(net, plan);
+  core.set_observer(cfg.observer);
+  std::vector<FaultyDomain<Queue>> doms;
+  doms.reserve(k);
+  for (std::size_t d = 0; d < k; ++d) doms.emplace_back(proto, core, route, k);
+  for (const std::uint32_t pid : injection_order(packets)) {
+    doms[cut.domain_of[packets[pid].src]].order.push_back(pid);
+  }
+  // Memo invalidation is only legal at the serial barriers below; the
+  // windows themselves may append to their shard but never evict.
+  for (FaultyDomain<Queue>& d : doms) d.routes.set_mutation_allowed(false);
+
+  EngineStats stats;
+  stats.latency.reserve(packets.size());
+  SimObserver* const obs = cfg.observer;
+  const bool record_obs = obs != nullptr;
+  const double cutoff = cfg.max_cycles;
+  bool cutoff_hit = false;
+
+  std::uint64_t last_w_key = 0;
+  for (;;) {
+    // Serial barrier, part 1: drain mailboxes, handing each migrating
+    // packet over to its new owner. A routed packet's remaining route is
+    // copied out of the source domain's memo shard into the owner's, so
+    // in-flight refs always resolve against the shard of the domain
+    // processing them.
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        for (const Event& e : doms[a].outbox[b]) {
+          IPG_CHECK(e.key >= last_w_key,
+                    "sharded engine: cross-domain arrival inside its own "
+                    "window (lookahead violated)");
+          FaultPacket& p = packets[e.id()];
+          if (p.routed && p.hops_left > 0) {
+            const std::uint16_t* src_ports = doms[a].routes.ports();
+            p.cursor =
+                doms[b]
+                    .routes
+                    .adopt({src_ports + p.cursor, std::size_t{p.hops_left}})
+                    .offset;
+          }
+          doms[b].events.push(e);
+        }
+        doms[a].outbox[b].clear();
+      }
+    }
+
+    std::uint64_t m = kNoEvent;
+    for (FaultyDomain<Queue>& d : doms) {
+      m = std::min(m, next_key(d, packets));
+    }
+    if (m == kNoEvent) break;
+    const double m_time = std::bit_cast<double>(m);
+    if (cutoff > 0 && m_time > cutoff) {
+      cutoff_hit = true;
+      break;
+    }
+
+    // Serial barrier, part 2: apply every plan event with time <= m —
+    // exactly where the sequential loop applies them (before the first
+    // event at or after the fault instant), so on_fault lands at the same
+    // position in the observer stream — then let each shard drop the memo
+    // entries the new dead set invalidated.
+    if (core.pending(m_time)) {
+      const FaultCore::Applied applied = core.apply_until(m_time);
+      for (FaultyDomain<Queue>& d : doms) {
+        d.routes.set_mutation_allowed(true);
+        d.routes.evict(applied.any_repair);
+        d.routes.set_mutation_allowed(false);
+      }
+    }
+
+    // The window may not cross the next plan event (usability bits must
+    // stay constant) nor the cutoff boundary (events past it must not be
+    // processed; one ulp above it keeps events exactly at the cutoff in,
+    // matching the sequential `now > cutoff` break).
+    double w = window_end(m_time, lookahead);
+    w = std::min(w, core.next_fault_time());
+    if (cutoff > 0) w = std::min(w, std::nextafter(cutoff, kInf));
+    const std::uint64_t w_key = Event::key_of(w);
+    last_w_key = w_key;
+
+    run_domains(k, [&](std::size_t d) {
+      run_faulty_window(doms[d], w_key, net, core, packets, links,
+                        cut.domain_of, static_cast<std::uint32_t>(d), cfg,
+                        record_obs);
+    });
+    replay_window(doms, stats, obs);
+  }
+
+  for (LinkId l = 0; l < links.size(); ++l) {
+    link_busy_until[l] = links[l].busy_until;
+    link_busy_time[l] = links[l].busy_time;
+  }
+  stats.injected = packets.size();
+  for (const FaultyDomain<Queue>& d : doms) {
+    stats.hops += d.hops;
+    stats.offchip_hops += d.offchip_hops;
+    stats.dropped += d.dropped;
+    stats.retransmitted += d.retransmitted;
+    stats.reroute_hops += d.reroute_hops;
+  }
+  for (const FaultPacket& p : packets) {
+    if (p.state == kActive) ++stats.in_flight;
+  }
+  if (stats.in_flight > 0 && !cutoff_hit) {
+    fail_with_deadlock_cycle(std::vector<std::deque<std::uint32_t>>{},
+                             [&](std::uint32_t pid) { return packets[pid].at; });
+  }
+  IPG_CHECK(
+      stats.delivered + stats.dropped + stats.in_flight == stats.injected,
+      "packet conservation violated");
+  stats.cutoff_hit = cutoff_hit;
+  return stats;
+}
+
+}  // namespace
+
+SimResult run_sharded_flat(const SimNetwork& net,
+                           std::vector<FlatPacket>& packets,
+                           const RouteArena& arena, const SimConfig& cfg) {
+  IPG_CHECK(packets.size() < Event::kFreeBufferBit &&
+                net.num_nodes() < Event::kFreeBufferBit,
+            "packet/node ids must fit in 31 bits");
+  std::vector<LinkHot> links = make_link_table(net, cfg);
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  const int grid_bits = quantized_grid_bits(links, cfg, packets);
+  EngineStats stats;
+  if (grid_bits >= 0) {
+    const TickQueue proto(grid_bits);
+    stats = run_sharded_flat_loop(proto, net, packets, arena.data(), links,
+                                  cfg, busy_until, busy_time);
+  } else {
+    const EventQueue proto;
+    stats = run_sharded_flat_loop(proto, net, packets, arena.data(), links,
+                                  cfg, busy_until, busy_time);
+  }
+  return summarize(net, stats, cfg, busy_time, busy_until);
+}
+
+SimResult run_sharded_faulty(const SimNetwork& net, const Router& route,
+                             const FaultPlan& plan,
+                             std::vector<FaultPacket>& packets,
+                             const SimConfig& cfg) {
+  std::vector<LinkHot> links = make_link_table(net, cfg);
+  std::vector<double> busy_until(net.num_links(), 0.0);
+  std::vector<double> busy_time(net.num_links(), 0.0);
+  const int grid_bits = quantized_grid_bits(links, cfg, packets);
+  EngineStats stats;
+  if (grid_bits >= 0) {
+    const TickQueue proto(grid_bits);
+    stats = run_sharded_faulty_loop(proto, net, route, plan, packets, links,
+                                    cfg, busy_until, busy_time);
+  } else {
+    const EventQueue proto;
+    stats = run_sharded_faulty_loop(proto, net, route, plan, packets, links,
+                                    cfg, busy_until, busy_time);
+  }
+  return summarize(net, stats, cfg, busy_time, busy_until);
+}
+
+}  // namespace ipg::sim::detail

@@ -1,0 +1,51 @@
+#pragma once
+// Domain-decomposed parallel simulation engine (Engine::kSharded).
+//
+// The network's nodes are partitioned into K domains along the MCMP chip
+// hierarchy (topology::make_domain_cut): whole chips per domain, so every
+// cross-domain packet movement rides an off-chip link. Each domain owns a
+// private event queue, the LinkHot entries of its outgoing links, its
+// injection sub-schedule, and (degraded runs) a private route-memo shard;
+// domains advance together through conservative time windows [m, W) where
+// m is the global next-event time and W = m + lookahead. The lookahead is
+// the minimum time any event can influence another domain — off-chip link
+// latency plus the fastest cross-domain head/tail transfer (clamped by the
+// retry backoff when retransmissions are enabled) — so no event arriving
+// from another domain can land inside the window that produced it.
+// Cross-domain arrivals are buffered into per-(src, dst) domain mailboxes
+// and drained at the barrier.
+//
+// Determinism: event tie-breaks are identity-derived (Event::kPacketSeqBase),
+// so each domain locally pops a sub-order of the single canonical (time,
+// seq) order, and a K-way merge of the domains' window records at each
+// barrier replays deliveries (and observer hooks) in exactly the sequential
+// engines' order. Every SimResult field is therefore bit-identical to
+// Engine::kReference for every K and every thread count — pinned by
+// test_sim_sharded the same way test_sim_equivalence pins kArena.
+//
+// This header is internal to src/sim (used by simulator.cpp's dispatch).
+
+#include <vector>
+
+#include "sim/engine_internal.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/route_arena.hpp"
+#include "sim/simulator.hpp"
+
+namespace ipg::sim::detail {
+
+/// Healthy sharded run over packets referencing @p arena (const, shared by
+/// all domains). Entered from run_flat when cfg.engine == kSharded.
+SimResult run_sharded_flat(const SimNetwork& net,
+                           std::vector<FlatPacket>& packets,
+                           const RouteArena& arena, const SimConfig& cfg);
+
+/// Degraded-mode sharded run: shared FaultCore applied only at barriers,
+/// per-domain FaultRoutes shards, migrating packets' remaining routes
+/// copied between shards at the barrier drain. Entered from run_faulty.
+SimResult run_sharded_faulty(const SimNetwork& net, const Router& route,
+                             const FaultPlan& plan,
+                             std::vector<FaultPacket>& packets,
+                             const SimConfig& cfg);
+
+}  // namespace ipg::sim::detail

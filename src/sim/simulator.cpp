@@ -9,113 +9,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/engine_internal.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/observer.hpp"
 #include "sim/route_arena.hpp"
+#include "sim/sharded.hpp"
 #include "util/check.hpp"
 
 namespace ipg::sim {
 
-namespace {
-
-struct EngineStats {
-  double last_delivery = 0;
-  /// Bounded-memory latency sample: exact (and bit-identical to the old
-  /// unbounded vector) up to LatencyHistogram::kExactCap delivered
-  /// packets, log-bucket estimates beyond.
-  LatencyHistogram latency;
-  std::size_t delivered = 0;
-  std::size_t hops = 0;
-  std::size_t offchip_hops = 0;
-  std::size_t injected = 0;
-  std::size_t dropped = 0;
-  std::size_t retransmitted = 0;
-  std::size_t in_flight = 0;
-  std::size_t reroute_hops = 0;
-  bool cutoff_hit = false;  ///< a max_cycles cutoff ended the run early
-};
-
-/// Diagnoses why bounded-buffer packets are stuck at end of run: every
-/// undelivered packet is parked in some waiting list, so following the
-/// "node hosting a parked packet -> full node it wants to enter" relation
-/// from any parked packet must revisit a node — that cycle is the report.
-/// @p at_of maps a parked packet id to the node currently hosting it.
-template <typename AtOf>
-[[noreturn]] void fail_with_deadlock_cycle(
-    const std::vector<std::deque<std::uint32_t>>& waiting, AtOf&& at_of) {
-  std::vector<NodeId> succ(waiting.size(), topology::kInvalidNode);
-  NodeId start = topology::kInvalidNode;
-  for (std::size_t to = 0; to < waiting.size(); ++to) {
-    for (const std::uint32_t pid : waiting[to]) {
-      const NodeId at = at_of(pid);
-      if (succ[at] == topology::kInvalidNode) {
-        succ[at] = static_cast<NodeId>(to);
-      }
-      if (start == topology::kInvalidNode) start = at;
-    }
-  }
-  std::string msg =
-      "simulation ended with undelivered packets — routing deadlock under "
-      "bounded buffers";
-  if (start != topology::kInvalidNode) {
-    std::vector<std::uint8_t> seen(waiting.size(), 0);
-    std::vector<NodeId> path;
-    NodeId v = start;
-    while (v != topology::kInvalidNode && seen[v] == 0) {
-      seen[v] = 1;
-      path.push_back(v);
-      v = succ[v];
-    }
-    if (v != topology::kInvalidNode) {
-      msg += "; waiting cycle: ";
-      std::size_t i = 0;
-      while (path[i] != v) ++i;
-      for (; i < path.size(); ++i) msg += std::to_string(path[i]) + " -> ";
-      msg += std::to_string(v);
-    }
-  }
-  throw std::invalid_argument(msg);
-}
-
-void record_delivery(EngineStats& stats, SimObserver* obs, std::uint32_t pid,
-                     NodeId dst, double time, double inject_time) {
-  const double latency = time - inject_time;
-  stats.latency.record(latency);
-  stats.last_delivery = std::max(stats.last_delivery, time);
-  ++stats.delivered;
-  if (obs != nullptr) obs->on_deliver(pid, dst, time, latency);
-}
-
-// ---------------------------------------------------------------------------
-// Arena engine (Engine::kArena): compact packets referencing the shared
-// route arena, radix-banded 4-ary event queue, injections streamed from a
-// sorted schedule so the queue only ever holds in-flight events.
-// ---------------------------------------------------------------------------
-
-/// Per-packet backing store. The hot loop reads it only at injection, at
-/// delivery (inject_time), and on the bounded-buffer blocked path — while a
-/// packet is in flight its state travels inside its Event.
-struct FlatPacket {
-  NodeId at;                ///< current node (stale while in flight)
-  std::uint32_t cursor;     ///< next port's index in the route arena
-  std::uint16_t hops_left;
-  std::uint16_t route_len;
-  double inject_time;
-};
-
-/// Per-link state of one run, consolidated so a hop touches one cache line
-/// and pays no divisions: transfer and inv_bandwidth are precomputed from
-/// the same operands the reference engine divides per event, so the times
-/// stay bit-identical.
-struct LinkHot {
-  double busy_until = 0;
-  double busy_time = 0;
-  double transfer;       ///< packet_length / bandwidth
-  double inv_bandwidth;  ///< one flit time (cut-through head)
-  NodeId to;             ///< downstream node
-  std::uint32_t offchip;
-};
+namespace detail {
 
 std::vector<LinkHot> make_link_table(const SimNetwork& net,
                                      const SimConfig& cfg) {
@@ -134,66 +38,25 @@ std::vector<LinkHot> make_link_table(const SimNetwork& net,
   return links;
 }
 
-/// Folds timing components into the smallest k <= 12 such that every one
-/// seen so far is an integer multiple of 2^-k; bits == -1 means no such k
-/// (odd bandwidths like 3 flits/cycle give non-terminating binary transfer
-/// times).
-struct GridFold {
-  int bits = 0;
-  void fold(double v) {
-    if (bits < 0) return;
-    if (!std::isfinite(v) || v < 0) {
-      bits = -1;
-      return;
-    }
-    for (int k = bits; k <= 12; ++k) {
-      const double scaled = std::ldexp(v, k);
-      if (scaled == std::floor(scaled) && scaled < 9.0e15) {
-        bits = k;
-        return;
-      }
-    }
-    bits = -1;
-  }
-};
+}  // namespace detail
 
-/// Grid exponent for a run, or -1 if its timing does not quantize. When k
-/// exists, every event time the engine can compute is a multiple of 2^-k
-/// (times are sums and maxes of the folded components — including retry
-/// backoff delays, which are power-of-two multiples of the base delay), and
-/// TickQueue applies. Works for the healthy FlatPacket and the FaultPacket
-/// loops alike; with the default max_retries == 0 it folds exactly the
-/// components the pre-fault engine folded.
-template <typename Packet>
-int quantized_grid_bits(const std::vector<LinkHot>& links,
-                        const SimConfig& cfg,
-                        const std::vector<Packet>& packets) {
-  GridFold f;
-  f.fold(cfg.link_latency_cycles);
-  for (const LinkHot& l : links) {
-    f.fold(l.transfer);
-    f.fold(l.inv_bandwidth);
-    if (f.bits < 0) return f.bits;
-  }
-  for (const Packet& p : packets) {
-    f.fold(p.inject_time);
-    if (f.bits < 0) return f.bits;
-  }
-  if (cfg.max_retries > 0) {
-    const std::uint32_t max_exp = std::min<std::uint32_t>(cfg.max_retries - 1, 16);
-    for (std::uint32_t j = 0; j <= max_exp; ++j) {
-      f.fold(cfg.retry_backoff_cycles * static_cast<double>(1ull << j));
-      if (f.bits < 0) return f.bits;
-    }
-  }
-  return f.bits;
-}
+namespace {
+
+using namespace detail;
+
+// ---------------------------------------------------------------------------
+// Arena engine (Engine::kArena): compact packets referencing the shared
+// route arena, radix-banded 4-ary event queue, injections streamed from a
+// sorted schedule so the queue only ever holds in-flight events. The
+// shared pieces (EngineStats, FlatPacket, LinkHot, grid detection, ...)
+// live in sim/engine_internal.hpp, where the sharded engine reuses them.
+// ---------------------------------------------------------------------------
 
 /// Core event loop, shared by both arena queues. @p order lists packet ids
 /// sorted by (inject_time, id); pending injections take part in the
-/// canonical (time, seq) event order with seq = packet id — matching the
-/// reference engine, which pushes all injections upfront with exactly
-/// those sequence numbers.
+/// canonical (time, seq) event order with the identity-derived seqs of
+/// Event::kPacketSeqBase — matching the reference engine, which pushes all
+/// injections upfront with exactly those sequence numbers.
 template <typename Queue>
 EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
                            std::vector<FlatPacket>& packets,
@@ -202,12 +65,6 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
                            std::vector<LinkHot>& links, const SimConfig& cfg,
                            std::vector<double>& link_busy_until,
                            std::vector<double>& link_busy_time) {
-  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
-  const auto take_seq = [&next_seq] {
-    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
-              "event sequence overflow");
-    return next_seq++;
-  };
   std::size_t next_inject = 0;
 
   // Bounded-buffer backpressure state (cfg.node_buffer_packets > 0).
@@ -232,8 +89,12 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
     if (next_inject < order.size()) {
       const std::uint32_t pid = order[next_inject];
       const FlatPacket& p = packets[pid];
-      const Event inject{Event::key_of(p.inject_time), pid,       pid,
-                         p.at,                         p.cursor,  p.hops_left,
+      const Event inject{Event::key_of(p.inject_time),
+                         Event::kPacketSeqBase + pid,
+                         pid,
+                         p.at,
+                         p.cursor,
+                         p.hops_left,
                          p.route_len};
       if (events.empty() || inject < events.top()) {
         ev = inject;
@@ -257,8 +118,8 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
         const std::uint32_t pid = waiting[node].front();
         waiting[node].pop_front();
         const FlatPacket& p = packets[pid];
-        events.push({ev.key, take_seq(), pid, p.at, p.cursor, p.hops_left,
-                     p.route_len});
+        events.push({ev.key, Event::kPacketSeqBase + pid, pid, p.at, p.cursor,
+                     p.hops_left, p.route_len});
       }
       continue;
     }
@@ -299,7 +160,7 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
     // The packet's tail leaves the upstream node at start + transfer,
     // freeing the buffer slot it held there (if it was an intermediate).
     if (cap > 0 && ev.hops_left < ev.route_len) {
-      events.push({Event::key_of(tail_departure), take_seq(),
+      events.push({Event::key_of(tail_departure), ev.at,
                    ev.at | Event::kFreeBufferBit});
     }
 
@@ -319,8 +180,8 @@ EngineStats run_arena_loop(Queue& events, const SimNetwork& net,
       const double head_arrival = start + link.inv_bandwidth + latency;
       ready_next = last_hop ? tail_arrival : head_arrival;
     }
-    events.push({Event::key_of(ready_next), take_seq(), ev.id(), to,
-                 ev.cursor + 1,
+    events.push({Event::key_of(ready_next), Event::kPacketSeqBase + ev.id(),
+                 ev.id(), to, ev.cursor + 1,
                  static_cast<std::uint16_t>(ev.hops_left - 1), ev.route_len});
   }
   for (LinkId l = 0; l < links.size(); ++l) {
@@ -361,27 +222,6 @@ EngineStats run_engine_arena(const SimNetwork& net,
                         link_busy_until, link_busy_time);
 }
 
-/// Injection schedule: packet ids ordered by (inject_time, id). Stable sort
-/// keeps generation order among equal-time injections, matching the
-/// reference engine's upfront push order. Works for any packet type with an
-/// inject_time field (FlatPacket and FaultPacket).
-template <typename Packet>
-std::vector<std::uint32_t> injection_order(const std::vector<Packet>& packets) {
-  std::vector<std::uint32_t> order(packets.size());
-  std::iota(order.begin(), order.end(), 0u);
-  const bool sorted = std::is_sorted(
-      packets.begin(), packets.end(), [](const Packet& a, const Packet& b) {
-        return a.inject_time < b.inject_time;
-      });
-  if (!sorted) {
-    std::stable_sort(order.begin(), order.end(),
-                     [&packets](std::uint32_t a, std::uint32_t b) {
-                       return packets[a].inject_time < packets[b].inject_time;
-                     });
-  }
-  return order;
-}
-
 // ---------------------------------------------------------------------------
 // Reference engine (Engine::kReference): the pre-overhaul data plane — one
 // heap-allocated route vector per packet, std::priority_queue, all events
@@ -413,14 +253,9 @@ EngineStats run_engine_reference(const SimNetwork& net,
             "packet/node ids must fit in 31 bits");
   std::priority_queue<Event, std::vector<Event>, EventAfter> events;
   for (std::uint32_t i = 0; i < packets.size(); ++i) {
-    events.push({Event::key_of(packets[i].inject_time), i, i});
+    events.push({Event::key_of(packets[i].inject_time),
+                 Event::kPacketSeqBase + i, i});
   }
-  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
-  const auto take_seq = [&next_seq] {
-    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
-              "event sequence overflow");
-    return next_seq++;
-  };
 
   const std::size_t cap = cfg.node_buffer_packets;
   std::vector<std::size_t> occupancy;
@@ -444,7 +279,7 @@ EngineStats run_engine_reference(const SimNetwork& net,
       if (!waiting[node].empty()) {
         const std::uint32_t pid = waiting[node].front();
         waiting[node].pop_front();
-        events.push({ev.key, take_seq(), pid});
+        events.push({ev.key, Event::kPacketSeqBase + pid, pid});
       }
       continue;
     }
@@ -473,7 +308,7 @@ EngineStats run_engine_reference(const SimNetwork& net,
     link_busy_time[link] += transfer;
 
     if (cap > 0 && p.next_hop > 0) {
-      events.push({Event::key_of(start + transfer), take_seq(),
+      events.push({Event::key_of(start + transfer), p.at,
                    p.at | Event::kFreeBufferBit});
     }
 
@@ -494,7 +329,8 @@ EngineStats run_engine_reference(const SimNetwork& net,
           start + 1.0 / net.bandwidth(link) + cfg.link_latency_cycles;
       ready_next = last_hop ? tail_arrival : head_arrival;
     }
-    events.push({Event::key_of(ready_next), take_seq(), ev.id()});
+    events.push({Event::key_of(ready_next), Event::kPacketSeqBase + ev.id(),
+                 ev.id()});
   }
   stats.injected = packets.size();
   if (stats.delivered != packets.size()) {
@@ -504,9 +340,13 @@ EngineStats run_engine_reference(const SimNetwork& net,
   return stats;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Shared summarization and experiment drivers.
+// Shared summarization (detail:: so sharded.cpp reuses it verbatim).
 // ---------------------------------------------------------------------------
+
+namespace detail {
 
 SimResult summarize(const SimNetwork& net, EngineStats& stats,
                     const SimConfig& cfg,
@@ -585,14 +425,22 @@ SimResult summarize(const SimNetwork& net, EngineStats& stats,
   return r;
 }
 
-/// Emits every open-loop injection as (src, dst, cycle), consuming the RNG
-/// stream in the fixed node-major order both engines share.
+}  // namespace detail
+
+namespace {
+
+/// Emits every open-loop injection as (src, dst, cycle) in the fixed
+/// node-major order all engines share. Each node draws from its own RNG
+/// stream (util::derive_seed), so the injected population at a node is a
+/// pure function of (seed, node) — independent of the node count and of
+/// what any other node draws, which lets the sharded engine reproduce it
+/// per domain without serializing a global stream.
 template <typename Emit>
 void draw_open_injections(const SimNetwork& net, const TrafficPattern& pattern,
                           double rate, std::size_t inject_cycles,
                           std::uint64_t seed, Emit&& emit) {
-  util::Xoshiro256 rng(seed);
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    util::Xoshiro256 rng(util::derive_seed(seed, v));
     for (std::size_t cycle = 0; cycle < inject_cycles; ++cycle) {
       if (!rng.bernoulli(rate)) continue;
       const NodeId d = pattern(v, rng);
@@ -633,6 +481,9 @@ RefPacket make_ref_packet(const SimNetwork& net, const Router& route,
 
 SimResult run_flat(const SimNetwork& net, std::vector<FlatPacket>& packets,
                    const RouteArena& arena, const SimConfig& cfg) {
+  if (cfg.engine == Engine::kSharded) {
+    return run_sharded_flat(net, packets, arena, cfg);
+  }
   const std::vector<std::uint32_t> order = injection_order(packets);
   std::vector<double> busy_until(net.num_links(), 0.0);
   std::vector<double> busy_time(net.num_links(), 0.0);
@@ -663,27 +514,6 @@ SimResult run_ref(const SimNetwork& net, std::vector<RefPacket>& packets,
 // retransmitted from its source under capped exponential backoff.
 // ---------------------------------------------------------------------------
 
-constexpr std::uint8_t kActive = 0;
-constexpr std::uint8_t kDelivered = 1;
-constexpr std::uint8_t kDropped = 2;
-
-/// Authoritative per-packet state for degraded runs. Unlike the healthy
-/// arena loop, events never carry packet state: routes can change while a
-/// packet is parked, so the array is the single source of truth.
-struct FaultPacket {
-  NodeId src;
-  NodeId dst;
-  NodeId at;                    ///< current node
-  std::uint32_t cursor = 0;     ///< next port's index in the fault arena
-  std::uint16_t hops_left = 0;
-  std::uint16_t reroutes = 0;   ///< detours adopted this attempt
-  std::uint32_t attempt = 0;    ///< retransmissions so far
-  double inject_time;           ///< original injection (latency baseline)
-  std::uint8_t state = kActive;
-  bool routed = false;          ///< cursor/hops_left valid
-  bool moved = false;           ///< holds a buffer slot at its current node
-};
-
 template <typename Queue, bool kStreamInjections>
 EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
                             FaultState& faults,
@@ -692,16 +522,11 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
                             std::vector<LinkHot>& links, const SimConfig& cfg,
                             std::vector<double>& link_busy_until,
                             std::vector<double>& link_busy_time) {
-  std::uint32_t next_seq = static_cast<std::uint32_t>(packets.size());
-  const auto take_seq = [&next_seq] {
-    IPG_CHECK(next_seq != std::numeric_limits<std::uint32_t>::max(),
-              "event sequence overflow");
-    return next_seq++;
-  };
   std::size_t next_inject = 0;
   if constexpr (!kStreamInjections) {
     for (std::uint32_t i = 0; i < packets.size(); ++i) {
-      events.push(Event{Event::key_of(packets[i].inject_time), i, i});
+      events.push(Event{Event::key_of(packets[i].inject_time),
+                        Event::kPacketSeqBase + i, i});
     }
   }
 
@@ -729,7 +554,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
                                double now) {
     FaultPacket& p = packets[pid];
     if (cap > 0 && p.moved) {
-      events.push(Event{key, take_seq(), p.at | Event::kFreeBufferBit});
+      events.push(Event{key, p.at, p.at | Event::kFreeBufferBit});
       p.moved = false;
     }
     if (p.attempt < cfg.max_retries) {
@@ -741,7 +566,8 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       const std::uint32_t exp = std::min<std::uint32_t>(p.attempt - 1, 16);
       const double delay =
           cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
-      events.push(Event{Event::key_of(now + delay), take_seq(), pid});
+      events.push(
+          Event{Event::key_of(now + delay), Event::kPacketSeqBase + pid, pid});
       if (obs != nullptr) {
         obs->on_retry(pid, p.attempt, p.src, now, now + delay);
       }
@@ -759,7 +585,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       if (next_inject < order.size()) {
         const std::uint32_t next_pid = order[next_inject];
         const Event inject{Event::key_of(packets[next_pid].inject_time),
-                           next_pid, next_pid};
+                           Event::kPacketSeqBase + next_pid, next_pid};
         if (events.empty() || inject < events.top()) {
           ev = inject;
           ++next_inject;
@@ -792,7 +618,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       if (!waiting[node].empty()) {
         const std::uint32_t pid = waiting[node].front();
         waiting[node].pop_front();
-        events.push(Event{ev.key, take_seq(), pid});
+        events.push(Event{ev.key, Event::kPacketSeqBase + pid, pid});
       }
       continue;
     }
@@ -855,7 +681,7 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
     link.busy_time += link.transfer;
 
     if (cap > 0 && p.moved) {
-      events.push(Event{Event::key_of(tail_departure), take_seq(),
+      events.push(Event{Event::key_of(tail_departure), p.at,
                         p.at | Event::kFreeBufferBit});
     }
 
@@ -877,7 +703,8 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
     ++p.cursor;
     --p.hops_left;
     p.moved = !last_hop;
-    events.push(Event{Event::key_of(ready_next), take_seq(), pid});
+    events.push(
+        Event{Event::key_of(ready_next), Event::kPacketSeqBase + pid, pid});
   }
 
   for (LinkId l = 0; l < links.size(); ++l) {
@@ -924,6 +751,9 @@ SimResult run_faulty(const SimNetwork& net, const Router& route,
   IPG_CHECK(packets.size() < Event::kFreeBufferBit &&
                 net.num_nodes() < Event::kFreeBufferBit,
             "packet/node ids must fit in 31 bits");
+  if (cfg.engine == Engine::kSharded) {
+    return run_sharded_faulty(net, route, plan, packets, cfg);
+  }
   std::vector<LinkHot> links = make_link_table(net, cfg);
   std::vector<double> busy_until(net.num_links(), 0.0);
   std::vector<double> busy_time(net.num_links(), 0.0);
@@ -978,6 +808,13 @@ void validate_run_inputs(const SimNetwork& net, const SimConfig& cfg) {
         "retry_backoff_cycles must be positive when retries are enabled");
   }
   if (cfg.fault_plan != nullptr) cfg.fault_plan->validate(net.num_nodes());
+  if (cfg.engine == Engine::kSharded) {
+    // Bounded buffers are zero-lookahead cross-domain state (a downstream
+    // node's occupancy can change the instant any neighbor acts), which
+    // defeats conservative windowing; use kArena for backpressure studies.
+    IPG_CHECK(cfg.node_buffer_packets == 0,
+              "Engine::kSharded does not support bounded node buffers");
+  }
   // Every public run_* driver funnels through here exactly once, after its
   // inputs are known-good — the natural single site for run-begin hooks.
   if (cfg.observer != nullptr) cfg.observer->on_run_begin(net);

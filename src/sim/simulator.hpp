@@ -25,8 +25,13 @@
 //     from a sorted schedule instead of being pre-pushed into the heap.
 //   kReference: the pre-overhaul data plane (per-packet route vectors,
 //     std::priority_queue) kept as the oracle for equivalence tests.
-// Both order events canonically by (time, push sequence), so for a fixed
-// seed every SimResult field is bit-identical across engines and runs.
+//   kSharded: domain-decomposed parallel engine (sim/sharded.hpp) —
+//     partitions the network into SimConfig::shard_domains chip-aligned
+//     domains that advance in conservative time windows on the process
+//     thread pool.
+// All engines order events canonically by (time, identity-derived seq), so
+// for a fixed seed every SimResult field is bit-identical across engines,
+// domain counts, and runs.
 
 #include <cstdint>
 #include <memory>
@@ -51,6 +56,7 @@ enum class Switching : std::uint8_t {
 enum class Engine : std::uint8_t {
   kArena,      ///< flat route arena + indexed 4-ary event heap (fast path)
   kReference,  ///< pre-overhaul engine, kept as the equivalence oracle
+  kSharded,    ///< domain-decomposed parallel engine (sim/sharded.hpp)
 };
 
 struct SimConfig {
@@ -65,6 +71,13 @@ struct SimConfig {
   /// hierarchical super-IPG routes are); a cyclic wait raises an error.
   std::size_t node_buffer_packets = 0;
   std::uint64_t seed = 1;
+
+  /// Engine::kSharded only: number of simulation domains K. 0 picks the
+  /// machine's core count (capped at the node count). Results are
+  /// bit-identical for every K — the choice affects speed, not output.
+  /// Bounded buffers (node_buffer_packets > 0) are rejected under
+  /// kSharded: backpressure is zero-lookahead cross-domain state.
+  std::uint32_t shard_domains = 0;
 
   /// Observability hook (sim/observer.hpp, docs/OBSERVABILITY.md). Null —
   /// the default — keeps the unobserved fast path; attaching an observer

@@ -1,0 +1,54 @@
+#include "topology/domain_cut.hpp"
+
+#include "util/check.hpp"
+
+namespace ipg::topology {
+
+DomainCut make_domain_cut(const Clustering& chips, std::size_t k) {
+  const std::size_t n = chips.num_nodes();
+  IPG_CHECK(k >= 1 && k <= n, "domain count must be in [1, num_nodes]");
+  DomainCut cut;
+  cut.num_domains = k;
+  cut.domain_of.resize(n);
+
+  const std::size_t num_chips = chips.num_clusters();
+  if (num_chips < k) {
+    // Not enough chips to keep domains chip-aligned (e.g. a monolithic
+    // comparison network): contiguous node ranges, sizes within one.
+    for (NodeId v = 0; v < n; ++v) {
+      cut.domain_of[v] = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(v) * k / n);
+    }
+    return cut;
+  }
+
+  // Greedy prefix packing over chips in id order: each domain takes whole
+  // chips until it reaches its fair share of the remaining nodes. The
+  // force-close rule (remaining chips == remaining domains) guarantees
+  // every later domain still gets at least one chip, whatever the sizes.
+  const std::vector<std::size_t> sizes = chips.cluster_sizes();
+  std::vector<std::uint32_t> dom_of_chip(num_chips);
+  std::size_t d = 0;
+  std::size_t in_domain = 0;
+  std::size_t nodes_left = n;
+  std::size_t quota = (nodes_left + k - 1) / k;
+  for (std::size_t c = 0; c < num_chips; ++c) {
+    dom_of_chip[c] = static_cast<std::uint32_t>(d);
+    in_domain += sizes[c];
+    const std::size_t chips_left = num_chips - c - 1;
+    const std::size_t domains_left = k - d - 1;
+    if (domains_left > 0 &&
+        (in_domain >= quota || chips_left == domains_left)) {
+      nodes_left -= in_domain;
+      in_domain = 0;
+      ++d;
+      quota = (nodes_left + domains_left - 1) / domains_left;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    cut.domain_of[v] = dom_of_chip[chips.cluster_of(v)];
+  }
+  return cut;
+}
+
+}  // namespace ipg::topology

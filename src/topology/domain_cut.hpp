@@ -1,0 +1,35 @@
+#pragma once
+// Chip-aligned domain decomposition for parallel simulation.
+//
+// The MCMP hierarchy gives super-IPGs a natural parallel cut: intra-chip
+// links never cross chip boundaries, so partitioning whole chips across
+// simulation domains confines all inter-domain traffic to off-chip links —
+// exactly the links whose latency provides the conservative-synchronization
+// lookahead (sim/sharded.hpp). The cut below walks chips in id order and
+// packs them greedily into k contiguous groups of near-equal node count; a
+// comparison topology whose clustering has fewer chips than requested
+// domains falls back to contiguous node ranges (every domain non-empty,
+// chips split as needed).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::topology {
+
+/// A partition of a network's nodes into num_domains non-empty domains.
+struct DomainCut {
+  std::vector<std::uint32_t> domain_of;  ///< per node
+  std::size_t num_domains = 0;
+};
+
+/// Partitions nodes into @p k domains, chip-aligned when @p chips has at
+/// least k clusters (whole chips per domain, greedy near-equal node
+/// counts, chips taken in id order), contiguous node ranges otherwise.
+/// Every domain is non-empty; the result is a pure function of the
+/// clustering and k. Requires 1 <= k <= chips.num_nodes().
+DomainCut make_domain_cut(const Clustering& chips, std::size_t k);
+
+}  // namespace ipg::topology

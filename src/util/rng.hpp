@@ -20,6 +20,21 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Derives an independent seed for a named substream from a base seed.
+///
+/// Splitting one experiment seed into per-node (or per-domain) streams keeps
+/// every stream's draws independent of how many values any *other* stream
+/// consumes — a prerequisite for domain-decomposed simulation, where the
+/// consumption order across threads is not globally serialized. The salt is
+/// the stream's identity (node id, domain id, ...); two SplitMix64 steps keep
+/// nearby salts statistically uncorrelated.
+constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                    std::uint64_t salt) noexcept {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+  const std::uint64_t a = splitmix64(s);
+  return a ^ splitmix64(s);
+}
+
 /// Xoshiro256** — fast, high-quality 64-bit generator (Blackman & Vigna).
 class Xoshiro256 {
  public:

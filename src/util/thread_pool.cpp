@@ -4,6 +4,12 @@
 
 namespace ipg::util {
 
+namespace {
+// Set for the lifetime of every worker thread (workers only ever run pool
+// tasks, so a flag per thread is enough — no nesting counter needed).
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -42,7 +48,10 @@ void ThreadPool::wait() {
   }
 }
 
+bool ThreadPool::in_worker() noexcept { return tls_in_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  tls_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -85,6 +94,14 @@ void parallel_for_chunked(std::size_t begin, std::size_t end,
                           const std::function<void(std::size_t, std::size_t)>& fn,
                           ThreadPool& pool) {
   if (begin >= end) return;
+  if (ThreadPool::in_worker()) {
+    // Nested use from inside a pool task: pool.wait() from a worker would
+    // deadlock (this task counts toward in_flight_), and fanning out again
+    // would oversubscribe the machine (outer jobs x inner chunks). Run the
+    // whole range inline on the calling worker instead.
+    fn(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t target_chunks = pool.size() * 4;
   const std::size_t chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target_chunks));

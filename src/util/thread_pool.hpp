@@ -35,6 +35,13 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True on a thread currently executing a ThreadPool task (any pool).
+  /// Nested parallel constructs must not block on a pool from inside one of
+  /// its workers (wait() would deadlock) nor fan out again (jobs x inner
+  /// tasks oversubscribes the machine); parallel_for and the sharded
+  /// simulation engine check this and fall back to running inline.
+  static bool in_worker() noexcept;
+
   /// Process-wide pool, sized to the machine. Lazily constructed.
   static ThreadPool& global();
 

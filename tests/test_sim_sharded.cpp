@@ -1,0 +1,398 @@
+// Engine::kSharded bit-identity: the domain-decomposed parallel engine must
+// reproduce the sequential engines' SimResult bit-for-bit — for every domain
+// count K, healthy and degraded, with and without an observer attached — and
+// its observer stream must replay the sequential event order exactly. Domain
+// cut unit tests and the bounded-buffer rejection ride along.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+#include "topology/domain_cut.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+void expect_latency_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  expect_latency_bits(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_latency_bits(a.p50_latency_cycles, b.p50_latency_cycles);
+  expect_latency_bits(a.p99_latency_cycles, b.p99_latency_cycles);
+  expect_latency_bits(a.max_latency_cycles, b.max_latency_cycles);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
+  EXPECT_EQ(a.throughput_flits_per_node_cycle,
+            b.throughput_flits_per_node_cycle);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_retransmitted, b.packets_retransmitted);
+  EXPECT_EQ(a.packets_in_flight, b.packets_in_flight);
+  EXPECT_EQ(a.reroute_hops, b.reroute_hops);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+struct TestNet {
+  SimNetwork net;
+  Router router;
+};
+
+TestNet hsn_q3() {
+  auto hsn = std::make_shared<SuperIpg>(
+      make_hsn(2, std::make_shared<HypercubeNucleus>(3)));
+  return {mcmp::make_unit_chip_network(hsn->to_graph(),
+                                       hsn->nucleus_clustering(), 1.0),
+          [hsn](NodeId s, NodeId d) { return hsn->route(s, d); }};
+}
+
+TestNet kary42() {
+  return {mcmp::make_unit_chip_network(kary_ncube_graph(4, 2),
+                                       kary2_block_clustering(4, 2), 1.0),
+          kary_router(4, 2)};
+}
+
+/// Non-dyadic bandwidth forces the engines off the tick calendar onto the
+/// radix-banded EventQueue — the sharded engine's per-domain copies of that
+/// queue must agree too.
+TestNet kary42_nondyadic() {
+  return {SimNetwork::with_uniform_bandwidth(kary_ncube_graph(4, 2),
+                                             kary2_block_clustering(4, 2), 0.3),
+          kary_router(4, 2)};
+}
+
+/// Records every observer hook with full bit patterns, so two streams
+/// compare equal only if the engines fired identical hooks in identical
+/// order with bit-identical arguments.
+class RecordingObserver final : public SimObserver {
+ public:
+  std::vector<std::string> log;
+
+ private:
+  static std::string bits(double v) {
+    std::ostringstream os;
+    os << std::hex << std::bit_cast<std::uint64_t>(v);
+    return os.str();
+  }
+  void on_inject(std::uint32_t p, NodeId s, NodeId d, double t) override {
+    log.push_back("inject " + std::to_string(p) + " " + std::to_string(s) +
+                  " " + std::to_string(d) + " " + bits(t));
+  }
+  void on_hop(const HopRecord& h) override {
+    log.push_back("hop " + std::to_string(h.packet) + " " +
+                  std::to_string(h.from) + " " + std::to_string(h.to) + " " +
+                  std::to_string(h.link) + " " + bits(h.start) + " " +
+                  bits(h.tail_departure) + " " + bits(h.arrival) + " " +
+                  std::to_string(h.offchip));
+  }
+  void on_detour(std::uint32_t p, NodeId at, double t,
+                 std::uint16_t hops) override {
+    log.push_back("detour " + std::to_string(p) + " " + std::to_string(at) +
+                  " " + bits(t) + " " + std::to_string(hops));
+  }
+  void on_retry(std::uint32_t p, std::uint32_t attempt, NodeId src, double t,
+                double resume) override {
+    log.push_back("retry " + std::to_string(p) + " " +
+                  std::to_string(attempt) + " " + std::to_string(src) + " " +
+                  bits(t) + " " + bits(resume));
+  }
+  void on_drop(std::uint32_t p, NodeId at, double t) override {
+    log.push_back("drop " + std::to_string(p) + " " + std::to_string(at) +
+                  " " + bits(t));
+  }
+  void on_deliver(std::uint32_t p, NodeId dst, double t,
+                  double latency) override {
+    log.push_back("deliver " + std::to_string(p) + " " + std::to_string(dst) +
+                  " " + bits(t) + " " + bits(latency));
+  }
+  void on_fault(const FaultEvent& e) override {
+    log.push_back("fault " + std::to_string(static_cast<int>(e.kind)) + " " +
+                  std::to_string(e.a) + " " + std::to_string(e.b) + " " +
+                  bits(e.time));
+  }
+};
+
+std::shared_ptr<const FaultPlan> drill_plan(const TestNet& t) {
+  return std::make_shared<const FaultPlan>(
+      FaultPlan::random_link_faults(t.net.graph(), nullptr, 3, 40.0, 30.0, 11));
+}
+
+SimConfig degraded_cfg(const TestNet& t) {
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_cycles = 16;
+  cfg.max_cycles = 4000;
+  cfg.fault_plan = drill_plan(t);
+  return cfg;
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<int> {
+ protected:
+  TestNet make_net() const {
+    switch (GetParam()) {
+      case 0: return hsn_q3();
+      case 1: return kary42();
+      default: return kary42_nondyadic();
+    }
+  }
+  static constexpr std::uint32_t kDomainCounts[] = {1, 2, 4, 8};
+};
+
+TEST_P(ShardedEquivalence, BatchHealthy) {
+  const TestNet t = make_net();
+  for (const Switching mode :
+       {Switching::kStoreAndForward, Switching::kVirtualCutThrough}) {
+    SimConfig cfg;
+    cfg.packet_length_flits = 8;
+    cfg.switching = mode;
+    util::Xoshiro256 rng(42);
+    const auto perm = random_permutation(t.net.num_nodes(), rng);
+    cfg.engine = Engine::kReference;
+    const auto oracle = run_batch(t.net, t.router, perm, cfg);
+    cfg.engine = Engine::kArena;
+    const auto arena = run_batch(t.net, t.router, perm, cfg);
+    cfg.engine = Engine::kSharded;
+    for (const std::uint32_t k : kDomainCounts) {
+      cfg.shard_domains = k;
+      const auto sharded = run_batch(t.net, t.router, perm, cfg);
+      expect_identical(sharded, oracle);
+      expect_identical(sharded, arena);
+    }
+  }
+}
+
+TEST_P(ShardedEquivalence, OpenHealthy) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  EXPECT_GT(oracle.packets_delivered, 0u);
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    expect_identical(run_open(t.net, t.router, pattern, 0.08, 200, cfg),
+                     oracle);
+  }
+}
+
+TEST_P(ShardedEquivalence, TotalExchange) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.engine = Engine::kArena;
+  const auto arena = run_total_exchange(t.net, t.router, cfg);
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    const auto sharded = run_total_exchange(t.net, t.router, cfg);
+    const std::size_t n = t.net.num_nodes();
+    EXPECT_EQ(sharded.packets_delivered, n * (n - 1));
+    expect_identical(sharded, arena);
+  }
+}
+
+TEST_P(ShardedEquivalence, DegradedWithFaultsRetriesAndCutoff) {
+  const TestNet t = make_net();
+  SimConfig cfg = degraded_cfg(t);
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  EXPECT_GT(oracle.packets_delivered, 0u);
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    const auto sharded = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    expect_identical(sharded, oracle);
+    EXPECT_EQ(sharded.packets_injected,
+              sharded.packets_delivered + sharded.packets_dropped +
+                  sharded.packets_in_flight);
+  }
+}
+
+TEST_P(ShardedEquivalence, ObserverStreamMatchesArenaHealthy) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  util::Xoshiro256 rng(42);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  RecordingObserver arena_obs;
+  cfg.engine = Engine::kArena;
+  cfg.observer = &arena_obs;
+  const auto arena = run_batch(t.net, t.router, perm, cfg);
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    RecordingObserver sharded_obs;
+    cfg.shard_domains = k;
+    cfg.observer = &sharded_obs;
+    const auto sharded = run_batch(t.net, t.router, perm, cfg);
+    expect_identical(sharded, arena);
+    EXPECT_EQ(sharded_obs.log, arena_obs.log) << "K=" << k;
+  }
+}
+
+TEST_P(ShardedEquivalence, ObserverStreamMatchesArenaDegraded) {
+  const TestNet t = make_net();
+  SimConfig cfg = degraded_cfg(t);
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  RecordingObserver arena_obs;
+  cfg.engine = Engine::kArena;
+  cfg.observer = &arena_obs;
+  const auto arena = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    RecordingObserver sharded_obs;
+    cfg.shard_domains = k;
+    cfg.observer = &sharded_obs;
+    const auto sharded = run_open(t.net, t.router, pattern, 0.08, 200, cfg);
+    expect_identical(sharded, arena);
+    EXPECT_EQ(sharded_obs.log, arena_obs.log) << "K=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, ShardedEquivalence,
+                         ::testing::Values(0, 1, 2), [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case 0: return "HsnQ3";
+                             case 1: return "Kary4Cube2";
+                             default: return "Kary4Cube2NonDyadic";
+                           }
+                         });
+
+TEST(Sharded, AutoDomainCountMatchesExplicit) {
+  // shard_domains == 0 picks a machine-dependent K; the result must still
+  // be bit-identical to any explicit K (the contract is K-independence).
+  const TestNet t = hsn_q3();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  util::Xoshiro256 rng(3);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  cfg.engine = Engine::kSharded;
+  cfg.shard_domains = 0;
+  const auto automatic = run_batch(t.net, t.router, perm, cfg);
+  cfg.shard_domains = 3;
+  expect_identical(automatic, run_batch(t.net, t.router, perm, cfg));
+}
+
+TEST(Sharded, RunsInsidePoolWorkerUnchanged) {
+  // A sharded run inside a thread-pool worker (a sweep job, say) must fall
+  // back to inline domain execution — same bits, no deadlock on the pool.
+  const TestNet t = hsn_q3();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.engine = Engine::kSharded;
+  cfg.shard_domains = 4;
+  util::Xoshiro256 rng(5);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  const auto direct = run_batch(t.net, t.router, perm, cfg);
+  SimResult from_worker;
+  util::ThreadPool pool(2);
+  pool.submit([&] {
+    ASSERT_TRUE(util::ThreadPool::in_worker());
+    from_worker = run_batch(t.net, t.router, perm, cfg);
+  });
+  pool.wait();
+  expect_identical(from_worker, direct);
+}
+
+TEST(Sharded, MoreDomainsThanNodesClampsAndRuns) {
+  const TestNet t = kary42();  // 16 nodes
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.engine = Engine::kArena;
+  const auto arena = run_total_exchange(t.net, t.router, cfg);
+  cfg.engine = Engine::kSharded;
+  cfg.shard_domains = 1000;
+  expect_identical(run_total_exchange(t.net, t.router, cfg), arena);
+}
+
+TEST(Sharded, BoundedBuffersRejected) {
+  const TestNet t = kary42();
+  SimConfig cfg;
+  cfg.engine = Engine::kSharded;
+  cfg.node_buffer_packets = 2;
+  util::Xoshiro256 rng(9);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  EXPECT_THROW(run_batch(t.net, t.router, perm, cfg), std::invalid_argument);
+}
+
+// --- topology::make_domain_cut unit tests ---
+
+TEST(DomainCut, ChipAlignedWhenChipsSuffice) {
+  // 8 chips of 8 nodes: every domain must be a union of whole chips, and a
+  // 4-way cut of equal chips must balance exactly.
+  const TestNet t = hsn_q3();
+  const Clustering& chips = t.net.chips();
+  const DomainCut cut = make_domain_cut(chips, 4);
+  ASSERT_EQ(cut.num_domains, 4u);
+  ASSERT_EQ(cut.domain_of.size(), t.net.num_nodes());
+  for (NodeId v = 0; v < t.net.num_nodes(); ++v) {
+    for (NodeId u = 0; u < t.net.num_nodes(); ++u) {
+      if (chips.cluster_of(v) == chips.cluster_of(u)) {
+        EXPECT_EQ(cut.domain_of[v], cut.domain_of[u]);
+      }
+    }
+  }
+  std::vector<std::size_t> count(4, 0);
+  for (const std::uint32_t d : cut.domain_of) ++count[d];
+  for (const std::size_t c : count) EXPECT_EQ(c, t.net.num_nodes() / 4);
+}
+
+TEST(DomainCut, FallsBackWhenFewerChipsThanDomains) {
+  // 4 chips, 8 domains: chips must split, but every domain stays non-empty.
+  const TestNet t = kary42();
+  const DomainCut cut = make_domain_cut(t.net.chips(), 8);
+  ASSERT_EQ(cut.num_domains, 8u);
+  std::vector<std::size_t> count(8, 0);
+  for (const std::uint32_t d : cut.domain_of) {
+    ASSERT_LT(d, 8u);
+    ++count[d];
+  }
+  for (const std::size_t c : count) EXPECT_GT(c, 0u);
+}
+
+TEST(DomainCut, EveryDomainNonEmptyForAllK) {
+  const TestNet t = hsn_q3();
+  for (std::size_t k = 1; k <= t.net.num_nodes(); k += 7) {
+    const DomainCut cut = make_domain_cut(t.net.chips(), k);
+    std::vector<std::size_t> count(k, 0);
+    for (const std::uint32_t d : cut.domain_of) {
+      ASSERT_LT(d, k);
+      ++count[d];
+    }
+    for (const std::size_t c : count) EXPECT_GT(c, 0u) << "k=" << k;
+  }
+}
+
+TEST(DomainCut, RejectsZeroAndOversizedK) {
+  const TestNet t = kary42();
+  EXPECT_THROW(make_domain_cut(t.net.chips(), 0), std::invalid_argument);
+  EXPECT_THROW(make_domain_cut(t.net.chips(), t.net.num_nodes() + 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipg::sim
