@@ -1,0 +1,138 @@
+// Conformance check for the resilience layer (docs/ROBUSTNESS.md): the
+// Monte Carlo percolation engine's measured disconnection probabilities
+// must bracket the analytic connectivity bounds that Menger's theorem
+// yields from the exact edge-disjoint-path count lambda:
+//
+//   p^lambda  <=  P[s-t disconnected under Bernoulli(p) link faults]
+//             <=  (1 - (1-p)^(n-1))^lambda.
+//
+// Lower bound: a minimum edge cut has exactly lambda links (Menger), and
+// all of them dying (probability p^lambda) disconnects s from t. Upper
+// bound: lambda edge-disjoint simple s-t paths exist, each with at most
+// n-1 links; disjointness makes their survival events independent, each
+// path survives with probability >= (1-p)^(n-1), and s-t disconnection
+// requires every one of them broken. The Monte Carlo estimate, within a
+// Hoeffding confidence margin, must land inside the bracket — and must be
+// monotone non-decreasing in p. A violation means a bug in the failure
+// sampling, the survivor union-find, or the disjoint-path max-flow.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "conformance/families.hpp"
+#include "conformance/internal.hpp"
+#include "resilience/percolation.hpp"
+#include "topology/faults.hpp"
+#include "topology/named.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::conformance::internal {
+
+namespace {
+
+using resilience::FailureMode;
+using resilience::FailureSample;
+using resilience::SurvivorComponents;
+using topology::Graph;
+using topology::NodeId;
+
+struct PercolationInstance {
+  std::string name;
+  Graph graph;
+};
+
+/// Small connected instances: the three smallest plain super-IPG families
+/// plus the hypercube and torus baselines. Sizes stay <= 64 nodes so the
+/// per-trial union-find keeps the whole check under a second per seed.
+std::vector<PercolationInstance> percolation_instances() {
+  std::vector<PercolationInstance> out;
+  std::size_t supers = 0;
+  for (const auto& inst : plain_family_sweep(3, /*with_directed=*/false,
+                                             /*with_two_level_classics=*/false)) {
+    if (inst.ipg->num_nodes() > 64 || supers >= 3) continue;
+    out.push_back({inst.name, inst.ipg->to_graph()});
+    ++supers;
+  }
+  out.push_back({"Q4", topology::hypercube_graph(4)});
+  out.push_back({"4-ary 2-cube", topology::kary_ncube_graph(4, 2)});
+  return out;
+}
+
+}  // namespace
+
+CheckSpec make_percolation_threshold_check() {
+  CheckSpec spec;
+  spec.id = "percolation-threshold";
+  spec.claim =
+      "Monte Carlo s-t disconnection probability under Bernoulli(p) link "
+      "faults is bracketed by the Menger bounds p^lambda and "
+      "(1-(1-p)^(n-1))^lambda, and is monotone in p";
+  spec.theorems = "§5 (reliability); Menger / edge-disjoint paths";
+  spec.run = [](const RunOptions& opts) {
+    CheckResult r;
+    constexpr std::size_t kTrials = 500;
+    // Two-sided Hoeffding margin at confidence 1 - 1e-9 per estimate:
+    // eps = sqrt(ln(2/delta) / (2T)). A true probability inside the
+    // bracket then lands outside [lower - eps, upper + eps] with
+    // probability < 1e-9 — failures are bugs, not noise.
+    const double eps = std::sqrt(std::log(2.0 / 1e-9) / (2.0 * kTrials));
+    const std::vector<double> probabilities{0.15, 0.35};
+
+    for (const auto& inst : percolation_instances()) {
+      const Graph& g = inst.graph;
+      const std::size_t n = g.num_nodes();
+      const NodeId s = 0;
+      const NodeId t = static_cast<NodeId>(n - 1);
+      const std::size_t lambda = topology::edge_disjoint_paths(g, s, t);
+      if (lambda == 0) {
+        fail(r, inst.name, 0, detail("instance is s-t disconnected healthy"));
+        continue;
+      }
+      for (std::uint64_t seed = 1; seed <= opts.seeds; ++seed) {
+        ++r.instances;
+        if (opts.verbose) {
+          std::fputs((inst.name + " seed " + std::to_string(seed) + "\n").c_str(),
+                     stderr);
+        }
+        double prev_estimate = -1.0;
+        for (std::size_t pi = 0; pi < probabilities.size(); ++pi) {
+          const double p = probabilities[pi];
+          std::size_t disconnected = 0;
+          for (std::size_t trial = 0; trial < kTrials; ++trial) {
+            const std::uint64_t trial_seed = util::derive_seed(
+                util::derive_seed(seed, 101 + pi), trial + 1);
+            const FailureSample sample = resilience::sample_bernoulli_failures(
+                g, nullptr, false, FailureMode::kLinks, p, trial_seed);
+            const SurvivorComponents comps(g, sample);
+            if (!comps.same_component(s, t)) ++disconnected;
+          }
+          const double estimate =
+              static_cast<double>(disconnected) / static_cast<double>(kTrials);
+          const double lower = std::pow(p, static_cast<double>(lambda));
+          const double upper =
+              std::pow(1.0 - std::pow(1.0 - p, static_cast<double>(n - 1)),
+                       static_cast<double>(lambda));
+          if (estimate < lower - eps || estimate > upper + eps) {
+            fail(r, inst.name, seed,
+                 detail("p=", p, ": measured s-t disconnection ", estimate,
+                        " outside bracket [", lower, ", ", upper,
+                        "] (lambda=", lambda, ", eps=", eps, ")"));
+          }
+          if (prev_estimate >= 0 && estimate < prev_estimate - 2 * eps) {
+            fail(r, inst.name, seed,
+                 detail("disconnection probability fell from ", prev_estimate,
+                        " at p=", probabilities[pi - 1], " to ", estimate,
+                        " at p=", p, " — not monotone"));
+          }
+          prev_estimate = estimate;
+        }
+      }
+    }
+    return r;
+  };
+  return spec;
+}
+
+}  // namespace ipg::conformance::internal

@@ -33,5 +33,6 @@ CheckSpec make_ascend_descend_check();
 CheckSpec make_sim_latency_check();
 CheckSpec make_latency_histogram_check();
 CheckSpec make_distance_sampling_check();
+CheckSpec make_percolation_threshold_check();
 
 }  // namespace ipg::conformance::internal

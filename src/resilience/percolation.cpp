@@ -1,0 +1,281 @@
+#include "resilience/percolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "sim/sweep.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::resilience {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Distinct undirected links of @p g as sorted (min, max) pairs, optionally
+/// off-chip only. Sorted order makes the Bernoulli draw sequence — and so
+/// the whole sample — a pure function of (graph, filter, seed).
+std::vector<std::pair<NodeId, NodeId>> eligible_links(
+    const topology::Graph& g, const topology::Clustering* chips,
+    bool offchip_only) {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  links.reserve(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const topology::Arc& a : g.arcs_of(v)) {
+      if (a.to <= v) continue;  // one entry per unordered pair
+      if (offchip_only && chips != nullptr && !chips->is_intercluster(v, a.to)) {
+        continue;
+      }
+      links.emplace_back(v, a.to);
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+}  // namespace
+
+FailureSample sample_bernoulli_failures(const topology::Graph& g,
+                                        const topology::Clustering* chips,
+                                        bool offchip_only, FailureMode mode,
+                                        double p, std::uint64_t seed) {
+  IPG_CHECK(std::isfinite(p) && p >= 0 && p <= 1,
+            "failure probability must be in [0, 1]");
+  FailureSample sample;
+  util::Xoshiro256 rng(seed);
+  if (mode == FailureMode::kLinks) {
+    for (const auto& link : eligible_links(g, chips, offchip_only)) {
+      if (rng.bernoulli(p)) sample.dead_links.push_back(link);
+    }
+  } else {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.bernoulli(p)) sample.dead_nodes.push_back(v);
+    }
+  }
+  return sample;
+}
+
+sim::FaultPlan to_fault_plan(const FailureSample& sample, double time) {
+  sim::FaultPlan plan;
+  for (const auto& [a, b] : sample.dead_links) plan.fail_link(time, a, b);
+  for (const NodeId v : sample.dead_nodes) plan.fail_node(time, v);
+  return plan;
+}
+
+SurvivorComponents::SurvivorComponents(const topology::Graph& g,
+                                       const FailureSample& sample)
+    : alive_(g.num_nodes(), 1), parent_(g.num_nodes()) {
+  for (const NodeId v : sample.dead_nodes) {
+    IPG_CHECK(v < g.num_nodes(), "dead node out of range");
+    alive_[v] = 0;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) parent_[v] = v;
+  num_alive_ = static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), std::uint8_t{1}));
+
+  const auto link_dead = [&sample](NodeId a, NodeId b) {
+    const auto key = std::minmax(a, b);
+    return std::binary_search(sample.dead_links.begin(),
+                              sample.dead_links.end(),
+                              std::pair<NodeId, NodeId>(key.first, key.second));
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive_[v] == 0) continue;
+    for (const topology::Arc& a : g.arcs_of(v)) {
+      if (a.to <= v || alive_[a.to] == 0 || link_dead(v, a.to)) continue;
+      const NodeId ra = find(v);
+      const NodeId rb = find(a.to);
+      if (ra != rb) parent_[ra] = rb;
+    }
+  }
+  std::vector<std::size_t> size(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (alive_[v] == 0) continue;
+    const NodeId r = find(v);
+    if (size[r]++ == 0) ++num_components_;
+    largest_ = std::max(largest_, size[r]);
+  }
+}
+
+NodeId SurvivorComponents::find(NodeId v) const noexcept {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool SurvivorComponents::same_component(NodeId a, NodeId b) const noexcept {
+  if (alive_[a] == 0 || alive_[b] == 0) return false;
+  return find(a) == find(b);
+}
+
+bool SurvivorComponents::all_alive_connected() const noexcept {
+  return num_alive_ > 0 && num_components_ == 1;
+}
+
+PercolationCurve percolation_sweep(const sim::SimNetwork& net,
+                                   const sim::Router& route,
+                                   const sim::TrafficPattern& pattern,
+                                   const PercolationConfig& cfg,
+                                   util::ThreadPool& pool) {
+  IPG_CHECK(cfg.trials >= 1, "at least one trial per probability");
+  for (const double p : cfg.probabilities) {
+    IPG_CHECK(std::isfinite(p) && p >= 0 && p <= 1,
+              "failure probability must be in [0, 1]");
+  }
+  const topology::Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+
+  PercolationCurve curve;
+  curve.name = g.name();
+  curve.healthy_avg_latency = kNaN;
+
+  // Per-trial failure samples, their static metrics, and the sweep jobs.
+  // Trial seeds are derived from (config seed, p index, trial index) alone,
+  // so the curve is independent of thread count and of which other points
+  // are in the sweep.
+  sim::SimConfig base = cfg.sim;
+  base.observer = nullptr;  // sweep jobs must not share an observer
+  if (base.max_cycles == 0) {
+    base.max_cycles =
+        50.0 * static_cast<double>(std::max<std::size_t>(cfg.inject_cycles, 1));
+  }
+
+  struct TrialStatics {
+    bool connected = false;
+    double lcc_fraction = 0;
+    double st_reach = 0;
+  };
+  std::vector<std::vector<TrialStatics>> statics(cfg.probabilities.size());
+  std::vector<sim::SweepJob> jobs;
+  // Each job copies its Router and TrafficPattern (the sweep contract:
+  // stateful route caches must never be shared across worker threads).
+  const double rate = cfg.rate;
+  const std::size_t inject_cycles = cfg.inject_cycles;
+  if (cfg.with_simulation) {
+    sim::SimConfig healthy = base;
+    healthy.fault_plan = nullptr;
+    healthy.seed = util::derive_seed(cfg.seed, 0);
+    jobs.push_back({"healthy", [&net, route, pattern, rate, inject_cycles,
+                                healthy] {
+                      return sim::run_open(net, route, pattern, rate,
+                                           inject_cycles, healthy);
+                    }});
+  }
+  for (std::size_t pi = 0; pi < cfg.probabilities.size(); ++pi) {
+    const double p = cfg.probabilities[pi];
+    const std::uint64_t pseed = util::derive_seed(cfg.seed, pi + 1);
+    statics[pi].resize(cfg.trials);
+    for (std::size_t t = 0; t < cfg.trials; ++t) {
+      const std::uint64_t trial_seed = util::derive_seed(pseed, t + 1);
+      const FailureSample sample = sample_bernoulli_failures(
+          g, &net.chips(), cfg.offchip_only, cfg.mode, p, trial_seed);
+
+      const SurvivorComponents comps(g, sample);
+      TrialStatics& st = statics[pi][t];
+      st.connected = comps.all_alive_connected();
+      st.lcc_fraction = n == 0 ? 0
+                               : static_cast<double>(comps.largest_component()) /
+                                     static_cast<double>(n);
+      if (cfg.st_samples > 0 && n >= 2) {
+        util::Xoshiro256 pairs(util::derive_seed(trial_seed, 2));
+        std::size_t reachable = 0;
+        for (std::size_t i = 0; i < cfg.st_samples; ++i) {
+          const NodeId s = static_cast<NodeId>(pairs.below(n));
+          NodeId d = static_cast<NodeId>(pairs.below(n - 1));
+          if (d >= s) ++d;
+          if (comps.same_component(s, d)) ++reachable;
+        }
+        st.st_reach = static_cast<double>(reachable) /
+                      static_cast<double>(cfg.st_samples);
+      } else {
+        st.st_reach = kNaN;
+      }
+
+      if (cfg.with_simulation) {
+        auto plan = std::make_shared<const sim::FaultPlan>(to_fault_plan(sample));
+        sim::SimConfig job_cfg = base;
+        job_cfg.fault_plan = std::move(plan);
+        job_cfg.seed = trial_seed;
+        jobs.push_back({"p=" + std::to_string(p) + " trial " + std::to_string(t),
+                        [&net, route, pattern, rate, inject_cycles, job_cfg] {
+                          return sim::run_open(net, route, pattern, rate,
+                                               inject_cycles, job_cfg);
+                        }});
+      }
+    }
+  }
+
+  std::vector<sim::SweepOutcome> outcomes;
+  if (cfg.with_simulation) outcomes = sim::run_sweep(jobs, pool);
+  std::size_t next_outcome = 0;
+  if (cfg.with_simulation) {
+    curve.healthy_avg_latency = outcomes[next_outcome++].result.avg_latency_cycles;
+  }
+
+  for (std::size_t pi = 0; pi < cfg.probabilities.size(); ++pi) {
+    PercolationPoint pt;
+    pt.p = cfg.probabilities[pi];
+    pt.trials = cfg.trials;
+    double connected = 0, lcc = 0, st_sum = 0;
+    std::size_t st_count = 0;
+    for (const TrialStatics& st : statics[pi]) {
+      connected += st.connected ? 1.0 : 0.0;
+      lcc += st.lcc_fraction;
+      if (!std::isnan(st.st_reach)) {
+        st_sum += st.st_reach;
+        ++st_count;
+      }
+    }
+    const auto trials_d = static_cast<double>(cfg.trials);
+    pt.connected_fraction = connected / trials_d;
+    pt.largest_component_fraction = lcc / trials_d;
+    pt.st_reachability = st_count > 0 ? st_sum / static_cast<double>(st_count)
+                                      : kNaN;
+
+    if (cfg.with_simulation) {
+      double delivered_fraction = 0, latency_sum = 0;
+      std::size_t delivered_trials = 0, delivered = 0, reroutes = 0,
+                  injected = 0, retransmitted = 0;
+      for (std::size_t t = 0; t < cfg.trials; ++t) {
+        const sim::SimResult& r = outcomes[next_outcome++].result;
+        delivered_fraction += r.delivered_fraction;
+        delivered += r.packets_delivered;
+        reroutes += r.reroute_hops;
+        injected += r.packets_injected;
+        retransmitted += r.packets_retransmitted;
+        if (r.packets_delivered > 0) {
+          latency_sum += r.avg_latency_cycles;
+          ++delivered_trials;
+        }
+      }
+      pt.delivered_fraction = delivered_fraction / trials_d;
+      pt.latency_inflation =
+          delivered_trials > 0
+              ? (latency_sum / static_cast<double>(delivered_trials)) /
+                    curve.healthy_avg_latency
+              : kNaN;
+      pt.reroute_hops_per_delivered =
+          delivered > 0 ? static_cast<double>(reroutes) /
+                              static_cast<double>(delivered)
+                        : kNaN;
+      pt.retransmits_per_injected =
+          injected > 0 ? static_cast<double>(retransmitted) /
+                             static_cast<double>(injected)
+                       : 0.0;
+    } else {
+      pt.delivered_fraction = kNaN;
+      pt.latency_inflation = kNaN;
+      pt.reroute_hops_per_delivered = kNaN;
+      pt.retransmits_per_injected = kNaN;
+    }
+    curve.points.push_back(pt);
+  }
+  return curve;
+}
+
+}  // namespace ipg::resilience

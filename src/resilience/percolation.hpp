@@ -1,0 +1,154 @@
+#pragma once
+// Monte Carlo percolation availability studies (docs/ROBUSTNESS.md).
+//
+// The fault drills of PR 2 exercise *scripted* failure scenarios; this
+// engine answers the production question instead: what availability does an
+// MCMP fabric deliver when every link (or node) fails independently with
+// probability p? Following Jin & Reidys' random induced subgraphs of
+// transposition Cayley graphs (PAPERS.md), each trial samples a
+// Bernoulli(p) failure set, measures the surviving structure (largest
+// component, s–t reachability), and — through the existing engines via the
+// parallel sweep driver (sim/sweep) — the surviving service (delivered
+// fraction, latency inflation, reroute-hop overhead) under fault-aware
+// rerouting and retries.
+//
+// Determinism contract: every trial's failure set and simulation seed are
+// pure functions of (config seed, p index, trial index) via
+// util::derive_seed, and aggregation runs in trial order, so a sweep's
+// curve is bit-identical for any thread count and identical to running
+// each trial alone. test_resilience pins this.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::resilience {
+
+using topology::NodeId;
+
+enum class FailureMode : std::uint8_t {
+  kLinks,  ///< every undirected link fails independently with probability p
+  kNodes,  ///< every node fails independently (taking its links with it)
+};
+
+/// One sampled failure set: the unordered link pairs (sorted ascending, so
+/// membership tests can binary-search) and/or the dead nodes. A pure
+/// function of (graph, mode, p, seed) — see sample_bernoulli_failures.
+struct FailureSample {
+  std::vector<std::pair<NodeId, NodeId>> dead_links;  ///< (min, max) pairs
+  std::vector<NodeId> dead_nodes;                     ///< ascending
+};
+
+/// Draws a Bernoulli(p) failure set over @p g's undirected links (kLinks;
+/// restricted to off-chip links when @p offchip_only and @p chips is
+/// non-null) or nodes (kNodes). Deterministic: one bernoulli draw per
+/// eligible element, in ascending element order, from Xoshiro256(@p seed).
+FailureSample sample_bernoulli_failures(const topology::Graph& g,
+                                        const topology::Clustering* chips,
+                                        bool offchip_only, FailureMode mode,
+                                        double p, std::uint64_t seed);
+
+/// Converts a failure sample into a FaultPlan failing everything at
+/// @p time (links first, then nodes, each in ascending order).
+sim::FaultPlan to_fault_plan(const FailureSample& sample, double time = 0.0);
+
+/// Union-find view of the graph that survives a failure sample: a node is
+/// alive unless in dead_nodes; a link survives when it is not in
+/// dead_links and both endpoints are alive. Answers the static percolation
+/// questions (connectivity, component sizes, s–t reachability) without
+/// materializing a degraded Graph.
+class SurvivorComponents {
+ public:
+  SurvivorComponents(const topology::Graph& g, const FailureSample& sample);
+
+  bool alive(NodeId v) const noexcept { return alive_[v] != 0; }
+  std::size_t num_alive() const noexcept { return num_alive_; }
+
+  /// False when either endpoint is dead.
+  bool same_component(NodeId a, NodeId b) const noexcept;
+
+  /// Size of the largest surviving component (0 when nothing is alive).
+  std::size_t largest_component() const noexcept { return largest_; }
+
+  /// True when every alive node is in one component (an alive-but-isolated
+  /// node disconnects the survivors; false when nothing is alive).
+  bool all_alive_connected() const noexcept;
+
+ private:
+  NodeId find(NodeId v) const noexcept;
+
+  std::vector<std::uint8_t> alive_;
+  mutable std::vector<NodeId> parent_;  ///< path-halving find
+  std::size_t num_alive_ = 0;
+  std::size_t largest_ = 0;
+  std::size_t num_components_ = 0;  ///< among alive nodes
+};
+
+struct PercolationConfig {
+  /// Failure probabilities, one output point per entry (include 0.0 for an
+  /// explicit healthy reference point).
+  std::vector<double> probabilities;
+  std::size_t trials = 16;  ///< Monte Carlo replicates per probability
+  std::uint64_t seed = 1;
+  FailureMode mode = FailureMode::kLinks;
+  /// kLinks only: restrict failures to off-chip links (chip-internal wiring
+  /// assumed reliable, the usual MCMP failure model).
+  bool offchip_only = false;
+  /// Node pairs sampled per trial for the s–t reachability estimate.
+  std::size_t st_samples = 16;
+
+  // -- dynamic (simulated-service) half. Skipped when with_simulation is
+  // false: the curve then carries structure metrics only.
+  bool with_simulation = true;
+  double rate = 0.05;               ///< open-loop injection probability
+  std::size_t inject_cycles = 200;  ///< injection window length
+  /// Base simulator knobs (engine, retries, switching, ...). fault_plan and
+  /// seed are overwritten per trial; when max_cycles is 0 the sweep caps
+  /// degraded runs at 50x the injection window so blackout trials with
+  /// deep retry ladders still terminate promptly.
+  sim::SimConfig sim;
+};
+
+struct PercolationPoint {
+  double p = 0;
+  std::size_t trials = 0;
+  // Structure (static percolation over the sampled failure sets).
+  double connected_fraction = 0;          ///< trials with all alive nodes connected
+  double largest_component_fraction = 0;  ///< mean |LCC| / N
+  double st_reachability = 0;             ///< mean fraction of sampled pairs connected
+  // Service (fault-aware simulation; NaN/0 when with_simulation is false).
+  double delivered_fraction = 0;  ///< mean over trials
+  /// Mean delivered-trial avg latency over the healthy baseline's avg
+  /// latency; NaN when no trial delivered anything (total blackout).
+  double latency_inflation = 0;
+  double reroute_hops_per_delivered = 0;  ///< detour overhead per delivered packet
+  double retransmits_per_injected = 0;    ///< retry pressure
+};
+
+struct PercolationCurve {
+  std::string name;
+  /// Healthy-baseline average latency (cycles) the inflation is relative
+  /// to; NaN when with_simulation is false.
+  double healthy_avg_latency = 0;
+  std::vector<PercolationPoint> points;  ///< one per probability, in order
+};
+
+/// Runs the full availability study for one network: for each probability
+/// and trial, samples a failure set, measures the surviving structure, and
+/// (when enabled) runs the open-loop workload with the corresponding
+/// FaultPlan through run_sweep on @p pool. Bit-identical for every thread
+/// count. @p pattern draws each injected packet's destination.
+PercolationCurve percolation_sweep(
+    const sim::SimNetwork& net, const sim::Router& route,
+    const sim::TrafficPattern& pattern, const PercolationConfig& cfg,
+    util::ThreadPool& pool = util::ThreadPool::global());
+
+}  // namespace ipg::resilience

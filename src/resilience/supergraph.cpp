@@ -1,0 +1,312 @@
+#include "resilience/supergraph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::resilience {
+namespace {
+
+using topology::Graph;
+using topology::GraphBuilder;
+
+/// Sorted, deduplicated neighbor list of @p v (parallel arcs collapse).
+std::vector<NodeId> neighbor_set(const Graph& g, NodeId v) {
+  std::vector<NodeId> out;
+  for (const topology::Arc& a : g.arcs_of(v)) out.push_back(a.to);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Undirected edge count of Cay(Z_n, ±offsets): each offset o contributes
+/// n edges, except the diameter chord o == n/2 which contributes n/2.
+std::size_t circulant_edges(std::size_t n, const std::vector<std::size_t>& offsets) {
+  std::size_t edges = 0;
+  for (const std::size_t o : offsets) edges += (2 * o == n) ? n / 2 : n;
+  return edges;
+}
+
+Graph build_circulant(const std::string& name, std::size_t n,
+                      const std::vector<std::size_t>& offsets) {
+  GraphBuilder b(name, n, offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    const std::size_t o = offsets[i];
+    for (NodeId v = 0; v < n; ++v) {
+      b.add_arc(v, static_cast<NodeId>((v + o) % n), static_cast<std::uint16_t>(i));
+      if (2 * o != n) {
+        b.add_arc(v, static_cast<NodeId>((v + n - o) % n),
+                  static_cast<std::uint16_t>(i));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+std::optional<CirculantSpec> circulant_spec(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n < 3) return std::nullopt;
+  // Difference set of node 0; must be self-loop-free and negation-closed.
+  std::vector<std::size_t> diffs;
+  for (const NodeId u : neighbor_set(g, 0)) diffs.push_back(u % n);
+  if (diffs.empty()) return std::nullopt;
+  for (const std::size_t d : diffs) {
+    if (d == 0) return std::nullopt;
+    if (!std::binary_search(diffs.begin(), diffs.end(), (n - d) % n)) {
+      return std::nullopt;
+    }
+  }
+  // Every node's neighborhood must be exactly v + diffs (mod n).
+  for (NodeId v = 1; v < n; ++v) {
+    std::vector<NodeId> expected;
+    expected.reserve(diffs.size());
+    for (const std::size_t d : diffs) {
+      expected.push_back(static_cast<NodeId>((v + d) % n));
+    }
+    std::sort(expected.begin(), expected.end());
+    if (neighbor_set(g, v) != expected) return std::nullopt;
+  }
+  CirculantSpec spec;
+  spec.n = n;
+  for (const std::size_t d : diffs) spec.offsets.push_back(std::min(d, n - d));
+  std::sort(spec.offsets.begin(), spec.offsets.end());
+  spec.offsets.erase(std::unique(spec.offsets.begin(), spec.offsets.end()),
+                     spec.offsets.end());
+  return spec;
+}
+
+Supergraph k_fault_circulant(const CirculantSpec& spec, std::size_t k) {
+  IPG_CHECK(spec.n >= 3 && !spec.offsets.empty(), "degenerate circulant spec");
+  IPG_CHECK(k >= 1, "k-fault augmentation needs k >= 1");
+  const std::size_t n2 = spec.n + k;
+  // Widen each offset s to the band s..s+k; canonicalize mod n2. Every
+  // widened offset stays in 1..n2-1 (s <= n/2, so s + k < n + k).
+  std::vector<std::size_t> widened;
+  for (const std::size_t s : spec.offsets) {
+    for (std::size_t j = 0; j <= k; ++j) {
+      const std::size_t o = s + j;
+      widened.push_back(std::min(o, n2 - o));
+    }
+  }
+  std::sort(widened.begin(), widened.end());
+  widened.erase(std::unique(widened.begin(), widened.end()), widened.end());
+
+  std::string name = "C" + std::to_string(n2) + "(";
+  for (std::size_t i = 0; i < widened.size(); ++i) {
+    name += (i > 0 ? "," : "") + std::to_string(widened[i]);
+  }
+  name += ")";
+
+  Supergraph sg;
+  sg.graph = build_circulant(name, n2, widened);
+  sg.original_nodes = spec.n;
+  sg.spares = k;
+  sg.original_edges = circulant_edges(spec.n, spec.offsets);
+  sg.extra_edges = sg.graph.num_edges() - sg.original_edges;
+  sg.max_degree = sg.graph.max_degree();
+  sg.method = "circulant";
+  return sg;
+}
+
+Supergraph k_fault_universal(const Graph& g, std::size_t k) {
+  IPG_CHECK(k >= 1, "k-fault augmentation needs k >= 1");
+  const std::size_t n = g.num_nodes();
+  IPG_CHECK(n >= 1, "cannot augment an empty graph");
+  const std::size_t n2 = n + k;
+  const auto spare_dim = static_cast<std::uint16_t>(g.num_dims());
+  GraphBuilder b(g.name() + "+" + std::to_string(k) + "spares", n2,
+                 g.num_dims() + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const topology::Arc& a : g.arcs_of(v)) b.add_arc(v, a.to, a.dim);
+  }
+  for (NodeId s = static_cast<NodeId>(n); s < n2; ++s) {
+    for (NodeId u = 0; u < s; ++u) b.add_edge(u, s, spare_dim);
+  }
+  Supergraph sg;
+  sg.graph = std::move(b).build();
+  sg.original_nodes = n;
+  sg.spares = k;
+  sg.original_edges = g.num_edges();
+  sg.extra_edges = k * n + k * (k - 1) / 2;
+  sg.max_degree = sg.graph.max_degree();
+  sg.method = "universal-spares";
+  return sg;
+}
+
+Supergraph k_fault_supergraph(const Graph& g, std::size_t k) {
+  if (const auto spec = circulant_spec(g)) return k_fault_circulant(*spec, k);
+  return k_fault_universal(g, k);
+}
+
+namespace {
+
+/// Backtracking subgraph-isomorphism over <= 64-node bitmask adjacency:
+/// does @p survivors (a node mask of the supergraph) induce a subgraph
+/// containing the original? Vertices are placed in @p order (connected
+/// expansion); a candidate must be a surviving unused node whose surviving
+/// degree covers the original degree and which is adjacent to the images
+/// of all previously placed original-neighbors.
+struct Embedder {
+  const std::vector<std::uint64_t>& oadj;      // original adjacency masks
+  const std::vector<std::uint64_t>& sadj;      // supergraph adjacency masks
+  const std::vector<std::uint8_t>& order;      // placement order
+  const std::vector<std::uint8_t>& order_pos;  // vertex -> placement index
+  std::uint64_t survivors;
+  std::vector<std::uint8_t> image;  // original vertex -> supergraph node
+
+  bool place(std::size_t idx, std::uint64_t used) {
+    if (idx == order.size()) return true;
+    const std::uint8_t v = order[idx];
+    std::uint64_t candidates = survivors & ~used;
+    // Adjacency to already-placed neighbors of v.
+    std::uint64_t nb = oadj[v];
+    while (nb != 0) {
+      const auto w = static_cast<std::uint8_t>(std::countr_zero(nb));
+      nb &= nb - 1;
+      if (order_pos[w] < idx) candidates &= sadj[image[w]];
+    }
+    const int needed = std::popcount(oadj[v]);
+    while (candidates != 0) {
+      const auto u = static_cast<std::uint8_t>(std::countr_zero(candidates));
+      candidates &= candidates - 1;
+      if (std::popcount(sadj[u] & survivors) < needed) continue;
+      image[v] = u;
+      if (place(idx + 1, used | (1ull << u))) return true;
+    }
+    return false;
+  }
+};
+
+std::vector<std::uint64_t> adjacency_masks(const Graph& g) {
+  std::vector<std::uint64_t> adj(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const topology::Arc& a : g.arcs_of(v)) {
+      if (a.to != v) adj[v] |= 1ull << a.to;
+    }
+  }
+  return adj;
+}
+
+/// Connected-expansion placement order: highest degree first, then always
+/// the vertex with the most already-placed neighbors (ties: degree, id).
+std::vector<std::uint8_t> placement_order(const std::vector<std::uint64_t>& oadj) {
+  const std::size_t n = oadj.size();
+  std::vector<std::uint8_t> order;
+  std::vector<bool> placed(n, false);
+  std::uint64_t placed_mask = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    int best_placed_nb = -1, best_deg = -1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      const int pn = std::popcount(oadj[v] & placed_mask);
+      const int dg = std::popcount(oadj[v]);
+      if (pn > best_placed_nb || (pn == best_placed_nb && dg > best_deg)) {
+        best = v;
+        best_placed_nb = pn;
+        best_deg = dg;
+      }
+    }
+    placed[best] = true;
+    placed_mask |= 1ull << best;
+    order.push_back(static_cast<std::uint8_t>(best));
+  }
+  return order;
+}
+
+std::size_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Stays exact for the tiny (n, k) this file handles.
+    r = r * (n - i) / (i + 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+ContainmentReport verify_k_containment(const Graph& original,
+                                       const Supergraph& sg, std::size_t k,
+                                       std::size_t max_subsets,
+                                       std::uint64_t seed) {
+  const std::size_t n = original.num_nodes();
+  const std::size_t n2 = sg.graph.num_nodes();
+  IPG_CHECK(n2 <= 64, "containment verification is capped at 64 nodes");
+  IPG_CHECK(n + k <= n2, "deleting k nodes must leave room for the original");
+  IPG_CHECK(max_subsets >= 1, "need at least one subset to check");
+
+  const std::vector<std::uint64_t> oadj = adjacency_masks(original);
+  const std::vector<std::uint64_t> sadj = adjacency_masks(sg.graph);
+  const std::vector<std::uint8_t> order = placement_order(oadj);
+  std::vector<std::uint8_t> order_pos(n, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) order_pos[order[i]] = static_cast<std::uint8_t>(i);
+
+  const std::uint64_t all =
+      n2 == 64 ? ~0ull : ((1ull << n2) - 1);
+
+  ContainmentReport report;
+  const auto check_subset = [&](std::uint64_t deleted) {
+    ++report.subsets_checked;
+    Embedder e{oadj, sadj, order, order_pos, all & ~deleted,
+               std::vector<std::uint8_t>(n, 0)};
+    if (!e.place(0, 0)) {
+      if (report.failures == 0) {
+        std::string desc = "deleted {";
+        std::uint64_t d = deleted;
+        bool first = true;
+        while (d != 0) {
+          const int v = std::countr_zero(d);
+          d &= d - 1;
+          desc += (first ? "" : ", ") + std::to_string(v);
+          first = false;
+        }
+        report.first_failure = desc + "}";
+      }
+      ++report.failures;
+    }
+  };
+
+  const std::size_t total = binomial(n2, k);
+  if (total <= max_subsets) {
+    report.exhaustive = true;
+    // Lexicographic k-combinations of {0..n2-1}.
+    std::vector<std::size_t> idx(k);
+    std::iota(idx.begin(), idx.end(), 0);
+    for (;;) {
+      std::uint64_t mask = 0;
+      for (const std::size_t i : idx) mask |= 1ull << i;
+      check_subset(mask);
+      // Advance to the next combination.
+      std::size_t i = k;
+      while (i > 0 && idx[i - 1] == n2 - k + (i - 1)) --i;
+      if (i == 0) break;
+      ++idx[i - 1];
+      for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+    }
+  } else {
+    report.exhaustive = false;
+    util::Xoshiro256 rng(seed);
+    std::vector<std::size_t> nodes(n2);
+    std::iota(nodes.begin(), nodes.end(), 0);
+    for (std::size_t s = 0; s < max_subsets; ++s) {
+      // Partial Fisher–Yates: the first k entries become the subset.
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + rng.below(n2 - i);
+        std::swap(nodes[i], nodes[j]);
+      }
+      std::uint64_t mask = 0;
+      for (std::size_t i = 0; i < k; ++i) mask |= 1ull << nodes[i];
+      check_subset(mask);
+    }
+  }
+  return report;
+}
+
+}  // namespace ipg::resilience

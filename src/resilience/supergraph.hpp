@@ -1,0 +1,102 @@
+#pragma once
+// k-fault-tolerant supergraph augmentation (docs/ROBUSTNESS.md).
+//
+// Percolation measures how a fabric degrades; augmentation buys the
+// tolerance back constructively. Following Ganesan's fault-tolerant
+// supergraphs with automorphisms (PAPERS.md), a k-fault-tolerant
+// supergraph of a graph Y on n nodes is a graph Y* on n + k nodes such
+// that deleting *any* k nodes of Y* leaves a graph that still contains Y
+// as a subgraph — the surviving hardware can always be relabelled to run
+// Y's workload.
+//
+// Two constructions:
+//   k_fault_circulant — the automorphism-exploiting construction for
+//     circulant nuclei Cay(Z_n, S) (rings, complete graphs, chordal
+//     rings): Y* = Cay(Z_{n+k}, S') with S' = {s + j : s in S, 0 <= j <= k}
+//     (offsets canonicalized mod n + k). Proof sketch: delete any k nodes
+//     of Z_{n+k} and list the n survivors in cyclic order z_0 < ... <
+//     z_{n-1}; map vertex i of Y to z_i. A Y-edge (i, i + s) maps to
+//     (z_i, z_{i+s}), whose cyclic offset is s plus the number of deleted
+//     nodes in between — between s and s + k, all of which S' covers. The
+//     cyclic rotation automorphism of Y* is what makes one connection-set
+//     widening cover every failure pattern.
+//   k_fault_universal — Hayes' classic fallback for arbitrary graphs:
+//     k spare nodes adjacent to everything. Always valid (map each deleted
+//     node to a spare, keep the rest in place) but costs k*n + C(k,2)
+//     extra links; the measured gap to the circulant construction is the
+//     point of the cost comparison in tools/ipg_resilience.
+//
+// verify_k_containment re-checks the property from scratch — backtracking
+// subgraph isomorphism per k-deletion, independent of either
+// construction's embedding argument — exhaustively when C(n+k, k) is
+// small, by seeded sampling beyond.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace ipg::resilience {
+
+using topology::NodeId;
+
+/// Circulant presentation of a graph under its given labelling:
+/// Cay(Z_n, ±offsets), offsets in 1..n/2 ascending.
+struct CirculantSpec {
+  std::size_t n = 0;
+  std::vector<std::size_t> offsets;
+};
+
+/// Detects whether @p g is circulant *under its given node labelling*
+/// (node v adjacent to exactly v ± o mod n for a fixed offset set): true
+/// for ring_graph, complete_graph, and the ring/complete nucleus graphs.
+/// This is deliberately not full circulant-graph recognition (that would
+/// need graph isomorphism); a nullopt just routes the caller to the
+/// universal-spares fallback.
+std::optional<CirculantSpec> circulant_spec(const topology::Graph& g);
+
+struct Supergraph {
+  topology::Graph graph;  ///< n + k nodes; originals keep ids 0..n-1
+  std::size_t original_nodes = 0;
+  std::size_t spares = 0;           ///< k
+  std::size_t original_edges = 0;   ///< undirected edges of the original
+  std::size_t extra_edges = 0;      ///< edges beyond the original's
+  std::size_t max_degree = 0;       ///< of the supergraph
+  std::string method;               ///< "circulant" or "universal-spares"
+};
+
+/// Ganesan-style circulant widening (see file comment). @p k >= 1.
+Supergraph k_fault_circulant(const CirculantSpec& spec, std::size_t k);
+
+/// Universal-spares fallback: @p k spares adjacent to every other node
+/// (spares included). Valid for any graph; the cost baseline.
+Supergraph k_fault_universal(const topology::Graph& g, std::size_t k);
+
+/// The best construction available for @p g: circulant when the labelling
+/// admits it, universal spares otherwise.
+Supergraph k_fault_supergraph(const topology::Graph& g, std::size_t k);
+
+struct ContainmentReport {
+  std::size_t subsets_checked = 0;
+  bool exhaustive = false;  ///< every k-subset checked (not sampled)
+  std::size_t failures = 0;
+  std::string first_failure;  ///< deleted set of the first failure, if any
+
+  bool passed() const noexcept { return failures == 0; }
+};
+
+/// Verifies the k-fault-tolerance property of @p sg against @p original:
+/// for each k-subset F of supergraph nodes (every subset when C(n+k, k)
+/// <= max_subsets, else max_subsets seeded random subsets), checks that
+/// the supergraph minus F contains @p original as a subgraph via
+/// backtracking subgraph isomorphism (degree + adjacency pruning).
+/// Supergraphs are capped at 64 nodes — the check is exponential in the
+/// worst case and meant for small nuclei.
+ContainmentReport verify_k_containment(const topology::Graph& original,
+                                       const Supergraph& sg, std::size_t k,
+                                       std::size_t max_subsets = 4096,
+                                       std::uint64_t seed = 1);
+
+}  // namespace ipg::resilience

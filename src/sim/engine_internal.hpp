@@ -81,6 +81,26 @@ template <typename AtOf>
   throw std::invalid_argument(msg);
 }
 
+/// Retry backoff schedule shared by every faulty loop (sequential and
+/// sharded): the delay before retransmission attempt @p attempt (1-based)
+/// is retry_backoff_cycles * 2^min(attempt - 1, kRetryBackoffExpCap).
+/// Computed with ldexp — an exact power-of-two scale, bit-identical to the
+/// shift-and-multiply it replaces — and saturated at kRetryDelayCapCycles
+/// so the delay stays finite even when attempt counts approach UINT32_MAX
+/// under heavy percolation loss or the base delay is astronomically large:
+/// an infinite event time would break canonical (time, seq) ordering and
+/// the packet-conservation accounting.
+constexpr std::uint32_t kRetryBackoffExpCap = 16;
+constexpr double kRetryDelayCapCycles = 0x1p62;  ///< ~4.6e18 cycles, finite
+
+inline double retry_backoff_delay(double backoff_cycles,
+                                  std::uint32_t attempt) noexcept {
+  const std::uint32_t exp =
+      std::min(attempt > 0 ? attempt - 1 : 0u, kRetryBackoffExpCap);
+  const double delay = std::ldexp(backoff_cycles, static_cast<int>(exp));
+  return delay < kRetryDelayCapCycles ? delay : kRetryDelayCapCycles;
+}
+
 inline void record_delivery(EngineStats& stats, SimObserver* obs,
                             std::uint32_t pid, NodeId dst, double time,
                             double inject_time) {
@@ -167,9 +187,10 @@ int quantized_grid_bits(const std::vector<LinkHot>& links,
     if (f.bits < 0) return f.bits;
   }
   if (cfg.max_retries > 0) {
-    const std::uint32_t max_exp = std::min<std::uint32_t>(cfg.max_retries - 1, 16);
-    for (std::uint32_t j = 0; j <= max_exp; ++j) {
-      f.fold(cfg.retry_backoff_cycles * static_cast<double>(1ull << j));
+    const std::uint32_t max_attempt =
+        std::min<std::uint32_t>(cfg.max_retries, kRetryBackoffExpCap + 1);
+    for (std::uint32_t a = 1; a <= max_attempt; ++a) {
+      f.fold(retry_backoff_delay(cfg.retry_backoff_cycles, a));
       if (f.bits < 0) return f.bits;
     }
   }

@@ -460,9 +460,8 @@ void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
       p.at = p.src;
       p.routed = false;
       p.reroutes = 0;
-      const std::uint32_t exp = std::min<std::uint32_t>(p.attempt - 1, 16);
       const double delay =
-          cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
+          retry_backoff_delay(cfg.retry_backoff_cycles, p.attempt);
       push_event(
           Event{Event::key_of(now + delay), Event::kPacketSeqBase + pid, pid},
           p.src);

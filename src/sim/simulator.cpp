@@ -563,9 +563,8 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
       p.at = p.src;
       p.routed = false;
       p.reroutes = 0;
-      const std::uint32_t exp = std::min<std::uint32_t>(p.attempt - 1, 16);
       const double delay =
-          cfg.retry_backoff_cycles * static_cast<double>(1ull << exp);
+          retry_backoff_delay(cfg.retry_backoff_cycles, p.attempt);
       events.push(
           Event{Event::key_of(now + delay), Event::kPacketSeqBase + pid, pid});
       if (obs != nullptr) {
@@ -808,12 +807,16 @@ void validate_run_inputs(const SimNetwork& net, const SimConfig& cfg) {
         "retry_backoff_cycles must be positive when retries are enabled");
   }
   if (cfg.fault_plan != nullptr) cfg.fault_plan->validate(net.num_nodes());
-  if (cfg.engine == Engine::kSharded) {
+  if (cfg.engine == Engine::kSharded && cfg.node_buffer_packets > 0) {
     // Bounded buffers are zero-lookahead cross-domain state (a downstream
     // node's occupancy can change the instant any neighbor acts), which
-    // defeats conservative windowing; use kArena for backpressure studies.
-    IPG_CHECK(cfg.node_buffer_packets == 0,
-              "Engine::kSharded does not support bounded node buffers");
+    // defeats conservative windowing. Raised as the structured
+    // UnsupportedSimConfig so callers can catch-and-fall-back.
+    throw UnsupportedSimConfig(
+        "Engine::kSharded does not support bounded node buffers "
+        "(node_buffer_packets > 0): backpressure is zero-lookahead "
+        "cross-domain state that defeats conservative time windows; run "
+        "bounded-buffer studies with Engine::kArena or Engine::kReference");
   }
   // Every public run_* driver funnels through here exactly once, after its
   // inputs are known-good — the natural single site for run-begin hooks.

@@ -36,6 +36,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/fault_plan.hpp"
@@ -46,6 +48,20 @@
 namespace ipg::sim {
 
 class SimObserver;  // sim/observer.hpp
+
+/// Thrown when a SimConfig asks for a combination an engine recognizes but
+/// cannot provide — today, bounded node buffers under Engine::kSharded
+/// (backpressure is zero-lookahead cross-domain state, incompatible with
+/// conservative time windows). Distinct from the std::invalid_argument
+/// raised by util::check for malformed inputs: callers such as sweep
+/// drivers can catch this type and fall back to a supported engine instead
+/// of pattern-matching an error string. The message always names the
+/// unsupported combination and the supported alternative.
+class UnsupportedSimConfig : public std::invalid_argument {
+ public:
+  explicit UnsupportedSimConfig(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
 
 enum class Switching : std::uint8_t {
   kStoreAndForward,

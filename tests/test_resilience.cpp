@@ -1,0 +1,328 @@
+// Resilience layer: Monte Carlo percolation sweeps (deterministic sampling,
+// survivor components, thread-count-invariant curves) and k-fault-tolerant
+// supergraph augmentation (circulant widening, universal spares, and the
+// from-scratch containment verifier, including a negative control).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "resilience/percolation.hpp"
+#include "resilience/supergraph.hpp"
+#include "sim/routers.hpp"
+#include "sim/traffic.hpp"
+#include "topology/named.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::resilience {
+namespace {
+
+using namespace topology;
+
+// --- Bernoulli failure sampling ---------------------------------------------
+
+TEST(Percolation, SamplingIsAPureFunctionOfSeed) {
+  const Graph g = kary_ncube_graph(4, 2);
+  const auto a = sample_bernoulli_failures(g, nullptr, false,
+                                           FailureMode::kLinks, 0.3, 42);
+  const auto b = sample_bernoulli_failures(g, nullptr, false,
+                                           FailureMode::kLinks, 0.3, 42);
+  EXPECT_EQ(a.dead_links, b.dead_links);
+  const auto c = sample_bernoulli_failures(g, nullptr, false,
+                                           FailureMode::kLinks, 0.3, 43);
+  EXPECT_NE(a.dead_links, c.dead_links);  // 32 links, p=0.3: collision ~ never
+}
+
+TEST(Percolation, SamplingEndpoints) {
+  const Graph g = ring_graph(8);
+  const auto none = sample_bernoulli_failures(g, nullptr, false,
+                                              FailureMode::kLinks, 0.0, 1);
+  EXPECT_TRUE(none.dead_links.empty());
+  const auto all = sample_bernoulli_failures(g, nullptr, false,
+                                             FailureMode::kLinks, 1.0, 1);
+  EXPECT_EQ(all.dead_links.size(), 8u);  // every undirected ring link
+  const auto nodes = sample_bernoulli_failures(g, nullptr, false,
+                                               FailureMode::kNodes, 1.0, 1);
+  EXPECT_EQ(nodes.dead_nodes.size(), 8u);
+  EXPECT_TRUE(nodes.dead_links.empty());
+}
+
+TEST(Percolation, OffchipOnlyFilterSparesChipInternalLinks) {
+  // 4-ary 2-cube in 4 chips of 4: only inter-chip links are eligible, so
+  // p = 1 kills exactly the off-chip links and no chip-internal ones.
+  const Graph g = kary_ncube_graph(4, 2);
+  const Clustering chips = kary2_block_clustering(4, 2);
+  const auto all = sample_bernoulli_failures(g, &chips, true,
+                                             FailureMode::kLinks, 1.0, 1);
+  EXPECT_FALSE(all.dead_links.empty());
+  for (const auto& [a, b] : all.dead_links) {
+    EXPECT_TRUE(chips.is_intercluster(a, b)) << a << "-" << b;
+  }
+}
+
+// --- survivor components ----------------------------------------------------
+
+TEST(Percolation, SurvivorComponentsOnTheRing) {
+  const Graph g = ring_graph(6);
+  {  // One dead link cannot split a cycle.
+    FailureSample s;
+    s.dead_links = {{0, 1}};
+    const SurvivorComponents comps(g, s);
+    EXPECT_TRUE(comps.all_alive_connected());
+    EXPECT_EQ(comps.largest_component(), 6u);
+    EXPECT_TRUE(comps.same_component(0, 1));
+  }
+  {  // Two dead links split it: {1,2,3} | {4,5,0}.
+    FailureSample s;
+    s.dead_links = {{0, 1}, {3, 4}};
+    const SurvivorComponents comps(g, s);
+    EXPECT_FALSE(comps.all_alive_connected());
+    EXPECT_EQ(comps.largest_component(), 3u);
+    EXPECT_TRUE(comps.same_component(1, 3));
+    EXPECT_FALSE(comps.same_component(1, 4));
+  }
+  {  // A dead node takes its links with it and is in no component.
+    FailureSample s;
+    s.dead_nodes = {0};
+    const SurvivorComponents comps(g, s);
+    EXPECT_EQ(comps.num_alive(), 5u);
+    EXPECT_TRUE(comps.all_alive_connected());
+    EXPECT_EQ(comps.largest_component(), 5u);
+    EXPECT_FALSE(comps.same_component(0, 1));
+    EXPECT_FALSE(comps.alive(0));
+  }
+  {  // Nothing alive: no components, not "connected".
+    FailureSample s;
+    s.dead_nodes = {0, 1, 2, 3, 4, 5};
+    const SurvivorComponents comps(g, s);
+    EXPECT_EQ(comps.num_alive(), 0u);
+    EXPECT_EQ(comps.largest_component(), 0u);
+    EXPECT_FALSE(comps.all_alive_connected());
+  }
+}
+
+// --- percolation sweep ------------------------------------------------------
+
+struct TestNet {
+  sim::SimNetwork net;
+  sim::Router router;
+};
+
+TestNet kary42() {
+  return {mcmp::make_unit_chip_network(kary_ncube_graph(4, 2),
+                                       kary2_block_clustering(4, 2), 1.0),
+          sim::kary_router(4, 2)};
+}
+
+PercolationConfig small_config() {
+  PercolationConfig cfg;
+  cfg.probabilities = {0.0, 0.2, 0.5};
+  cfg.trials = 3;
+  cfg.seed = 7;
+  cfg.st_samples = 8;
+  cfg.rate = 0.05;
+  cfg.inject_cycles = 50;
+  cfg.sim.packet_length_flits = 4;
+  cfg.sim.max_retries = 1;
+  cfg.sim.retry_backoff_cycles = 16;
+  return cfg;
+}
+
+void expect_point_bits(const PercolationPoint& a, const PercolationPoint& b) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  EXPECT_EQ(bits(a.p), bits(b.p));
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(bits(a.connected_fraction), bits(b.connected_fraction));
+  EXPECT_EQ(bits(a.largest_component_fraction),
+            bits(b.largest_component_fraction));
+  EXPECT_EQ(bits(a.st_reachability), bits(b.st_reachability));
+  EXPECT_EQ(bits(a.delivered_fraction), bits(b.delivered_fraction));
+  EXPECT_EQ(bits(a.latency_inflation), bits(b.latency_inflation));
+  EXPECT_EQ(bits(a.reroute_hops_per_delivered),
+            bits(b.reroute_hops_per_delivered));
+  EXPECT_EQ(bits(a.retransmits_per_injected), bits(b.retransmits_per_injected));
+}
+
+TEST(Percolation, SweepBitIdenticalAcrossThreadCounts) {
+  const TestNet t = kary42();
+  const auto pattern = sim::uniform_traffic(t.net.num_nodes());
+  const PercolationConfig cfg = small_config();
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool4(4);
+  const PercolationCurve serial =
+      percolation_sweep(t.net, t.router, pattern, cfg, pool1);
+  const PercolationCurve parallel =
+      percolation_sweep(t.net, t.router, pattern, cfg, pool4);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.healthy_avg_latency),
+            std::bit_cast<std::uint64_t>(parallel.healthy_avg_latency));
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    expect_point_bits(serial.points[i], parallel.points[i]);
+  }
+}
+
+TEST(Percolation, ZeroProbabilityPointMatchesHealthyService) {
+  // p = 0 samples an empty failure set: structure is perfect and every
+  // trial delivers everything at the healthy latency (inflation exactly 1).
+  const TestNet t = kary42();
+  const auto pattern = sim::uniform_traffic(t.net.num_nodes());
+  PercolationConfig cfg = small_config();
+  cfg.probabilities = {0.0};
+  const PercolationCurve curve =
+      percolation_sweep(t.net, t.router, pattern, cfg);
+  ASSERT_EQ(curve.points.size(), 1u);
+  const PercolationPoint& pt = curve.points[0];
+  EXPECT_EQ(pt.connected_fraction, 1.0);
+  EXPECT_EQ(pt.largest_component_fraction, 1.0);
+  EXPECT_EQ(pt.st_reachability, 1.0);
+  EXPECT_EQ(pt.delivered_fraction, 1.0);
+  EXPECT_EQ(pt.reroute_hops_per_delivered, 0.0);
+  EXPECT_EQ(pt.retransmits_per_injected, 0.0);
+}
+
+TEST(Percolation, CertainFailureDisconnectsEverything) {
+  // p = 1 with unrestricted link deaths: every link is dead, the largest
+  // component is a single node and no sampled pair is reachable.
+  const TestNet t = kary42();
+  const auto pattern = sim::uniform_traffic(t.net.num_nodes());
+  PercolationConfig cfg = small_config();
+  cfg.probabilities = {1.0};
+  cfg.offchip_only = false;
+  cfg.with_simulation = false;  // structure-only
+  const PercolationCurve curve =
+      percolation_sweep(t.net, t.router, pattern, cfg);
+  ASSERT_EQ(curve.points.size(), 1u);
+  const PercolationPoint& pt = curve.points[0];
+  EXPECT_EQ(pt.connected_fraction, 0.0);
+  EXPECT_EQ(pt.largest_component_fraction, 1.0 / 16.0);
+  EXPECT_EQ(pt.st_reachability, 0.0);
+  EXPECT_TRUE(std::isnan(pt.delivered_fraction));
+  EXPECT_TRUE(std::isnan(curve.healthy_avg_latency));
+}
+
+TEST(Percolation, StructureMetricsDegradeMonotonicallyInP) {
+  // Not a theorem per-sample, but with the same trial count the averaged
+  // largest-component fraction should not *increase* as p rises across the
+  // whole range — a coarse sanity net for the aggregation plumbing.
+  const TestNet t = kary42();
+  const auto pattern = sim::uniform_traffic(t.net.num_nodes());
+  PercolationConfig cfg = small_config();
+  cfg.probabilities = {0.0, 0.3, 1.0};
+  cfg.trials = 8;
+  cfg.with_simulation = false;
+  const PercolationCurve curve =
+      percolation_sweep(t.net, t.router, pattern, cfg);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_GE(curve.points[0].largest_component_fraction,
+            curve.points[1].largest_component_fraction - 0.2);
+  EXPECT_GE(curve.points[1].largest_component_fraction,
+            curve.points[2].largest_component_fraction);
+}
+
+// --- circulant detection ----------------------------------------------------
+
+TEST(Supergraph, CirculantSpecDetection) {
+  const auto ring = circulant_spec(ring_graph(6));
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->n, 6u);
+  EXPECT_EQ(ring->offsets, (std::vector<std::size_t>{1}));
+
+  const auto complete = circulant_spec(complete_graph(5));
+  ASSERT_TRUE(complete.has_value());
+  EXPECT_EQ(complete->offsets, (std::vector<std::size_t>{1, 2}));
+
+  // Q3 under the binary labelling is not circulant.
+  EXPECT_FALSE(circulant_spec(hypercube_graph(3)).has_value());
+}
+
+// --- k-fault supergraphs ----------------------------------------------------
+
+TEST(Supergraph, CirculantWideningShapes) {
+  const Supergraph sg = k_fault_supergraph(ring_graph(6), 1);
+  EXPECT_EQ(sg.method, "circulant");
+  EXPECT_EQ(sg.graph.num_nodes(), 7u);
+  EXPECT_EQ(sg.spares, 1u);
+  EXPECT_EQ(sg.original_edges, 6u);
+  // C7(1,2): 2 offsets x 7 nodes = 14 edges, 8 beyond the ring's 6.
+  EXPECT_EQ(sg.graph.num_edges(), 14u);
+  EXPECT_EQ(sg.extra_edges, 8u);
+  EXPECT_EQ(sg.max_degree, 4u);
+}
+
+TEST(Supergraph, UniversalSparesShapes) {
+  const Supergraph sg = k_fault_supergraph(hypercube_graph(3), 2);
+  EXPECT_EQ(sg.method, "universal-spares");
+  EXPECT_EQ(sg.graph.num_nodes(), 10u);
+  EXPECT_EQ(sg.extra_edges, 2u * 8u + 1u);  // k*n + C(k,2)
+  EXPECT_EQ(sg.max_degree, 9u);             // each spare sees all 9 others
+}
+
+TEST(Supergraph, ContainmentHoldsForSmallNuclei) {
+  const std::vector<std::pair<const char*, Graph>> nuclei = []() {
+    std::vector<std::pair<const char*, Graph>> v;
+    v.emplace_back("C6", ring_graph(6));
+    v.emplace_back("C8", ring_graph(8));
+    v.emplace_back("K4", complete_graph(4));
+    v.emplace_back("Q3", hypercube_graph(3));
+    return v;
+  }();
+  for (const auto& [name, g] : nuclei) {
+    for (const std::size_t k : {1u, 2u}) {
+      const Supergraph sg = k_fault_supergraph(g, k);
+      const ContainmentReport report = verify_k_containment(g, sg, k);
+      EXPECT_TRUE(report.passed())
+          << name << " k=" << k << " " << report.first_failure;
+      EXPECT_TRUE(report.exhaustive) << name << " k=" << k;
+      EXPECT_GT(report.subsets_checked, 0u);
+    }
+  }
+}
+
+TEST(Supergraph, BoundedDegreeBeatsUniversalSparesOnRings) {
+  // The point of the circulant construction: tolerance without hub nodes.
+  // Edge counts can go either way at tiny n, but the universal-spare node
+  // is adjacent to *everything* while the circulant degree stays flat.
+  const Supergraph circ = k_fault_supergraph(ring_graph(8), 1);
+  const Supergraph univ = k_fault_universal(ring_graph(8), 1);
+  EXPECT_EQ(circ.method, "circulant");
+  EXPECT_LT(circ.max_degree, univ.max_degree);  // 4 vs 8
+}
+
+TEST(Supergraph, VerifierCatchesAnInsufficientSupergraph) {
+  // Negative control: C7 with the *unwidened* offset set {1} is just a
+  // bigger ring; deleting one node leaves a path, which cannot contain C6.
+  // The verifier must prove that, not assume the construction was right.
+  Supergraph bogus;
+  bogus.graph = ring_graph(7);
+  bogus.original_nodes = 6;
+  bogus.spares = 1;
+  bogus.original_edges = 6;
+  bogus.extra_edges = 1;
+  bogus.max_degree = 2;
+  bogus.method = "bogus";
+  const ContainmentReport report =
+      verify_k_containment(ring_graph(6), bogus, 1);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.exhaustive);      // C(7,1) = 7 subsets
+  EXPECT_EQ(report.failures, 7u);      // every deletion breaks the cycle
+  EXPECT_FALSE(report.first_failure.empty());
+}
+
+TEST(Supergraph, SampledVerificationWhenSubsetsExplode) {
+  // Force the sampled path with a tiny budget; it must still pass and be
+  // flagged non-exhaustive with exactly the budgeted subset count.
+  const Graph g = hypercube_graph(3);
+  const Supergraph sg = k_fault_supergraph(g, 2);
+  const ContainmentReport report =
+      verify_k_containment(g, sg, 2, /*max_subsets=*/10, /*seed=*/3);
+  EXPECT_TRUE(report.passed());
+  EXPECT_FALSE(report.exhaustive);  // C(10,2) = 45 > 10
+  EXPECT_EQ(report.subsets_checked, 10u);
+}
+
+}  // namespace
+}  // namespace ipg::resilience

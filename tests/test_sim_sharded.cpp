@@ -339,6 +339,31 @@ TEST(Sharded, BoundedBuffersRejected) {
   EXPECT_THROW(run_batch(t.net, t.router, perm, cfg), std::invalid_argument);
 }
 
+TEST(Sharded, BoundedBuffersRejectedWithStructuredError) {
+  // The rejection is a named type (so callers can branch on it, not parse
+  // prose) whose message explains the why and names the engines that do
+  // support bounded buffers.
+  const TestNet t = kary42();
+  SimConfig cfg;
+  cfg.engine = Engine::kSharded;
+  cfg.node_buffer_packets = 2;
+  util::Xoshiro256 rng(9);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  try {
+    (void)run_batch(t.net, t.router, perm, cfg);
+    FAIL() << "expected UnsupportedSimConfig";
+  } catch (const UnsupportedSimConfig& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kSharded"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node_buffer_packets"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kArena"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kReference"), std::string::npos) << msg;
+  }
+  // Other engines accept the same config unchanged.
+  cfg.engine = Engine::kArena;
+  EXPECT_NO_THROW((void)run_batch(t.net, t.router, perm, cfg));
+}
+
 // --- topology::make_domain_cut unit tests ---
 
 TEST(DomainCut, ChipAlignedWhenChipsSuffice) {

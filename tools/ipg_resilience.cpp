@@ -1,0 +1,341 @@
+// ipg_resilience — production-scale fault-tolerance studies CLI.
+//
+//   ipg_resilience [--smoke] [--percolation] [--supergraph]
+//                  [--out-dir DIR]
+//
+// Two studies (both run when neither --percolation nor --supergraph is
+// given):
+//   percolation — Monte Carlo availability sweeps: Bernoulli(p) link
+//     failures over super-IPG fabrics (HSN, SFN) and their hypercube /
+//     k-ary comparison networks, measuring surviving structure (largest
+//     component, s–t reachability) and surviving service (delivered
+//     fraction, latency inflation, reroute overhead) under fault-aware
+//     rerouting. Emits BENCH_percolation.json (schema ipg-percolation-v1).
+//   supergraph — k-fault-tolerant supergraph augmentation of small nuclei
+//     (Ganesan circulant widening vs Hayes universal spares), containment
+//     verified from scratch per construction, with the extra-link cost of
+//     augmenting every chip of an MCMP fabric. Emits RESILIENCE.json
+//     (schema ipg-resilience-v1).
+//
+// --smoke shrinks both studies to a seconds-scale CI gate (fewer nets,
+// fewer probabilities, fewer trials) with the same schemas. Exit status: 0
+// on success (including all containment checks passing), 1 when any
+// supergraph containment check fails, 2 on usage errors.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "resilience/percolation.hpp"
+#include "resilience/supergraph.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::topology;
+using namespace ipg::sim;
+using namespace ipg::resilience;
+
+struct Net {
+  std::string name;
+  Graph graph;
+  Clustering chips;
+  SimNetwork network;
+  Router router;
+};
+
+Net from_super(SuperIpg ipg) {
+  auto s = std::make_shared<SuperIpg>(std::move(ipg));
+  Graph g = s->to_graph();
+  Clustering chips = s->nucleus_clustering();
+  return {s->name(), Graph(g), Clustering(chips),
+          mcmp::make_unit_chip_network(std::move(g), std::move(chips), 1.0),
+          [s](NodeId a, NodeId b) { return s->route(a, b); }};
+}
+
+Net from_hypercube(unsigned n, std::size_t m_per_chip) {
+  Graph g = hypercube_graph(n);
+  Clustering chips = hypercube_subcube_clustering(n, m_per_chip);
+  return {"Q" + std::to_string(n), Graph(g), Clustering(chips),
+          mcmp::make_unit_chip_network(std::move(g), std::move(chips), 1.0),
+          hypercube_router(n)};
+}
+
+std::vector<Net> build_networks(bool smoke) {
+  std::vector<Net> nets;
+  if (smoke) {
+    nets.push_back(from_super(make_hsn(2, std::make_shared<HypercubeNucleus>(2))));
+    nets.push_back(from_super(make_sfn(2, std::make_shared<HypercubeNucleus>(2))));
+    nets.push_back(from_hypercube(4, 4));
+  } else {
+    nets.push_back(from_super(make_hsn(2, std::make_shared<HypercubeNucleus>(3))));
+    nets.push_back(from_super(make_sfn(3, std::make_shared<HypercubeNucleus>(2))));
+    nets.push_back(from_hypercube(6, 8));
+  }
+  return nets;
+}
+
+void json_number(std::ostream& os, double v) {
+  // JSON has no NaN/inf; null keeps "undefined" distinguishable from 0.
+  if (std::isnan(v) || std::isinf(v)) {
+    os << "null";
+  } else {
+    os << v;
+  }
+}
+
+void emit_percolation_json(std::ostream& os,
+                           const std::vector<PercolationCurve>& curves,
+                           const PercolationConfig& cfg, bool smoke) {
+  os << "{\n  \"schema\": \"ipg-percolation-v1\",\n  \"smoke\": "
+     << (smoke ? "true" : "false") << ",\n  \"failure_mode\": \""
+     << (cfg.mode == FailureMode::kLinks ? "links" : "nodes")
+     << "\",\n  \"offchip_only\": " << (cfg.offchip_only ? "true" : "false")
+     << ",\n  \"trials\": " << cfg.trials << ",\n  \"seed\": " << cfg.seed
+     << ",\n  \"st_samples\": " << cfg.st_samples
+     << ",\n  \"rate\": " << cfg.rate
+     << ",\n  \"inject_cycles\": " << cfg.inject_cycles
+     << ",\n  \"curves\": {\n";
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const PercolationCurve& curve = curves[c];
+    os << "    \"" << curve.name << "\": {\n      \"healthy_avg_latency\": ";
+    json_number(os, curve.healthy_avg_latency);
+    os << ",\n      \"points\": [\n";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const PercolationPoint& pt = curve.points[i];
+      os << "        {\"p\": " << pt.p << ", \"trials\": " << pt.trials
+         << ", \"connected_fraction\": " << pt.connected_fraction
+         << ", \"largest_component_fraction\": "
+         << pt.largest_component_fraction
+         << ", \"st_reachability\": " << pt.st_reachability
+         << ", \"delivered_fraction\": " << pt.delivered_fraction
+         << ", \"latency_inflation\": ";
+      json_number(os, pt.latency_inflation);
+      os << ", \"reroute_hops_per_delivered\": ";
+      json_number(os, pt.reroute_hops_per_delivered);
+      os << ", \"retransmits_per_injected\": " << pt.retransmits_per_injected
+         << "}" << (i + 1 < curve.points.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n    }" << (c + 1 < curves.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+int run_percolation(bool smoke, const std::string& out_dir) {
+  PercolationConfig cfg;
+  cfg.mode = FailureMode::kLinks;
+  cfg.offchip_only = true;  // chip-internal wiring assumed reliable (MCMP)
+  if (smoke) {
+    cfg.probabilities = {0.0, 0.1, 0.3};
+    cfg.trials = 4;
+    cfg.inject_cycles = 100;
+  } else {
+    cfg.probabilities = {0.0, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4};
+    cfg.trials = 24;
+    cfg.inject_cycles = 200;
+  }
+  cfg.seed = 1;
+  cfg.rate = 0.05;
+  cfg.sim.packet_length_flits = 4;
+  cfg.sim.max_retries = 2;
+  cfg.sim.retry_backoff_cycles = 32;
+
+  std::vector<PercolationCurve> curves;
+  for (const Net& net : build_networks(smoke)) {
+    std::cerr << "[percolation] " << net.name << " ("
+              << net.graph.num_nodes() << " nodes)\n";
+    curves.push_back(percolation_sweep(net.network, net.router,
+                                       uniform_traffic(net.network.num_nodes()),
+                                       cfg));
+    util::Table t;
+    t.header({"p", "connected", "lcc frac", "s-t reach", "delivered",
+              "lat infl", "reroute/pkt", "retx/inj"});
+    for (const PercolationPoint& pt : curves.back().points) {
+      t.add(pt.p, pt.connected_fraction, pt.largest_component_fraction,
+            pt.st_reachability, pt.delivered_fraction, pt.latency_inflation,
+            pt.reroute_hops_per_delivered, pt.retransmits_per_injected);
+    }
+    std::cout << "--- " << curves.back().name << " ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const std::string path = out_dir + "/BENCH_percolation.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  emit_percolation_json(out, curves, cfg, smoke);
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+struct SupergraphRow {
+  std::string nucleus;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::string method;
+  std::size_t extra_edges = 0;
+  std::size_t baseline_extra_edges = 0;  ///< universal-spares cost
+  std::size_t max_degree = 0;
+  ContainmentReport report;
+};
+
+void emit_resilience_json(std::ostream& os,
+                          const std::vector<SupergraphRow>& rows,
+                          bool smoke) {
+  os << "{\n  \"schema\": \"ipg-resilience-v1\",\n  \"smoke\": "
+     << (smoke ? "true" : "false") << ",\n  \"supergraphs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SupergraphRow& r = rows[i];
+    os << "    {\"nucleus\": \"" << r.nucleus << "\", \"n\": " << r.n
+       << ", \"k\": " << r.k << ", \"method\": \"" << r.method
+       << "\", \"extra_edges\": " << r.extra_edges
+       << ", \"universal_spares_extra_edges\": " << r.baseline_extra_edges
+       << ", \"cost_ratio\": ";
+    json_number(os, r.baseline_extra_edges > 0
+                        ? static_cast<double>(r.extra_edges) /
+                              static_cast<double>(r.baseline_extra_edges)
+                        : std::nan(""));
+    os << ", \"max_degree\": " << r.max_degree
+       << ", \"subsets_checked\": " << r.report.subsets_checked
+       << ", \"exhaustive\": " << (r.report.exhaustive ? "true" : "false")
+       << ", \"containment_failures\": " << r.report.failures << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run_supergraph(bool smoke, const std::string& out_dir) {
+  struct Nucleus {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Nucleus> nuclei;
+  nuclei.push_back({"C6", ring_graph(6)});
+  nuclei.push_back({"C8", ring_graph(8)});
+  nuclei.push_back({"K5", complete_graph(5)});
+  nuclei.push_back({"Q3", hypercube_graph(3)});
+
+  const std::vector<std::size_t> ks = smoke ? std::vector<std::size_t>{1}
+                                            : std::vector<std::size_t>{1, 2};
+
+  std::vector<SupergraphRow> rows;
+  bool all_passed = true;
+  for (const Nucleus& nu : nuclei) {
+    for (const std::size_t k : ks) {
+      const Supergraph sg = k_fault_supergraph(nu.graph, k);
+      const Supergraph base = k_fault_universal(nu.graph, k);
+      SupergraphRow row;
+      row.nucleus = nu.name;
+      row.n = nu.graph.num_nodes();
+      row.k = k;
+      row.method = sg.method;
+      row.extra_edges = sg.extra_edges;
+      row.baseline_extra_edges = base.extra_edges;
+      row.max_degree = sg.max_degree;
+      row.report = verify_k_containment(nu.graph, sg, k);
+      if (!row.report.passed()) {
+        all_passed = false;
+        std::cerr << "CONTAINMENT FAILURE: " << nu.name << " k=" << k
+                  << " deleted={" << row.report.first_failure << "}\n";
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  util::Table t;
+  t.header({"nucleus", "n", "k", "method", "extra edges", "universal extra",
+            "max deg", "subsets", "exhaustive", "failures"});
+  for (const SupergraphRow& r : rows) {
+    t.add(r.nucleus, r.n, r.k, r.method, r.extra_edges,
+          r.baseline_extra_edges, r.max_degree, r.report.subsets_checked,
+          r.report.exhaustive ? "yes" : "sampled", r.report.failures);
+  }
+  std::cout << "--- k-fault supergraph augmentation ---\n";
+  t.print(std::cout);
+
+  // MCMP chip-level cost: augmenting every chip of HSN(2,C8) with the
+  // circulant construction vs giving every Q3-subcube chip of Q6 universal
+  // spares — the per-chip gap times the chip count.
+  {
+    const Supergraph ring1 = k_fault_supergraph(ring_graph(8), 1);
+    const Supergraph cube1 = k_fault_supergraph(hypercube_graph(3), 1);
+    const std::size_t hsn_chips =
+        make_hsn(2, std::make_shared<RingNucleus>(8)).nucleus_clustering()
+            .num_clusters();
+    const std::size_t q6_chips = 64 / 8;
+    std::cout << "\nper-chip augmentation cost (k=1): HSN(2,C8) "
+              << hsn_chips << " chips x " << ring1.extra_edges
+              << " extra links (" << ring1.method << ") = "
+              << hsn_chips * ring1.extra_edges << " vs Q6 " << q6_chips
+              << " chips x " << cube1.extra_edges << " (" << cube1.method
+              << ") = " << q6_chips * cube1.extra_edges << "\n";
+  }
+
+  const std::string path = out_dir + "/RESILIENCE.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  emit_resilience_json(out, rows, smoke);
+  std::cout << "wrote " << path << "\n";
+  return all_passed ? 0 : 1;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--smoke] [--percolation] [--supergraph] [--out-dir DIR]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool percolation = false;
+  bool supergraph = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--percolation") {
+      percolation = true;
+    } else if (arg == "--supergraph") {
+      supergraph = true;
+    } else if (arg == "--out-dir") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_dir = argv[++i];
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (!percolation && !supergraph) percolation = supergraph = true;
+
+  int status = 0;
+  if (percolation) {
+    const int rc = run_percolation(smoke, out_dir);
+    if (rc != 0) return rc;
+  }
+  if (supergraph) {
+    const int rc = run_supergraph(smoke, out_dir);
+    if (rc != 0) status = rc;
+  }
+  return status;
+}
