@@ -1,0 +1,149 @@
+// Cold-vs-warm benchmark for the content-addressed result store
+// (docs/DESIGN_SPACE.md): evaluates the stock design-space grid twice
+// against a fresh store — the first pass computes and persists every
+// simulation replicate and static metric bundle, the second must be served
+// entirely from disk. Asserts (exit 1 on violation):
+//   - the warm pass has a 100% hit rate (every sim job and static bundle),
+//   - the warm pass is >= 10x faster than the cold pass,
+//   - every metric of every design is bit-identical across the passes.
+// Emits BENCH_design_space.json so CI tracks the speedup and hit rate.
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "explore/design_space.hpp"
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using explore::DesignMetrics;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Every result-bearing field (the cache-accounting fields are expected to
+/// differ between the passes and are excluded).
+bool metrics_identical(const DesignMetrics& a, const DesignMetrics& b) {
+  return a.name == b.name && a.nodes == b.nodes &&
+         a.num_chips == b.num_chips && a.chip_size == b.chip_size &&
+         bits_equal(a.offchip_links_per_node, b.offchip_links_per_node) &&
+         bits_equal(a.offchip_link_bandwidth, b.offchip_link_bandwidth) &&
+         bits_equal(a.avg_ic_distance, b.avg_ic_distance) &&
+         a.ic_diameter == b.ic_diameter &&
+         bits_equal(a.bisection_measured, b.bisection_measured) &&
+         bits_equal(a.batch_throughput, b.batch_throughput) &&
+         bits_equal(a.batch_avg_latency, b.batch_avg_latency) &&
+         bits_equal(a.open_avg_latency, b.open_avg_latency) &&
+         bits_equal(a.open_p99_latency, b.open_p99_latency);
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path root = "BENCH_design_cache";
+  std::filesystem::remove_all(root);
+  store::ResultStore cache(root);
+  cache.set_log(&std::cerr);
+
+  const auto grid = explore::default_grid(/*smoke=*/false);
+  explore::ExploreConfig cfg;
+  cfg.cache = &cache;
+  cfg.seed_replicates = 8;
+
+  const auto t_cold = Clock::now();
+  const auto cold = explore::evaluate_grid(grid, cfg);
+  const double cold_s = seconds_since(t_cold);
+  const store::StoreStats cold_stats = cache.stats();
+
+  const auto t_warm = Clock::now();
+  const auto warm = explore::evaluate_grid(grid, cfg);
+  const double warm_s = seconds_since(t_warm);
+  const store::StoreStats warm_stats = cache.stats();
+
+  // Warm-pass hit accounting: every sim job and every static bundle must
+  // have come from the store.
+  std::size_t warm_jobs = 0, warm_hits = 0, warm_static_misses = 0;
+  for (const DesignMetrics& m : warm) {
+    warm_jobs += m.sim_jobs;
+    warm_hits += m.sim_cache_hits;
+    if (!m.static_from_cache) ++warm_static_misses;
+  }
+  bool identical = cold.size() == warm.size();
+  for (std::size_t i = 0; identical && i < cold.size(); ++i) {
+    identical = metrics_identical(cold[i], warm[i]);
+    if (!identical) {
+      std::cerr << "FAIL: " << cold[i].name
+                << " differs between cold and warm passes\n";
+    }
+  }
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+  const bool all_hits = warm_hits == warm_jobs && warm_static_misses == 0;
+  const bool fast_enough = speedup >= 10.0;
+
+  util::Table t;
+  t.header({"pass", "seconds", "sim jobs", "sim hits", "static misses"});
+  std::size_t cold_jobs = 0, cold_hits = 0, cold_static_misses = 0;
+  for (const DesignMetrics& m : cold) {
+    cold_jobs += m.sim_jobs;
+    cold_hits += m.sim_cache_hits;
+    if (!m.static_from_cache) ++cold_static_misses;
+  }
+  t.add("cold", cold_s, cold_jobs, cold_hits, cold_static_misses);
+  t.add("warm", warm_s, warm_jobs, warm_hits, warm_static_misses);
+  t.print(std::cout);
+  std::cout << "warm speedup: " << speedup << "x (floor 10x), hit rate "
+            << warm_hits << "/" << warm_jobs << ", bit-identical: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  const auto emit = [&](std::ostream& os) {
+    util::JsonWriter w(os);
+    w.begin_object()
+        .field("schema", "ipg-design-space-bench-v1")
+        .field("grid_points", static_cast<std::uint64_t>(grid.size()))
+        .field("seed_replicates", static_cast<std::uint64_t>(cfg.seed_replicates))
+        .field("cold_seconds", cold_s)
+        .field("warm_seconds", warm_s)
+        .field("warm_speedup", speedup)
+        .field("warm_sim_jobs", static_cast<std::uint64_t>(warm_jobs))
+        .field("warm_sim_hits", static_cast<std::uint64_t>(warm_hits))
+        .field("warm_static_misses",
+               static_cast<std::uint64_t>(warm_static_misses))
+        .field("bit_identical", identical)
+        .field("all_hits", all_hits)
+        .field("speedup_floor_met", fast_enough);
+    w.begin_object("store")
+        .field("entries", cache.entry_count())
+        .field("hits", warm_stats.hits)
+        .field("misses", warm_stats.misses)
+        .field("corrupt", warm_stats.corrupt)
+        .field("writes", warm_stats.writes)
+        .field("bytes_written", warm_stats.bytes_written)
+        .field("cold_pass_writes", cold_stats.writes)
+        .end_object();
+    w.end_object();
+    os << "\n";
+  };
+  emit(std::cout);
+  std::ofstream out("BENCH_design_space.json");
+  emit(out);
+
+  if (!all_hits) std::cerr << "FAIL: warm pass was not 100% cache hits\n";
+  if (!fast_enough) {
+    std::cerr << "FAIL: warm speedup " << speedup << "x below the 10x floor\n";
+  }
+  return identical && all_hits && fast_enough ? 0 : 1;
+}

@@ -20,6 +20,7 @@
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "topology/super_ipg.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -66,31 +67,34 @@ struct Point {
 
 void emit_json(std::ostream& os,
                const std::vector<std::pair<std::string, std::vector<Point>>>& curves) {
-  os << "{\n  \"workload\": \"open-loop uniform, rate 0.05, 400 inject "
-        "cycles, 16-flit packets, 3 retries, k off-chip links dead from "
-        "t=0\",\n  \"curves\": {\n";
-  for (std::size_t c = 0; c < curves.size(); ++c) {
-    os << "    \"" << curves[c].first << "\": [\n";
-    const auto& pts = curves[c].second;
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      const SimResult& r = pts[i].result;
-      os << "      {\"dead_offchip_links\": " << pts[i].dead_links
-         << ", \"throughput_flits_per_node_cycle\": "
-         << r.throughput_flits_per_node_cycle
-         << ", \"delivered_fraction\": " << r.delivered_fraction
-         << ", \"packets_dropped\": " << r.packets_dropped
-         << ", \"packets_retransmitted\": " << r.packets_retransmitted
-         << ", \"reroute_hops\": " << r.reroute_hops;
+  util::JsonWriter w(os);
+  w.begin_object().field(
+      "workload",
+      "open-loop uniform, rate 0.05, 400 inject cycles, 16-flit packets, "
+      "3 retries, k off-chip links dead from t=0");
+  w.begin_object("curves");
+  for (const auto& [name, pts] : curves) {
+    w.begin_array(name);
+    for (const Point& pt : pts) {
+      const SimResult& r = pt.result;
+      w.begin_object()
+          .field("dead_offchip_links", static_cast<std::uint64_t>(pt.dead_links))
+          .field("throughput_flits_per_node_cycle",
+                 r.throughput_flits_per_node_cycle)
+          .field("delivered_fraction", r.delivered_fraction)
+          .field("packets_dropped", static_cast<std::uint64_t>(r.packets_dropped))
+          .field("packets_retransmitted",
+                 static_cast<std::uint64_t>(r.packets_retransmitted))
+          .field("reroute_hops", static_cast<std::uint64_t>(r.reroute_hops));
       // Zero-delivery points report NaN latency, which JSON cannot carry —
       // omit the field rather than emit a 0 that reads as perfect latency.
-      if (!std::isnan(r.avg_latency_cycles)) {
-        os << ", \"avg_latency_cycles\": " << r.avg_latency_cycles;
-      }
-      os << "}" << (i + 1 < pts.size() ? "," : "") << "\n";
+      w.field_if_finite("avg_latency_cycles", r.avg_latency_cycles);
+      w.end_object();
     }
-    os << "    ]" << (c + 1 < curves.size() ? "," : "") << "\n";
+    w.end_array();
   }
-  os << "  }\n}\n";
+  w.end_object().end_object();
+  os << "\n";
 }
 
 }  // namespace

@@ -105,12 +105,15 @@ int main() {
                     sim::kary_router(8, 2)});
     std::vector<sim::SweepJob> jobs;
     for (const TeNet& n : nets)
-      jobs.push_back({n.name, [&n, cfg]() {
+      jobs.push_back({n.name,
+                      [&n, cfg]() {
                         return sim::run_total_exchange(n.net, n.router, cfg);
-                      }});
-    for (const auto& [label, r] : sim::run_sweep(jobs))
-      t3.add(label, r.packets_delivered, r.makespan_cycles,
-             r.throughput_flits_per_node_cycle, r.avg_offchip_hops);
+                      },
+                      {}});
+    for (const sim::SweepOutcome& o : sim::run_sweep(jobs))
+      t3.add(o.label, o.result.packets_delivered, o.result.makespan_cycles,
+             o.result.throughput_flits_per_node_cycle,
+             o.result.avg_offchip_hops);
     t3.print(std::cout);
     std::cout << "(The executed makespans follow the off-chip transmission "
                "counts — the §4.1 throughput argument, end to end.)\n";

@@ -5,6 +5,11 @@
 // perf trajectory across commits; the acceptance floor for this overhaul
 // is total exchange >= 3x the pre-arena engine.
 //
+// With --cache-dir DIR the replicate and rate sweeps run through the
+// content-addressed result store (src/store), making repeated invocations
+// warm-start incremental; the default stays uncached so the tracked perf
+// numbers always measure the engines, never the disk.
+//
 // A second section measures the sharded parallel engine's strong-scaling
 // curve — a fixed 64k-node HSN(4, Q4) cyclic-exchange workload at K = 1, 2,
 // 4, ... domains, bit-checked against the kArena baseline — and drives one
@@ -23,8 +28,11 @@
 #include "mcmp/capacity.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "store/fingerprint.hpp"
+#include "store/result_store.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -48,17 +56,33 @@ struct Measurement {
 
 void emit_json(std::ostream& os, const std::vector<Measurement>& rows,
                double sweep_1thread_s, double sweep_pool_s,
-               std::size_t pool_threads) {
-  os << "{\n  \"network\": \"Q9 (512 nodes, 32 chips x 16 nodes, unit chip "
-        "capacity)\",\n";
+               std::size_t pool_threads, const ipg::store::ResultStore* cache) {
+  ipg::util::JsonWriter w(os);
+  w.begin_object().field(
+      "network", "Q9 (512 nodes, 32 chips x 16 nodes, unit chip capacity)");
   for (const Measurement& m : rows) {
-    os << "  \"" << m.name << "\": {\"packets\": " << m.packets
-       << ", \"seconds\": " << m.seconds
-       << ", \"packets_per_sec\": " << m.packets_per_sec() << "},\n";
+    w.begin_object(m.name)
+        .field("packets", static_cast<std::uint64_t>(m.packets))
+        .field("seconds", m.seconds)
+        .field("packets_per_sec", m.packets_per_sec())
+        .end_object();
   }
-  os << "  \"rate_sweep_16pt\": {\"seconds_1_thread\": " << sweep_1thread_s
-     << ", \"seconds_pool\": " << sweep_pool_s
-     << ", \"pool_threads\": " << pool_threads << "}\n}\n";
+  w.begin_object("rate_sweep_16pt")
+      .field("seconds_1_thread", sweep_1thread_s)
+      .field("seconds_pool", sweep_pool_s)
+      .field("pool_threads", static_cast<std::uint64_t>(pool_threads))
+      .end_object();
+  if (cache != nullptr) {
+    const ipg::store::StoreStats s = cache->stats();
+    w.begin_object("cache")
+        .field("root", cache->root().string())
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("writes", s.writes)
+        .end_object();
+  }
+  w.end_object();
+  os << "\n";
 }
 
 /// Cyclic-offset exchange rounds: round r has every node v send one packet
@@ -144,31 +168,55 @@ int run_sharded_scaling(std::ostream& json) {
   const double big_s = seconds_since(tb);
   const bool big_ok = big_res.packets_delivered == big_inj.size();
 
-  json << "{\n  \"network\": \"HSN(4, Q4) (65536 nodes, 4096 chips x 16 "
-          "nodes)\",\n  \"workload\": \"4-round cyclic exchange, "
-       << injections.size() << " packets\",\n  \"pool_threads\": " << pool
-       << ",\n  \"arena_baseline\": {\"seconds\": " << arena_s
-       << "},\n  \"sharded\": [\n";
+  util::JsonWriter w(json);
+  w.begin_object()
+      .field("network", "HSN(4, Q4) (65536 nodes, 4096 chips x 16 nodes)")
+      .field("workload", "4-round cyclic exchange, " +
+                             std::to_string(injections.size()) + " packets")
+      .field("pool_threads", static_cast<std::uint64_t>(pool));
+  w.begin_object("arena_baseline").field("seconds", arena_s).end_object();
   bool all_identical = true;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    all_identical = all_identical && rows[i].bit_identical;
-    json << "    {\"domains\": " << rows[i].domains
-         << ", \"seconds\": " << rows[i].seconds << ", \"speedup_vs_arena\": "
-         << arena_s / rows[i].seconds << ", \"bit_identical\": "
-         << (rows[i].bit_identical ? "true" : "false") << "}"
-         << (i + 1 < rows.size() ? ",\n" : "\n");
+  w.begin_array("sharded");
+  for (const ScaleRow& row : rows) {
+    all_identical = all_identical && row.bit_identical;
+    w.begin_object()
+        .field("domains", row.domains)
+        .field("seconds", row.seconds)
+        .field("speedup_vs_arena", arena_s / row.seconds)
+        .field("bit_identical", row.bit_identical)
+        .end_object();
   }
-  json << "  ],\n  \"million_node\": {\"network\": \"HSN(5, Q4)\", "
-          "\"nodes\": "
-       << big_net.num_nodes() << ", \"packets\": " << big_inj.size()
-       << ", \"seconds\": " << big_s << ", \"delivered_all\": "
-       << (big_ok ? "true" : "false") << "}\n}\n";
+  w.end_array();
+  w.begin_object("million_node")
+      .field("network", "HSN(5, Q4)")
+      .field("nodes", static_cast<std::uint64_t>(big_net.num_nodes()))
+      .field("packets", static_cast<std::uint64_t>(big_inj.size()))
+      .field("seconds", big_s)
+      .field("delivered_all", big_ok)
+      .end_object();
+  w.end_object();
+  json << "\n";
   return all_identical && big_ok ? 0 : 1;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional warm-start mode: --cache-dir DIR routes the replicate and rate
+  // sweeps through the content-addressed store. Off by default so the
+  // tracked perf numbers always measure the engines.
+  std::unique_ptr<store::ResultStore> cache;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-dir" && i + 1 < argc) {
+      cache = std::make_unique<store::ResultStore>(argv[++i]);
+      cache->set_log(&std::cerr);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--cache-dir DIR]\n";
+      return 2;
+    }
+  }
+
   const auto net = mcmp::make_unit_chip_network(
       topology::hypercube_graph(9),
       topology::hypercube_subcube_clustering(9, 16), 1.0);
@@ -194,10 +242,16 @@ int main() {
   {
     std::vector<std::uint64_t> seeds;
     for (std::uint64_t s = 1; s <= 16; ++s) seeds.push_back(s);
-    const auto jobs = batch_replicate_sweep(net, router, seeds, cfg);
+    auto jobs = batch_replicate_sweep(net, router, seeds, cfg);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      SimConfig keyed = cfg;
+      keyed.seed = seeds[i];
+      jobs[i].cache_key = store::sim_cache_key(
+          net, "ecube", store::workload_batch_perm(seeds[i]), keyed);
+    }
     auto t0 = Clock::now();
     const auto outcomes =
-        run_sweep(jobs, util::ThreadPool::global(), &progress);
+        run_sweep(jobs, util::ThreadPool::global(), &progress, cache.get());
     std::size_t packets = 0;
     for (const auto& o : outcomes) packets += o.result.packets_delivered;
     rows.push_back({"batch", packets, seconds_since(t0)});
@@ -209,16 +263,22 @@ int main() {
   for (int i = 1; i <= 16; ++i) rates.push_back(0.01 * i);
   SimConfig open_cfg = cfg;
   open_cfg.packet_length_flits = 8;
-  const auto jobs = open_rate_sweep(net, router, uniform_traffic(net.num_nodes()),
-                                    rates, 200, open_cfg);
+  auto jobs = open_rate_sweep(net, router, uniform_traffic(net.num_nodes()),
+                              rates, 200, open_cfg);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].cache_key = store::sim_cache_key(
+        net, "ecube", store::workload_open(rates[i], 200, "uniform"), open_cfg);
+  }
   // Both timed runs carry the same progress reporter so the 1-thread vs
-  // pool comparison stays apples to apples.
+  // pool comparison stays apples to apples. (In --cache-dir mode the serial
+  // pass seeds the store, so the pooled pass measures warm-start loads.)
   util::ThreadPool one(1);
   auto t1 = Clock::now();
-  const auto serial = run_sweep(jobs, one, &progress);
+  const auto serial = run_sweep(jobs, one, &progress, cache.get());
   const double sweep_1thread_s = seconds_since(t1);
   auto t2 = Clock::now();
-  const auto pooled = run_sweep(jobs, util::ThreadPool::global(), &progress);
+  const auto pooled =
+      run_sweep(jobs, util::ThreadPool::global(), &progress, cache.get());
   const double sweep_pool_s = seconds_since(t2);
   for (std::size_t i = 0; i < serial.size(); ++i) {
     if (serial[i].result.avg_latency_cycles !=
@@ -230,9 +290,11 @@ int main() {
   }
 
   const std::size_t pool_threads = util::ThreadPool::global().size();
-  emit_json(std::cout, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
+  emit_json(std::cout, rows, sweep_1thread_s, sweep_pool_s, pool_threads,
+            cache.get());
   std::ofstream out("BENCH_sim.json");
-  emit_json(out, rows, sweep_1thread_s, sweep_pool_s, pool_threads);
+  emit_json(out, rows, sweep_1thread_s, sweep_pool_s, pool_threads,
+            cache.get());
 
   // Sharded-engine strong scaling + million-node run (BENCH_sim_scale.json).
   std::ofstream scale_out("BENCH_sim_scale.json");

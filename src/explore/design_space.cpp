@@ -1,0 +1,339 @@
+#include "explore/design_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "mcmp/capacity.hpp"
+#include "metrics/distances.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "store/fingerprint.hpp"
+#include "store/result_store.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::explore {
+namespace {
+
+using namespace ipg::topology;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kMaxNodes = std::size_t{1} << 20;
+
+/// Version salt for the cached static-metric bundle: bump when the metric
+/// set, their definitions, or the bisection heuristic parameters change.
+constexpr std::uint64_t kStaticMetricsVersion = 1;
+
+bool is_super_family(const std::string& family) {
+  return family == "hsn" || family == "sfn" || family == "ring-cn" ||
+         family == "complete-cn";
+}
+
+/// One built candidate: everything evaluate() needs, with the SuperIpg (if
+/// any) kept alive for the router.
+struct BuiltDesign {
+  std::shared_ptr<const SuperIpg> ipg;  ///< null for baselines
+  Graph graph;
+  Clustering chips;
+  sim::SimNetwork network;
+  sim::Router router;
+  /// Cache tag for the router. The network fingerprint alone is NOT enough
+  /// to key a sim: distinct families can share a graph (every l = 2 super
+  /// family is the same swap construction) while their canonical route
+  /// functions are family-specific, so the tag carries the family.
+  std::string router_tag;
+  double bisection_closed_form = kNaN;
+};
+
+BuiltDesign build(const DesignPoint& p) {
+  validate_point(p);
+  if (is_super_family(p.family)) {
+    auto nucleus = std::make_shared<HypercubeNucleus>(p.nucleus_dim);
+    SuperIpg built = p.family == "hsn"   ? make_hsn(p.levels, nucleus)
+                     : p.family == "sfn" ? make_sfn(p.levels, nucleus)
+                     : p.family == "ring-cn"
+                         ? make_ring_cn(p.levels, nucleus)
+                         : make_complete_cn(p.levels, nucleus);
+    auto s = std::make_shared<const SuperIpg>(std::move(built));
+    Graph g = s->to_graph();
+    Clustering chips = s->nucleus_clustering();
+    double closed = kNaN;
+    if (p.family == "hsn" || p.family == "sfn") {
+      // Cor 4.8 (exact for HSN; SFN shares the formula at w = 1).
+      closed = mcmp::hsn_bisection_bandwidth(1.0, s->num_nodes(),
+                                             s->nucleus_size(), p.levels);
+    }
+    sim::SimNetwork net =
+        mcmp::make_unit_chip_network(Graph(g), Clustering(chips), 1.0);
+    return {s,
+            std::move(g),
+            std::move(chips),
+            std::move(net),
+            sim::super_ipg_router(*s),
+            "super-" + p.family,
+            closed};
+  }
+  if (p.family == "hypercube") {
+    const unsigned n = static_cast<unsigned>(p.levels);
+    Graph g = hypercube_graph(n);
+    Clustering chips = hypercube_subcube_clustering(n, p.chip_size);
+    const double closed = mcmp::hypercube_bisection_bandwidth(
+        1.0, g.num_nodes(), p.chip_size);
+    sim::SimNetwork net =
+        mcmp::make_unit_chip_network(Graph(g), Clustering(chips), 1.0);
+    return {nullptr,
+            std::move(g),
+            std::move(chips),
+            std::move(net),
+            sim::hypercube_router(n),
+            "ecube",
+            closed};
+  }
+  // kary2: levels-ary 2-cube with square chips.
+  const auto side = static_cast<std::size_t>(std::llround(
+      std::sqrt(static_cast<double>(p.chip_size))));
+  Graph g = kary_ncube_graph(p.levels, 2);
+  Clustering chips = kary2_block_clustering(p.levels, side);
+  const double closed =
+      mcmp::kary2_bisection_bandwidth(1.0, g.num_nodes(), p.chip_size);
+  sim::SimNetwork net =
+      mcmp::make_unit_chip_network(Graph(g), Clustering(chips), 1.0);
+  return {nullptr,
+          std::move(g),
+          std::move(chips),
+          std::move(net),
+          sim::kary_router(p.levels, 2),
+          "kary-ecube",
+          closed};
+}
+
+/// Canonical key of the cached static bundle for one network.
+std::string static_metrics_key(const sim::SimNetwork& net) {
+  store::Fingerprint fp;
+  fp.field("net", std::string_view(store::fingerprint_network(net).hex()))
+      .field("kind", "design-static")
+      .field("metrics-version", kStaticMetricsVersion);
+  return fp.canonical();
+}
+
+// Extras names of the static bundle, fixed by kStaticMetricsVersion.
+constexpr const char* kOffchipPerNode = "offchip_links_per_node";
+constexpr const char* kLinkBandwidth = "offchip_link_bandwidth";
+constexpr const char* kAvgIc = "avg_ic_distance";
+constexpr const char* kIcDiameter = "ic_diameter";
+constexpr const char* kBisection = "bisection_measured";
+
+bool extras_get(const store::Record& rec, const char* name, double& out) {
+  for (const auto& [k, v] : rec.extras) {
+    if (k == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Fills the static half of @p m, through the cache when one is attached.
+/// The record is stored via the full-record (extras) interface, so it must
+/// come from a ResultStore; a plain ResultCache (test double) recomputes.
+void static_metrics(const BuiltDesign& d, const ExploreConfig& cfg,
+                    DesignMetrics& m) {
+  auto* store_cache = dynamic_cast<store::ResultStore*>(cfg.cache);
+  const std::string key =
+      store_cache != nullptr ? static_metrics_key(d.network) : std::string();
+  if (store_cache != nullptr) {
+    if (auto rec = store_cache->load(key); rec.has_value()) {
+      double diam = 0;
+      if (extras_get(*rec, kOffchipPerNode, m.offchip_links_per_node) &&
+          extras_get(*rec, kLinkBandwidth, m.offchip_link_bandwidth) &&
+          extras_get(*rec, kAvgIc, m.avg_ic_distance) &&
+          extras_get(*rec, kIcDiameter, diam) &&
+          extras_get(*rec, kBisection, m.bisection_measured)) {
+        m.ic_diameter = static_cast<std::size_t>(diam);
+        m.static_from_cache = true;
+        return;
+      }
+      // Incomplete bundle (schema drift without a version bump would be a
+      // bug, but never trust it): fall through and recompute.
+    }
+  }
+  const auto census = census_links(d.graph, d.chips);
+  const auto ic = metrics::intercluster_stats(d.graph, d.chips);
+  const auto link = mcmp::chip_link_stats(d.graph, d.chips, 1.0);
+  m.offchip_links_per_node = census.avg_offchip_per_node;
+  m.offchip_link_bandwidth = link.offchip_link_bandwidth;
+  m.avg_ic_distance = ic.average;
+  m.ic_diameter = ic.diameter;
+  m.bisection_measured =
+      mcmp::measured_bisection_bandwidth(d.graph, d.chips, 1.0);
+  if (store_cache != nullptr) {
+    store::Record rec;
+    rec.extras = {{kOffchipPerNode, m.offchip_links_per_node},
+                  {kLinkBandwidth, m.offchip_link_bandwidth},
+                  {kAvgIc, m.avg_ic_distance},
+                  {kIcDiameter, static_cast<double>(m.ic_diameter)},
+                  {kBisection, m.bisection_measured}};
+    store_cache->put(key, rec);
+  }
+}
+
+}  // namespace
+
+std::string display_name(const DesignPoint& p) {
+  if (is_super_family(p.family)) {
+    std::string fam = p.family == "hsn"   ? "HSN"
+                      : p.family == "sfn" ? "SFN"
+                      : p.family == "ring-cn" ? "ring-CN"
+                                              : "complete-CN";
+    return fam + "(" + std::to_string(p.levels) + ",Q" +
+           std::to_string(p.nucleus_dim) + ")";
+  }
+  if (p.family == "hypercube") {
+    return "Q" + std::to_string(p.levels) + "[" + std::to_string(p.chip_size) +
+           "/chip]";
+  }
+  return std::to_string(p.levels) + "-ary 2-cube[" +
+         std::to_string(p.chip_size) + "/chip]";
+}
+
+void validate_point(const DesignPoint& p) {
+  if (is_super_family(p.family)) {
+    IPG_CHECK(p.levels >= 2 && p.levels <= 8, "super-IPG levels must be 2..8");
+    IPG_CHECK(p.nucleus_dim >= 1 && p.nucleus_dim <= 10,
+              "nucleus must be Q1..Q10");
+    const double nodes =
+        std::pow(std::pow(2.0, p.nucleus_dim), static_cast<double>(p.levels));
+    IPG_CHECK(nodes <= static_cast<double>(kMaxNodes),
+              "design exceeds the explorer's 2^20-node cap");
+    return;
+  }
+  if (p.family == "hypercube") {
+    IPG_CHECK(p.levels >= 1 && p.levels <= 20, "hypercube dimension must be 1..20");
+    IPG_CHECK(p.chip_size >= 1 && (p.chip_size & (p.chip_size - 1)) == 0 &&
+                  p.chip_size <= (std::size_t{1} << p.levels),
+              "chip size must be a power of two <= node count");
+    return;
+  }
+  if (p.family == "kary2") {
+    IPG_CHECK(p.levels >= 2 && p.levels <= 1024, "k-ary 2-cube k must be 2..1024");
+    const auto side = static_cast<std::size_t>(std::llround(
+        std::sqrt(static_cast<double>(p.chip_size))));
+    IPG_CHECK(side * side == p.chip_size && side >= 1 && p.levels % side == 0,
+              "kary2 chip size must be a square whose side divides k");
+    return;
+  }
+  IPG_CHECK(false, "unknown design family '" + p.family +
+                       "' (hsn, sfn, ring-cn, complete-cn, hypercube, kary2)");
+}
+
+std::vector<DesignPoint> default_grid(bool smoke) {
+  std::vector<DesignPoint> grid;
+  const std::vector<std::pair<std::size_t, unsigned>> params = {
+      {2, 2}, {2, 3}, {2, 4}, {3, 2}};
+  for (const char* fam : {"hsn", "sfn", "ring-cn", "complete-cn"}) {
+    for (const auto& [levels, ndim] : params) {
+      grid.push_back({fam, levels, ndim, 0});
+    }
+  }
+  if (!smoke) {
+    grid.push_back({"hypercube", 8, 0, 16});
+    grid.push_back({"kary2", 16, 0, 16});
+  }
+  return grid;
+}
+
+DesignMetrics evaluate(const DesignPoint& p, const ExploreConfig& cfg) {
+  const BuiltDesign d = build(p);
+  DesignMetrics m;
+  m.point = p;
+  m.name = display_name(p);
+  m.nodes = d.graph.num_nodes();
+  m.num_chips = d.chips.num_clusters();
+  m.chip_size = m.num_chips > 0 ? m.nodes / m.num_chips : 0;
+  m.bisection_closed_form = d.bisection_closed_form;
+
+  static_metrics(d, cfg, m);
+
+  // Simulation replicates: batch random permutations (the §4 throughput
+  // column) plus one optional open-loop latency point. Every job carries a
+  // content-addressed key, so a warm cache satisfies the whole sweep
+  // without invoking an engine.
+  sim::SimConfig base;
+  base.packet_length_flits = 16;
+  std::vector<sim::SweepJob> jobs;
+  const sim::SimNetwork& net = d.network;
+  const sim::Router& router = d.router;
+  for (std::size_t i = 0; i < cfg.seed_replicates; ++i) {
+    const std::uint64_t seed = cfg.base_seed + i;
+    sim::SimConfig c = base;
+    c.seed = seed;
+    jobs.push_back({"seed " + std::to_string(seed),
+                    [&net, router, seed, c]() {
+                      util::Xoshiro256 rng(seed);
+                      const auto perm =
+                          sim::random_permutation(net.num_nodes(), rng);
+                      return sim::run_batch(net, router, perm, c);
+                    },
+                    store::sim_cache_key(net, d.router_tag,
+                                         store::workload_batch_perm(seed), c)});
+  }
+  if (cfg.with_open_loop) {
+    sim::SimConfig c = base;
+    c.seed = cfg.base_seed;
+    const double rate = cfg.open_rate;
+    const std::size_t cycles = cfg.open_inject_cycles;
+    jobs.push_back(
+        {"open rate " + std::to_string(rate),
+         [&net, router, rate, cycles, c]() {
+           return sim::run_open(net, router,
+                                sim::uniform_traffic(net.num_nodes()), rate,
+                                cycles, c);
+         },
+         store::sim_cache_key(net, d.router_tag,
+                              store::workload_open(rate, cycles, "uniform"),
+                              c)});
+  }
+
+  util::ThreadPool& pool =
+      cfg.pool != nullptr ? *cfg.pool : util::ThreadPool::global();
+  const auto outcomes = sim::run_sweep(jobs, pool, cfg.progress, cfg.cache);
+
+  double tp = 0, lat = 0;
+  for (std::size_t i = 0; i < cfg.seed_replicates; ++i) {
+    tp += outcomes[i].result.throughput_flits_per_node_cycle;
+    lat += outcomes[i].result.avg_latency_cycles;
+  }
+  const auto reps = static_cast<double>(std::max<std::size_t>(1, cfg.seed_replicates));
+  m.batch_throughput = cfg.seed_replicates > 0 ? tp / reps : kNaN;
+  m.batch_avg_latency = cfg.seed_replicates > 0 ? lat / reps : kNaN;
+  if (cfg.with_open_loop) {
+    const sim::SimResult& open = outcomes.back().result;
+    m.open_avg_latency = open.avg_latency_cycles;
+    m.open_p99_latency = open.p99_latency_cycles;
+  } else {
+    m.open_avg_latency = kNaN;
+    m.open_p99_latency = kNaN;
+  }
+  m.sim_jobs = outcomes.size();
+  m.sim_cache_hits = static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const sim::SweepOutcome& o) { return o.from_cache; }));
+  return m;
+}
+
+std::vector<DesignMetrics> evaluate_grid(std::span<const DesignPoint> grid,
+                                         const ExploreConfig& cfg) {
+  std::vector<DesignMetrics> out;
+  out.reserve(grid.size());
+  for (const DesignPoint& p : grid) out.push_back(evaluate(p, cfg));
+  return out;
+}
+
+}  // namespace ipg::explore

@@ -1,0 +1,103 @@
+#pragma once
+// Design-space explorer (docs/DESIGN_SPACE.md): the §4 MCMP decision
+// procedure — which interconnect should tie M-node chips together? —
+// as a query-able, cache-backed library.
+//
+// A DesignPoint names one candidate fabric (family + construction params);
+// evaluate() builds it and reports the paper's decision metrics (off-chip
+// links per node, off-chip link width, intercluster distance, bisection
+// bandwidth) plus simulated random-routing throughput and latency. Every
+// expensive sub-result — the static metric bundle and each simulation
+// replicate — is keyed by a content-addressed fingerprint (store/
+// fingerprint.hpp) and served through an optional sim::ResultCache, so
+// repeated sweeps over overlapping grids are incremental: a warm re-run
+// performs zero simulator invocations and zero bisection searches.
+//
+// tools/ipg_design is the CLI over this library; bench_design_space times
+// the cold-vs-warm gap on the same grid.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::explore {
+
+/// One candidate fabric. Super-IPG families (hsn, sfn, ring-cn,
+/// complete-cn) are built over a Q_{nucleus_dim} hypercube nucleus with
+/// `levels` levels (chips = nucleus copies). Baselines: "hypercube" is
+/// Q_{levels} with chip_size-node subcube chips; "kary2" is a levels-ary
+/// 2-cube with square chips of chip_size nodes.
+struct DesignPoint {
+  std::string family;        ///< hsn | sfn | ring-cn | complete-cn | hypercube | kary2
+  std::size_t levels = 2;
+  unsigned nucleus_dim = 4;  ///< super families only
+  std::size_t chip_size = 16;  ///< baselines only (super chips = nucleus)
+};
+
+/// Human name, e.g. "HSN(2,Q4)" / "Q8[16/chip]" / "16-ary 2-cube[16/chip]".
+std::string display_name(const DesignPoint& p);
+
+/// Throws (util::check) unless @p p names a known family with buildable
+/// parameters (node count capped at 2^20 — the explorer is for the
+/// decision sweep, not the million-node scale runs).
+void validate_point(const DesignPoint& p);
+
+struct ExploreConfig {
+  /// Cross-run result cache (src/store's ResultStore, or null = always
+  /// compute). Both the static metric bundle and every sim replicate go
+  /// through it.
+  sim::ResultCache* cache = nullptr;
+  std::size_t seed_replicates = 4;   ///< batch random-permutation replicates
+  std::uint64_t base_seed = 501;     ///< replicate i runs seed base_seed + i
+  bool with_open_loop = true;        ///< add one open-loop latency point
+  double open_rate = 0.08;
+  std::size_t open_inject_cycles = 300;
+  util::ThreadPool* pool = nullptr;  ///< null = ThreadPool::global()
+  sim::SweepProgress* progress = nullptr;  ///< per-design sweep progress
+};
+
+struct DesignMetrics {
+  DesignPoint point;
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t num_chips = 0;
+  std::size_t chip_size = 0;
+  // Static §4 decision metrics (unit per-node off-chip budget w = 1).
+  double offchip_links_per_node = 0;  ///< intercluster degree
+  double offchip_link_bandwidth = 0;  ///< link width under unit chip capacity
+  double avg_ic_distance = 0;
+  std::size_t ic_diameter = 0;
+  double bisection_measured = 0;      ///< cluster-respecting heuristic
+  double bisection_closed_form = 0;   ///< Cor 4.8/4.9/4.10; NaN if none
+  // Simulated service (means over the batch replicates).
+  double batch_throughput = 0;  ///< flits/node/cycle
+  double batch_avg_latency = 0;
+  double open_avg_latency = 0;  ///< NaN when with_open_loop is false
+  double open_p99_latency = 0;
+  // Cache accounting for this evaluation.
+  bool static_from_cache = false;
+  std::size_t sim_jobs = 0;
+  std::size_t sim_cache_hits = 0;
+};
+
+/// The stock comparison grid: every super-IPG family at (l=2, Q2..Q4) and
+/// (l=3, Q2) — 4 families x 4 param points — plus the Q8 and 16-ary 2-cube
+/// baselines with 16-node chips. Smoke keeps the 4x4 family grid (the
+/// warm-cache CI gate needs it) but drops the baselines.
+std::vector<DesignPoint> default_grid(bool smoke);
+
+/// Evaluates one point: builds the fabric, serves/computes the static
+/// bundle and the simulation replicates through cfg.cache, and aggregates.
+/// Deterministic for a fixed config; cache state changes only wall time
+/// and the accounting fields.
+DesignMetrics evaluate(const DesignPoint& p, const ExploreConfig& cfg);
+
+/// evaluate() over a grid, in order.
+std::vector<DesignMetrics> evaluate_grid(std::span<const DesignPoint> grid,
+                                         const ExploreConfig& cfg);
+
+}  // namespace ipg::explore

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sim/sweep.hpp"
+#include "store/fingerprint.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -156,15 +157,29 @@ PercolationCurve percolation_sweep(const sim::SimNetwork& net,
   // stateful route caches must never be shared across worker threads).
   const double rate = cfg.rate;
   const std::size_t inject_cycles = cfg.inject_cycles;
+  // Caching engages only when the caller both supplied a cache and tagged
+  // the opaque Router/TrafficPattern callables — an untagged callable can't
+  // be keyed soundly. The per-trial FaultPlan is covered by the SimConfig
+  // fingerprint, so every trial keys distinctly.
+  const bool keyed = cfg.cache != nullptr && !cfg.router_tag.empty() &&
+                     !cfg.pattern_tag.empty();
+  const std::string workload =
+      keyed ? store::workload_open(rate, inject_cycles, cfg.pattern_tag)
+            : std::string();
+  const auto job_key = [&](const sim::SimConfig& job_cfg) {
+    return keyed ? store::sim_cache_key(net, cfg.router_tag, workload, job_cfg)
+                 : std::string();
+  };
   if (cfg.with_simulation) {
     sim::SimConfig healthy = base;
     healthy.fault_plan = nullptr;
     healthy.seed = util::derive_seed(cfg.seed, 0);
-    jobs.push_back({"healthy", [&net, route, pattern, rate, inject_cycles,
-                                healthy] {
+    jobs.push_back({"healthy",
+                    [&net, route, pattern, rate, inject_cycles, healthy] {
                       return sim::run_open(net, route, pattern, rate,
                                            inject_cycles, healthy);
-                    }});
+                    },
+                    job_key(healthy)});
   }
   for (std::size_t pi = 0; pi < cfg.probabilities.size(); ++pi) {
     const double p = cfg.probabilities[pi];
@@ -205,13 +220,14 @@ PercolationCurve percolation_sweep(const sim::SimNetwork& net,
                         [&net, route, pattern, rate, inject_cycles, job_cfg] {
                           return sim::run_open(net, route, pattern, rate,
                                                inject_cycles, job_cfg);
-                        }});
+                        },
+                        job_key(job_cfg)});
       }
     }
   }
 
   std::vector<sim::SweepOutcome> outcomes;
-  if (cfg.with_simulation) outcomes = sim::run_sweep(jobs, pool);
+  if (cfg.with_simulation) outcomes = sim::run_sweep(jobs, pool, nullptr, cfg.cache);
   std::size_t next_outcome = 0;
   if (cfg.with_simulation) {
     curve.healthy_avg_latency = outcomes[next_outcome++].result.avg_latency_cycles;

@@ -26,6 +26,7 @@
 
 #include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "sim/traffic.hpp"
 #include "topology/graph.hpp"
 #include "util/thread_pool.hpp"
@@ -115,6 +116,19 @@ struct PercolationConfig {
   /// degraded runs at 50x the injection window so blackout trials with
   /// deep retry ladders still terminate promptly.
   sim::SimConfig sim;
+
+  // -- optional cross-run result cache (src/store). Every trial's failure
+  // set — and so its FaultPlan — is a pure function of (seed, p index,
+  // trial index), and the plan is part of the key, so a warm cache replays
+  // an identical sweep with zero simulator (and zero router) invocations.
+  sim::ResultCache* cache = nullptr;
+  /// Names the Router passed to percolation_sweep. Routers are opaque
+  /// callables, so caching is keyed on this tag: REQUIRED non-empty for
+  /// caching to engage, and the caller must change it whenever the routing
+  /// function changes ("canonical" for the stock per-topology routers).
+  std::string router_tag;
+  /// Same contract for the TrafficPattern ("uniform" for uniform_traffic).
+  std::string pattern_tag;
 };
 
 struct PercolationPoint {

@@ -19,11 +19,13 @@ void StreamSweepProgress::on_job_done(const SweepOutcome& outcome,
                                       std::size_t done, std::size_t total) {
   const std::lock_guard<std::mutex> lock(mu_);
   packets_ += outcome.result.packets_delivered;
+  if (outcome.from_cache) ++cache_hits_;
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   os_ << "[sweep " << done << "/" << total << "] " << outcome.label << ": "
       << outcome.result.packets_delivered << " delivered";
+  if (outcome.from_cache) os_ << " [cached]";
   if (secs > 0) {
     os_ << " | " << static_cast<double>(packets_) / secs << " pkt/s";
   }
@@ -36,13 +38,15 @@ void StreamSweepProgress::on_sweep_end() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   os_ << "[sweep] done: " << packets_ << " packets delivered in " << secs
-      << "s\n"
-      << std::flush;
+      << "s";
+  if (cache_hits_ > 0) os_ << " (" << cache_hits_ << " jobs from cache)";
+  os_ << "\n" << std::flush;
 }
 
 std::vector<SweepOutcome> run_sweep(const std::vector<SweepJob>& jobs,
                                     util::ThreadPool& pool,
-                                    SweepProgress* progress) {
+                                    SweepProgress* progress,
+                                    ResultCache* cache) {
   std::vector<SweepOutcome> outcomes(jobs.size());
   if (progress != nullptr) progress->on_sweep_begin(jobs.size());
   std::atomic<std::size_t> done{0};
@@ -50,7 +54,13 @@ std::vector<SweepOutcome> run_sweep(const std::vector<SweepJob>& jobs,
       0, jobs.size(),
       [&](std::size_t i) {
         outcomes[i].label = jobs[i].label;
-        outcomes[i].result = jobs[i].run();
+        const bool keyed = cache != nullptr && !jobs[i].cache_key.empty();
+        if (keyed && cache->lookup(jobs[i].cache_key, outcomes[i].result)) {
+          outcomes[i].from_cache = true;
+        } else {
+          outcomes[i].result = jobs[i].run();
+          if (keyed) cache->store(jobs[i].cache_key, outcomes[i].result);
+        }
         if (progress != nullptr) {
           progress->on_job_done(
               outcomes[i], done.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -75,7 +85,8 @@ std::vector<SweepJob> open_rate_sweep(const SimNetwork& net,
                     [&net, route, pattern, rate, inject_cycles, base]() {
                       return run_open(net, route, pattern, rate,
                                       inject_cycles, base);
-                    }});
+                    },
+                    {}});
   }
   return jobs;
 }
@@ -95,7 +106,8 @@ std::vector<SweepJob> batch_replicate_sweep(const SimNetwork& net,
                       SimConfig cfg = base;
                       cfg.seed = seed;
                       return run_batch(net, route, perm, cfg);
-                    }});
+                    },
+                    {}});
   }
   return jobs;
 }
@@ -115,7 +127,8 @@ std::vector<SweepJob> switching_sweep(const SimNetwork& net,
                       SimConfig cfg = base;
                       cfg.switching = mode;
                       return run_batch(net, route, dst, cfg);
-                    }});
+                    },
+                    {}});
   }
   return jobs;
 }
@@ -135,7 +148,8 @@ std::vector<SweepJob> fault_plan_sweep(
                       cfg.fault_plan = plan;
                       return run_open(net, route, pattern, rate,
                                       inject_cycles, cfg);
-                    }});
+                    },
+                    {}});
   }
   return jobs;
 }

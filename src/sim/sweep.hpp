@@ -28,14 +28,42 @@ namespace ipg::sim {
 /// One independent simulation: a label for reporting plus a closure that
 /// runs it. The closure must be self-contained and thread-safe (capture
 /// shared state by value or const reference only).
+///
+/// cache_key (optional, empty = never cached) is the job's canonical
+/// content address (store/fingerprint.hpp builds them). When run_sweep is
+/// handed a ResultCache, keyed jobs are looked up before computing and
+/// persisted after; the engines' bit-identity guarantee makes the two paths
+/// indistinguishable — provided the key really covers every input the job
+/// reads, which is the key producer's contract.
 struct SweepJob {
   std::string label;
   std::function<SimResult()> run;
+  std::string cache_key;
 };
 
 struct SweepOutcome {
   std::string label;
   SimResult result;
+  bool from_cache = false;  ///< satisfied by a ResultCache hit, not computed
+};
+
+/// Lookup-before-compute / persist-after-compute hook for run_sweep.
+/// Implementations must be thread-safe (worker threads share one cache) and
+/// must only return results that are bit-identical to recomputation —
+/// src/store's content-addressed ResultStore is the shipped implementation.
+/// Defined here (not in src/store) so the sim layer stays free of any
+/// storage dependency; in-memory test doubles implement it directly.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+
+  /// True and fills @p out when @p key is present. A failed or corrupt
+  /// entry must read as absent, never throw into the sweep.
+  virtual bool lookup(const std::string& key, SimResult& out) = 0;
+
+  /// Persists a freshly computed result under @p key. Must not throw;
+  /// best-effort persistence (a full disk degrades to pass-through).
+  virtual void store(const std::string& key, const SimResult& result) = 0;
 };
 
 /// Job-level progress hook for run_sweep. This observes sweep *jobs*, not
@@ -59,7 +87,8 @@ class SweepProgress {
 
 /// Shipped SweepProgress: one line per completed job — counter, label,
 /// delivered packets, elapsed wall time, and cumulative delivered-packet
-/// throughput. The benches hand it std::cerr so stdout stays pure JSON.
+/// throughput; cache hits are marked "[cached]" and totalled at the end.
+/// The benches hand it std::cerr so stdout stays pure JSON.
 class StreamSweepProgress final : public SweepProgress {
  public:
   explicit StreamSweepProgress(std::ostream& os) : os_(os) {}
@@ -74,14 +103,19 @@ class StreamSweepProgress final : public SweepProgress {
   std::mutex mu_;
   std::chrono::steady_clock::time_point start_{};
   std::size_t packets_ = 0;  ///< delivered, cumulative over finished jobs
+  std::size_t cache_hits_ = 0;
 };
 
 /// Runs all jobs across @p pool; outcomes come back in job order.
 /// @p progress (may be null) hears each completion as it happens.
+/// @p cache (may be null) serves keyed jobs before compute and persists
+/// fresh results after; because cached results are bit-identical to
+/// recomputes, the sweep's outcomes are unchanged by any cache state —
+/// only wall-clock time and SweepOutcome::from_cache differ.
 std::vector<SweepOutcome> run_sweep(
     const std::vector<SweepJob>& jobs,
     util::ThreadPool& pool = util::ThreadPool::global(),
-    SweepProgress* progress = nullptr);
+    SweepProgress* progress = nullptr, ResultCache* cache = nullptr);
 
 /// Open-loop latency-vs-load curve: one job per rate point, all with the
 /// same seed and pattern. @p net must outlive the jobs.

@@ -1,0 +1,213 @@
+#include "store/fingerprint.hpp"
+
+#include <bit>
+
+#include "sim/network.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::store {
+namespace {
+
+/// One 64-bit accumulation lane: multiply-xor over 8-byte words with a
+/// SplitMix64 finalizer per word. Deterministic function of (seed, bytes).
+class HashLane {
+ public:
+  explicit HashLane(std::uint64_t seed) : h_(seed) {}
+
+  void mix(std::uint64_t word) noexcept {
+    std::uint64_t s = h_ ^ word;
+    h_ = util::splitmix64(s) + 0x9e3779b97f4a7c15ull * (len_++ + 1);
+  }
+
+  std::uint64_t finish() const noexcept {
+    std::uint64_t s = h_ ^ len_;
+    return util::splitmix64(s);
+  }
+
+ private:
+  std::uint64_t h_;
+  std::uint64_t len_ = 0;
+};
+
+std::uint64_t load_word(const char* p, std::size_t n) noexcept {
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return w;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string hex64(std::uint64_t v) {
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kHexDigits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string double_bits(double v) { return hex64(std::bit_cast<std::uint64_t>(v)); }
+
+/// Streaming Fingerprint-style hasher for bulk structures (graphs, traces)
+/// where materializing a canonical string would be wasteful.
+class StructHash {
+ public:
+  StructHash() : a_(0x9e3779b97f4a7c15ull), b_(0xd1b54a32d192ed03ull) {}
+  void mix(std::uint64_t w) noexcept {
+    a_.mix(w);
+    b_.mix(~w);
+  }
+  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+  Hash128 finish() const noexcept { return {a_.finish(), b_.finish()}; }
+
+ private:
+  HashLane a_;
+  HashLane b_;
+};
+
+}  // namespace
+
+std::string Hash128::hex() const { return hex64(hi) + hex64(lo); }
+
+Hash128 hash128(std::string_view bytes) {
+  HashLane a(0x9e3779b97f4a7c15ull);
+  HashLane b(0xd1b54a32d192ed03ull);
+  for (std::size_t off = 0; off < bytes.size(); off += 8) {
+    const std::uint64_t w =
+        load_word(bytes.data() + off, std::min<std::size_t>(8, bytes.size() - off));
+    a.mix(w);
+    b.mix(~w);
+  }
+  return {a.finish(), b.finish()};
+}
+
+Fingerprint::Fingerprint() {
+  canonical_ = "schema=" + std::to_string(kSchemaVersion);
+}
+
+Fingerprint& Fingerprint::field(std::string_view name, std::string_view value) {
+  IPG_CHECK(name.find('|') == std::string_view::npos &&
+                name.find('=') == std::string_view::npos,
+            "fingerprint field name must not contain '|' or '='");
+  IPG_CHECK(value.find('|') == std::string_view::npos &&
+                value.find('=') == std::string_view::npos,
+            "fingerprint field value must not contain '|' or '='");
+  canonical_.push_back('|');
+  canonical_.append(name);
+  canonical_.push_back('=');
+  canonical_.append(value);
+  return *this;
+}
+
+Fingerprint& Fingerprint::field(std::string_view name, std::uint64_t value) {
+  return field(name, std::string_view(std::to_string(value)));
+}
+
+Fingerprint& Fingerprint::field(std::string_view name, double value) {
+  return field(name, std::string_view(double_bits(value)));
+}
+
+Hash128 fingerprint_network(const sim::SimNetwork& net) {
+  const topology::Graph& g = net.graph();
+  StructHash h;
+  h.mix(std::uint64_t{0x4e455457});  // "NETW" domain tag
+  h.mix(static_cast<std::uint64_t>(g.num_nodes()));
+  h.mix(static_cast<std::uint64_t>(g.num_dims()));
+  for (topology::NodeId v = 0; v < g.num_nodes(); ++v) {
+    // CSR row boundaries are implied by per-node degree; arcs carry
+    // (target, dimension). Arc order matters: the engines scan ports in
+    // CSR order, so two networks differing only in port order can route
+    // differently under faults.
+    const auto arcs = g.arcs_of(v);
+    h.mix(static_cast<std::uint64_t>(arcs.size()));
+    for (const topology::Arc& a : arcs) {
+      h.mix((static_cast<std::uint64_t>(a.to) << 16) |
+            static_cast<std::uint64_t>(a.dim));
+    }
+  }
+  const topology::Clustering& chips = net.chips();
+  h.mix(static_cast<std::uint64_t>(chips.num_clusters()));
+  for (topology::NodeId v = 0; v < g.num_nodes(); ++v) {
+    h.mix(static_cast<std::uint64_t>(chips.cluster_of(v)));
+  }
+  for (sim::LinkId l = 0; l < net.num_links(); ++l) {
+    h.mix(net.bandwidth(l));
+  }
+  return h.finish();
+}
+
+std::string fingerprint_sim_config(const sim::SimConfig& cfg) {
+  Fingerprint fp;
+  fp.field("engine", static_cast<std::uint64_t>(cfg.engine))
+      .field("switching", static_cast<std::uint64_t>(cfg.switching))
+      .field("len", cfg.packet_length_flits)
+      .field("lat", cfg.link_latency_cycles)
+      .field("buf", static_cast<std::uint64_t>(cfg.node_buffer_packets))
+      .field("seed", cfg.seed)
+      .field("domains", static_cast<std::uint64_t>(cfg.shard_domains))
+      .field("retries", static_cast<std::uint64_t>(cfg.max_retries))
+      .field("backoff", cfg.retry_backoff_cycles)
+      .field("misroute", static_cast<std::uint64_t>(cfg.misroute_budget))
+      .field("cutoff", cfg.max_cycles);
+  if (cfg.fault_plan != nullptr && !cfg.fault_plan->empty()) {
+    StructHash h;
+    h.mix(std::uint64_t{0x504c414e});  // "PLAN" domain tag
+    for (const sim::FaultEvent& e : cfg.fault_plan->events()) {
+      h.mix(e.time);
+      h.mix((static_cast<std::uint64_t>(e.kind) << 56) |
+            (static_cast<std::uint64_t>(e.a) << 28) |
+            static_cast<std::uint64_t>(e.b));
+    }
+    fp.field("plan_events", static_cast<std::uint64_t>(cfg.fault_plan->size()));
+    fp.field("plan", std::string_view(h.finish().hex()));
+  } else {
+    fp.field("plan", "none");
+  }
+  // Strip the builder's "schema=N|" prefix: the config fragment nests
+  // inside a full key that already carries the schema field.
+  const std::string& canon = fp.canonical();
+  const std::size_t bar = canon.find('|');
+  return canon.substr(bar + 1);
+}
+
+std::string sim_cache_key(const sim::SimNetwork& net,
+                          std::string_view router_tag,
+                          std::string_view workload,
+                          const sim::SimConfig& cfg) {
+  Fingerprint fp;
+  fp.field("net", std::string_view(fingerprint_network(net).hex()))
+      .field("router", router_tag)
+      .field("workload", workload);
+  return fp.canonical() + "|" + fingerprint_sim_config(cfg);
+}
+
+std::string workload_batch_perm(std::uint64_t seed) {
+  return "batch-perm:" + std::to_string(seed);
+}
+
+std::string workload_open(double rate, std::size_t inject_cycles,
+                          std::string_view pattern_tag) {
+  IPG_CHECK(pattern_tag.find('|') == std::string_view::npos &&
+                pattern_tag.find('=') == std::string_view::npos,
+            "pattern tag must not contain '|' or '='");
+  return "open:" + double_bits(rate) + ":" + std::to_string(inject_cycles) +
+         ":" + std::string(pattern_tag);
+}
+
+std::string workload_total_exchange() { return "total-exchange"; }
+
+std::string workload_trace(std::span<const sim::Injection> injections) {
+  StructHash h;
+  h.mix(std::uint64_t{0x54524143});  // "TRAC" domain tag
+  for (const sim::Injection& inj : injections) {
+    h.mix((static_cast<std::uint64_t>(inj.src) << 32) |
+          static_cast<std::uint64_t>(inj.dst));
+    h.mix(inj.time);
+  }
+  return "trace:" + std::to_string(injections.size()) + ":" + h.finish().hex();
+}
+
+}  // namespace ipg::store

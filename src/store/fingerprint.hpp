@@ -1,0 +1,122 @@
+#pragma once
+// Canonical, versioned fingerprints for simulation work units
+// (docs/DESIGN_SPACE.md).
+//
+// A cache key must identify *everything* a SimResult is a function of:
+// the network (graph structure, dimension labels, chip partition, per-link
+// bandwidths), the workload (which run_* entry point, with which
+// parameters), the SimConfig (engine, switching, fault plan, retry policy,
+// ...), and the seed. The engines' bit-identity guarantee makes such a key
+// sound: two runs with equal fingerprints produce bit-identical SimResults,
+// so a cache hit is indistinguishable from a recompute.
+//
+// Keys have two layers:
+//   - a human-readable canonical string ("schema=...|net=...|workload=...|
+//     cfg=..."), built field by field through Fingerprint. Doubles are
+//     encoded as hex bit patterns, never decimal — two configs differing in
+//     the last ulp must key differently.
+//   - a 128-bit content hash of that string, used for on-disk addressing.
+// The store writes the canonical string into every record and compares it
+// on load, so even a 128-bit hash collision degrades to a miss, never to a
+// wrong result.
+//
+// Versioning: kSchemaVersion salts every key. Bump it whenever the meaning
+// of a SimResult field, the canonical encoding, or engine semantics change
+// — old cache entries then simply never match again (no migration code).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/simulator.hpp"
+
+namespace ipg::sim {
+class SimNetwork;
+}
+
+namespace ipg::store {
+
+/// Bump on any change to key encoding, record layout, or engine semantics
+/// that could map an old key to a differently-valued result.
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  /// 32 lowercase hex chars, hi first.
+  std::string hex() const;
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// 128-bit content hash of a byte string (two independently seeded 64-bit
+/// mix streams; stable across platforms and runs — on-disk addresses must
+/// never depend on process state).
+Hash128 hash128(std::string_view bytes);
+
+/// Builder for canonical key strings: an ordered sequence of name=value
+/// fields joined with '|'. Field order is part of the canonical form —
+/// always append in a fixed order. Values must not contain '|' or '='
+/// (checked); doubles are written as 16-hex-digit bit patterns.
+class Fingerprint {
+ public:
+  Fingerprint();
+
+  Fingerprint& field(std::string_view name, std::string_view value);
+  Fingerprint& field(std::string_view name, std::uint64_t value);
+  Fingerprint& field(std::string_view name, double value);  ///< bit pattern
+
+  /// The canonical string so far (starts with "schema=<version>").
+  const std::string& canonical() const noexcept { return canonical_; }
+  Hash128 hash() const { return hash128(canonical_); }
+
+ private:
+  std::string canonical_;
+};
+
+/// Content hash of everything a simulation reads from the network: node
+/// count, CSR arc structure with dimension labels, chip assignment, and
+/// per-directed-link bandwidths (bit patterns). Two networks with equal
+/// fingerprints are indistinguishable to the engines.
+Hash128 fingerprint_network(const sim::SimNetwork& net);
+
+/// Canonical "cfg=..." fragment covering every SimConfig knob that can
+/// change a SimResult: engine, switching, packet length, link latency,
+/// buffer bound, seed, shard domains, the full fault plan (every event),
+/// and the retry/misroute/cutoff policy. The observer is deliberately
+/// excluded — attaching one never changes any result field (pinned by
+/// test_sim_observer).
+std::string fingerprint_sim_config(const sim::SimConfig& cfg);
+
+/// Full canonical cache key for one simulation:
+///   schema=<v>|net=<hash>|router=<tag>|workload=<desc>|<cfg fields...>
+/// @p router_tag names the routing function (opaque std::function — the
+/// caller must tag it; the canonical per-topology routers used by the tools
+/// pass "canonical"). @p workload names the run_* entry point and its
+/// parameters, e.g. workload_batch_perm(seed) below.
+std::string sim_cache_key(const sim::SimNetwork& net,
+                          std::string_view router_tag,
+                          std::string_view workload,
+                          const sim::SimConfig& cfg);
+
+// --- standard workload descriptors -----------------------------------------
+// The workload half of a key must pin down the injected packets exactly.
+// These helpers produce the canonical descriptors for the repo's stock
+// experiment shapes.
+
+/// run_batch over random_permutation(n, Xoshiro256(seed)) with
+/// SimConfig::seed = seed (the batch_replicate_sweep shape).
+std::string workload_batch_perm(std::uint64_t seed);
+
+/// run_open at @p rate for @p inject_cycles with the named traffic pattern
+/// ("uniform" for uniform_traffic; patterns are opaque callables, so the
+/// caller must tag them).
+std::string workload_open(double rate, std::size_t inject_cycles,
+                          std::string_view pattern_tag);
+
+/// run_total_exchange.
+std::string workload_total_exchange();
+
+/// run_trace over an explicit schedule: hashes every (src, dst, time).
+std::string workload_trace(std::span<const sim::Injection> injections);
+
+}  // namespace ipg::store

@@ -1,0 +1,309 @@
+#include "store/result_store.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <system_error>
+
+#include "store/fingerprint.hpp"
+#include "util/check.hpp"
+
+namespace ipg::store {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'P', 'G', 'R'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr const char* kExtension = ".ipgr";
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_f64(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Reads little-endian u64 at @p off; false on out-of-range.
+bool read_u64(std::string_view bytes, std::size_t& off, std::uint64_t& v) {
+  if (off + 8 > bytes.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  off += 8;
+  return true;
+}
+
+bool read_f64(std::string_view bytes, std::size_t& off, double& v) {
+  std::uint64_t bits = 0;
+  if (!read_u64(bytes, off, bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// SimResult fields in declaration order. Every field is 8 bytes (size_t
+/// widened to u64, doubles as bit patterns), so a hit restores the result
+/// bit-identically. Adding a field to SimResult requires bumping
+/// kSchemaVersion (old keys must stop matching) — parse_record also
+/// rejects payloads of the wrong length.
+void serialize_result(std::string& out, const sim::SimResult& r) {
+  append_u64(out, r.packets_delivered);
+  append_f64(out, r.makespan_cycles);
+  append_f64(out, r.avg_latency_cycles);
+  append_f64(out, r.p50_latency_cycles);
+  append_f64(out, r.p99_latency_cycles);
+  append_f64(out, r.max_latency_cycles);
+  append_f64(out, r.avg_hops);
+  append_f64(out, r.avg_offchip_hops);
+  append_f64(out, r.throughput_flits_per_node_cycle);
+  append_f64(out, r.max_offchip_utilization);
+  append_f64(out, r.avg_offchip_utilization);
+  append_u64(out, r.packets_injected);
+  append_u64(out, r.packets_dropped);
+  append_u64(out, r.packets_retransmitted);
+  append_u64(out, r.packets_in_flight);
+  append_u64(out, r.reroute_hops);
+  append_f64(out, r.delivered_fraction);
+}
+
+bool parse_result(std::string_view bytes, std::size_t& off, sim::SimResult& r) {
+  std::uint64_t u = 0;
+  if (!read_u64(bytes, off, u)) return false;
+  r.packets_delivered = static_cast<std::size_t>(u);
+  if (!read_f64(bytes, off, r.makespan_cycles)) return false;
+  if (!read_f64(bytes, off, r.avg_latency_cycles)) return false;
+  if (!read_f64(bytes, off, r.p50_latency_cycles)) return false;
+  if (!read_f64(bytes, off, r.p99_latency_cycles)) return false;
+  if (!read_f64(bytes, off, r.max_latency_cycles)) return false;
+  if (!read_f64(bytes, off, r.avg_hops)) return false;
+  if (!read_f64(bytes, off, r.avg_offchip_hops)) return false;
+  if (!read_f64(bytes, off, r.throughput_flits_per_node_cycle)) return false;
+  if (!read_f64(bytes, off, r.max_offchip_utilization)) return false;
+  if (!read_f64(bytes, off, r.avg_offchip_utilization)) return false;
+  if (!read_u64(bytes, off, u)) return false;
+  r.packets_injected = static_cast<std::size_t>(u);
+  if (!read_u64(bytes, off, u)) return false;
+  r.packets_dropped = static_cast<std::size_t>(u);
+  if (!read_u64(bytes, off, u)) return false;
+  r.packets_retransmitted = static_cast<std::size_t>(u);
+  if (!read_u64(bytes, off, u)) return false;
+  r.packets_in_flight = static_cast<std::size_t>(u);
+  if (!read_u64(bytes, off, u)) return false;
+  r.reroute_hops = static_cast<std::size_t>(u);
+  if (!read_f64(bytes, off, r.delivered_fraction)) return false;
+  return true;
+}
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  const Hash128 h = hash128(payload);
+  return h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+std::string serialize_record(const std::string& key, const Record& record) {
+  std::string payload;
+  serialize_result(payload, record.result);
+  append_u64(payload, record.extras.size());
+  for (const auto& [name, value] : record.extras) {
+    append_u64(payload, name.size());
+    payload.append(name);
+    append_f64(payload, value);
+  }
+
+  std::string bytes;
+  bytes.reserve(4 + 4 + 8 + key.size() + 8 + 8 + payload.size());
+  bytes.append(kMagic, sizeof kMagic);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((kFormatVersion >> (8 * i)) & 0xff));
+  }
+  append_u64(bytes, key.size());
+  bytes.append(key);
+  append_u64(bytes, payload.size());
+  append_u64(bytes, payload_checksum(payload));
+  bytes.append(payload);
+  return bytes;
+}
+
+std::optional<Record> parse_record(const std::string& key,
+                                   std::string_view bytes) {
+  std::size_t off = 0;
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[4 + static_cast<std::size_t>(i)]))
+               << (8 * i);
+  }
+  if (version != kFormatVersion) return std::nullopt;
+  off = 8;
+
+  std::uint64_t key_len = 0;
+  if (!read_u64(bytes, off, key_len)) return std::nullopt;
+  if (key_len != key.size() || off + key_len > bytes.size()) return std::nullopt;
+  // The embedded key must match exactly: a hash collision (or an entry file
+  // renamed/copied to the wrong address) must read as a miss, never as a
+  // wrong result.
+  if (std::memcmp(bytes.data() + off, key.data(), key.size()) != 0) {
+    return std::nullopt;
+  }
+  off += key_len;
+
+  std::uint64_t payload_len = 0, checksum = 0;
+  if (!read_u64(bytes, off, payload_len)) return std::nullopt;
+  if (!read_u64(bytes, off, checksum)) return std::nullopt;
+  if (off + payload_len != bytes.size()) return std::nullopt;  // truncated/padded
+  const std::string_view payload = bytes.substr(off, payload_len);
+  if (payload_checksum(payload) != checksum) return std::nullopt;
+
+  Record record;
+  std::size_t poff = 0;
+  if (!parse_result(payload, poff, record.result)) return std::nullopt;
+  std::uint64_t num_extras = 0;
+  if (!read_u64(payload, poff, num_extras)) return std::nullopt;
+  if (num_extras > payload.size()) return std::nullopt;  // length bomb guard
+  record.extras.reserve(static_cast<std::size_t>(num_extras));
+  for (std::uint64_t i = 0; i < num_extras; ++i) {
+    std::uint64_t name_len = 0;
+    if (!read_u64(payload, poff, name_len)) return std::nullopt;
+    if (poff + name_len > payload.size()) return std::nullopt;
+    std::string name(payload.substr(poff, name_len));
+    poff += name_len;
+    double value = 0;
+    if (!read_f64(payload, poff, value)) return std::nullopt;
+    record.extras.emplace_back(std::move(name), value);
+  }
+  if (poff != payload.size()) return std::nullopt;  // trailing garbage
+  return record;
+}
+
+ResultStore::ResultStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ResultStore::path_of(const std::string& key) const {
+  const std::string hex = hash128(key).hex();
+  return root_ / hex.substr(0, 2) / (hex + kExtension);
+}
+
+std::optional<Record> ResultStore::load(const std::string& key) {
+  const std::filesystem::path path = path_of(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+      corrupt_.fetch_add(1, std::memory_order_relaxed);
+      if (log_ != nullptr) *log_ << "[store] unreadable entry " << path << "\n";
+      return std::nullopt;
+    }
+    bytes = std::move(buf).str();
+  }
+  std::optional<Record> record = parse_record(key, bytes);
+  if (!record.has_value()) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    if (log_ != nullptr) {
+      *log_ << "[store] corrupt entry " << path << " (" << bytes.size()
+            << " bytes) — recomputing\n";
+    }
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return record;
+}
+
+void ResultStore::put(const std::string& key, const Record& record) {
+  const std::filesystem::path path = path_of(key);
+  const std::string bytes = serialize_record(key, record);
+
+  std::error_code ec;  // best-effort: a read-only cache dir degrades to a
+                       // pass-through cache, it must not kill the sweep
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) return;
+
+  // Unique temp name per (process, writer): rename() is atomic within the
+  // directory, so readers see either nothing or a complete record.
+  const std::uint64_t tag = tmp_counter_.fetch_add(1, std::memory_order_relaxed);
+  std::filesystem::path tmp = path;
+  tmp += ".tmp" + std::to_string(tag);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
+}
+
+bool ResultStore::lookup(const std::string& key, sim::SimResult& out) {
+  std::optional<Record> record = load(key);
+  if (!record.has_value()) return false;
+  out = record->result;
+  return true;
+}
+
+void ResultStore::store(const std::string& key, const sim::SimResult& result) {
+  put(key, Record{result, {}});
+}
+
+std::uint64_t ResultStore::invalidate() {
+  std::uint64_t removed = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(root_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != kExtension) continue;
+    std::error_code rm;
+    if (std::filesystem::remove(it->path(), rm) && !rm) ++removed;
+  }
+  return removed;
+}
+
+std::uint64_t ResultStore::entry_count() const {
+  std::uint64_t count = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(root_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == kExtension) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+StoreStats ResultStore::stats() const {
+  StoreStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ipg::store

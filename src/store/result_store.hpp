@@ -1,0 +1,117 @@
+#pragma once
+// Content-addressed on-disk store of simulation results
+// (docs/DESIGN_SPACE.md).
+//
+// Maps canonical cache keys (store/fingerprint.hpp) to checksummed binary
+// records holding a SimResult plus optional named derived metrics. Layout:
+//
+//   <root>/ab/abcdef...0123.ipgr
+//
+// — one file per record, sharded into 256 subdirectories by the first hash
+// byte so huge sweeps never pile a million entries into one directory.
+//
+// Durability and concurrency contract:
+//   - Writes are atomic: the record is written to a unique temp file in the
+//     shard directory and rename()d over the final path. Readers never see
+//     a half-written record; concurrent writers of the same key race
+//     benignly (both write identical bytes — keys are content addresses).
+//   - Loads are corruption-tolerant: a missing, truncated, bit-flipped,
+//     zeroed, or wrong-key file is a *miss* (counted in stats().corrupt
+//     when the file existed but failed validation), never an exception and
+//     never a stale result. The record embeds its full canonical key and a
+//     payload checksum; both must match.
+//   - All methods are thread-safe; sweep worker threads share one store.
+//
+// The store implements sim::ResultCache, so it plugs straight into
+// sim::run_sweep as the lookup-before-compute / persist-after-compute hook.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace ipg::store {
+
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;    ///< absent entries (no file)
+  std::uint64_t corrupt = 0;   ///< present but failed validation (also a miss)
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;     ///< payload bytes of successful loads
+  std::uint64_t bytes_written = 0;  ///< full record bytes written
+  std::uint64_t lookups() const noexcept { return hits + misses + corrupt; }
+};
+
+/// One stored record: the simulation result plus optional derived metrics
+/// (name -> value), e.g. the static design-space metrics ipg_design caches
+/// alongside its simulations.
+struct Record {
+  sim::SimResult result;
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+class ResultStore final : public sim::ResultCache {
+ public:
+  /// Opens (creating if needed) the store rooted at @p root. Throws only
+  /// when the root cannot be created at all.
+  explicit ResultStore(std::filesystem::path root);
+
+  // sim::ResultCache — the sweep-driver hook points.
+  bool lookup(const std::string& key, sim::SimResult& out) override;
+  void store(const std::string& key, const sim::SimResult& result) override;
+
+  /// Full-record variants (extras included).
+  std::optional<Record> load(const std::string& key);
+  void put(const std::string& key, const Record& record);
+
+  /// Deletes every record under the root; returns how many were removed.
+  /// Safe against concurrent readers (they just miss afterwards). Only
+  /// *.ipgr files are touched — a mistyped --cache-dir pointing at a source
+  /// tree must never eat it.
+  std::uint64_t invalidate();
+
+  /// Records currently on disk (counts *.ipgr files; walks the tree).
+  std::uint64_t entry_count() const;
+
+  StoreStats stats() const;
+
+  /// Where a key's record lives (exposed for the corruption drills).
+  std::filesystem::path path_of(const std::string& key) const;
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Optional warning sink: corrupt entries are reported here (one line
+  /// each) before being treated as misses. Null disables logging.
+  void set_log(std::ostream* log) noexcept { log_ = log; }
+
+ private:
+  std::filesystem::path root_;
+  std::ostream* log_ = nullptr;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> tmp_counter_{0};
+};
+
+// --- record (de)serialization, exposed for tests ---------------------------
+
+/// Serializes @p record (with its full canonical @p key) into the on-disk
+/// byte format: magic, format version, key, checksummed payload.
+std::string serialize_record(const std::string& key, const Record& record);
+
+/// Parses @p bytes; returns nullopt unless the magic, version, embedded
+/// key (must equal @p key), lengths, and checksum all validate. Never
+/// throws on malformed input.
+std::optional<Record> parse_record(const std::string& key,
+                                   std::string_view bytes);
+
+}  // namespace ipg::store

@@ -1,0 +1,172 @@
+#include "util/json.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ipg::util {
+
+void JsonWriter::prefix() {
+  if (depth_.empty()) {
+    IPG_CHECK(!started_, "JSON document already complete");
+    started_ = true;
+    return;
+  }
+  auto& [scope, count] = depth_.back();
+  if (count++ > 0) os_ << ',';
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  IPG_CHECK(!depth_.empty() && depth_.back().first == Scope::kObject,
+            "named members belong inside an object");
+  prefix();
+  write_string(key);
+  os_ << ": ";
+}
+
+void JsonWriter::write_string(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::write_double(double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    os_ << "null";  // JSON has no NaN/inf; null keeps "undefined" visible
+  } else {
+    os_ << v;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  os_ << '{';
+  depth_.emplace_back(Scope::kObject, 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  os_ << '{';
+  depth_.emplace_back(Scope::kObject, 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  IPG_CHECK(!depth_.empty() && depth_.back().first == Scope::kObject,
+            "end_object without matching begin_object");
+  const bool had_elements = depth_.back().second > 0;
+  depth_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth_.size(); ++i) os_ << "  ";
+  }
+  os_ << '}';
+  if (depth_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  os_ << '[';
+  depth_.emplace_back(Scope::kArray, 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  os_ << '[';
+  depth_.emplace_back(Scope::kArray, 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  IPG_CHECK(!depth_.empty() && depth_.back().first == Scope::kArray,
+            "end_array without matching begin_array");
+  const bool had_elements = depth_.back().second > 0;
+  depth_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < depth_.size(); ++i) os_ << "  ";
+  }
+  os_ << ']';
+  if (depth_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  write_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool v) {
+  key_prefix(key);
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double v) {
+  key_prefix(key);
+  write_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t v) {
+  key_prefix(key);
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t v) {
+  key_prefix(key);
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_if_finite(std::string_view key, double v) {
+  if (std::isnan(v) || std::isinf(v)) return *this;
+  return field(key, v);
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix();
+  write_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  write_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace ipg::util

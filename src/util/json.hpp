@@ -1,0 +1,81 @@
+#pragma once
+// Streaming JSON emission for the benchmark and tool harnesses.
+//
+// Every experiment binary writes a machine-readable report (BENCH_*.json,
+// CONFORMANCE.json, ...) next to its human-readable table. The emission
+// used to be hand-rolled per binary; this writer centralizes the two rules
+// those reports share:
+//   - JSON has no NaN/inf. A metric that is undefined (nothing delivered,
+//     no baseline) is either emitted as null (field) or omitted entirely
+//     (field_if_finite) — never as a 0 that would read as a perfect score.
+//   - Commas are structural. The writer tracks element counts per nesting
+//     level, so callers never juggle "is this the last row" flags.
+//
+// The writer is sequential and unbuffered: values stream straight to the
+// ostream in call order, with two-space indentation per level.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg::util {
+
+class JsonWriter {
+ public:
+  /// Writes to @p os; the stream must outlive the writer. Top-level value
+  /// starts with begin_object() or begin_array().
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  // Containers. In an object, pass the member name to the begin_* call; in
+  // an array (or at top level) use the unnamed overloads.
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  // Object members.
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, bool value);
+  /// Non-finite doubles are emitted as null.
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint32_t value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  JsonWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  /// Omits the member entirely when @p value is NaN/inf (the BENCH_faults
+  /// convention for undefined latencies, preserved from PR 3).
+  JsonWriter& field_if_finite(std::string_view key, double value);
+
+  // Array elements.
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);  ///< null when non-finite
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// True once the top-level container has been closed.
+  bool done() const noexcept { return depth_.empty() && started_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void prefix();            ///< comma/newline/indent before a new element
+  void key_prefix(std::string_view key);
+  void write_string(std::string_view s);
+  void write_double(double v);
+
+  std::ostream& os_;
+  std::vector<std::pair<Scope, std::size_t>> depth_;  ///< (scope, elements)
+  bool started_ = false;
+};
+
+}  // namespace ipg::util

@@ -4,9 +4,12 @@
 // from-scratch containment verifier, including a negative control).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "resilience/supergraph.hpp"
 #include "sim/routers.hpp"
 #include "sim/traffic.hpp"
+#include "store/result_store.hpp"
 #include "topology/named.hpp"
 #include "util/thread_pool.hpp"
 
@@ -322,6 +326,58 @@ TEST(Supergraph, SampledVerificationWhenSubsetsExplode) {
   EXPECT_TRUE(report.passed());
   EXPECT_FALSE(report.exhaustive);  // C(10,2) = 45 > 10
   EXPECT_EQ(report.subsets_checked, 10u);
+}
+
+// --- cached percolation sweeps ----------------------------------------------
+
+// The store-adoption pin: replaying an identical percolation sweep against
+// a warm content-addressed cache performs ZERO simulator invocations — the
+// router is never called — and yields a bit-identical curve. Trial seeds
+// and fault plans are pure functions of the config, so every job's key
+// matches on the second run.
+TEST(Percolation, WarmCacheReplaysSweepWithZeroRouterInvocations) {
+  namespace fs = std::filesystem;
+  const TestNet t = kary42();
+  const auto calls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const sim::Router inner = t.router;
+  const sim::Router counting = [calls, inner](NodeId s, NodeId d) {
+    calls->fetch_add(1, std::memory_order_relaxed);
+    return inner(s, d);
+  };
+  const auto pattern = sim::uniform_traffic(t.net.num_nodes());
+
+  const fs::path root =
+      fs::temp_directory_path() / "ipg_resilience_cache_test";
+  fs::remove_all(root);
+  store::ResultStore st(root);
+
+  PercolationConfig cfg = small_config();
+  cfg.cache = &st;
+  cfg.router_tag = "canonical:kary42";
+  cfg.pattern_tag = "uniform";
+
+  const PercolationCurve cold =
+      percolation_sweep(t.net, counting, pattern, cfg);
+  EXPECT_GT(calls->load(), 0u);  // the cold pass actually simulated
+  const store::StoreStats after_cold = st.stats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_GT(after_cold.writes, 0u);
+
+  calls->store(0);
+  const PercolationCurve warm =
+      percolation_sweep(t.net, counting, pattern, cfg);
+  EXPECT_EQ(calls->load(), 0u) << "warm replay invoked the simulator";
+  const store::StoreStats after_warm = st.stats();
+  EXPECT_EQ(after_warm.misses, after_cold.misses);  // every job keyed identically
+  EXPECT_EQ(after_warm.hits, after_cold.writes);    // one hit per stored job
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(cold.healthy_avg_latency),
+            std::bit_cast<std::uint64_t>(warm.healthy_avg_latency));
+  ASSERT_EQ(cold.points.size(), warm.points.size());
+  for (std::size_t i = 0; i < cold.points.size(); ++i) {
+    expect_point_bits(cold.points[i], warm.points[i]);
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+// Content-addressed result store (src/store): canonical fingerprints,
+// record (de)serialization, on-disk corruption drills, and the cached
+// run_sweep bit-identity pin. The fingerprint-stability test drives the
+// whole seeded conformance family sweep through a store and asserts both
+// bit-identical round-trips and zero key collisions — including the l = 2
+// super families whose *graphs* coincide and are disambiguated only by the
+// router tag.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conformance/families.hpp"
+#include "mcmp/capacity.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/routers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "sim/traffic.hpp"
+#include "store/fingerprint.hpp"
+#include "store/result_store.hpp"
+#include "topology/named.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test; removed up front so reruns start cold.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("ipg_store_test_" + name);
+  fs::remove_all(p);
+  return p;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Every SimResult field, compared bitwise (NaN == NaN, -0.0 != 0.0).
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.packets_delivered == b.packets_delivered &&
+         bits_equal(a.makespan_cycles, b.makespan_cycles) &&
+         bits_equal(a.avg_latency_cycles, b.avg_latency_cycles) &&
+         bits_equal(a.p50_latency_cycles, b.p50_latency_cycles) &&
+         bits_equal(a.p99_latency_cycles, b.p99_latency_cycles) &&
+         bits_equal(a.max_latency_cycles, b.max_latency_cycles) &&
+         bits_equal(a.avg_hops, b.avg_hops) &&
+         bits_equal(a.avg_offchip_hops, b.avg_offchip_hops) &&
+         bits_equal(a.throughput_flits_per_node_cycle,
+                    b.throughput_flits_per_node_cycle) &&
+         bits_equal(a.max_offchip_utilization, b.max_offchip_utilization) &&
+         bits_equal(a.avg_offchip_utilization, b.avg_offchip_utilization) &&
+         a.packets_injected == b.packets_injected &&
+         a.packets_dropped == b.packets_dropped &&
+         a.packets_retransmitted == b.packets_retransmitted &&
+         a.packets_in_flight == b.packets_in_flight &&
+         a.reroute_hops == b.reroute_hops &&
+         bits_equal(a.delivered_fraction, b.delivered_fraction);
+}
+
+// A result with every awkward bit pattern serialization must preserve:
+// NaN, infinity, negative zero, and a magnitude near the double limit.
+sim::SimResult odd_result() {
+  sim::SimResult r;
+  r.packets_delivered = 12345;
+  r.makespan_cycles = 678.25;
+  r.avg_latency_cycles = std::numeric_limits<double>::quiet_NaN();
+  r.p50_latency_cycles = -0.0;
+  r.p99_latency_cycles = std::numeric_limits<double>::infinity();
+  r.max_latency_cycles = 1e300;
+  r.avg_hops = 3.5;
+  r.avg_offchip_hops = 0.125;
+  r.throughput_flits_per_node_cycle = 0.001953125;
+  r.max_offchip_utilization = 0.75;
+  r.avg_offchip_utilization = 0.25;
+  r.packets_injected = 99999;
+  r.packets_dropped = 7;
+  r.packets_retransmitted = 11;
+  r.packets_in_flight = 3;
+  r.reroute_hops = 42;
+  r.delivered_fraction = 0.875;
+  return r;
+}
+
+sim::SimNetwork q4_network(double bandwidth = 1.0) {
+  return mcmp::make_unit_chip_network(topology::hypercube_graph(4),
+                                      topology::hypercube_subcube_clustering(4, 4),
+                                      bandwidth);
+}
+
+// --- fingerprints -----------------------------------------------------------
+
+TEST(Fingerprint, CanonicalFormStartsWithSchemaSalt) {
+  Fingerprint fp;
+  EXPECT_EQ(fp.canonical(), "schema=" + std::to_string(kSchemaVersion));
+  fp.field("net", "abc").field("n", std::uint64_t{7});
+  EXPECT_EQ(fp.canonical(),
+            "schema=" + std::to_string(kSchemaVersion) + "|net=abc|n=7");
+}
+
+TEST(Fingerprint, DoublesAreBitPatternsNotDecimals) {
+  const auto key_of = [](double v) {
+    return Fingerprint().field("d", v).canonical();
+  };
+  // Last-ulp and sign-of-zero differences must produce distinct keys —
+  // decimal formatting would merge them.
+  EXPECT_NE(key_of(0.0), key_of(-0.0));
+  EXPECT_NE(key_of(1.0), key_of(std::nextafter(1.0, 2.0)));
+  EXPECT_EQ(key_of(0.25), key_of(0.25));
+}
+
+TEST(Fingerprint, RejectsDelimitersInNamesAndValues) {
+  Fingerprint fp;
+  EXPECT_THROW(fp.field("bad|name", "v"), std::invalid_argument);
+  EXPECT_THROW(fp.field("bad=name", "v"), std::invalid_argument);
+  EXPECT_THROW(fp.field("name", "bad|value"), std::invalid_argument);
+  EXPECT_THROW(fp.field("name", "bad=value"), std::invalid_argument);
+}
+
+TEST(Fingerprint, Hash128IsDeterministicAndInputSensitive) {
+  const Hash128 a = hash128("schema=1|net=abc");
+  const Hash128 b = hash128("schema=1|net=abc");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, hash128("schema=1|net=abd"));
+  EXPECT_NE(a, hash128("schema=1|net=abc "));  // length-salted
+  const std::string hex = a.hex();
+  EXPECT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+// Any single knob change — engine, switching, every numeric SimConfig
+// field, the fault plan, the router tag, the workload, or the network —
+// must produce a distinct canonical key AND a distinct 128-bit address.
+TEST(Fingerprint, EverySingleKnobChangesTheKey) {
+  const topology::Graph g = topology::hypercube_graph(4);
+  const topology::Clustering chips =
+      topology::hypercube_subcube_clustering(4, 4);
+  const sim::SimNetwork net = q4_network();
+
+  const sim::SimConfig base;
+  const std::string workload = workload_batch_perm(1);
+  const auto key = [&](const sim::SimConfig& cfg) {
+    return sim_cache_key(net, "ecube", workload, cfg);
+  };
+
+  std::vector<std::string> keys;
+  keys.push_back(key(base));
+  EXPECT_EQ(keys.back().rfind("schema=" + std::to_string(kSchemaVersion) + "|",
+                              0),
+            0u);
+
+  const auto with = [&](auto&& mutate) {
+    sim::SimConfig cfg = base;
+    mutate(cfg);
+    keys.push_back(key(cfg));
+  };
+  with([](sim::SimConfig& c) { c.engine = sim::Engine::kReference; });
+  with([](sim::SimConfig& c) { c.engine = sim::Engine::kSharded; });
+  with([](sim::SimConfig& c) { c.switching = sim::Switching::kVirtualCutThrough; });
+  with([](sim::SimConfig& c) { c.switching = sim::Switching::kWormhole; });
+  with([](sim::SimConfig& c) { c.packet_length_flits = 17; });
+  with([](sim::SimConfig& c) { c.link_latency_cycles = 2; });
+  with([](sim::SimConfig& c) { c.node_buffer_packets = 4; });
+  with([](sim::SimConfig& c) { c.seed = 2; });
+  with([](sim::SimConfig& c) { c.shard_domains = 2; });
+  with([](sim::SimConfig& c) { c.max_retries = 1; });
+  with([](sim::SimConfig& c) { c.retry_backoff_cycles = 64; });
+  with([](sim::SimConfig& c) { c.misroute_budget = 9; });
+  with([](sim::SimConfig& c) { c.max_cycles = 100; });
+  with([&](sim::SimConfig& c) {
+    c.fault_plan = std::make_shared<const sim::FaultPlan>(
+        sim::FaultPlan::random_link_faults(g, &chips, 2, 0.0, 0.0, 7));
+  });
+
+  // Router tag, workload, and network perturbations.
+  keys.push_back(sim_cache_key(net, "other-router", workload, base));
+  keys.push_back(sim_cache_key(net, "ecube", workload_batch_perm(2), base));
+  keys.push_back(sim_cache_key(net, "ecube", workload_open(0.05, 200, "uniform"),
+                               base));
+  keys.push_back(sim_cache_key(net, "ecube", workload_total_exchange(), base));
+  const sim::SimNetwork wider = q4_network(2.0);  // bandwidths are keyed
+  keys.push_back(sim_cache_key(wider, "ecube", workload, base));
+
+  std::set<std::string> canonicals;
+  std::set<std::string> addresses;
+  for (const std::string& k : keys) {
+    EXPECT_TRUE(canonicals.insert(k).second) << "canonical collision: " << k;
+    EXPECT_TRUE(addresses.insert(hash128(k).hex()).second)
+        << "hash collision: " << k;
+  }
+  EXPECT_EQ(canonicals.size(), keys.size());
+}
+
+TEST(Fingerprint, WorkloadDescriptorsRejectDelimiterTags) {
+  EXPECT_THROW(workload_open(0.05, 200, "bad|tag"), std::invalid_argument);
+  EXPECT_THROW(workload_open(0.05, 200, "bad=tag"), std::invalid_argument);
+}
+
+// The ISSUE's fingerprint-stability satellite: serialize -> key -> load
+// round-trips bit-identical SimResults across every seeded conformance
+// family, with zero canonical or address collisions across the grid. The
+// l = 2 instances of distinct super families share byte-identical graphs
+// (every l = 2 family is the same swap construction) — the family-specific
+// router tag is what keeps their keys apart, so this doubles as a
+// regression test for that soundness requirement.
+TEST(Fingerprint, StableAcrossConformanceFamilies) {
+  const auto sweep = conformance::plain_family_sweep(3, false, false);
+  ASSERT_FALSE(sweep.empty());
+
+  ResultStore st(fresh_dir("families"));
+  std::set<std::string> canonicals;
+  std::set<std::string> addresses;
+  std::size_t instances_used = 0;
+  for (const auto& inst : sweep) {
+    if (inst.ipg->num_nodes() > 512) continue;  // keep the test fast
+    ++instances_used;
+    const sim::SimNetwork net = mcmp::make_unit_chip_network(
+        inst.ipg->to_graph(), conformance::chips_of(inst), 1.0);
+    const auto ipg = inst.ipg;
+    const sim::Router router = [ipg](topology::NodeId s, topology::NodeId d) {
+      return ipg->route(s, d);
+    };
+    for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}}) {
+      sim::SimConfig cfg;
+      cfg.seed = seed;
+      util::Xoshiro256 rng(seed);
+      const auto dst = sim::random_permutation(net.num_nodes(), rng);
+      const sim::SimResult ran = sim::run_batch(net, router, dst, cfg);
+
+      const std::string key = sim_cache_key(net, "canonical:" + inst.name,
+                                            workload_batch_perm(seed), cfg);
+      EXPECT_TRUE(canonicals.insert(key).second)
+          << "canonical collision at " << inst.name << " seed " << seed;
+      EXPECT_TRUE(addresses.insert(hash128(key).hex()).second)
+          << "address collision at " << inst.name << " seed " << seed;
+
+      st.store(key, ran);
+      sim::SimResult back;
+      ASSERT_TRUE(st.lookup(key, back)) << inst.name;
+      EXPECT_TRUE(results_identical(ran, back))
+          << inst.name << " seed " << seed
+          << ": stored result not bit-identical";
+    }
+  }
+  EXPECT_GE(instances_used, 8u);  // the sweep actually covered the families
+  EXPECT_EQ(st.stats().corrupt, 0u);
+  fs::remove_all(st.root());
+}
+
+// --- record format ----------------------------------------------------------
+
+TEST(RecordFormat, RoundTripIsBitIdenticalIncludingExtras) {
+  const std::string key = "schema=1|test=roundtrip";
+  Record rec;
+  rec.result = odd_result();
+  rec.extras = {{"alpha", 1.5},
+                {"beta", std::numeric_limits<double>::quiet_NaN()},
+                {"gamma", -0.0}};
+  const std::string bytes = serialize_record(key, rec);
+  const auto back = parse_record(key, bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(results_identical(rec.result, back->result));
+  ASSERT_EQ(back->extras.size(), rec.extras.size());
+  for (std::size_t i = 0; i < rec.extras.size(); ++i) {
+    EXPECT_EQ(back->extras[i].first, rec.extras[i].first);
+    EXPECT_TRUE(bits_equal(back->extras[i].second, rec.extras[i].second));
+  }
+}
+
+TEST(RecordFormat, RejectsEveryMalformedVariant) {
+  const std::string key = "schema=1|test=malformed";
+  Record rec;
+  rec.result = odd_result();
+  rec.extras = {{"x", 2.0}};
+  const std::string bytes = serialize_record(key, rec);
+
+  // Key mismatch: a 128-bit address collision must degrade to a miss.
+  EXPECT_FALSE(parse_record("schema=1|test=other", bytes).has_value());
+
+  // Every truncation length, from empty to one-byte-short.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(parse_record(key, std::string_view(bytes).substr(0, len))
+                     .has_value())
+        << "truncation to " << len << " bytes parsed";
+  }
+
+  // Trailing garbage.
+  EXPECT_FALSE(parse_record(key, bytes + "x").has_value());
+
+  // Every single-byte corruption: flipping any byte must hit the magic,
+  // version, a length bound, the embedded key, or the checksum.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xFF);
+    EXPECT_FALSE(parse_record(key, flipped).has_value())
+        << "byte flip at offset " << i << " parsed";
+  }
+
+  // All zeros of the right length.
+  EXPECT_FALSE(parse_record(key, std::string(bytes.size(), '\0')).has_value());
+}
+
+// --- store behavior ---------------------------------------------------------
+
+TEST(ResultStore, MissThenHitWithStatsAndShardedLayout) {
+  ResultStore st(fresh_dir("basic"));
+  const std::string key = "schema=1|test=basic";
+  sim::SimResult out;
+  EXPECT_FALSE(st.lookup(key, out));
+  EXPECT_EQ(st.stats().misses, 1u);
+  EXPECT_EQ(st.entry_count(), 0u);
+
+  const sim::SimResult r = odd_result();
+  st.store(key, r);
+  EXPECT_EQ(st.stats().writes, 1u);
+  EXPECT_EQ(st.entry_count(), 1u);
+  ASSERT_TRUE(st.lookup(key, out));
+  EXPECT_TRUE(results_identical(r, out));
+  EXPECT_EQ(st.stats().hits, 1u);
+  EXPECT_GT(st.stats().bytes_written, 0u);
+  EXPECT_GT(st.stats().bytes_read, 0u);
+
+  // Layout: <root>/<first two hex chars>/<32 hex>.ipgr.
+  const fs::path p = st.path_of(key);
+  EXPECT_TRUE(fs::exists(p));
+  const std::string hex = hash128(key).hex();
+  EXPECT_EQ(p.parent_path().filename().string(), hex.substr(0, 2));
+  EXPECT_EQ(p.filename().string(), hex + ".ipgr");
+  fs::remove_all(st.root());
+}
+
+TEST(ResultStore, PutAndLoadCarryExtras) {
+  ResultStore st(fresh_dir("extras"));
+  const std::string key = "schema=1|test=extras";
+  EXPECT_FALSE(st.load(key).has_value());
+  Record rec;
+  rec.result = odd_result();
+  rec.extras = {{"bisection", 64.0}, {"diameter", 5.0}};
+  st.put(key, rec);
+  const auto back = st.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(results_identical(rec.result, back->result));
+  ASSERT_EQ(back->extras.size(), 2u);
+  EXPECT_EQ(back->extras[0].first, "bisection");
+  EXPECT_TRUE(bits_equal(back->extras[1].second, 5.0));
+  fs::remove_all(st.root());
+}
+
+// The ISSUE's corruption-drill satellite: truncate, bit-flip, zero, and
+// empty out entries on disk; every drill must be a logged miss followed by
+// a clean recompute-and-restore — never a crash, never a stale result.
+TEST(ResultStore, CorruptionDrillsRecomputeNeverCrashOrGoStale) {
+  ResultStore st(fresh_dir("drills"));
+  const sim::SimResult r = odd_result();
+
+  enum class Drill { kTruncate, kBitFlip, kZero, kEmpty };
+  const std::vector<std::pair<Drill, std::string>> drills = {
+      {Drill::kTruncate, "truncate"},
+      {Drill::kBitFlip, "bitflip"},
+      {Drill::kZero, "zero"},
+      {Drill::kEmpty, "empty"}};
+
+  std::uint64_t corrupt_before = 0;
+  for (const auto& [drill, name] : drills) {
+    const std::string key = "schema=1|drill=" + name;
+    st.store(key, r);
+    const fs::path p = st.path_of(key);
+    ASSERT_TRUE(fs::exists(p)) << name;
+
+    // Corrupt the entry on disk.
+    std::string bytes;
+    {
+      std::ifstream in(p, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = buf.str();
+    }
+    switch (drill) {
+      case Drill::kTruncate:
+        bytes.resize(bytes.size() / 2);
+        break;
+      case Drill::kBitFlip:
+        bytes[bytes.size() / 2] =
+            static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+        break;
+      case Drill::kZero:
+        bytes.assign(bytes.size(), '\0');
+        break;
+      case Drill::kEmpty:
+        bytes.clear();
+        break;
+    }
+    {
+      std::ofstream out(p, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    // The corrupt entry is a logged miss...
+    std::ostringstream log;
+    st.set_log(&log);
+    sim::SimResult out;
+    EXPECT_FALSE(st.lookup(key, out)) << name << ": stale result served";
+    EXPECT_EQ(st.stats().corrupt, corrupt_before + 1) << name;
+    corrupt_before = st.stats().corrupt;
+    EXPECT_NE(log.str().find("corrupt entry"), std::string::npos) << name;
+    st.set_log(nullptr);
+
+    // ...and a recompute re-stores cleanly.
+    st.store(key, r);
+    ASSERT_TRUE(st.lookup(key, out)) << name;
+    EXPECT_TRUE(results_identical(r, out)) << name;
+  }
+
+  // A record filed under the wrong address (simulated hash collision) is
+  // also a corrupt miss, thanks to the embedded canonical key.
+  const std::string key_a = "schema=1|drill=collision-a";
+  const std::string key_b = "schema=1|drill=collision-b";
+  st.store(key_a, r);
+  fs::create_directories(st.path_of(key_b).parent_path());
+  fs::copy_file(st.path_of(key_a), st.path_of(key_b),
+                fs::copy_options::overwrite_existing);
+  sim::SimResult out;
+  EXPECT_FALSE(st.lookup(key_b, out));
+  EXPECT_EQ(st.stats().corrupt, corrupt_before + 1);
+  fs::remove_all(st.root());
+}
+
+TEST(ResultStore, InvalidateRemovesOnlyRecordFiles) {
+  ResultStore st(fresh_dir("invalidate"));
+  st.store("schema=1|inv=a", odd_result());
+  st.store("schema=1|inv=b", odd_result());
+  EXPECT_EQ(st.entry_count(), 2u);
+
+  // A bystander file in the root (mistyped --cache-dir) must survive.
+  const fs::path bystander = st.root() / "README.txt";
+  {
+    std::ofstream out(bystander);
+    out << "not a record\n";
+  }
+
+  EXPECT_EQ(st.invalidate(), 2u);
+  EXPECT_EQ(st.entry_count(), 0u);
+  EXPECT_TRUE(fs::exists(bystander));
+  sim::SimResult out;
+  EXPECT_FALSE(st.lookup("schema=1|inv=a", out));
+  st.store("schema=1|inv=a", odd_result());  // store still writable
+  EXPECT_TRUE(st.lookup("schema=1|inv=a", out));
+  fs::remove_all(st.root());
+}
+
+// --- cached sweeps ----------------------------------------------------------
+
+// The acceptance pin: cached execution is bit-identical to uncached, and a
+// warm second pass is served entirely from the store.
+TEST(ResultStore, CachedSweepBitIdenticalAndWarmPassAllHits) {
+  const sim::SimNetwork net = q4_network();
+  const sim::Router router = sim::hypercube_router(4);
+
+  std::vector<sim::SweepJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SimConfig cfg;
+    cfg.seed = seed;
+    jobs.push_back({"seed " + std::to_string(seed),
+                    [&net, router, cfg, seed] {
+                      util::Xoshiro256 rng(seed);
+                      const auto dst =
+                          sim::random_permutation(net.num_nodes(), rng);
+                      return sim::run_batch(net, router, dst, cfg);
+                    },
+                    sim_cache_key(net, "ecube", workload_batch_perm(seed),
+                                  cfg)});
+  }
+
+  const auto uncached = sim::run_sweep(jobs);
+
+  ResultStore st(fresh_dir("sweep"));
+  const auto cold =
+      sim::run_sweep(jobs, util::ThreadPool::global(), nullptr, &st);
+  const auto warm =
+      sim::run_sweep(jobs, util::ThreadPool::global(), nullptr, &st);
+
+  ASSERT_EQ(cold.size(), jobs.size());
+  ASSERT_EQ(warm.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_FALSE(cold[i].from_cache) << i;
+    EXPECT_TRUE(warm[i].from_cache) << i;
+    EXPECT_TRUE(results_identical(uncached[i].result, cold[i].result)) << i;
+    EXPECT_TRUE(results_identical(uncached[i].result, warm[i].result)) << i;
+  }
+  EXPECT_EQ(st.stats().hits, jobs.size());
+  EXPECT_EQ(st.stats().writes, jobs.size());
+  fs::remove_all(st.root());
+}
+
+}  // namespace
+}  // namespace ipg::store

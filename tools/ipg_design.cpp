@@ -1,0 +1,349 @@
+// ipg_design — the MCMP design-space explorer CLI (docs/DESIGN_SPACE.md).
+//
+//   ipg_design sweep   [options]             evaluate the stock grid
+//   ipg_design query   --family F [params]   evaluate one design point
+//   ipg_design compare F:... F:... (point specs, --point also accepted)
+//                                            evaluate an explicit list
+//
+// Every evaluation goes through the content-addressed result store
+// (src/store): the static metric bundle and every simulation replicate are
+// keyed by a canonical fingerprint of (topology, params, config, seed), so
+// re-running any overlapping grid is incremental — a fully warm run
+// performs zero simulator invocations and zero bisection searches.
+//
+// Options:
+//   --cache-dir DIR    result store root (default .ipg-cache)
+//   --no-cache         bypass the store entirely
+//   --invalidate       delete every cached record, then proceed
+//   --json FILE        write the machine-readable report (default
+//                      DESIGN_SPACE.json for sweep, stdout table only
+//                      otherwise; "-" = stdout)
+//   --seeds N          batch replicates per design (default 4)
+//   --smoke            small grid for CI (4 families x 4 param points)
+//   --expect-all-hits  exit 1 unless every sim job and every static bundle
+//                      came from the cache (the CI warm-cache gate)
+//   --quiet            suppress per-job sweep progress on stderr
+//
+// Point syntax for query/compare:
+//   hsn:l=2,q=3        super families (hsn, sfn, ring-cn, complete-cn):
+//                      l levels over a Q_q nucleus
+//   hypercube:n=8,m=16 Q_n with m-node subcube chips
+//   kary2:k=16,m=16    k-ary 2-cube with m-node square chips
+//
+// Exit status: 0 success, 1 failed --expect-all-hits, 2 usage errors.
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/design_space.hpp"
+#include "sim/sweep.hpp"
+#include "store/fingerprint.hpp"
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using explore::DesignMetrics;
+using explore::DesignPoint;
+
+struct Options {
+  std::string command;
+  std::string cache_dir = ".ipg-cache";
+  bool no_cache = false;
+  bool invalidate = false;
+  std::string json_path;  ///< empty = command default; "-" = stdout
+  std::size_t seeds = 4;
+  bool smoke = false;
+  bool expect_all_hits = false;
+  bool quiet = false;
+  std::vector<DesignPoint> points;  ///< query/compare
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <sweep|query|compare> [options]\n"
+         "  sweep                      evaluate the stock comparison grid\n"
+         "  query --family F [--levels L] [--nucleus-dim Q] [--chip-size M]\n"
+         "  compare SPEC [SPEC ...]   (or --point SPEC)\n"
+         "options: --cache-dir DIR | --no-cache | --invalidate |\n"
+         "         --json FILE | --seeds N | --smoke | --expect-all-hits |\n"
+         "         --quiet\n"
+         "point spec: hsn:l=2,q=3 | hypercube:n=8,m=16 | kary2:k=16,m=16\n";
+  return 2;
+}
+
+/// Parses "hsn:l=2,q=3" / "hypercube:n=8,m=16" / "kary2:k=16,m=16".
+std::optional<DesignPoint> parse_point(const std::string& spec) {
+  const auto colon = spec.find(':');
+  DesignPoint p;
+  p.family = spec.substr(0, colon);
+  if (colon == std::string::npos) return p;
+  std::string rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string kv = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string() : rest.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string k = kv.substr(0, eq);
+    unsigned long v = 0;
+    try {
+      v = std::stoul(kv.substr(eq + 1));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (k == "l" || k == "n" || k == "k") {
+      p.levels = v;
+    } else if (k == "q") {
+      p.nucleus_dim = static_cast<unsigned>(v);
+    } else if (k == "m") {
+      p.chip_size = v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+void print_table(const std::vector<DesignMetrics>& rows) {
+  util::Table t;
+  t.header({"design", "nodes", "chips", "ic deg", "link bw", "avg ic dist",
+            "ic diam", "B_B meas", "B_B form", "batch tput", "batch lat",
+            "open lat", "cached"});
+  for (const DesignMetrics& m : rows) {
+    t.add(m.name, m.nodes, m.num_chips, m.offchip_links_per_node,
+          m.offchip_link_bandwidth, m.avg_ic_distance, m.ic_diameter,
+          m.bisection_measured, m.bisection_closed_form, m.batch_throughput,
+          m.batch_avg_latency, m.open_avg_latency,
+          std::to_string(m.sim_cache_hits) + "/" + std::to_string(m.sim_jobs) +
+              (m.static_from_cache ? "+s" : ""));
+  }
+  t.print(std::cout);
+}
+
+void emit_json(std::ostream& os, const std::string& command,
+               const std::vector<DesignMetrics>& rows,
+               const store::ResultStore* cache) {
+  util::JsonWriter w(os);
+  w.begin_object()
+      .field("schema", "ipg-design-space-v1")
+      .field("command", command)
+      .field("key_schema_version",
+             static_cast<std::uint64_t>(store::kSchemaVersion));
+  w.begin_array("designs");
+  for (const DesignMetrics& m : rows) {
+    w.begin_object()
+        .field("name", m.name)
+        .field("family", m.point.family)
+        .field("levels", static_cast<std::uint64_t>(m.point.levels))
+        .field("nucleus_dim", m.point.nucleus_dim)
+        .field("nodes", static_cast<std::uint64_t>(m.nodes))
+        .field("num_chips", static_cast<std::uint64_t>(m.num_chips))
+        .field("chip_size", static_cast<std::uint64_t>(m.chip_size))
+        .field("offchip_links_per_node", m.offchip_links_per_node)
+        .field("offchip_link_bandwidth", m.offchip_link_bandwidth)
+        .field("avg_ic_distance", m.avg_ic_distance)
+        .field("ic_diameter", static_cast<std::uint64_t>(m.ic_diameter))
+        .field("bisection_measured", m.bisection_measured);
+    w.field_if_finite("bisection_closed_form", m.bisection_closed_form);
+    w.field("batch_throughput", m.batch_throughput)
+        .field("batch_avg_latency", m.batch_avg_latency);
+    w.field_if_finite("open_avg_latency", m.open_avg_latency);
+    w.field_if_finite("open_p99_latency", m.open_p99_latency);
+    w.field("static_from_cache", m.static_from_cache)
+        .field("sim_jobs", static_cast<std::uint64_t>(m.sim_jobs))
+        .field("sim_cache_hits", static_cast<std::uint64_t>(m.sim_cache_hits))
+        .end_object();
+  }
+  w.end_array();
+  if (cache != nullptr) {
+    const store::StoreStats s = cache->stats();
+    w.begin_object("cache")
+        .field("root", cache->root().string())
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("corrupt", s.corrupt)
+        .field("writes", s.writes)
+        .field("bytes_read", s.bytes_read)
+        .field("bytes_written", s.bytes_written)
+        .field("entries", cache->entry_count())
+        .end_object();
+  }
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) return usage(argv[0]);
+  opt.command = argv[1];
+  if (opt.command != "sweep" && opt.command != "query" &&
+      opt.command != "compare") {
+    std::cerr << "unknown command: " << opt.command << "\n";
+    return usage(argv[0]);
+  }
+
+  DesignPoint query_point;
+  bool saw_family = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.cache_dir = v;
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
+    } else if (arg == "--invalidate") {
+      opt.invalidate = true;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.json_path = v;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.seeds = std::stoul(v);
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--expect-all-hits") {
+      opt.expect_all_hits = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--point" && opt.command == "compare") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      const auto p = parse_point(v);
+      if (!p.has_value()) {
+        std::cerr << "bad point spec: " << v << "\n";
+        return usage(argv[0]);
+      }
+      opt.points.push_back(*p);
+    } else if (arg == "--family" && opt.command == "query") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      query_point.family = v;
+      saw_family = true;
+    } else if (arg == "--levels" && opt.command == "query") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      query_point.levels = std::stoul(v);
+    } else if (arg == "--nucleus-dim" && opt.command == "query") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      query_point.nucleus_dim = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--chip-size" && opt.command == "query") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      query_point.chip_size = std::stoul(v);
+    } else if (opt.command == "compare" && !arg.empty() && arg[0] != '-') {
+      // Bare point specs ("hsn:l=2,q=4") are accepted as shorthand for
+      // --point.
+      const auto p = parse_point(arg);
+      if (!p.has_value()) {
+        std::cerr << "bad point spec: " << arg << "\n";
+        return usage(argv[0]);
+      }
+      opt.points.push_back(*p);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<DesignPoint> grid;
+  if (opt.command == "sweep") {
+    grid = explore::default_grid(opt.smoke);
+  } else if (opt.command == "query") {
+    if (!saw_family) {
+      std::cerr << "query needs --family\n";
+      return usage(argv[0]);
+    }
+    grid.push_back(query_point);
+  } else {
+    if (opt.points.empty()) {
+      std::cerr << "compare needs at least one --point\n";
+      return usage(argv[0]);
+    }
+    grid = opt.points;
+  }
+
+  std::unique_ptr<store::ResultStore> cache;
+  if (!opt.no_cache) {
+    try {
+      cache = std::make_unique<store::ResultStore>(opt.cache_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot open cache at " << opt.cache_dir << ": " << e.what()
+                << " (continuing uncached)\n";
+    }
+  }
+  if (cache != nullptr) {
+    cache->set_log(&std::cerr);
+    if (opt.invalidate) {
+      std::cerr << "[cache] invalidated " << cache->invalidate()
+                << " records under " << cache->root().string() << "\n";
+    }
+  }
+
+  explore::ExploreConfig cfg;
+  cfg.cache = cache.get();
+  cfg.seed_replicates = opt.seeds;
+  sim::StreamSweepProgress progress(std::cerr);
+  if (!opt.quiet) cfg.progress = &progress;
+
+  std::vector<DesignMetrics> rows;
+  try {
+    rows = explore::evaluate_grid(grid, cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  print_table(rows);
+
+  std::string json_path = opt.json_path;
+  if (json_path.empty() && opt.command == "sweep") {
+    json_path = "DESIGN_SPACE.json";
+  }
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      emit_json(std::cout, opt.command, rows, cache.get());
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 2;
+      }
+      emit_json(out, opt.command, rows, cache.get());
+      std::cout << "wrote " << json_path << "\n";
+    }
+  }
+
+  std::size_t jobs = 0, hits = 0, static_misses = 0;
+  for (const DesignMetrics& m : rows) {
+    jobs += m.sim_jobs;
+    hits += m.sim_cache_hits;
+    if (!m.static_from_cache) ++static_misses;
+  }
+  std::cerr << "[cache] " << hits << "/" << jobs << " sim jobs from cache, "
+            << (rows.size() - static_misses) << "/" << rows.size()
+            << " static bundles from cache\n";
+  if (opt.expect_all_hits && (hits != jobs || static_misses != 0)) {
+    std::cerr << "--expect-all-hits: cold entries found ("
+              << (jobs - hits) << " sim misses, " << static_misses
+              << " static misses)\n";
+    return 1;
+  }
+  return 0;
+}

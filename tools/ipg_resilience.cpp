@@ -1,7 +1,8 @@
 // ipg_resilience — production-scale fault-tolerance studies CLI.
 //
 //   ipg_resilience [--smoke] [--percolation] [--supergraph]
-//                  [--out-dir DIR]
+//                  [--out-dir DIR] [--cache-dir DIR] [--no-cache]
+//                  [--invalidate]
 //
 // Two studies (both run when neither --percolation nor --supergraph is
 // given):
@@ -18,9 +19,16 @@
 //     (schema ipg-resilience-v1).
 //
 // --smoke shrinks both studies to a seconds-scale CI gate (fewer nets,
-// fewer probabilities, fewer trials) with the same schemas. Exit status: 0
-// on success (including all containment checks passing), 1 when any
-// supergraph containment check fails, 2 on usage errors.
+// fewer probabilities, fewer trials) with the same schemas.
+//
+// Percolation trials run through the content-addressed result store
+// (docs/DESIGN_SPACE.md): every trial's FaultPlan is a pure function of the
+// sweep seed, so re-running an identical sweep performs zero simulator
+// invocations. --cache-dir picks the store root (default .ipg-cache),
+// --no-cache bypasses it, --invalidate wipes it first.
+//
+// Exit status: 0 on success (including all containment checks passing), 1
+// when any supergraph containment check fails, 2 on usage errors.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -36,9 +44,11 @@
 #include "sim/routers.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
+#include "store/result_store.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "topology/super_ipg.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -87,54 +97,61 @@ std::vector<Net> build_networks(bool smoke) {
   return nets;
 }
 
-void json_number(std::ostream& os, double v) {
-  // JSON has no NaN/inf; null keeps "undefined" distinguishable from 0.
-  if (std::isnan(v) || std::isinf(v)) {
-    os << "null";
-  } else {
-    os << v;
-  }
-}
-
 void emit_percolation_json(std::ostream& os,
                            const std::vector<PercolationCurve>& curves,
-                           const PercolationConfig& cfg, bool smoke) {
-  os << "{\n  \"schema\": \"ipg-percolation-v1\",\n  \"smoke\": "
-     << (smoke ? "true" : "false") << ",\n  \"failure_mode\": \""
-     << (cfg.mode == FailureMode::kLinks ? "links" : "nodes")
-     << "\",\n  \"offchip_only\": " << (cfg.offchip_only ? "true" : "false")
-     << ",\n  \"trials\": " << cfg.trials << ",\n  \"seed\": " << cfg.seed
-     << ",\n  \"st_samples\": " << cfg.st_samples
-     << ",\n  \"rate\": " << cfg.rate
-     << ",\n  \"inject_cycles\": " << cfg.inject_cycles
-     << ",\n  \"curves\": {\n";
-  for (std::size_t c = 0; c < curves.size(); ++c) {
-    const PercolationCurve& curve = curves[c];
-    os << "    \"" << curve.name << "\": {\n      \"healthy_avg_latency\": ";
-    json_number(os, curve.healthy_avg_latency);
-    os << ",\n      \"points\": [\n";
-    for (std::size_t i = 0; i < curve.points.size(); ++i) {
-      const PercolationPoint& pt = curve.points[i];
-      os << "        {\"p\": " << pt.p << ", \"trials\": " << pt.trials
-         << ", \"connected_fraction\": " << pt.connected_fraction
-         << ", \"largest_component_fraction\": "
-         << pt.largest_component_fraction
-         << ", \"st_reachability\": " << pt.st_reachability
-         << ", \"delivered_fraction\": " << pt.delivered_fraction
-         << ", \"latency_inflation\": ";
-      json_number(os, pt.latency_inflation);
-      os << ", \"reroute_hops_per_delivered\": ";
-      json_number(os, pt.reroute_hops_per_delivered);
-      os << ", \"retransmits_per_injected\": " << pt.retransmits_per_injected
-         << "}" << (i + 1 < curve.points.size() ? "," : "") << "\n";
+                           const PercolationConfig& cfg, bool smoke,
+                           const store::ResultStore* cache) {
+  util::JsonWriter w(os);
+  w.begin_object()
+      .field("schema", "ipg-percolation-v1")
+      .field("smoke", smoke)
+      .field("failure_mode", cfg.mode == FailureMode::kLinks ? "links" : "nodes")
+      .field("offchip_only", cfg.offchip_only)
+      .field("trials", static_cast<std::uint64_t>(cfg.trials))
+      .field("seed", cfg.seed)
+      .field("st_samples", static_cast<std::uint64_t>(cfg.st_samples))
+      .field("rate", cfg.rate)
+      .field("inject_cycles", static_cast<std::uint64_t>(cfg.inject_cycles));
+  w.begin_object("curves");
+  for (const PercolationCurve& curve : curves) {
+    w.begin_object(curve.name);
+    w.field("healthy_avg_latency", curve.healthy_avg_latency);
+    w.begin_array("points");
+    for (const PercolationPoint& pt : curve.points) {
+      w.begin_object()
+          .field("p", pt.p)
+          .field("trials", static_cast<std::uint64_t>(pt.trials))
+          .field("connected_fraction", pt.connected_fraction)
+          .field("largest_component_fraction", pt.largest_component_fraction)
+          .field("st_reachability", pt.st_reachability)
+          .field("delivered_fraction", pt.delivered_fraction)
+          .field("latency_inflation", pt.latency_inflation)
+          .field("reroute_hops_per_delivered", pt.reroute_hops_per_delivered)
+          .field("retransmits_per_injected", pt.retransmits_per_injected)
+          .end_object();
     }
-    os << "      ]\n    }" << (c + 1 < curves.size() ? "," : "") << "\n";
+    w.end_array().end_object();
   }
-  os << "  }\n}\n";
+  w.end_object();
+  if (cache != nullptr) {
+    const store::StoreStats s = cache->stats();
+    w.begin_object("cache")
+        .field("root", cache->root().string())
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("corrupt", s.corrupt)
+        .field("writes", s.writes)
+        .end_object();
+  }
+  w.end_object();
+  os << "\n";
 }
 
-int run_percolation(bool smoke, const std::string& out_dir) {
+int run_percolation(bool smoke, const std::string& out_dir,
+                    store::ResultStore* cache) {
   PercolationConfig cfg;
+  cfg.cache = cache;
+  cfg.pattern_tag = "uniform";
   cfg.mode = FailureMode::kLinks;
   cfg.offchip_only = true;  // chip-internal wiring assumed reliable (MCMP)
   if (smoke) {
@@ -156,6 +173,9 @@ int run_percolation(bool smoke, const std::string& out_dir) {
   for (const Net& net : build_networks(smoke)) {
     std::cerr << "[percolation] " << net.name << " ("
               << net.graph.num_nodes() << " nodes)\n";
+    // Routers are opaque callables; the construction name pins the route
+    // function (each named net has exactly one canonical router here).
+    cfg.router_tag = "canonical:" + net.name;
     curves.push_back(percolation_sweep(net.network, net.router,
                                        uniform_traffic(net.network.num_nodes()),
                                        cfg));
@@ -178,7 +198,13 @@ int run_percolation(bool smoke, const std::string& out_dir) {
     std::cerr << "cannot write " << path << "\n";
     return 2;
   }
-  emit_percolation_json(out, curves, cfg, smoke);
+  emit_percolation_json(out, curves, cfg, smoke, cache);
+  if (cache != nullptr) {
+    const store::StoreStats st = cache->stats();
+    std::cout << "[cache] " << st.hits << " hits / " << st.misses
+              << " misses / " << st.writes << " writes under "
+              << cache->root().string() << "\n";
+  }
   std::cout << "wrote " << path << "\n";
   return 0;
 }
@@ -197,26 +223,33 @@ struct SupergraphRow {
 void emit_resilience_json(std::ostream& os,
                           const std::vector<SupergraphRow>& rows,
                           bool smoke) {
-  os << "{\n  \"schema\": \"ipg-resilience-v1\",\n  \"smoke\": "
-     << (smoke ? "true" : "false") << ",\n  \"supergraphs\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SupergraphRow& r = rows[i];
-    os << "    {\"nucleus\": \"" << r.nucleus << "\", \"n\": " << r.n
-       << ", \"k\": " << r.k << ", \"method\": \"" << r.method
-       << "\", \"extra_edges\": " << r.extra_edges
-       << ", \"universal_spares_extra_edges\": " << r.baseline_extra_edges
-       << ", \"cost_ratio\": ";
-    json_number(os, r.baseline_extra_edges > 0
-                        ? static_cast<double>(r.extra_edges) /
-                              static_cast<double>(r.baseline_extra_edges)
-                        : std::nan(""));
-    os << ", \"max_degree\": " << r.max_degree
-       << ", \"subsets_checked\": " << r.report.subsets_checked
-       << ", \"exhaustive\": " << (r.report.exhaustive ? "true" : "false")
-       << ", \"containment_failures\": " << r.report.failures << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+  util::JsonWriter w(os);
+  w.begin_object().field("schema", "ipg-resilience-v1").field("smoke", smoke);
+  w.begin_array("supergraphs");
+  for (const SupergraphRow& r : rows) {
+    w.begin_object()
+        .field("nucleus", r.nucleus)
+        .field("n", static_cast<std::uint64_t>(r.n))
+        .field("k", static_cast<std::uint64_t>(r.k))
+        .field("method", r.method)
+        .field("extra_edges", static_cast<std::uint64_t>(r.extra_edges))
+        .field("universal_spares_extra_edges",
+               static_cast<std::uint64_t>(r.baseline_extra_edges))
+        .field("cost_ratio",
+               r.baseline_extra_edges > 0
+                   ? static_cast<double>(r.extra_edges) /
+                         static_cast<double>(r.baseline_extra_edges)
+                   : std::nan(""))
+        .field("max_degree", static_cast<std::uint64_t>(r.max_degree))
+        .field("subsets_checked",
+               static_cast<std::uint64_t>(r.report.subsets_checked))
+        .field("exhaustive", r.report.exhaustive)
+        .field("containment_failures",
+               static_cast<std::uint64_t>(r.report.failures))
+        .end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array().end_object();
+  os << "\n";
 }
 
 int run_supergraph(bool smoke, const std::string& out_dir) {
@@ -299,7 +332,8 @@ int run_supergraph(bool smoke, const std::string& out_dir) {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--smoke] [--percolation] [--supergraph] [--out-dir DIR]\n";
+            << " [--smoke] [--percolation] [--supergraph] [--out-dir DIR]"
+               " [--cache-dir DIR] [--no-cache] [--invalidate]\n";
   return 2;
 }
 
@@ -309,7 +343,10 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool percolation = false;
   bool supergraph = false;
+  bool no_cache = false;
+  bool invalidate = false;
   std::string out_dir = ".";
+  std::string cache_dir = ".ipg-cache";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -321,6 +358,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--out-dir") {
       if (i + 1 >= argc) return usage(argv[0]);
       out_dir = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      cache_dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--invalidate") {
+      invalidate = true;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage(argv[0]);
@@ -328,9 +372,24 @@ int main(int argc, char** argv) {
   }
   if (!percolation && !supergraph) percolation = supergraph = true;
 
+  std::unique_ptr<store::ResultStore> cache;
+  if (!no_cache) {
+    try {
+      cache = std::make_unique<store::ResultStore>(cache_dir);
+      cache->set_log(&std::cerr);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot open cache at " << cache_dir << ": " << e.what()
+                << " (continuing uncached)\n";
+    }
+  }
+  if (cache != nullptr && invalidate) {
+    std::cerr << "[cache] invalidated " << cache->invalidate()
+              << " records under " << cache->root().string() << "\n";
+  }
+
   int status = 0;
   if (percolation) {
-    const int rc = run_percolation(smoke, out_dir);
+    const int rc = run_percolation(smoke, out_dir, cache.get());
     if (rc != 0) return rc;
   }
   if (supergraph) {

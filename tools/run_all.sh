@@ -24,4 +24,15 @@ for e in build/examples/*; do
   "$e" 2>&1 | tee "results/example_$name.txt"
 done
 
+# Design-space explorer smoke: cold sweep then warm re-run that must be
+# served entirely from the content-addressed store.
+echo "=== ipg_design (smoke, cold + warm) ==="
+rm -rf results/ipg-design-cache
+build/tools/ipg_design sweep --smoke --quiet \
+  --cache-dir results/ipg-design-cache \
+  --json results/DESIGN_SPACE_smoke.json 2>&1 | tee results/ipg_design.txt
+build/tools/ipg_design sweep --smoke --quiet --expect-all-hits \
+  --cache-dir results/ipg-design-cache \
+  --json results/DESIGN_SPACE_smoke_warm.json 2>&1 | tee -a results/ipg_design.txt
+
 echo "All outputs under results/."
