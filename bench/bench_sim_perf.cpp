@@ -12,9 +12,12 @@
 //
 // A second section measures the sharded parallel engine's strong-scaling
 // curve — a fixed 64k-node HSN(4, Q4) cyclic-exchange workload at K = 1, 2,
-// 4, ... domains, bit-checked against the kArena baseline — and drives one
-// million-node HSN(5, Q4) exchange round end to end. Emitted separately as
+// 4, ... domains, bit-checked against the kArena baseline — plus a
+// bounded-buffer point (HSN(3, Q4), node_buffer_packets = 4) that keeps the
+// credit protocol on the measured path, and drives one million-node
+// HSN(5, Q4) exchange round end to end. Emitted separately as
 // BENCH_sim_scale.json.
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstddef>
@@ -92,7 +95,9 @@ std::vector<Injection> cyclic_exchange(std::size_t n, std::size_t rounds) {
   std::vector<Injection> inj;
   inj.reserve(n * rounds);
   for (std::size_t r = 0; r < rounds; ++r) {
-    const std::size_t off = (r * 8191 + 1) % n;
+    // Guard off == 0 (possible when 8191 = -1 mod n, e.g. n = 4096): a zero
+    // offset would make every injection a rejected self-send.
+    const std::size_t off = std::max<std::size_t>((r * 8191 + 1) % n, 1);
     for (std::size_t v = 0; v < n; ++v) {
       inj.push_back({static_cast<NodeId>(v),
                      static_cast<NodeId>((v + off) % n),
@@ -150,6 +155,51 @@ int run_sharded_scaling(std::ostream& json) {
     }
   }
 
+  // Bounded-buffer strong-scaling point: the same cyclic-exchange shape on
+  // a 4096-node HSN(3, Q4) with node_buffer_packets = 4, so the credit
+  // protocol (claim floors, frontier commits, serial-window fallback) is on
+  // the measured path. Bit-checked against the bounded kArena baseline at
+  // every K; backpressure costs extra barriers, so this curve tracks how
+  // much scaling survives tight buffers.
+  auto mid = std::make_shared<SuperIpg>(
+      make_hsn(3, std::make_shared<HypercubeNucleus>(4)));
+  const auto mid_net = mcmp::make_unit_chip_network(
+      mid->to_graph(), mid->nucleus_clustering(), 1.0);
+  const Router mid_router = [mid](NodeId s, NodeId d) {
+    return mid->route(s, d);
+  };
+  const auto mid_inj = cyclic_exchange(mid_net.num_nodes(), 4);
+  SimConfig bounded_cfg;
+  bounded_cfg.packet_length_flits = 16;
+  bounded_cfg.node_buffer_packets = 4;
+  auto tm = Clock::now();
+  const auto bounded_baseline = run_trace(mid_net, mid_router, mid_inj,
+                                          bounded_cfg);
+  const double bounded_arena_s = seconds_since(tm);
+  std::vector<ScaleRow> bounded_rows;
+  for (std::uint32_t k = 1; k <= std::max<std::size_t>(pool, 8); k *= 2) {
+    SimConfig scfg = bounded_cfg;
+    scfg.engine = Engine::kSharded;
+    scfg.shard_domains = k;
+    auto tk = Clock::now();
+    const auto r = run_trace(mid_net, mid_router, mid_inj, scfg);
+    ScaleRow row;
+    row.domains = k;
+    row.seconds = seconds_since(tk);
+    row.bit_identical =
+        std::bit_cast<std::uint64_t>(r.makespan_cycles) ==
+            std::bit_cast<std::uint64_t>(bounded_baseline.makespan_cycles) &&
+        std::bit_cast<std::uint64_t>(r.avg_latency_cycles) ==
+            std::bit_cast<std::uint64_t>(
+                bounded_baseline.avg_latency_cycles) &&
+        r.packets_delivered == bounded_baseline.packets_delivered;
+    bounded_rows.push_back(row);
+    if (!row.bit_identical) {
+      std::cerr << "FAIL: bounded kSharded K=" << k
+                << " diverged from bounded kArena\n";
+    }
+  }
+
   // Million-node run: one exchange round over a 5-level HSN (16^5 nodes),
   // proving the sharded engine completes at that scale.
   auto big = std::make_shared<SuperIpg>(
@@ -187,6 +237,27 @@ int run_sharded_scaling(std::ostream& json) {
         .end_object();
   }
   w.end_array();
+  w.begin_object("bounded_buffers")
+      .field("network", "HSN(3, Q4) (4096 nodes, 256 chips x 16 nodes)")
+      .field("workload", "4-round cyclic exchange, " +
+                             std::to_string(mid_inj.size()) + " packets")
+      .field("node_buffer_packets",
+             static_cast<std::uint64_t>(bounded_cfg.node_buffer_packets));
+  w.begin_object("arena_baseline")
+      .field("seconds", bounded_arena_s)
+      .end_object();
+  w.begin_array("sharded");
+  for (const ScaleRow& row : bounded_rows) {
+    all_identical = all_identical && row.bit_identical;
+    w.begin_object()
+        .field("domains", row.domains)
+        .field("seconds", row.seconds)
+        .field("speedup_vs_arena", bounded_arena_s / row.seconds)
+        .field("bit_identical", row.bit_identical)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.begin_object("million_node")
       .field("network", "HSN(5, Q4)")
       .field("nodes", static_cast<std::uint64_t>(big_net.num_nodes()))

@@ -40,43 +40,59 @@ struct EngineStats {
 };
 
 /// Diagnoses why bounded-buffer packets are stuck at end of run: every
-/// undelivered packet is parked in some waiting list, so following the
-/// "node hosting a parked packet -> full node it wants to enter" relation
-/// from any parked packet must revisit a node — that cycle is the report.
+/// undelivered packet is parked in some waiting list, so the "node hosting
+/// a parked packet -> full node it wants to enter" relation must contain a
+/// cycle at quiescence. Every edge is kept (a host may have parked packets
+/// wanting different nodes — keeping only the first can dead-end the walk
+/// on a non-cycle branch) and a DFS extracts a genuine cycle, reported
+/// without any lead-in nodes so the message names only nodes that are
+/// actually deadlocked. All three engines funnel through this one function
+/// with their real waiting lists, so the message is identical across them.
 /// @p at_of maps a parked packet id to the node currently hosting it.
 template <typename AtOf>
 [[noreturn]] void fail_with_deadlock_cycle(
     const std::vector<std::deque<std::uint32_t>>& waiting, AtOf&& at_of) {
-  std::vector<NodeId> succ(waiting.size(), topology::kInvalidNode);
-  NodeId start = topology::kInvalidNode;
-  for (std::size_t to = 0; to < waiting.size(); ++to) {
+  const std::size_t n = waiting.size();
+  std::vector<std::vector<NodeId>> succ(n);
+  for (std::size_t to = 0; to < n; ++to) {
     for (const std::uint32_t pid : waiting[to]) {
-      const NodeId at = at_of(pid);
-      if (succ[at] == topology::kInvalidNode) {
-        succ[at] = static_cast<NodeId>(to);
-      }
-      if (start == topology::kInvalidNode) start = at;
+      succ[at_of(pid)].push_back(static_cast<NodeId>(to));
     }
   }
   std::string msg =
       "simulation ended with undelivered packets — routing deadlock under "
       "bounded buffers";
-  if (start != topology::kInvalidNode) {
-    std::vector<std::uint8_t> seen(waiting.size(), 0);
-    std::vector<NodeId> path;
-    NodeId v = start;
-    while (v != topology::kInvalidNode && seen[v] == 0) {
-      seen[v] = 1;
-      path.push_back(v);
-      v = succ[v];
+  // Iterative DFS; the first back edge closes a cycle, read off the stack.
+  std::vector<NodeId> cycle;
+  std::vector<std::uint8_t> color(n, 0);  // 0 unseen, 1 on stack, 2 done
+  for (std::size_t s = 0; s < n && cycle.empty(); ++s) {
+    if (color[s] != 0 || succ[s].empty()) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    stack.emplace_back(static_cast<NodeId>(s), 0);
+    color[s] = 1;
+    while (!stack.empty() && cycle.empty()) {
+      const NodeId v = stack.back().first;
+      std::size_t& i = stack.back().second;
+      if (i < succ[v].size()) {
+        const NodeId w = succ[v][i++];
+        if (color[w] == 1) {
+          std::size_t j = 0;
+          while (stack[j].first != w) ++j;
+          for (; j < stack.size(); ++j) cycle.push_back(stack[j].first);
+        } else if (color[w] == 0) {
+          color[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
     }
-    if (v != topology::kInvalidNode) {
-      msg += "; waiting cycle: ";
-      std::size_t i = 0;
-      while (path[i] != v) ++i;
-      for (; i < path.size(); ++i) msg += std::to_string(path[i]) + " -> ";
-      msg += std::to_string(v);
-    }
+  }
+  if (!cycle.empty()) {
+    msg += "; waiting cycle: ";
+    for (const NodeId v : cycle) msg += std::to_string(v) + " -> ";
+    msg += std::to_string(cycle.front());
   }
   throw std::invalid_argument(msg);
 }

@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/event_heap.hpp"
@@ -73,20 +75,45 @@ void apply_rec(const Rec& r, EngineStats& stats, SimObserver* obs) {
   }
 }
 
+/// Globally-ordered (time, seq) position: the commit frontier of a barrier
+/// is the earliest unprocessed event across all domains, and record replay
+/// applies exactly the records strictly before it.
+struct KeySeq {
+  std::uint64_t key = kNoEvent;
+  std::uint32_t seq = ~std::uint32_t{0};
+};
+
+bool operator<(const KeySeq& a, const KeySeq& b) {
+  return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+}
+
+constexpr KeySeq kFrontierEnd{kNoEvent, ~std::uint32_t{0}};
+
 /// Serial barrier replay: K-way merge of the domains' record buffers by
 /// (key, seq). Equal (key, seq) across domains cannot collide — a packet
 /// lives in exactly one domain per window and its seq embeds its id — and
 /// within a domain equal pairs (a detour and its hop) stay adjacent because
 /// the scan prefers the earliest domain position at ties.
+///
+/// Only records strictly before @p frontier (the earliest still-unprocessed
+/// event) are applied; the rest stay buffered. With unbounded buffers every
+/// record is always below the frontier, but a bounded-buffer window can
+/// stall on a missing credit, leaving other domains' records *after* the
+/// stalled event — applying those early would replay deliveries and
+/// observer hooks out of the sequential order. Each buffer is sorted (a
+/// domain's events pop in nondecreasing (key, seq) order across windows of
+/// either mode), so a record at or past the frontier ends that buffer's
+/// scan.
 template <typename Domain>
 void replay_window(std::vector<Domain>& doms, EngineStats& stats,
-                   SimObserver* obs) {
+                   SimObserver* obs, const KeySeq& frontier) {
   std::vector<std::size_t> pos(doms.size(), 0);
   for (;;) {
     std::size_t best = doms.size();
     for (std::size_t d = 0; d < doms.size(); ++d) {
       if (pos[d] >= doms[d].recs.size()) continue;
       const Rec& r = doms[d].recs[pos[d]];
+      if (!(KeySeq{r.key, r.seq} < frontier)) continue;
       if (best == doms.size()) {
         best = d;
         continue;
@@ -97,7 +124,11 @@ void replay_window(std::vector<Domain>& doms, EngineStats& stats,
     if (best == doms.size()) break;
     apply_rec(doms[best].recs[pos[best]++], stats, obs);
   }
-  for (Domain& d : doms) d.recs.clear();
+  for (std::size_t d = 0; d < doms.size(); ++d) {
+    doms[d].recs.erase(doms[d].recs.begin(),
+                       doms[d].recs.begin() +
+                           static_cast<std::ptrdiff_t>(pos[d]));
+  }
 }
 
 /// Domain count for a run: the explicit knob, else the process thread
@@ -172,7 +203,344 @@ void run_domains(std::size_t k, Body&& body) {
 }
 
 // ---------------------------------------------------------------------------
-// Healthy sharded run (no faults, no cutoff, unbounded buffers).
+// Bounded-buffer backpressure under sharding: the credit protocol.
+//
+// A *boundary* node has an in-neighbor in another domain, so its occupancy
+// is cross-domain state. Claims on non-boundary nodes are always made by
+// the owning domain (if the upstream node were foreign the node would be a
+// boundary node), so those run the sequential park/wake logic verbatim on
+// the authoritative occupancy/waiting arrays with no sharing.
+//
+// Boundary nodes are governed by three rules that together reproduce the
+// sequential admission order exactly:
+//
+//  1. Order-independent grants. Claims on a boundary node are gated by
+//     per-domain credits granted at the barriers under the invariant
+//       committed occupancy + uncommitted claims + outstanding credits
+//         <= cap,
+//     so a credit-backed claim is admitted under *every* interleaving of
+//     the credit-backed claims — the sequential engine, whatever order it
+//     processed them in, had headroom for each one too, and which domain
+//     physically claimed first cannot matter. A claim finding no credit
+//     *stalls* its domain (re-queues the event, ends the window early):
+//     past this point admission depends on order, and only the barrier has
+//     the global view to decide it.
+//  2. Claim floors. A credit alone is not enough: an *earlier* (time, seq)
+//     claim by another domain might stall this very window, and the
+//     sequential engine serves that one first — its admission shifts the
+//     occupancy every later claim sees. So a claim may also proceed only
+//     when it is strictly below every other claimant domain's floor (that
+//     domain's next-event (time, seq) at the window start, a lower bound
+//     on any claim it can still make — see compute_claim_floors). Below
+//     the floor no earlier competitor can exist anywhere; at or above it
+//     the domain stalls and the barrier orders the contenders by their
+//     exact stamps.
+//  3. Frontier-committed occupancy. Boundary claims and frees are logged
+//     with the (time, seq) of the event that performed them and merged
+//     into one pending list at the barrier; an entry commits into the
+//     authoritative occupancy only when the commit frontier (the earliest
+//     still-unprocessed event) passes it — the same discipline record
+//     replay follows. A stalled claim re-examined at the barrier therefore
+//     sees exactly the occupancy the sequential engine saw at its
+//     (time, seq), not a window-granular fold polluted by claims that
+//     sequentially happen later.
+//
+// At the barrier a stalled node first reclaims the credits other domains
+// are sitting on; if headroom exists at the frontier the staller is
+// re-granted first and parallel windows resume. When the node is full even
+// at the frontier — the sequential engine parks there — the next window
+// runs *serially*: one coordinator pops the global (time, seq) minimum
+// across every domain, interleaves still-pending log entries at their
+// exact positions (committing a free wakes the front waiter, just as the
+// sequential free event would), and executes the sequential loop body
+// verbatim, parking and waking through the shared waiting lists, until no
+// boundary waiting list is occupied and parallel windows resume. Serial
+// windows bypass the credit system, so on entry every outstanding credit
+// is cancelled and re-granted at the next parallel transition.
+// ---------------------------------------------------------------------------
+
+/// One boundary claim (+1) or free (-1), stamped with the (key, seq) of
+/// the event that performed it so it commits in exact global order.
+struct BufDelta {
+  std::uint64_t key;
+  std::uint32_t seq;
+  NodeId node;
+  std::int32_t delta;
+};
+
+bool delta_less(const BufDelta& a, const BufDelta& b) {
+  return KeySeq{a.key, a.seq} < KeySeq{b.key, b.seq};
+}
+struct BufferState {
+  std::size_t cap = 0;  ///< cfg.node_buffer_packets; 0 disables everything
+  /// Authoritative occupancy *at the commit frontier*. Non-boundary
+  /// entries are updated live by the owning domain; boundary entries
+  /// advance only as pending deltas commit.
+  std::vector<std::int64_t> occupancy;
+  std::vector<std::deque<std::uint32_t>> waiting;
+  std::vector<std::uint8_t> boundary;  ///< has an in-neighbor in another domain
+  /// Boundary nodes only: domains owning at least one in-neighbor.
+  std::vector<std::vector<std::uint32_t>> claimants;
+  /// Boundary claims logged but not yet committed: occupancy the frontier
+  /// has not reached, still counted against grantable headroom.
+  std::vector<std::int64_t> pending_claims;
+  std::vector<std::int64_t> outstanding;  ///< granted, not yet consumed
+  std::vector<std::uint32_t> rotation;    ///< grant fairness cursor
+  std::vector<std::uint8_t> queued;       ///< node already on the regrant list
+  std::vector<NodeId> regrant;            ///< nodes whose headroom changed
+  std::vector<std::uint8_t> has_grant;    ///< node on the granted list
+  std::vector<NodeId> granted;            ///< nodes with outstanding credits
+  /// Logged-but-uncommitted boundary deltas, (key, seq)-sorted; the prefix
+  /// below pending_pos is committed and reclaimed at the next fold.
+  std::vector<BufDelta> pending;
+  std::size_t pending_pos = 0;
+  /// Claim floors, recomputed before each parallel window (see
+  /// compute_claim_floors): smallest and second-smallest next-event
+  /// (key, seq) over a node's claimant domains, plus which domain holds
+  /// the smallest.
+  std::vector<KeySeq> floor_min;
+  std::vector<KeySeq> floor_second;
+  std::vector<std::uint32_t> floor_owner;
+  std::size_t boundary_parked = 0;  ///< packets parked at boundary nodes
+
+  bool enabled() const { return cap > 0; }
+  std::int64_t icap() const { return static_cast<std::int64_t>(cap); }
+  /// Smallest (key, seq) any *other* claimant domain could still claim at
+  /// this window; a claim strictly below it has no earlier competitor.
+  KeySeq claim_floor(NodeId n, std::uint32_t dom) const {
+    return floor_owner[n] == dom ? floor_second[n] : floor_min[n];
+  }
+  /// Upper bound on the node's occupancy under any interleaving of the
+  /// uncommitted claims (pending frees only ever add headroom).
+  std::int64_t occ_max(NodeId n) const {
+    return occupancy[n] + pending_claims[n];
+  }
+  const BufDelta* next_pending() const {
+    return pending_pos < pending.size() ? &pending[pending_pos] : nullptr;
+  }
+};
+
+BufferState make_buffer_state(const SimNetwork& net,
+                              const std::vector<LinkHot>& links,
+                              const std::vector<std::uint32_t>& domain_of,
+                              std::size_t cap) {
+  BufferState buf;
+  buf.cap = cap;
+  if (cap == 0) return buf;
+  const std::size_t n = net.num_nodes();
+  buf.occupancy.assign(n, 0);
+  buf.waiting.assign(n, {});
+  buf.boundary.assign(n, 0);
+  buf.claimants.assign(n, {});
+  buf.pending_claims.assign(n, 0);
+  buf.outstanding.assign(n, 0);
+  buf.floor_min.assign(n, kFrontierEnd);
+  buf.floor_second.assign(n, kFrontierEnd);
+  buf.floor_owner.assign(n, 0);
+  buf.rotation.assign(n, 0);
+  buf.queued.assign(n, 0);
+  buf.has_grant.assign(n, 0);
+  for (LinkId l = 0; l < net.num_links(); ++l) {
+    const NodeId to = links[l].to;
+    const std::uint32_t du = domain_of[net.link_from(l)];
+    std::vector<std::uint32_t>& cl = buf.claimants[to];
+    if (std::find(cl.begin(), cl.end(), du) == cl.end()) cl.push_back(du);
+    if (du != domain_of[to]) buf.boundary[to] = 1;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (buf.boundary[v] != 0) {
+      buf.regrant.push_back(v);  // initial grant at the first barrier
+      buf.queued[v] = 1;
+    } else {
+      buf.claimants[v].clear();  // credits never gate non-boundary claims
+    }
+  }
+  return buf;
+}
+
+/// Zeroes every domain's credits for @p node and queues it for re-grant.
+template <typename Dom>
+void cancel_node_credits(BufferState& buf, std::vector<Dom>& doms,
+                         NodeId node) {
+  for (Dom& d : doms) d.credits[node] = 0;
+  buf.outstanding[node] = 0;
+  if (buf.queued[node] == 0) {
+    buf.queued[node] = 1;
+    buf.regrant.push_back(node);
+  }
+}
+
+/// Distributes each queued node's headroom over its claimant domains, a
+/// stalled claimant first, then round-robin from a per-node rotation cursor
+/// so repeated contention stays fair. Headroom is measured against occ_max
+/// (committed occupancy plus uncommitted claims) so the grant invariant —
+/// occ_max + outstanding <= cap — holds and every credit-backed claim is
+/// admissible under any interleaving.
+template <typename Dom>
+void regrant_credits(BufferState& buf, std::vector<Dom>& doms,
+                     const std::vector<std::pair<std::uint32_t, NodeId>>&
+                         stalls) {
+  for (const NodeId node : buf.regrant) {
+    buf.queued[node] = 0;
+    const std::vector<std::uint32_t>& cl = buf.claimants[node];
+    if (cl.empty()) continue;
+    const std::int64_t avail =
+        buf.icap() - buf.occ_max(node) - buf.outstanding[node];
+    if (avail <= 0) continue;
+    std::size_t start = buf.rotation[node] % cl.size();
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      const std::size_t idx = (start + i) % cl.size();
+      const bool is_stalled =
+          std::any_of(stalls.begin(), stalls.end(), [&](const auto& s) {
+            return s.first == cl[idx] && s.second == node;
+          });
+      if (is_stalled) {
+        start = idx;
+        break;
+      }
+    }
+    buf.rotation[node] = static_cast<std::uint32_t>(start + 1);
+    const std::int64_t share = avail / static_cast<std::int64_t>(cl.size());
+    std::int64_t rem = avail % static_cast<std::int64_t>(cl.size());
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      const std::size_t idx = (start + i) % cl.size();
+      std::int64_t amount = share;
+      if (rem > 0) {
+        ++amount;
+        --rem;
+      }
+      doms[cl[idx]].credits[node] +=
+          static_cast<std::uint32_t>(amount);
+    }
+    buf.outstanding[node] += avail;
+    if (buf.has_grant[node] == 0) {
+      buf.has_grant[node] = 1;
+      buf.granted.push_back(node);
+    }
+  }
+  buf.regrant.clear();
+}
+
+/// Merges the window's per-domain boundary logs into the pending delta
+/// list (each log is already (key, seq)-sorted — its domain popped events
+/// in canonical order) and collects the window's stalls. A claim's credit
+/// is spent here — outstanding flows into pending_claims, so the grant
+/// invariant's occ_max + outstanding bound is unchanged — but the
+/// authoritative occupancy waits for the commit frontier.
+template <typename Dom>
+std::vector<std::pair<std::uint32_t, NodeId>> fold_buffer_logs(
+    BufferState& buf, std::vector<Dom>& doms) {
+  std::vector<std::pair<std::uint32_t, NodeId>> stalls;
+  if (!buf.enabled()) return stalls;
+  if (buf.pending_pos > 0) {  // reclaim the committed prefix
+    buf.pending.erase(
+        buf.pending.begin(),
+        buf.pending.begin() + static_cast<std::ptrdiff_t>(buf.pending_pos));
+    buf.pending_pos = 0;
+  }
+  const std::ptrdiff_t old_size =
+      static_cast<std::ptrdiff_t>(buf.pending.size());
+  for (Dom& d : doms) {
+    for (const BufDelta& e : d.buf_log) {
+      if (e.delta > 0) {
+        --buf.outstanding[e.node];
+        ++buf.pending_claims[e.node];
+      }
+      buf.pending.push_back(e);
+    }
+    d.buf_log.clear();
+  }
+  // Equal (key, seq) stamps can only be frees of the same node (claim seqs
+  // embed the claiming packet's id), which commute; stable sort + stable
+  // merge keep the commit order deterministic anyway.
+  std::stable_sort(buf.pending.begin() + old_size, buf.pending.end(),
+                   delta_less);
+  std::inplace_merge(buf.pending.begin(), buf.pending.begin() + old_size,
+                     buf.pending.end(), delta_less);
+  for (std::uint32_t d = 0; d < doms.size(); ++d) {
+    if (doms[d].stalled != topology::kInvalidNode) {
+      stalls.emplace_back(d, doms[d].stalled);
+      doms[d].stalled = topology::kInvalidNode;
+    }
+  }
+  return stalls;
+}
+
+/// Wake event for a packet popped off a waiting list: the healthy engine's
+/// events carry the packet state in-line, the degraded engine's do not.
+inline Event make_wake_event(const std::vector<FlatPacket>& packets,
+                             std::uint32_t wpid, std::uint64_t key) {
+  const FlatPacket& p = packets[wpid];
+  return Event{key,  Event::kPacketSeqBase + wpid, wpid,
+               p.at, p.cursor,                     p.hops_left,
+               p.route_len};
+}
+inline Event make_wake_event(const std::vector<FaultPacket>& /*packets*/,
+                             std::uint32_t wpid, std::uint64_t key) {
+  return Event{key, Event::kPacketSeqBase + wpid, wpid};
+}
+
+/// Commits one pending boundary delta at the frontier. A claim turns
+/// pending occupancy into committed occupancy; a free releases the slot
+/// and wakes the front waiter exactly as the sequential free event would
+/// (the event itself was consumed by the window that logged the delta).
+/// The wake is pushed into the domain owning the packet's current node.
+template <typename Dom, typename Packet>
+void apply_buffer_delta(BufferState& buf, std::vector<Dom>& doms,
+                        const std::vector<Packet>& packets,
+                        const std::vector<std::uint32_t>& domain_of,
+                        const BufDelta& e) {
+  if (e.delta > 0) {
+    ++buf.occupancy[e.node];
+    --buf.pending_claims[e.node];
+    return;
+  }
+  --buf.occupancy[e.node];
+  if (!buf.waiting[e.node].empty()) {
+    const std::uint32_t wpid = buf.waiting[e.node].front();
+    buf.waiting[e.node].pop_front();
+    --buf.boundary_parked;  // deltas are logged for boundary nodes only
+    doms[domain_of[packets[wpid].at]].events.push(
+        make_wake_event(packets, wpid, e.key));
+  }
+  if (buf.queued[e.node] == 0) {  // headroom changed; revisit grants
+    buf.queued[e.node] = 1;
+    buf.regrant.push_back(e.node);
+  }
+}
+
+/// Decides the next window's mode and (re-)grants credits. Serial when a
+/// parked packet occupies a boundary waiting list (wakes must interleave
+/// in exact global order) or a stalled node is still full at the commit
+/// frontier (the sequential engine parks there). On a serial transition
+/// all outstanding credits are cancelled; otherwise freed headroom is
+/// re-granted, the window's stallers first.
+template <typename Dom>
+bool resolve_buffer_mode(
+    BufferState& buf, std::vector<Dom>& doms,
+    const std::vector<std::pair<std::uint32_t, NodeId>>& stalls) {
+  if (!buf.enabled()) return false;
+  bool serial = buf.boundary_parked > 0;
+  for (const std::pair<std::uint32_t, NodeId>& s : stalls) {
+    // Reclaim credits other domains are sitting on; if the node is full
+    // even then, the stalled claim is a genuine sequential park.
+    cancel_node_credits(buf, doms, s.second);
+    if (buf.occ_max(s.second) >= buf.icap()) serial = true;
+  }
+  if (serial) {
+    for (const NodeId node : buf.granted) {
+      buf.has_grant[node] = 0;
+      cancel_node_credits(buf, doms, node);
+    }
+    buf.granted.clear();
+    return true;
+  }
+  regrant_credits(buf, doms, stalls);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Healthy sharded run (no faults, no cutoff).
 // ---------------------------------------------------------------------------
 
 template <typename Queue>
@@ -184,31 +552,84 @@ struct HealthyDomain {
   std::size_t hops = 0;
   std::size_t offchip_hops = 0;
   std::vector<std::vector<Event>> outbox;  ///< one per destination domain
+  // Bounded-buffer state (cfg.node_buffer_packets > 0), see BufferState.
+  std::vector<std::uint32_t> credits;  ///< per boundary node, spent on claim
+  std::vector<BufDelta> buf_log;       ///< stamped boundary claims/frees
+  NodeId stalled = topology::kInvalidNode;  ///< window ended out of credits
 
   HealthyDomain(const Queue& proto, std::size_t k) : events(proto), outbox(k) {}
 };
 
-/// Earliest pending (time, seq) key in this domain — queued events merged
-/// with its not-yet-streamed injections — or kNoEvent when idle.
-template <typename Queue>
-std::uint64_t next_key(HealthyDomain<Queue>& dom,
-                       const std::vector<FlatPacket>& packets) {
-  std::uint64_t key = dom.events.empty() ? kNoEvent : dom.events.top().key;
-  if (dom.next_inject < dom.order.size()) {
-    key = std::min(
-        key, Event::key_of(packets[dom.order[dom.next_inject]].inject_time));
+/// Earliest pending (time, seq) in this domain — queued events merged with
+/// its not-yet-streamed injections — or kFrontierEnd when idle.
+template <typename Queue, typename Packet>
+KeySeq next_key_seq(Queue& events, std::size_t next_inject,
+                    const std::vector<std::uint32_t>& order,
+                    const std::vector<Packet>& packets) {
+  KeySeq ks;
+  if (!events.empty()) ks = {events.top().key, events.top().seq};
+  if (next_inject < order.size()) {
+    const std::uint32_t pid = order[next_inject];
+    const KeySeq inject{Event::key_of(packets[pid].inject_time),
+                        Event::kPacketSeqBase + pid};
+    if (inject < ks) ks = inject;
   }
-  return key;
+  return ks;
+}
+
+/// Recomputes, for every boundary node with granted credits, the smallest
+/// and second-smallest next-event (key, seq) over its claimant domains at
+/// the window start. A domain's in-window claims are all stamped at or
+/// after its own floor (event pops are ordered and pushes never precede
+/// the event creating them), so a credit-backed claim *strictly below*
+/// every other claimant's floor provably has no earlier competing claim —
+/// admitted, stalled, or parked — anywhere in the system, and admitting it
+/// is order-independent. At or above the floor the claim stalls: an
+/// earlier foreign claim might stall on exhausted credits this window, and
+/// sequentially that claim is served first. Called before every parallel
+/// window; serial windows order claims directly and need no floors.
+template <typename Dom, typename Packet>
+void compute_claim_floors(BufferState& buf, std::vector<Dom>& doms,
+                          const std::vector<Packet>& packets) {
+  if (!buf.enabled() || buf.granted.empty()) return;
+  std::vector<KeySeq> dom_floor(doms.size());
+  for (std::size_t d = 0; d < doms.size(); ++d) {
+    dom_floor[d] = next_key_seq(doms[d].events, doms[d].next_inject,
+                                doms[d].order, packets);
+  }
+  for (const NodeId node : buf.granted) {
+    KeySeq lo = kFrontierEnd;
+    KeySeq hi = kFrontierEnd;
+    std::uint32_t owner = 0;
+    for (const std::uint32_t d : buf.claimants[node]) {
+      const KeySeq f = dom_floor[d];
+      if (f < lo) {
+        hi = lo;
+        lo = f;
+        owner = d;
+      } else if (f < hi) {
+        hi = f;
+      }
+    }
+    buf.floor_min[node] = lo;
+    buf.floor_second[node] = hi;
+    buf.floor_owner[node] = owner;
+  }
 }
 
 /// One domain's window [m, W): the arena engine's event loop verbatim
 /// (same arithmetic, same order), stopping at w_key and diverting events
 /// for other domains into the outbox. links is shared across domains but a
-/// hop only touches links[l] for l leaving a node this domain owns.
+/// hop only touches links[l] for l leaving a node this domain owns; the
+/// same ownership argument covers the bounded-buffer occupancy and waiting
+/// entries of non-boundary nodes, while boundary-node claims go through
+/// this domain's credits and are folded into the shared state only at the
+/// barrier. A claim finding no credit re-queues its event and ends the
+/// window (dom.stalled).
 template <typename Queue>
 void run_healthy_window(HealthyDomain<Queue>& dom, std::uint64_t w_key,
-                        const SimNetwork& net,
-                        const std::vector<FlatPacket>& packets,
+                        const SimNetwork& net, BufferState& buf,
+                        std::vector<FlatPacket>& packets,
                         const std::uint16_t* route_ports,
                         std::vector<LinkHot>& links,
                         const std::vector<std::uint32_t>& domain_of,
@@ -247,6 +668,25 @@ void run_healthy_window(HealthyDomain<Queue>& dom, std::uint64_t w_key,
       break;
     }
 
+    if (buf.enabled() && ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      if (buf.boundary[node] != 0) {
+        // Committed into the shared occupancy as the frontier passes the
+        // stamp. The wake check happens at commit (apply_buffer_delta), in
+        // exact (key, seq) position relative to every other event.
+        dom.buf_log.push_back(BufDelta{ev.key, ev.seq, node, -1});
+      } else {
+        --buf.occupancy[node];
+        if (!buf.waiting[node].empty()) {
+          const std::uint32_t wpid = buf.waiting[node].front();
+          buf.waiting[node].pop_front();
+          const FlatPacket& p = packets[wpid];
+          dom.events.push({ev.key, Event::kPacketSeqBase + wpid, wpid, p.at,
+                           p.cursor, p.hops_left, p.route_len});
+        }
+      }
+      continue;
+    }
     if (ev.hops_left == 0) {
       Rec r;
       r.key = ev.key;
@@ -264,12 +704,42 @@ void run_healthy_window(HealthyDomain<Queue>& dom, std::uint64_t w_key,
     const NodeId to = link.to;
     const bool last_hop = ev.hops_left == 1;
 
+    if (buf.enabled() && !last_hop) {
+      if (buf.boundary[to] != 0) {
+        if (dom.credits[to] == 0 ||
+            !(KeySeq{ev.key, ev.seq} < buf.claim_floor(to, my_domain))) {
+          dom.events.push(ev);  // both queue types re-order stragglers
+          dom.stalled = to;
+          return;
+        }
+        --dom.credits[to];
+        dom.buf_log.push_back(BufDelta{ev.key, ev.seq, to, 1});
+      } else {
+        if (buf.occupancy[to] >= buf.icap()) {
+          FlatPacket& p = packets[ev.id()];
+          p.at = ev.at;
+          p.cursor = ev.cursor;
+          p.hops_left = ev.hops_left;
+          buf.waiting[to].push_back(ev.id());
+          continue;
+        }
+        ++buf.occupancy[to];
+      }
+    }
+
     const double now = ev.time();
     const double start = std::max(now, link.busy_until);
     const double tail_departure = start + link.transfer;
     const double tail_arrival = tail_departure + latency;
     link.busy_until = tail_departure;
     link.busy_time += link.transfer;
+
+    // The tail leaving ev.at frees the slot the packet held there. ev.at is
+    // owned by this domain, so the free event is always a local push.
+    if (buf.enabled() && ev.hops_left < ev.route_len) {
+      dom.events.push({Event::key_of(tail_departure), ev.at,
+                       ev.at | Event::kFreeBufferBit});
+    }
 
     ++dom.hops;
     dom.offchip_hops += link.offchip;
@@ -312,6 +782,164 @@ void run_healthy_window(HealthyDomain<Queue>& dom, std::uint64_t w_key,
   }
 }
 
+/// Serial fallback window [m, W) for contended bounded-buffer phases: one
+/// coordinator pops the global (time, seq) minimum across every domain's
+/// queue and injection slice and executes the sequential arena body
+/// verbatim — authoritative occupancy and waiting lists for *all* nodes,
+/// parks and same-instant wakeups included — pushing successor events
+/// directly into the owning domain's queue. Records still go through the
+/// owning domain's buffer (appends stay (key, seq)-sorted because each
+/// domain's events pop in global order here too) so the barrier replay is
+/// oblivious to which mode produced them.
+template <typename Queue>
+void run_serial_window_flat(std::vector<HealthyDomain<Queue>>& doms,
+                            std::uint64_t w_key, const SimNetwork& net,
+                            BufferState& buf, std::vector<FlatPacket>& packets,
+                            const std::uint16_t* route_ports,
+                            std::vector<LinkHot>& links,
+                            const std::vector<std::uint32_t>& domain_of,
+                            const SimConfig& cfg, bool record_hops) {
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
+
+  for (;;) {
+    std::size_t best = doms.size();
+    bool best_inject = false;
+    KeySeq bk = kFrontierEnd;
+    for (std::size_t d = 0; d < doms.size(); ++d) {
+      HealthyDomain<Queue>& dom = doms[d];
+      if (!dom.events.empty()) {
+        const KeySeq ks{dom.events.top().key, dom.events.top().seq};
+        if (ks < bk) {
+          bk = ks;
+          best = d;
+          best_inject = false;
+        }
+      }
+      if (dom.next_inject < dom.order.size()) {
+        const std::uint32_t pid = dom.order[dom.next_inject];
+        const KeySeq ks{Event::key_of(packets[pid].inject_time),
+                        Event::kPacketSeqBase + pid};
+        if (ks < bk) {
+          bk = ks;
+          best = d;
+          best_inject = true;
+        }
+      }
+    }
+    // A still-pending boundary delta earlier than every queued event acts
+    // first — committing a free here can wake a parked packet into some
+    // domain's queue, changing the minimum just computed.
+    const BufDelta* pd = buf.next_pending();
+    if (pd != nullptr && KeySeq{pd->key, pd->seq} < bk) {
+      apply_buffer_delta(buf, doms, packets, domain_of, *pd);
+      ++buf.pending_pos;
+      continue;
+    }
+    if (best == doms.size() || bk.key >= w_key) break;
+    HealthyDomain<Queue>& dom = doms[best];
+    Event ev;
+    if (best_inject) {
+      const std::uint32_t pid = dom.order[dom.next_inject++];
+      const FlatPacket& p = packets[pid];
+      ev = Event{bk.key, Event::kPacketSeqBase + pid, pid,
+                 p.at,   p.cursor,                    p.hops_left,
+                 p.route_len};
+    } else {
+      ev = dom.events.top();
+      dom.events.pop();
+    }
+
+    if (ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      --buf.occupancy[node];
+      if (!buf.waiting[node].empty()) {
+        const std::uint32_t wpid = buf.waiting[node].front();
+        buf.waiting[node].pop_front();
+        if (buf.boundary[node] != 0) --buf.boundary_parked;
+        const FlatPacket& p = packets[wpid];
+        doms[domain_of[p.at]].events.push({ev.key,
+                                           Event::kPacketSeqBase + wpid, wpid,
+                                           p.at, p.cursor, p.hops_left,
+                                           p.route_len});
+      }
+      continue;
+    }
+    if (ev.hops_left == 0) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kDeliver;
+      r.pid = ev.id();
+      r.node = ev.at;
+      r.d0 = packets[ev.id()].inject_time;
+      dom.recs.push_back(r);
+      continue;
+    }
+    const std::uint16_t port = route_ports[ev.cursor];
+    const LinkId link_id = static_cast<LinkId>(first_link[ev.at] + port);
+    LinkHot& link = links[link_id];
+    const NodeId to = link.to;
+    const bool last_hop = ev.hops_left == 1;
+
+    if (!last_hop) {
+      if (buf.occupancy[to] >= buf.icap()) {
+        FlatPacket& p = packets[ev.id()];
+        p.at = ev.at;
+        p.cursor = ev.cursor;
+        p.hops_left = ev.hops_left;
+        buf.waiting[to].push_back(ev.id());
+        if (buf.boundary[to] != 0) ++buf.boundary_parked;
+        continue;
+      }
+      ++buf.occupancy[to];
+    }
+
+    const double now = ev.time();
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    if (ev.hops_left < ev.route_len) {
+      dom.events.push({Event::key_of(tail_departure), ev.at,
+                       ev.at | Event::kFreeBufferBit});
+    }
+
+    ++dom.hops;
+    dom.offchip_hops += link.offchip;
+    if (record_hops) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kHop;
+      r.offchip = link.offchip != 0;
+      r.pid = ev.id();
+      r.node = ev.at;
+      r.to = to;
+      r.link = link_id;
+      r.d0 = start;
+      r.d1 = tail_departure;
+      r.d2 = tail_arrival;
+      dom.recs.push_back(r);
+    }
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    doms[domain_of[to]].events.push(
+        {Event::key_of(ready_next), Event::kPacketSeqBase + ev.id(), ev.id(),
+         to, ev.cursor + 1, static_cast<std::uint16_t>(ev.hops_left - 1),
+         ev.route_len});
+  }
+}
+
 template <typename Queue>
 EngineStats run_sharded_flat_loop(const Queue& proto, const SimNetwork& net,
                                   std::vector<FlatPacket>& packets,
@@ -329,6 +957,13 @@ EngineStats run_sharded_flat_loop(const Queue& proto, const SimNetwork& net,
   for (std::size_t d = 0; d < k; ++d) doms.emplace_back(proto, k);
   for (const std::uint32_t pid : injection_order(packets)) {
     doms[cut.domain_of[packets[pid].at]].order.push_back(pid);
+  }
+  BufferState buf =
+      make_buffer_state(net, links, cut.domain_of, cfg.node_buffer_packets);
+  if (buf.enabled()) {
+    for (HealthyDomain<Queue>& d : doms) {
+      d.credits.assign(net.num_nodes(), 0);
+    }
   }
 
   EngineStats stats;
@@ -355,23 +990,54 @@ EngineStats run_sharded_flat_loop(const Queue& proto, const SimNetwork& net,
       }
     }
 
-    std::uint64_t m = kNoEvent;
-    for (HealthyDomain<Queue>& d : doms) {
-      m = std::min(m, next_key(d, packets));
-    }
-    if (m == kNoEvent) break;
+    // Part 2: merge the window's boundary claim/free logs into the pending
+    // delta list and collect the window's stalls.
+    const std::vector<std::pair<std::uint32_t, NodeId>> stalls =
+        fold_buffer_logs(buf, doms);
 
-    const double m_time = std::bit_cast<double>(m);
+    // Part 3: advance the commit frontier and replay. A stalled domain
+    // stops short of W while the others ran to it, so only deltas and
+    // records strictly before the earliest still-unprocessed event may be
+    // applied; the rest stay buffered for a later barrier. Committing a
+    // free can wake a parked packet — a new, possibly earlier event — so
+    // the frontier is re-evaluated after every commit. Without stalls the
+    // frontier is past every buffered record and this is a full flush.
+    KeySeq frontier = kFrontierEnd;
+    for (;;) {
+      frontier = kFrontierEnd;
+      for (HealthyDomain<Queue>& d : doms) {
+        const KeySeq ks =
+            next_key_seq(d.events, d.next_inject, d.order, packets);
+        if (ks < frontier) frontier = ks;
+      }
+      const BufDelta* pd = buf.next_pending();
+      if (pd == nullptr || !(KeySeq{pd->key, pd->seq} < frontier)) break;
+      apply_buffer_delta(buf, doms, packets, cut.domain_of, *pd);
+      ++buf.pending_pos;
+    }
+    replay_window(doms, stats, obs, frontier);
+    if (frontier.key == kNoEvent) break;
+
+    const double m_time = std::bit_cast<double>(frontier.key);
     const double w = window_end(m_time, lookahead);
     const std::uint64_t w_key = Event::key_of(w);
     last_w_key = w_key;
 
-    run_domains(k, [&](std::size_t d) {
-      run_healthy_window(doms[d], w_key, net, packets, route_ports, links,
-                         cut.domain_of, static_cast<std::uint32_t>(d), cfg,
-                         record_hops);
-    });
-    replay_window(doms, stats, obs);
+    // Part 4: settle stalls against frontier-exact occupancy and pick the
+    // next window's mode.
+    const bool serial = resolve_buffer_mode(buf, doms, stalls);
+
+    if (serial) {
+      run_serial_window_flat(doms, w_key, net, buf, packets, route_ports,
+                             links, cut.domain_of, cfg, record_hops);
+    } else {
+      compute_claim_floors(buf, doms, packets);
+      run_domains(k, [&](std::size_t d) {
+        run_healthy_window(doms[d], w_key, net, buf, packets, route_ports,
+                           links, cut.domain_of, static_cast<std::uint32_t>(d),
+                           cfg, record_hops);
+      });
+    }
   }
 
   for (LinkId l = 0; l < links.size(); ++l) {
@@ -384,10 +1050,13 @@ EngineStats run_sharded_flat_loop(const Queue& proto, const SimNetwork& net,
     stats.offchip_hops += d.offchip_hops;
   }
   if (stats.delivered != packets.size()) {
-    // Unreachable for unbounded buffers (every event chain ends in a
-    // delivery); kept for message parity with the sequential engines.
-    fail_with_deadlock_cycle(std::vector<std::deque<std::uint32_t>>{},
-                             [&](std::uint32_t pid) { return packets[pid].at; });
+    // Only reachable under bounded buffers: every park funnels through
+    // buf.waiting (parallel windows park locally, serial windows park
+    // globally), so the cycle report sees the same waiting lists the
+    // sequential engines would have built.
+    fail_with_deadlock_cycle(buf.waiting, [&](std::uint32_t pid) {
+      return packets[pid].at;
+    });
   }
   return stats;
 }
@@ -409,31 +1078,29 @@ struct FaultyDomain {
   std::size_t retransmitted = 0;
   std::size_t reroute_hops = 0;
   std::vector<std::vector<Event>> outbox;
+  // Bounded-buffer state (cfg.node_buffer_packets > 0), see BufferState.
+  std::vector<std::uint32_t> credits;
+  std::vector<BufDelta> buf_log;  ///< stamped boundary claims/frees
+  NodeId stalled = topology::kInvalidNode;
 
   FaultyDomain(const Queue& proto, const FaultCore& core, const Router& route,
                std::size_t k)
       : events(proto), routes(core, route), outbox(k) {}
 };
 
-template <typename Queue>
-std::uint64_t next_key(FaultyDomain<Queue>& dom,
-                       const std::vector<FaultPacket>& packets) {
-  std::uint64_t key = dom.events.empty() ? kNoEvent : dom.events.top().key;
-  if (dom.next_inject < dom.order.size()) {
-    key = std::min(
-        key, Event::key_of(packets[dom.order[dom.next_inject]].inject_time));
-  }
-  return key;
-}
-
 /// One domain's degraded window [m, W): the fault-aware loop body verbatim
-/// minus bounded buffers (rejected under kSharded) and minus fault
-/// application — W never crosses the next plan event, so the usability
-/// bits read from the shared core are constant for the whole window.
+/// minus fault application — W never crosses the next plan event, so the
+/// usability bits read from the shared core are constant for the whole
+/// window. Bounded buffers follow the same credit protocol as the healthy
+/// window; a stall is safe even mid-event because everything that can
+/// mutate before the claim (routing, a detour adoption, its Rec) is
+/// idempotent on re-processing: p.routed stays set, the adopted route's
+/// first hop is usable, and no new fault at or before the event's time can
+/// apply in between.
 template <typename Queue>
 void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
                        const SimNetwork& net, const FaultCore& core,
-                       std::vector<FaultPacket>& packets,
+                       BufferState& buf, std::vector<FaultPacket>& packets,
                        std::vector<LinkHot>& links,
                        const std::vector<std::uint32_t>& domain_of,
                        std::uint32_t my_domain, const SimConfig& cfg,
@@ -454,6 +1121,12 @@ void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
   const auto fail_packet = [&](std::uint32_t pid, const Event& ev,
                                double now) {
     FaultPacket& p = packets[pid];
+    if (buf.enabled() && p.moved) {
+      // Frees the slot the packet holds at its current node — always a
+      // local push (the failing event is being processed at p.at).
+      dom.events.push(Event{ev.key, p.at, p.at | Event::kFreeBufferBit});
+      p.moved = false;
+    }
     if (p.attempt < cfg.max_retries) {
       ++p.attempt;
       ++dom.retransmitted;
@@ -515,6 +1188,20 @@ void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
     }
 
     const double now = ev.time();
+    if (buf.enabled() && ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      if (buf.boundary[node] != 0) {
+        dom.buf_log.push_back(BufDelta{ev.key, ev.seq, node, -1});
+      } else {
+        --buf.occupancy[node];
+        if (!buf.waiting[node].empty()) {
+          const std::uint32_t wpid = buf.waiting[node].front();
+          buf.waiting[node].pop_front();
+          dom.events.push(Event{ev.key, Event::kPacketSeqBase + wpid, wpid});
+        }
+      }
+      continue;
+    }
     const std::uint32_t pid = ev.id();
     FaultPacket& p = packets[pid];
     if (!p.routed) {
@@ -573,11 +1260,35 @@ void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
     const NodeId to = link.to;
     const bool last_hop = p.hops_left == 1;
 
+    if (buf.enabled() && !last_hop) {
+      if (buf.boundary[to] != 0) {
+        if (dom.credits[to] == 0 ||
+            !(KeySeq{ev.key, ev.seq} < buf.claim_floor(to, my_domain))) {
+          dom.events.push(Event{ev.key, ev.seq, pid});
+          dom.stalled = to;
+          return;
+        }
+        --dom.credits[to];
+        dom.buf_log.push_back(BufDelta{ev.key, ev.seq, to, 1});
+      } else {
+        if (buf.occupancy[to] >= buf.icap()) {
+          buf.waiting[to].push_back(pid);
+          continue;
+        }
+        ++buf.occupancy[to];
+      }
+    }
+
     const double start = std::max(now, link.busy_until);
     const double tail_departure = start + link.transfer;
     const double tail_arrival = tail_departure + latency;
     link.busy_until = tail_departure;
     link.busy_time += link.transfer;
+
+    if (buf.enabled() && p.moved) {
+      dom.events.push(Event{Event::key_of(tail_departure), p.at,
+                            p.at | Event::kFreeBufferBit});
+    }
 
     ++dom.hops;
     dom.offchip_hops += link.offchip;
@@ -607,9 +1318,252 @@ void run_faulty_window(FaultyDomain<Queue>& dom, std::uint64_t w_key,
     p.at = to;
     ++p.cursor;
     --p.hops_left;
+    p.moved = !last_hop;
     push_event(
         Event{Event::key_of(ready_next), Event::kPacketSeqBase + pid, pid},
         to);
+  }
+}
+
+/// Serial fallback window for contended bounded-buffer phases of a
+/// degraded run: the sequential fault-aware body executed in global
+/// (time, seq) order by one coordinator. Migrating routes are adopted into
+/// the new owner's shard at push time (the coordinator owns every shard
+/// here), and retries/frees/wakes push directly into the owning domain's
+/// queue — zero-delay wakeups are legal because this window processes them
+/// itself in exact order.
+template <typename Queue>
+void run_serial_window_faulty(std::vector<FaultyDomain<Queue>>& doms,
+                              std::uint64_t w_key, const SimNetwork& net,
+                              const FaultCore& core, BufferState& buf,
+                              std::vector<FaultPacket>& packets,
+                              std::vector<LinkHot>& links,
+                              const std::vector<std::uint32_t>& domain_of,
+                              const SimConfig& cfg, bool record_obs) {
+  const std::size_t* first_link = net.first_links();
+  const double latency = cfg.link_latency_cycles;
+  const bool store_and_forward = cfg.switching == Switching::kStoreAndForward;
+
+  for (;;) {
+    std::size_t best = doms.size();
+    bool best_inject = false;
+    KeySeq bk = kFrontierEnd;
+    for (std::size_t d = 0; d < doms.size(); ++d) {
+      FaultyDomain<Queue>& dom = doms[d];
+      if (!dom.events.empty()) {
+        const KeySeq ks{dom.events.top().key, dom.events.top().seq};
+        if (ks < bk) {
+          bk = ks;
+          best = d;
+          best_inject = false;
+        }
+      }
+      if (dom.next_inject < dom.order.size()) {
+        const std::uint32_t ipid = dom.order[dom.next_inject];
+        const KeySeq ks{Event::key_of(packets[ipid].inject_time),
+                        Event::kPacketSeqBase + ipid};
+        if (ks < bk) {
+          bk = ks;
+          best = d;
+          best_inject = true;
+        }
+      }
+    }
+    // A still-pending boundary delta earlier than every queued event acts
+    // first — committing a free here can wake a parked packet into some
+    // domain's queue, changing the minimum just computed.
+    const BufDelta* pd = buf.next_pending();
+    if (pd != nullptr && KeySeq{pd->key, pd->seq} < bk) {
+      apply_buffer_delta(buf, doms, packets, domain_of, *pd);
+      ++buf.pending_pos;
+      continue;
+    }
+    if (best == doms.size() || bk.key >= w_key) break;
+    FaultyDomain<Queue>& dom = doms[best];
+    Event ev;
+    if (best_inject) {
+      const std::uint32_t ipid = dom.order[dom.next_inject++];
+      ev = Event{bk.key, Event::kPacketSeqBase + ipid, ipid};
+    } else {
+      ev = dom.events.top();
+      dom.events.pop();
+    }
+
+    const double now = ev.time();
+    if (ev.is_free_buffer()) {
+      const NodeId node = ev.id();
+      --buf.occupancy[node];
+      if (!buf.waiting[node].empty()) {
+        const std::uint32_t wpid = buf.waiting[node].front();
+        buf.waiting[node].pop_front();
+        if (buf.boundary[node] != 0) --buf.boundary_parked;
+        doms[domain_of[packets[wpid].at]].events.push(
+            Event{ev.key, Event::kPacketSeqBase + wpid, wpid});
+      }
+      continue;
+    }
+
+    const std::uint32_t pid = ev.id();
+    FaultPacket& p = packets[pid];
+    const auto fail_packet = [&]() {
+      if (p.moved) {
+        doms[domain_of[p.at]].events.push(
+            Event{ev.key, p.at, p.at | Event::kFreeBufferBit});
+        p.moved = false;
+      }
+      if (p.attempt < cfg.max_retries) {
+        ++p.attempt;
+        ++dom.retransmitted;
+        p.at = p.src;
+        p.routed = false;
+        p.reroutes = 0;
+        const double delay =
+            retry_backoff_delay(cfg.retry_backoff_cycles, p.attempt);
+        doms[domain_of[p.src]].events.push(Event{
+            Event::key_of(now + delay), Event::kPacketSeqBase + pid, pid});
+        if (record_obs) {
+          Rec r;
+          r.key = ev.key;
+          r.seq = ev.seq;
+          r.kind = Rec::kRetry;
+          r.pid = pid;
+          r.node = p.src;
+          r.attempt = p.attempt;
+          r.d0 = now + delay;
+          dom.recs.push_back(r);
+        }
+      } else {
+        p.state = kDropped;
+        ++dom.dropped;
+        if (record_obs) {
+          Rec r;
+          r.key = ev.key;
+          r.seq = ev.seq;
+          r.kind = Rec::kDrop;
+          r.pid = pid;
+          r.node = p.at;
+          dom.recs.push_back(r);
+        }
+      }
+    };
+
+    if (!p.routed) {
+      RouteRef ref;
+      if (!dom.routes.route_from(p.at, p.dst, ref)) {
+        fail_packet();
+        continue;
+      }
+      p.routed = true;
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+    }
+    if (p.hops_left == 0) {
+      p.state = kDelivered;
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kDeliver;
+      r.pid = pid;
+      r.node = p.at;
+      r.d0 = p.inject_time;
+      dom.recs.push_back(r);
+      continue;
+    }
+
+    std::uint16_t port = dom.routes.ports()[p.cursor];
+    LinkId link_id = first_link[p.at] + port;
+    if (!core.link_usable(link_id)) {
+      RouteRef ref;
+      if (p.reroutes >= cfg.misroute_budget ||
+          !dom.routes.route_from(p.at, p.dst, ref)) {
+        fail_packet();
+        continue;
+      }
+      ++p.reroutes;
+      if (ref.length > p.hops_left) {
+        dom.reroute_hops += static_cast<std::size_t>(ref.length - p.hops_left);
+      }
+      p.cursor = ref.offset;
+      p.hops_left = ref.length;
+      port = dom.routes.ports()[p.cursor];
+      link_id = first_link[p.at] + port;  // first hop is live by construction
+      if (record_obs) {
+        Rec r;
+        r.key = ev.key;
+        r.seq = ev.seq;
+        r.kind = Rec::kDetour;
+        r.route_hops = ref.length;
+        r.pid = pid;
+        r.node = p.at;
+        dom.recs.push_back(r);
+      }
+    }
+
+    LinkHot& link = links[link_id];
+    const NodeId to = link.to;
+    const bool last_hop = p.hops_left == 1;
+
+    if (!last_hop) {
+      if (buf.occupancy[to] >= buf.icap()) {
+        buf.waiting[to].push_back(pid);
+        if (buf.boundary[to] != 0) ++buf.boundary_parked;
+        continue;
+      }
+      ++buf.occupancy[to];
+    }
+
+    const double start = std::max(now, link.busy_until);
+    const double tail_departure = start + link.transfer;
+    const double tail_arrival = tail_departure + latency;
+    link.busy_until = tail_departure;
+    link.busy_time += link.transfer;
+
+    if (p.moved) {
+      doms[domain_of[p.at]].events.push(Event{
+          Event::key_of(tail_departure), p.at, p.at | Event::kFreeBufferBit});
+    }
+
+    ++dom.hops;
+    dom.offchip_hops += link.offchip;
+    if (record_obs) {
+      Rec r;
+      r.key = ev.key;
+      r.seq = ev.seq;
+      r.kind = Rec::kHop;
+      r.offchip = link.offchip != 0;
+      r.pid = pid;
+      r.node = p.at;
+      r.to = to;
+      r.link = static_cast<LinkId>(link_id);
+      r.d0 = start;
+      r.d1 = tail_departure;
+      r.d2 = tail_arrival;
+      dom.recs.push_back(r);
+    }
+
+    double ready_next;
+    if (store_and_forward) {
+      ready_next = tail_arrival;
+    } else {
+      const double head_arrival = start + link.inv_bandwidth + latency;
+      ready_next = last_hop ? tail_arrival : head_arrival;
+    }
+    p.at = to;
+    ++p.cursor;
+    --p.hops_left;
+    p.moved = !last_hop;
+    const std::uint32_t dd = domain_of[to];
+    if (dd != best && p.hops_left > 0) {
+      // Hand the remaining route over to the new owner's memo shard, as
+      // the mailbox drain does for parallel windows.
+      const std::uint16_t* src_ports = dom.routes.ports();
+      p.cursor = doms[dd]
+                     .routes
+                     .adopt({src_ports + p.cursor, std::size_t{p.hops_left}})
+                     .offset;
+    }
+    doms[dd].events.push(
+        Event{Event::key_of(ready_next), Event::kPacketSeqBase + pid, pid});
   }
 }
 
@@ -632,6 +1586,13 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
   for (std::size_t d = 0; d < k; ++d) doms.emplace_back(proto, core, route, k);
   for (const std::uint32_t pid : injection_order(packets)) {
     doms[cut.domain_of[packets[pid].src]].order.push_back(pid);
+  }
+  BufferState buf =
+      make_buffer_state(net, links, cut.domain_of, cfg.node_buffer_packets);
+  if (buf.enabled()) {
+    for (FaultyDomain<Queue>& d : doms) {
+      d.credits.assign(net.num_nodes(), 0);
+    }
   }
   // Memo invalidation is only legal at the serial barriers below; the
   // windows themselves may append to their shard but never evict.
@@ -672,22 +1633,44 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
       }
     }
 
-    std::uint64_t m = kNoEvent;
-    for (FaultyDomain<Queue>& d : doms) {
-      m = std::min(m, next_key(d, packets));
+    // Part 2: merge the window's boundary claim/free logs into the pending
+    // delta list and collect the window's stalls.
+    const std::vector<std::pair<std::uint32_t, NodeId>> stalls =
+        fold_buffer_logs(buf, doms);
+
+    // Part 3: advance the commit frontier and replay — before the cutoff
+    // break (records for processed events must reach the observer even
+    // when the run ends here) and before fault application (every buffered
+    // record precedes any still-pending fault instant, because windows
+    // never cross one). Committing a free can wake a parked packet — a
+    // new, possibly earlier event — so the frontier is re-evaluated after
+    // every commit.
+    KeySeq frontier = kFrontierEnd;
+    for (;;) {
+      frontier = kFrontierEnd;
+      for (FaultyDomain<Queue>& d : doms) {
+        const KeySeq ks =
+            next_key_seq(d.events, d.next_inject, d.order, packets);
+        if (ks < frontier) frontier = ks;
+      }
+      const BufDelta* pd = buf.next_pending();
+      if (pd == nullptr || !(KeySeq{pd->key, pd->seq} < frontier)) break;
+      apply_buffer_delta(buf, doms, packets, cut.domain_of, *pd);
+      ++buf.pending_pos;
     }
-    if (m == kNoEvent) break;
-    const double m_time = std::bit_cast<double>(m);
+    replay_window(doms, stats, obs, frontier);
+    if (frontier.key == kNoEvent) break;
+    const double m_time = std::bit_cast<double>(frontier.key);
     if (cutoff > 0 && m_time > cutoff) {
       cutoff_hit = true;
       break;
     }
 
-    // Serial barrier, part 2: apply every plan event with time <= m —
-    // exactly where the sequential loop applies them (before the first
-    // event at or after the fault instant), so on_fault lands at the same
-    // position in the observer stream — then let each shard drop the memo
-    // entries the new dead set invalidated.
+    // Part 4: apply every plan event with time <= m — exactly where the
+    // sequential loop applies them (before the first event at or after the
+    // fault instant), so on_fault lands at the same position in the
+    // observer stream — then let each shard drop the memo entries the new
+    // dead set invalidated.
     if (core.pending(m_time)) {
       const FaultCore::Applied applied = core.apply_until(m_time);
       for (FaultyDomain<Queue>& d : doms) {
@@ -707,12 +1690,21 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
     const std::uint64_t w_key = Event::key_of(w);
     last_w_key = w_key;
 
-    run_domains(k, [&](std::size_t d) {
-      run_faulty_window(doms[d], w_key, net, core, packets, links,
-                        cut.domain_of, static_cast<std::uint32_t>(d), cfg,
-                        record_obs);
-    });
-    replay_window(doms, stats, obs);
+    // Part 5: settle stalls against frontier-exact occupancy and pick the
+    // next window's mode.
+    const bool serial = resolve_buffer_mode(buf, doms, stalls);
+
+    if (serial) {
+      run_serial_window_faulty(doms, w_key, net, core, buf, packets, links,
+                               cut.domain_of, cfg, record_obs);
+    } else {
+      compute_claim_floors(buf, doms, packets);
+      run_domains(k, [&](std::size_t d) {
+        run_faulty_window(doms[d], w_key, net, core, buf, packets, links,
+                          cut.domain_of, static_cast<std::uint32_t>(d), cfg,
+                          record_obs);
+      });
+    }
   }
 
   for (LinkId l = 0; l < links.size(); ++l) {
@@ -731,8 +1723,9 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
     if (p.state == kActive) ++stats.in_flight;
   }
   if (stats.in_flight > 0 && !cutoff_hit) {
-    fail_with_deadlock_cycle(std::vector<std::deque<std::uint32_t>>{},
-                             [&](std::uint32_t pid) { return packets[pid].at; });
+    fail_with_deadlock_cycle(buf.waiting, [&](std::uint32_t pid) {
+      return packets[pid].at;
+    });
   }
   IPG_CHECK(
       stats.delivered + stats.dropped + stats.in_flight == stats.injected,

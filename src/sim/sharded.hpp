@@ -23,6 +23,16 @@
 // Engine::kReference for every K and every thread count — pinned by
 // test_sim_sharded the same way test_sim_equivalence pins kArena.
 //
+// Bounded buffers (cfg.node_buffer_packets > 0) are supported through a
+// per-boundary-node credit protocol layered on the same barriers: claims on
+// nodes with foreign in-neighbors spend barrier-granted credits and are
+// admitted only when provably order-independent (below every other
+// claimant domain's next-event floor), stalls re-queue the claim for the
+// barrier to order exactly, claim/free deltas commit into the shared
+// occupancy in (time, seq) order at the replay frontier, and contended
+// phases fall back to serial windows that run the sequential loop body
+// verbatim. See the design comment in sharded.cpp.
+//
 // This header is internal to src/sim (used by simulator.cpp's dispatch).
 
 #include <vector>

@@ -807,17 +807,6 @@ void validate_run_inputs(const SimNetwork& net, const SimConfig& cfg) {
         "retry_backoff_cycles must be positive when retries are enabled");
   }
   if (cfg.fault_plan != nullptr) cfg.fault_plan->validate(net.num_nodes());
-  if (cfg.engine == Engine::kSharded && cfg.node_buffer_packets > 0) {
-    // Bounded buffers are zero-lookahead cross-domain state (a downstream
-    // node's occupancy can change the instant any neighbor acts), which
-    // defeats conservative windowing. Raised as the structured
-    // UnsupportedSimConfig so callers can catch-and-fall-back.
-    throw UnsupportedSimConfig(
-        "Engine::kSharded does not support bounded node buffers "
-        "(node_buffer_packets > 0): backpressure is zero-lookahead "
-        "cross-domain state that defeats conservative time windows; run "
-        "bounded-buffer studies with Engine::kArena or Engine::kReference");
-  }
   // Every public run_* driver funnels through here exactly once, after its
   // inputs are known-good — the natural single site for run-begin hooks.
   if (cfg.observer != nullptr) cfg.observer->on_run_begin(net);

@@ -50,13 +50,15 @@ namespace ipg::sim {
 class SimObserver;  // sim/observer.hpp
 
 /// Thrown when a SimConfig asks for a combination an engine recognizes but
-/// cannot provide — today, bounded node buffers under Engine::kSharded
-/// (backpressure is zero-lookahead cross-domain state, incompatible with
-/// conservative time windows). Distinct from the std::invalid_argument
-/// raised by util::check for malformed inputs: callers such as sweep
-/// drivers can catch this type and fall back to a supported engine instead
-/// of pattern-matching an error string. The message always names the
-/// unsupported combination and the supported alternative.
+/// cannot provide. Distinct from the std::invalid_argument raised by
+/// util::check for malformed inputs: callers such as sweep drivers can
+/// catch this type and fall back to a supported engine instead of
+/// pattern-matching an error string. The message always names the
+/// unsupported combination and the supported alternative. Currently every
+/// documented config runs on every engine (bounded buffers under
+/// Engine::kSharded, once the sole occupant of this category, are now
+/// supported via the credit protocol in sim/sharded.cpp); the type remains
+/// the contract for future engine-specific gaps.
 class UnsupportedSimConfig : public std::invalid_argument {
  public:
   explicit UnsupportedSimConfig(const std::string& what_arg)
@@ -91,8 +93,9 @@ struct SimConfig {
   /// Engine::kSharded only: number of simulation domains K. 0 picks the
   /// machine's core count (capped at the node count). Results are
   /// bit-identical for every K — the choice affects speed, not output.
-  /// Bounded buffers (node_buffer_packets > 0) are rejected under
-  /// kSharded: backpressure is zero-lookahead cross-domain state.
+  /// Bounded buffers work under kSharded too: cross-domain backpressure is
+  /// synchronized by a credit protocol at the window barriers (see
+  /// sim/sharded.cpp), still bit-identical to the sequential engines.
   std::uint32_t shard_domains = 0;
 
   /// Observability hook (sim/observer.hpp, docs/OBSERVABILITY.md). Null —

@@ -1,8 +1,10 @@
 // Engine::kSharded bit-identity: the domain-decomposed parallel engine must
 // reproduce the sequential engines' SimResult bit-for-bit — for every domain
 // count K, healthy and degraded, with and without an observer attached — and
-// its observer stream must replay the sequential event order exactly. Domain
-// cut unit tests and the bounded-buffer rejection ride along.
+// its observer stream must replay the sequential event order exactly. Bounded
+// node buffers are covered too: the credit protocol must reproduce the
+// sequential occupancy/waiting evolution verbatim, including routing-deadlock
+// diagnostics. Domain cut unit tests ride along.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -17,6 +19,7 @@
 #include "sim/observer.hpp"
 #include "sim/simulator.hpp"
 #include "topology/domain_cut.hpp"
+#include "topology/graph.hpp"
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +53,37 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.packets_in_flight, b.packets_in_flight);
   EXPECT_EQ(a.reroute_hops, b.reroute_hops);
   EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+/// Result of a run that may legitimately end in a bounded-buffer routing
+/// deadlock: either the SimResult or the thrown diagnostic. Bit-identity
+/// under bounded buffers means the engines agree on the outcome *kind* too —
+/// if one deadlocks they all must, with byte-identical messages.
+struct Outcome {
+  bool ok = false;
+  SimResult res;
+  std::string error;
+};
+
+template <typename Fn>
+Outcome run_outcome(Fn&& fn) {
+  Outcome o;
+  try {
+    o.res = fn();
+    o.ok = true;
+  } catch (const std::invalid_argument& e) {
+    o.error = e.what();
+  }
+  return o;
+}
+
+void expect_same_outcome(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.ok, b.ok) << (a.ok ? b.error : a.error);
+  if (a.ok) {
+    expect_identical(a.res, b.res);
+  } else {
+    EXPECT_EQ(a.error, b.error);
+  }
 }
 
 struct TestNet {
@@ -273,6 +307,146 @@ TEST_P(ShardedEquivalence, ObserverStreamMatchesArenaDegraded) {
   }
 }
 
+TEST_P(ShardedEquivalence, BatchBoundedBuffers) {
+  // Bounded node buffers under kSharded: the credit protocol must reproduce
+  // the sequential occupancy/waiting evolution verbatim for every cap —
+  // including caps tight enough to park packets (or deadlock: then every
+  // engine must throw the same diagnostic).
+  const TestNet t = make_net();
+  util::Xoshiro256 rng(42);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{2}}) {
+    SimConfig cfg;
+    cfg.packet_length_flits = 8;
+    cfg.node_buffer_packets = cap;
+    cfg.engine = Engine::kReference;
+    const auto oracle =
+        run_outcome([&] { return run_batch(t.net, t.router, perm, cfg); });
+    cfg.engine = Engine::kArena;
+    const auto arena =
+        run_outcome([&] { return run_batch(t.net, t.router, perm, cfg); });
+    expect_same_outcome(arena, oracle);
+    cfg.engine = Engine::kSharded;
+    for (const std::uint32_t k : kDomainCounts) {
+      cfg.shard_domains = k;
+      const auto sharded =
+          run_outcome([&] { return run_batch(t.net, t.router, perm, cfg); });
+      expect_same_outcome(sharded, oracle);
+    }
+  }
+}
+
+TEST_P(ShardedEquivalence, OpenBoundedBuffers) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  cfg.node_buffer_packets = 2;
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_outcome(
+      [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+  if (oracle.ok) {
+    EXPECT_GT(oracle.res.packets_delivered, 0u);
+  }
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    const auto sharded = run_outcome(
+        [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+    expect_same_outcome(sharded, oracle);
+  }
+}
+
+TEST_P(ShardedEquivalence, TotalExchangeBoundedBuffers) {
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.node_buffer_packets = 2;
+  cfg.engine = Engine::kArena;
+  const auto arena =
+      run_outcome([&] { return run_total_exchange(t.net, t.router, cfg); });
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    const auto sharded =
+        run_outcome([&] { return run_total_exchange(t.net, t.router, cfg); });
+    expect_same_outcome(sharded, arena);
+  }
+}
+
+TEST_P(ShardedEquivalence, DegradedBoundedBuffers) {
+  // Faults + retries + cutoff with bounded buffers: the faulty sharded loop
+  // routes frees/stalls through the same credit protocol.
+  const TestNet t = make_net();
+  SimConfig cfg = degraded_cfg(t);
+  cfg.node_buffer_packets = 2;
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_outcome(
+      [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    cfg.shard_domains = k;
+    const auto sharded = run_outcome(
+        [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+    expect_same_outcome(sharded, oracle);
+    if (sharded.ok) {
+      EXPECT_EQ(sharded.res.packets_injected,
+                sharded.res.packets_delivered + sharded.res.packets_dropped +
+                    sharded.res.packets_in_flight);
+    }
+  }
+}
+
+TEST_P(ShardedEquivalence, ObserverStreamBoundedHealthy) {
+  // Observer hooks must fire in the exact sequential order even when the
+  // replay merge interleaves free_buffer wakeups with packet moves.
+  const TestNet t = make_net();
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.node_buffer_packets = 2;
+  util::Xoshiro256 rng(42);
+  const auto perm = random_permutation(t.net.num_nodes(), rng);
+  RecordingObserver arena_obs;
+  cfg.engine = Engine::kArena;
+  cfg.observer = &arena_obs;
+  const auto arena =
+      run_outcome([&] { return run_batch(t.net, t.router, perm, cfg); });
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    RecordingObserver sharded_obs;
+    cfg.shard_domains = k;
+    cfg.observer = &sharded_obs;
+    const auto sharded =
+        run_outcome([&] { return run_batch(t.net, t.router, perm, cfg); });
+    expect_same_outcome(sharded, arena);
+    EXPECT_EQ(sharded_obs.log, arena_obs.log) << "K=" << k;
+  }
+}
+
+TEST_P(ShardedEquivalence, ObserverStreamBoundedDegraded) {
+  const TestNet t = make_net();
+  SimConfig cfg = degraded_cfg(t);
+  cfg.node_buffer_packets = 2;
+  const auto pattern = uniform_traffic(t.net.num_nodes());
+  RecordingObserver arena_obs;
+  cfg.engine = Engine::kArena;
+  cfg.observer = &arena_obs;
+  const auto arena = run_outcome(
+      [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : kDomainCounts) {
+    RecordingObserver sharded_obs;
+    cfg.shard_domains = k;
+    cfg.observer = &sharded_obs;
+    const auto sharded = run_outcome(
+        [&] { return run_open(t.net, t.router, pattern, 0.08, 200, cfg); });
+    expect_same_outcome(sharded, arena);
+    EXPECT_EQ(sharded_obs.log, arena_obs.log) << "K=" << k;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Networks, ShardedEquivalence,
                          ::testing::Values(0, 1, 2), [](const auto& param_info) {
                            switch (param_info.param) {
@@ -329,39 +503,109 @@ TEST(Sharded, MoreDomainsThanNodesClampsAndRuns) {
   expect_identical(run_total_exchange(t.net, t.router, cfg), arena);
 }
 
-TEST(Sharded, BoundedBuffersRejected) {
+TEST(Sharded, BoundedBuffersAcceptedAndBitIdentical) {
+  // Regression for the removed UnsupportedSimConfig rejection: kSharded now
+  // runs bounded-buffer configs instead of throwing, and the result matches
+  // the reference engine bit-for-bit.
   const TestNet t = kary42();
   SimConfig cfg;
-  cfg.engine = Engine::kSharded;
   cfg.node_buffer_packets = 2;
   util::Xoshiro256 rng(9);
   const auto perm = random_permutation(t.net.num_nodes(), rng);
-  EXPECT_THROW(run_batch(t.net, t.router, perm, cfg), std::invalid_argument);
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_batch(t.net, t.router, perm, cfg);
+  cfg.engine = Engine::kSharded;
+  cfg.shard_domains = 4;
+  SimResult sharded;
+  ASSERT_NO_THROW(sharded = run_batch(t.net, t.router, perm, cfg));
+  expect_identical(sharded, oracle);
 }
 
-TEST(Sharded, BoundedBuffersRejectedWithStructuredError) {
-  // The rejection is a named type (so callers can branch on it, not parse
-  // prose) whose message explains the why and names the engines that do
-  // support bounded buffers.
-  const TestNet t = kary42();
+/// Directed 4-ring 0->1->2->3->0 with a spur 4->1; every ring node sends
+/// three hops ahead and the spur node sends into the ring. With one-packet
+/// buffers the ring packets wait on each other in a cycle while the spur
+/// packet waits on the jammed ring — a genuine deadlock whose cycle is
+/// {0,1,2,3} with node 4 as a non-cycle lead-in the reporter must not name.
+struct DeadlockNet {
+  SimNetwork net;
+  Router router;
+  std::vector<NodeId> dst;
+};
+
+DeadlockNet deadlock_ring_with_spur() {
+  GraphBuilder b("ring4spur", 5, 1);
+  for (NodeId v = 0; v < 4; ++v) b.add_arc(v, (v + 1) % 4, 0);
+  b.add_arc(4, 1, 0);
+  SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      std::move(b).build(), Clustering::blocks(5, 1), 1.0);
+  Router router = [](NodeId s, NodeId d) {
+    const std::size_t hops =
+        s == 4 ? 1 + ((d + 4 - 1) % 4) : (d + 4 - s) % 4;
+    return std::vector<std::size_t>(hops, 0);
+  };
+  return {std::move(net), std::move(router), {3, 0, 1, 2, 3}};
+}
+
+TEST(Sharded, DeadlockCycleMessageIdenticalAcrossEngines) {
+  const DeadlockNet t = deadlock_ring_with_spur();
   SimConfig cfg;
-  cfg.engine = Engine::kSharded;
-  cfg.node_buffer_packets = 2;
-  util::Xoshiro256 rng(9);
-  const auto perm = random_permutation(t.net.num_nodes(), rng);
-  try {
-    (void)run_batch(t.net, t.router, perm, cfg);
-    FAIL() << "expected UnsupportedSimConfig";
-  } catch (const UnsupportedSimConfig& e) {
-    const std::string msg = e.what();
-    EXPECT_NE(msg.find("kSharded"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("node_buffer_packets"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("kArena"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("kReference"), std::string::npos) << msg;
+  cfg.packet_length_flits = 4;
+  cfg.node_buffer_packets = 1;
+  std::vector<std::string> messages;
+  for (const Engine engine :
+       {Engine::kReference, Engine::kArena, Engine::kSharded}) {
+    cfg.engine = engine;
+    const std::uint32_t max_k = engine == Engine::kSharded ? 4u : 1u;
+    for (std::uint32_t k = 1; k <= max_k; ++k) {
+      cfg.shard_domains = k;
+      const auto out =
+          run_outcome([&] { return run_batch(t.net, t.router, t.dst, cfg); });
+      ASSERT_FALSE(out.ok) << "engine " << static_cast<int>(engine)
+                           << " K=" << k << " did not deadlock";
+      messages.push_back(out.error);
+    }
   }
-  // Other engines accept the same config unchanged.
-  cfg.engine = Engine::kArena;
-  EXPECT_NO_THROW((void)run_batch(t.net, t.router, perm, cfg));
+  for (const std::string& msg : messages) {
+    EXPECT_EQ(msg, messages.front());
+    // The report is trimmed to the actual cycle: the spur node 4 hosts a
+    // parked packet but is not deadlocked, so it must not be named.
+    EXPECT_NE(msg.find("waiting cycle: 0 -> 1 -> 2 -> 3 -> 0"),
+              std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find('4'), std::string::npos) << msg;
+  }
+}
+
+TEST(Sharded, CreditStarvationStallsAndStaysBitIdentical) {
+  // Two source nodes in different domains funnel into one single-slot
+  // bottleneck node: at most one domain can hold the buffer credit, so the
+  // other must stall whole windows waiting for a remote free — exercising
+  // the stall/regrant path. Results must still match the reference engine.
+  GraphBuilder b("funnel", 4, 1);
+  b.add_arc(0, 2, 0);
+  b.add_arc(1, 2, 0);
+  b.add_arc(2, 3, 0);
+  const SimNetwork net = SimNetwork::with_uniform_bandwidth(
+      std::move(b).build(), Clustering::blocks(4, 1), 1.0);
+  const Router router = [](NodeId s, NodeId) {
+    return std::vector<std::size_t>(s == 2 ? 1 : 2, 0);
+  };
+  std::vector<Injection> injections;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    injections.push_back({0, 3, static_cast<double>(i)});
+    injections.push_back({1, 3, static_cast<double>(i)});
+  }
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.node_buffer_packets = 1;
+  cfg.engine = Engine::kReference;
+  const auto oracle = run_trace(net, router, injections, cfg);
+  EXPECT_EQ(oracle.packets_delivered, injections.size());
+  cfg.engine = Engine::kSharded;
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    cfg.shard_domains = k;
+    expect_identical(run_trace(net, router, injections, cfg), oracle);
+  }
 }
 
 // --- topology::make_domain_cut unit tests ---
