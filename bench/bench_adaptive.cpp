@@ -1,0 +1,229 @@
+// Minimal vs UGAL adaptive routing under adversarial traffic (§4 rerun
+// with the congestion-aware layer of sim/adaptive.hpp). Four networks —
+// the super-IPG HSN(2,Q4), its equal-cost hypercube Q8, and the dragonfly
+// DF(4,2) / fat-tree FT(4) comparison fabrics — each run adversarial batch
+// permutations (transpose, bit-reversal, tornado, neighbor-group shift,
+// hotspot-style funnels) twice: once with pure minimal routing, once with
+// a UGAL planner fed by a CongestionMonitor that watched the minimal run.
+// Emits BENCH_adaptive.json so CI can track the adaptive win alongside
+// BENCH_sim.json's raw speed. Every number here is bit-identical across
+// the kArena/kReference/kSharded engines (tests/test_sim_adaptive.cpp and
+// the adaptive-routing conformance check pin that), so the bench runs the
+// default engine only.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "topology/super_ipg.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ipg;
+using namespace ipg::topology;
+using namespace ipg::sim;
+
+struct Pattern {
+  std::string name;
+  std::vector<NodeId> dst;
+};
+
+struct Net {
+  std::string name;
+  SimNetwork network;
+  Router router;
+  /// Routable-endpoint prefix (fat-tree hosts); 0 = every node.
+  std::size_t endpoints = 0;
+  std::vector<Pattern> patterns;
+};
+
+/// Materializes a deterministic TrafficPattern over the first @p prefix
+/// nodes of an @p n-node network (identity — no packet — elsewhere).
+std::vector<NodeId> batch_of(const TrafficPattern& pattern, std::size_t n,
+                             std::size_t prefix) {
+  util::Xoshiro256 rng(1);  // the patterns used here never consult it
+  std::vector<NodeId> dst(n);
+  for (NodeId v = 0; v < n; ++v) {
+    dst[v] = v < prefix ? pattern(v, rng) : v;
+  }
+  return dst;
+}
+
+std::vector<Net> build_networks() {
+  std::vector<Net> nets;
+  {
+    auto hsn = std::make_shared<SuperIpg>(
+        make_hsn(2, std::make_shared<HypercubeNucleus>(4)));
+    Graph g = hsn->to_graph();
+    Clustering chips = hsn->nucleus_clustering();
+    const std::size_t n = g.num_nodes();
+    Net net{hsn->name(),
+            mcmp::make_unit_chip_network(std::move(g), std::move(chips), 1.0),
+            [hsn](NodeId s, NodeId d) { return hsn->route(s, d); },
+            0,
+            {}};
+    net.patterns.push_back({"transpose", batch_of(transpose_traffic(n), n, n)});
+    net.patterns.push_back(
+        {"bit-reversal", batch_of(bit_reversal_traffic(n), n, n)});
+    net.patterns.push_back({"tornado", batch_of(tornado_traffic(n), n, n)});
+    nets.push_back(std::move(net));
+  }
+  {
+    Graph g = hypercube_graph(8);
+    Clustering chips = hypercube_subcube_clustering(8, 16);
+    const std::size_t n = g.num_nodes();
+    Net net{"Q8",
+            mcmp::make_unit_chip_network(std::move(g), std::move(chips), 1.0),
+            hypercube_router(8),
+            0,
+            {}};
+    net.patterns.push_back({"transpose", batch_of(transpose_traffic(n), n, n)});
+    net.patterns.push_back(
+        {"bit-reversal", batch_of(bit_reversal_traffic(n), n, n)});
+    net.patterns.push_back({"tornado", batch_of(tornado_traffic(n), n, n)});
+    nets.push_back(std::move(net));
+  }
+  {
+    const std::size_t n = 36;  // DF(4,2): 9 groups x 4 routers
+    Net net{"DF(4,2)",
+            mcmp::make_unit_chip_network(dragonfly_graph(4, 2),
+                                         dragonfly_group_clustering(4, 2),
+                                         1.0),
+            dragonfly_router(4, 2),
+            0,
+            {}};
+    // Neighbor-group shift: every node targets the next group, so minimal
+    // routing serializes each group's packets on ONE global link — the
+    // canonical dragonfly adversary.
+    net.patterns.push_back(
+        {"group-shift", batch_of(shift_traffic(n, 4), n, n)});
+    net.patterns.push_back({"tornado", batch_of(tornado_traffic(n), n, n)});
+    nets.push_back(std::move(net));
+  }
+  {
+    const std::size_t hosts = 16;  // FT(4): k^3/4 hosts of 36 nodes
+    const std::size_t n = fat_tree_graph(4).num_nodes();
+    Net net{"FT(4)",
+            mcmp::make_unit_chip_network(fat_tree_graph(4),
+                                         fat_tree_pod_clustering(4), 1.0),
+            fat_tree_router(4),
+            hosts,
+            {}};
+    net.patterns.push_back(
+        {"transpose", batch_of(transpose_traffic(hosts), n, hosts)});
+    net.patterns.push_back(
+        {"tornado", batch_of(tornado_traffic(hosts), n, hosts)});
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+struct Point {
+  std::string pattern;
+  SimResult minimal;
+  AdaptiveResult ugal;
+};
+
+void emit_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::vector<Point>>>& curves) {
+  util::JsonWriter w(os);
+  w.begin_object().field(
+      "workload",
+      "adversarial batch permutations, 16-flit packets, unit chip "
+      "bandwidth; UGAL: 2 Valiant candidates, planned_weight 4, "
+      "CongestionMonitor warmed on the minimal run");
+  w.begin_object("networks");
+  for (const auto& [name, pts] : curves) {
+    w.begin_array(name);
+    for (const Point& pt : pts) {
+      w.begin_object().field("pattern", pt.pattern);
+      w.begin_object("minimal")
+          .field("makespan_cycles", pt.minimal.makespan_cycles)
+          .field("throughput_flits_per_node_cycle",
+                 pt.minimal.throughput_flits_per_node_cycle)
+          .field("max_offchip_utilization",
+                 pt.minimal.max_offchip_utilization);
+      w.field_if_finite("avg_latency_cycles", pt.minimal.avg_latency_cycles);
+      w.end_object();
+      w.begin_object("ugal")
+          .field("makespan_cycles", pt.ugal.sim.makespan_cycles)
+          .field("throughput_flits_per_node_cycle",
+                 pt.ugal.sim.throughput_flits_per_node_cycle)
+          .field("max_offchip_utilization",
+                 pt.ugal.sim.max_offchip_utilization)
+          .field("packets_nonminimal",
+                 static_cast<std::uint64_t>(pt.ugal.packets_nonminimal));
+      w.field_if_finite("avg_latency_cycles",
+                        pt.ugal.sim.avg_latency_cycles);
+      w.end_object();
+      w.field("ugal_speedup",
+              pt.minimal.makespan_cycles / pt.ugal.sim.makespan_cycles);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object().end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Minimal vs UGAL adaptive routing under adversarial "
+               "traffic ===\n"
+            << "Super-IPG HSN(2,Q4) and hypercube Q8 (256 nodes) vs the "
+               "dragonfly DF(4,2) and fat-tree FT(4) baselines; per "
+               "pattern: minimal batch, then UGAL with a monitor warmed on "
+               "that run.\n\n";
+
+  SimConfig cfg;
+  cfg.packet_length_flits = 16;
+
+  std::vector<std::pair<std::string, std::vector<Point>>> curves;
+  for (const Net& net : build_networks()) {
+    util::Table t;
+    t.header({"pattern", "minimal makespan", "UGAL makespan", "speedup",
+              "nonminimal pkts", "minimal max util", "UGAL max util"});
+    std::vector<Point> pts;
+    for (const Pattern& p : net.patterns) {
+      CongestionMonitor monitor;
+      SimConfig warm = cfg;
+      warm.observer = &monitor;
+      const SimResult minimal = run_batch(net.network, net.router, p.dst, warm);
+
+      UgalConfig ugal;
+      ugal.planned_weight = 4.0;
+      ugal.intermediate_nodes = net.endpoints;
+      const AdaptiveResult adaptive = run_adaptive_batch(
+          net.network, net.router, p.dst, ugal, cfg, &monitor);
+
+      t.add(p.name, minimal.makespan_cycles, adaptive.sim.makespan_cycles,
+            minimal.makespan_cycles / adaptive.sim.makespan_cycles,
+            adaptive.packets_nonminimal, minimal.max_offchip_utilization,
+            adaptive.sim.max_offchip_utilization);
+      pts.push_back({p.name, minimal, adaptive});
+    }
+    std::cout << "--- " << net.name << " ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+    curves.push_back({net.name, std::move(pts)});
+  }
+
+  emit_json(std::cout, curves);
+  std::ofstream out("BENCH_adaptive.json");
+  emit_json(out, curves);
+  return 0;
+}

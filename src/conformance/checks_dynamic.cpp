@@ -16,8 +16,10 @@
 
 #include "conformance/families.hpp"
 #include "conformance/internal.hpp"
+#include "mcmp/capacity.hpp"
 #include "metrics/distances.hpp"
 #include "topology/named.hpp"
+#include "sim/adaptive.hpp"
 #include "sim/network.hpp"
 #include "sim/observer.hpp"
 #include "sim/routers.hpp"
@@ -335,6 +337,138 @@ CheckSpec make_latency_histogram_check() {
                             " exceeds the 1/128 bound"));
               }
             }
+          }
+        }
+      }
+    }
+    return r;
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Congestion-aware adaptive routing: determinism and the UGAL payoff
+// ---------------------------------------------------------------------------
+
+CheckSpec make_adaptive_routing_check() {
+  CheckSpec spec;
+  spec.id = "adaptive-routing";
+  spec.claim =
+      "the full adaptive pipeline (minimal warm-up observed by a "
+      "CongestionMonitor, then a UGAL-planned run replayed via preset "
+      "routes) is bit-identical across kArena, kReference, and kSharded at "
+      "several domain counts; candidates = 0 reproduces pure minimal "
+      "routing exactly; and UGAL strictly improves makespan over minimal "
+      "routing on the dragonfly's neighbor-group adversary";
+  spec.theorems = "§4 (adaptive vs oblivious comparison), "
+                  "docs/ADAPTIVE_ROUTING.md invariants";
+  spec.run = [](const RunOptions& opts) {
+    CheckResult r;
+
+    struct Instance {
+      std::string name;
+      sim::SimNetwork net;
+      sim::Router route;
+      std::vector<NodeId> dst;
+    };
+    std::vector<Instance> instances;
+    {
+      const std::size_t n = 36;  // DF(4, 2)
+      std::vector<NodeId> shift(n);
+      for (NodeId v = 0; v < n; ++v) shift[v] = (v + 4) % n;
+      instances.push_back(
+          {"DF(4,2)/shift",
+           mcmp::make_unit_chip_network(topology::dragonfly_graph(4, 2),
+                                        topology::dragonfly_group_clustering(
+                                            4, 2),
+                                        1.0),
+           sim::dragonfly_router(4, 2), std::move(shift)});
+    }
+    {
+      const std::size_t n = 64;  // Q6
+      std::vector<NodeId> tornado(n);
+      for (NodeId v = 0; v < n; ++v) tornado[v] = (v + n / 2) % n;
+      instances.push_back(
+          {"Q6/tornado",
+           mcmp::make_unit_chip_network(
+               topology::hypercube_graph(6),
+               topology::hypercube_subcube_clustering(6, 8), 1.0),
+           sim::hypercube_router(6), std::move(tornado)});
+    }
+
+    for (const Instance& inst : instances) {
+      for (std::uint64_t seed = 1; seed <= opts.seeds; ++seed) {
+        ++r.instances;
+        sim::UgalConfig ugal;
+        ugal.seed = seed;
+        ugal.planned_weight = 4.0;
+
+        // The full pipeline per engine: fresh monitor, minimal warm-up,
+        // then the adaptive run with the monitor attached.
+        auto pipeline = [&](sim::Engine engine, std::uint32_t domains) {
+          sim::SimConfig cfg;
+          cfg.engine = engine;
+          cfg.shard_domains = domains;
+          cfg.seed = seed;
+          sim::CongestionMonitor monitor;
+          cfg.observer = &monitor;
+          sim::run_batch(inst.net, inst.route, inst.dst, cfg);
+          return sim::run_adaptive_batch(inst.net, inst.route, inst.dst,
+                                         ugal, cfg, &monitor);
+        };
+
+        const sim::AdaptiveResult oracle =
+            pipeline(sim::Engine::kReference, 0);
+        const sim::AdaptiveResult arena = pipeline(sim::Engine::kArena, 0);
+        if (auto diff = compare_results(arena.sim, oracle.sim);
+            !diff.empty()) {
+          fail(r, inst.name, seed, "kArena vs kReference: " + diff);
+        }
+        for (const std::uint32_t k : {1u, 3u, 8u}) {
+          const sim::AdaptiveResult sharded =
+              pipeline(sim::Engine::kSharded, k);
+          if (auto diff = compare_results(sharded.sim, oracle.sim);
+              !diff.empty()) {
+            fail(r, inst.name, seed,
+                 detail("kSharded(K=", k, ") vs kReference: ") + diff);
+          }
+          if (sharded.packets_nonminimal != oracle.packets_nonminimal) {
+            fail(r, inst.name, seed,
+                 detail("kSharded(K=", k, ") planned ",
+                        sharded.packets_nonminimal,
+                        " nonminimal packets, kReference ",
+                        oracle.packets_nonminimal));
+          }
+        }
+
+        // candidates = 0 must reproduce plain minimal routing exactly.
+        sim::SimConfig plain;
+        plain.seed = seed;
+        const sim::SimResult minimal =
+            sim::run_batch(inst.net, inst.route, inst.dst, plain);
+        sim::UgalConfig degenerate;
+        degenerate.seed = seed;
+        degenerate.candidates = 0;
+        const sim::AdaptiveResult as_minimal = sim::run_adaptive_batch(
+            inst.net, inst.route, inst.dst, degenerate, plain, nullptr);
+        if (as_minimal.packets_nonminimal != 0) {
+          fail(r, inst.name, seed,
+               "candidates = 0 still planned nonminimal routes");
+        }
+        if (auto diff = compare_results(as_minimal.sim, minimal);
+            !diff.empty()) {
+          fail(r, inst.name, seed, "candidates = 0 vs run_batch: " + diff);
+        }
+
+        // The payoff: on the dragonfly adversary UGAL must strictly beat
+        // minimal routing's makespan.
+        if (inst.name.substr(0, 2) == "DF") {
+          const sim::AdaptiveResult adaptive = sim::run_adaptive_batch(
+              inst.net, inst.route, inst.dst, ugal, plain, nullptr);
+          if (!(adaptive.sim.makespan_cycles < minimal.makespan_cycles)) {
+            fail(r, inst.name, seed,
+                 detail("UGAL makespan ", adaptive.sim.makespan_cycles,
+                        " does not beat minimal ", minimal.makespan_cycles));
           }
         }
       }

@@ -21,6 +21,7 @@ const std::vector<CheckSpec>& registry() {
     v.push_back(make_ascend_descend_check());
     v.push_back(make_sim_latency_check());
     v.push_back(make_latency_histogram_check());
+    v.push_back(make_adaptive_routing_check());
     v.push_back(make_distance_sampling_check());
     v.push_back(make_percolation_threshold_check());
     return v;

@@ -62,7 +62,7 @@ struct CheckSpec {
 /// it). Stable ids:
 ///   intercluster-diameter, intercluster-average, bisection-bandwidth,
 ///   allport-schedule, embedding-dilation, ascend-descend-steps,
-///   sim-latency, latency-histogram, distance-sampling,
+///   sim-latency, latency-histogram, adaptive-routing, distance-sampling,
 ///   percolation-threshold.
 const std::vector<CheckSpec>& registry();
 

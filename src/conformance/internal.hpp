@@ -32,6 +32,7 @@ CheckSpec make_embedding_dilation_check();
 CheckSpec make_ascend_descend_check();
 CheckSpec make_sim_latency_check();
 CheckSpec make_latency_histogram_check();
+CheckSpec make_adaptive_routing_check();
 CheckSpec make_distance_sampling_check();
 CheckSpec make_percolation_threshold_check();
 

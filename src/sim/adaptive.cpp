@@ -1,0 +1,186 @@
+#include "sim/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ipg::sim {
+
+CongestionMonitor::CongestionMonitor(double alpha) : alpha_(alpha) {
+  IPG_CHECK(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void CongestionMonitor::on_run_begin(const SimNetwork& net) {
+  busy_.assign(net.num_links(), 0.0);
+  if (load_.size() != net.num_links()) {
+    // New network shape: prior loads are meaningless, start fresh.
+    load_.assign(net.num_links(), 0.0);
+    runs_ = 0;
+  }
+}
+
+void CongestionMonitor::on_hop(const HopRecord& hop) {
+  busy_[hop.link] += hop.tail_departure - hop.start;
+}
+
+void CongestionMonitor::on_run_end(double horizon) {
+  if (horizon <= 0) return;
+  for (std::size_t l = 0; l < busy_.size(); ++l) {
+    const double util = std::min(1.0, busy_[l] / horizon);
+    load_[l] = runs_ == 0 ? util : alpha_ * util + (1.0 - alpha_) * load_[l];
+  }
+  ++runs_;
+}
+
+UgalPlanner::UgalPlanner(const SimNetwork& net, const Router& minimal,
+                         const UgalConfig& cfg,
+                         const CongestionMonitor* monitor)
+    : net_(net), minimal_(minimal), cfg_(cfg), monitor_(monitor) {
+  IPG_CHECK(std::isfinite(cfg.monitor_weight) && cfg.monitor_weight >= 0,
+            "monitor_weight must be non-negative and finite");
+  IPG_CHECK(std::isfinite(cfg.planned_weight) && cfg.planned_weight >= 0,
+            "planned_weight must be non-negative and finite");
+  IPG_CHECK(
+      std::isfinite(cfg.nonminimal_penalty) && cfg.nonminimal_penalty >= 0,
+      "nonminimal_penalty must be non-negative and finite");
+  IPG_CHECK(cfg.intermediate_nodes <= net.num_nodes(),
+            "intermediate_nodes exceeds the node count");
+  if (monitor != nullptr && monitor->runs_observed() > 0) {
+    IPG_CHECK(monitor->loads().size() == net.num_links(),
+              "congestion monitor watched a different network");
+  }
+  planned_.assign(net.num_links(), 0.0);
+}
+
+double UgalPlanner::route_cost(NodeId src,
+                               std::span<const std::uint16_t> route) const {
+  double cost = 0;
+  NodeId at = src;
+  for (const std::uint16_t port : route) {
+    const LinkId link = net_.link_of(at, port);
+    double factor = 1.0 + cfg_.planned_weight * planned_[link];
+    if (monitor_ != nullptr) {
+      factor += cfg_.monitor_weight * monitor_->load(link);
+    }
+    cost += factor / net_.bandwidth(link);
+    at = net_.arc(at, port).to;
+  }
+  return cost;
+}
+
+void UgalPlanner::commit(NodeId src, std::span<const std::uint16_t> route) {
+  NodeId at = src;
+  for (const std::uint16_t port : route) {
+    const LinkId link = net_.link_of(at, port);
+    planned_[link] += 1.0;
+    at = net_.arc(at, port).to;
+  }
+}
+
+RoutedInjection UgalPlanner::plan(NodeId src, NodeId dst, double time) {
+  const std::uint32_t pid = next_packet_++;
+  IPG_CHECK(src < net_.num_nodes() && dst < net_.num_nodes() && src != dst,
+            "plan endpoints out of range or equal");
+
+  std::vector<std::uint16_t> best =
+      net_.ports_from_dims(src, minimal_(src, dst));
+  double best_cost = route_cost(src, best);
+  bool best_nonminimal = false;
+
+  if (cfg_.candidates > 0) {
+    const std::size_t pool = cfg_.intermediate_nodes > 0
+                                 ? cfg_.intermediate_nodes
+                                 : net_.num_nodes();
+    util::Xoshiro256 rng(util::derive_seed(cfg_.seed, pid));
+    std::vector<std::uint16_t> cand;
+    for (std::uint32_t c = 0; c < cfg_.candidates; ++c) {
+      NodeId mid = topology::kInvalidNode;
+      // Bounded redraw keeps the per-packet draw count deterministic even
+      // in tiny networks where src/dst cover most of the pool.
+      for (int tries = 0; tries < 16; ++tries) {
+        const auto m = static_cast<NodeId>(rng.below(pool));
+        if (m != src && m != dst) {
+          mid = m;
+          break;
+        }
+      }
+      if (mid == topology::kInvalidNode) continue;
+      cand = net_.ports_from_dims(src, minimal_(src, mid));
+      net_.append_route(mid, minimal_(mid, dst), cand);
+      const double cost =
+          route_cost(src, cand) + cfg_.nonminimal_penalty;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best.swap(cand);
+        best_nonminimal = true;
+      }
+    }
+  }
+
+  IPG_CHECK(best.size() <= 0xffff, "planned route too long for a RouteRef");
+  commit(src, best);
+  if (best_nonminimal) {
+    ++nonminimal_count_;
+  } else {
+    ++minimal_count_;
+  }
+  RoutedInjection out;
+  out.src = src;
+  out.dst = dst;
+  out.time = time;
+  out.route_offset = static_cast<std::uint32_t>(ports_.size());
+  out.route_length = static_cast<std::uint16_t>(best.size());
+  ports_.insert(ports_.end(), best.begin(), best.end());
+  return out;
+}
+
+namespace {
+
+AdaptiveResult replay(const SimNetwork& net, const Router& minimal,
+                      UgalPlanner& planner,
+                      std::span<const RoutedInjection> routed,
+                      const SimConfig& cfg) {
+  AdaptiveResult r;
+  r.sim = run_routed(net, minimal, routed, planner.ports(), cfg);
+  r.packets_minimal = planner.packets_minimal();
+  r.packets_nonminimal = planner.packets_nonminimal();
+  return r;
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive_batch(const SimNetwork& net, const Router& minimal,
+                                  const std::vector<NodeId>& dst,
+                                  const UgalConfig& ugal, const SimConfig& cfg,
+                                  const CongestionMonitor* monitor) {
+  IPG_CHECK(dst.size() == net.num_nodes(), "one destination per node");
+  UgalPlanner planner(net, minimal, ugal, monitor);
+  std::vector<RoutedInjection> routed;
+  routed.reserve(dst.size());
+  for (NodeId v = 0; v < dst.size(); ++v) {
+    IPG_CHECK(dst[v] < net.num_nodes(), "destination out of range");
+    if (dst[v] == v) continue;
+    routed.push_back(planner.plan(v, dst[v], 0.0));
+  }
+  return replay(net, minimal, planner, routed, cfg);
+}
+
+AdaptiveResult run_adaptive_open(const SimNetwork& net, const Router& minimal,
+                                 const TrafficPattern& pattern, double rate,
+                                 std::size_t inject_cycles,
+                                 const UgalConfig& ugal, const SimConfig& cfg,
+                                 const CongestionMonitor* monitor) {
+  const std::vector<Injection> schedule =
+      open_injection_schedule(net, pattern, rate, inject_cycles, cfg.seed);
+  UgalPlanner planner(net, minimal, ugal, monitor);
+  std::vector<RoutedInjection> routed;
+  routed.reserve(schedule.size());
+  for (const Injection& i : schedule) {
+    routed.push_back(planner.plan(i.src, i.dst, i.time));
+  }
+  return replay(net, minimal, planner, routed, cfg);
+}
+
+}  // namespace ipg::sim

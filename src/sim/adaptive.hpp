@@ -1,0 +1,150 @@
+#pragma once
+// Congestion-aware adaptive routing (docs/ADAPTIVE_ROUTING.md).
+//
+// Classic UGAL picks, per packet, between the minimal route and a
+// Valiant-style nonminimal route through a random intermediate, using local
+// queue depths as the congestion signal. This layer reproduces that
+// decision at injection-planning time instead of inside the switches: a
+// UgalPlanner scores each candidate route against (a) link loads measured
+// by a CongestionMonitor during an earlier run and (b) the load the planner
+// itself has already committed to links in this plan, then hands the chosen
+// port sequences to run_routed. Because every engine replays the same
+// preset routes, adaptive runs inherit the simulator's determinism contract
+// unchanged: bit-identical SimResults across Engine::kArena / kReference /
+// kSharded, every domain count, every thread count — pinned by
+// tests/test_sim_adaptive.cpp and the "adaptive-routing" conformance check.
+//
+// The monitor is a plain SimObserver: attach it to any run (typically a
+// minimal-routing warm-up of the same workload), and it folds each link's
+// busy fraction into an exponentially weighted moving average across runs.
+// Both engines deliver observer hooks in the same canonical order, so the
+// monitor's state — and therefore every downstream adaptive decision — is
+// itself engine-independent.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace ipg::sim {
+
+/// Live per-link congestion estimate, fed from the simulator's observer
+/// hooks. During a run it accumulates each directed link's busy time
+/// (on_hop); at on_run_end it folds busy/horizon — the link's utilization
+/// over the run — into an EWMA across runs: load <- alpha * new + (1 -
+/// alpha) * old. alpha = 1 (the default) makes load() simply the last
+/// run's utilization. Deterministic: both accumulation order and horizon
+/// are part of the engines' bit-identical observer contract.
+class CongestionMonitor final : public SimObserver {
+ public:
+  explicit CongestionMonitor(double alpha = 1.0);
+
+  void on_run_begin(const SimNetwork& net) override;
+  void on_hop(const HopRecord& hop) override;
+  void on_run_end(double horizon) override;
+
+  /// EWMA'd busy fraction of directed link @p l, in [0, 1] per folded run.
+  /// 0 for links never observed (or before the first on_run_end).
+  double load(LinkId l) const noexcept {
+    return l < load_.size() ? load_[l] : 0.0;
+  }
+  std::span<const double> loads() const noexcept { return load_; }
+  std::size_t runs_observed() const noexcept { return runs_; }
+
+ private:
+  double alpha_;
+  std::vector<double> busy_;  ///< current run's per-link busy time
+  std::vector<double> load_;  ///< EWMA across completed runs
+  std::size_t runs_ = 0;
+};
+
+/// UGAL decision knobs. The planner computes, for each candidate route,
+///   cost = sum over links l of (1 / bandwidth(l)) *
+///          (1 + monitor_weight * monitor.load(l) + planned_weight *
+///           planned(l)) + (nonminimal ? nonminimal_penalty : 0)
+/// where planned(l) counts the transfers this plan has already routed over
+/// l — the self-congestion term that spreads a batch even with no monitor
+/// attached. The minimal route wins ties (strictly lower cost switches to
+/// nonminimal), so candidates = 0 degenerates to pure minimal routing.
+struct UgalConfig {
+  std::uint64_t seed = 1;
+  /// Valiant intermediates drawn per packet. 0 disables adaptivity.
+  std::uint32_t candidates = 2;
+  /// Weight of the CongestionMonitor's measured load (ignored if none).
+  double monitor_weight = 1.0;
+  /// Weight of the plan's own committed load.
+  double planned_weight = 1.0;
+  /// Additive cost bias toward the minimal route, in cycles.
+  double nonminimal_penalty = 0.0;
+  /// Intermediates are drawn from [0, intermediate_nodes); 0 = the whole
+  /// node range. Topologies whose router only accepts a prefix of the node
+  /// ids (fat-tree hosts) must bound this to that prefix.
+  std::size_t intermediate_nodes = 0;
+};
+
+/// Plans per-packet routes for run_routed. Not thread-safe; one planner
+/// plans one run's injection list, in injection order. Deterministic: the
+/// intermediate draws come from a per-packet RNG stream derived from
+/// (cfg.seed, packet index), independent of everything else.
+class UgalPlanner {
+ public:
+  /// @p net, @p minimal, and @p monitor (may be null) must outlive the
+  /// planner. A null monitor plans from the planned-load term alone.
+  UgalPlanner(const SimNetwork& net, const Router& minimal,
+              const UgalConfig& cfg, const CongestionMonitor* monitor);
+
+  /// Chooses a route for the next packet (packet ids count up from 0 in
+  /// call order, matching run_routed's injection order) and appends its
+  /// ports to the shared buffer.
+  RoutedInjection plan(NodeId src, NodeId dst, double time);
+
+  /// The shared port buffer backing the planned refs — pass to run_routed.
+  /// Valid until the next plan() call appends.
+  std::span<const std::uint16_t> ports() const noexcept { return ports_; }
+
+  std::size_t packets_minimal() const noexcept { return minimal_count_; }
+  std::size_t packets_nonminimal() const noexcept { return nonminimal_count_; }
+
+ private:
+  double route_cost(NodeId src, std::span<const std::uint16_t> route) const;
+  void commit(NodeId src, std::span<const std::uint16_t> route);
+
+  const SimNetwork& net_;
+  const Router& minimal_;
+  UgalConfig cfg_;
+  const CongestionMonitor* monitor_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<double> planned_;  ///< transfers committed per directed link
+  std::uint32_t next_packet_ = 0;
+  std::size_t minimal_count_ = 0;
+  std::size_t nonminimal_count_ = 0;
+};
+
+/// A run_routed result plus the planner's minimal/nonminimal split.
+struct AdaptiveResult {
+  SimResult sim;
+  std::size_t packets_minimal = 0;
+  std::size_t packets_nonminimal = 0;
+};
+
+/// run_batch under UGAL: plans one packet per node (dst[v] == v skipped,
+/// all at t = 0) with @p ugal, then replays through run_routed. @p monitor
+/// may be null; typically it watched a minimal-routing warm-up of the same
+/// destination set. Honors every SimConfig knob, fault plans included.
+AdaptiveResult run_adaptive_batch(const SimNetwork& net, const Router& minimal,
+                                  const std::vector<NodeId>& dst,
+                                  const UgalConfig& ugal, const SimConfig& cfg,
+                                  const CongestionMonitor* monitor);
+
+/// run_open under UGAL: plans the exact open-loop population
+/// open_injection_schedule draws (same per-node RNG streams as run_open),
+/// then replays through run_routed.
+AdaptiveResult run_adaptive_open(const SimNetwork& net, const Router& minimal,
+                                 const TrafficPattern& pattern, double rate,
+                                 std::size_t inject_cycles,
+                                 const UgalConfig& ugal, const SimConfig& cfg,
+                                 const CongestionMonitor* monitor);
+
+}  // namespace ipg::sim

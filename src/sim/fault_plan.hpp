@@ -225,6 +225,12 @@ class FaultState {
   bool route_from(NodeId u, NodeId dst, RouteRef& out) {
     return routes_.route_from(u, dst, out);
   }
+  /// Copies an externally planned port route (run_routed presets) into the
+  /// shard, so preset packets resolve against the same buffer as routed
+  /// ones. Append-only — never evicted, refs stay valid for the run.
+  RouteRef adopt(std::span<const std::uint16_t> ports) {
+    return routes_.adopt(ports);
+  }
   const std::uint16_t* ports() const noexcept { return routes_.ports(); }
 
  private:

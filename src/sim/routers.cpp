@@ -50,6 +50,64 @@ Router super_ipg_router(const SuperIpg& ipg) {
   return [&ipg](NodeId src, NodeId dst) { return ipg.route(src, dst); };
 }
 
+Router dragonfly_router(std::size_t a, std::size_t h) {
+  IPG_CHECK(a >= 2 && h >= 1, "dragonfly parameters out of range");
+  const std::size_t g = a * h + 1;
+  return [a, h, g](NodeId src, NodeId dst) {
+    std::vector<std::size_t> dims;
+    if (src == dst) return dims;
+    // Local hop label: the complete-graph offset between two routers of
+    // one group (see topology::dragonfly_graph).
+    const auto local = [&](NodeId u, NodeId v) {
+      const std::size_t off = (v % a + a - u % a) % a;
+      dims.push_back(off - 1);
+    };
+    const std::size_t gs = src / a, gd = dst / a;
+    if (gs == gd) {
+      local(src, dst);
+      return dims;
+    }
+    const std::size_t slot = (gd + g - gs - 1) % g;  // exit slot in gs
+    const auto exit_router = static_cast<NodeId>(gs * a + slot / h);
+    const std::size_t peer_slot = a * h - 1 - slot;
+    const auto entry_router = static_cast<NodeId>(gd * a + peer_slot / h);
+    if (src != exit_router) local(src, exit_router);
+    dims.push_back(a - 1 + slot % h);
+    if (entry_router != dst) local(entry_router, dst);
+    return dims;
+  };
+}
+
+Router fat_tree_router(std::size_t k) {
+  IPG_CHECK(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+  const std::size_t half = k / 2;
+  const std::size_t hosts = k * k * k / 4;
+  const std::size_t hosts_per_pod = half * half;
+  return [half, hosts, hosts_per_pod](NodeId src, NodeId dst) {
+    IPG_CHECK(src < hosts && dst < hosts,
+              "fat-tree router routes host to host");
+    std::vector<std::size_t> dims;
+    if (src == dst) return dims;
+    const std::size_t p1 = src / hosts_per_pod, p2 = dst / hosts_per_pod;
+    const std::size_t e1 = (src % hosts_per_pod) / half;
+    const std::size_t e2 = (dst % hosts_per_pod) / half;
+    const std::size_t s2 = dst % half;
+    dims.push_back(0);  // host -> edge
+    if (p1 == p2 && e1 == e2) {
+      dims.push_back(s2);  // edge -> host
+      return dims;
+    }
+    dims.push_back(half + s2);  // edge -> agg, column spread by dst slot
+    if (p1 != p2) {
+      dims.push_back(half + e2);  // agg -> core, spread by dst edge index
+      dims.push_back(p2);         // core -> agg in the destination pod
+    }
+    dims.push_back(e2);  // agg -> edge
+    dims.push_back(s2);  // edge -> host
+    return dims;
+  };
+}
+
 Router table_router(std::shared_ptr<const Graph> graph) {
   IPG_CHECK(graph != nullptr, "table router needs a graph");
   // Per-destination predecessor-port tables, built on first use.

@@ -32,6 +32,19 @@ Router kary_router(std::size_t k, std::size_t n);
 /// outlive the returned router.
 Router super_ipg_router(const topology::SuperIpg& ipg);
 
+/// Hierarchical minimal routing on the balanced dragonfly DF(a, h)
+/// (topology::dragonfly_graph): local hop to the exit router, the unique
+/// global link toward the destination group, local hop to the destination
+/// — at most l-g-l (3 hops). Deadlock-free under unbounded buffers.
+Router dragonfly_router(std::size_t a, std::size_t h);
+
+/// Deterministic up/down routing on the three-level fat-tree FT(k)
+/// (topology::fat_tree_graph). Both endpoints must be hosts (ids below
+/// k^3/4); the upward aggregation/core choice is spread by the destination
+/// address (dst slot picks the aggregation column, dst edge index picks the
+/// core), the standard static ECMP hash made deterministic.
+Router fat_tree_router(std::size_t k);
+
 /// Shortest-path routing via per-destination BFS tables, built lazily and
 /// cached; intended for small graphs (memory O(N) per distinct dst).
 Router table_router(std::shared_ptr<const topology::Graph> graph);

@@ -1573,6 +1573,8 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
                                     std::vector<FaultPacket>& packets,
                                     std::vector<LinkHot>& links,
                                     const SimConfig& cfg,
+                                    std::span<const RoutedInjection> presets,
+                                    std::span<const std::uint16_t> preset_ports,
                                     std::vector<double>& link_busy_until,
                                     std::vector<double>& link_busy_time) {
   const std::size_t k = resolve_domains(net, cfg);
@@ -1586,6 +1588,20 @@ EngineStats run_sharded_faulty_loop(const Queue& proto, const SimNetwork& net,
   for (std::size_t d = 0; d < k; ++d) doms.emplace_back(proto, core, route, k);
   for (const std::uint32_t pid : injection_order(packets)) {
     doms[cut.domain_of[packets[pid].src]].order.push_back(pid);
+  }
+  // Preset routes (run_routed) land in the shard of the packet's source
+  // domain — the domain that pops its injection event — exactly as if
+  // route_from had produced them there. Setup is single-threaded, so this
+  // append precedes the mutation fence below.
+  for (std::uint32_t pid = 0; pid < presets.size(); ++pid) {
+    if (presets[pid].route_length == 0) continue;
+    FaultPacket& p = packets[pid];
+    const RouteRef ref = doms[cut.domain_of[p.src]].routes.adopt(
+        {preset_ports.data() + presets[pid].route_offset,
+         std::size_t{presets[pid].route_length}});
+    p.cursor = ref.offset;
+    p.hops_left = ref.length;
+    p.routed = true;
   }
   BufferState buf =
       make_buffer_state(net, links, cut.domain_of, cfg.node_buffer_packets);
@@ -1762,7 +1778,9 @@ SimResult run_sharded_flat(const SimNetwork& net,
 SimResult run_sharded_faulty(const SimNetwork& net, const Router& route,
                              const FaultPlan& plan,
                              std::vector<FaultPacket>& packets,
-                             const SimConfig& cfg) {
+                             const SimConfig& cfg,
+                             std::span<const RoutedInjection> presets,
+                             std::span<const std::uint16_t> preset_ports) {
   std::vector<LinkHot> links = make_link_table(net, cfg);
   std::vector<double> busy_until(net.num_links(), 0.0);
   std::vector<double> busy_time(net.num_links(), 0.0);
@@ -1771,11 +1789,13 @@ SimResult run_sharded_faulty(const SimNetwork& net, const Router& route,
   if (grid_bits >= 0) {
     const TickQueue proto(grid_bits);
     stats = run_sharded_faulty_loop(proto, net, route, plan, packets, links,
-                                    cfg, busy_until, busy_time);
+                                    cfg, presets, preset_ports, busy_until,
+                                    busy_time);
   } else {
     const EventQueue proto;
     stats = run_sharded_faulty_loop(proto, net, route, plan, packets, links,
-                                    cfg, busy_until, busy_time);
+                                    cfg, presets, preset_ports, busy_until,
+                                    busy_time);
   }
   return summarize(net, stats, cfg, busy_time, busy_until);
 }

@@ -53,9 +53,15 @@ SimResult run_sharded_flat(const SimNetwork& net,
 /// Degraded-mode sharded run: shared FaultCore applied only at barriers,
 /// per-domain FaultRoutes shards, migrating packets' remaining routes
 /// copied between shards at the barrier drain. Entered from run_faulty.
+/// Non-empty @p presets (parallel to @p packets; run_routed) carry preset
+/// port routes into @p preset_ports: each is adopted into the source
+/// domain's shard during the single-threaded setup, before the shards'
+/// mutation fence engages.
 SimResult run_sharded_faulty(const SimNetwork& net, const Router& route,
                              const FaultPlan& plan,
                              std::vector<FaultPacket>& packets,
-                             const SimConfig& cfg);
+                             const SimConfig& cfg,
+                             std::span<const RoutedInjection> presets = {},
+                             std::span<const std::uint16_t> preset_ports = {});
 
 }  // namespace ipg::sim::detail

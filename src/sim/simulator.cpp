@@ -727,7 +727,9 @@ EngineStats run_faulty_loop(Queue& events, const SimNetwork& net,
 
 SimResult run_faulty(const SimNetwork& net, const Router& route,
                      std::span<const Injection> injections,
-                     const SimConfig& cfg) {
+                     const SimConfig& cfg,
+                     std::span<const RoutedInjection> presets = {},
+                     std::span<const std::uint16_t> preset_ports = {}) {
   static const FaultPlan kNoFaults;
   const FaultPlan& plan =
       cfg.fault_plan != nullptr ? *cfg.fault_plan : kNoFaults;
@@ -751,7 +753,20 @@ SimResult run_faulty(const SimNetwork& net, const Router& route,
                 net.num_nodes() < Event::kFreeBufferBit,
             "packet/node ids must fit in 31 bits");
   if (cfg.engine == Engine::kSharded) {
-    return run_sharded_faulty(net, route, plan, packets, cfg);
+    return run_sharded_faulty(net, route, plan, packets, cfg, presets,
+                              preset_ports);
+  }
+  // Preset routes (run_routed) enter the sequential shard up front, marked
+  // routed — the lazy `if (!p.routed)` path then never overrides them, but
+  // dead-link detours and retransmissions re-route canonically as usual.
+  for (std::uint32_t pid = 0; pid < presets.size(); ++pid) {
+    if (presets[pid].route_length == 0) continue;
+    const RouteRef ref = faults.adopt(
+        {preset_ports.data() + presets[pid].route_offset,
+         std::size_t{presets[pid].route_length}});
+    packets[pid].cursor = ref.offset;
+    packets[pid].hops_left = ref.length;
+    packets[pid].routed = true;
   }
   std::vector<LinkHot> links = make_link_table(net, cfg);
   std::vector<double> busy_until(net.num_links(), 0.0);
@@ -983,6 +998,102 @@ SimResult run_trace(const SimNetwork& net, const Router& route,
         i.src, i.dst, i.time));
   }
   return run_flat(net, packets, arena, cfg);
+}
+
+SimResult run_routed(const SimNetwork& net, const Router& fallback,
+                     std::span<const RoutedInjection> injections,
+                     std::span<const std::uint16_t> route_ports,
+                     const SimConfig& cfg) {
+  validate_run_inputs(net, cfg);
+  for (const RoutedInjection& i : injections) {
+    IPG_CHECK(i.src < net.num_nodes() && i.dst < net.num_nodes(),
+              "injection endpoints out of range");
+    IPG_CHECK(i.src != i.dst, "injection with src == dst");
+    IPG_CHECK(std::isfinite(i.time) && i.time >= 0,
+              "injection time must be finite and non-negative");
+    if (i.route_length == 0) continue;
+    IPG_CHECK(static_cast<std::size_t>(i.route_offset) + i.route_length <=
+                  route_ports.size(),
+              "preset route reaches past the port buffer");
+    // Walk the preset so a planner bug fails loudly here, not as silent
+    // misdelivery or an out-of-range port deep in an engine hot loop.
+    NodeId cur = i.src;
+    for (std::uint16_t h = 0; h < i.route_length; ++h) {
+      const std::uint16_t port = route_ports[i.route_offset + h];
+      IPG_CHECK(port < net.graph().arcs_of(cur).size(),
+                "preset route uses a port its node does not have");
+      cur = net.arc(cur, port).to;
+    }
+    IPG_CHECK(cur == i.dst, "preset route must end at the destination");
+  }
+  if (degraded_mode(cfg)) {
+    std::vector<Injection> base;
+    base.reserve(injections.size());
+    for (const RoutedInjection& i : injections) {
+      base.push_back({i.src, i.dst, i.time});
+    }
+    return run_faulty(net, fallback, base, cfg, injections, route_ports);
+  }
+  if (cfg.engine == Engine::kReference) {
+    std::vector<RefPacket> packets;
+    packets.reserve(injections.size());
+    for (const RoutedInjection& i : injections) {
+      if (i.route_length == 0) {
+        packets.push_back(make_ref_packet(
+            net, fallback, cfg.observer,
+            static_cast<std::uint32_t>(packets.size()), i.src, i.dst, i.time));
+        continue;
+      }
+      if (cfg.observer != nullptr) {
+        cfg.observer->on_inject(static_cast<std::uint32_t>(packets.size()),
+                                i.src, i.dst, i.time);
+      }
+      RefPacket p;
+      p.src = i.src;
+      p.dst = i.dst;
+      p.at = i.src;
+      p.inject_time = i.time;
+      p.ports.assign(route_ports.begin() + i.route_offset,
+                     route_ports.begin() + i.route_offset + i.route_length);
+      packets.push_back(std::move(p));
+    }
+    return run_ref(net, packets, cfg);
+  }
+  RouteArena arena(net, fallback);
+  arena.reserve(injections.size(), 0);
+  std::vector<FlatPacket> packets;
+  packets.reserve(injections.size());
+  for (const RoutedInjection& i : injections) {
+    if (i.route_length == 0) {
+      packets.push_back(make_flat_packet(
+          arena, cfg.observer, static_cast<std::uint32_t>(packets.size()),
+          i.src, i.dst, i.time));
+      continue;
+    }
+    if (cfg.observer != nullptr) {
+      cfg.observer->on_inject(static_cast<std::uint32_t>(packets.size()),
+                              i.src, i.dst, i.time);
+    }
+    const RouteRef ref = arena.adopt(
+        {route_ports.data() + i.route_offset, std::size_t{i.route_length}});
+    packets.push_back({i.src, ref.offset, ref.length, ref.length, i.time});
+  }
+  return run_flat(net, packets, arena, cfg);
+}
+
+std::vector<Injection> open_injection_schedule(const SimNetwork& net,
+                                               const TrafficPattern& pattern,
+                                               double rate,
+                                               std::size_t inject_cycles,
+                                               std::uint64_t seed) {
+  IPG_CHECK(std::isfinite(rate) && rate > 0 && rate <= 1.0,
+            "injection rate must be in (0, 1]");
+  std::vector<Injection> injections;
+  draw_open_injections(net, pattern, rate, inject_cycles, seed,
+                       [&](NodeId v, NodeId d, double t) {
+                         injections.push_back({v, d, t});
+                       });
+  return injections;
 }
 
 }  // namespace ipg::sim

@@ -167,6 +167,18 @@ struct Injection {
   double time = 0;
 };
 
+/// One externally scheduled packet with an optional preset source route
+/// (run_routed). route_offset / route_length reference a slice of the
+/// caller's shared port buffer; route_length == 0 means "no preset" — the
+/// packet follows the canonical router like a run_trace injection.
+struct RoutedInjection {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double time = 0;
+  std::uint32_t route_offset = 0;
+  std::uint16_t route_length = 0;
+};
+
 /// One packet per source with the given destinations (dst[v] == v means no
 /// packet); all injected at t = 0. Reports makespan-based throughput.
 SimResult run_batch(const SimNetwork& net, const Router& route,
@@ -192,6 +204,33 @@ SimResult run_total_exchange(const SimNetwork& net, const Router& route,
 SimResult run_trace(const SimNetwork& net, const Router& route,
                     std::span<const Injection> injections,
                     const SimConfig& cfg);
+
+/// run_trace with per-packet preset port routes — the replay primitive the
+/// adaptive routing layer (sim/adaptive.hpp) feeds: a planner chooses each
+/// packet's route up front (minimal vs nonminimal), and every engine then
+/// follows those exact port sequences, so adaptive runs inherit the
+/// bit-identical-across-engines contract for free. Each preset route is
+/// validated to walk from its packet's src to its dst over existing ports.
+/// @p fallback serves packets with route_length == 0 and all degraded-mode
+/// re-routing: a preset route that meets a dead link detours from the node
+/// that discovered the failure, and a retransmission restarts on the
+/// canonical fault-aware route (the preset covers the first attempt only —
+/// identically on every engine).
+SimResult run_routed(const SimNetwork& net, const Router& fallback,
+                     std::span<const RoutedInjection> injections,
+                     std::span<const std::uint16_t> route_ports,
+                     const SimConfig& cfg);
+
+/// Materializes the exact injection population run_open(net, ..., rate,
+/// inject_cycles, cfg) would simulate: node-major (src, dst, cycle) tuples
+/// drawn from the same per-node RNG streams (util::derive_seed(seed, node)).
+/// Exposed so route planners can precompute per-packet routes for this
+/// population and replay them through run_routed.
+std::vector<Injection> open_injection_schedule(const SimNetwork& net,
+                                               const TrafficPattern& pattern,
+                                               double rate,
+                                               std::size_t inject_cycles,
+                                               std::uint64_t seed);
 
 /// Nearest-rank percentile: the ceil(n * pct / 100)-th smallest sample
 /// (pct in (0, 100]), found with nth_element — @p values is reordered, not

@@ -1,5 +1,6 @@
 #include "sim/traffic.hpp"
 
+#include <cmath>
 #include <numeric>
 
 #include "util/bits.hpp"
@@ -8,6 +9,9 @@
 namespace ipg::sim {
 
 TrafficPattern uniform_traffic(std::size_t num_nodes) {
+  IPG_CHECK(num_nodes >= 2,
+            "uniform traffic needs at least two nodes to pick a non-self "
+            "destination");
   return [num_nodes](NodeId src, util::Xoshiro256& rng) {
     const auto d = static_cast<NodeId>(rng.below(num_nodes - 1));
     return d >= src ? d + 1 : d;  // skip self
@@ -15,15 +19,21 @@ TrafficPattern uniform_traffic(std::size_t num_nodes) {
 }
 
 TrafficPattern bit_complement_traffic(std::size_t num_nodes) {
-  IPG_CHECK(util::is_pow2(num_nodes), "bit-complement needs a power-of-two size");
+  // Power-of-two only: on other sizes src ^ mask lands outside [0, N) for
+  // some sources, which would crash the injection drivers mid-run.
+  IPG_CHECK(num_nodes >= 2 && util::is_pow2(num_nodes),
+            "bit-complement traffic needs a power-of-two node count >= 2");
   const auto mask = static_cast<NodeId>(num_nodes - 1);
   return [mask](NodeId src, util::Xoshiro256&) { return src ^ mask; };
 }
 
 TrafficPattern transpose_traffic(std::size_t num_nodes) {
-  IPG_CHECK(util::is_pow2(num_nodes), "transpose needs a power-of-two size");
+  IPG_CHECK(num_nodes >= 2 && util::is_pow2(num_nodes),
+            "transpose traffic needs a power-of-two node count >= 2");
   const unsigned bits = util::exact_log2(num_nodes);
-  IPG_CHECK(bits % 2 == 0, "transpose needs an even number of address bits");
+  IPG_CHECK(bits % 2 == 0,
+            "transpose traffic needs an even number of address bits "
+            "(a square matrix)");
   const unsigned half = bits / 2;
   const auto lo_mask = (NodeId{1} << half) - 1;
   return [half, lo_mask](NodeId src, util::Xoshiro256&) {
@@ -32,16 +42,35 @@ TrafficPattern transpose_traffic(std::size_t num_nodes) {
 }
 
 TrafficPattern bit_reversal_traffic(std::size_t num_nodes) {
-  IPG_CHECK(util::is_pow2(num_nodes), "bit-reversal needs a power-of-two size");
+  IPG_CHECK(num_nodes >= 2 && util::is_pow2(num_nodes),
+            "bit-reversal traffic needs a power-of-two node count >= 2");
   const unsigned bits = util::exact_log2(num_nodes);
   return [bits](NodeId src, util::Xoshiro256&) {
     return static_cast<NodeId>(util::bit_reverse(src, bits));
   };
 }
 
+TrafficPattern shift_traffic(std::size_t num_nodes, std::size_t shift) {
+  IPG_CHECK(num_nodes >= 2, "shift traffic needs at least two nodes");
+  IPG_CHECK(shift >= 1 && shift < num_nodes,
+            "shift must be in [1, num_nodes) so no node sends to itself");
+  return [num_nodes, shift](NodeId src, util::Xoshiro256&) {
+    return static_cast<NodeId>((src + shift) % num_nodes);
+  };
+}
+
+TrafficPattern tornado_traffic(std::size_t num_nodes) {
+  IPG_CHECK(num_nodes >= 2, "tornado traffic needs at least two nodes");
+  return shift_traffic(num_nodes, num_nodes / 2);
+}
+
 TrafficPattern hotspot_traffic(std::size_t num_nodes, NodeId hot,
                                double hot_fraction) {
+  IPG_CHECK(num_nodes >= 2, "hotspot traffic needs at least two nodes");
   IPG_CHECK(hot < num_nodes, "hot spot out of range");
+  IPG_CHECK(std::isfinite(hot_fraction) && hot_fraction >= 0.0 &&
+                hot_fraction <= 1.0,
+            "hot_fraction must be a finite probability in [0, 1]");
   auto uniform = uniform_traffic(num_nodes);
   return [uniform, hot, hot_fraction](NodeId src, util::Xoshiro256& rng) {
     if (src != hot && rng.bernoulli(hot_fraction)) return hot;

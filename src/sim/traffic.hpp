@@ -29,6 +29,16 @@ TrafficPattern transpose_traffic(std::size_t num_nodes);
 /// Bit-reversal permutation traffic.
 TrafficPattern bit_reversal_traffic(std::size_t num_nodes);
 
+/// Cyclic shift: dst = (src + shift) mod N, shift in [1, N). With shift =
+/// the group/chip size this is the classic neighbor-group adversary (every
+/// node targets the next group, concentrating load on one inter-group
+/// link); works for any node count, unlike the bit-pattern permutations.
+TrafficPattern shift_traffic(std::size_t num_nodes, std::size_t shift);
+
+/// Tornado permutation: dst = (src + N/2) mod N — the canonical adversary
+/// for minimal routing on rings/tori, valid for any N >= 2.
+TrafficPattern tornado_traffic(std::size_t num_nodes);
+
 /// Hot-spot: with probability @p hot_fraction the destination is @p hot,
 /// otherwise uniform.
 TrafficPattern hotspot_traffic(std::size_t num_nodes, NodeId hot,

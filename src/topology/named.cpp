@@ -236,4 +236,110 @@ Clustering butterfly_clustering(unsigned n, unsigned r) {
   return Clustering(std::move(cluster), rows >> r);
 }
 
+Graph dragonfly_graph(std::size_t a, std::size_t h) {
+  IPG_CHECK(a >= 2, "dragonfly needs at least two routers per group");
+  IPG_CHECK(h >= 1, "dragonfly needs at least one global port per router");
+  const std::size_t g = a * h + 1;  // one global link per group pair
+  const std::size_t num = g * a;
+  GraphBuilder b("DF(" + std::to_string(a) + "," + std::to_string(h) + ")",
+                 num, a - 1 + h);
+  for (std::size_t grp = 0; grp < g; ++grp) {
+    const NodeId base = static_cast<NodeId>(grp * a);
+    // Local complete graph, offset labels as in complete_graph.
+    for (std::size_t r = 0; r < a; ++r) {
+      for (std::size_t o = 1; o < a; ++o) {
+        b.add_arc(base + static_cast<NodeId>(r),
+                  base + static_cast<NodeId>((r + o) % a),
+                  static_cast<std::uint16_t>(o - 1));
+      }
+    }
+    // Global links, palmtree arrangement: slot s (owned by router s/h)
+    // reaches group (grp + s + 1) mod g at its slot a*h - 1 - s. Both
+    // directions are emitted by their own slot.
+    for (std::size_t s = 0; s < a * h; ++s) {
+      const std::size_t peer_grp = (grp + s + 1) % g;
+      const std::size_t peer_slot = a * h - 1 - s;
+      b.add_arc(base + static_cast<NodeId>(s / h),
+                static_cast<NodeId>(peer_grp * a + peer_slot / h),
+                static_cast<std::uint16_t>(a - 1 + s % h));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph fat_tree_graph(std::size_t k) {
+  IPG_CHECK(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+  IPG_CHECK(k <= 64, "fat-tree arity out of supported range");
+  const std::size_t half = k / 2;
+  const std::size_t hosts = k * k * k / 4;
+  const std::size_t edges = k * half;  // k pods x k/2 edge switches
+  const std::size_t aggs = k * half;
+  const std::size_t cores = half * half;
+  GraphBuilder b("FT(" + std::to_string(k) + ")",
+                 hosts + edges + aggs + cores, k);
+  const auto edge_id = [&](std::size_t pod, std::size_t e) {
+    return static_cast<NodeId>(hosts + pod * half + e);
+  };
+  const auto agg_id = [&](std::size_t pod, std::size_t ag) {
+    return static_cast<NodeId>(hosts + edges + pod * half + ag);
+  };
+  const auto core_id = [&](std::size_t c) {
+    return static_cast<NodeId>(hosts + edges + aggs + c);
+  };
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t s = 0; s < half; ++s) {
+        const auto host =
+            static_cast<NodeId>(pod * (half * half) + e * half + s);
+        b.add_arc(host, edge_id(pod, e), 0);
+        b.add_arc(edge_id(pod, e), host, static_cast<std::uint16_t>(s));
+      }
+      for (std::size_t ag = 0; ag < half; ++ag) {
+        b.add_arc(edge_id(pod, e), agg_id(pod, ag),
+                  static_cast<std::uint16_t>(half + ag));
+        b.add_arc(agg_id(pod, ag), edge_id(pod, e),
+                  static_cast<std::uint16_t>(e));
+      }
+    }
+    for (std::size_t ag = 0; ag < half; ++ag) {
+      for (std::size_t i = 0; i < half; ++i) {
+        b.add_arc(agg_id(pod, ag), core_id(ag * half + i),
+                  static_cast<std::uint16_t>(half + i));
+        b.add_arc(core_id(ag * half + i), agg_id(pod, ag),
+                  static_cast<std::uint16_t>(pod));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Clustering dragonfly_group_clustering(std::size_t a, std::size_t h) {
+  IPG_CHECK(a >= 2 && h >= 1, "dragonfly parameters out of range");
+  const std::size_t g = a * h + 1;
+  return Clustering::blocks(g * a, a);
+}
+
+Clustering fat_tree_pod_clustering(std::size_t k) {
+  IPG_CHECK(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+  const std::size_t half = k / 2;
+  const std::size_t hosts = k * k * k / 4;
+  const std::size_t edges = k * half;
+  const std::size_t aggs = k * half;
+  const std::size_t cores = half * half;
+  std::vector<std::uint32_t> cluster(hosts + edges + aggs + cores);
+  for (std::size_t v = 0; v < hosts; ++v) {
+    cluster[v] = static_cast<std::uint32_t>(v / (half * half));
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    cluster[hosts + i] = static_cast<std::uint32_t>(i / half);
+  }
+  for (std::size_t i = 0; i < aggs; ++i) {
+    cluster[hosts + edges + i] = static_cast<std::uint32_t>(i / half);
+  }
+  for (std::size_t i = 0; i < cores; ++i) {
+    cluster[hosts + edges + aggs + i] = static_cast<std::uint32_t>(k);
+  }
+  return Clustering(std::move(cluster), k + 1);
+}
+
 }  // namespace ipg::topology

@@ -56,6 +56,23 @@ Graph de_bruijn_graph(unsigned n);
 /// 1: outer cycle -, 2: spoke; inner star edges reuse labels 0/1.
 Graph petersen_graph();
 
+/// Balanced dragonfly DF(a, h): g = a*h + 1 groups of a routers, every
+/// group a complete graph, every pair of groups joined by exactly one
+/// global link (h global ports per router, palmtree arrangement: slot s of
+/// group G — owned by router s/h — reaches group (G + s + 1) mod g). Node
+/// id = group * a + router. Labels: local links reuse the complete-graph
+/// offset labels 0..a-2; global port j carries label a-1+j.
+Graph dragonfly_graph(std::size_t a, std::size_t h);
+
+/// Three-level k-ary fat-tree FT(k) (k even): k pods of k/2 edge and k/2
+/// aggregation switches, k^3/4 hosts, k^2/4 core switches; aggregation
+/// switch a (within its pod) reaches cores a*k/2 .. (a+1)*k/2 - 1. Hosts
+/// occupy ids [0, k^3/4), then edge, aggregation, core in pod-major order.
+/// Labels (per node): host up = 0; edge: down to host slot s = s, up to
+/// agg a = k/2+a; agg: down to edge e = e, up to its i-th core = k/2+i;
+/// core: down to pod p = p.
+Graph fat_tree_graph(std::size_t k);
+
 // --- natural chip partitions (one cluster per chip) -------------------------
 
 /// Hypercube: chips are subcubes over the low log2(m) dimensions.
@@ -75,5 +92,13 @@ Clustering ccc_cycle_clustering(unsigned n);
 /// n-r row bits (m = n * 2^r nodes per chip) — the partition of [32] that
 /// makes the intercluster degree sublinear in the node degree.
 Clustering butterfly_clustering(unsigned n, unsigned r);
+
+/// Dragonfly: one chip per group (local links on-chip, globals off-chip).
+Clustering dragonfly_group_clustering(std::size_t a, std::size_t h);
+
+/// Fat-tree: one chip per pod (hosts + edge + aggregation) plus one core
+/// chip, so only the aggregation<->core links are off-chip. Chips are NOT
+/// equal-sized (the core chip holds k^2/4 switches).
+Clustering fat_tree_pod_clustering(std::size_t k);
 
 }  // namespace ipg::topology

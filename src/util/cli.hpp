@@ -1,0 +1,56 @@
+#pragma once
+// Checked numeric parsing for the command-line tools (ipg_check,
+// ipg_design, ipg_resilience). std::stoul/strtoull silently accept
+// trailing garbage ("4x" -> 4), treat "-1" as a huge unsigned, and throw
+// bare std::invalid_argument with no hint of which flag was malformed.
+// These helpers parse the WHOLE string or fail, and the flag-aware wrapper
+// prints an error that names the offending flag and the text it got.
+
+#include <charconv>
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+namespace ipg::util {
+
+/// Parses the entire @p text as an unsigned decimal integer of type T.
+/// Rejects empty input, signs, leading whitespace, trailing characters,
+/// and values that overflow T.
+template <typename T>
+std::optional<T> parse_unsigned(std::string_view text) {
+  T value{};
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value, 10);
+  if (text.empty() || ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Parses the entire @p text as a finite decimal floating-point number.
+inline std::optional<double> parse_double(std::string_view text) {
+  double value{};
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (text.empty() || ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Flag-aware wrapper for tool argument loops: parses @p text (the flag's
+/// value, possibly null when the flag was last on the command line) as an
+/// unsigned T. On failure prints an error to @p err that names @p flag and
+/// returns nullopt, so the caller can fall through to its usage path.
+template <typename T>
+std::optional<T> checked_flag_value(std::string_view flag, const char* text,
+                                    std::ostream& err) {
+  if (text == nullptr) {
+    err << "error: " << flag << " needs a value\n";
+    return std::nullopt;
+  }
+  const std::optional<T> v = parse_unsigned<T>(text);
+  if (!v.has_value()) {
+    err << "error: " << flag << " expects an unsigned integer, got '" << text
+        << "'\n";
+  }
+  return v;
+}
+
+}  // namespace ipg::util

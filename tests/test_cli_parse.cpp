@@ -1,0 +1,75 @@
+// Checked numeric parsing shared by the CLI tools (util/cli.hpp): the
+// helpers must parse the whole string or fail — no silent truncation of
+// "4x" to 4, no reinterpreting "-1" as a huge unsigned — and the
+// flag-aware wrapper must name the offending flag in its error message.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace ipg::util {
+namespace {
+
+TEST(CliParse, UnsignedAcceptsPlainDecimals) {
+  EXPECT_EQ(parse_unsigned<std::size_t>("0"), std::size_t{0});
+  EXPECT_EQ(parse_unsigned<std::size_t>("42"), std::size_t{42});
+  EXPECT_EQ(parse_unsigned<unsigned>("4294967295"),
+            std::numeric_limits<unsigned>::max());
+}
+
+TEST(CliParse, UnsignedRejectsPartialAndMalformedInput) {
+  EXPECT_FALSE(parse_unsigned<std::size_t>("").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("4x").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("x4").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("-1").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("+1").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>(" 1").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("1 ").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("1.5").has_value());
+  EXPECT_FALSE(parse_unsigned<std::size_t>("0x10").has_value());
+}
+
+TEST(CliParse, UnsignedRejectsOverflow) {
+  EXPECT_FALSE(parse_unsigned<std::uint8_t>("256").has_value());
+  EXPECT_EQ(parse_unsigned<std::uint8_t>("255"), std::uint8_t{255});
+  EXPECT_FALSE(
+      parse_unsigned<std::uint64_t>("99999999999999999999999").has_value());
+}
+
+TEST(CliParse, DoubleParsesWholeStringOnly) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double("-2"), -2.0);
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("nope").has_value());
+}
+
+TEST(CliParse, CheckedFlagValueNamesTheFlagOnMissingValue) {
+  std::ostringstream err;
+  const auto v = checked_flag_value<std::size_t>("--seeds", nullptr, err);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_NE(err.str().find("--seeds"), std::string::npos);
+  EXPECT_NE(err.str().find("needs a value"), std::string::npos);
+}
+
+TEST(CliParse, CheckedFlagValueNamesTheFlagAndTextOnBadParse) {
+  std::ostringstream err;
+  const auto v = checked_flag_value<std::size_t>("--trials", "12q", err);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_NE(err.str().find("--trials"), std::string::npos);
+  EXPECT_NE(err.str().find("'12q'"), std::string::npos);
+}
+
+TEST(CliParse, CheckedFlagValuePassesGoodInputSilently) {
+  std::ostringstream err;
+  const auto v = checked_flag_value<unsigned>("--levels", "3", err);
+  EXPECT_EQ(v, 3u);
+  EXPECT_TRUE(err.str().empty());
+}
+
+}  // namespace
+}  // namespace ipg::util

@@ -22,12 +22,12 @@ namespace {
 
 TEST(Conformance, RegistryHasTheDocumentedChecks) {
   const auto& specs = registry();
-  ASSERT_EQ(specs.size(), 10u);
+  ASSERT_EQ(specs.size(), 11u);
   const std::vector<std::string> ids = {
       "intercluster-diameter", "intercluster-average", "bisection-bandwidth",
       "allport-schedule",      "embedding-dilation",   "ascend-descend-steps",
-      "sim-latency",           "latency-histogram",    "distance-sampling",
-      "percolation-threshold"};
+      "sim-latency",           "latency-histogram",    "adaptive-routing",
+      "distance-sampling",     "percolation-threshold"};
   for (std::size_t i = 0; i < ids.size(); ++i) {
     EXPECT_EQ(specs[i].id, ids[i]);
     EXPECT_FALSE(specs[i].claim.empty());

@@ -3,10 +3,27 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "metrics/distances.hpp"
+#include "sim/routers.hpp"
 
 namespace ipg::topology {
 namespace {
+
+/// Walks @p dims from @p src with Graph::neighbor and returns the hop
+/// count, failing the test if any dimension has no link.
+std::size_t walk(const Graph& g, NodeId src, NodeId dst,
+                 const std::vector<std::size_t>& dims) {
+  NodeId at = src;
+  for (const std::size_t d : dims) {
+    const NodeId next = g.neighbor(at, static_cast<std::uint16_t>(d));
+    EXPECT_NE(next, kInvalidNode) << "no dim " << d << " at " << at;
+    at = next;
+  }
+  EXPECT_EQ(at, dst);
+  return dims.size();
+}
 
 TEST(Named, HypercubeBasics) {
   const Graph g = hypercube_graph(5);
@@ -66,6 +83,91 @@ TEST(Named, ShuffleExchange) {
   EXPECT_EQ(g.num_nodes(), 8u);
   EXPECT_TRUE(g.is_undirected());
   EXPECT_LE(g.max_degree(), 3u);
+}
+
+TEST(Named, DragonflyStructure) {
+  // DF(a, h): g = a*h + 1 groups of a routers; every router has a - 1
+  // local ports and h global ports, and every group pair shares exactly
+  // one global link.
+  const Graph g = dragonfly_graph(4, 2);
+  EXPECT_EQ(g.num_nodes(), 36u);  // 9 groups * 4 routers
+  EXPECT_TRUE(g.is_undirected());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.degree(v), 5u);  // (a - 1) + h
+  }
+  // local: 9 * C(4,2) = 54; global: C(9,2) = 36.
+  EXPECT_EQ(g.num_edges(), 90u);
+  EXPECT_EQ(metrics::distance_stats(g).diameter, 3u);  // l-g-l
+  EXPECT_THROW(dragonfly_graph(1, 2), std::invalid_argument);
+  EXPECT_THROW(dragonfly_graph(4, 0), std::invalid_argument);
+}
+
+TEST(Named, DragonflyRouterReachesEveryPair) {
+  const Graph g = dragonfly_graph(4, 2);
+  const auto route = sim::dragonfly_router(4, 2);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_LE(walk(g, s, d, route(s, d)), 3u);
+    }
+  }
+  // Same group: one local hop.
+  EXPECT_EQ(route(0, 1).size(), 1u);
+}
+
+TEST(Named, FatTreeStructure) {
+  // FT(k): k^3/4 hosts, k^2 edge+aggregation switches, (k/2)^2 cores.
+  const Graph g = fat_tree_graph(4);
+  EXPECT_EQ(g.num_nodes(), 36u);  // 16 hosts + 8 edge + 8 agg + 4 core
+  EXPECT_TRUE(g.is_undirected());
+  for (NodeId host = 0; host < 16; ++host) {
+    EXPECT_EQ(g.degree(host), 1u);
+  }
+  for (NodeId core = 32; core < 36; ++core) {
+    EXPECT_EQ(g.degree(core), 4u);  // one link per pod
+  }
+  // host-edge 16 + edge-agg 16 + agg-core 16.
+  EXPECT_EQ(g.num_edges(), 48u);
+  EXPECT_THROW(fat_tree_graph(3), std::invalid_argument);  // k must be even
+  EXPECT_THROW(fat_tree_graph(0), std::invalid_argument);
+}
+
+TEST(Named, FatTreeRouterHopCounts) {
+  const Graph g = fat_tree_graph(4);
+  const auto route = sim::fat_tree_router(4);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      const auto dims = route(s, d);
+      const std::size_t hops = walk(g, s, d, dims);
+      // Up/down: 2 same-edge, 4 same-pod, 6 cross-pod.
+      if (s / 2 == d / 2) {
+        EXPECT_EQ(hops, 2u);
+      } else if (s / 4 == d / 4) {
+        EXPECT_EQ(hops, 4u);
+      } else {
+        EXPECT_EQ(hops, 6u);
+      }
+    }
+  }
+  // Only hosts are routable endpoints.
+  EXPECT_THROW(route(0, 20), std::invalid_argument);
+}
+
+TEST(Clusterings, DragonflyGroups) {
+  const auto c = dragonfly_group_clustering(4, 2);
+  EXPECT_EQ(c.num_clusters(), 9u);
+  const auto census = census_links(dragonfly_graph(4, 2), c);
+  // Exactly the global links cross chips: C(9, 2).
+  EXPECT_EQ(census.offchip_edges, 36u);
+}
+
+TEST(Clusterings, FatTreePods) {
+  const auto c = fat_tree_pod_clustering(4);
+  EXPECT_EQ(c.num_clusters(), 5u);  // 4 pods + the core chip
+  const auto census = census_links(fat_tree_graph(4), c);
+  // Exactly the agg-core links cross chips.
+  EXPECT_EQ(census.offchip_edges, 16u);
 }
 
 TEST(Clusterings, HypercubeSubcubes) {

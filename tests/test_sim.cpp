@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "topology/named.hpp"
 #include "topology/nucleus.hpp"
 
@@ -172,6 +175,42 @@ TEST(Traffic, HotspotBiasesTowardHotNode) {
     if (pat(9, rng) == 5) ++hot;
   }
   EXPECT_GT(hot, 800u);
+}
+
+TEST(Traffic, ShiftAndTornadoPatterns) {
+  util::Xoshiro256 rng(3);
+  EXPECT_EQ(shift_traffic(10, 3)(8, rng), 1u);
+  EXPECT_EQ(tornado_traffic(10)(2, rng), 7u);
+  EXPECT_EQ(tornado_traffic(9)(8, rng), 3u);  // N/2 = 4 for odd N
+}
+
+TEST(Traffic, GeneratorsValidateNodeCounts) {
+  // Every generator must reject degenerate node counts up front, at
+  // construction — not by handing out out-of-range destinations later.
+  EXPECT_THROW(uniform_traffic(0), std::invalid_argument);
+  EXPECT_THROW(uniform_traffic(1), std::invalid_argument);
+  EXPECT_THROW(tornado_traffic(1), std::invalid_argument);
+  EXPECT_THROW(shift_traffic(8, 0), std::invalid_argument);
+  EXPECT_THROW(shift_traffic(8, 8), std::invalid_argument);
+  // The bit-pattern permutations additionally need a power-of-two count
+  // (transpose: an even number of address bits).
+  EXPECT_THROW(bit_complement_traffic(0), std::invalid_argument);
+  EXPECT_THROW(bit_complement_traffic(12), std::invalid_argument);
+  EXPECT_THROW(transpose_traffic(12), std::invalid_argument);
+  EXPECT_THROW(transpose_traffic(8), std::invalid_argument);  // 3 bits
+  EXPECT_THROW(bit_reversal_traffic(12), std::invalid_argument);
+}
+
+TEST(Traffic, HotspotValidatesHotNodeAndFraction) {
+  EXPECT_THROW(hotspot_traffic(1, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(64, 64, 0.5), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(64, 5, -0.1), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(64, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(64, 5, std::nan("")), std::invalid_argument);
+  // The boundary fractions are legal.
+  util::Xoshiro256 rng(1);
+  EXPECT_EQ(hotspot_traffic(64, 5, 1.0)(9, rng), 5u);
+  EXPECT_LT(hotspot_traffic(64, 5, 0.0)(9, rng), 64u);
 }
 
 TEST(Traffic, RandomPermutationIsPermutation) {

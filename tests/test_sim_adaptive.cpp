@@ -1,0 +1,377 @@
+// Congestion-aware adaptive routing (sim/adaptive.hpp): CongestionMonitor
+// accounting, UgalPlanner decisions, run_routed preset validation, and —
+// the load-bearing contract — bit-identical adaptive results across
+// Engine::kArena / kReference / kSharded for every domain count, with the
+// monitor attached, healthy and under fault plans, including inside
+// thread-pool workers. The §4-style adversarial payoff is pinned too: UGAL
+// must strictly beat minimal routing on at least one adversarial pattern.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mcmp/capacity.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/simulator.hpp"
+#include "topology/graph.hpp"
+#include "topology/named.hpp"
+#include "topology/nucleus.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ipg::sim {
+namespace {
+
+using namespace topology;
+
+void expect_latency_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  expect_latency_bits(a.avg_latency_cycles, b.avg_latency_cycles);
+  expect_latency_bits(a.p50_latency_cycles, b.p50_latency_cycles);
+  expect_latency_bits(a.p99_latency_cycles, b.p99_latency_cycles);
+  expect_latency_bits(a.max_latency_cycles, b.max_latency_cycles);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.avg_offchip_hops, b.avg_offchip_hops);
+  EXPECT_EQ(a.throughput_flits_per_node_cycle,
+            b.throughput_flits_per_node_cycle);
+  EXPECT_EQ(a.max_offchip_utilization, b.max_offchip_utilization);
+  EXPECT_EQ(a.avg_offchip_utilization, b.avg_offchip_utilization);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_retransmitted, b.packets_retransmitted);
+  EXPECT_EQ(a.packets_in_flight, b.packets_in_flight);
+  EXPECT_EQ(a.reroute_hops, b.reroute_hops);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+}
+
+struct TestNet {
+  SimNetwork net;
+  Router router;
+  std::size_t intermediate_nodes = 0;  ///< UGAL pool bound (0 = all)
+};
+
+TestNet q6_net() {
+  return {mcmp::make_unit_chip_network(hypercube_graph(6),
+                                       hypercube_subcube_clustering(6, 8),
+                                       1.0),
+          hypercube_router(6)};
+}
+
+TestNet dragonfly_net() {
+  return {mcmp::make_unit_chip_network(dragonfly_graph(4, 2),
+                                       dragonfly_group_clustering(4, 2), 1.0),
+          dragonfly_router(4, 2)};
+}
+
+TestNet fat_tree_net() {
+  // Only host ids are routable endpoints, so the Valiant pool must stay
+  // within the host prefix [0, 16).
+  return {mcmp::make_unit_chip_network(fat_tree_graph(4),
+                                       fat_tree_pod_clustering(4), 1.0),
+          fat_tree_router(4), 16};
+}
+
+/// Tornado over the routable prefix (hosts for the fat-tree), identity
+/// elsewhere.
+std::vector<NodeId> tornado_perm(std::size_t num_nodes, std::size_t prefix) {
+  std::vector<NodeId> dst(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) dst[v] = v;
+  for (NodeId v = 0; v < prefix; ++v) {
+    dst[v] = static_cast<NodeId>((v + prefix / 2) % prefix);
+  }
+  return dst;
+}
+
+// ---------------------------------------------------------------------------
+// CongestionMonitor
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveMonitor, MeasuresLoadsWithoutChangingResults) {
+  const TestNet t = q6_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  SimConfig cfg;
+  const SimResult plain = run_batch(t.net, t.router, dst, cfg);
+
+  CongestionMonitor monitor;
+  cfg.observer = &monitor;
+  const SimResult observed = run_batch(t.net, t.router, dst, cfg);
+  expect_identical(plain, observed);
+
+  ASSERT_EQ(monitor.runs_observed(), 1u);
+  ASSERT_EQ(monitor.loads().size(), t.net.num_links());
+  double max_load = 0;
+  for (const double l : monitor.loads()) {
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 1.0);
+    max_load = std::max(max_load, l);
+  }
+  EXPECT_GT(max_load, 0.0);
+}
+
+TEST(AdaptiveMonitor, EwmaFoldsAcrossRuns) {
+  const TestNet t = q6_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  SimConfig cfg;
+  CongestionMonitor last_run(1.0);
+  CongestionMonitor ewma(0.5);
+  for (CongestionMonitor* m : {&last_run, &ewma}) {
+    cfg.observer = m;
+    run_batch(t.net, t.router, dst, cfg);
+    run_batch(t.net, t.router, dst, cfg);
+    EXPECT_EQ(m->runs_observed(), 2u);
+  }
+  // Identical runs: alpha = 1 tracks the run exactly and the EWMA of two
+  // equal samples equals the sample.
+  for (LinkId l = 0; l < t.net.num_links(); ++l) {
+    EXPECT_NEAR(last_run.load(l), ewma.load(l), 1e-12);
+  }
+}
+
+TEST(AdaptiveMonitor, RejectsBadAlpha) {
+  EXPECT_THROW(CongestionMonitor(0.0), std::invalid_argument);
+  EXPECT_THROW(CongestionMonitor(1.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// UgalPlanner
+// ---------------------------------------------------------------------------
+
+TEST(AdaptivePlanner, ZeroCandidatesDegeneratesToMinimal) {
+  const TestNet t = q6_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  UgalConfig ugal;
+  ugal.candidates = 0;
+  SimConfig cfg;
+  const AdaptiveResult a =
+      run_adaptive_batch(t.net, t.router, dst, ugal, cfg, nullptr);
+  EXPECT_EQ(a.packets_nonminimal, 0u);
+  EXPECT_EQ(a.packets_minimal, a.sim.packets_injected);
+  const SimResult plain = run_batch(t.net, t.router, dst, cfg);
+  expect_identical(a.sim, plain);
+}
+
+/// Neighbor-group shift on DF(a, h): dst = (src + a) mod N. Every node in
+/// group G targets group G + 1, and each group pair shares exactly one
+/// global link, so minimal routing serializes all a packets of a group on
+/// that link — the canonical dragonfly adversary.
+std::vector<NodeId> dragonfly_shift(std::size_t num_nodes, std::size_t a) {
+  std::vector<NodeId> dst(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    dst[v] = static_cast<NodeId>((v + a) % num_nodes);
+  }
+  return dst;
+}
+
+TEST(AdaptivePlanner, SpreadsAdversarialBatchOffTheMinimalPath) {
+  // Neighbor-group shift on the dragonfly: the planner's own
+  // committed-load term must push part of the batch onto Valiant routes
+  // once the shared global link fills up.
+  const TestNet t = dragonfly_net();
+  const auto dst = dragonfly_shift(t.net.num_nodes(), 4);
+  UgalConfig ugal;
+  ugal.planned_weight = 4.0;
+  SimConfig cfg;
+  const AdaptiveResult a =
+      run_adaptive_batch(t.net, t.router, dst, ugal, cfg, nullptr);
+  EXPECT_GT(a.packets_nonminimal, 0u);
+  EXPECT_EQ(a.packets_minimal + a.packets_nonminimal, a.sim.packets_injected);
+  EXPECT_EQ(a.sim.delivered_fraction, 1.0);
+}
+
+TEST(AdaptivePlanner, UgalBeatsMinimalOnAdversarialTraffic) {
+  // The §4-style payoff the bench reports, pinned as a test: strictly
+  // better makespan than minimal routing on an adversarial permutation.
+  const TestNet t = dragonfly_net();
+  const auto dst = dragonfly_shift(t.net.num_nodes(), 4);
+  SimConfig cfg;
+  const SimResult minimal = run_batch(t.net, t.router, dst, cfg);
+  UgalConfig ugal;
+  ugal.planned_weight = 4.0;
+  const AdaptiveResult adaptive =
+      run_adaptive_batch(t.net, t.router, dst, ugal, cfg, nullptr);
+  EXPECT_LT(adaptive.sim.makespan_cycles, minimal.makespan_cycles);
+}
+
+TEST(AdaptivePlanner, RejectsBadConfigs) {
+  const TestNet t = q6_net();
+  UgalConfig bad;
+  bad.monitor_weight = -1.0;
+  EXPECT_THROW(UgalPlanner(t.net, t.router, bad, nullptr),
+               std::invalid_argument);
+  bad = UgalConfig{};
+  bad.intermediate_nodes = t.net.num_nodes() + 1;
+  EXPECT_THROW(UgalPlanner(t.net, t.router, bad, nullptr),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// run_routed preset validation
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveRoutedRun, RejectsRoutesThatMissTheDestination) {
+  const TestNet t = q6_net();
+  const std::vector<std::uint16_t> ports = {0};  // one hop along dim 0
+  SimConfig cfg;
+  // 0 -> 1 along dimension 0 is a valid walk but ends at 1, not 3.
+  const std::vector<RoutedInjection> bad = {{0, 3, 0.0, 0, 1}};
+  EXPECT_THROW(run_routed(t.net, t.router, bad, ports, cfg),
+               std::invalid_argument);
+  const std::vector<RoutedInjection> good = {{0, 1, 0.0, 0, 1}};
+  const SimResult r = run_routed(t.net, t.router, good, ports, cfg);
+  EXPECT_EQ(r.packets_delivered, 1u);
+}
+
+TEST(AdaptiveRoutedRun, RejectsOutOfBufferAndBadPorts) {
+  const TestNet t = q6_net();
+  const std::vector<std::uint16_t> ports = {0, 99};
+  SimConfig cfg;
+  // A preset reaching past the buffer, then one naming port 99 on a
+  // degree-6 node.
+  const std::vector<RoutedInjection> past = {{0, 1, 0.0, 1, 5}};
+  EXPECT_THROW(run_routed(t.net, t.router, past, ports, cfg),
+               std::invalid_argument);
+  const std::vector<RoutedInjection> badport = {{0, 1, 0.0, 1, 1}};
+  EXPECT_THROW(run_routed(t.net, t.router, badport, ports, cfg),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveRoutedRun, FallbackRouterServesZeroLengthPresets) {
+  const TestNet t = q6_net();
+  SimConfig cfg;
+  const std::vector<RoutedInjection> routed_inj = {{3, 60, 0.0, 0, 0}};
+  const SimResult routed = run_routed(t.net, t.router, routed_inj, {}, cfg);
+  const std::vector<Injection> plain = {{3, 60, 0.0}};
+  const SimResult traced = run_trace(t.net, t.router, plain, cfg);
+  expect_identical(routed, traced);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine determinism
+// ---------------------------------------------------------------------------
+
+/// Full adaptive pipeline on one engine: minimal warm-up observed by a
+/// fresh monitor, then the UGAL run with the monitor attached — both on
+/// @p engine. Engine-independence of the whole pipeline implies the
+/// monitor states agree, so any divergence shows up in the final result.
+AdaptiveResult adaptive_pipeline(const TestNet& t,
+                                 const std::vector<NodeId>& dst,
+                                 SimConfig cfg, Engine engine,
+                                 std::uint32_t domains) {
+  cfg.engine = engine;
+  cfg.shard_domains = domains;
+  CongestionMonitor monitor;
+  cfg.observer = &monitor;
+  run_batch(t.net, t.router, dst, cfg);
+  UgalConfig ugal;
+  ugal.intermediate_nodes = t.intermediate_nodes;
+  return run_adaptive_batch(t.net, t.router, dst, ugal, cfg, &monitor);
+}
+
+TEST(AdaptiveDeterminism, BitIdenticalAcrossEnginesAndDomainCounts) {
+  for (const TestNet& t : {q6_net(), dragonfly_net(), fat_tree_net()}) {
+    const auto dst = tornado_perm(
+        t.net.num_nodes(),
+        t.intermediate_nodes > 0 ? t.intermediate_nodes : t.net.num_nodes());
+    SimConfig cfg;
+    cfg.packet_length_flits = 8;
+    const AdaptiveResult oracle =
+        adaptive_pipeline(t, dst, cfg, Engine::kReference, 0);
+    const AdaptiveResult arena =
+        adaptive_pipeline(t, dst, cfg, Engine::kArena, 0);
+    expect_identical(arena.sim, oracle.sim);
+    EXPECT_EQ(arena.packets_nonminimal, oracle.packets_nonminimal);
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      const AdaptiveResult sharded =
+          adaptive_pipeline(t, dst, cfg, Engine::kSharded, k);
+      expect_identical(sharded.sim, oracle.sim);
+      EXPECT_EQ(sharded.packets_nonminimal, oracle.packets_nonminimal);
+    }
+  }
+}
+
+TEST(AdaptiveDeterminism, OpenLoopBitIdenticalAcrossEngines) {
+  const TestNet t = dragonfly_net();
+  const auto pattern = tornado_traffic(t.net.num_nodes());
+  SimConfig cfg;
+  cfg.packet_length_flits = 4;
+  cfg.seed = 7;
+  UgalConfig ugal;
+  auto run_on = [&](Engine e, std::uint32_t k) {
+    SimConfig c = cfg;
+    c.engine = e;
+    c.shard_domains = k;
+    return run_adaptive_open(t.net, t.router, pattern, 0.1, 200, ugal, c,
+                             nullptr);
+  };
+  const AdaptiveResult oracle = run_on(Engine::kReference, 0);
+  expect_identical(run_on(Engine::kArena, 0).sim, oracle.sim);
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    expect_identical(run_on(Engine::kSharded, k).sim, oracle.sim);
+  }
+  EXPECT_GT(oracle.sim.packets_injected, 0u);
+}
+
+TEST(AdaptiveDeterminism, FaultPlansPreserveCrossEngineIdentity) {
+  // Preset routes meeting dead links must detour/retry identically on all
+  // engines: fail a dragonfly global link mid-run, with retries enabled.
+  const TestNet t = dragonfly_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  auto plan = std::make_shared<FaultPlan>();
+  // Fail node 0's last arc (a global link out of group 0) and a local one.
+  plan->fail_link(2.0, 0, t.net.graph().arcs_of(0).back().to);
+  plan->fail_link(3.0, 5, 6);
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  cfg.fault_plan = plan;
+  cfg.max_retries = 2;
+  const AdaptiveResult oracle =
+      adaptive_pipeline(t, dst, cfg, Engine::kReference, 0);
+  expect_identical(adaptive_pipeline(t, dst, cfg, Engine::kArena, 0).sim,
+                   oracle.sim);
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    expect_identical(adaptive_pipeline(t, dst, cfg, Engine::kSharded, k).sim,
+                     oracle.sim);
+  }
+}
+
+TEST(AdaptiveDeterminism, ShardedRunInsidePoolWorkerUnchanged) {
+  const TestNet t = dragonfly_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  SimConfig cfg;
+  cfg.packet_length_flits = 8;
+  const AdaptiveResult direct =
+      adaptive_pipeline(t, dst, cfg, Engine::kSharded, 4);
+  AdaptiveResult from_worker;
+  util::ThreadPool pool(2);
+  pool.submit([&] {
+    ASSERT_TRUE(util::ThreadPool::in_worker());
+    from_worker = adaptive_pipeline(t, dst, cfg, Engine::kSharded, 4);
+  });
+  pool.wait();
+  expect_identical(from_worker.sim, direct.sim);
+  EXPECT_EQ(from_worker.packets_nonminimal, direct.packets_nonminimal);
+}
+
+TEST(AdaptiveDeterminism, SameSeedSameResult) {
+  const TestNet t = q6_net();
+  const auto dst = tornado_perm(t.net.num_nodes(), t.net.num_nodes());
+  SimConfig cfg;
+  const AdaptiveResult a =
+      run_adaptive_batch(t.net, t.router, dst, UgalConfig{}, cfg, nullptr);
+  const AdaptiveResult b =
+      run_adaptive_batch(t.net, t.router, dst, UgalConfig{}, cfg, nullptr);
+  expect_identical(a.sim, b.sim);
+  EXPECT_EQ(a.packets_nonminimal, b.packets_nonminimal);
+}
+
+}  // namespace
+}  // namespace ipg::sim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "conformance/conformance.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -54,9 +55,10 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       ids.emplace_back(v);
     } else if (arg == "--seeds") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opts.seeds = std::strtoull(v, nullptr, 10);
+      const auto v = ipg::util::checked_flag_value<std::size_t>(
+          "--seeds", next(), std::cerr);
+      if (!v.has_value()) return usage(argv[0]);
+      opts.seeds = *v;
       if (opts.seeds == 0) {
         std::cerr << "--seeds must be at least 1\n";
         return 2;

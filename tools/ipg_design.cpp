@@ -44,6 +44,7 @@
 #include "sim/sweep.hpp"
 #include "store/fingerprint.hpp"
 #include "store/result_store.hpp"
+#include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -93,12 +94,10 @@ std::optional<DesignPoint> parse_point(const std::string& spec) {
     const auto eq = kv.find('=');
     if (eq == std::string::npos) return std::nullopt;
     const std::string k = kv.substr(0, eq);
-    unsigned long v = 0;
-    try {
-      v = std::stoul(kv.substr(eq + 1));
-    } catch (const std::exception&) {
-      return std::nullopt;
-    }
+    const auto parsed =
+        util::parse_unsigned<unsigned long>(kv.substr(eq + 1));
+    if (!parsed.has_value()) return std::nullopt;
+    const unsigned long v = *parsed;
     if (k == "l" || k == "n" || k == "k") {
       p.levels = v;
     } else if (k == "q") {
@@ -212,9 +211,10 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       opt.json_path = v;
     } else if (arg == "--seeds") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opt.seeds = std::stoul(v);
+      const auto v =
+          util::checked_flag_value<std::size_t>("--seeds", next(), std::cerr);
+      if (!v.has_value()) return usage(argv[0]);
+      opt.seeds = *v;
     } else if (arg == "--smoke") {
       opt.smoke = true;
     } else if (arg == "--expect-all-hits") {
@@ -236,17 +236,20 @@ int main(int argc, char** argv) {
       query_point.family = v;
       saw_family = true;
     } else if (arg == "--levels" && opt.command == "query") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      query_point.levels = std::stoul(v);
+      const auto v =
+          util::checked_flag_value<std::size_t>("--levels", next(), std::cerr);
+      if (!v.has_value()) return usage(argv[0]);
+      query_point.levels = *v;
     } else if (arg == "--nucleus-dim" && opt.command == "query") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      query_point.nucleus_dim = static_cast<unsigned>(std::stoul(v));
+      const auto v = util::checked_flag_value<unsigned>("--nucleus-dim",
+                                                        next(), std::cerr);
+      if (!v.has_value()) return usage(argv[0]);
+      query_point.nucleus_dim = *v;
     } else if (arg == "--chip-size" && opt.command == "query") {
-      const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      query_point.chip_size = std::stoul(v);
+      const auto v = util::checked_flag_value<std::size_t>("--chip-size",
+                                                           next(), std::cerr);
+      if (!v.has_value()) return usage(argv[0]);
+      query_point.chip_size = *v;
     } else if (opt.command == "compare" && !arg.empty() && arg[0] != '-') {
       // Bare point specs ("hsn:l=2,q=4") are accepted as shorthand for
       // --point.

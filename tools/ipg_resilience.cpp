@@ -1,6 +1,6 @@
 // ipg_resilience — production-scale fault-tolerance studies CLI.
 //
-//   ipg_resilience [--smoke] [--percolation] [--supergraph]
+//   ipg_resilience [--smoke] [--percolation] [--supergraph] [--trials N]
 //                  [--out-dir DIR] [--cache-dir DIR] [--no-cache]
 //                  [--invalidate]
 //
@@ -40,6 +40,7 @@
 
 #include "mcmp/capacity.hpp"
 #include "resilience/percolation.hpp"
+#include "util/cli.hpp"
 #include "resilience/supergraph.hpp"
 #include "sim/routers.hpp"
 #include "sim/simulator.hpp"
@@ -147,8 +148,8 @@ void emit_percolation_json(std::ostream& os,
   os << "\n";
 }
 
-int run_percolation(bool smoke, const std::string& out_dir,
-                    store::ResultStore* cache) {
+int run_percolation(bool smoke, std::size_t trials_override,
+                    const std::string& out_dir, store::ResultStore* cache) {
   PercolationConfig cfg;
   cfg.cache = cache;
   cfg.pattern_tag = "uniform";
@@ -163,6 +164,7 @@ int run_percolation(bool smoke, const std::string& out_dir,
     cfg.trials = 24;
     cfg.inject_cycles = 200;
   }
+  if (trials_override > 0) cfg.trials = trials_override;
   cfg.seed = 1;
   cfg.rate = 0.05;
   cfg.sim.packet_length_flits = 4;
@@ -333,7 +335,8 @@ int run_supergraph(bool smoke, const std::string& out_dir) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--smoke] [--percolation] [--supergraph] [--out-dir DIR]"
-               " [--cache-dir DIR] [--no-cache] [--invalidate]\n";
+               " [--cache-dir DIR] [--no-cache] [--invalidate]"
+               " [--trials N]\n";
   return 2;
 }
 
@@ -345,6 +348,7 @@ int main(int argc, char** argv) {
   bool supergraph = false;
   bool no_cache = false;
   bool invalidate = false;
+  std::size_t trials_override = 0;  ///< 0 = the smoke/full default
   std::string out_dir = ".";
   std::string cache_dir = ".ipg-cache";
   for (int i = 1; i < argc; ++i) {
@@ -365,6 +369,14 @@ int main(int argc, char** argv) {
       no_cache = true;
     } else if (arg == "--invalidate") {
       invalidate = true;
+    } else if (arg == "--trials") {
+      const auto v = util::checked_flag_value<std::size_t>(
+          "--trials", i + 1 < argc ? argv[++i] : nullptr, std::cerr);
+      if (!v.has_value() || *v == 0) {
+        if (v.has_value()) std::cerr << "error: --trials must be at least 1\n";
+        return usage(argv[0]);
+      }
+      trials_override = *v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage(argv[0]);
@@ -389,7 +401,8 @@ int main(int argc, char** argv) {
 
   int status = 0;
   if (percolation) {
-    const int rc = run_percolation(smoke, out_dir, cache.get());
+    const int rc =
+        run_percolation(smoke, trials_override, out_dir, cache.get());
     if (rc != 0) return rc;
   }
   if (supergraph) {
